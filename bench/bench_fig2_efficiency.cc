@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment E1 — Figure 2: "Efficiency versus Number of Processors
+ * per Row". Efficiency vs bus request rate for n = 8, 16, 24, 32
+ * processors per row (N = n^2), parameters from the figure caption:
+ * 16-word blocks, 50 ns/word, 750 ns memory and snooping-cache
+ * latency, P(unmodified) = 0.8, P(invalidation) = 0.2.
+ *
+ * The primary series comes from the MVA model (as in the paper); the
+ * event simulator cross-checks the smaller machines with the same
+ * synthetic mix. Counters report the paper's y-axis (efficiency).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+/** MVA series: one benchmark per (n, rate) grid point. */
+void
+BM_Fig2_Mva(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    double rate = static_cast<double>(state.range(1));
+    MvaResult r{};
+    for (auto _ : state)
+        r = runMva(n, rate);
+    state.counters["efficiency"] = r.efficiency;
+    state.counters["row_util"] = r.rowUtilization;
+    state.counters["col_util"] = r.colUtilization;
+    state.counters["resp_ns"] = r.responseTimeNs;
+}
+
+/** Simulation cross-check on machines small enough to simulate
+ *  quickly (64 and 256 processors). */
+void
+BM_Fig2_Sim(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    double rate = static_cast<double>(state.range(1));
+    MixParams mix;
+    mix.requestsPerMs = rate;
+    SimPoint pt{};
+    for (auto _ : state)
+        pt = runMixSim(n, mix, 2.0);
+    state.counters["efficiency"] = pt.efficiency;
+    state.counters["row_util"] = pt.rowUtil;
+    state.counters["col_util"] = pt.colUtil;
+    state.counters["txns"] = static_cast<double>(pt.transactions);
+}
+
+} // namespace
+
+BENCHMARK(BM_Fig2_Mva)
+    ->ArgNames({"n", "req_per_ms"})
+    ->ArgsProduct({{8, 16, 24, 32}, {1, 5, 10, 15, 20, 25, 30, 40, 50}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_Fig2_Sim)
+    ->ArgNames({"n", "req_per_ms"})
+    ->ArgsProduct({{8, 16}, {5, 15, 25, 40}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment E2 — Figure 3: "The Effect of Invalidations on
+ * Performance with 1K Processors". Efficiency vs request rate with
+ * the fraction of write misses to shared (unmodified) data swept over
+ * 10..50 percent; other parameters as in Figure 2.
+ *
+ * Expected shape (paper): curves ordered 10% (top) to 50% (bottom);
+ * at light load (>= ~90% efficiency) the invalidation effect is very
+ * small, growing as rates push the buses toward saturation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+MvaParams
+withInvalidation(double inv)
+{
+    MvaParams p;
+    p.fracWriteUnmod = inv;
+    p.fracReadUnmod = 0.8 - inv;  // keep P(unmodified) = 0.8
+    return p;
+}
+
+void
+BM_Fig3_Mva(benchmark::State &state)
+{
+    double inv = static_cast<double>(state.range(0)) / 100.0;
+    double rate = static_cast<double>(state.range(1));
+    MvaParams p = withInvalidation(inv);
+    MvaResult r{};
+    for (auto _ : state)
+        r = runMva(32, rate, &p);
+    state.counters["efficiency"] = r.efficiency;
+    state.counters["row_util"] = r.rowUtilization;
+}
+
+void
+BM_Fig3_Sim(benchmark::State &state)
+{
+    double inv = static_cast<double>(state.range(0)) / 100.0;
+    double rate = static_cast<double>(state.range(1));
+    MixParams mix;
+    mix.requestsPerMs = rate;
+    mix.fracWriteUnmod = inv;
+    mix.fracReadUnmod = 0.8 - inv;
+    SimPoint pt{};
+    for (auto _ : state)
+        pt = runMixSim(8, mix, 2.0);
+    state.counters["efficiency"] = pt.efficiency;
+    state.counters["row_util"] = pt.rowUtil;
+}
+
+} // namespace
+
+BENCHMARK(BM_Fig3_Mva)
+    ->ArgNames({"inv_pct", "req_per_ms"})
+    ->ArgsProduct({{10, 20, 30, 40, 50},
+                   {1, 5, 10, 15, 20, 25, 30, 40, 50}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_Fig3_Sim)
+    ->ArgNames({"inv_pct", "req_per_ms"})
+    ->ArgsProduct({{10, 30, 50}, {10, 25, 40}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment E3 — Figure 4: "Effect of Block Size on Performance with
+ * 1K Processors". Block sizes 4..64 bus words under three couplings
+ * between block size and bus request rate:
+ *
+ *   fixed    the vertical dashed line: doubling the block does not
+ *            change the request rate (bigger blocks only cost);
+ *   halving  the sloping dashed line: doubling the block halves the
+ *            request rate (bigger blocks only help);
+ *   sqrt     a "more reasonable relationship" between the extremes,
+ *            for which an interior block size is optimal (the paper
+ *            argues 16 or 32 words).
+ *
+ * The simulation cross-check varies the bus blockWords with the same
+ * couplings on a 64-processor machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+double
+coupledRate(int coupling, unsigned block)
+{
+    // Rates are normalised so block = 16 always runs at 25 req/ms.
+    switch (coupling) {
+      case 0:  // fixed
+        return 25.0;
+      case 1:  // halving
+        return 25.0 * 16.0 / block;
+      default: // sqrt
+        return 25.0 * 4.0 / std::sqrt(static_cast<double>(block));
+    }
+}
+
+void
+BM_Fig4_Mva(benchmark::State &state)
+{
+    int coupling = static_cast<int>(state.range(0));
+    unsigned block = static_cast<unsigned>(state.range(1));
+    MvaParams p;
+    p.blockWords = block;
+    p.requestsPerMs = coupledRate(coupling, block);
+    MvaResult r{};
+    for (auto _ : state)
+        r = runMva(32, p.requestsPerMs, &p);
+    state.counters["efficiency"] = r.efficiency;
+    state.counters["req_per_ms"] = p.requestsPerMs;
+    state.counters["resp_ns"] = r.responseTimeNs;
+}
+
+void
+BM_Fig4_Sim(benchmark::State &state)
+{
+    int coupling = static_cast<int>(state.range(0));
+    unsigned block = static_cast<unsigned>(state.range(1));
+    SystemParams sp;
+    sp.bus.blockWords = block;
+    MixParams mix;
+    mix.requestsPerMs = coupledRate(coupling, block);
+    SimPoint pt{};
+    for (auto _ : state)
+        pt = runMixSim(8, mix, 2.0, &sp);
+    state.counters["efficiency"] = pt.efficiency;
+    state.counters["req_per_ms"] = mix.requestsPerMs;
+    state.counters["lat_ns"] = pt.meanLatencyNs;
+}
+
+} // namespace
+
+BENCHMARK(BM_Fig4_Mva)
+    ->ArgNames({"coupling", "block_words"})
+    ->ArgsProduct({{0, 1, 2}, {4, 8, 16, 32, 64}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_Fig4_Sim)
+    ->ArgNames({"coupling", "block_words"})
+    ->ArgsProduct({{0, 1, 2}, {4, 16, 64}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment E6 — Section 5 "Techniques for Reducing Bus Latency":
+ * requested-word-first, cut-through forwarding of the second hop, and
+ * splitting the line into small fixed-size pieces, across block
+ * sizes. The MVA reports raw (unloaded) transaction latency and
+ * loaded efficiency; the event simulator cross-checks cut-through
+ * with its native bus support.
+ *
+ * Paper expectation: the two forwarding techniques mostly eliminate
+ * one full transfer-block latency each; pieces trade extra header
+ * occupancy for latency; the win matters most for large blocks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+void
+BM_Technique_Mva(benchmark::State &state)
+{
+    int tech = static_cast<int>(state.range(0));
+    unsigned block = static_cast<unsigned>(state.range(1));
+    MvaParams p;
+    p.blockWords = block;
+    if (tech == 4)
+        p.pieceWords = 4;
+    else
+        p.technique = static_cast<LatencyTechnique>(tech);
+
+    MvaResult r{};
+    double raw = 0.0;
+    for (auto _ : state) {
+        MvaModel m(p);
+        r = m.solve();
+        raw = m.rawLatency();
+    }
+    state.counters["raw_latency_ns"] = raw;
+    state.counters["efficiency"] = r.efficiency;
+    state.counters["resp_ns"] = r.responseTimeNs;
+}
+
+void
+BM_CutThrough_Sim(benchmark::State &state)
+{
+    bool cut = state.range(0) != 0;
+    unsigned block = static_cast<unsigned>(state.range(1));
+    SystemParams sp;
+    sp.bus.blockWords = block;
+    sp.bus.cutThrough = cut;
+    MixParams mix;
+    mix.requestsPerMs = 15.0;
+    SimPoint pt{};
+    for (auto _ : state)
+        pt = runMixSim(8, mix, 2.0, &sp);
+    state.counters["mean_latency_ns"] = pt.meanLatencyNs;
+    state.counters["efficiency"] = pt.efficiency;
+}
+
+/** Simulator counterpart of the "small fixed-size pieces" technique:
+ *  pieces trade wire occupancy for requested-word-first delivery. */
+void
+BM_Pieces_Sim(benchmark::State &state)
+{
+    unsigned piece = static_cast<unsigned>(state.range(0));
+    unsigned block = static_cast<unsigned>(state.range(1));
+    SystemParams sp;
+    sp.bus.blockWords = block;
+    sp.bus.pieceWords = piece;
+    MixParams mix;
+    mix.requestsPerMs = 15.0;
+    SimPoint pt{};
+    for (auto _ : state)
+        pt = runMixSim(8, mix, 2.0, &sp);
+    state.counters["mean_latency_ns"] = pt.meanLatencyNs;
+    state.counters["efficiency"] = pt.efficiency;
+    state.counters["row_util"] = pt.rowUtil;
+}
+
+} // namespace
+
+BENCHMARK(BM_Technique_Mva)
+    ->ArgNames({"tech_none0_rwf1_cut2_both3_pieces4", "block_words"})
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {8, 16, 32, 64}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_CutThrough_Sim)
+    ->ArgNames({"cut_through", "block_words"})
+    ->ArgsProduct({{0, 1}, {16, 64}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Pieces_Sim)
+    ->ArgNames({"piece_words", "block_words"})
+    ->Args({0, 64})
+    ->Args({4, 64})
+    ->Args({8, 64})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

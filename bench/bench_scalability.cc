@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Experiment E7 — Section 6 scalability properties of the general
+ * n^k Multicube:
+ *
+ *   - total buses k * n^(k-1); bandwidth per processor k/n, growing
+ *     with k "precisely the rate at which the normal path length
+ *     grows";
+ *   - invalidation broadcast cost ~ (N-1)/(n-1) bus operations;
+ *   - the multi (k = 1) and hypercube (n = 2) special cases;
+ *   - the MVA's view of how a fixed 1024-processor budget behaves as
+ *     the request rate scales.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "mva/mva_multik.hh"
+#include "topology/multicube.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+void
+BM_TopologyScaling(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    unsigned k = static_cast<unsigned>(state.range(1));
+    MulticubeTopology t(n, k);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.invalidationBusOps());
+    state.counters["processors"] =
+        static_cast<double>(t.numProcessors());
+    state.counters["buses"] = static_cast<double>(t.numBuses());
+    state.counters["bw_per_proc"] = t.bandwidthPerProcessor();
+    state.counters["inval_ops"] =
+        static_cast<double>(t.invalidationBusOps());
+    state.counters["max_hops"] =
+        static_cast<double>(t.maxRequestHops());
+}
+
+/** Ways of building ~1K processors: n=32,k=2 (the Wisconsin
+ *  Multicube), n=10,k=3, n=6,k=4, n=2,k=10 (hypercube). */
+void
+BM_WaysToBuild1K(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    unsigned k = static_cast<unsigned>(state.range(1));
+    MulticubeTopology t(n, k);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.numBuses());
+    state.counters["processors"] =
+        static_cast<double>(t.numProcessors());
+    state.counters["buses"] = static_cast<double>(t.numBuses());
+    state.counters["buses_per_proc"] =
+        static_cast<double>(t.busesPerProcessor());
+    state.counters["bw_per_proc"] = t.bandwidthPerProcessor();
+    state.counters["inval_ops"] =
+        static_cast<double>(t.invalidationBusOps());
+}
+
+/** General-k MVA at the design-point rate: how the ~4K-processor
+ *  budget behaves across dimensional builds (Section 6 trade-off). */
+void
+BM_MultiK_Mva(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    unsigned k = static_cast<unsigned>(state.range(1));
+    MultiKParams p;
+    p.n = n;
+    p.k = k;
+    p.requestsPerMs = 25.0;
+    MultiKResult r{};
+    double raw = 0.0;
+    for (auto _ : state) {
+        MultiKMvaModel m(p);
+        r = m.solve();
+        raw = m.rawLatency();
+    }
+    state.counters["processors"] =
+        std::pow(static_cast<double>(n), k);
+    state.counters["efficiency"] = r.efficiency;
+    state.counters["bus_util"] = r.busUtilization;
+    state.counters["raw_latency_ns"] = raw;
+    state.counters["inval_ops"] = MultiKMvaModel(p).invalidationOps();
+}
+
+/** Efficiency of the 2-D machine as n scales at the design-point
+ *  request rate (MVA). */
+void
+BM_Efficiency_vs_N(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    MvaResult r{};
+    for (auto _ : state)
+        r = runMva(n, 25.0);
+    state.counters["processors"] = static_cast<double>(n) * n;
+    state.counters["efficiency"] = r.efficiency;
+}
+
+} // namespace
+
+BENCHMARK(BM_TopologyScaling)
+    ->ArgNames({"n", "k"})
+    ->ArgsProduct({{2, 4, 8, 16, 32}, {1, 2, 3}})
+    ->Iterations(1);
+
+BENCHMARK(BM_WaysToBuild1K)
+    ->ArgNames({"n", "k"})
+    ->Args({32, 2})
+    ->Args({10, 3})
+    ->Args({6, 4})
+    ->Args({4, 5})
+    ->Args({2, 10})
+    ->Iterations(1);
+
+BENCHMARK(BM_MultiK_Mva)
+    ->ArgNames({"n", "k"})
+    ->Args({64, 2})
+    ->Args({16, 3})
+    ->Args({8, 4})
+    ->Args({4, 6})
+    ->Args({2, 12})
+    ->Iterations(1);
+
+BENCHMARK(BM_Efficiency_vs_N)
+    ->ArgNames({"n"})
+    ->DenseRange(8, 40, 8)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: run a MixWorkload
+ * simulation or an MVA solve for one configuration and report the
+ * paper's metrics.
+ */
+
+#ifndef MCUBE_BENCH_BENCH_UTIL_HH
+#define MCUBE_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+#include "mva/mva_model.hh"
+#include "proc/mix_workload.hh"
+
+namespace mcube::bench
+{
+
+/** Result of one simulated workload run. */
+struct SimPoint
+{
+    double efficiency = 0.0;
+    double rowUtil = 0.0;
+    double colUtil = 0.0;
+    double meanLatencyNs = 0.0;
+    std::uint64_t transactions = 0;
+    std::uint64_t busOps = 0;
+};
+
+/** Run the synthetic mix on an n x n machine for @p sim_ms of
+ *  simulated time. */
+inline SimPoint
+runMixSim(unsigned n, const MixParams &mix, double sim_ms = 2.0,
+          const SystemParams *base = nullptr)
+{
+    SystemParams sp;
+    if (base)
+        sp = *base;
+    sp.n = n;
+    MulticubeSystem sys(sp);
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(static_cast<Tick>(sim_ms * 1e6));
+    wl.stop();
+    sys.drain();
+
+    SimPoint out;
+    out.efficiency = wl.efficiency();
+    out.rowUtil = sys.meanBusUtilization(0);
+    out.colUtil = sys.meanBusUtilization(1);
+    out.meanLatencyNs = wl.meanLatency();
+    out.transactions = wl.totalCompleted();
+    out.busOps = sys.totalBusOps();
+    return out;
+}
+
+/** MVA solve for the same configuration. */
+inline MvaResult
+runMva(unsigned n, double rate, const MvaParams *base = nullptr)
+{
+    MvaParams p;
+    if (base)
+        p = *base;
+    p.n = n;
+    p.requestsPerMs = rate;
+    return MvaModel(p).solve();
+}
+
+} // namespace mcube::bench
+
+#endif // MCUBE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Experiment E8 — the Section 1 motivation: single-bus multis "are
+ * limited to some tens of processors", while the Multicube's total
+ * bandwidth grows with the machine. Both machines run the same
+ * synthetic mix at the same per-processor request rate; the series
+ * shows the multi collapsing as processors are added while the grid
+ * holds its efficiency (the crossover).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/dancehall.hh"
+#include "baseline/multi_workload.hh"
+#include "baseline/single_bus_multi.hh"
+#include "bench_util.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+constexpr double kRate = 25.0;
+
+void
+BM_SingleBusMulti(benchmark::State &state)
+{
+    unsigned procs = static_cast<unsigned>(state.range(0));
+    double eff = 0.0;
+    std::uint64_t ops = 0;
+    double util = 0.0;
+    for (auto _ : state) {
+        MultiParams p;
+        p.numProcessors = procs;
+        SingleBusMulti sys(p);
+        MixParams mix;
+        mix.requestsPerMs = kRate;
+        MultiMixWorkload wl(sys, mix);
+        wl.start();
+        sys.run(2'000'000);
+        wl.stop();
+        sys.drain();
+        eff = wl.efficiency();
+        ops = sys.bus().opsDelivered();
+        util = sys.bus().utilization();
+    }
+    state.counters["processors"] = static_cast<double>(procs);
+    state.counters["efficiency"] = eff;
+    state.counters["bus_util"] = util;
+    state.counters["bus_ops"] = static_cast<double>(ops);
+}
+
+/**
+ * The other Section 1 foil: a multistage-network dance hall with no
+ * caching of shared data — every shared *reference* pays the full
+ * network round trip. The fair axis is therefore the shared-reference
+ * rate: the Multicube turns most shared references into cache hits
+ * (its 25 bus-requests/ms budget corresponds to reference rates in
+ * the hundreds per ms — see examples/address_stream), while the dance
+ * hall's network sees the raw reference rate and collapses as it
+ * approaches the round-trip reciprocal.
+ */
+void
+BM_Dancehall(benchmark::State &state)
+{
+    unsigned procs = static_cast<unsigned>(state.range(0));
+    double ref_rate = static_cast<double>(state.range(1));
+    double eff = 0.0, util = 0.0;
+    Tick latency = 0;
+    for (auto _ : state) {
+        DancehallParams p;
+        p.numProcessors = procs;
+        p.numBanks = procs;
+        DancehallSystem sys(p);
+        latency = 2 * sys.networkLatency() + p.bankServiceTicks
+                + p.wordTicks;
+        DancehallWorkload wl(sys, ref_rate);
+        wl.start();
+        sys.eventQueue().runUntil(2'000'000);
+        wl.stop();
+        sys.eventQueue().run();
+        eff = wl.efficiency();
+        util = sys.bankUtilization();
+    }
+    state.counters["processors"] = static_cast<double>(procs);
+    state.counters["shared_refs_per_ms"] = ref_rate;
+    state.counters["efficiency"] = eff;
+    state.counters["bank_util"] = util;
+    state.counters["unloaded_latency_ns"] =
+        static_cast<double>(latency);
+}
+
+void
+BM_Multicube(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    MixParams mix;
+    mix.requestsPerMs = kRate;
+    SimPoint pt{};
+    for (auto _ : state)
+        pt = runMixSim(n, mix, 2.0);
+    state.counters["processors"] = static_cast<double>(n) * n;
+    state.counters["efficiency"] = pt.efficiency;
+    state.counters["row_util"] = pt.rowUtil;
+}
+
+} // namespace
+
+BENCHMARK(BM_SingleBusMulti)
+    ->ArgNames({"processors"})
+    ->Arg(4)
+    ->Arg(9)
+    ->Arg(16)
+    ->Arg(25)
+    ->Arg(36)
+    ->Arg(64)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Dancehall)
+    ->ArgNames({"processors", "shared_refs_per_ms"})
+    ->ArgsProduct({{64, 256, 1024}, {25, 100, 300, 600}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Multicube)
+    ->ArgNames({"n"})
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A small command-line driver for parameter sweeps, emitting CSV —
+ * the tool a study of the machine would actually script against.
+ *
+ *   $ ./sweep_cli --mode=mva --n=32 --rates=1,5,10,20,25,30,40,50
+ *   $ ./sweep_cli --mode=sim --n=8 --rates=5,15,25 --ms=2 --block=16
+ *   $ ./sweep_cli --mode=both --n=8 --rates=10,25
+ *
+ * Columns: mode,n,req_per_ms,block_words,efficiency,row_util,
+ * col_util,resp_ns
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "mva/mva_model.hh"
+#include "proc/mix_workload.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct Options
+{
+    std::string mode = "both";
+    unsigned n = 8;
+    std::vector<double> rates = {5, 10, 15, 20, 25, 30, 40, 50};
+    unsigned block = 16;
+    double simMs = 2.0;
+    double invFrac = 0.20;
+};
+
+std::vector<double>
+parseList(const std::string &s)
+{
+    std::vector<double> out;
+    std::istringstream iss(s);
+    std::string tok;
+    while (std::getline(iss, tok, ','))
+        if (!tok.empty())
+            out.push_back(std::atof(tok.c_str()));
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto eq = a.find('=');
+        if (a.rfind("--", 0) != 0 || eq == std::string::npos) {
+            std::cerr << "bad argument: " << a << "\n";
+            return false;
+        }
+        std::string key = a.substr(2, eq - 2);
+        std::string val = a.substr(eq + 1);
+        if (key == "mode")
+            opt.mode = val;
+        else if (key == "n")
+            opt.n = std::atoi(val.c_str());
+        else if (key == "rates")
+            opt.rates = parseList(val);
+        else if (key == "block")
+            opt.block = std::atoi(val.c_str());
+        else if (key == "ms")
+            opt.simMs = std::atof(val.c_str());
+        else if (key == "inv")
+            opt.invFrac = std::atof(val.c_str());
+        else {
+            std::cerr << "unknown option: --" << key << "\n";
+            return false;
+        }
+    }
+    if (opt.mode != "mva" && opt.mode != "sim" && opt.mode != "both") {
+        std::cerr << "--mode must be mva, sim or both\n";
+        return false;
+    }
+    if (opt.n < 2 || opt.rates.empty() || opt.block == 0) {
+        std::cerr << "invalid parameters\n";
+        return false;
+    }
+    return true;
+}
+
+void
+emitMva(const Options &opt, double rate)
+{
+    MvaParams p;
+    p.n = opt.n;
+    p.requestsPerMs = rate;
+    p.blockWords = opt.block;
+    p.fracWriteUnmod = opt.invFrac;
+    p.fracReadUnmod = 0.8 - opt.invFrac;
+    MvaResult r = MvaModel(p).solve();
+    std::cout << "mva," << opt.n << ',' << rate << ',' << opt.block
+              << ',' << r.efficiency << ',' << r.rowUtilization << ','
+              << r.colUtilization << ',' << r.responseTimeNs << '\n';
+}
+
+void
+emitSim(const Options &opt, double rate)
+{
+    SystemParams sp;
+    sp.n = opt.n;
+    sp.bus.blockWords = opt.block;
+    MulticubeSystem sys(sp);
+    MixParams mix;
+    mix.requestsPerMs = rate;
+    mix.fracWriteUnmod = opt.invFrac;
+    mix.fracReadUnmod = 0.8 - opt.invFrac;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(static_cast<Tick>(opt.simMs * 1e6));
+    wl.stop();
+    sys.drain();
+    std::cout << "sim," << opt.n << ',' << rate << ',' << opt.block
+              << ',' << wl.efficiency() << ','
+              << sys.meanBusUtilization(0) << ','
+              << sys.meanBusUtilization(1) << ',' << wl.meanLatency()
+              << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    std::cout << "mode,n,req_per_ms,block_words,efficiency,row_util,"
+                 "col_util,resp_ns\n";
+    for (double rate : opt.rates) {
+        if (opt.mode == "mva" || opt.mode == "both")
+            emitMva(opt, rate);
+        if (opt.mode == "sim" || opt.mode == "both")
+            emitSim(opt, rate);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Regenerate the paper's Figures 2-4 as CSV (and gnuplot scripts) from
+# a built tree. Usage: scripts/reproduce_figures.sh [build_dir] [out_dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-figures}"
+CLI="$BUILD/examples/sweep_cli"
+
+if [[ ! -x "$CLI" ]]; then
+    echo "error: $CLI not found — build the project first" >&2
+    exit 1
+fi
+mkdir -p "$OUT"
+
+RATES="1,5,10,15,20,25,30,40,50"
+
+# --- Figure 2: efficiency vs request rate per n ----------------------
+for n in 8 16 24 32; do
+    "$CLI" --mode=mva --n=$n --rates=$RATES > "$OUT/fig2_n${n}.csv"
+done
+
+# --- Figure 3: invalidation fractions at n = 32 ----------------------
+for inv in 0.10 0.20 0.30 0.40 0.50; do
+    "$CLI" --mode=mva --n=32 --rates=$RATES --inv=$inv \
+        > "$OUT/fig3_inv${inv#0.}.csv"
+done
+
+# --- Figure 4: block sizes at n = 32 (fixed-rate coupling) -----------
+for b in 4 8 16 32 64; do
+    "$CLI" --mode=mva --n=32 --rates=$RATES --block=$b \
+        > "$OUT/fig4_b${b}.csv"
+done
+
+# --- Simulation cross-check points (64 processors) -------------------
+"$CLI" --mode=both --n=8 --rates=5,15,25,40 --ms=2 \
+    > "$OUT/fig2_sim_crosscheck.csv"
+
+# --- gnuplot driver ---------------------------------------------------
+cat > "$OUT/plot.gp" <<'EOF'
+set datafile separator ","
+set key bottom left
+set xlabel "bus requests per millisecond per processor"
+set ylabel "efficiency"
+set yrange [0:1]
+set terminal pngcairo size 900,600
+
+set output "fig2.png"
+set title "Figure 2: efficiency vs request rate (n = 8..32)"
+plot for [n in "8 16 24 32"] sprintf("fig2_n%s.csv", n) \
+     using 3:5 skip 1 with linespoints title sprintf("n = %s", n)
+
+set output "fig3.png"
+set title "Figure 3: effect of invalidations (n = 32)"
+plot for [i in "10 20 30 40 50"] sprintf("fig3_inv%s.csv", i) \
+     using 3:5 skip 1 with linespoints title sprintf("%s%%", i)
+
+set output "fig4.png"
+set title "Figure 4: effect of block size, fixed rate (n = 32)"
+plot for [b in "4 8 16 32 64"] sprintf("fig4_b%s.csv", b) \
+     using 3:5 skip 1 with linespoints title sprintf("%s words", b)
+EOF
+
+echo "CSV data written to $OUT/; render with: (cd $OUT && gnuplot plot.gp)"

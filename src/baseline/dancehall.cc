@@ -1,0 +1,153 @@
+#include "baseline/dancehall.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+DancehallSystem::DancehallSystem(const DancehallParams &p) : params(p)
+{
+    assert(p.numProcessors >= 1 && p.numBanks >= 1);
+    inFlight.assign(p.numProcessors, false);
+    bankBusyUntil.assign(p.numBanks, 0);
+    bankBusyTotal.assign(p.numBanks, 0);
+}
+
+unsigned
+DancehallSystem::stages() const
+{
+    unsigned s = 0;
+    unsigned p = 1;
+    while (p < params.numProcessors) {
+        p *= 2;
+        ++s;
+    }
+    return s == 0 ? 1 : s;
+}
+
+Tick
+DancehallSystem::networkLatency() const
+{
+    return static_cast<Tick>(stages()) * params.hopTicks;
+}
+
+void
+DancehallSystem::access(NodeId proc, Addr addr, bool is_write,
+                        std::uint64_t token,
+                        std::function<void(std::uint64_t)> cb)
+{
+    assert(proc < params.numProcessors);
+    assert(!inFlight[proc]);
+    inFlight[proc] = true;
+    ++statAccesses;
+
+    unsigned bank = static_cast<unsigned>(addr % params.numBanks);
+    Tick arrive = eq.now() + networkLatency();
+    Tick start = std::max(arrive, bankBusyUntil[bank]);
+    Tick service = params.bankServiceTicks + params.wordTicks;
+    bankBusyUntil[bank] = start + service;
+    bankBusyTotal[bank] += service;
+    Tick reply_at = bankBusyUntil[bank] + networkLatency();
+
+    eq.schedule(reply_at,
+                [this, proc, addr, is_write, token,
+                 cb = std::move(cb)] {
+                    std::uint64_t result;
+                    if (is_write) {
+                        mem[addr] = token;
+                        result = token;
+                    } else {
+                        result = mem[addr];
+                    }
+                    inFlight[proc] = false;
+                    if (cb)
+                        cb(result);
+                });
+}
+
+double
+DancehallSystem::bankUtilization() const
+{
+    Tick now = eq.now();
+    if (now == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (Tick t : bankBusyTotal)
+        sum += static_cast<double>(std::min(t, now));
+    return sum
+         / (static_cast<double>(now) * params.numBanks);
+}
+
+DancehallWorkload::DancehallWorkload(DancehallSystem &sys,
+                                     double requests_per_ms,
+                                     double frac_write,
+                                     std::uint64_t shared_lines,
+                                     std::uint64_t seed)
+    : sys(sys), rate(requests_per_ms), fracWrite(frac_write),
+      sharedLines(shared_lines), seeder(seed)
+{
+    agents.resize(sys.numProcessors());
+    for (NodeId id = 0; id < sys.numProcessors(); ++id) {
+        agents[id].id = id;
+        agents[id].rng = seeder.fork();
+    }
+}
+
+void
+DancehallWorkload::start()
+{
+    startTick = sys.eventQueue().now();
+    running = true;
+    for (auto &a : agents)
+        scheduleNext(a);
+}
+
+void
+DancehallWorkload::scheduleNext(Agent &a)
+{
+    if (!running)
+        return;
+    Tick think = static_cast<Tick>(a.rng.exponential(1e6 / rate));
+    if (think == 0)
+        think = 1;
+    NodeId id = a.id;
+    sys.eventQueue().scheduleIn(think, [this, id] { issue(agents[id]); });
+}
+
+void
+DancehallWorkload::issue(Agent &a)
+{
+    if (!running)
+        return;
+    if (sys.busy(a.id)) {
+        scheduleNext(a);
+        return;
+    }
+    Addr addr = a.rng.below(static_cast<std::uint32_t>(sharedLines));
+    bool is_write = a.rng.chance(fracWrite);
+    NodeId id = a.id;
+    sys.access(a.id, addr, is_write,
+               (static_cast<std::uint64_t>(a.id + 1) << 40)
+                   + a.nextToken++,
+               [this, id](std::uint64_t) {
+                   ++done;
+                   scheduleNext(agents[id]);
+               });
+}
+
+double
+DancehallWorkload::efficiency() const
+{
+    Tick end = stopTick ? stopTick : sys.eventQueue().now();
+    if (end <= startTick)
+        return 1.0;
+    double elapsed_ms = static_cast<double>(end - startTick) / 1e6;
+    double ideal = rate * elapsed_ms
+                 * static_cast<double>(agents.size());
+    if (ideal <= 0.0)
+        return 1.0;
+    double eff = static_cast<double>(done) / ideal;
+    return eff > 1.0 ? 1.0 : eff;
+}
+
+} // namespace mcube

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Baseline: a dance-hall multiprocessor behind a multistage
+ * interconnection network — the NYU Ultracomputer / RP3 / Butterfly
+ * class the paper's introduction contrasts against: "since there are
+ * no efficient mechanisms known for maintaining hardware cache
+ * consistency among large-scale multiprocessors, these architectures
+ * generally do not allow shared data blocks to migrate from global
+ * shared memory to local memories or caches."
+ *
+ * Model: P processors and B interleaved memory banks joined by a
+ * log2(P)-stage network. Private data lives in local memory (free);
+ * every *shared* reference crosses the network both ways and queues
+ * at its bank — there is no caching of shared blocks, so repeated
+ * reads of the same datum pay the full round trip every time. This
+ * isolates exactly the property the Multicube adds: migration of
+ * shared lines into caches.
+ */
+
+#ifndef MCUBE_BASELINE_DANCEHALL_HH
+#define MCUBE_BASELINE_DANCEHALL_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Configuration of the dance-hall machine. */
+struct DancehallParams
+{
+    unsigned numProcessors = 64;
+    unsigned numBanks = 64;
+    Tick hopTicks = 100;        //!< per network stage, each direction
+    Tick bankServiceTicks = 750;  //!< memory bank access (FIFO)
+    /** Words moved per shared access (timing only; a block fetch
+     *  would amortise, but without caching there is nowhere to put
+     *  it — accesses are word-granular). */
+    Tick wordTicks = 50;
+};
+
+/** The machine plus a rate-driven shared-access workload. */
+class DancehallSystem
+{
+  public:
+    explicit DancehallSystem(const DancehallParams &params);
+
+    DancehallSystem(const DancehallSystem &) = delete;
+    DancehallSystem &operator=(const DancehallSystem &) = delete;
+
+    EventQueue &eventQueue() { return eq; }
+    unsigned numProcessors() const { return params.numProcessors; }
+
+    /** Network stages for this machine size: ceil(log2 P). */
+    unsigned stages() const;
+
+    /** One-way unloaded network latency. */
+    Tick networkLatency() const;
+
+    /**
+     * Issue one shared access (read or write) from @p proc to
+     * @p addr; @p cb fires when the reply returns. Exactly one
+     * outstanding access per processor.
+     */
+    void access(NodeId proc, Addr addr, bool is_write,
+                std::uint64_t token, std::function<void(std::uint64_t)> cb);
+
+    bool busy(NodeId proc) const { return inFlight[proc]; }
+
+    std::uint64_t memToken(Addr addr) const { return mem[addr]; }
+
+    /** Mean bank utilisation since construction. */
+    double bankUtilization() const;
+
+    std::uint64_t accesses() const { return statAccesses.value(); }
+
+  private:
+    DancehallParams params;
+    EventQueue eq;
+    std::vector<bool> inFlight;
+    std::vector<Tick> bankBusyUntil;
+    std::vector<Tick> bankBusyTotal;
+    mutable std::unordered_map<Addr, std::uint64_t> mem;
+    Counter statAccesses;
+};
+
+/** Rate workload mirroring the Multicube mix's shared component. */
+class DancehallWorkload
+{
+  public:
+    /**
+     * @param sys Machine to drive.
+     * @param requests_per_ms Shared accesses per ms per processor.
+     * @param frac_write Store fraction.
+     * @param shared_lines Size of the contended address pool.
+     * @param seed RNG seed.
+     */
+    DancehallWorkload(DancehallSystem &sys, double requests_per_ms,
+                      double frac_write = 0.25,
+                      std::uint64_t shared_lines = 4096,
+                      std::uint64_t seed = 21);
+
+    void start();
+    void
+    stop()
+    {
+        running = false;
+        stopTick = sys.eventQueue().now();
+    }
+
+    double efficiency() const;
+    std::uint64_t completed() const { return done; }
+
+  private:
+    struct Agent
+    {
+        NodeId id = 0;
+        Random rng;
+        std::uint64_t nextToken = 1;
+    };
+
+    void scheduleNext(Agent &a);
+    void issue(Agent &a);
+
+    DancehallSystem &sys;
+    double rate;
+    double fracWrite;
+    std::uint64_t sharedLines;
+    Random seeder;
+    std::vector<Agent> agents;
+    bool running = false;
+    Tick startTick = 0;
+    Tick stopTick = 0;
+    std::uint64_t done = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_BASELINE_DANCEHALL_HH

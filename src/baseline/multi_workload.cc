@@ -1,0 +1,147 @@
+#include "baseline/multi_workload.hh"
+
+namespace mcube
+{
+
+namespace
+{
+
+constexpr double ticksPerMs = 1e6;
+
+} // namespace
+
+MultiMixWorkload::MultiMixWorkload(SingleBusMulti &sys,
+                                   const MixParams &params)
+    : sys(sys), params(params), seeder(params.seed)
+{
+    agents.resize(sys.numProcessors());
+    for (NodeId id = 0; id < sys.numProcessors(); ++id) {
+        agents[id].id = id;
+        agents[id].rng = seeder.fork();
+    }
+}
+
+void
+MultiMixWorkload::start()
+{
+    startTick = sys.eventQueue().now();
+    running = true;
+    for (auto &a : agents)
+        scheduleNext(a);
+}
+
+void
+MultiMixWorkload::scheduleNext(Agent &a)
+{
+    if (!running)
+        return;
+    double mean_think = ticksPerMs / params.requestsPerMs;
+    Tick think = static_cast<Tick>(a.rng.exponential(mean_think));
+    if (think == 0)
+        think = 1;
+    a.computeTicks += think;
+    NodeId id = a.id;
+    sys.eventQueue().scheduleIn(think, [this, id] { issue(agents[id]); });
+}
+
+bool
+MultiMixWorkload::pickModified(Agent &a, Addr &addr_out)
+{
+    while (!modifiedList.empty()) {
+        std::size_t i = a.rng.below(
+            static_cast<std::uint32_t>(modifiedList.size()));
+        Addr cand = modifiedList[i];
+        auto it = modifiedBy.find(cand);
+        if (it == modifiedBy.end()) {
+            modifiedList[i] = modifiedList.back();
+            modifiedList.pop_back();
+            continue;
+        }
+        if (it->second == a.id)
+            return false;
+        addr_out = cand;
+        return true;
+    }
+    return false;
+}
+
+void
+MultiMixWorkload::issue(Agent &a)
+{
+    if (!running)
+        return;
+
+    MultiCache &cache = sys.cache(a.id);
+    if (cache.busy()) {
+        scheduleNext(a);
+        return;
+    }
+
+    double r = a.rng.uniform();
+    unsigned cls;
+    if (r < params.fracReadUnmod)
+        cls = 0;
+    else if (r < params.fracReadUnmod + params.fracReadMod)
+        cls = 1;
+    else if (r < params.fracReadUnmod + params.fracReadMod
+                     + params.fracWriteUnmod)
+        cls = 2;
+    else
+        cls = 3;
+
+    Addr addr = 0;
+    bool to_modified = false;
+    if (cls == 1 || cls == 3)
+        to_modified = pickModified(a, addr);
+    if (!to_modified)
+        addr = a.rng.next64() % params.addressSpace;
+
+    NodeId id = a.id;
+    bool is_write = cls >= 2;
+    auto done = [this, id, addr, is_write](std::uint64_t) {
+        Agent &ag = agents[id];
+        ++completedCount;
+        if (is_write) {
+            auto [it, fresh] = modifiedBy.emplace(addr, id);
+            if (!fresh)
+                it->second = id;
+            else
+                modifiedList.push_back(addr);
+        } else {
+            modifiedBy.erase(addr);
+        }
+        scheduleNext(ag);
+    };
+
+    bool hit;
+    if (is_write) {
+        hit = cache.write(addr, (static_cast<std::uint64_t>(a.id + 1)
+                                 << 40) + a.nextToken++,
+                          done);
+    } else {
+        std::uint64_t tok = 0;
+        hit = cache.read(addr, tok, done);
+    }
+    if (hit) {
+        ++completedCount;
+        scheduleNext(a);
+    }
+}
+
+double
+MultiMixWorkload::efficiency() const
+{
+    // Same metric as MixWorkload: achieved / ideal throughput.
+    Tick end = stopTick ? stopTick : sys.eventQueue().now();
+    if (end <= startTick)
+        return 1.0;
+    double elapsed_ms = static_cast<double>(end - startTick) / 1e6;
+    double ideal = params.requestsPerMs * elapsed_ms
+                 * static_cast<double>(agents.size());
+    if (ideal <= 0.0)
+        return 1.0;
+    double eff = static_cast<double>(completedCount) / ideal;
+    return eff > 1.0 ? 1.0 : eff;
+}
+
+} // namespace mcube

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Rate-driven synthetic workload for the single-bus multi baseline —
+ * the same think/transact cycle and class mix as proc/MixWorkload, so
+ * the Multicube-vs-multi comparison (bench_vs_single_bus) holds the
+ * workload constant and varies only the interconnect.
+ */
+
+#ifndef MCUBE_BASELINE_MULTI_WORKLOAD_HH
+#define MCUBE_BASELINE_MULTI_WORKLOAD_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/single_bus_multi.hh"
+#include "proc/mix_workload.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Drives every processor of a SingleBusMulti with the mix. */
+class MultiMixWorkload
+{
+  public:
+    MultiMixWorkload(SingleBusMulti &sys, const MixParams &params);
+
+    void start();
+
+    void
+    stop()
+    {
+        running = false;
+        stopTick = sys.eventQueue().now();
+    }
+
+    /** Paper's efficiency metric since start(). */
+    double efficiency() const;
+
+    std::uint64_t totalCompleted() const { return completedCount; }
+
+  private:
+    struct Agent
+    {
+        NodeId id = 0;
+        Random rng;
+        Tick computeTicks = 0;
+        std::uint64_t nextToken = 1;
+    };
+
+    void scheduleNext(Agent &a);
+    void issue(Agent &a);
+    bool pickModified(Agent &a, Addr &addr_out);
+
+    SingleBusMulti &sys;
+    MixParams params;
+    Random seeder;
+    std::vector<Agent> agents;
+    Tick startTick = 0;
+    Tick stopTick = 0;
+    bool running = false;
+    std::uint64_t completedCount = 0;
+
+    std::unordered_map<Addr, NodeId> modifiedBy;
+    std::vector<Addr> modifiedList;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_BASELINE_MULTI_WORKLOAD_HH

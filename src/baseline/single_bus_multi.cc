@@ -1,0 +1,394 @@
+#include "baseline/single_bus_multi.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+// ---------------------------------------------------------------------
+// MultiCache
+// ---------------------------------------------------------------------
+
+MultiCache::MultiCache(SingleBusMulti &sys, NodeId id) : sys(sys), id(id)
+{
+    lines.resize(sys.params.cache.numSets * sys.params.cache.assoc);
+}
+
+MultiCache::Line *
+MultiCache::find(Addr addr)
+{
+    std::size_t set = addr % sys.params.cache.numSets;
+    std::size_t base = set * sys.params.cache.assoc;
+    for (unsigned w = 0; w < sys.params.cache.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.tagValid && l.addr == addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+const MultiCache::Line *
+MultiCache::find(Addr addr) const
+{
+    return const_cast<MultiCache *>(this)->find(addr);
+}
+
+MultiCache::Line *
+MultiCache::allocSlot(Addr addr)
+{
+    std::size_t set = addr % sys.params.cache.numSets;
+    std::size_t base = set * sys.params.cache.assoc;
+    Line *lru = nullptr;
+    for (unsigned w = 0; w < sys.params.cache.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.tagValid && l.addr == addr)
+            return &l;
+        if (!l.tagValid)
+            return &l;
+        if (!lru || l.lru < lru->lru)
+            lru = &l;
+    }
+    return lru;
+}
+
+WoMode
+MultiCache::modeOf(Addr addr) const
+{
+    const Line *l = find(addr);
+    return l ? l->mode : WoMode::Invalid;
+}
+
+std::uint64_t
+MultiCache::tokenOf(Addr addr) const
+{
+    const Line *l = find(addr);
+    return l ? l->token : 0;
+}
+
+bool
+MultiCache::read(Addr addr, std::uint64_t &token_out, CompletionCb cb)
+{
+    Line *l = find(addr);
+    if (l && l->mode != WoMode::Invalid) {
+        l->lru = nextLru++;
+        token_out = l->token;
+        ++statHits;
+        return true;
+    }
+    assert(!pendingActive);
+    ++statMisses;
+
+    Line *slot = allocSlot(addr);
+    if (slot->tagValid && slot->mode == WoMode::Dirty) {
+        BusOp wb;
+        wb.txn = TxnType::WriteBack;
+        wb.params = op::Update;
+        wb.addr = slot->addr;
+        wb.origin = id;
+        wb.hasData = true;
+        wb.data.token = slot->token;
+        sys.theBus->request(static_cast<unsigned>(id), wb);
+    }
+    slot->addr = addr;
+    slot->tagValid = true;
+    slot->mode = WoMode::Invalid;
+    slot->lru = nextLru++;
+
+    pendingActive = true;
+    pendingAddr = addr;
+    pendingWrite = false;
+    pendingCb = std::move(cb);
+
+    BusOp req;
+    req.txn = TxnType::Read;
+    req.params = op::Request;
+    req.addr = addr;
+    req.origin = id;
+    sys.theBus->request(static_cast<unsigned>(id), req);
+    return false;
+}
+
+bool
+MultiCache::write(Addr addr, std::uint64_t token, CompletionCb cb)
+{
+    Line *l = find(addr);
+    if (l && (l->mode == WoMode::Reserved || l->mode == WoMode::Dirty)) {
+        // Second and later writes stay local (write-once).
+        l->token = token;
+        l->mode = WoMode::Dirty;
+        l->lru = nextLru++;
+        ++statHits;
+        return true;
+    }
+
+    assert(!pendingActive);
+    pendingActive = true;
+    pendingAddr = addr;
+    pendingWrite = true;
+    pendingToken = token;
+    pendingCb = std::move(cb);
+
+    if (l && l->mode == WoMode::Valid) {
+        // First write to a valid copy: write the word through to
+        // memory, invalidating all other copies.
+        ++statHits;
+        BusOp wt;
+        wt.txn = TxnType::WriteBack;
+        wt.params = op::Update | op::Request;  // word write-through
+        wt.addr = addr;
+        wt.origin = id;
+        wt.data.token = token;
+        sys.theBus->request(static_cast<unsigned>(id), wt);
+        return false;
+    }
+
+    ++statMisses;
+    Line *slot = allocSlot(addr);
+    if (slot->tagValid && slot->mode == WoMode::Dirty
+        && slot->addr != addr) {
+        BusOp wb;
+        wb.txn = TxnType::WriteBack;
+        wb.params = op::Update;
+        wb.addr = slot->addr;
+        wb.origin = id;
+        wb.hasData = true;
+        wb.data.token = slot->token;
+        sys.theBus->request(static_cast<unsigned>(id), wb);
+    }
+    slot->addr = addr;
+    slot->tagValid = true;
+    slot->mode = WoMode::Invalid;
+    slot->lru = nextLru++;
+
+    BusOp req;
+    req.txn = TxnType::ReadMod;
+    req.params = op::Request;
+    req.addr = addr;
+    req.origin = id;
+    sys.theBus->request(static_cast<unsigned>(id), req);
+    return false;
+}
+
+void
+MultiCache::complete(std::uint64_t token)
+{
+    assert(pendingActive);
+    pendingActive = false;
+    CompletionCb cb = std::move(pendingCb);
+    if (cb)
+        cb(token);
+}
+
+void
+MultiCache::snoop(const BusOp &bop)
+{
+    Line *l = find(bop.addr);
+
+    switch (bop.txn) {
+      case TxnType::Read:
+        if (bop.is(op::Request)) {
+            if (l && l->mode == WoMode::Dirty && bop.origin != id) {
+                // Supply the data and update memory (write-once: the
+                // dirty holder services the read and becomes valid).
+                BusOp reply;
+                reply.txn = TxnType::Read;
+                reply.params = op::Reply | op::Update;
+                reply.addr = bop.addr;
+                reply.origin = bop.origin;
+                reply.hasData = true;
+                reply.data.token = l->token;
+                sys.theBus->request(static_cast<unsigned>(id), reply);
+                l->mode = WoMode::Valid;
+            }
+        } else if (bop.is(op::Reply)) {
+            if (bop.origin == id && pendingActive && !pendingWrite
+                && pendingAddr == bop.addr) {
+                Line *slot = find(bop.addr);
+                assert(slot);
+                slot->mode = WoMode::Valid;
+                slot->token = bop.data.token;
+                complete(bop.data.token);
+            }
+        }
+        break;
+
+      case TxnType::ReadMod:
+        if (bop.is(op::Request)) {
+            if (bop.origin != id && l && l->mode != WoMode::Invalid) {
+                if (l->mode == WoMode::Dirty) {
+                    BusOp reply;
+                    reply.txn = TxnType::ReadMod;
+                    reply.params = op::Reply;
+                    reply.addr = bop.addr;
+                    reply.origin = bop.origin;
+                    reply.hasData = true;
+                    reply.data.token = l->token;
+                    sys.theBus->request(static_cast<unsigned>(id),
+                                        reply);
+                }
+                l->mode = WoMode::Invalid;
+                ++statInvals;
+            }
+        } else if (bop.is(op::Reply)) {
+            if (bop.origin == id && pendingActive && pendingWrite
+                && pendingAddr == bop.addr) {
+                Line *slot = find(bop.addr);
+                assert(slot);
+                slot->mode = WoMode::Dirty;
+                slot->token = pendingToken;
+                complete(pendingToken);
+            }
+        }
+        break;
+
+      case TxnType::WriteBack:
+        if (bop.is(op::Request)) {
+            // One-word write-through (first write to a valid line).
+            if (bop.origin == id) {
+                if (l) {
+                    l->mode = WoMode::Reserved;
+                    l->token = bop.data.token;
+                }
+                if (pendingActive && pendingWrite
+                    && pendingAddr == bop.addr)
+                    complete(bop.data.token);
+            } else if (l && l->mode != WoMode::Invalid) {
+                l->mode = WoMode::Invalid;
+                ++statInvals;
+            }
+        }
+        break;
+
+      default:
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// SingleBusMulti
+// ---------------------------------------------------------------------
+
+void
+SingleBusMulti::Agent::snoop(const BusOp &op, bool)
+{
+    owner->snoopAll(op);
+}
+
+SingleBusMulti::SingleBusMulti(const MultiParams &params) : params(params)
+{
+    theBus = std::make_unique<Bus>("bus", eq, params.bus);
+    // One slot per processor for fair round-robin arbitration, plus a
+    // final slot used by memory replies. Only the last attached agent
+    // (the system) actually snoops, giving one deterministic dispatch
+    // per op.
+    caches.reserve(params.numProcessors);
+    for (NodeId id = 0; id < params.numProcessors; ++id) {
+        caches.push_back(std::make_unique<MultiCache>(*this, id));
+        struct Null : BusAgent
+        {
+            void snoop(const BusOp &, bool) override {}
+        };
+        static Null null_agent;
+        unsigned s = theBus->attach(&null_agent);
+        assert(s == id);
+        (void)s;
+    }
+    agent.owner = this;
+    slot = theBus->attach(&agent);
+}
+
+void
+SingleBusMulti::snoopAll(const BusOp &op)
+{
+    // Caches snoop first (a dirty holder inhibits memory), then
+    // memory.
+    bool dirty_holder = false;
+    for (auto &c : caches) {
+        const MultiCache::Line *l = c->find(op.addr);
+        if (l && l->mode == WoMode::Dirty && op.origin != c->id)
+            dirty_holder = true;
+    }
+    for (auto &c : caches)
+        c->snoop(op);
+    if (!dirty_holder)
+        memorySnoop(op);
+}
+
+void
+SingleBusMulti::memorySnoop(const BusOp &bop)
+{
+    MemLine &l = mem[bop.addr];
+
+    switch (bop.txn) {
+      case TxnType::Read:
+      case TxnType::ReadMod:
+        if (bop.is(op::Request)) {
+            BusOp reply;
+            reply.txn = bop.txn;
+            reply.params = op::Reply | op::Memory;
+            reply.addr = bop.addr;
+            reply.origin = bop.origin;
+            reply.hasData = true;
+            reply.data.token = l.token;
+            memoryRespond(reply);
+        }
+        break;
+
+      case TxnType::WriteBack:
+        // Both the dirty-eviction writeback and the one-word
+        // write-through update memory.
+        l.token = bop.data.token;
+        break;
+
+      default:
+        break;
+    }
+
+    // Absorb cache-supplied read replies that also update memory.
+    if (bop.txn == TxnType::Read && bop.is(op::Reply)
+        && bop.is(op::Update)) {
+        l.token = bop.data.token;
+    }
+}
+
+void
+SingleBusMulti::memoryRespond(BusOp op)
+{
+    Tick start = std::max(eq.now(), memBusyUntil);
+    memBusyUntil = start + params.memAccessTicks;
+    eq.schedule(memBusyUntil,
+                [this, op] { theBus->request(slot, op); });
+}
+
+bool
+SingleBusMulti::memValid(Addr addr) const
+{
+    for (const auto &c : caches) {
+        const MultiCache::Line *l = c->find(addr);
+        if (l && l->mode == WoMode::Dirty)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+SingleBusMulti::memToken(Addr addr) const
+{
+    return mem[addr].token;
+}
+
+bool
+SingleBusMulti::drain(Tick max_ticks)
+{
+    Tick deadline = eq.now() + max_ticks;
+    while (eq.now() < deadline) {
+        if (eq.empty() && theBus->pendingOps() == 0)
+            return true;
+        if (eq.empty())
+            return true;
+        eq.run(1);
+    }
+    return false;
+}
+
+} // namespace mcube

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Baseline: a single-bus "multi" with Goodman's write-once snooping
+ * protocol [Good83] — the machine class the Wisconsin Multicube
+ * generalises, and the baseline its Section 1 motivation compares
+ * against ("this class of multiprocessors is limited to some tens of
+ * processors").
+ *
+ * Per-cache states follow write-once:
+ *   Invalid    no copy
+ *   Valid      clean shared copy, memory current
+ *   Reserved   written exactly once, memory current, sole copy
+ *   Dirty      written repeatedly, memory stale, sole copy
+ *
+ * Transitions: the first write to a Valid line goes through to memory
+ * as a one-word bus write (invalidating other copies and yielding
+ * Reserved); later writes are local (Dirty). A read miss is served by
+ * memory or by a Dirty holder (which also updates memory). A write
+ * miss uses read-with-intent (READ-MOD): all other copies invalidate.
+ *
+ * The timing substrate (Bus) is shared with the Multicube so the
+ * comparison isolates the interconnect topology.
+ */
+
+#ifndef MCUBE_BASELINE_SINGLE_BUS_MULTI_HH
+#define MCUBE_BASELINE_SINGLE_BUS_MULTI_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "cache/cache_array.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Write-once line states. */
+enum class WoMode : std::uint8_t
+{
+    Invalid,
+    Valid,
+    Reserved,
+    Dirty,
+};
+
+/** Configuration of the baseline machine. */
+struct MultiParams
+{
+    unsigned numProcessors = 16;
+    BusParams bus{};
+    CacheArrayParams cache{1024, 8};
+    Tick memAccessTicks = 750;
+    std::uint64_t seed = 11;
+};
+
+class SingleBusMulti;
+
+/** One processor's cache controller on the single bus. */
+class MultiCache
+{
+  public:
+    using CompletionCb = std::function<void(std::uint64_t token)>;
+
+    MultiCache(SingleBusMulti &sys, NodeId id);
+
+    bool busy() const { return pendingActive; }
+
+    /** Read a line; cb fires on miss completion.
+     *  @return true if it hit (token_out valid, no cb). */
+    bool read(Addr addr, std::uint64_t &token_out, CompletionCb cb);
+
+    /** Write a line; cb fires when the write owns the line. */
+    bool write(Addr addr, std::uint64_t token, CompletionCb cb);
+
+    WoMode modeOf(Addr addr) const;
+    std::uint64_t tokenOf(Addr addr) const;
+
+    std::uint64_t hits() const { return statHits; }
+    std::uint64_t misses() const { return statMisses; }
+    std::uint64_t invalidations() const { return statInvals; }
+
+  private:
+    friend class SingleBusMulti;
+
+    struct Line
+    {
+        Addr addr = 0;
+        bool tagValid = false;
+        WoMode mode = WoMode::Invalid;
+        std::uint64_t token = 0;
+        std::uint64_t lru = 0;
+    };
+
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+    Line *allocSlot(Addr addr);
+
+    /** Snoop one bus op (called by the system's bus agent). */
+    void snoop(const BusOp &op);
+
+    void complete(std::uint64_t token);
+
+    SingleBusMulti &sys;
+    NodeId id;
+    std::vector<Line> lines;
+    std::uint64_t nextLru = 1;
+
+    bool pendingActive = false;
+    Addr pendingAddr = 0;
+    bool pendingWrite = false;
+    std::uint64_t pendingToken = 0;
+    CompletionCb pendingCb;
+
+    std::uint64_t statHits = 0;
+    std::uint64_t statMisses = 0;
+    std::uint64_t statInvals = 0;
+};
+
+/** The whole single-bus machine. */
+class SingleBusMulti
+{
+  public:
+    explicit SingleBusMulti(const MultiParams &params);
+
+    SingleBusMulti(const SingleBusMulti &) = delete;
+    SingleBusMulti &operator=(const SingleBusMulti &) = delete;
+
+    EventQueue &eventQueue() { return eq; }
+    unsigned numProcessors() const { return params.numProcessors; }
+    MultiCache &cache(NodeId id) { return *caches[id]; }
+    Bus &bus() { return *theBus; }
+
+    bool memValid(Addr addr) const;
+    std::uint64_t memToken(Addr addr) const;
+
+    void run(Tick ticks) { eq.runUntil(eq.now() + ticks); }
+    bool drain(Tick max_ticks = 10'000'000);
+
+  private:
+    friend class MultiCache;
+
+    struct MemLine
+    {
+        std::uint64_t token = 0;
+        bool valid = true;  //!< false while a dirty copy exists
+    };
+
+    /** Every cache + memory snoops through this one agent (keeps
+     *  deterministic ordering simple). */
+    struct Agent : BusAgent
+    {
+        SingleBusMulti *owner = nullptr;
+        void snoop(const BusOp &op, bool) override;
+    };
+
+    void snoopAll(const BusOp &op);
+    void memorySnoop(const BusOp &op);
+    void memoryRespond(BusOp op);
+
+    MultiParams params;
+    EventQueue eq;
+    std::unique_ptr<Bus> theBus;
+    Agent agent;
+    unsigned slot = 0;
+    std::vector<std::unique_ptr<MultiCache>> caches;
+    mutable std::unordered_map<Addr, MemLine> mem;
+    Tick memBusyUntil = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_BASELINE_SINGLE_BUS_MULTI_HH

@@ -1,0 +1,145 @@
+#include "bus/bus.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace mcube
+{
+
+Bus::Bus(std::string name, EventQueue &eq, const BusParams &params)
+    : _name(std::move(name)), eq(eq), _params(params), stats(_name)
+{
+    stats.addCounter("ops", statOps, "bus operations delivered");
+    stats.addCounter("data_ops", statDataOps,
+                     "operations carrying a data block");
+    stats.addCounter("busy_ticks", statBusyTicks,
+                     "ticks the bus was occupied");
+    stats.addDistribution("queue_delay", statQueueDelay,
+                          "ticks from enqueue to grant");
+}
+
+unsigned
+Bus::attach(BusAgent *agent)
+{
+    assert(agent);
+    agents.push_back(agent);
+    queues.emplace_back();
+    return static_cast<unsigned>(agents.size() - 1);
+}
+
+void
+Bus::request(unsigned slot, BusOp op)
+{
+    assert(slot < queues.size());
+    op.serial = nextSerial++;
+    MCUBE_LOG(LogCat::Bus, eq.now(),
+              _name << " enq slot=" << slot << " " << op);
+    queues[slot].emplace_back(op, eq.now());
+    ++pending;
+    if (!busy)
+        tryArbitrate();
+}
+
+Tick
+Bus::occupancy(const BusOp &op) const
+{
+    if (op.hasData && _params.pieceWords > 0
+        && _params.pieceWords < _params.blockWords) {
+        // One header per piece plus the full block of words.
+        Tick pieces = (_params.blockWords + _params.pieceWords - 1)
+                    / _params.pieceWords;
+        return pieces * _params.headerTicks
+             + static_cast<Tick>(_params.blockWords)
+                   * _params.wordTicks;
+    }
+    Tick t = _params.headerTicks;
+    if (op.hasData)
+        t += static_cast<Tick>(_params.blockWords) * _params.wordTicks;
+    return t;
+}
+
+void
+Bus::tryArbitrate()
+{
+    if (busy)
+        return;
+
+    // Round-robin scan starting after the last granted slot.
+    const auto n = static_cast<unsigned>(queues.size());
+    unsigned chosen = n;
+    for (unsigned i = 1; i <= n; ++i) {
+        unsigned s = (lastGranted + i) % n;
+        if (!queues[s].empty()) {
+            chosen = s;
+            break;
+        }
+    }
+    if (chosen == n)
+        return;
+
+    busy = true;
+    lastGranted = chosen;
+    auto [op, enq_tick] = queues[chosen].front();
+    queues[chosen].pop_front();
+    statQueueDelay.sample(static_cast<double>(eq.now() - enq_tick));
+
+    Tick occ = _params.arbTicks + occupancy(op);
+    statBusyTicks += occ;
+    if (op.hasData)
+        ++statDataOps;
+
+    // Cut-through: snoopers see (and may forward) a data op after the
+    // first word; the wire is still held for the whole block. Piece
+    // transfers deliver after the first piece (requested word first).
+    Tick deliver_at = occ;
+    if (op.hasData && _params.pieceWords > 0
+        && _params.pieceWords < _params.blockWords) {
+        deliver_at = _params.arbTicks + _params.headerTicks
+                   + static_cast<Tick>(_params.pieceWords)
+                         * _params.wordTicks;
+    } else if (_params.cutThrough && op.hasData) {
+        deliver_at = _params.arbTicks + _params.headerTicks
+                   + _params.wordTicks;
+    }
+
+    eq.scheduleIn(deliver_at, [this, op] { deliver(op); });
+    eq.scheduleIn(occ, [this] {
+        busy = false;
+        tryArbitrate();
+    });
+}
+
+void
+Bus::deliver(const BusOp &op)
+{
+    MCUBE_LOG(LogCat::Bus, eq.now(), _name << " deliver " << op);
+    ++statOps;
+    assert(pending > 0);
+    --pending;
+
+    bool modified_signal = false;
+    for (auto *a : agents)
+        modified_signal |= a->supplyModifiedSignal(op);
+    for (auto *a : agents)
+        a->snoop(op, modified_signal);
+}
+
+double
+Bus::utilization() const
+{
+    Tick now = eq.now();
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(statBusyTicks.value())
+         / static_cast<double>(now);
+}
+
+void
+Bus::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

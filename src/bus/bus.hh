@@ -1,0 +1,169 @@
+/**
+ * @file
+ * A snooping bus with round-robin arbitration and atomic broadcast.
+ *
+ * Timing model: an agent enqueues operations into its private FIFO;
+ * when the bus is idle it grants the next non-empty queue round-robin.
+ * The granted op occupies the bus for
+ *
+ *     arbitration + header + (hasData ? blockWords x wordTicks : 0)
+ *
+ * ticks and is then delivered to every attached agent in one tick —
+ * the defining property of snooping. Delivery happens in two passes:
+ * first every agent is asked whether it asserts the wired-OR
+ * "modified" line for this op (the paper's fixed-delay row-bus
+ * signal), then every agent snoops the op with the collected signal
+ * value. With cut-through forwarding enabled (Section 5), delivery of
+ * a data-carrying op happens one header + one word after the grant, so
+ * a receiving controller can begin forwarding on its second bus while
+ * the tail of the block is still in flight; the bus stays occupied for
+ * the full transfer either way.
+ */
+
+#ifndef MCUBE_BUS_BUS_HH
+#define MCUBE_BUS_BUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/bus_op.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Interface every device on a bus implements. */
+class BusAgent
+{
+  public:
+    virtual ~BusAgent() = default;
+
+    /**
+     * Pass 1 of delivery: should this agent assert the modified line
+     * for @p op? Only meaningful for row-bus REQUEST ops; the default
+     * (false) suits agents that never assert it.
+     */
+    virtual bool supplyModifiedSignal(const BusOp &op)
+    {
+        (void)op;
+        return false;
+    }
+
+    /**
+     * Pass 2 of delivery: observe @p op. All agents on the bus,
+     * including the op's sender, snoop every op (Appendix A).
+     *
+     * @param op The delivered operation.
+     * @param modified_signal Wired-OR of pass 1 across all agents.
+     */
+    virtual void snoop(const BusOp &op, bool modified_signal) = 0;
+};
+
+/** Static timing/behaviour parameters of a bus. */
+struct BusParams
+{
+    /** Ticks for the address/command portion of any op. */
+    Tick headerTicks = 50;
+    /** Ticks per data word on the bus (paper: 50 ns). */
+    Tick wordTicks = 50;
+    /** Words per transferred block (paper default: 16). */
+    unsigned blockWords = 16;
+    /** Arbitration overhead per grant. */
+    Tick arbTicks = 0;
+    /**
+     * Deliver data ops after header + 1 word instead of after the
+     * full transfer (Section 5 cut-through forwarding). The bus still
+     * stays busy for the whole transfer.
+     */
+    bool cutThrough = false;
+    /**
+     * Send data blocks as fixed-size pieces of this many words
+     * (Section 5's "small fixed-size pieces"; 0 disables). Each piece
+     * carries its own header, so occupancy grows, but the op is
+     * delivered — requested word first — after the first piece.
+     */
+    unsigned pieceWords = 0;
+};
+
+/**
+ * One bus (a row bus or a column bus of the grid, or the single bus of
+ * the baseline multi).
+ */
+class Bus
+{
+  public:
+    /**
+     * @param name Instance name for stats/tracing.
+     * @param eq Shared event queue.
+     * @param params Timing parameters.
+     */
+    Bus(std::string name, EventQueue &eq, const BusParams &params);
+
+    Bus(const Bus &) = delete;
+    Bus &operator=(const Bus &) = delete;
+
+    /**
+     * Attach an agent. @return the agent's slot id, used with
+     * request().
+     */
+    unsigned attach(BusAgent *agent);
+
+    /**
+     * Enqueue @p op into slot @p slot's FIFO and start arbitration if
+     * the bus is idle. Ops from one slot are delivered in FIFO order.
+     */
+    void request(unsigned slot, BusOp op);
+
+    const std::string &name() const { return _name; }
+    const BusParams &params() const { return _params; }
+
+    /** Number of ops delivered so far. */
+    std::uint64_t opsDelivered() const { return statOps.value(); }
+
+    /** Ticks the bus has been occupied. */
+    Tick busyTicks() const { return statBusyTicks.value(); }
+
+    /** Utilisation over [0, now]. */
+    double utilization() const;
+
+    /** Register this bus's stats under @p parent. */
+    void regStats(StatGroup &parent);
+
+    /** Pending (undelivered) op count, for drain checks. */
+    std::size_t pendingOps() const { return pending; }
+
+  private:
+    /** Occupancy of @p op on the wire. */
+    Tick occupancy(const BusOp &op) const;
+
+    /** Grant the next queued op if the bus is idle. */
+    void tryArbitrate();
+
+    /** Broadcast @p op to all agents (two-pass). */
+    void deliver(const BusOp &op);
+
+    std::string _name;
+    EventQueue &eq;
+    BusParams _params;
+
+    std::vector<BusAgent *> agents;
+    std::vector<std::deque<std::pair<BusOp, Tick>>> queues;
+    unsigned lastGranted = 0;
+    bool busy = false;
+    std::size_t pending = 0;
+    std::uint64_t nextSerial = 1;
+
+    Counter statOps;
+    Counter statDataOps;
+    Counter statBusyTicks;
+    Distribution statQueueDelay;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_BUS_BUS_HH

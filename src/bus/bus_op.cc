@@ -1,0 +1,71 @@
+#include "bus/bus_op.hh"
+
+#include <sstream>
+
+namespace mcube
+{
+
+namespace
+{
+
+const char *
+txnName(TxnType t)
+{
+    switch (t) {
+      case TxnType::Read: return "READ";
+      case TxnType::ReadMod: return "READMOD";
+      case TxnType::Allocate: return "ALLOCATE";
+      case TxnType::WriteBack: return "WRITEBACK";
+      case TxnType::Tset: return "TSET";
+      case TxnType::Sync: return "SYNC";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toString(const BusOp &o)
+{
+    std::ostringstream oss;
+    oss << txnName(o.txn) << "(";
+    const char *sep = "";
+    auto flag = [&](std::uint16_t p, const char *name) {
+        if (o.params & p) {
+            oss << sep << name;
+            sep = "|";
+        }
+    };
+    flag(op::Request, "REQUEST");
+    flag(op::Reply, "REPLY");
+    flag(op::Insert, "INSERT");
+    flag(op::Remove, "REMOVE");
+    flag(op::Update, "UPDATE");
+    flag(op::Purge, "PURGE");
+    flag(op::NoPurge, "NOPURGE");
+    flag(op::Memory, "MEMORY");
+    flag(op::Fail, "FAIL");
+    flag(op::Ack, "ACK");
+    flag(op::Direct, "DIRECT");
+    oss << ") addr=" << o.addr << " org=";
+    if (o.origin == invalidNode)
+        oss << "-";
+    else
+        oss << o.origin;
+    oss << " snd=";
+    if (o.sender == invalidNode)
+        oss << "-";
+    else
+        oss << o.sender;
+    if (o.hasData)
+        oss << " tok=" << o.data.token;
+    return oss.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const BusOp &op)
+{
+    return os << toString(op);
+}
+
+} // namespace mcube

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bus operation encoding for the Multicube coherence protocol.
+ *
+ * Appendix A of the paper describes every protocol step as a bus
+ * operation named by a transaction type plus a parameter list, e.g.
+ * READ (COLUMN, REQUEST, REMOVE). BusOp carries exactly those fields:
+ * a transaction type, a parameter bitmask, the originating node id
+ * (for routing replies / "id match" tests), the line address, and
+ * optionally the line contents.
+ */
+
+#ifndef MCUBE_BUS_BUS_OP_HH
+#define MCUBE_BUS_BUS_OP_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Transaction types (Appendix A, plus the Section 4 sync extension). */
+enum class TxnType : std::uint8_t
+{
+    Read,       //!< result of a read miss
+    ReadMod,    //!< result of a write miss
+    Allocate,   //!< write-whole-line hint (READ-MOD minus the data reply)
+    WriteBack,  //!< replacement of a modified line
+    Tset,       //!< remote test-and-set (Section 4)
+    Sync,       //!< distributed queue-lock join (Section 4)
+};
+
+/** Bus operation parameters (Appendix A terminology), one bit each. */
+namespace op
+{
+
+constexpr std::uint16_t Request = 1u << 0;  //!< request for a line
+constexpr std::uint16_t Reply = 1u << 1;    //!< reply (line or ack)
+constexpr std::uint16_t Insert = 1u << 2;   //!< insert MLT entry
+constexpr std::uint16_t Remove = 1u << 3;   //!< remove MLT entry
+constexpr std::uint16_t Update = 1u << 4;   //!< memory must be updated
+constexpr std::uint16_t Purge = 1u << 5;    //!< purge copies of the line
+constexpr std::uint16_t NoPurge = 1u << 6;  //!< explicitly no purge needed
+constexpr std::uint16_t Memory = 1u << 7;   //!< destined for memory
+constexpr std::uint16_t Fail = 1u << 8;     //!< sync/tset failure notice
+constexpr std::uint16_t Ack = 1u << 9;      //!< dataless acknowledge
+constexpr std::uint16_t Direct = 1u << 10;  //!< addressed to op.dest only
+
+} // namespace op
+
+/**
+ * Contents of one coherency block as carried on a bus.
+ *
+ * Coherence in this machine is line granular, so a single 64-bit token
+ * models the payload for correctness checking; `lock` and `next` are
+ * the two words the Section 4 synchronisation scheme uses inside a
+ * line (the lock word proper and the distributed-queue link word).
+ * Timing uses the configured block size, not sizeof(LineData).
+ */
+struct LineData
+{
+    std::uint64_t token = 0;    //!< value identity for checking
+    std::uint64_t lock = 0;     //!< test-and-set target word
+    NodeId next = invalidNode;  //!< queue-lock successor node
+
+    bool operator==(const LineData &) const = default;
+};
+
+/** One operation as placed on a row or column bus. */
+struct BusOp
+{
+    TxnType txn = TxnType::Read;
+    std::uint16_t params = 0;
+    NodeId origin = invalidNode;  //!< transaction originator
+    NodeId sender = invalidNode;  //!< node that issued this op
+    NodeId dest = invalidNode;    //!< target of a Direct op
+    Addr addr = 0;
+    bool hasData = false;
+    LineData data{};
+    std::uint64_t serial = 0;     //!< unique id, assigned by the bus
+
+    bool is(std::uint16_t p) const { return (params & p) == p; }
+};
+
+/** Short text form, e.g. "READMOD(REQUEST|REMOVE) addr=5 org=3". */
+std::string toString(const BusOp &op);
+
+std::ostream &operator<<(std::ostream &os, const BusOp &op);
+
+} // namespace mcube
+
+#endif // MCUBE_BUS_BUS_OP_HH

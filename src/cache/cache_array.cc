@@ -1,0 +1,105 @@
+#include "cache/cache_array.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+CacheArray::CacheArray(const CacheArrayParams &p) : params(p)
+{
+    assert(params.numSets > 0 && params.assoc > 0);
+    lines.resize(params.numSets * params.assoc);
+}
+
+CacheLine *
+CacheArray::find(Addr addr)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        CacheLine &l = lines[base + w];
+        if (l.tagValid && l.addr == addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+CacheLine *
+CacheArray::touch(Addr addr)
+{
+    CacheLine *l = find(addr);
+    if (l)
+        markUsed(l);
+    return l;
+}
+
+CacheLine *
+CacheArray::allocSlot(Addr addr)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    CacheLine *lru = nullptr;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        CacheLine &l = lines[base + w];
+        if (l.tagValid && l.addr == addr)
+            return &l;
+        if (!l.tagValid)
+            return &l;
+        if (!lru || l.lruStamp < lru->lruStamp)
+            lru = &l;
+    }
+    assert(lru);
+    return lru;
+}
+
+void
+CacheArray::fill(CacheLine *slot, Addr addr, Mode mode,
+                 const LineData &data)
+{
+    assert(slot);
+    slot->addr = addr;
+    slot->tagValid = true;
+    slot->mode = mode;
+    slot->data = data;
+    slot->syncTail = false;
+    slot->lruStamp = ++stamp;
+}
+
+void
+CacheArray::markUsed(CacheLine *line)
+{
+    assert(line);
+    line->lruStamp = ++stamp;
+}
+
+void
+CacheArray::forEach(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &l : lines)
+        if (l.tagValid)
+            fn(l);
+}
+
+void
+CacheArray::forEach(const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const auto &l : lines)
+        if (l.tagValid)
+            fn(l);
+}
+
+std::size_t
+CacheArray::countMode(Mode m) const
+{
+    std::size_t n = 0;
+    for (const auto &l : lines)
+        if (l.tagValid && l.mode == m)
+            ++n;
+    return n;
+}
+
+} // namespace mcube

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative line storage with true-LRU replacement.
+ *
+ * Used for the snooping cache. Invalid lines keep their tag so the
+ * snarfing optimisation ("a line that is invalid, but was recently
+ * contained in the cache, may be acquired as it passes by") can
+ * recognise recently held lines.
+ */
+
+#ifndef MCUBE_CACHE_CACHE_ARRAY_HH
+#define MCUBE_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bus/bus_op.hh"
+#include "cache/line_state.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** One cached coherency block. */
+struct CacheLine
+{
+    Addr addr = 0;
+    bool tagValid = false;       //!< tag meaningful (even if Invalid mode)
+    Mode mode = Mode::Invalid;
+    LineData data{};
+    bool syncTail = false;       //!< this copy is the queue-lock tail
+    std::uint64_t lruStamp = 0;  //!< larger = more recently used
+};
+
+/** Geometry of a cache array. */
+struct CacheArrayParams
+{
+    std::size_t numSets = 64;
+    unsigned assoc = 4;
+};
+
+/** A set-associative array of CacheLine. */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheArrayParams &params);
+
+    /** Total line capacity. */
+    std::size_t capacity() const { return lines.size(); }
+
+    /**
+     * Find the line holding @p addr (any mode as long as the tag is
+     * valid). Does not update LRU. @return nullptr if absent.
+     */
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    /** find() + LRU touch. */
+    CacheLine *touch(Addr addr);
+
+    /**
+     * Pick the slot that an allocation of @p addr would use: the
+     * matching line if the tag is present, else an un-tagged way,
+     * else the LRU way of the set. Never nullptr. The caller decides
+     * what to do with the current occupant (e.g. write back a
+     * modified victim) before overwriting.
+     */
+    CacheLine *allocSlot(Addr addr);
+
+    /**
+     * Install @p addr in @p slot (previously returned by allocSlot)
+     * with the given mode/data, updating the tag and LRU.
+     */
+    void fill(CacheLine *slot, Addr addr, Mode mode, const LineData &data);
+
+    /** Mark the line's access time (LRU update) without other change. */
+    void markUsed(CacheLine *line);
+
+    /** Visit every tag-valid line (for the checker / writeback-all). */
+    void forEach(const std::function<void(CacheLine &)> &fn);
+    void forEach(const std::function<void(const CacheLine &)> &fn) const;
+
+    /** Number of lines currently in Modified mode. */
+    std::size_t countMode(Mode m) const;
+
+  private:
+    std::size_t setOf(Addr addr) const { return addr % params.numSets; }
+
+    CacheArrayParams params;
+    std::vector<CacheLine> lines;
+    std::uint64_t stamp = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_CACHE_CACHE_ARRAY_HH

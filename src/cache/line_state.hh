@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-cache line modes (Section 3) plus the sync extension states.
+ */
+
+#ifndef MCUBE_CACHE_LINE_STATE_HH
+#define MCUBE_CACHE_LINE_STATE_HH
+
+#include <cstdint>
+
+namespace mcube
+{
+
+/**
+ * Local mode of a line in a snooping cache.
+ *
+ * Section 3: "With respect to a particular cache, a line may be in one
+ * of three local modes: shared, modified, or invalid." The Section 4
+ * queue lock adds Reserved (space allocated while waiting in the
+ * distributed lock queue, not yet readable or writable), and the
+ * optional ALLOCATE early-write extension adds AllocPending — the
+ * paper's "additional cache line state which signifies that the line
+ * can be written locally, but that the modified line table has not
+ * been updated".
+ */
+enum class Mode : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+    Reserved,
+    AllocPending,
+};
+
+/** Printable mode name. */
+inline const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Invalid: return "I";
+      case Mode::Shared: return "S";
+      case Mode::Modified: return "M";
+      case Mode::Reserved: return "R";
+      case Mode::AllocPending: return "A";
+    }
+    return "?";
+}
+
+/** Global state of a line (Section 3). */
+enum class GlobalState : std::uint8_t
+{
+    Unmodified,  //!< memory is correct; copies may exist anywhere
+    Modified,    //!< memory stale; exactly one cache holds the line
+};
+
+} // namespace mcube
+
+#endif // MCUBE_CACHE_LINE_STATE_HH

@@ -1,0 +1,96 @@
+#include "cache/mlt.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+ModifiedLineTable::ModifiedLineTable(const MltParams &p) : params(p)
+{
+    assert(params.numSets > 0 && params.assoc > 0);
+    slots.resize(params.numSets * params.assoc);
+}
+
+bool
+ModifiedLineTable::contains(Addr addr) const
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        const Slot &s = slots[base + w];
+        if (s.valid && s.addr == addr)
+            return true;
+    }
+    return false;
+}
+
+std::optional<Addr>
+ModifiedLineTable::insert(Addr addr)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    Slot *free_slot = nullptr;
+    Slot *lru = nullptr;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Slot &s = slots[base + w];
+        if (s.valid && s.addr == addr) {
+            s.stamp = nextStamp++;
+            return std::nullopt;
+        }
+        if (!s.valid && !free_slot)
+            free_slot = &s;
+        if (s.valid && (!lru || s.stamp < lru->stamp))
+            lru = &s;
+    }
+
+    if (free_slot) {
+        free_slot->addr = addr;
+        free_slot->valid = true;
+        free_slot->stamp = nextStamp++;
+        ++live;
+        return std::nullopt;
+    }
+
+    assert(lru);
+    Addr evicted = lru->addr;
+    lru->addr = addr;
+    lru->stamp = nextStamp++;
+    return evicted;
+}
+
+bool
+ModifiedLineTable::remove(Addr addr)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Slot &s = slots[base + w];
+        if (s.valid && s.addr == addr) {
+            s.valid = false;
+            --live;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ModifiedLineTable::forEach(const std::function<void(Addr)> &fn) const
+{
+    for (const auto &s : slots)
+        if (s.valid)
+            fn(s.addr);
+}
+
+bool
+ModifiedLineTable::identicalTo(const ModifiedLineTable &other) const
+{
+    if (slots.size() != other.slots.size())
+        return false;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].valid != other.slots[i].valid)
+            return false;
+        if (slots[i].valid && slots[i].addr != other.slots[i].addr)
+            return false;
+    }
+    return true;
+}
+
+} // namespace mcube

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The modified line table (Section 3).
+ *
+ * "Associated with each processor is a modified line table, all of
+ * which are identical for a given column. This table is used to store
+ * addresses for all modified lines residing in caches in that column."
+ *
+ * The table is implemented as a set-associative cache of addresses
+ * (the paper's footnote 7 notes it is "likely to be implemented as a
+ * cache"). Because every mutation arrives over the column bus and is
+ * executed by every node in the column in the same order, all copies
+ * stay identical, including the LRU victim chosen on overflow — the
+ * replacement stamp advances only on table mutations, never on
+ * lookups.
+ */
+
+#ifndef MCUBE_CACHE_MLT_HH
+#define MCUBE_CACHE_MLT_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Geometry of a modified line table. */
+struct MltParams
+{
+    std::size_t numSets = 256;
+    unsigned assoc = 4;
+};
+
+/** One node's copy of its column's modified line table. */
+class ModifiedLineTable
+{
+  public:
+    explicit ModifiedLineTable(const MltParams &params);
+
+    /** True if @p addr is recorded as modified in this column. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Insert @p addr. If the target set is full, the LRU entry is
+     * evicted and returned — the overflow case of READMOD
+     * (COLUMN, REPLY, INSERT): the holder of the evicted line must
+     * write it back and demote it to shared. Inserting a present
+     * address refreshes its LRU position and never overflows.
+     */
+    std::optional<Addr> insert(Addr addr);
+
+    /**
+     * Remove @p addr. @return true if the entry existed ("remove
+     * failed" in Appendix A is the false case, which triggers request
+     * reissue).
+     */
+    bool remove(Addr addr);
+
+    /** Number of live entries. */
+    std::size_t size() const { return live; }
+
+    /** Total entry capacity. */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Visit every live entry (checker support). */
+    void forEach(const std::function<void(Addr)> &fn) const;
+
+    /** Structural equality (checker: tables identical per column). */
+    bool identicalTo(const ModifiedLineTable &other) const;
+
+  private:
+    struct Slot
+    {
+        Addr addr = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t setOf(Addr addr) const { return addr % params.numSets; }
+
+    MltParams params;
+    std::vector<Slot> slots;
+    std::size_t live = 0;
+    std::uint64_t nextStamp = 1;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_CACHE_MLT_HH

@@ -1,0 +1,103 @@
+#include "cache/processor_cache.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+ProcessorCache::ProcessorCache(const ProcessorCacheParams &p)
+    : params(p), stats("l1")
+{
+    assert(params.numSets > 0 && params.assoc > 0);
+    lines.resize(params.numSets * params.assoc);
+    stats.addCounter("hits", statHits);
+    stats.addCounter("misses", statMisses);
+    stats.addCounter("purges", statPurges,
+                     "inclusion purges from the snooping cache");
+}
+
+bool
+ProcessorCache::lookup(Addr addr, std::uint64_t &token_out)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.valid && l.addr == addr) {
+            l.stamp = nextStamp++;
+            token_out = l.token;
+            ++statHits;
+            return true;
+        }
+    }
+    ++statMisses;
+    return false;
+}
+
+void
+ProcessorCache::fill(Addr addr, std::uint64_t token)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.valid && l.addr == addr) {
+            l.token = token;
+            l.stamp = nextStamp++;
+            return;
+        }
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.stamp < victim->stamp)
+            victim = &l;
+    }
+    assert(victim);
+    victim->addr = addr;
+    victim->valid = true;
+    victim->token = token;
+    victim->stamp = nextStamp++;
+}
+
+void
+ProcessorCache::writeThrough(Addr addr, std::uint64_t token)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.valid && l.addr == addr) {
+            l.token = token;
+            l.stamp = nextStamp++;
+            return;
+        }
+    }
+}
+
+void
+ProcessorCache::purge(Addr addr)
+{
+    std::size_t base = setOf(addr) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.valid && l.addr == addr) {
+            l.valid = false;
+            ++statPurges;
+            return;
+        }
+    }
+}
+
+void
+ProcessorCache::purgeAll()
+{
+    for (auto &l : lines)
+        l.valid = false;
+}
+
+void
+ProcessorCache::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

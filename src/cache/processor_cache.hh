@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The first-level (SRAM) processor cache.
+ *
+ * Section 2: "a high-performance (SRAM) cache designed with the
+ * traditional goal of minimizing memory latency. ... Consistency
+ * between the two cache levels is maintained by using a write-through
+ * strategy to assure that the processor cache is always a strict
+ * subset of the snooping cache."
+ *
+ * The processor cache is purely a latency filter: it never appears on
+ * a bus. The snooping-cache controller calls purge() whenever it
+ * invalidates or evicts a line, preserving the subset property.
+ */
+
+#ifndef MCUBE_CACHE_PROCESSOR_CACHE_HH
+#define MCUBE_CACHE_PROCESSOR_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/bus_op.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Geometry and timing of a processor cache. */
+struct ProcessorCacheParams
+{
+    std::size_t numSets = 128;
+    unsigned assoc = 2;
+    Tick hitTicks = 10;  //!< SRAM access latency
+};
+
+/** A small write-through first-level cache. */
+class ProcessorCache
+{
+  public:
+    explicit ProcessorCache(const ProcessorCacheParams &params);
+
+    /**
+     * Look up @p addr. On a hit the stored token is written to
+     * @p token_out.
+     * @return true on hit.
+     */
+    bool lookup(Addr addr, std::uint64_t &token_out);
+
+    /** Install @p addr with @p token (called on L1 fill). */
+    void fill(Addr addr, std::uint64_t token);
+
+    /**
+     * Write-through update: if present, update the token in place.
+     * The write always proceeds to the snooping cache regardless.
+     */
+    void writeThrough(Addr addr, std::uint64_t token);
+
+    /** Remove @p addr (inclusion enforcement from the L2). */
+    void purge(Addr addr);
+
+    /** Drop everything. */
+    void purgeAll();
+
+    Tick hitLatency() const { return params.hitTicks; }
+
+    std::uint64_t hits() const { return statHits.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+
+    void regStats(StatGroup &parent);
+
+  private:
+    struct Line
+    {
+        Addr addr = 0;
+        bool valid = false;
+        std::uint64_t token = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t setOf(Addr addr) const { return addr % params.numSets; }
+
+    ProcessorCacheParams params;
+    std::vector<Line> lines;
+    std::uint64_t nextStamp = 1;
+
+    Counter statHits;
+    Counter statMisses;
+    Counter statPurges;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_CACHE_PROCESSOR_CACHE_HH

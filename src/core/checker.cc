@@ -1,0 +1,244 @@
+#include "core/checker.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace mcube
+{
+
+CoherenceChecker::CoherenceChecker(MulticubeSystem &sys,
+                                   std::uint64_t full_check_interval)
+    : sys(sys), fullInterval(full_check_interval)
+{
+    const unsigned n = sys.n();
+    for (unsigned i = 0; i < n; ++i) {
+        auto rt = std::make_unique<Tap>();
+        rt->checker = this;
+        rt->isRow = true;
+        sys.rowBus(i).attach(rt.get());
+        taps.push_back(std::move(rt));
+
+        auto ct = std::make_unique<Tap>();
+        ct->checker = this;
+        ct->isRow = false;
+        sys.colBus(i).attach(ct.get());
+        taps.push_back(std::move(ct));
+    }
+
+    EventQueue &eq = sys.eventQueue();
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        sys.node(id).onCommitWrite =
+            [this, &eq](Addr addr, std::uint64_t token) {
+                auto &h = history[addr];
+                // A broadcast commit's wave may still be settling;
+                // mark unknown and fix up when the purge count drains.
+                Tick settled = pendingPurges[addr] > 0 ? maxTick
+                                                       : eq.now();
+                h.push_back({eq.now(), token, settled});
+            };
+    }
+}
+
+std::uint64_t
+CoherenceChecker::goldenToken(Addr addr) const
+{
+    auto it = history.find(addr);
+    if (it == history.end() || it->second.empty())
+        return 0;
+    return it->second.back().token;
+}
+
+bool
+CoherenceChecker::tokenWasGoldenDuring(Addr addr, std::uint64_t token,
+                                       Tick from, Tick to) const
+{
+    auto it = history.find(addr);
+
+    // A value v_i is golden over [when_i, when_{i+1}) but copies of it
+    // may legally be observed until the invalidation wave installing
+    // v_{i+1} settles (Section 4: no complete serializability).
+    // Model: v_i acceptable over [when_i, settled_{i+1}].
+    if (it == history.end() || it->second.empty())
+        return token == 0;
+
+    const auto &h = it->second;
+    if (token == 0) {
+        Tick end = h.front().settled;
+        if (from <= end)
+            return true;
+    }
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        if (h[i].token != token)
+            continue;
+        Tick start = h[i].when;
+        Tick end = i + 1 < h.size() ? h[i + 1].settled : maxTick;
+        if (start <= to && from <= end)
+            return true;
+    }
+    return false;
+}
+
+void
+CoherenceChecker::fail(const std::string &what)
+{
+    ++_violations;
+    if (_report.size() < 32) {
+        std::ostringstream oss;
+        oss << sys.eventQueue().now() << ": " << what;
+        _report.push_back(oss.str());
+    }
+    MCUBE_LOG(LogCat::Check, sys.eventQueue().now(),
+              "VIOLATION: " << what);
+}
+
+void
+CoherenceChecker::afterOp(const BusOp &op, bool is_row)
+{
+    ++_ops;
+
+    bool is_write_txn = op.txn == TxnType::ReadMod
+                     || op.txn == TxnType::Allocate
+                     || op.txn == TxnType::Tset
+                     || op.txn == TxnType::Sync;
+    if (is_write_txn && op.is(op::Purge) && !op.is(op::Direct)) {
+        if (!is_row && op.is(op::Reply)) {
+            // Memory launched an invalidation broadcast: one row op
+            // per home-column controller follows.
+            pendingPurges[op.addr] += sys.n();
+            // If the originator was on the home column, its commit
+            // hook already ran during this delivery (controllers
+            // snoop before the checker tap) and believed no wave was
+            // pending; reopen it.
+            auto hit = history.find(op.addr);
+            if (hit != history.end() && !hit->second.empty()
+                && hit->second.back().when == sys.eventQueue().now()) {
+                hit->second.back().settled = maxTick;
+            }
+        } else if (is_row) {
+            auto it = pendingPurges.find(op.addr);
+            if (it != pendingPurges.end() && it->second > 0
+                && --it->second == 0) {
+                // Wave settled: stamp the commit it installed.
+                auto hit = history.find(op.addr);
+                if (hit != history.end() && !hit->second.empty()
+                    && hit->second.back().settled == maxTick) {
+                    hit->second.back().settled =
+                        sys.eventQueue().now();
+                }
+                if (hit == history.end() || hit->second.empty()) {
+                    // Broadcast with no commit yet (org fills later on
+                    // its own column); nothing to stamp — the commit
+                    // hook saw pendingPurges > 0 and will have marked
+                    // itself unsettled, so stamp it when it appears.
+                }
+            }
+        }
+    }
+
+    checkLine(op.addr);
+    if (fullInterval && _ops % fullInterval == 0)
+        fullSweep();
+}
+
+void
+CoherenceChecker::checkLine(Addr addr)
+{
+    const GridMap &grid = sys.gridMap();
+
+    unsigned modified_holders = 0;
+    NodeId holder = invalidNode;
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        if (sys.node(id).modeOf(addr) == Mode::Modified) {
+            ++modified_holders;
+            holder = id;
+        }
+    }
+
+    if (modified_holders > 1) {
+        std::ostringstream oss;
+        oss << "I1: line " << addr << " has " << modified_holders
+            << " modified holders";
+        fail(oss.str());
+    }
+
+    MemoryModule &mem = sys.memory(grid.homeColumn(addr));
+    bool mem_valid = mem.lineValid(addr);
+
+    if (modified_holders >= 1 && mem_valid) {
+        std::ostringstream oss;
+        oss << "I2: line " << addr << " modified at node " << holder
+            << " but memory copy is valid";
+        fail(oss.str());
+    }
+
+    std::uint64_t golden = goldenToken(addr);
+    if (modified_holders == 1) {
+        std::uint64_t tok = sys.node(holder).dataOf(addr).token;
+        if (tok != golden) {
+            std::ostringstream oss;
+            oss << "I3: line " << addr << " holder " << holder
+                << " token " << tok << " != golden " << golden;
+            fail(oss.str());
+        }
+    }
+
+    if (mem_valid) {
+        std::uint64_t tok = mem.lineData(addr).token;
+        if (tok != golden) {
+            std::ostringstream oss;
+            oss << "I4: line " << addr << " memory token " << tok
+                << " != golden " << golden;
+            fail(oss.str());
+        }
+    }
+}
+
+void
+CoherenceChecker::fullSweep()
+{
+    const unsigned n = sys.n();
+
+    // I5: MLTs identical within each column.
+    for (unsigned c = 0; c < n; ++c) {
+        const ModifiedLineTable &ref = sys.node(0, c).table();
+        for (unsigned r = 1; r < n; ++r) {
+            if (!sys.node(r, c).table().identicalTo(ref)) {
+                std::ostringstream oss;
+                oss << "I5: MLT mismatch in column " << c << " (row "
+                    << r << " vs row 0)";
+                fail(oss.str());
+            }
+        }
+    }
+
+    // I6/I7: every entry has a modified holder in its column, and no
+    // line is tabled in two columns.
+    std::unordered_map<Addr, unsigned> entry_col;
+    for (unsigned c = 0; c < n; ++c) {
+        sys.node(0, c).table().forEach([&](Addr addr) {
+            auto [it, fresh] = entry_col.emplace(addr, c);
+            if (!fresh && it->second != c) {
+                std::ostringstream oss;
+                oss << "I7: line " << addr << " tabled in columns "
+                    << it->second << " and " << c;
+                fail(oss.str());
+            }
+            bool found = false;
+            for (unsigned r = 0; r < n; ++r) {
+                if (sys.node(r, c).modeOf(addr) == Mode::Modified) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::ostringstream oss;
+                oss << "I6: line " << addr << " tabled in column " << c
+                    << " with no modified holder there";
+                fail(oss.str());
+            }
+        });
+    }
+}
+
+} // namespace mcube

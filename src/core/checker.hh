@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Global coherence invariant checker.
+ *
+ * The checker taps every bus in a MulticubeSystem (attached after all
+ * functional agents, so it observes post-transition state) and keeps a
+ * golden per-line value history fed by every controller's commit hook.
+ * After each bus operation it verifies:
+ *
+ *  I1  at most one cache holds the line in Modified mode;
+ *  I2  a Modified holder implies the memory copy is invalid;
+ *  I3  a Modified holder's token equals the golden (latest) token;
+ *  I4  a valid memory line's token equals the golden token;
+ *
+ * and, on a sampling interval (full sweeps are O(system)):
+ *
+ *  I5  the modified line tables of a column are identical;
+ *  I6  every MLT entry has a Modified holder in its column;
+ *  I7  no line has MLT entries in two different columns.
+ *
+ * The paper explicitly does not guarantee complete serializability
+ * (Section 4): a writer commits as soon as it owns the line, while
+ * the invalidation broadcast is still purging shared copies row by
+ * row, so reads may legally observe the previous value until the
+ * broadcast settles. The checker therefore tracks, per line, when
+ * each broadcast's row purges finish; tokenWasGoldenDuring() accepts
+ * a value while it is golden and keeps accepting it until the purge
+ * wave that overwrote it has fully settled.
+ */
+
+#ifndef MCUBE_CORE_CHECKER_HH
+#define MCUBE_CORE_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "core/system.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Invariant checker attached to a MulticubeSystem. */
+class CoherenceChecker
+{
+  public:
+    /**
+     * @param sys System to watch. The checker installs itself on all
+     * buses and takes over every controller's onCommitWrite hook.
+     * @param full_check_interval Run the O(system) sweeps (I5-I7)
+     * every this many bus operations (0 disables them).
+     */
+    explicit CoherenceChecker(MulticubeSystem &sys,
+                              std::uint64_t full_check_interval = 64);
+
+    CoherenceChecker(const CoherenceChecker &) = delete;
+    CoherenceChecker &operator=(const CoherenceChecker &) = delete;
+
+    /** Number of invariant violations recorded so far. */
+    std::uint64_t violations() const { return _violations; }
+
+    /** Human-readable description of the first few violations. */
+    const std::vector<std::string> &report() const { return _report; }
+
+    /** Latest committed token for @p addr (0 if never written). */
+    std::uint64_t goldenToken(Addr addr) const;
+
+    /**
+     * True if @p token was the golden value of @p addr at any instant
+     * in [from, to]; used to validate read results under the paper's
+     * relaxed ordering.
+     */
+    bool tokenWasGoldenDuring(Addr addr, std::uint64_t token, Tick from,
+                              Tick to) const;
+
+    /** Bus operations observed. */
+    std::uint64_t opsObserved() const { return _ops; }
+
+    /** Run the full sweep (I5-I7) immediately. */
+    void fullSweep();
+
+  private:
+    struct Tap : BusAgent
+    {
+        CoherenceChecker *checker = nullptr;
+        bool isRow = false;
+        void
+        snoop(const BusOp &op, bool) override
+        {
+            checker->afterOp(op, isRow);
+        }
+    };
+
+    /** One committed value of a line. */
+    struct CommitEntry
+    {
+        Tick when = 0;            //!< commit tick
+        std::uint64_t token = 0;
+        /** Tick at which the invalidation wave that installed this
+         *  value finished purging (== when for non-broadcast
+         *  commits; maxTick while the wave is still in flight). */
+        Tick settled = 0;
+    };
+
+    void afterOp(const BusOp &op, bool is_row);
+    void checkLine(Addr addr);
+    void fail(const std::string &what);
+
+    MulticubeSystem &sys;
+    std::uint64_t fullInterval;
+    std::vector<std::unique_ptr<Tap>> taps;
+
+    std::unordered_map<Addr, std::vector<CommitEntry>> history;
+    /** Row purges still outstanding per line. */
+    std::unordered_map<Addr, unsigned> pendingPurges;
+
+    std::uint64_t _ops = 0;
+    std::uint64_t _violations = 0;
+    std::vector<std::string> _report;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_CORE_CHECKER_HH

@@ -1,0 +1,1426 @@
+#include "core/controller.hh"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace mcube
+{
+
+SnoopController::SnoopController(std::string name, EventQueue &eq,
+                                 const GridMap &grid, NodeId id,
+                                 const ControllerParams &params)
+    : name(std::move(name)), eq(eq), grid(grid), _id(id), params(params),
+      rng(params.seed, id + 1), cache(params.cache), mlt(params.mlt),
+      stats(this->name)
+{
+    rowPort.owner = this;
+    rowPort.isRow = true;
+    colPort.owner = this;
+    colPort.isRow = false;
+
+    stats.addCounter("hits", statHits, "snooping cache hits");
+    stats.addCounter("misses", statMisses, "transactions issued");
+    stats.addCounter("reissues", statReissues,
+                     "requests reissued after a lost race or bounce");
+    stats.addCounter("invalidations", statInvalidations,
+                     "local copies purged by remote write misses");
+    stats.addCounter("snarfs", statSnarfs, "lines snarfed in passing");
+    stats.addCounter("drops", statDrops,
+                     "row requests discarded by fault injection");
+    stats.addCounter("mlt_overflows", statMltOverflow,
+                     "modified line table overflow writebacks");
+    stats.addCounter("victim_wbs", statVictimWbs,
+                     "modified victims written back on replacement");
+    stats.addCounter("tset_fails", statTsetFails);
+    stats.addCounter("sync_grants", statSyncGrants,
+                     "queue-lock grants received");
+    stats.addCounter("sync_aborts", statSyncAborts,
+                     "queue-lock chain aborts received");
+    stats.addCounter("sync_joins", statSyncJoins,
+                     "waiters appended to our chain link");
+    stats.addDistribution("miss_latency", statMissLatency,
+                          "issue-to-completion ticks");
+    stats.addDistribution("read_latency", statReadLatency,
+                          "READ transaction latency");
+    stats.addDistribution("write_latency", statWriteLatency,
+                          "READ-MOD / ALLOCATE transaction latency");
+    stats.addDistribution("lock_latency", statLockLatency,
+                          "TSET / SYNC transaction latency");
+}
+
+void
+SnoopController::connect(Bus &row_bus, Bus &col_bus)
+{
+    assert(!rowBus && !colBus);
+    rowBus = &row_bus;
+    colBus = &col_bus;
+    rowSlot = rowBus->attach(&rowPort);
+    colSlot = colBus->attach(&colPort);
+}
+
+Mode
+SnoopController::modeOf(Addr addr) const
+{
+    const CacheLine *l = cache.find(addr);
+    return l ? l->mode : Mode::Invalid;
+}
+
+LineData
+SnoopController::dataOf(Addr addr) const
+{
+    const CacheLine *l = cache.find(addr);
+    return l ? l->data : LineData{};
+}
+
+void
+SnoopController::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+std::string
+SnoopController::pendingInfo() const
+{
+    if (pending.stage == Stage::Idle)
+        return "";
+    std::ostringstream oss;
+    oss << name << ": "
+        << toString(makeOp(pending.txn, 0, pending.addr, _id))
+        << (pending.stage == Stage::WbVictim ? " [wb-victim]"
+                                             : " [requested]");
+    if (pending.txn == TxnType::Sync) {
+        oss << " queued=" << pending.queuedInChain
+            << " purged=" << pending.purged << " next=";
+        if (pending.queueNext == invalidNode)
+            oss << "-";
+        else
+            oss << pending.queueNext;
+    }
+    oss << " since=" << pending.start;
+    return oss.str();
+}
+
+// ---------------------------------------------------------------------
+// Bus send helpers
+// ---------------------------------------------------------------------
+
+BusOp
+SnoopController::makeOp(TxnType txn, std::uint16_t p, Addr addr,
+                        NodeId origin) const
+{
+    BusOp o;
+    o.txn = txn;
+    o.params = p;
+    o.addr = addr;
+    o.origin = origin;
+    o.sender = _id;
+    return o;
+}
+
+void
+SnoopController::sendRow(BusOp op)
+{
+    assert(rowBus);
+    op.sender = _id;
+    rowBus->request(rowSlot, std::move(op));
+}
+
+void
+SnoopController::sendCol(BusOp op)
+{
+    assert(colBus);
+    op.sender = _id;
+    colBus->request(colSlot, std::move(op));
+}
+
+void
+SnoopController::sendDirected(BusOp op)
+{
+    assert(op.dest != invalidNode);
+    op.params |= op::Direct;
+    if (op.dest == _id) {
+        // Degenerate self-send: handle immediately, no bus traffic.
+        handleSyncDirect(op);
+        return;
+    }
+    if (grid.sameColumn(_id, op.dest))
+        sendCol(std::move(op));
+    else
+        sendRow(std::move(op));  // relayed at (my row, dest's column)
+}
+
+void
+SnoopController::routeReplyToward(NodeId org, BusOp op)
+{
+    op.origin = org;
+    if (grid.sameRow(_id, org))
+        sendRow(std::move(op));
+    else if (grid.sameColumn(_id, org))
+        sendCol(std::move(op));
+    else
+        sendRow(std::move(op));  // relayed at (my row, org's column)
+}
+
+// ---------------------------------------------------------------------
+// Processor-side API
+// ---------------------------------------------------------------------
+
+AccessOutcome
+SnoopController::read(Addr addr, std::uint64_t &token_out,
+                      CompletionCb cb)
+{
+    LineData d;
+    AccessOutcome out = readLine(addr, d, std::move(cb));
+    if (out == AccessOutcome::Hit)
+        token_out = d.token;
+    return out;
+}
+
+AccessOutcome
+SnoopController::readLine(Addr addr, LineData &data_out, CompletionCb cb)
+{
+    CacheLine *line = cache.touch(addr);
+    if (line && (line->mode == Mode::Shared
+                 || line->mode == Mode::Modified
+                 || line->mode == Mode::AllocPending)) {
+        // AllocPending: the processor reads back its own staged
+        // whole-line write (early-write extension).
+        data_out = line->data;
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (busy())
+        return AccessOutcome::Busy;
+    return startMiss(TxnType::Read, addr, 0, std::move(cb));
+}
+
+AccessOutcome
+SnoopController::write(Addr addr, std::uint64_t token, CompletionCb cb)
+{
+    CacheLine *line = cache.touch(addr);
+    if (line && line->mode == Mode::Modified) {
+        // A plain store is line-granular here: it overwrites the lock
+        // and link words too ("a process inadvertently writes in a
+        // line it shouldn't, breaking the locking protocol"). A
+        // chained waiter would otherwise never see a grant: abort it.
+        if (line->data.next != invalidNode) {
+            syncAbortTo(line->data.next, addr);
+            line->data.next = invalidNode;
+        }
+        line->data.lock = 0;
+        line->data.token = token;
+        if (onCommitWrite)
+            onCommitWrite(addr, token);
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (line && line->mode == Mode::AllocPending
+        && pending.stage != Stage::Idle && pending.addr == addr) {
+        // Early-write staging area: accumulate locally; the value
+        // commits globally when the ALLOCATE completes.
+        line->data.token = token;
+        pending.newToken = token;
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (busy())
+        return AccessOutcome::Busy;
+    return startMiss(TxnType::ReadMod, addr, token, std::move(cb));
+}
+
+AccessOutcome
+SnoopController::writeAllocate(Addr addr, std::uint64_t token,
+                               CompletionCb cb)
+{
+    CacheLine *line = cache.touch(addr);
+    if (line && line->mode == Mode::Modified) {
+        // Whole-line store semantics, as in write().
+        if (line->data.next != invalidNode) {
+            syncAbortTo(line->data.next, addr);
+            line->data.next = invalidNode;
+        }
+        line->data.lock = 0;
+        line->data.token = token;
+        if (onCommitWrite)
+            onCommitWrite(addr, token);
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (line && line->mode == Mode::AllocPending
+        && pending.stage != Stage::Idle && pending.addr == addr) {
+        line->data.token = token;
+        pending.newToken = token;
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (busy())
+        return AccessOutcome::Busy;
+    return startMiss(TxnType::Allocate, addr, token, std::move(cb));
+}
+
+AccessOutcome
+SnoopController::testAndSet(Addr addr, bool &granted_out, CompletionCb cb)
+{
+    CacheLine *line = cache.touch(addr);
+    if (line && line->mode == Mode::Modified) {
+        // Executed locally: the line already lives here.
+        if (line->data.lock == 0) {
+            line->data.lock = 1;
+            granted_out = true;
+        } else {
+            granted_out = false;
+        }
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (line && line->mode == Mode::Reserved) {
+        // Section 4: a reserved line fails test-and-set with no bus op.
+        granted_out = false;
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (busy())
+        return AccessOutcome::Busy;
+    return startMiss(TxnType::Tset, addr, 0, std::move(cb));
+}
+
+AccessOutcome
+SnoopController::syncAcquire(Addr addr, bool &granted_out,
+                             CompletionCb cb)
+{
+    CacheLine *line = cache.touch(addr);
+    if (line && line->mode == Mode::Modified) {
+        if (line->data.lock == 0) {
+            line->data.lock = 1;
+            granted_out = true;
+        } else {
+            // We hold the line but another agent on this node holds
+            // the lock; the caller retries.
+            granted_out = false;
+        }
+        ++statHits;
+        return AccessOutcome::Hit;
+    }
+    if (busy())
+        return AccessOutcome::Busy;
+    return startMiss(TxnType::Sync, addr, 0, std::move(cb));
+}
+
+bool
+SnoopController::forceUnlock(Addr addr)
+{
+    CacheLine *line = cache.find(addr);
+    if (!line || line->mode != Mode::Modified)
+        return false;
+    line->data.lock = 0;
+    return true;
+}
+
+bool
+SnoopController::release(Addr addr, std::uint64_t token)
+{
+    CacheLine *line = cache.find(addr);
+    if (!line || line->mode != Mode::Modified)
+        return false;
+
+    line->data.token = token;
+    if (onCommitWrite)
+        onCommitWrite(addr, token);
+
+    if (line->data.next != invalidNode) {
+        // Hand the line to the next waiter. The MLT entry must leave
+        // our column before the grant installs it in the grantee's
+        // column, so the grant is deferred until our own REMOVE op is
+        // delivered (see finishHandoff). The lock word stays set so a
+        // passing test-and-set cannot sneak in between.
+        NodeId next = line->data.next;
+        handoffs.emplace_back(addr, next);
+        sendCol(makeOp(TxnType::Sync, op::Remove, addr, _id));
+        MCUBE_LOG(LogCat::Sync, eq.now(),
+                  name << " release " << addr << " handoff to " << next);
+    } else {
+        line->data.lock = 0;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Transaction initiation
+// ---------------------------------------------------------------------
+
+AccessOutcome
+SnoopController::startMiss(TxnType txn, Addr addr, std::uint64_t token,
+                           CompletionCb cb)
+{
+    assert(pending.stage == Stage::Idle);
+    pending.stage = Stage::WbVictim;  // provisional; prepareSlot decides
+    pending.txn = txn;
+    pending.addr = addr;
+    pending.newToken = token;
+    pending.cb = std::move(cb);
+    pending.start = eq.now();
+    pending.queueNext = invalidNode;
+    pending.queuedInChain = false;
+    pending.purged = false;
+    pending.earlyAck =
+        txn == TxnType::Allocate && params.allocateEarlyWrite;
+    pending.ackFired = false;
+    ++statMisses;
+
+    if (prepareSlot()) {
+        maybeFireEarlyAck();
+        issueRequest();
+    }
+    return AccessOutcome::Miss;
+}
+
+void
+SnoopController::maybeFireEarlyAck()
+{
+    if (!pending.earlyAck || pending.ackFired)
+        return;
+    pending.ackFired = true;
+
+    // Stage the whole-line write locally; the modified line table has
+    // not been updated yet (the paper's extra line state).
+    CacheLine *line = cache.find(pending.addr);
+    assert(line);
+    LineData d;
+    d.token = pending.newToken;
+    cache.fill(line, pending.addr, Mode::AllocPending, d);
+
+    TxnResult res;
+    res.success = true;
+    res.data = d;
+    res.latency = eq.now() - pending.start;
+    CompletionCb cb = std::move(pending.cb);
+    pending.cb = nullptr;
+    if (cb)
+        eq.scheduleIn(0, [cb = std::move(cb), res] { cb(res); });
+}
+
+bool
+SnoopController::prepareSlot()
+{
+    Addr addr = pending.addr;
+    CacheLine *line = cache.find(addr);
+    if (line) {
+        // Tag already present (shared upgrade, invalid re-fetch, or a
+        // reserved sync copy) — no replacement needed.
+        if (pending.txn == TxnType::Sync && line->mode == Mode::Invalid)
+            cache.fill(line, addr, Mode::Reserved, LineData{});
+        return true;
+    }
+
+    CacheLine *slot = cache.allocSlot(addr);
+    if (slot->tagValid && slot->mode == Mode::Modified) {
+        // Appendix A: reserve space with a WRITEBACK transaction and
+        // wait for "continue" before issuing the request.
+        if (slot->data.next != invalidNode) {
+            // Evicting a queue-lock owner breaks the chain: tell the
+            // next waiter to retry (degeneration, Section 4).
+            syncAbortTo(slot->data.next, slot->addr);
+            slot->data.next = invalidNode;
+        }
+        ++statVictimWbs;
+        sendCol(makeOp(TxnType::WriteBack, op::Remove, slot->addr, _id));
+        // pending.stage stays WbVictim; continue arrives via
+        // colWritebackRemove's id-match path.
+        return false;
+    }
+
+    // Clean (or reserved-foreign — never picked; see allocSlot use)
+    // victim: silently replace.
+    if (slot->tagValid && onPurge)
+        onPurge(slot->addr);
+    Mode init =
+        pending.txn == TxnType::Sync ? Mode::Reserved : Mode::Invalid;
+    cache.fill(slot, addr, init, LineData{});
+    return true;
+}
+
+void
+SnoopController::issueRequest()
+{
+    pending.stage = Stage::Requested;
+    sendRow(makeOp(pending.txn, op::Request, pending.addr, _id));
+    MCUBE_LOG(LogCat::Proto, eq.now(),
+              name << " issue " << toString(makeOp(pending.txn,
+                                                   op::Request,
+                                                   pending.addr, _id)));
+}
+
+void
+SnoopController::complete(bool success, const LineData &data,
+                          Tick extra_latency)
+{
+    assert(pending.stage != Stage::Idle);
+    TxnResult res;
+    res.success = success;
+    res.data = data;
+    res.latency = eq.now() + extra_latency - pending.start;
+    statMissLatency.sample(static_cast<double>(res.latency));
+    switch (pending.txn) {
+      case TxnType::Read:
+        statReadLatency.sample(static_cast<double>(res.latency));
+        break;
+      case TxnType::ReadMod:
+      case TxnType::Allocate:
+        statWriteLatency.sample(static_cast<double>(res.latency));
+        break;
+      case TxnType::Tset:
+      case TxnType::Sync:
+        statLockLatency.sample(static_cast<double>(res.latency));
+        break;
+      case TxnType::WriteBack:
+        break;
+    }
+
+    if (success
+        && (pending.txn == TxnType::ReadMod
+            || pending.txn == TxnType::Allocate)) {
+        // Commit the store that motivated the miss. Plain stores are
+        // line-granular: the lock/link words are overwritten too.
+        CacheLine *line = cache.find(pending.addr);
+        if (line && line->mode == Mode::Modified) {
+            line->data.token = pending.newToken;
+            line->data.lock = 0;
+            line->data.next = invalidNode;
+        }
+        res.data.token = pending.newToken;
+        if (onCommitWrite)
+            onCommitWrite(pending.addr, pending.newToken);
+    }
+
+    CompletionCb cb = std::move(pending.cb);
+    pending = Pending{};
+    if (!cb)
+        return;
+    if (extra_latency == 0) {
+        cb(res);
+    } else {
+        // The state transition is atomic with the bus op; only the
+        // processor's view of the data is delayed by the DRAM
+        // snooping-cache access.
+        eq.scheduleIn(extra_latency,
+                      [cb = std::move(cb), res] { cb(res); });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Port adapters
+// ---------------------------------------------------------------------
+
+bool
+SnoopController::Port::supplyModifiedSignal(const BusOp &op)
+{
+    if (!isRow || !op.is(op::Request) || op.is(op::Direct))
+        return false;
+    SnoopController &c = *owner;
+    if (!c.mlt.contains(op.addr))
+        return false;
+    if (c.params.dropSignalProb > 0.0
+        && c.rng.chance(c.params.dropSignalProb)) {
+        // Robustness feature ("Timing Considerations"): the controller
+        // occasionally simply discards the request. The home column
+        // then routes it to memory, which bounces it, and the request
+        // retries.
+        c.droppedSerial = op.serial;
+        ++c.statDrops;
+        return false;
+    }
+    return true;
+}
+
+void
+SnoopController::Port::snoop(const BusOp &op, bool modified_signal)
+{
+    if (isRow)
+        owner->snoopRow(op, modified_signal);
+    else
+        owner->snoopCol(op, modified_signal);
+}
+
+// ---------------------------------------------------------------------
+// Row-bus handlers
+// ---------------------------------------------------------------------
+
+void
+SnoopController::snoopRow(const BusOp &op, bool modified_signal)
+{
+    if (op.is(op::Direct)) {
+        if (op.dest == _id)
+            handleSyncDirect(op);
+        else if (grid.sameColumn(_id, op.dest))
+            sendCol(op);  // relay down the destination's column
+        return;
+    }
+    if (op.is(op::Request))
+        rowRequest(op, modified_signal);
+    else if (op.is(op::Reply))
+        rowReply(op);
+    else if (op.is(op::Purge))
+        rowPurge(op);
+    else if (op.is(op::Update))
+        rowUpdate(op);
+}
+
+void
+SnoopController::rowRequest(const BusOp &op, bool modified_signal)
+{
+    Addr addr = op.addr;
+
+    if (mlt.contains(addr) && droppedSerial != op.serial) {
+        // We asserted the modified signal: the line is modified in our
+        // column — forward the request there.
+        BusOp fwd = op;
+        fwd.params = op::Request | op::Remove;
+        sendCol(fwd);
+        return;
+    }
+
+    if (onHomeColumn(addr) && !modified_signal) {
+        if (op.txn == TxnType::Read) {
+            CacheLine *line = cache.find(addr);
+            if (line && line->mode == Mode::Shared) {
+                // Home-column controller supplies the data itself.
+                BusOp reply = op;
+                reply.params = op::Reply;
+                reply.hasData = true;
+                reply.data = line->data;
+                cache.markUsed(line);
+                sendRow(reply);
+                return;
+            }
+        }
+        BusOp fwd = op;
+        fwd.params = op::Request | op::Memory;
+        sendCol(fwd);
+    }
+}
+
+void
+SnoopController::rowReply(const BusOp &op)
+{
+    bool mine = op.origin == _id;
+
+    if (op.is(op::Fail)) {
+        // TSET/SYNC failure notification travelling back to org.
+        if (mine) {
+            if (pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                if (pending.txn == TxnType::Tset) {
+                    ++statTsetFails;
+                    complete(false, LineData{});
+                } else if (pending.txn == TxnType::Sync) {
+                    if (op.hasData || op.data.next != invalidNode) {
+                        // Chain hint: walk to the indicated waiter.
+                        BusOp join = makeOp(TxnType::Sync, op::Request,
+                                            op.addr, _id);
+                        join.dest = op.data.next;
+                        sendDirected(join);
+                    } else {
+                        syncRestart();
+                    }
+                }
+            }
+        } else if (grid.sameColumn(_id, op.origin)) {
+            sendCol(op);
+        }
+        return;
+    }
+
+    if (op.is(op::Ack) && op.txn == TxnType::Sync) {
+        // "You are queued" notification.
+        if (mine) {
+            if (pending.stage == Stage::Requested
+                && pending.addr == op.addr)
+                pending.queuedInChain = true;
+        } else if (grid.sameColumn(_id, op.origin)) {
+            sendCol(op);
+        }
+        return;
+    }
+
+    switch (op.txn) {
+      case TxnType::Read:
+        if (mine && pending.stage == Stage::Requested
+            && pending.addr == op.addr) {
+            CacheLine *line = cache.find(op.addr);
+            assert(line);
+            cache.fill(line, op.addr, Mode::Shared, op.data);
+            // NOPURGE marks data served straight from memory; all
+            // other read replies were fetched from a snooping cache.
+            complete(true, op.data,
+                     op.is(op::NoPurge) ? 0 : params.accessTicks);
+        } else {
+            trySnarf(op);
+        }
+        if (op.is(op::Update) && onHomeColumn(op.addr)) {
+            // Home-column controller writes the line back to memory.
+            BusOp upd = op;
+            upd.params = op::Update | op::Memory;
+            sendCol(upd);
+        }
+        break;
+
+      case TxnType::ReadMod:
+      case TxnType::Allocate:
+      case TxnType::Tset:
+      case TxnType::Sync:
+        if (op.is(op::Purge)) {
+            // (ROW, REPLY, PURGE): broadcast leg of a write miss to an
+            // unmodified line; home-column copies were purged already.
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                LineData d = op.data;
+                if (op.txn == TxnType::Sync)
+                    d.next = pending.queueNext;
+                cache.fill(line, op.addr, Mode::Modified, d);
+                sendCol(makeOp(op.txn, op::Insert, op.addr, _id));
+                if (op.txn == TxnType::Sync)
+                    ++statSyncGrants;
+                complete(true, d);
+            } else {
+                // Appendix A exempts home-column nodes (their copies
+                // were purged when the memory reply passed on the
+                // column), but a home-column node may have snarfed a
+                // stale copy from a reply that slipped in between, so
+                // purge unconditionally — a double purge is harmless.
+                CacheLine *line = cache.find(op.addr);
+                if (line && (line->mode == Mode::Shared
+                             || line->mode == Mode::Reserved))
+                    purgeLine(line);
+            }
+        } else {
+            // (ROW, REPLY): data (or allocate-ack / sync grant) from
+            // the previous owner heading to org's column.
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                LineData d = op.data;
+                if (op.txn == TxnType::Allocate)
+                    d = LineData{};
+                if (op.txn == TxnType::Sync)
+                    d.next = pending.queueNext;
+                cache.fill(line, op.addr, Mode::Modified, d);
+                sendCol(makeOp(op.txn, op::Insert, op.addr, _id));
+                if (op.txn == TxnType::Sync)
+                    ++statSyncGrants;
+                complete(true, d, params.accessTicks);
+            } else if (mine && op.txn == TxnType::Sync
+                       && op.hasData) {
+                parkUnclaimedGrant(op, false);
+            } else if (grid.sameColumn(_id, op.origin)) {
+                BusOp fwd = op;
+                fwd.params = op::Reply | op::Insert;
+                if (op.txn == TxnType::Allocate)
+                    fwd.params |= op::Ack;
+                sendCol(fwd);
+            }
+        }
+        break;
+
+      case TxnType::WriteBack:
+        break;  // WRITEBACK has no row replies
+    }
+}
+
+void
+SnoopController::rowPurge(const BusOp &op)
+{
+    // (ROW, PURGE): purge all shared copies. Appendix A lets
+    // home-column nodes skip this (their copies went away with the
+    // column reply), but snarfing can re-install a copy in the gap
+    // between the column purge and this row purge, so purge
+    // unconditionally.
+    CacheLine *line = cache.find(op.addr);
+    if (line
+        && (line->mode == Mode::Shared || line->mode == Mode::Reserved))
+        purgeLine(line);
+}
+
+void
+SnoopController::rowUpdate(const BusOp &op)
+{
+    // (ROW, UPDATE): forward the memory update to the home column.
+    if (onHomeColumn(op.addr)) {
+        BusOp upd = op;
+        upd.params = op::Update | op::Memory;
+        sendCol(upd);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Column-bus handlers
+// ---------------------------------------------------------------------
+
+void
+SnoopController::snoopCol(const BusOp &op, bool modified_signal)
+{
+    (void)modified_signal;
+    if (op.is(op::Direct)) {
+        if (op.dest == _id)
+            handleSyncDirect(op);
+        return;
+    }
+    if (op.is(op::Request) && op.is(op::Remove)) {
+        colRequestRemove(op);
+    } else if (op.is(op::Request) && op.is(op::Memory)) {
+        // Served by the memory module; controllers take no action.
+    } else if (op.is(op::Reply)) {
+        colReply(op);
+    } else if (op.is(op::Insert)) {
+        colInsert(op);
+    } else if (op.is(op::Remove)) {
+        colWritebackRemove(op);
+    }
+}
+
+void
+SnoopController::colRequestRemove(const BusOp &op)
+{
+    bool removed = mlt.remove(op.addr);
+
+    if (!removed) {
+        // Lost a race (or a stale bounce): the controller on the
+        // originator's row relaunches the request.
+        if (grid.sameRow(_id, op.origin)) {
+            ++statReissues;
+            BusOp re = op;
+            re.params = op::Request;
+            re.hasData = false;
+            sendRow(re);
+        }
+        return;
+    }
+
+    CacheLine *line = cache.find(op.addr);
+    if (line && line->mode == Mode::Modified)
+        serveAsOwner(op);
+}
+
+void
+SnoopController::serveAsOwner(const BusOp &op)
+{
+    CacheLine *line = cache.find(op.addr);
+    assert(line && line->mode == Mode::Modified);
+    NodeId org = op.origin;
+
+    switch (op.txn) {
+      case TxnType::Read: {
+        // Supply the data, demote to shared; memory gets updated along
+        // the reply path. A read demotion also breaks any queue-lock
+        // chain rooted here (the shared copy can no longer be handed
+        // off exclusively), so abort the waiter.
+        if (line->data.next != invalidNode) {
+            syncAbortTo(line->data.next, op.addr);
+            line->data.next = invalidNode;
+        }
+        BusOp reply = op;
+        reply.hasData = true;
+        reply.data = line->data;
+        line->mode = Mode::Shared;
+        if (onHomeColumn(op.addr)) {
+            reply.params = op::Reply | op::Update | op::Memory;
+            sendCol(reply);
+        } else if (grid.sameRow(_id, org)) {
+            reply.params = op::Reply | op::Update;
+            sendRow(reply);
+        } else {
+            reply.params = op::Reply | op::Update;
+            sendCol(reply);
+        }
+        break;
+      }
+
+      case TxnType::ReadMod:
+      case TxnType::Allocate: {
+        if (line->data.next != invalidNode) {
+            // Foreign steal of a queue-lock owner: degenerate.
+            syncAbortTo(line->data.next, op.addr);
+            line->data.next = invalidNode;
+        }
+        BusOp reply = op;
+        if (op.txn == TxnType::Allocate) {
+            reply.hasData = false;
+            reply.params = op::Reply | op::Ack;
+        } else {
+            reply.hasData = true;
+            reply.params = op::Reply;
+        }
+        reply.data = line->data;
+        purgeLine(line);
+        if (grid.sameColumn(_id, org)) {
+            reply.params |= op::Insert;
+            sendCol(reply);
+        } else {
+            sendRow(reply);
+        }
+        break;
+      }
+
+      case TxnType::Tset:
+      case TxnType::Sync: {
+        if (line->data.lock == 0) {
+            // Lock free: the line (with the lock now set) moves to the
+            // requester exactly like a READ-MOD.
+            BusOp reply = op;
+            reply.hasData = true;
+            reply.data = line->data;
+            reply.data.lock = 1;
+            reply.data.next = invalidNode;
+            purgeLine(line);
+            if (grid.sameColumn(_id, org)) {
+                reply.params = op::Reply | op::Insert;
+                sendCol(reply);
+            } else {
+                reply.params = op::Reply;
+                sendRow(reply);
+            }
+        } else {
+            // Lock held. The REMOVE side effect already cleared the
+            // table entry, so reinstate it on our column first —
+            // unless a hand-off REMOVE for this line is already in
+            // our queue: the reinsert would then land after the grant
+            // and leave a table entry with no owner.
+            if (!handoffPending(op.addr))
+                sendCol(makeOp(op.txn, op::Insert, op.addr, _id));
+            if (op.txn == TxnType::Tset) {
+                BusOp fail = op;
+                fail.params = op::Reply | op::Fail;
+                fail.hasData = false;
+                routeReplyToward(org, fail);
+            } else {
+                handleSyncJoin(op, line);
+            }
+        }
+        break;
+      }
+
+      case TxnType::WriteBack:
+        assert(false);
+        break;
+    }
+}
+
+void
+SnoopController::colReply(const BusOp &op)
+{
+    bool mine = op.origin == _id;
+
+    if (op.is(op::Fail)) {
+        if (mine) {
+            if (pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                if (pending.txn == TxnType::Tset) {
+                    ++statTsetFails;
+                    complete(false, LineData{});
+                } else if (pending.txn == TxnType::Sync) {
+                    if (op.data.next != invalidNode) {
+                        BusOp join = makeOp(TxnType::Sync, op::Request,
+                                            op.addr, _id);
+                        join.dest = op.data.next;
+                        sendDirected(join);
+                    } else {
+                        syncRestart();
+                    }
+                }
+            }
+        } else if (grid.sameRow(_id, op.origin)) {
+            sendRow(op);
+        }
+        return;
+    }
+
+    if (op.is(op::Ack) && op.txn == TxnType::Sync && !op.is(op::Insert)) {
+        if (mine) {
+            if (pending.stage == Stage::Requested
+                && pending.addr == op.addr)
+                pending.queuedInChain = true;
+        } else if (grid.sameRow(_id, op.origin)) {
+            sendRow(op);
+        }
+        return;
+    }
+
+    switch (op.txn) {
+      case TxnType::Read:
+        if (op.is(op::Memory) && op.is(op::Update)) {
+            // (COLUMN, REPLY, UPDATE, MEMORY): owner was on the home
+            // column; memory absorbs the data in its own snoop.
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                cache.fill(line, op.addr, Mode::Shared, op.data);
+                complete(true, op.data, params.accessTicks);
+            } else if (grid.sameRow(_id, op.origin)) {
+                BusOp fwd = op;
+                fwd.params = op::Reply;
+                sendRow(fwd);
+            } else {
+                // No snarfing from column replies: a row purge may
+                // already have passed (see trySnarf).
+            }
+        } else if (op.is(op::Update)) {
+            // (COLUMN, REPLY, UPDATE): owner's column, org elsewhere
+            // (or on this column).
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                cache.fill(line, op.addr, Mode::Shared, op.data);
+                complete(true, op.data, params.accessTicks);
+                // Route the memory update via our row.
+                BusOp upd = op;
+                upd.params = op::Update;
+                upd.origin = _id;
+                sendRow(upd);
+            } else if (grid.sameRow(_id, op.origin)) {
+                BusOp fwd = op;
+                fwd.params = op::Reply | op::Update;
+                sendRow(fwd);
+            } else {
+                // No snarfing from column replies: a row purge may
+                // already have passed (see trySnarf).
+            }
+        } else if (op.is(op::NoPurge)) {
+            // (COLUMN, REPLY, NOPURGE): data straight from memory.
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                cache.fill(line, op.addr, Mode::Shared, op.data);
+                complete(true, op.data);
+            } else if (grid.sameRow(_id, op.origin)) {
+                BusOp fwd = op;
+                fwd.params = op::Reply | op::NoPurge;
+                sendRow(fwd);
+            } else {
+                // No snarfing from column replies: a row purge may
+                // already have passed (see trySnarf).
+            }
+        }
+        break;
+
+      case TxnType::ReadMod:
+      case TxnType::Allocate:
+      case TxnType::Tset:
+      case TxnType::Sync:
+        if (op.is(op::Purge)) {
+            // (COLUMN, REPLY, PURGE) from memory on the home column:
+            // every controller purges and relays a purge onto its row.
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                LineData d = op.data;
+                if (op.txn == TxnType::Allocate)
+                    d = LineData{};
+                if (op.txn == TxnType::Sync)
+                    d.next = pending.queueNext;
+                cache.fill(line, op.addr, Mode::Modified, d);
+                sendCol(makeOp(op.txn, op::Insert, op.addr, _id));
+                sendRow(makeOp(op.txn, op::Purge, op.addr, _id));
+                if (op.txn == TxnType::Sync)
+                    ++statSyncGrants;
+                complete(true, d);
+            } else {
+                if (mine && op.txn == TxnType::Sync && op.hasData) {
+                    // Memory granted a lock to a transaction that no
+                    // longer exists: the data must survive.
+                    parkUnclaimedGrant(op, false);
+                }
+                CacheLine *line = cache.find(op.addr);
+                if (line && (line->mode == Mode::Shared
+                             || line->mode == Mode::Reserved))
+                    purgeLine(line);
+                if (grid.sameRow(_id, op.origin)) {
+                    BusOp fwd = op;
+                    fwd.params = op::Reply | op::Purge;
+                    sendRow(fwd);
+                } else {
+                    BusOp fwd = op;
+                    fwd.params = op::Purge;
+                    fwd.hasData = false;
+                    sendRow(fwd);
+                }
+            }
+        } else if (op.is(op::Insert)) {
+            // (COLUMN, REPLY, INSERT): grant arriving on org's column;
+            // every controller in the column inserts the table entry.
+            tableInsert(op.addr);
+            if (mine && pending.stage == Stage::Requested
+                && pending.addr == op.addr) {
+                CacheLine *line = cache.find(op.addr);
+                assert(line);
+                LineData d = op.data;
+                if (op.txn == TxnType::Allocate)
+                    d = LineData{};
+                if (op.txn == TxnType::Sync)
+                    d.next = pending.queueNext;
+                cache.fill(line, op.addr, Mode::Modified, d);
+                if (op.txn == TxnType::Sync)
+                    ++statSyncGrants;
+                complete(true, d, params.accessTicks);
+            } else if (mine && op.txn == TxnType::Sync
+                       && op.hasData) {
+                parkUnclaimedGrant(op, true);
+            }
+        }
+        break;
+
+      case TxnType::WriteBack:
+        break;
+    }
+}
+
+void
+SnoopController::colInsert(const BusOp &op)
+{
+    tableInsert(op.addr);
+}
+
+void
+SnoopController::colWritebackRemove(const BusOp &op)
+{
+    bool removed = mlt.remove(op.addr);
+
+    if (op.txn == TxnType::Sync) {
+        // Our queue-lock hand-off REMOVE: time to send the grant.
+        if (op.origin == _id)
+            finishHandoff(op.addr);
+        return;
+    }
+
+    if (op.origin != _id)
+        return;
+
+    // WRITEBACK (COLUMN, REMOVE), id match. "If the remove failed then
+    // some other bus operation will remove the data; in either case
+    // signal the processor request to continue."
+    if (removed) {
+        CacheLine *line = cache.find(op.addr);
+        if (line && line->mode == Mode::Modified) {
+            BusOp upd = makeOp(TxnType::WriteBack, op::Update, op.addr,
+                               _id);
+            upd.hasData = true;
+            upd.data = line->data;
+            if (onHomeColumn(op.addr)) {
+                upd.params = op::Update | op::Memory;
+                sendCol(upd);
+            } else {
+                sendRow(upd);
+            }
+            line->mode = Mode::Shared;
+        }
+    }
+
+    // Continue the stalled processor request (victim replacement).
+    if (pending.stage == Stage::WbVictim) {
+        CacheLine *slot = cache.allocSlot(pending.addr);
+        if (slot->tagValid && onPurge)
+            onPurge(slot->addr);
+        Mode init = pending.txn == TxnType::Sync ? Mode::Reserved
+                                                 : Mode::Invalid;
+        cache.fill(slot, pending.addr, init, LineData{});
+        maybeFireEarlyAck();
+        issueRequest();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+void
+SnoopController::tableInsert(Addr addr)
+{
+    std::optional<Addr> victim = mlt.insert(addr);
+    if (!victim)
+        return;
+
+    ++statMltOverflow;
+    CacheLine *line = cache.find(*victim);
+    if (line && line->mode == Mode::Modified) {
+        // We hold the overflow line: write it back and demote it.
+        if (line->data.next != invalidNode) {
+            syncAbortTo(line->data.next, *victim);
+            line->data.next = invalidNode;
+        }
+        BusOp upd = makeOp(TxnType::WriteBack, op::Update, *victim, _id);
+        upd.hasData = true;
+        upd.data = line->data;
+        if (onHomeColumn(*victim)) {
+            upd.params = op::Update | op::Memory;
+            sendCol(upd);
+        } else {
+            sendRow(upd);
+        }
+        line->mode = Mode::Shared;
+    }
+}
+
+void
+SnoopController::purgeLine(CacheLine *line)
+{
+    assert(line);
+    if (line->mode == Mode::Reserved && pending.stage == Stage::Requested
+        && pending.txn == TxnType::Sync && pending.addr == line->addr) {
+        pending.purged = true;
+    }
+    if (line->mode == Mode::Shared || line->mode == Mode::Reserved)
+        ++statInvalidations;
+    line->mode = Mode::Invalid;
+    if (onPurge)
+        onPurge(line->addr);
+}
+
+void
+SnoopController::trySnarf(const BusOp &op)
+{
+    if (!params.enableSnarfing || !op.hasData)
+        return;
+    if (op.txn != TxnType::Read || !op.is(op::Reply))
+        return;
+    // Only lines we recently held (tag still present, mode invalid)
+    // may be snarfed, and READ replies always carry a line that is in
+    // (or entering) global state unmodified.
+    CacheLine *line = cache.find(op.addr);
+    if (!line || line->mode != Mode::Invalid)
+        return;
+    cache.fill(line, op.addr, Mode::Shared, op.data);
+    ++statSnarfs;
+}
+
+// ---------------------------------------------------------------------
+// SYNC engine
+// ---------------------------------------------------------------------
+
+void
+SnoopController::handleSyncJoin(const BusOp &op, CacheLine *line)
+{
+    // We own the line, the lock is held: append the requester.
+    NodeId org = op.origin;
+    if (org == _id) {
+        // Our own stale re-request found us already owning the line;
+        // nothing to queue.
+        return;
+    }
+    if (line->data.next == org) {
+        // Re-join after a spurious (stale) abort: already queued;
+        // acknowledge idempotently. Never hand back a hint equal to
+        // the requester — it would walk to itself.
+        BusOp ack = makeOp(TxnType::Sync, op::Reply | op::Ack, op.addr,
+                           org);
+        routeReplyToward(org, ack);
+    } else if (line->data.next == invalidNode) {
+        line->data.next = org;
+        ++statSyncJoins;
+        BusOp ack = makeOp(TxnType::Sync, op::Reply | op::Ack, op.addr,
+                           org);
+        routeReplyToward(org, ack);
+        MCUBE_LOG(LogCat::Sync, eq.now(),
+                  name << " queued " << org << " on " << op.addr);
+    } else {
+        // Chain occupied: hand back a hint so the requester walks to
+        // the current link.
+        BusOp fail = makeOp(TxnType::Sync, op::Reply | op::Fail, op.addr,
+                            org);
+        fail.data.next = line->data.next;
+        routeReplyToward(org, fail);
+    }
+}
+
+void
+SnoopController::handleSyncDirect(const BusOp &op)
+{
+    if (op.is(op::Request)) {
+        // Join-walk: a waiter (or the owner) is asked to append org.
+        NodeId org = op.origin;
+        CacheLine *line = cache.find(op.addr);
+        if (line && line->mode == Mode::Modified) {
+            if (line->data.lock == 0) {
+                // Lock freed while walking; grant via the normal path:
+                // restart as an owner-side serve without MLT motion is
+                // unsafe, so just tell org to retry from scratch.
+                BusOp fail = makeOp(TxnType::Sync, op::Reply | op::Fail,
+                                    op.addr, org);
+                routeReplyToward(org, fail);
+            } else {
+                handleSyncJoin(op, line);
+            }
+            return;
+        }
+        if (org == _id) {
+            // A hint pointed us at ourselves (stale chain state):
+            // restart the whole transaction instead of self-linking.
+            if (pending.stage == Stage::Requested
+                && pending.txn == TxnType::Sync
+                && pending.addr == op.addr)
+                syncRestart();
+            return;
+        }
+        if (pending.stage == Stage::Requested
+            && pending.txn == TxnType::Sync && pending.addr == op.addr) {
+            if (pending.queueNext == org
+                || pending.queueNext == invalidNode) {
+                if (pending.queueNext == invalidNode)
+                    ++statSyncJoins;
+                pending.queueNext = org;
+                BusOp ack = makeOp(TxnType::Sync, op::Reply | op::Ack,
+                                   op.addr, org);
+                routeReplyToward(org, ack);
+            } else {
+                BusOp fail = makeOp(TxnType::Sync, op::Reply | op::Fail,
+                                    op.addr, org);
+                fail.data.next = pending.queueNext;
+                routeReplyToward(org, fail);
+            }
+            return;
+        }
+        // Stale hint: tell org to restart the whole transaction.
+        BusOp fail = makeOp(TxnType::Sync, op::Reply | op::Fail, op.addr,
+                            org);
+        routeReplyToward(org, fail);
+        return;
+    }
+
+    if (op.is(op::Fail) && op.is(op::Purge)) {
+        // Abort: our predecessor lost the line; retry from scratch.
+        if (pending.stage == Stage::Requested
+            && pending.txn == TxnType::Sync && pending.addr == op.addr) {
+            ++statSyncAborts;
+            syncRestart();
+        }
+        return;
+    }
+}
+
+void
+SnoopController::syncGrantTo(NodeId next, CacheLine *line)
+{
+    assert(line && line->mode == Mode::Modified);
+    BusOp reply = makeOp(TxnType::Sync, op::Reply, line->addr, next);
+    reply.hasData = true;
+    reply.data = line->data;
+    reply.data.lock = 1;
+    reply.data.next = invalidNode;
+    purgeLine(line);
+    if (grid.sameColumn(_id, next)) {
+        reply.params = op::Reply | op::Insert;
+        sendCol(reply);
+    } else {
+        sendRow(reply);
+    }
+}
+
+void
+SnoopController::syncAbortTo(NodeId next, Addr addr)
+{
+    BusOp abort = makeOp(TxnType::Sync, op::Fail | op::Purge, addr, _id);
+    abort.dest = next;
+    sendDirected(abort);
+}
+
+void
+SnoopController::syncRestart()
+{
+    assert(pending.stage == Stage::Requested
+           && pending.txn == TxnType::Sync);
+    // Cascade: re-joining while still holding a successor could put
+    // us behind our own successor (a wait cycle). Abort the tail of
+    // the chain too; everyone re-joins fresh. This only triggers on
+    // broken-protocol degeneration, where the paper gives up FIFO
+    // order anyway.
+    if (pending.queueNext != invalidNode) {
+        syncAbortTo(pending.queueNext, pending.addr);
+        pending.queueNext = invalidNode;
+    }
+    pending.queuedInChain = false;
+    pending.purged = false;
+    Addr addr = pending.addr;
+    // Re-reserve our copy if it was purged, then reissue after a short
+    // backoff (plus jitter) to avoid lock-step retry storms.
+    Tick delay = params.syncRetryTicks + rng.below(64);
+    eq.scheduleIn(delay, [this, addr] {
+        if (pending.stage != Stage::Requested
+            || pending.txn != TxnType::Sync || pending.addr != addr)
+            return;
+        CacheLine *line = cache.find(addr);
+        if (line && line->mode == Mode::Invalid)
+            cache.fill(line, addr, Mode::Reserved, LineData{});
+        sendRow(makeOp(TxnType::Sync, op::Request, addr, _id));
+    });
+}
+
+void
+SnoopController::parkUnclaimedGrant(const BusOp &op, bool entry_inserted)
+{
+    CacheLine *line = cache.find(op.addr);
+    if (line && line->mode == Mode::Modified)
+        return;  // we already own the line; duplicate data is stale
+
+    MCUBE_LOG(LogCat::Sync, eq.now(),
+              name << " parking unclaimed grant for " << op.addr);
+    if (entry_inserted)
+        sendCol(makeOp(TxnType::WriteBack, op::Remove, op.addr, _id));
+
+    BusOp upd = makeOp(TxnType::WriteBack, op::Update, op.addr, _id);
+    upd.hasData = true;
+    upd.data = op.data;
+    upd.data.lock = 0;
+    upd.data.next = invalidNode;
+    if (onHomeColumn(op.addr)) {
+        upd.params = op::Update | op::Memory;
+        sendCol(upd);
+    } else {
+        sendRow(upd);
+    }
+}
+
+bool
+SnoopController::handoffPending(Addr addr) const
+{
+    for (const auto &[a, next] : handoffs)
+        if (a == addr)
+            return true;
+    return false;
+}
+
+void
+SnoopController::finishHandoff(Addr addr)
+{
+    for (auto it = handoffs.begin(); it != handoffs.end(); ++it) {
+        if (it->first != addr)
+            continue;
+        NodeId next = it->second;
+        handoffs.erase(it);
+        CacheLine *line = cache.find(addr);
+        if (line && line->mode == Mode::Modified) {
+            syncGrantTo(next, line);
+        }
+        // If the line was stolen between release() and now, the
+        // stealing path already aborted the chain.
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection helper
+// ---------------------------------------------------------------------
+
+bool
+SnoopController::maybeDrop(const BusOp &op)
+{
+    return droppedSerial == op.serial;
+}
+
+} // namespace mcube

@@ -1,0 +1,129 @@
+#include "io/dma_engine.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace mcube
+{
+
+DmaEngine::DmaEngine(std::string name, EventQueue &eq,
+                     SnoopController &ctrl, const DmaParams &params)
+    : name(std::move(name)), eq(eq), ctrl(ctrl), params(params),
+      stats(this->name)
+{
+    stats.addCounter("lines_in", statLinesIn,
+                     "device lines written into the machine");
+    stats.addCounter("lines_out", statLinesOut,
+                     "machine lines read out to the device");
+    stats.addCounter("retries", statRetries,
+                     "pump attempts deferred (controller busy)");
+}
+
+void
+DmaEngine::input(Addr base, unsigned lines, std::uint64_t first_token,
+                 DoneCb cb)
+{
+    Job j;
+    j.isInput = true;
+    j.base = base;
+    j.lines = lines;
+    j.token = first_token;
+    j.done = std::move(cb);
+    jobs.push_back(std::move(j));
+    pump();
+}
+
+void
+DmaEngine::output(Addr base, unsigned lines,
+                  std::function<void(Addr, std::uint64_t)> sink,
+                  DoneCb cb)
+{
+    Job j;
+    j.isInput = false;
+    j.base = base;
+    j.lines = lines;
+    j.sink = std::move(sink);
+    j.done = std::move(cb);
+    jobs.push_back(std::move(j));
+    pump();
+}
+
+void
+DmaEngine::pump()
+{
+    if (lineInFlight || jobs.empty())
+        return;
+
+    Job &job = jobs.front();
+    if (job.next >= job.lines) {
+        DoneCb done = std::move(job.done);
+        jobs.pop_front();
+        if (done)
+            done();
+        pump();
+        return;
+    }
+
+    if (eq.now() < deviceReadyAt) {
+        eq.schedule(deviceReadyAt, [this] { pump(); });
+        return;
+    }
+
+    // The engine shares the node's single transaction slot with the
+    // processor; back off briefly if the controller is occupied.
+    if (ctrl.busy()) {
+        ++statRetries;
+        eq.scheduleIn(200, [this] { pump(); });
+        return;
+    }
+
+    Addr addr = job.base + job.next;
+    lineInFlight = true;
+    deviceReadyAt = eq.now() + params.ticksPerLine;
+
+    if (job.isInput) {
+        std::uint64_t tok = job.token + job.next;
+        auto out = ctrl.writeAllocate(
+            addr, tok, [this](const TxnResult &) { lineDone(); });
+        if (out == AccessOutcome::Hit)
+            lineDone();
+    } else {
+        std::uint64_t tok = 0;
+        auto out =
+            ctrl.read(addr, tok, [this, addr](const TxnResult &res) {
+                Job &j = jobs.front();
+                if (j.sink)
+                    j.sink(addr, res.data.token);
+                lineDone();
+            });
+        if (out == AccessOutcome::Hit) {
+            if (job.sink)
+                job.sink(addr, tok);
+            lineDone();
+        }
+    }
+}
+
+void
+DmaEngine::lineDone()
+{
+    Job &job = jobs.front();
+    if (job.isInput)
+        ++statLinesIn;
+    else
+        ++statLinesOut;
+    ++job.next;
+    lineInFlight = false;
+    MCUBE_LOG(LogCat::Proc, eq.now(),
+              name << " line " << job.next << "/" << job.lines);
+    pump();
+}
+
+void
+DmaEngine::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

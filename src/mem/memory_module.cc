@@ -1,0 +1,199 @@
+#include "mem/memory_module.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace mcube
+{
+
+MemoryModule::MemoryModule(std::string name, EventQueue &eq,
+                           const GridMap &grid, unsigned column,
+                           const MemoryParams &params)
+    : name(std::move(name)), eq(eq), grid(grid), column(column),
+      params(params), stats(this->name)
+{
+    stats.addCounter("reads_served", statReads,
+                     "valid lines supplied to requests");
+    stats.addCounter("updates", statUpdates, "lines written back");
+    stats.addCounter("bounces", statBounces,
+                     "requests for invalid lines reissued");
+    stats.addCounter("tset_fails", statTsetFails,
+                     "test-and-set failures answered from memory");
+}
+
+void
+MemoryModule::connect(Bus &column_bus)
+{
+    assert(!bus);
+    bus = &column_bus;
+    slot = bus->attach(this);
+}
+
+MemoryModule::MemLine &
+MemoryModule::lineOf(Addr addr)
+{
+    assert(grid.homeColumn(addr) == column);
+    return store[addr];  // default: valid, token 0
+}
+
+const MemoryModule::MemLine &
+MemoryModule::lineOfConst(Addr addr) const
+{
+    assert(grid.homeColumn(addr) == column);
+    return store[addr];
+}
+
+bool
+MemoryModule::lineValid(Addr addr) const
+{
+    return lineOfConst(addr).valid;
+}
+
+LineData
+MemoryModule::lineData(Addr addr) const
+{
+    return lineOfConst(addr).data;
+}
+
+void
+MemoryModule::poke(Addr addr, const LineData &data, bool valid)
+{
+    MemLine &l = lineOf(addr);
+    l.data = data;
+    l.valid = valid;
+}
+
+void
+MemoryModule::respond(BusOp op)
+{
+    assert(bus);
+    Tick start = std::max(eq.now(), busyUntil);
+    busyUntil = start + params.accessTicks;
+    eq.schedule(busyUntil, [this, op] { bus->request(slot, op); });
+}
+
+void
+MemoryModule::snoop(const BusOp &op, bool modified_signal)
+{
+    (void)modified_signal;
+
+    // Memory-update operations (unstarred controllers also see these;
+    // the starred "write memory line and mark line valid" happens
+    // here).
+    bool write_update =
+        (op.txn == TxnType::WriteBack && op.is(op::Update)
+         && op.is(op::Memory))
+        || (op.txn == TxnType::Read && op.is(op::Reply) && op.is(op::Update)
+            && op.is(op::Memory))
+        || (op.txn == TxnType::Read && op.is(op::Update) && op.is(op::Memory)
+            && !op.is(op::Reply));
+    if (write_update) {
+        assert(op.hasData);
+        MemLine &l = lineOf(op.addr);
+        l.data = op.data;
+        l.valid = true;
+        ++statUpdates;
+        MCUBE_LOG(LogCat::Mem, eq.now(),
+                  name << " update addr=" << op.addr
+                       << " tok=" << op.data.token);
+        return;
+    }
+
+    if (op.is(op::Request) && op.is(op::Memory))
+        serveRequest(op);
+}
+
+void
+MemoryModule::serveRequest(const BusOp &req)
+{
+    MemLine &l = lineOf(req.addr);
+
+    // Invalid line: the correct copy is in some cache. Appendix A:
+    // reissue the request on the column as (REQUEST, REMOVE); if the
+    // modified copy is in this column it responds, otherwise the
+    // controller on the originator's row re-launches the whole
+    // request on its row bus.
+    if (!l.valid) {
+        BusOp bounce = req;
+        bounce.params = op::Request | op::Remove;
+        bounce.sender = invalidNode;
+        bounce.hasData = false;
+        ++statBounces;
+        MCUBE_LOG(LogCat::Mem, eq.now(),
+                  name << " bounce " << toString(req));
+        respond(bounce);
+        return;
+    }
+
+    switch (req.txn) {
+      case TxnType::Read: {
+        BusOp reply = req;
+        reply.params = op::Reply | op::NoPurge;
+        reply.sender = invalidNode;
+        reply.hasData = true;
+        reply.data = l.data;
+        ++statReads;
+        respond(reply);
+        break;
+      }
+      case TxnType::ReadMod:
+      case TxnType::Allocate: {
+        // Give the line to the requester and broadcast the purge.
+        // ALLOCATE returns an acknowledge instead of data (Section 3).
+        BusOp reply = req;
+        reply.params = op::Reply | op::Purge;
+        reply.sender = invalidNode;
+        if (req.txn == TxnType::Allocate) {
+            reply.params |= op::Ack;
+            reply.hasData = false;
+        } else {
+            reply.hasData = true;
+        }
+        reply.data = l.data;
+        reply.data.next = invalidNode;  // queue links never leave a node
+        l.valid = false;
+        ++statReads;
+        respond(reply);
+        break;
+      }
+      case TxnType::Tset:
+      case TxnType::Sync: {
+        // Section 4: executed "in memory if unmodified". Success
+        // moves the line (lock now held) to the requester exactly
+        // like a READ-MOD; failure returns only the notification.
+        if (l.data.lock == 0) {
+            BusOp reply = req;
+            reply.params = op::Reply | op::Purge;
+            reply.sender = invalidNode;
+            reply.hasData = true;
+            reply.data = l.data;
+            reply.data.lock = 1;
+            reply.data.next = invalidNode;
+            l.valid = false;
+            ++statReads;
+            respond(reply);
+        } else {
+            BusOp reply = req;
+            reply.params = op::Reply | op::Fail;
+            reply.sender = invalidNode;
+            reply.hasData = false;
+            ++statTsetFails;
+            respond(reply);
+        }
+        break;
+      }
+      case TxnType::WriteBack:
+        assert(false && "WRITEBACK carries no (REQUEST, MEMORY) op");
+        break;
+    }
+}
+
+void
+MemoryModule::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A main-memory module on one column bus.
+ *
+ * Section 3: "Main memory is located on the columns, interleaved by
+ * lines ... a single tag bit is associated with each line in main
+ * memory indicating whether the contents are valid or invalid, that
+ * is, modified. This bit is necessary to prevent a request from
+ * acquiring stale data from memory while the modified line tables are
+ * in an inconsistent state."
+ *
+ * The module implements exactly the starred lines of Appendix A: it
+ * serves valid lines, bounces requests for invalid lines back onto
+ * the column as (REQUEST, REMOVE) operations — the robustness that
+ * lets mis-routed or dropped requests retry — and absorbs UPDATE
+ * operations. The Section 4 test-and-set / SYNC primitives execute
+ * "in memory if unmodified", which is also handled here.
+ *
+ * Timing: a simple FIFO service model with a fixed access latency
+ * (paper: 750 ns); back-to-back requests serialise.
+ */
+
+#ifndef MCUBE_MEM_MEMORY_MODULE_HH
+#define MCUBE_MEM_MEMORY_MODULE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "bus/bus.hh"
+#include "bus/bus_op.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "topology/grid_map.hh"
+
+namespace mcube
+{
+
+/** Timing parameters of a memory module. */
+struct MemoryParams
+{
+    Tick accessTicks = 750;  //!< DRAM access latency (paper: 750 ns)
+};
+
+/** Main memory for the lines homed on one column. */
+class MemoryModule : public BusAgent
+{
+  public:
+    /**
+     * @param name Instance name.
+     * @param eq Shared event queue.
+     * @param grid Grid geometry (for home-column assertions).
+     * @param column The column this module serves.
+     * @param params Timing parameters.
+     */
+    MemoryModule(std::string name, EventQueue &eq, const GridMap &grid,
+                 unsigned column, const MemoryParams &params);
+
+    /** Attach to the column bus. Must be called exactly once. */
+    void connect(Bus &column_bus);
+
+    void snoop(const BusOp &op, bool modified_signal) override;
+
+    /** @{ Storage inspection/poking for tests and the checker. */
+    bool lineValid(Addr addr) const;
+    LineData lineData(Addr addr) const;
+    void poke(Addr addr, const LineData &data, bool valid);
+    /** @} */
+
+    std::uint64_t readsServed() const { return statReads.value(); }
+    std::uint64_t updates() const { return statUpdates.value(); }
+    std::uint64_t bounces() const { return statBounces.value(); }
+
+    void regStats(StatGroup &parent);
+
+  private:
+    struct MemLine
+    {
+        LineData data{};
+        bool valid = true;  //!< memory copy is current
+    };
+
+    /** Fetch-or-create the backing line (memory owns all lines
+     *  initially, with token 0 and valid bit set). */
+    MemLine &lineOf(Addr addr);
+    const MemLine &lineOfConst(Addr addr) const;
+
+    /** Issue @p op on the column bus after the service latency. */
+    void respond(BusOp op);
+
+    /** Handle a (REQUEST, MEMORY) op of any transaction type. */
+    void serveRequest(const BusOp &op);
+
+    std::string name;
+    EventQueue &eq;
+    const GridMap &grid;
+    unsigned column;
+    MemoryParams params;
+
+    Bus *bus = nullptr;
+    unsigned slot = 0;
+    Tick busyUntil = 0;
+
+    mutable std::unordered_map<Addr, MemLine> store;
+
+    Counter statReads;
+    Counter statUpdates;
+    Counter statBounces;
+    Counter statTsetFails;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_MEM_MEMORY_MODULE_HH

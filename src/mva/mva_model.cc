@@ -1,0 +1,203 @@
+#include "mva/mva_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcube
+{
+
+namespace
+{
+
+/** Mix sanity: fractions must sum to ~1. */
+double
+mixSum(const MvaParams &p)
+{
+    return p.fracReadUnmod + p.fracReadMod + p.fracWriteUnmod
+         + p.fracWriteMod;
+}
+
+} // namespace
+
+double
+MvaModel::dataOpTime() const
+{
+    double words = static_cast<double>(params.blockWords);
+    if (params.pieceWords > 0 && params.pieceWords < params.blockWords) {
+        // Section 5: the line moves in fixed-size pieces, each with
+        // its own header; total wire time grows by the extra headers.
+        double pieces = std::ceil(words / params.pieceWords);
+        return pieces * params.headerTimeNs + words * params.wordTimeNs;
+    }
+    return params.headerTimeNs + words * params.wordTimeNs;
+}
+
+double
+MvaModel::dataLegLatencyFirst() const
+{
+    // Latency until the receiving controller can begin forwarding.
+    bool cut = params.technique == LatencyTechnique::CutThrough
+            || params.technique == LatencyTechnique::Both;
+    if (params.pieceWords > 0 && params.pieceWords < params.blockWords)
+        return params.headerTimeNs + params.pieceWords * params.wordTimeNs;
+    if (cut)
+        return params.headerTimeNs + params.wordTimeNs;
+    return dataOpTime();
+}
+
+double
+MvaModel::dataLegLatencyFinal() const
+{
+    // Latency until the requested word reaches the processor.
+    bool rwf = params.technique == LatencyTechnique::RequestedWordFirst
+            || params.technique == LatencyTechnique::Both;
+    if (params.pieceWords > 0 && params.pieceWords < params.blockWords)
+        return params.headerTimeNs + params.pieceWords * params.wordTimeNs;
+    if (rwf)
+        return params.headerTimeNs + params.wordTimeNs;
+    return dataOpTime();
+}
+
+double
+MvaModel::rowDemandPerTxn() const
+{
+    const double sh = params.headerTimeNs;
+    const double sd = dataOpTime();
+    const double n = params.n;
+
+    // Per class: expected row-bus occupancy (all ops, on the wire).
+    double ru = sh + sd;                    // request + reply
+    double rm = sh + sd + sd * (1.0 - 1.0 / n);  // + memory update leg
+    double wu = sh + sd + (n - 1.0) * sh;   // + (n-1) short purges
+    double wm = sh + sd;
+    // A home-column cache hit uses the same two row ops (and no
+    // column ops), so ru is unchanged on rows.
+
+    return params.fracReadUnmod * ru + params.fracReadMod * rm
+         + params.fracWriteUnmod * wu + params.fracWriteMod * wm;
+}
+
+double
+MvaModel::colDemandPerTxn() const
+{
+    const double sh = params.headerTimeNs;
+    const double sd = dataOpTime();
+
+    // Home-column cache hits skip the column entirely.
+    double ru = (1.0 - params.pHomeCacheHit) * (sh + sd);
+    double rm = sh + sd + sd;        // + memory-update write
+    double wu = 2.0 * sh + sd;       // request + reply + table insert
+    double wm = sh + sd + sh;        // request + reply-insert + insert
+
+    return params.fracReadUnmod * ru + params.fracReadMod * rm
+         + params.fracWriteUnmod * wu + params.fracWriteMod * wm;
+}
+
+double
+MvaModel::rawLatency() const
+{
+    const double sh = params.headerTimeNs;
+    const double two_leg = sh + sh + dataLegLatencyFirst()
+                         + dataLegLatencyFinal();
+    // Home-column cache hit: one row request, cache access, one row
+    // data leg.
+    const double home_hit =
+        sh + params.cacheLatencyNs + dataLegLatencyFinal();
+
+    double ru = params.pHomeCacheHit * home_hit
+              + (1.0 - params.pHomeCacheHit)
+                    * (two_leg + params.memoryLatencyNs);
+    double rm = two_leg + params.cacheLatencyNs;
+    double wu = two_leg + params.memoryLatencyNs;
+    double wm = two_leg + params.cacheLatencyNs;
+
+    return params.fracReadUnmod * ru + params.fracReadMod * rm
+         + params.fracWriteUnmod * wu + params.fracWriteMod * wm;
+}
+
+MvaResult
+MvaModel::solve() const
+{
+    MvaResult res;
+    double mix = mixSum(params);
+    if (mix < 0.999 || mix > 1.001)
+        return res;  // invalid mix: all-zero result
+
+    const double n = params.n;
+    const double N = n * n;
+    const double Z = 1e6 / params.requestsPerMs;  // ns of think time
+
+    const double sh = params.headerTimeNs;
+
+    // Occupancy demands at one specific bus, per transaction.
+    const double o_row = rowDemandPerTxn();
+    const double o_col = colDemandPerTxn();
+    const double d_row = o_row / n;
+    const double d_col = o_col / n;
+
+    // Expected op counts (for mean service time at a bus).
+    const double sd = dataOpTime();
+    double ops_row = params.fracReadUnmod * 2.0
+                   + params.fracReadMod * 3.0
+                   + params.fracWriteUnmod * (1.0 + n)
+                   + params.fracWriteMod * 2.0;
+    double ops_col = params.fracReadUnmod * 2.0
+                   + params.fracReadMod * 3.0
+                   + params.fracWriteUnmod * 3.0
+                   + params.fracWriteMod * 3.0;
+    const double sbar_row = o_row / ops_row;
+    const double sbar_col = o_col / ops_col;
+    (void)sd;
+
+    // Critical-path service (two visits per dimension).
+    const double raw = rawLatency();
+
+    // Waiting time per queued visit given a candidate cycle time.
+    // Larger cycle => lower throughput => lower utilisation => less
+    // waiting, so g(cycle) = Z + raw + waits(cycle) is strictly
+    // decreasing and the fixed point g(c) = c is unique: bisect.
+    const double corr = (N - 1.0) / N;
+    auto waits = [&](double cycle) {
+        double x_sys = N / cycle;
+        double u_row = std::min(x_sys * d_row, 0.999999);
+        double u_col = std::min(x_sys * d_col, 0.999999);
+        double w_row = u_row * corr * sbar_row
+                     / std::max(1e-9, 1.0 - u_row * corr);
+        double w_col = u_col * corr * sbar_col
+                     / std::max(1e-9, 1.0 - u_col * corr);
+        return 2.0 * w_row + 2.0 * w_col;
+    };
+
+    // Expand until g(hi) <= hi; g is bounded by the saturated waiting
+    // time, so this terminates.
+    double lo = Z + raw;
+    double hi = lo;
+    while (Z + raw + waits(hi) > hi)
+        hi *= 2.0;
+    unsigned it = 0;
+    for (; it < 200; ++it) {
+        double mid = 0.5 * (lo + hi);
+        double g = Z + raw + waits(mid);
+        if (g > mid)
+            lo = mid;
+        else
+            hi = mid;
+        if ((hi - lo) < 1e-9 * hi)
+            break;
+    }
+    double cycle = 0.5 * (lo + hi);
+
+    double x_proc = 1.0 / cycle;
+    double x_sys = N * x_proc;
+    res.cycleTimeNs = cycle;
+    res.responseTimeNs = cycle - Z;
+    res.efficiency = Z / cycle;
+    res.rowUtilization = std::min(x_sys * d_row, 1.0);
+    res.colUtilization = std::min(x_sys * d_col, 1.0);
+    res.throughputPerProc = x_proc;
+    res.iterations = it;
+    (void)sh;
+    return res;
+}
+
+} // namespace mcube

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Approximate mean-value analysis of the Wisconsin Multicube,
+ * reimplementing the style of model the paper's evaluation uses
+ * (Leutenegger & Vernon [LeVe88] — the original implementation was
+ * never published, so the visit counts and service demands here are
+ * derived directly from the Section 3 / Appendix A protocol; see
+ * DESIGN.md for the substitution note).
+ *
+ * Model: a closed queueing network with N = n^2 customers
+ * (processors). Each customer cycles through
+ *
+ *   think (mean 1/request-rate)  ->  one bus transaction
+ *
+ * where a transaction is a protocol-defined sequence of row-bus and
+ * column-bus operations plus fixed memory / snooping-cache latencies.
+ * The 2n buses are FIFO queueing centers; by symmetry every row bus
+ * carries the same load, so Schweitzer approximate MVA over one row
+ * center and one column center (with per-bus demands = total demand
+ * divided by n) suffices. Bus operations that are off the critical
+ * path (memory-update writes, the short purge broadcasts on remote
+ * rows) contribute queueing load but not response time, matching the
+ * paper's observation that "all of these operations are very short".
+ *
+ * Efficiency is the paper's metric: think / cycle, i.e. the speedup
+ * relative to a machine with no bus or memory latency.
+ */
+
+#ifndef MCUBE_MVA_MVA_MODEL_HH
+#define MCUBE_MVA_MVA_MODEL_HH
+
+namespace mcube
+{
+
+/** Section 5 latency-reduction techniques (modelled variants). */
+enum class LatencyTechnique
+{
+    None,               //!< full block on both legs
+    RequestedWordFirst, //!< second leg unblocks after the first word
+    CutThrough,         //!< first leg forwarded as words arrive
+    Both,               //!< both techniques combined
+};
+
+/** Inputs to the model (defaults = Figure 2 caption). */
+struct MvaParams
+{
+    unsigned n = 32;              //!< processors per row (N = n^2)
+    double requestsPerMs = 25.0;  //!< bus transactions per ms per proc
+
+    /** Class mix. The Figure 2 caption gives P(unmodified) = 0.8 and
+     *  P(invalidation write miss) = 0.2. */
+    double fracReadUnmod = 0.60;
+    double fracReadMod = 0.15;
+    double fracWriteUnmod = 0.20;  //!< invalidation broadcasts
+    double fracWriteMod = 0.05;
+
+    unsigned blockWords = 16;   //!< words per transfer/coherency block
+    double wordTimeNs = 50.0;   //!< bus word time (paper: 50 ns)
+    double headerTimeNs = 50.0; //!< address/command op duration
+    double memoryLatencyNs = 750.0;   //!< main memory access
+    double cacheLatencyNs = 750.0;    //!< snooping (DRAM) cache access
+
+    LatencyTechnique technique = LatencyTechnique::None;
+
+    /** Split data transfers into fixed-size pieces of this many words
+     *  (0 = off). Section 5's "send the requested line in small
+     *  fixed-size pieces". */
+    unsigned pieceWords = 0;
+
+    /**
+     * Fraction of reads to unmodified data satisfied by the
+     * home-column controller's own cache (Section 6: such reads "are
+     * likely to be satisfied by some cache along the path to
+     * memory"): 2 row ops, no column traffic, snooping-cache latency.
+     */
+    double pHomeCacheHit = 0.0;
+};
+
+/** Outputs of one model solution. */
+struct MvaResult
+{
+    double efficiency = 0.0;      //!< think / cycle (paper's metric)
+    double cycleTimeNs = 0.0;     //!< mean think + response time
+    double responseTimeNs = 0.0;  //!< mean transaction time
+    double rowUtilization = 0.0;  //!< per row bus
+    double colUtilization = 0.0;  //!< per column bus
+    double throughputPerProc = 0.0;  //!< transactions per ns
+    unsigned iterations = 0;      //!< AMVA iterations to converge
+};
+
+/** Solver for the Multicube closed network. */
+class MvaModel
+{
+  public:
+    explicit MvaModel(const MvaParams &params) : params(params) {}
+
+    /** Solve by Schweitzer fixed-point iteration. */
+    MvaResult solve() const;
+
+    /** Expected row/column bus busy time per transaction (ns),
+     *  exposed for tests and the busops bench. */
+    double rowDemandPerTxn() const;
+    double colDemandPerTxn() const;
+
+    /** Zero-queueing transaction latency (ns), critical path only. */
+    double rawLatency() const;
+
+  private:
+    /** Duration of a data-carrying op on the wire (occupancy). */
+    double dataOpTime() const;
+    /** Critical-path latency contribution of a data op on the first
+     *  (forwarded) leg and on the final leg, per the technique. */
+    double dataLegLatencyFirst() const;
+    double dataLegLatencyFinal() const;
+
+    MvaParams params;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_MVA_MVA_MODEL_HH

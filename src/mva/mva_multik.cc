@@ -1,0 +1,121 @@
+#include "mva/mva_multik.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcube
+{
+
+double
+MultiKMvaModel::dataOpTime() const
+{
+    return params.headerTimeNs
+         + static_cast<double>(params.blockWords) * params.wordTimeNs;
+}
+
+double
+MultiKMvaModel::invalidationOps() const
+{
+    double N = std::pow(static_cast<double>(params.n), params.k);
+    if (params.n <= 1)
+        return 1.0;
+    return (N - 1.0) / (params.n - 1.0);
+}
+
+double
+MultiKMvaModel::totalDemandPerTxn() const
+{
+    const double sh = params.headerTimeNs;
+    const double sd = dataOpTime();
+    const double k = params.k;
+
+    // Non-broadcast path: one request header and one data reply per
+    // dimension; writes add one table-maintenance header.
+    double base = k * (sh + sd);
+    double ru = base;
+    double rm = base + sd;        // memory update leg
+    double wu = base + sh + invalidationOps() * sh;
+    double wm = base + sh;
+
+    return params.fracReadUnmod * ru + params.fracReadMod * rm
+         + params.fracWriteUnmod * wu + params.fracWriteMod * wm;
+}
+
+double
+MultiKMvaModel::opsPerTxn() const
+{
+    const double k = params.k;
+    double base = 2.0 * k;
+    double ru = base;
+    double rm = base + 1.0;
+    double wu = base + 1.0 + invalidationOps();
+    double wm = base + 1.0;
+    return params.fracReadUnmod * ru + params.fracReadMod * rm
+         + params.fracWriteUnmod * wu + params.fracWriteMod * wm;
+}
+
+double
+MultiKMvaModel::rawLatency() const
+{
+    const double sh = params.headerTimeNs;
+    const double sd = dataOpTime();
+    double p_unmod = params.fracReadUnmod + params.fracWriteUnmod;
+    double fixed = p_unmod * params.memoryLatencyNs
+                 + (1.0 - p_unmod) * params.cacheLatencyNs;
+    return params.k * sh + params.k * sd + fixed;
+}
+
+MultiKResult
+MultiKMvaModel::solve() const
+{
+    MultiKResult res;
+    double mix = params.fracReadUnmod + params.fracReadMod
+               + params.fracWriteUnmod + params.fracWriteMod;
+    if (mix < 0.999 || mix > 1.001)
+        return res;
+
+    const double n = params.n;
+    const double k = params.k;
+    const double N = std::pow(n, k);
+    const double buses = k * std::pow(n, k - 1.0);
+    const double Z = 1e6 / params.requestsPerMs;
+
+    const double total = totalDemandPerTxn();
+    const double d_bus = total / buses;           // per specific bus
+    const double sbar = total / opsPerTxn();      // mean op service
+    const double raw = rawLatency();
+    const double crit_visits = 2.0 * k;           // queued hops
+    const double corr = (N - 1.0) / N;
+
+    auto waits = [&](double cycle) {
+        double x_sys = N / cycle;
+        double u = std::min(x_sys * d_bus, 0.999999);
+        double w = u * corr * sbar
+                 / std::max(1e-9, 1.0 - u * corr);
+        return crit_visits * w;
+    };
+
+    double lo = Z + raw;
+    double hi = lo;
+    while (Z + raw + waits(hi) > hi)
+        hi *= 2.0;
+    for (unsigned it = 0; it < 200; ++it) {
+        double mid = 0.5 * (lo + hi);
+        if (Z + raw + waits(mid) > mid)
+            lo = mid;
+        else
+            hi = mid;
+        if ((hi - lo) < 1e-9 * hi)
+            break;
+    }
+    double cycle = 0.5 * (lo + hi);
+
+    res.cycleTimeNs = cycle;
+    res.responseTimeNs = cycle - Z;
+    res.efficiency = Z / cycle;
+    res.busUtilization = std::min(N / cycle * d_bus, 1.0);
+    res.throughputPerProc = 1.0 / cycle;
+    return res;
+}
+
+} // namespace mcube

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Approximate MVA for the general n^k Multicube (Section 6).
+ *
+ * Section 6 argues: per-processor bus bandwidth is k/n, growing with
+ * k "precisely the rate at which the normal path length grows", while
+ * invalidation broadcasts scale less favourably at ~ (N-1)/(n-1)
+ * operations; hence higher dimensions trade broadcast cost against
+ * bandwidth, "a subject for future research". This model makes that
+ * trade-off quantitative.
+ *
+ * Machine: N = n^k processors, k dimensions, n^(k-1) buses per
+ * dimension. A (non-broadcast) transaction performs one short request
+ * op and one data op per dimension on its path (up to k of each way);
+ * a write miss to unmodified data additionally broadcasts
+ * ~ (N-1)/(n-1) short invalidation ops spread uniformly over all
+ * buses. All dimensions are symmetric, so one queueing centre with
+ * per-bus demand D = (total occupancy per transaction)/(k n^(k-1))
+ * suffices; the closed-network fixed point is solved by bisection as
+ * in MvaModel.
+ *
+ * For k = 2 this model is a symmetrised approximation of MvaModel
+ * (it ignores the row/column asymmetry of memory placement); tests
+ * check they agree to within a few percent.
+ */
+
+#ifndef MCUBE_MVA_MVA_MULTIK_HH
+#define MCUBE_MVA_MVA_MULTIK_HH
+
+#include "mva/mva_model.hh"
+
+namespace mcube
+{
+
+/** Inputs for the general-k model. */
+struct MultiKParams
+{
+    unsigned n = 32;  //!< processors per bus
+    unsigned k = 2;   //!< dimensions (buses per processor)
+    double requestsPerMs = 25.0;
+
+    double fracReadUnmod = 0.60;
+    double fracReadMod = 0.15;
+    double fracWriteUnmod = 0.20;
+    double fracWriteMod = 0.05;
+
+    unsigned blockWords = 16;
+    double wordTimeNs = 50.0;
+    double headerTimeNs = 50.0;
+    double memoryLatencyNs = 750.0;
+    double cacheLatencyNs = 750.0;
+};
+
+/** Outputs (shared shape with the 2-D model). */
+struct MultiKResult
+{
+    double efficiency = 0.0;
+    double cycleTimeNs = 0.0;
+    double responseTimeNs = 0.0;
+    double busUtilization = 0.0;     //!< per bus (all symmetric)
+    double throughputPerProc = 0.0;  //!< transactions per ns
+};
+
+/** Solver. */
+class MultiKMvaModel
+{
+  public:
+    explicit MultiKMvaModel(const MultiKParams &params)
+        : params(params)
+    {
+    }
+
+    MultiKResult solve() const;
+
+    /** Total bus occupancy per transaction (ns, all buses). */
+    double totalDemandPerTxn() const;
+
+    /** Expected bus ops per transaction (incl. broadcast share). */
+    double opsPerTxn() const;
+
+    /** Unloaded critical-path latency (ns). */
+    double rawLatency() const;
+
+    /** Broadcast cost in bus operations: ~ (N-1)/(n-1). */
+    double invalidationOps() const;
+
+  private:
+    double dataOpTime() const;
+
+    MultiKParams params;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_MVA_MVA_MULTIK_HH

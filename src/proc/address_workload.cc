@@ -1,0 +1,127 @@
+#include "proc/address_workload.hh"
+
+namespace mcube
+{
+
+namespace
+{
+
+/** Private regions are spaced far apart and far from the shared set. */
+constexpr Addr privateBase = 1ull << 32;
+constexpr Addr privateStride = 1ull << 24;
+
+} // namespace
+
+AddressWorkload::AddressWorkload(MulticubeSystem &sys,
+                                 const AddressWorkloadParams &params)
+    : sys(sys), params(params), seeder(params.seed)
+{
+    agents.resize(sys.numNodes());
+    procs.reserve(sys.numNodes());
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        agents[id].id = id;
+        agents[id].rng = seeder.fork();
+        procs.push_back(std::make_unique<Processor>(
+            "aw" + std::to_string(id), sys.eventQueue(), sys.node(id),
+            params.proc));
+    }
+}
+
+void
+AddressWorkload::start()
+{
+    startTick = sys.eventQueue().now();
+    running = true;
+    for (NodeId id = 0; id < sys.numNodes(); ++id)
+        step(id);
+}
+
+void
+AddressWorkload::step(NodeId id)
+{
+    if (!running)
+        return;
+    sys.eventQueue().scheduleIn(params.thinkTicks,
+                                [this, id] { issue(id); });
+}
+
+Addr
+AddressWorkload::pick(Agent &a, bool &is_write)
+{
+    if (a.rng.chance(params.pShared)) {
+        is_write = a.rng.chance(params.pSharedWrite);
+        return a.rng.below(
+            static_cast<std::uint32_t>(params.sharedLines));
+    }
+    is_write = a.rng.chance(params.pPrivateWrite);
+    return privateBase + a.id * privateStride
+         + a.rng.below(static_cast<std::uint32_t>(params.privateLines));
+}
+
+void
+AddressWorkload::issue(NodeId id)
+{
+    if (!running)
+        return;
+    Agent &a = agents[id];
+    Processor &p = *procs[id];
+    if (p.busy()) {
+        step(id);
+        return;
+    }
+
+    bool is_write = false;
+    Addr addr = pick(a, is_write);
+    ++_refs;
+    if (is_write) {
+        p.store(addr,
+                (static_cast<std::uint64_t>(id + 1) << 40)
+                    + nextToken++,
+                [this, id] { step(id); });
+    } else {
+        p.load(addr, [this, id](std::uint64_t) { step(id); });
+    }
+}
+
+double
+AddressWorkload::observedBusRequestRate() const
+{
+    Tick end = stopTick ? stopTick : sys.eventQueue().now();
+    if (end <= startTick)
+        return 0.0;
+    double elapsed_ms = static_cast<double>(end - startTick) / 1e6;
+    std::uint64_t misses = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id)
+        misses += sys.node(id).misses();
+    return static_cast<double>(misses)
+         / (elapsed_ms * static_cast<double>(sys.numNodes()));
+}
+
+double
+AddressWorkload::l1HitRate() const
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const auto &p : procs) {
+        hits += p->l1Hits();
+        total += p->loads() + p->stores();
+    }
+    return total ? static_cast<double>(hits)
+                       / static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+AddressWorkload::l2HitRate() const
+{
+    std::uint64_t hits = 0, misses = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        hits += sys.node(id).hits();
+        misses += sys.node(id).misses();
+    }
+    std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits)
+                       / static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace mcube

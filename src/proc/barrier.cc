@@ -1,0 +1,74 @@
+#include "proc/barrier.hh"
+
+namespace mcube
+{
+
+void
+BarrierMember::arrive(ArriveCb cb)
+{
+    pendingCb = std::move(cb);
+    // Snapshot the generation we are waiting to leave, then enter the
+    // critical section.
+    proc.load(addrs.generation, [this](std::uint64_t gen) {
+        myGeneration = gen;
+        acquireLock();
+    });
+}
+
+void
+BarrierMember::acquireLock()
+{
+    proc.syncAcquire(addrs.lock, [this](bool granted) {
+        if (granted)
+            readCount();
+        else
+            acquireLock();  // rare local contention; retry
+    });
+}
+
+void
+BarrierMember::readCount()
+{
+    proc.load(addrs.count, [this](std::uint64_t count) {
+        std::uint64_t arrived = count + 1;
+        if (arrived >= parties) {
+            // Last arrival: reset the counter and release everyone by
+            // bumping the generation (one invalidation broadcast).
+            proc.store(addrs.count, 0, [this] {
+                proc.store(addrs.generation, myGeneration + 1, [this] {
+                    proc.release(addrs.lock, 1, [this] {
+                        ++_episodes;
+                        ArriveCb cb = std::move(pendingCb);
+                        if (cb)
+                            cb();
+                    });
+                });
+            });
+        } else {
+            proc.store(addrs.count, arrived, [this] {
+                proc.release(addrs.lock, 1,
+                             [this] { spinOnGeneration(); });
+            });
+        }
+    });
+}
+
+void
+BarrierMember::spinOnGeneration()
+{
+    ++_spinReads;
+    proc.load(addrs.generation, [this](std::uint64_t gen) {
+        if (gen != myGeneration) {
+            ++_episodes;
+            ArriveCb cb = std::move(pendingCb);
+            if (cb)
+                cb();
+            return;
+        }
+        // Still the old generation: the copy is cached locally, so
+        // this spin is bus-silent until the release invalidates it.
+        spinOnGeneration();
+    });
+}
+
+} // namespace mcube

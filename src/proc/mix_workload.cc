@@ -1,0 +1,216 @@
+#include "proc/mix_workload.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+namespace
+{
+
+/** Ticks per millisecond (1 tick = 1 ns). */
+constexpr double ticksPerMs = 1e6;
+
+} // namespace
+
+MixWorkload::MixWorkload(MulticubeSystem &sys, const MixParams &params)
+    : sys(sys), params(params), seeder(params.seed), stats("mix")
+{
+    [[maybe_unused]] double sum = params.fracReadUnmod
+        + params.fracReadMod + params.fracWriteUnmod
+        + params.fracWriteMod;
+    assert(sum > 0.999 && sum < 1.001 && "class mix must sum to 1");
+
+    agents.resize(sys.numNodes());
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        agents[id].id = id;
+        agents[id].rng = seeder.fork();
+    }
+
+    stats.addCounter("read_unmod", classDone[0]);
+    stats.addCounter("read_mod", classDone[1]);
+    stats.addCounter("write_unmod", classDone[2]);
+    stats.addCounter("write_mod", classDone[3]);
+    stats.addCounter("mod_targeted", statModTargeted,
+                     "requests aimed at a registry-modified line");
+    stats.addCounter("mod_registry_empty", statModMissedRegistry,
+                     "modified-class requests downgraded (registry dry)");
+    stats.addDistribution("latency", statLatency,
+                          "bus transaction latency (ticks)");
+}
+
+void
+MixWorkload::start()
+{
+    startTick = sys.eventQueue().now();
+    running = true;
+    for (auto &a : agents)
+        scheduleNext(a);
+}
+
+void
+MixWorkload::scheduleNext(Agent &a)
+{
+    if (!running)
+        return;
+    double mean_think = ticksPerMs / params.requestsPerMs;
+    Tick think = static_cast<Tick>(a.rng.exponential(mean_think));
+    if (think == 0)
+        think = 1;
+    a.computeTicks += think;
+    NodeId id = a.id;
+    sys.eventQueue().scheduleIn(think, [this, id] { issue(agents[id]); });
+}
+
+bool
+MixWorkload::pickModified(Agent &a, Addr &addr_out)
+{
+    // Compact the sampling vector opportunistically.
+    while (!modifiedList.empty()) {
+        std::size_t i = a.rng.below(
+            static_cast<std::uint32_t>(modifiedList.size()));
+        Addr cand = modifiedList[i];
+        auto it = modifiedBy.find(cand);
+        if (it == modifiedBy.end()) {
+            modifiedList[i] = modifiedList.back();
+            modifiedList.pop_back();
+            continue;
+        }
+        if (it->second == a.id) {
+            // Our own modified line would be a cache hit, not a bus
+            // transaction; try again (bounded by list shuffling).
+            if (modifiedList.size() == 1)
+                return false;
+            std::size_t j = a.rng.below(
+                static_cast<std::uint32_t>(modifiedList.size()));
+            if (j == i)
+                return false;
+            continue;
+        }
+        addr_out = cand;
+        return true;
+    }
+    return false;
+}
+
+void
+MixWorkload::issue(Agent &a)
+{
+    if (!running) {
+        return;
+    }
+
+    SnoopController &ctrl = sys.node(a.id);
+    if (ctrl.busy()) {
+        // Should not happen (one request per node), but be safe.
+        scheduleNext(a);
+        return;
+    }
+
+    double r = a.rng.uniform();
+    unsigned cls;
+    if (r < params.fracReadUnmod)
+        cls = 0;
+    else if (r < params.fracReadUnmod + params.fracReadMod)
+        cls = 1;
+    else if (r < params.fracReadUnmod + params.fracReadMod
+                     + params.fracWriteUnmod)
+        cls = 2;
+    else
+        cls = 3;
+
+    Addr addr = 0;
+    bool to_modified = false;
+    if (cls == 1 || cls == 3) {
+        if (pickModified(a, addr)) {
+            to_modified = true;
+            ++statModTargeted;
+        } else {
+            ++statModMissedRegistry;
+            cls = cls == 1 ? 0 : 2;  // downgrade to the unmod class
+        }
+    }
+    if (!to_modified)
+        addr = a.rng.next64() % params.addressSpace;
+
+    NodeId id = a.id;
+    bool is_write = cls >= 2;
+    auto done = [this, id, cls, addr,
+                 is_write](const TxnResult &res) {
+        Agent &ag = agents[id];
+        statLatency.sample(static_cast<double>(res.latency));
+        ++classDone[cls];
+        if (is_write) {
+            auto [it, fresh] = modifiedBy.emplace(addr, id);
+            if (!fresh)
+                it->second = id;
+            else
+                modifiedList.push_back(addr);
+        } else {
+            // A READ demotes a modified line to global unmodified.
+            modifiedBy.erase(addr);
+        }
+        scheduleNext(ag);
+    };
+
+    AccessOutcome out;
+    std::uint64_t tok = 0;
+    if (is_write)
+        out = ctrl.write(addr, (static_cast<std::uint64_t>(a.id + 1)
+                                << 40) + a.nextToken++,
+                         done);
+    else
+        out = ctrl.read(addr, tok, done);
+
+    if (out == AccessOutcome::Hit) {
+        // Rare (registry raced with a local hit): count and move on.
+        TxnResult res;
+        res.latency = 0;
+        done(res);
+    }
+}
+
+double
+MixWorkload::efficiency() const
+{
+    // Paper metric: achieved speed relative to a machine with no bus
+    // or memory latency. With non-overlapping requests that equals
+    // achieved throughput / ideal throughput (= the request rate).
+    Tick end = stopTick ? stopTick : sys.eventQueue().now();
+    if (end <= startTick)
+        return 1.0;
+    double elapsed_ms = static_cast<double>(end - startTick) / 1e6;
+    double ideal = params.requestsPerMs * elapsed_ms
+                 * static_cast<double>(agents.size());
+    if (ideal <= 0.0)
+        return 1.0;
+    double eff = static_cast<double>(totalCompleted()) / ideal;
+    return eff > 1.0 ? 1.0 : eff;
+}
+
+std::uint64_t
+MixWorkload::totalCompleted() const
+{
+    std::uint64_t t = 0;
+    for (const auto &c : classDone)
+        t += c.value();
+    return t;
+}
+
+double
+MixWorkload::achievedModifiedFraction() const
+{
+    std::uint64_t total = totalCompleted();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(statModTargeted.value())
+         / static_cast<double>(total);
+}
+
+void
+MixWorkload::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Rate-driven synthetic workload matching the [LeVe88] model
+ * assumptions used for Figures 2-4.
+ *
+ * Each node alternates between computing (exponentially distributed
+ * think time whose mean is 1/request-rate) and issuing one bus
+ * transaction, chosen from four classes:
+ *
+ *   read-unmodified   READ to a line whose home memory copy is valid
+ *   read-modified     READ to a line currently modified elsewhere
+ *   write-unmodified  READ-MOD to an unmodified line (invalidation
+ *                     broadcast — the Figure 3 parameter)
+ *   write-modified    READ-MOD to a line modified elsewhere
+ *
+ * The workload keeps a functional registry of which lines it has made
+ * globally modified, so the class mix is controllable; fresh addresses
+ * are drawn from a huge space so "unmodified" requests are cold misses
+ * (the paper's premise that the snooping cache eliminates private-data
+ * traffic, leaving only shared data and I/O on the buses).
+ *
+ * Efficiency is measured exactly as the paper defines it: time spent
+ * computing divided by elapsed time, which is 1.0 on a machine with no
+ * bus or memory latency.
+ */
+
+#ifndef MCUBE_PROC_MIX_WORKLOAD_HH
+#define MCUBE_PROC_MIX_WORKLOAD_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Mix and rate parameters (defaults = Figure 2 caption). */
+struct MixParams
+{
+    double requestsPerMs = 25.0;   //!< bus transactions per ms per proc
+    double fracReadUnmod = 0.60;   //!< reads to unmodified lines
+    double fracReadMod = 0.15;     //!< reads to modified lines
+    double fracWriteUnmod = 0.20;  //!< write misses to unmodified data
+    double fracWriteMod = 0.05;    //!< write misses to modified data
+    std::uint64_t addressSpace = 1ull << 40;  //!< fresh-line pool
+    std::uint64_t seed = 97;
+};
+
+/** Drives every node of a system with the synthetic mix. */
+class MixWorkload
+{
+  public:
+    MixWorkload(MulticubeSystem &sys, const MixParams &params);
+
+    /** Begin issuing (first think times start at the current tick). */
+    void start();
+
+    /** Stop issuing new requests at the next opportunity. */
+    void
+    stop()
+    {
+        running = false;
+        stopTick = sys.eventQueue().now();
+    }
+
+    /** Paper's efficiency metric over all nodes since start(). */
+    double efficiency() const;
+
+    /** Transactions completed, by class [ru, rm, wu, wm]. */
+    std::uint64_t completed(unsigned cls) const
+    {
+        return classDone[cls].value();
+    }
+
+    std::uint64_t totalCompleted() const;
+
+    /** Mean transaction latency in ticks. */
+    double meanLatency() const { return statLatency.mean(); }
+
+    /** Fraction of requests that actually hit a modified line. */
+    double achievedModifiedFraction() const;
+
+    void regStats(StatGroup &parent);
+
+  private:
+    struct Agent
+    {
+        NodeId id = 0;
+        Random rng;
+        Tick computeTicks = 0;   //!< accumulated think time
+        std::uint64_t nextToken = 1;
+    };
+
+    void scheduleNext(Agent &a);
+    void issue(Agent &a);
+
+    /** Pick a line currently modified by a node other than @p self;
+     *  returns false if the registry has no candidate. */
+    bool pickModified(Agent &a, Addr &addr_out);
+
+    MulticubeSystem &sys;
+    MixParams params;
+    Random seeder;
+    std::vector<Agent> agents;
+    Tick startTick = 0;
+    Tick stopTick = 0;
+    bool running = false;
+
+    /** Functional registry: line -> last writer. */
+    std::unordered_map<Addr, NodeId> modifiedBy;
+    std::vector<Addr> modifiedList;  //!< sampling vector (lazily
+                                     //!< compacted)
+
+    Counter classDone[4];
+    Counter statModTargeted;
+    Counter statModMissedRegistry;
+    Distribution statLatency;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_PROC_MIX_WORKLOAD_HH

@@ -1,0 +1,199 @@
+#include "proc/processor.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace mcube
+{
+
+Processor::Processor(std::string name, EventQueue &eq,
+                     SnoopController &ctrl, const ProcessorParams &params)
+    : name(std::move(name)), eq(eq), ctrl(ctrl), params(params),
+      l1(params.l1), stats(this->name)
+{
+    // Keep the L1 a strict subset of the snooping cache (Section 2).
+    ctrl.onPurge = [this](Addr addr) { l1.purge(addr); };
+
+    stats.addCounter("loads", statLoads);
+    stats.addCounter("stores", statStores);
+    stats.addCounter("tsets", statTsets);
+    stats.addCounter("syncs", statSyncs);
+    l1.regStats(stats);
+}
+
+void
+Processor::finish(Tick delay, DoneCb fn)
+{
+    if (delay == 0) {
+        inFlight = false;
+        fn();
+    } else {
+        eq.scheduleIn(delay, [this, fn = std::move(fn)] {
+            inFlight = false;
+            fn();
+        });
+    }
+}
+
+void
+Processor::load(Addr addr, LoadCb cb)
+{
+    assert(!busy());
+    ++statLoads;
+
+    std::uint64_t token = 0;
+    if (params.useL1 && l1.lookup(addr, token)) {
+        inFlight = true;
+        finish(l1.hitLatency(),
+               [cb = std::move(cb), token] { cb(token); });
+        return;
+    }
+
+    inFlight = true;
+    Tick l1_pen = params.useL1 ? l1.hitLatency() : 0;
+    std::uint64_t t = 0;
+    auto outcome = ctrl.read(
+        addr, t, [this, addr, cb](const TxnResult &res) {
+            if (params.useL1)
+                l1.fill(addr, res.data.token);
+            std::uint64_t tok = res.data.token;
+            finish(0, [cb, tok] { cb(tok); });
+        });
+    if (outcome == AccessOutcome::Hit) {
+        if (params.useL1)
+            l1.fill(addr, t);
+        finish(l1_pen + params.l2HitTicks,
+               [cb = std::move(cb), t] { cb(t); });
+    }
+    // On Miss the controller callback finishes the op.
+}
+
+void
+Processor::loadLine(Addr addr, LineCb cb)
+{
+    assert(!busy());
+    ++statLoads;
+    inFlight = true;
+    LineData d;
+    auto outcome = ctrl.readLine(
+        addr, d, [this, cb](const TxnResult &res) {
+            LineData data = res.data;
+            finish(0, [cb, data] { cb(data); });
+        });
+    if (outcome == AccessOutcome::Hit) {
+        finish(params.l2HitTicks, [cb = std::move(cb), d] { cb(d); });
+    }
+}
+
+void
+Processor::store(Addr addr, std::uint64_t token, DoneCb cb)
+{
+    assert(!busy());
+    ++statStores;
+    inFlight = true;
+
+    auto outcome = ctrl.write(
+        addr, token, [this, addr, token, cb](const TxnResult &) {
+            if (params.useL1)
+                l1.writeThrough(addr, token);
+            finish(0, cb);
+        });
+    if (outcome == AccessOutcome::Hit) {
+        // Write-through into the L1 copy if present.
+        if (params.useL1)
+            l1.writeThrough(addr, token);
+        finish(params.l2HitTicks, std::move(cb));
+    }
+}
+
+void
+Processor::storeAllocate(Addr addr, std::uint64_t token, DoneCb cb)
+{
+    assert(!busy());
+    ++statStores;
+    inFlight = true;
+
+    auto outcome = ctrl.writeAllocate(
+        addr, token, [this, addr, token, cb](const TxnResult &) {
+            if (params.useL1)
+                l1.writeThrough(addr, token);
+            finish(0, cb);
+        });
+    if (outcome == AccessOutcome::Hit) {
+        if (params.useL1)
+            l1.writeThrough(addr, token);
+        finish(params.l2HitTicks, std::move(cb));
+    }
+}
+
+void
+Processor::testAndSet(Addr addr, BoolCb cb)
+{
+    assert(!busy());
+    ++statTsets;
+    inFlight = true;
+
+    bool granted = false;
+    auto outcome = ctrl.testAndSet(
+        addr, granted, [this, cb](const TxnResult &res) {
+            bool ok = res.success;
+            finish(0, [cb, ok] { cb(ok); });
+        });
+    if (outcome == AccessOutcome::Hit) {
+        finish(params.l2HitTicks,
+               [cb = std::move(cb), granted] { cb(granted); });
+    }
+}
+
+void
+Processor::syncAcquire(Addr addr, BoolCb cb)
+{
+    assert(!busy());
+    ++statSyncs;
+    inFlight = true;
+
+    bool granted = false;
+    auto outcome = ctrl.syncAcquire(
+        addr, granted, [this, cb](const TxnResult &res) {
+            bool ok = res.success;
+            finish(0, [cb, ok] { cb(ok); });
+        });
+    if (outcome == AccessOutcome::Hit) {
+        finish(params.l2HitTicks,
+               [cb = std::move(cb), granted] { cb(granted); });
+    }
+}
+
+void
+Processor::release(Addr addr, std::uint64_t token, DoneCb cb)
+{
+    assert(!busy());
+    inFlight = true;
+
+    if (ctrl.release(addr, token)) {
+        if (params.useL1)
+            l1.writeThrough(addr, token);
+        finish(params.l2HitTicks, std::move(cb));
+        return;
+    }
+
+    // The line was stolen while we held the lock (broken-protocol
+    // degeneration, Section 4): re-fetch it exclusively, then unlock.
+    auto outcome = ctrl.write(
+        addr, token, [this, addr, cb](const TxnResult &) {
+            ctrl.forceUnlock(addr);
+            finish(0, cb);
+        });
+    if (outcome == AccessOutcome::Hit) {
+        ctrl.forceUnlock(addr);
+        finish(params.l2HitTicks, std::move(cb));
+    }
+}
+
+void
+Processor::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

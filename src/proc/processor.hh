@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The processor-side memory interface: L1 processor cache in front of
+ * a node's snooping cache controller.
+ *
+ * All operations are asynchronous (the snooping cache is DRAM and bus
+ * transactions take microseconds); exactly one operation may be
+ * outstanding per processor, matching the paper's non-overlapping
+ * request model. Completion callbacks fire on the shared event queue.
+ *
+ * Latency model:
+ *   - L1 hit: l1.hitTicks;
+ *   - L1 miss, snooping-cache hit: l1.hitTicks + l2HitTicks;
+ *   - snooping-cache miss: full bus transaction latency.
+ * The write-through L1 stores only the data token; lock words are
+ * always read from the snooping cache.
+ */
+
+#ifndef MCUBE_PROC_PROCESSOR_HH
+#define MCUBE_PROC_PROCESSOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cache/processor_cache.hh"
+#include "core/controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Configuration of a Processor front-end. */
+struct ProcessorParams
+{
+    ProcessorCacheParams l1{};
+    Tick l2HitTicks = 750;  //!< DRAM snooping-cache hit latency
+    bool useL1 = true;      //!< disable to model raw L2 traffic
+};
+
+/** One node's processor-side memory port. */
+class Processor
+{
+  public:
+    using LoadCb = std::function<void(std::uint64_t token)>;
+    using LineCb = std::function<void(const LineData &data)>;
+    using DoneCb = std::function<void()>;
+    using BoolCb = std::function<void(bool)>;
+
+    Processor(std::string name, EventQueue &eq, SnoopController &ctrl,
+              const ProcessorParams &params);
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    SnoopController &controller() { return ctrl; }
+
+    /** True while an operation is in flight. */
+    bool busy() const { return inFlight || ctrl.busy(); }
+
+    /** Load the data token of @p addr. */
+    void load(Addr addr, LoadCb cb);
+
+    /** Load the full line (lock word visible; bypasses the L1). */
+    void loadLine(Addr addr, LineCb cb);
+
+    /** Store @p token to @p addr. */
+    void store(Addr addr, std::uint64_t token, DoneCb cb);
+
+    /** Whole-line store using the ALLOCATE hint. */
+    void storeAllocate(Addr addr, std::uint64_t token, DoneCb cb);
+
+    /** Hardware remote test-and-set; cb(true) if the lock was taken. */
+    void testAndSet(Addr addr, BoolCb cb);
+
+    /** Queue-lock acquire; cb(true) when granted (may retry inside). */
+    void syncAcquire(Addr addr, BoolCb cb);
+
+    /** Release a lock, storing @p token. Falls back to a write
+     *  transaction if the line was stolen while we held the lock. */
+    void release(Addr addr, std::uint64_t token, DoneCb cb);
+
+    std::uint64_t loads() const { return statLoads.value(); }
+    std::uint64_t stores() const { return statStores.value(); }
+    std::uint64_t l1Hits() const { return l1.hits(); }
+
+    void regStats(StatGroup &parent);
+
+  private:
+    /** Finish an op after @p delay ticks. */
+    void finish(Tick delay, DoneCb fn);
+
+    std::string name;
+    EventQueue &eq;
+    SnoopController &ctrl;
+    ProcessorParams params;
+    ProcessorCache l1;
+    bool inFlight = false;
+
+    Counter statLoads;
+    Counter statStores;
+    Counter statTsets;
+    Counter statSyncs;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_PROC_PROCESSOR_HH

@@ -1,0 +1,157 @@
+#include "proc/program.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace mcube
+{
+
+ProgramRunner::ProgramRunner(std::string name, EventQueue &eq,
+                             Processor &proc, std::vector<Instr> program,
+                             std::uint64_t seed)
+    : name(std::move(name)), eq(eq), proc(proc),
+      program(std::move(program)), rng(seed)
+{
+}
+
+void
+ProgramRunner::start()
+{
+    pc = 0;
+    _halted = false;
+    step();
+}
+
+void
+ProgramRunner::step()
+{
+    if (pc >= program.size()) {
+        _halted = true;
+        _finishTick = eq.now();
+        if (onDone)
+            onDone();
+        return;
+    }
+
+    const Instr &in = program[pc];
+    switch (in.op) {
+      case OpCode::Load:
+        proc.load(in.addr, [this](std::uint64_t tok) {
+            _acc = tok;
+            advance();
+        });
+        break;
+
+      case OpCode::Store:
+        proc.store(in.addr, in.imm, [this] { advance(); });
+        break;
+
+      case OpCode::StoreAcc:
+        proc.store(in.addr, _acc, [this] { advance(); });
+        break;
+
+      case OpCode::StoreAlloc:
+        proc.storeAllocate(in.addr, in.imm, [this] { advance(); });
+        break;
+
+      case OpCode::LockTTS:
+        spinTTS(in.addr);
+        break;
+
+      case OpCode::LockTset:
+        spinTset(in.addr, 200);
+        break;
+
+      case OpCode::LockSync:
+        proc.syncAcquire(in.addr, [this, addr = in.addr](bool granted) {
+            if (granted) {
+                ++_lockAcquires;
+                advance();
+            } else {
+                // Local double-acquire; retry this instruction.
+                (void)addr;
+                eq.scheduleIn(100, [this] { step(); });
+            }
+        });
+        break;
+
+      case OpCode::Unlock:
+        proc.release(in.addr, in.imm ? in.imm : _acc,
+                     [this] { advance(); });
+        break;
+
+      case OpCode::Compute:
+        eq.scheduleIn(in.imm, [this] { advance(); });
+        break;
+
+      case OpCode::SetCnt:
+        cnt = in.imm;
+        advance();
+        break;
+
+      case OpCode::DecJnz:
+        assert(cnt > 0);
+        if (--cnt != 0) {
+            pc = static_cast<std::size_t>(in.target);
+            step();
+        } else {
+            advance();
+        }
+        break;
+
+      case OpCode::AddAcc:
+        _acc += in.imm;
+        advance();
+        break;
+
+      case OpCode::Halt:
+        _halted = true;
+        _finishTick = eq.now();
+        if (onDone)
+            onDone();
+        break;
+    }
+}
+
+void
+ProgramRunner::spinTTS(Addr addr)
+{
+    // Spin on the shared copy of the lock word; attempt the atomic
+    // only when it reads clear.
+    ++_spinReads;
+    proc.loadLine(addr, [this, addr](const LineData &d) {
+        if (d.lock != 0) {
+            eq.scheduleIn(50, [this, addr] { spinTTS(addr); });
+            return;
+        }
+        ++_tsetAttempts;
+        proc.testAndSet(addr, [this, addr](bool granted) {
+            if (granted) {
+                ++_lockAcquires;
+                advance();
+            } else {
+                spinTTS(addr);
+            }
+        });
+    });
+}
+
+void
+ProgramRunner::spinTset(Addr addr, Tick backoff)
+{
+    ++_tsetAttempts;
+    proc.testAndSet(addr, [this, addr, backoff](bool granted) {
+        if (granted) {
+            ++_lockAcquires;
+            advance();
+            return;
+        }
+        Tick delay = backoff + rng.below(64);
+        Tick next_backoff = backoff < 3200 ? backoff * 2 : backoff;
+        eq.scheduleIn(delay, [this, addr, next_backoff] {
+            spinTset(addr, next_backoff);
+        });
+    });
+}
+
+} // namespace mcube

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A tiny per-node program interpreter for synchronisation studies.
+ *
+ * Examples and benches describe each processor's behaviour as a short
+ * instruction list (loads, stores, lock acquire/release in three
+ * flavours, compute delays, counted loops). The interpreter drives a
+ * Processor asynchronously on the shared event queue; spin loops for
+ * the three lock disciplines of Section 4 are built in:
+ *
+ *   LockTTS   software test-and-test-and-set: spin reading the shared
+ *             copy of the lock word, attempt test-and-set on observing
+ *             it clear (the single-bus multi technique the paper says
+ *             "translates to multiple broadcast operations");
+ *   LockTset  hardware remote test-and-set with exponential backoff;
+ *   LockSync  the distributed queue lock (SYNC transaction).
+ */
+
+#ifndef MCUBE_PROC_PROGRAM_HH
+#define MCUBE_PROC_PROGRAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proc/processor.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Program opcodes. */
+enum class OpCode : std::uint8_t
+{
+    Load,       //!< acc = mem[addr].token
+    Store,      //!< mem[addr].token = imm
+    StoreAcc,   //!< mem[addr].token = acc
+    StoreAlloc, //!< whole-line store of imm via the ALLOCATE hint
+    LockTTS,    //!< acquire lock at addr, test-and-test-and-set
+    LockTset,   //!< acquire lock at addr, remote tset + backoff
+    LockSync,   //!< acquire lock at addr, SYNC queue lock
+    Unlock,     //!< release lock at addr, storing imm (0: keep acc)
+    Compute,    //!< spin the processor for imm ticks
+    SetCnt,     //!< cnt = imm
+    DecJnz,     //!< if (--cnt != 0) goto target
+    AddAcc,     //!< acc += imm (no memory access)
+    Halt,       //!< stop; onDone fires
+};
+
+/** One instruction. */
+struct Instr
+{
+    OpCode op = OpCode::Halt;
+    Addr addr = 0;
+    std::uint64_t imm = 0;
+    int target = 0;  //!< jump target (instruction index)
+};
+
+/** Convenience constructors for readable program listings. */
+namespace prog
+{
+
+inline Instr load(Addr a) { return {OpCode::Load, a, 0, 0}; }
+inline Instr
+store(Addr a, std::uint64_t v)
+{
+    return {OpCode::Store, a, v, 0};
+}
+inline Instr storeAcc(Addr a) { return {OpCode::StoreAcc, a, 0, 0}; }
+inline Instr
+storeAlloc(Addr a, std::uint64_t v)
+{
+    return {OpCode::StoreAlloc, a, v, 0};
+}
+inline Instr lockTTS(Addr a) { return {OpCode::LockTTS, a, 0, 0}; }
+inline Instr lockTset(Addr a) { return {OpCode::LockTset, a, 0, 0}; }
+inline Instr lockSync(Addr a) { return {OpCode::LockSync, a, 0, 0}; }
+inline Instr
+unlock(Addr a, std::uint64_t v = 0)
+{
+    return {OpCode::Unlock, a, v, 0};
+}
+inline Instr compute(Tick t) { return {OpCode::Compute, 0, t, 0}; }
+inline Instr setCnt(std::uint64_t c) { return {OpCode::SetCnt, 0, c, 0}; }
+inline Instr decJnz(int tgt) { return {OpCode::DecJnz, 0, 0, tgt}; }
+inline Instr addAcc(std::uint64_t v) { return {OpCode::AddAcc, 0, v, 0}; }
+inline Instr halt() { return {OpCode::Halt, 0, 0, 0}; }
+
+} // namespace prog
+
+/** Executes one program on one Processor. */
+class ProgramRunner
+{
+  public:
+    ProgramRunner(std::string name, EventQueue &eq, Processor &proc,
+                  std::vector<Instr> program, std::uint64_t seed = 5);
+
+    ProgramRunner(const ProgramRunner &) = delete;
+    ProgramRunner &operator=(const ProgramRunner &) = delete;
+
+    /** Start executing at instruction 0. */
+    void start();
+
+    bool halted() const { return _halted; }
+    std::uint64_t acc() const { return _acc; }
+    Tick finishTick() const { return _finishTick; }
+
+    /** Lock acquisitions performed, per discipline attempts. */
+    std::uint64_t lockAcquires() const { return _lockAcquires; }
+    std::uint64_t spinReads() const { return _spinReads; }
+    std::uint64_t tsetAttempts() const { return _tsetAttempts; }
+
+    /** Fires when the program halts. */
+    std::function<void()> onDone;
+
+  private:
+    void step();
+    void advance() { ++pc; step(); }
+    void spinTTS(Addr addr);
+    void spinTset(Addr addr, Tick backoff);
+
+    std::string name;
+    EventQueue &eq;
+    Processor &proc;
+    std::vector<Instr> program;
+    Random rng;
+
+    std::size_t pc = 0;
+    std::uint64_t _acc = 0;
+    std::uint64_t cnt = 0;
+    bool _halted = false;
+    Tick _finishTick = 0;
+
+    std::uint64_t _lockAcquires = 0;
+    std::uint64_t _spinReads = 0;
+    std::uint64_t _tsetAttempts = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_PROC_PROGRAM_HH

@@ -1,0 +1,218 @@
+#include "proc/random_tester.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcube
+{
+
+namespace
+{
+
+/** Lock lines live far from the data pool so the pools are disjoint. */
+constexpr Addr lockBase = 1ull << 30;
+
+} // namespace
+
+RandomTester::RandomTester(MulticubeSystem &sys, CoherenceChecker &checker,
+                           const RandomTesterParams &params)
+    : sys(sys), checker(checker), params(params), seeder(params.seed)
+{
+    agents.resize(sys.numNodes());
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        agents[id].id = id;
+        agents[id].rng = seeder.fork();
+        bool active = params.onlyNodes.empty()
+                   || std::find(params.onlyNodes.begin(),
+                                params.onlyNodes.end(), id)
+                          != params.onlyNodes.end();
+        agents[id].opsLeft = active ? params.opsPerNode : 0;
+        agents[id].done = !active;
+    }
+}
+
+void
+RandomTester::start()
+{
+    for (auto &a : agents)
+        if (!a.done)
+            next(a);
+}
+
+bool
+RandomTester::finished() const
+{
+    for (const auto &a : agents)
+        if (!a.done)
+            return false;
+    return true;
+}
+
+Addr
+RandomTester::pickData(Agent &a)
+{
+    if (params.chaos && params.numLockLines > 0 && a.rng.chance(0.2))
+        return pickLock(a);
+    return a.rng.below(params.numDataLines);
+}
+
+Addr
+RandomTester::pickLock(Agent &a)
+{
+    return lockBase + a.rng.below(params.numLockLines);
+}
+
+std::uint64_t
+RandomTester::freshToken(Agent &a)
+{
+    return (static_cast<std::uint64_t>(a.id + 1) << 40) + a.nextToken++;
+}
+
+void
+RandomTester::next(Agent &a)
+{
+    if (a.opsLeft == 0 && !a.holdingLock) {
+        a.done = true;
+        return;
+    }
+    Tick think = 1 + a.rng.below(static_cast<std::uint32_t>(
+                         params.maxThink));
+    NodeId id = a.id;
+    sys.eventQueue().scheduleIn(think, [this, id] { issue(agents[id]); });
+}
+
+void
+RandomTester::issue(Agent &a)
+{
+    SnoopController &ctrl = sys.node(a.id);
+    if (ctrl.busy()) {
+        next(a);
+        return;
+    }
+
+    NodeId id = a.id;
+    ++_ops;
+
+    // Holding a lock: release it with high probability so locks keep
+    // circulating.
+    if (a.holdingLock && (a.opsLeft == 0 || a.rng.chance(0.7))) {
+        Addr addr = a.heldLock;
+        std::uint64_t tok = freshToken(a);
+        a.holdingLock = false;
+        if (!ctrl.release(addr, tok)) {
+            // Line stolen while held (chaos mode): recover.
+            auto out = ctrl.write(addr, tok,
+                                  [this, id](const TxnResult &) {
+                                      Agent &ag = agents[id];
+                                      sys.node(ag.id).forceUnlock(
+                                          ag.heldLock);
+                                      next(ag);
+                                  });
+            if (out == AccessOutcome::Hit) {
+                ctrl.forceUnlock(addr);
+                next(a);
+            }
+            return;
+        }
+        next(a);
+        return;
+    }
+
+    if (a.opsLeft > 0)
+        --a.opsLeft;
+
+    double r = a.rng.uniform();
+    if (params.pTset > 0.0 && !a.holdingLock && r < params.pTset) {
+        Addr addr = pickLock(a);
+        bool granted = false;
+        bool use_sync = params.pSyncOfLocks > 0.0
+                     && a.rng.chance(params.pSyncOfLocks);
+        auto done = [this, id, addr](const TxnResult &res) {
+            Agent &ag = agents[id];
+            if (res.success) {
+                ag.holdingLock = true;
+                ag.heldLock = addr;
+                ++_locks;
+            }
+            next(ag);
+        };
+        AccessOutcome out =
+            use_sync ? ctrl.syncAcquire(addr, granted, done)
+                     : ctrl.testAndSet(addr, granted, done);
+        if (out == AccessOutcome::Hit) {
+            if (granted) {
+                a.holdingLock = true;
+                a.heldLock = addr;
+                ++_locks;
+            }
+            next(a);
+        }
+        return;
+    }
+
+    r = a.rng.uniform();
+    if (r < params.pWrite) {
+        Addr addr = pickData(a);
+        auto out = ctrl.write(addr, freshToken(a),
+                              [this, id](const TxnResult &) {
+                                  next(agents[id]);
+                              });
+        if (out == AccessOutcome::Hit)
+            next(a);
+        return;
+    }
+    if (r < params.pWrite + params.pAllocate) {
+        Addr addr = pickData(a);
+        auto out = ctrl.writeAllocate(addr, freshToken(a),
+                                      [this, id](const TxnResult &) {
+                                          next(agents[id]);
+                                      });
+        if (out == AccessOutcome::Hit)
+            next(a);
+        return;
+    }
+
+    // Read with value verification.
+    Addr addr = pickData(a);
+    Tick issued = sys.eventQueue().now();
+    std::uint64_t tok = 0;
+    auto out = ctrl.read(
+        addr, tok, [this, id, addr, issued](const TxnResult &res) {
+            Agent &ag = agents[id];
+            ++_reads_checked;
+            Tick done = sys.eventQueue().now();
+            if (!checker.tokenWasGoldenDuring(addr, res.data.token,
+                                              issued, done)) {
+                ++_read_failures;
+                if (_failLog.size() < 16) {
+                    std::ostringstream oss;
+                    oss << "node " << id << " read line " << addr
+                        << " got token " << res.data.token
+                        << " never golden in [" << issued << ", "
+                        << done << "]";
+                    _failLog.push_back(oss.str());
+                }
+            }
+            next(ag);
+        });
+    if (out == AccessOutcome::Hit) {
+        ++_reads_checked;
+        // A hit returns the locally cached copy; it must have been
+        // golden at some point up to now (shared copies may be
+        // transiently stale only during an in-flight invalidation,
+        // which still means the value was golden earlier).
+        if (!checker.tokenWasGoldenDuring(addr, tok, 0, issued)) {
+            ++_read_failures;
+            if (_failLog.size() < 16) {
+                std::ostringstream oss;
+                oss << "node " << a.id << " hit line " << addr
+                    << " token " << tok << " never golden before "
+                    << issued;
+                _failLog.push_back(oss.str());
+            }
+        }
+        next(a);
+    }
+}
+
+} // namespace mcube

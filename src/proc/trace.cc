@@ -1,0 +1,143 @@
+#include "proc/trace.hh"
+
+#include <sstream>
+
+namespace mcube
+{
+
+void
+Trace::save(std::ostream &os) const
+{
+    for (const auto &r : records) {
+        os << r.node << ' ' << static_cast<char>(r.op) << ' ' << r.addr
+           << ' ' << r.token << ' ' << r.gap << '\n';
+    }
+}
+
+bool
+Trace::load(std::istream &is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream iss(line);
+        TraceRecord r;
+        char opch = 0;
+        if (!(iss >> r.node >> opch >> r.addr >> r.token >> r.gap))
+            return false;
+        switch (opch) {
+          case 'L': r.op = TraceOp::Load; break;
+          case 'S': r.op = TraceOp::Store; break;
+          case 'A': r.op = TraceOp::AllocStore; break;
+          case 'T': r.op = TraceOp::Tset; break;
+          case 'R': r.op = TraceOp::Release; break;
+          default: return false;
+        }
+        records.push_back(r);
+    }
+    return true;
+}
+
+std::vector<TraceRecord>
+Trace::forNode(NodeId node) const
+{
+    std::vector<TraceRecord> out;
+    for (const auto &r : records)
+        if (r.node == node)
+            out.push_back(r);
+    return out;
+}
+
+NodeId
+Trace::maxNode() const
+{
+    NodeId m = 0;
+    for (const auto &r : records)
+        m = std::max(m, r.node);
+    return m;
+}
+
+TraceReplayer::TraceReplayer(MulticubeSystem &sys, const Trace &trace,
+                             const ProcessorParams &pp)
+    : sys(sys)
+{
+    streams.resize(sys.numNodes());
+    procs.reserve(sys.numNodes());
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        procs.push_back(std::make_unique<Processor>(
+            "replay" + std::to_string(id), sys.eventQueue(),
+            sys.node(id), pp));
+        streams[id].refs = trace.forNode(id);
+        streams[id].done = streams[id].refs.empty();
+    }
+}
+
+void
+TraceReplayer::start()
+{
+    for (NodeId id = 0; id < sys.numNodes(); ++id)
+        if (!streams[id].done)
+            step(id);
+}
+
+bool
+TraceReplayer::finished() const
+{
+    for (const auto &s : streams)
+        if (!s.done)
+            return false;
+    return true;
+}
+
+void
+TraceReplayer::step(NodeId node)
+{
+    Stream &s = streams[node];
+    if (s.next >= s.refs.size()) {
+        s.done = true;
+        return;
+    }
+    Tick gap = s.refs[s.next].gap;
+    if (gap == 0) {
+        issue(node);
+    } else {
+        sys.eventQueue().scheduleIn(gap,
+                                    [this, node] { issue(node); });
+    }
+}
+
+void
+TraceReplayer::issue(NodeId node)
+{
+    Stream &s = streams[node];
+    const TraceRecord &r = s.refs[s.next];
+    Processor &p = *procs[node];
+
+    auto advance = [this, node] {
+        Stream &st = streams[node];
+        ++st.next;
+        ++_completed;
+        step(node);
+    };
+
+    switch (r.op) {
+      case TraceOp::Load:
+        p.load(r.addr, [advance](std::uint64_t) { advance(); });
+        break;
+      case TraceOp::Store:
+        p.store(r.addr, r.token, advance);
+        break;
+      case TraceOp::AllocStore:
+        p.storeAllocate(r.addr, r.token, advance);
+        break;
+      case TraceOp::Tset:
+        p.testAndSet(r.addr, [advance](bool) { advance(); });
+        break;
+      case TraceOp::Release:
+        p.release(r.addr, r.token, advance);
+        break;
+    }
+}
+
+} // namespace mcube

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory-reference trace capture and replay.
+ *
+ * Section 5 notes that "very little data has been published on the
+ * memory reference behavior of parallel programs", forcing the
+ * paper's evaluation onto statistical workloads. This module provides
+ * the infrastructure a trace-based study would use: a compact record
+ * format, text serialisation (one record per line, easy to generate
+ * from any tool), and a per-node replayer that respects the recorded
+ * inter-reference gaps.
+ *
+ * Record line format:
+ *
+ *     <node> <L|S|A|T|R> <addr> <token> <gap_ticks>
+ *
+ * L = load, S = store, A = allocate-store, T = test-and-set,
+ * R = release; gap_ticks = think time before the reference.
+ */
+
+#ifndef MCUBE_PROC_TRACE_HH
+#define MCUBE_PROC_TRACE_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "proc/processor.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Kinds of traced references. */
+enum class TraceOp : char
+{
+    Load = 'L',
+    Store = 'S',
+    AllocStore = 'A',
+    Tset = 'T',
+    Release = 'R',
+};
+
+/** One traced memory reference. */
+struct TraceRecord
+{
+    NodeId node = 0;
+    TraceOp op = TraceOp::Load;
+    Addr addr = 0;
+    std::uint64_t token = 0;
+    Tick gap = 0;  //!< think time before issuing this reference
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** An in-memory trace with text (de)serialisation. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    void add(const TraceRecord &r) { records.push_back(r); }
+    const std::vector<TraceRecord> &all() const { return records; }
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+
+    /** Write one record per line. */
+    void save(std::ostream &os) const;
+
+    /**
+     * Parse a text trace. @return false on malformed input (parsing
+     * stops at the first bad line; earlier records are kept).
+     */
+    bool load(std::istream &is);
+
+    /** Records belonging to one node, in order. */
+    std::vector<TraceRecord> forNode(NodeId node) const;
+
+    /** Highest node id referenced (0 if empty). */
+    NodeId maxNode() const;
+
+  private:
+    std::vector<TraceRecord> records;
+};
+
+/**
+ * Replays a trace on a MulticubeSystem, one asynchronous reference
+ * stream per node (each node owns a Processor front-end).
+ */
+class TraceReplayer
+{
+  public:
+    TraceReplayer(MulticubeSystem &sys, const Trace &trace,
+                  const ProcessorParams &pp = {});
+
+    /** Launch all node streams. */
+    void start();
+
+    /** True once every stream has drained. */
+    bool finished() const;
+
+    /** References completed so far. */
+    std::uint64_t completed() const { return _completed; }
+
+    /** Per-node processors (for stats inspection). */
+    Processor &processor(NodeId node) { return *procs[node]; }
+
+  private:
+    struct Stream
+    {
+        std::vector<TraceRecord> refs;
+        std::size_t next = 0;
+        bool done = false;
+    };
+
+    void step(NodeId node);
+    void issue(NodeId node);
+
+    MulticubeSystem &sys;
+    std::vector<std::unique_ptr<Processor>> procs;
+    std::vector<Stream> streams;
+    std::uint64_t _completed = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_PROC_TRACE_HH

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace mcube
+{
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t count = 0;
+    while (!heap.empty() && count < limit) {
+        // The callback may schedule new events, so pop before invoking.
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        _now = e.when;
+        e.cb();
+        ++count;
+        ++executed;
+    }
+    return count;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick end, std::uint64_t limit)
+{
+    std::uint64_t count = 0;
+    while (!heap.empty() && heap.top().when <= end && count < limit) {
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        _now = e.when;
+        e.cb();
+        ++count;
+        ++executed;
+    }
+    if (_now < end && (heap.empty() || heap.top().when > end))
+        _now = end;
+    return count;
+}
+
+} // namespace mcube

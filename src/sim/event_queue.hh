@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A minimal deterministic discrete-event queue.
+ *
+ * Events are arbitrary callables scheduled at an absolute tick. Events
+ * scheduled for the same tick fire in scheduling order (a monotonic
+ * sequence number breaks ties), which keeps simulations reproducible.
+ */
+
+#ifndef MCUBE_SIM_EVENT_QUEUE_HH
+#define MCUBE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/**
+ * The central event queue driving a simulation.
+ *
+ * All model components share one queue; the owner calls run() or
+ * runUntil() to advance simulated time.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < _now)
+            when = _now;
+        heap.push(Entry{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule a callback @p delay ticks in the future. */
+    void
+    scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /** Total number of events ever executed. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+    /**
+     * Run until the queue drains or @p limit events have executed.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /**
+     * Run until simulated time reaches @p end (events at exactly @p end
+     * do fire), the queue drains, or @p limit events execute. Time is
+     * left at @p end if the queue drained earlier.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t runUntil(Tick end, std::uint64_t limit = UINT64_MAX);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,96 @@
+#include "sim/log.hh"
+
+#include <cstdlib>
+
+namespace mcube
+{
+
+std::uint32_t &
+Log::mask()
+{
+    static std::uint32_t m = [] {
+        std::uint32_t init = 0;
+        if (const char *env = std::getenv("MCUBE_DEBUG")) {
+            // Parse here to avoid ordering issues with static init.
+            std::string spec(env);
+            std::uint32_t bits = 0;
+            std::size_t pos = 0;
+            while (pos <= spec.size()) {
+                std::size_t comma = spec.find(',', pos);
+                std::string tok = spec.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                if (tok == "all")
+                    bits = ~0u;
+                else if (tok == "Bus")
+                    bits |= static_cast<std::uint32_t>(LogCat::Bus);
+                else if (tok == "Proto")
+                    bits |= static_cast<std::uint32_t>(LogCat::Proto);
+                else if (tok == "Cache")
+                    bits |= static_cast<std::uint32_t>(LogCat::Cache);
+                else if (tok == "Mem")
+                    bits |= static_cast<std::uint32_t>(LogCat::Mem);
+                else if (tok == "Proc")
+                    bits |= static_cast<std::uint32_t>(LogCat::Proc);
+                else if (tok == "Sync")
+                    bits |= static_cast<std::uint32_t>(LogCat::Sync);
+                else if (tok == "Check")
+                    bits |= static_cast<std::uint32_t>(LogCat::Check);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            init = bits;
+        }
+        return init;
+    }();
+    return m;
+}
+
+void
+Log::enableFromString(const std::string &spec)
+{
+    if (spec == "all") {
+        mask() = ~0u;
+        return;
+    }
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok == "Bus")
+            enable(LogCat::Bus);
+        else if (tok == "Proto")
+            enable(LogCat::Proto);
+        else if (tok == "Cache")
+            enable(LogCat::Cache);
+        else if (tok == "Mem")
+            enable(LogCat::Mem);
+        else if (tok == "Proc")
+            enable(LogCat::Proc);
+        else if (tok == "Sync")
+            enable(LogCat::Sync);
+        else if (tok == "Check")
+            enable(LogCat::Check);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+}
+
+void
+Log::initFromEnv()
+{
+    // Touching mask() performs the lazy env parse.
+    (void)mask();
+}
+
+void
+Log::emit(Tick when, const char *cat, const std::string &msg)
+{
+    std::cerr << when << ": [" << cat << "] " << msg << "\n";
+}
+
+} // namespace mcube

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * The simulator never uses std::random_device or global state; every
+ * stochastic component owns a Random seeded from its configuration so
+ * runs are exactly reproducible.
+ */
+
+#ifndef MCUBE_SIM_RANDOM_HH
+#define MCUBE_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace mcube
+{
+
+/** A small, fast, statistically solid PCG32 generator. */
+class Random
+{
+  public:
+    explicit
+    Random(std::uint64_t seed = 0x853c49e6748fea9bULL,
+           std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state = 0;
+        inc = (stream << 1) | 1;
+        next32();
+        state += seed;
+        next32();
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    next32()
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        auto rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        // Lemire-style rejection keeps the distribution exactly uniform.
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        std::uint64_t span = hi - lo + 1;
+        if (span == 0)
+            return next64();
+        // 64-bit modulo bias is negligible for the spans used here, but
+        // keep it exact via the 32-bit path when possible.
+        if (span <= UINT32_MAX)
+            return lo + below(static_cast<std::uint32_t>(span));
+        return lo + next64() % span;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // uniform() can return 0; clamp away from log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Split off an independent generator (for a child component). */
+    Random
+    fork()
+    {
+        return Random(next64(), next64());
+    }
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_RANDOM_HH

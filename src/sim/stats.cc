@@ -1,0 +1,107 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace mcube
+{
+
+double
+Distribution::variance() const
+{
+    if (n == 0)
+        return 0.0;
+    double m = mean();
+    double v = sumSq / n - m * m;
+    return v > 0.0 ? v : 0.0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter &c,
+                      const std::string &desc)
+{
+    counters.push_back({name, &c, desc});
+}
+
+void
+StatGroup::addDistribution(const std::string &name, const Distribution &d,
+                           const std::string &desc)
+{
+    dists.push_back({name, &d, desc});
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    children.push_back(&child);
+}
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    std::string pad(indent * 2, ' ');
+    os << pad << _name << ":\n";
+    for (const auto &e : counters) {
+        os << pad << "  " << std::left << std::setw(32) << e.name
+           << std::right << std::setw(14) << e.counter->value();
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : dists) {
+        os << pad << "  " << std::left << std::setw(32) << e.name
+           << std::right << " n=" << e.dist->count()
+           << " mean=" << e.dist->mean()
+           << " min=" << e.dist->min()
+           << " max=" << e.dist->max();
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *c : children)
+        c->dump(os, indent + 1);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    std::string pad(indent * 2, ' ');
+    std::string pad2((indent + 1) * 2, ' ');
+    os << pad << "\"" << _name << "\": {";
+    const char *sep = "\n";
+    for (const auto &e : counters) {
+        os << sep << pad2 << "\"" << e.name
+           << "\": " << e.counter->value();
+        sep = ",\n";
+    }
+    for (const auto &e : dists) {
+        os << sep << pad2 << "\"" << e.name << "\": {\"count\": "
+           << e.dist->count() << ", \"mean\": " << e.dist->mean()
+           << ", \"min\": " << e.dist->min()
+           << ", \"max\": " << e.dist->max() << "}";
+        sep = ",\n";
+    }
+    for (const auto *c : children) {
+        os << sep;
+        c->dumpJson(os, indent + 1);
+        sep = ",\n";
+    }
+    os << "\n" << pad << "}";
+    if (indent == 0)
+        os << "\n";
+}
+
+void
+StatGroup::flatten(std::map<std::string, double> &out,
+                   const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &e : counters)
+        out[base + "." + e.name] =
+            static_cast<double>(e.counter->value());
+    for (const auto &e : dists)
+        out[base + "." + e.name] = e.dist->mean();
+    for (const auto *c : children)
+        c->flatten(out, base);
+}
+
+} // namespace mcube

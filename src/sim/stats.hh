@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A lightweight statistics package in the spirit of gem5's.
+ *
+ * Components declare named scalar counters, distributions and derived
+ * formulas inside a StatGroup; groups nest, and any group can be dumped
+ * as an indented text report or a flat name=value map.
+ */
+
+#ifndef MCUBE_SIM_STATS_HH
+#define MCUBE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcube
+{
+
+class StatGroup;
+
+/** A monotonically growing (or explicitly set) scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t d) { val += d; return *this; }
+
+    void set(std::uint64_t v) { val = v; }
+    void reset() { val = 0; }
+
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Streaming mean/min/max/count over observed samples. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        sumSq += v * v;
+        if (n == 0 || v < _min)
+            _min = v;
+        if (n == 0 || v > _max)
+            _max = v;
+        ++n;
+    }
+
+    void
+    reset()
+    {
+        sum = sumSq = 0.0;
+        _min = _max = 0.0;
+        n = 0;
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / n : 0.0; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double total() const { return sum; }
+    /** Population variance of the observed samples. */
+    double variance() const;
+
+  private:
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A named collection of statistics. Groups form a tree; leaf stats are
+ * registered by reference, so components keep plain Counter members and
+ * register them once at construction.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Register a counter under @p name. The counter must outlive the
+     *  group. */
+    void addCounter(const std::string &name, const Counter &c,
+                    const std::string &desc = "");
+
+    /** Register a distribution under @p name. */
+    void addDistribution(const std::string &name, const Distribution &d,
+                         const std::string &desc = "");
+
+    /** Register a child group. The child must outlive the parent. */
+    void addChild(const StatGroup &child);
+
+    /** Write an indented human-readable report. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+    /** Write the whole tree as a JSON object (counters as integers,
+     *  distributions as {count, mean, min, max}). */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Flatten every counter and distribution mean into
+     * "group.sub.stat" -> value entries.
+     */
+    void flatten(std::map<std::string, double> &out,
+                 const std::string &prefix = "") const;
+
+  private:
+    struct CounterEntry
+    {
+        std::string name;
+        const Counter *counter;
+        std::string desc;
+    };
+
+    struct DistEntry
+    {
+        std::string name;
+        const Distribution *dist;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::vector<CounterEntry> counters;
+    std::vector<DistEntry> dists;
+    std::vector<const StatGroup *> children;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_STATS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental simulator-wide scalar types and constants.
+ */
+
+#ifndef MCUBE_SIM_TYPES_HH
+#define MCUBE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcube
+{
+
+/** Simulated time. One tick is one nanosecond of simulated time. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/**
+ * A line address. Addresses are already line-granular throughout the
+ * simulator: consecutive integers name consecutive coherency blocks.
+ * Word offsets never matter for coherence, only for timing, which is
+ * derived from the configured block size.
+ */
+using Addr = std::uint64_t;
+
+/** Flat node identifier; node (row r, column c) in an n x n grid is
+ *  r * n + c. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node" (e.g. a bus op originated by memory). */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_TYPES_HH

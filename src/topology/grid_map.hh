@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Coordinate and home-column mapping for the 2-D Wisconsin Multicube.
+ *
+ * Nodes live on an n x n grid; node id = row * n + column. Main memory
+ * is interleaved across the column buses by line address, so every
+ * line has a home column (Section 3).
+ */
+
+#ifndef MCUBE_TOPOLOGY_GRID_MAP_HH
+#define MCUBE_TOPOLOGY_GRID_MAP_HH
+
+#include <cassert>
+
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/**
+ * Geometry of the n x n grid and the home mapping. Section 3: memory
+ * is "interleaved by lines or pages"; @p page_shift selects the
+ * granularity (0 = by line, p = by 2^p-line pages).
+ */
+class GridMap
+{
+  public:
+    explicit
+    GridMap(unsigned n, unsigned page_shift = 0)
+        : _n(n), pageShift(page_shift)
+    {
+        assert(n >= 1);
+    }
+
+    /** Processors per bus (and buses per dimension). */
+    unsigned n() const { return _n; }
+
+    /** Total processors. */
+    unsigned numNodes() const { return _n * _n; }
+
+    unsigned rowOf(NodeId id) const { return id / _n; }
+    unsigned colOf(NodeId id) const { return id % _n; }
+
+    NodeId
+    nodeAt(unsigned row, unsigned col) const
+    {
+        assert(row < _n && col < _n);
+        return row * _n + col;
+    }
+
+    /** Home column of a line (line- or page-interleaved). */
+    unsigned
+    homeColumn(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> pageShift) % _n);
+    }
+
+    bool
+    sameRow(NodeId a, NodeId b) const
+    {
+        return rowOf(a) == rowOf(b);
+    }
+
+    bool
+    sameColumn(NodeId a, NodeId b) const
+    {
+        return colOf(a) == colOf(b);
+    }
+
+  private:
+    unsigned _n;
+    unsigned pageShift;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_TOPOLOGY_GRID_MAP_HH

@@ -1,0 +1,91 @@
+#include "topology/multicube.hh"
+
+#include <cassert>
+
+namespace mcube
+{
+
+namespace
+{
+
+std::uint64_t
+ipow(std::uint64_t base, unsigned exp)
+{
+    std::uint64_t r = 1;
+    while (exp--)
+        r *= base;
+    return r;
+}
+
+} // namespace
+
+MulticubeTopology::MulticubeTopology(unsigned n, unsigned k)
+    : _n(n), _k(k), _num_procs(ipow(n, k))
+{
+    assert(n >= 1 && k >= 1);
+}
+
+std::uint64_t
+MulticubeTopology::numBuses() const
+{
+    return static_cast<std::uint64_t>(_k) * ipow(_n, _k - 1);
+}
+
+double
+MulticubeTopology::bandwidthPerProcessor() const
+{
+    return static_cast<double>(_k) / static_cast<double>(_n);
+}
+
+std::uint64_t
+MulticubeTopology::invalidationBusOps() const
+{
+    if (_k == 1)
+        return 1;  // a single-bus invalidate is one broadcast
+    if (_k == 2)
+        return static_cast<std::uint64_t>(_n) + 1 + 3;  // Section 6
+    // General form from Section 6: approximately (N-1)/(n-1)
+    // operations to reach every node, plus the 3 column-style ops of
+    // the initiating path.
+    return (_num_procs - 1) / (_n - 1) + 3;
+}
+
+std::vector<unsigned>
+MulticubeTopology::coordinates(std::uint64_t proc) const
+{
+    assert(proc < _num_procs);
+    std::vector<unsigned> c(_k);
+    for (unsigned d = 0; d < _k; ++d) {
+        c[d] = static_cast<unsigned>(proc % _n);
+        proc /= _n;
+    }
+    return c;
+}
+
+std::uint64_t
+MulticubeTopology::procAt(const std::vector<unsigned> &coords) const
+{
+    assert(coords.size() == _k);
+    std::uint64_t id = 0;
+    for (unsigned d = _k; d-- > 0;) {
+        assert(coords[d] < _n);
+        id = id * _n + coords[d];
+    }
+    return id;
+}
+
+std::vector<std::uint64_t>
+MulticubeTopology::busMembers(std::uint64_t proc, unsigned dim) const
+{
+    assert(dim < _k);
+    std::vector<unsigned> c = coordinates(proc);
+    std::vector<std::uint64_t> members;
+    members.reserve(_n);
+    for (unsigned v = 0; v < _n; ++v) {
+        c[dim] = v;
+        members.push_back(procAt(c));
+    }
+    return members;
+}
+
+} // namespace mcube

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The general Multicube topology (Section 6).
+ *
+ * A Multicube has N = n^k processors; each processor sits on k buses
+ * and each bus carries n processors. k = 1 is a multi (single bus),
+ * n = 2 is a hypercube, and the Wisconsin Multicube is k = 2. These
+ * helpers compute the structural and scaling properties the paper
+ * derives: bus counts, per-processor bandwidth k/n, the broadcast
+ * (invalidation) cost of roughly (N-1)/(n-1) bus operations, and
+ * coordinate arithmetic for arbitrary k.
+ */
+
+#ifndef MCUBE_TOPOLOGY_MULTICUBE_HH
+#define MCUBE_TOPOLOGY_MULTICUBE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mcube
+{
+
+/** Structural description of an n^k Multicube. */
+class MulticubeTopology
+{
+  public:
+    /**
+     * @param n Processors per bus (>= 1).
+     * @param k Dimensions / buses per processor (>= 1).
+     */
+    MulticubeTopology(unsigned n, unsigned k);
+
+    unsigned n() const { return _n; }
+    unsigned k() const { return _k; }
+
+    /** N = n^k. */
+    std::uint64_t numProcessors() const { return _num_procs; }
+
+    /** Total buses: k * n^(k-1). */
+    std::uint64_t numBuses() const;
+
+    /** Buses snooped per processor (= k). */
+    unsigned busesPerProcessor() const { return _k; }
+
+    /** Relative bandwidth per processor: k / n (Section 6). */
+    double bandwidthPerProcessor() const;
+
+    /**
+     * Bus operations for a full invalidation broadcast. In the 2-D
+     * machine this is (n + 1) row ops + 3 column ops (Section 6); the
+     * general form the paper gives is approximately (N-1)/(n-1).
+     */
+    std::uint64_t invalidationBusOps() const;
+
+    /**
+     * Expected bus hops for a request/response pair in the common
+     * (non-broadcast) case: a request reaches any node through at
+     * most k buses, so a round trip costs up to 2k operations —
+     * "twice the number of bus operations required of a single-bus
+     * multi" for k = 2.
+     */
+    unsigned maxRequestHops() const { return 2 * _k; }
+
+    /** True if this instance is a multi (k = 1). */
+    bool isMulti() const { return _k == 1; }
+
+    /** True if this instance is a hypercube (n = 2). */
+    bool isHypercube() const { return _n == 2; }
+
+    /** Decompose a processor id into k bus coordinates (base n). */
+    std::vector<unsigned> coordinates(std::uint64_t proc) const;
+
+    /** Recompose coordinates into a processor id. */
+    std::uint64_t procAt(const std::vector<unsigned> &coords) const;
+
+    /**
+     * Ids of the processors sharing the bus along @p dim that passes
+     * through @p proc (including @p proc itself).
+     */
+    std::vector<std::uint64_t> busMembers(std::uint64_t proc,
+                                          unsigned dim) const;
+
+  private:
+    unsigned _n;
+    unsigned _k;
+    std::uint64_t _num_procs;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_TOPOLOGY_MULTICUBE_HH

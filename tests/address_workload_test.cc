@@ -1,0 +1,143 @@
+/** @file Tests for the locality-based address-stream workload. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "proc/address_workload.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+SystemParams
+bigCacheParams()
+{
+    SystemParams p;
+    p.n = 4;
+    p.ctrl.cache = {256, 4};  // 1024 lines: holds the working set
+    return p;
+}
+
+} // namespace
+
+TEST(AddressWorkload, IssuesReferences)
+{
+    MulticubeSystem sys(bigCacheParams());
+    AddressWorkloadParams wp;
+    wp.thinkTicks = 200;
+    AddressWorkload wl(sys, wp);
+    wl.start();
+    sys.run(1'000'000);
+    wl.stop();
+    sys.drain();
+    EXPECT_GT(wl.references(), 1000u);
+}
+
+TEST(AddressWorkload, SnoopingCacheAbsorbsPrivateTraffic)
+{
+    // Section 2's claim: with the working set cached, nearly all bus
+    // traffic comes from shared data. After warm-up the L2 hit rate
+    // must be very high and the observed bus request rate far below
+    // the reference rate.
+    MulticubeSystem sys(bigCacheParams());
+    AddressWorkloadParams wp;
+    wp.privateLines = 256;  // fits in the 1024-line cache
+    wp.thinkTicks = 100;
+    AddressWorkload wl(sys, wp);
+    wl.start();
+    sys.run(4'000'000);
+    wl.stop();
+    sys.drain();
+
+    EXPECT_GT(wl.l2HitRate(), 0.55);  // includes cold misses
+    // Reference rate is ~10k refs/ms/proc (1 per 100 ns); the bus
+    // request rate must be orders of magnitude lower.
+    double ref_rate = static_cast<double>(wl.references()) / 4.0
+                    / sys.numNodes();
+    EXPECT_LT(wl.observedBusRequestRate(), ref_rate / 5.0);
+}
+
+TEST(AddressWorkload, SharedFractionDrivesBusRate)
+{
+    auto rate = [](double p_shared) {
+        SystemParams sp = bigCacheParams();
+        MulticubeSystem sys(sp);
+        AddressWorkloadParams wp;
+        wp.pShared = p_shared;
+        wp.privateLines = 256;
+        wp.seed = 5;
+        AddressWorkload wl(sys, wp);
+        wl.start();
+        // Warm up past the cold misses, then measure incrementally.
+        sys.run(3'000'000);
+        std::uint64_t before = 0;
+        for (NodeId id = 0; id < sys.numNodes(); ++id)
+            before += sys.node(id).misses();
+        sys.run(3'000'000);
+        std::uint64_t after = 0;
+        for (NodeId id = 0; id < sys.numNodes(); ++id)
+            after += sys.node(id).misses();
+        wl.stop();
+        sys.drain();
+        return static_cast<double>(after - before) / 3.0
+             / sys.numNodes();
+    };
+    // More shared references => more coherence misses => higher bus
+    // request rate (the paper's driving parameter).
+    EXPECT_GT(rate(0.20), rate(0.02) * 1.5);
+}
+
+TEST(AddressWorkload, L1FiltersMostReferences)
+{
+    MulticubeSystem sys(bigCacheParams());
+    AddressWorkloadParams wp;
+    wp.privateLines = 64;  // small enough for the L1 too
+    wp.pShared = 0.0;
+    wp.proc.l1 = {64, 2};
+    AddressWorkload wl(sys, wp);
+    wl.start();
+    sys.run(3'000'000);
+    wl.stop();
+    sys.drain();
+    EXPECT_GT(wl.l1HitRate(), 0.5);
+}
+
+TEST(AddressWorkload, StaysCoherent)
+{
+    MulticubeSystem sys(bigCacheParams());
+    CoherenceChecker checker(sys, 128);
+    AddressWorkloadParams wp;
+    wp.pShared = 0.3;  // heavy sharing
+    wp.sharedLines = 16;
+    AddressWorkload wl(sys, wp);
+    wl.start();
+    sys.run(2'000'000);
+    wl.stop();
+    sys.drain();
+    checker.fullSweep();
+    for (const auto &s : checker.report())
+        ADD_FAILURE() << s;
+    EXPECT_EQ(checker.violations(), 0u);
+}
+
+TEST(AddressWorkload, PrivateRegionsAreDisjoint)
+{
+    // No node's private traffic may invalidate another's: with
+    // pShared = 0 there must be no invalidations at all.
+    MulticubeSystem sys(bigCacheParams());
+    AddressWorkloadParams wp;
+    wp.pShared = 0.0;
+    AddressWorkload wl(sys, wp);
+    wl.start();
+    sys.run(2'000'000);
+    wl.stop();
+    sys.drain();
+    std::uint64_t invals = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id)
+        invals += sys.node(id).invalidationsReceived();
+    EXPECT_EQ(invals, 0u);
+}

@@ -1,0 +1,179 @@
+/** @file
+ * Tests for the optional ALLOCATE early-write extension (Section 3:
+ * "allows the processor to write a line before receiving the
+ * acknowledge of the ALLOCATE").
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct Waiter
+{
+    bool done = false;
+    Tick when = 0;
+    TxnResult res;
+};
+
+class EarlyAlloc : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SystemParams p;
+        p.n = 4;
+        p.ctrl.allocateEarlyWrite = true;
+        sys = std::make_unique<MulticubeSystem>(p);
+        checker = std::make_unique<CoherenceChecker>(*sys, 16);
+    }
+
+    SnoopController::CompletionCb
+    cb(Waiter &w)
+    {
+        return [this, &w](const TxnResult &r) {
+            w.done = true;
+            w.when = sys->eventQueue().now();
+            w.res = r;
+        };
+    }
+
+    std::unique_ptr<MulticubeSystem> sys;
+    std::unique_ptr<CoherenceChecker> checker;
+};
+
+} // namespace
+
+TEST_F(EarlyAlloc, AckArrivesBeforeTransactionCompletes)
+{
+    SnoopController &nd = sys->node(1, 2);
+    Waiter w;
+    Tick t0 = sys->eventQueue().now();
+    EXPECT_EQ(nd.writeAllocate(9, 42, cb(w)), AccessOutcome::Miss);
+    // The ack fires without waiting for any bus operation.
+    sys->eventQueue().run(4);
+    EXPECT_TRUE(w.done);
+    EXPECT_EQ(w.when, t0);
+    EXPECT_EQ(nd.modeOf(9), Mode::AllocPending);
+    // The transaction still runs to completion in the background.
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(nd.modeOf(9), Mode::Modified);
+    EXPECT_EQ(nd.dataOf(9).token, 42u);
+    EXPECT_EQ(checker->goldenToken(9), 42u);
+    EXPECT_EQ(checker->violations(), 0u);
+}
+
+TEST_F(EarlyAlloc, LocalWritesDuringPendingWindowAccumulate)
+{
+    SnoopController &nd = sys->node(1, 2);
+    Waiter w;
+    nd.writeAllocate(9, 1, cb(w));
+    sys->eventQueue().run(4);
+    ASSERT_EQ(nd.modeOf(9), Mode::AllocPending);
+    // Overwrite the staged line before the acknowledge returns.
+    EXPECT_EQ(nd.write(9, 2, nullptr), AccessOutcome::Hit);
+    EXPECT_EQ(nd.writeAllocate(9, 3, nullptr), AccessOutcome::Hit);
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(nd.modeOf(9), Mode::Modified);
+    EXPECT_EQ(nd.dataOf(9).token, 3u);
+    EXPECT_EQ(checker->goldenToken(9), 3u);
+    EXPECT_EQ(checker->violations(), 0u);
+}
+
+TEST_F(EarlyAlloc, LocalReadSeesStagedValue)
+{
+    SnoopController &nd = sys->node(1, 2);
+    Waiter w;
+    nd.writeAllocate(9, 7, cb(w));
+    sys->eventQueue().run(4);
+    // A read hit on the staged line returns the processor's own
+    // pending write (its value is not yet globally committed).
+    std::uint64_t tok = 0;
+    EXPECT_EQ(nd.read(9, tok, nullptr), AccessOutcome::Hit);
+    EXPECT_EQ(tok, 7u);
+    ASSERT_TRUE(sys->drain());
+}
+
+TEST_F(EarlyAlloc, BusyUntilBackgroundCompletion)
+{
+    SnoopController &nd = sys->node(1, 2);
+    Waiter w;
+    nd.writeAllocate(9, 7, cb(w));
+    sys->eventQueue().run(4);
+    // Other misses are still rejected while the ALLOCATE is open.
+    std::uint64_t tok = 0;
+    EXPECT_EQ(nd.read(77, tok, nullptr), AccessOutcome::Busy);
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(nd.read(77, tok, cb(w)), AccessOutcome::Miss);
+    ASSERT_TRUE(sys->drain());
+}
+
+TEST_F(EarlyAlloc, SurvivesVictimWritebackStall)
+{
+    SystemParams p;
+    p.n = 4;
+    p.ctrl.allocateEarlyWrite = true;
+    p.ctrl.cache = {1, 1};  // every fill evicts
+    sys = std::make_unique<MulticubeSystem>(p);
+    checker = std::make_unique<CoherenceChecker>(*sys, 16);
+
+    SnoopController &nd = sys->node(0, 0);
+    Waiter w1;
+    nd.write(1, 11, cb(w1));
+    sys->drain();
+    ASSERT_EQ(nd.modeOf(1), Mode::Modified);
+
+    // The allocate must first write back the dirty victim; the early
+    // ack fires right after the continue, before the bus reply.
+    Waiter w2;
+    nd.writeAllocate(2, 22, cb(w2));
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(w2.done);
+    EXPECT_EQ(nd.modeOf(2), Mode::Modified);
+    EXPECT_EQ(checker->goldenToken(2), 22u);
+    EXPECT_EQ(sys->memory(1).lineData(1).token, 11u);
+    EXPECT_EQ(checker->violations(), 0u);
+}
+
+TEST_F(EarlyAlloc, RacingWritersStillSerialise)
+{
+    SnoopController &a = sys->node(0, 0);
+    SnoopController &b = sys->node(3, 3);
+    Waiter wa, wb;
+    a.writeAllocate(14, 100, cb(wa));
+    b.write(14, 200, cb(wb));
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(wa.done);
+    EXPECT_TRUE(wb.done);
+    bool a_owns = a.modeOf(14) == Mode::Modified;
+    bool b_owns = b.modeOf(14) == Mode::Modified;
+    EXPECT_NE(a_owns, b_owns);
+    std::uint64_t final_tok =
+        a_owns ? a.dataOf(14).token : b.dataOf(14).token;
+    EXPECT_EQ(final_tok, checker->goldenToken(14));
+    checker->fullSweep();
+    EXPECT_EQ(checker->violations(), 0u);
+}
+
+TEST_F(EarlyAlloc, DisabledByDefault)
+{
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem plain(p);
+    SnoopController &nd = plain.node(1, 2);
+    bool done = false;
+    nd.writeAllocate(9, 42, [&](const TxnResult &) { done = true; });
+    plain.eventQueue().run(4);
+    EXPECT_FALSE(done);  // must wait for the acknowledge
+    EXPECT_NE(nd.modeOf(9), Mode::AllocPending);
+    plain.drain();
+    EXPECT_TRUE(done);
+}

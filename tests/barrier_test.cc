@@ -1,0 +1,144 @@
+/** @file Tests for barrier synchronisation (Section 4 variation). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "proc/barrier.hh"
+#include "proc/processor.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+constexpr BarrierAddrs kBarrier{700, 701, 702};
+
+struct Rig
+{
+    std::unique_ptr<MulticubeSystem> sys;
+    std::unique_ptr<CoherenceChecker> checker;
+    std::vector<std::unique_ptr<Processor>> procs;
+    std::vector<std::unique_ptr<BarrierMember>> members;
+
+    explicit
+    Rig(unsigned parties, unsigned n = 4)
+    {
+        SystemParams p;
+        p.n = n;
+        sys = std::make_unique<MulticubeSystem>(p);
+        checker = std::make_unique<CoherenceChecker>(*sys, 64);
+        for (unsigned i = 0; i < parties; ++i) {
+            procs.push_back(std::make_unique<Processor>(
+                "p" + std::to_string(i), sys->eventQueue(),
+                sys->node((i * 3) % sys->numNodes()),
+                ProcessorParams{}));
+            members.push_back(std::make_unique<BarrierMember>(
+                *procs.back(), kBarrier, parties));
+        }
+    }
+};
+
+} // namespace
+
+TEST(Barrier, AllPartiesReleaseTogether)
+{
+    Rig rig(6);
+    unsigned released = 0;
+    std::vector<Tick> when(6, 0);
+    for (unsigned i = 0; i < 6; ++i) {
+        // Stagger the arrivals.
+        rig.sys->eventQueue().scheduleIn(i * 5000, [&, i] {
+            rig.members[i]->arrive([&, i] {
+                ++released;
+                when[i] = rig.sys->eventQueue().now();
+            });
+        });
+    }
+    rig.sys->eventQueue().runUntil(200'000'000);
+    rig.sys->drain();
+    EXPECT_EQ(released, 6u);
+    // Nobody may be released before the last arrival (i = 5 arrives
+    // at >= 25000 ns).
+    for (unsigned i = 0; i < 6; ++i)
+        EXPECT_GE(when[i], 25000u) << "member " << i;
+    EXPECT_EQ(rig.checker->violations(), 0u);
+}
+
+TEST(Barrier, NoEarlyRelease)
+{
+    Rig rig(4);
+    unsigned released = 0;
+    // Only 3 of 4 arrive.
+    for (unsigned i = 0; i < 3; ++i)
+        rig.members[i]->arrive([&] { ++released; });
+    rig.sys->eventQueue().runUntil(50'000'000);
+    EXPECT_EQ(released, 0u);
+    // The 4th arrival releases everyone.
+    rig.members[3]->arrive([&] { ++released; });
+    rig.sys->eventQueue().runUntil(200'000'000);
+    rig.sys->drain();
+    EXPECT_EQ(released, 4u);
+}
+
+TEST(Barrier, RepeatedEpisodes)
+{
+    const unsigned parties = 4, rounds = 5;
+    Rig rig(parties);
+    unsigned done = 0;
+
+    // Each member loops: arrive -> (callback) arrive again.
+    std::function<void(unsigned)> loop = [&](unsigned i) {
+        if (rig.members[i]->episodes() >= rounds) {
+            ++done;
+            return;
+        }
+        rig.members[i]->arrive([&, i] { loop(i); });
+    };
+    for (unsigned i = 0; i < parties; ++i)
+        loop(i);
+
+    rig.sys->eventQueue().runUntil(2'000'000'000ull);
+    rig.sys->drain();
+    EXPECT_EQ(done, parties);
+    for (auto &m : rig.members)
+        EXPECT_EQ(m->episodes(), rounds);
+    EXPECT_EQ(rig.checker->violations(), 0u);
+}
+
+TEST(Barrier, SpinningIsMostlyBusSilent)
+{
+    // One early arrival spins while the others trickle in slowly; its
+    // spin reads must hit its cached generation copy, so total bus
+    // operations stay far below the spin count.
+    Rig rig(3);
+    unsigned released = 0;
+    rig.members[0]->arrive([&] { ++released; });
+    rig.sys->eventQueue().runUntil(1'000'000);  // spin for ~1 ms alone
+
+    std::uint64_t ops_mid = rig.sys->totalBusOps();
+    std::uint64_t spins_mid = rig.members[0]->spinReads();
+    EXPECT_GT(spins_mid, 1000u);       // it is definitely spinning
+    EXPECT_LT(ops_mid, 200u);          // ... without bus traffic
+
+    rig.members[1]->arrive([&] { ++released; });
+    rig.members[2]->arrive([&] { ++released; });
+    rig.sys->eventQueue().runUntil(100'000'000);
+    rig.sys->drain();
+    EXPECT_EQ(released, 3u);
+}
+
+TEST(Barrier, SixteenParties)
+{
+    Rig rig(16);
+    unsigned released = 0;
+    for (auto &m : rig.members)
+        m->arrive([&] { ++released; });
+    rig.sys->eventQueue().runUntil(2'000'000'000ull);
+    rig.sys->drain();
+    EXPECT_EQ(released, 16u);
+    EXPECT_EQ(rig.checker->violations(), 0u);
+}

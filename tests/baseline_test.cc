@@ -1,0 +1,217 @@
+/** @file Unit tests for the single-bus write-once baseline. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/multi_workload.hh"
+#include "baseline/single_bus_multi.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+MultiParams
+smallParams(unsigned procs = 4)
+{
+    MultiParams p;
+    p.numProcessors = procs;
+    p.cache = {16, 2};
+    return p;
+}
+
+struct Waiter
+{
+    bool done = false;
+    std::uint64_t token = 0;
+
+    MultiCache::CompletionCb
+    cb()
+    {
+        return [this](std::uint64_t t) {
+            done = true;
+            token = t;
+        };
+    }
+};
+
+} // namespace
+
+TEST(WriteOnce, ReadMissFromMemory)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w;
+    std::uint64_t tok = 1;
+    EXPECT_FALSE(sys.cache(0).read(7, tok, w.cb()));
+    ASSERT_TRUE(sys.drain());
+    ASSERT_TRUE(w.done);
+    EXPECT_EQ(w.token, 0u);
+    EXPECT_EQ(sys.cache(0).modeOf(7), WoMode::Valid);
+}
+
+TEST(WriteOnce, ReadHitAfterFill)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w;
+    std::uint64_t tok = 1;
+    sys.cache(0).read(7, tok, w.cb());
+    sys.drain();
+    EXPECT_TRUE(sys.cache(0).read(7, tok, w.cb()));
+    EXPECT_EQ(tok, 0u);
+}
+
+TEST(WriteOnce, FirstWriteToValidGoesThroughAndReserves)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w1, w2;
+    std::uint64_t tok = 0;
+    sys.cache(0).read(7, tok, w1.cb());
+    sys.drain();
+    EXPECT_FALSE(sys.cache(0).write(7, 42, w2.cb()));
+    ASSERT_TRUE(sys.drain());
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(sys.cache(0).modeOf(7), WoMode::Reserved);
+    // Write-through: memory has the new value immediately.
+    EXPECT_EQ(sys.memToken(7), 42u);
+    EXPECT_TRUE(sys.memValid(7));
+}
+
+TEST(WriteOnce, SecondWriteIsLocalAndDirties)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w1, w2;
+    std::uint64_t tok = 0;
+    sys.cache(0).read(7, tok, w1.cb());
+    sys.drain();
+    sys.cache(0).write(7, 42, w2.cb());
+    sys.drain();
+    std::uint64_t ops = sys.bus().opsDelivered();
+    EXPECT_TRUE(sys.cache(0).write(7, 43, w2.cb()));
+    EXPECT_EQ(sys.cache(0).modeOf(7), WoMode::Dirty);
+    EXPECT_EQ(sys.bus().opsDelivered(), ops);  // no bus traffic
+    EXPECT_EQ(sys.memToken(7), 42u);           // memory now stale
+    EXPECT_FALSE(sys.memValid(7));
+}
+
+TEST(WriteOnce, WriteThroughInvalidatesOtherCopies)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w;
+    std::uint64_t tok = 0;
+    sys.cache(0).read(7, tok, w.cb());
+    sys.drain();
+    sys.cache(1).read(7, tok, w.cb());
+    sys.drain();
+    EXPECT_EQ(sys.cache(1).modeOf(7), WoMode::Valid);
+
+    Waiter w2;
+    sys.cache(0).write(7, 5, w2.cb());
+    sys.drain();
+    EXPECT_EQ(sys.cache(1).modeOf(7), WoMode::Invalid);
+    EXPECT_GE(sys.cache(1).invalidations(), 1u);
+}
+
+TEST(WriteOnce, DirtyHolderServicesReadAndUpdatesMemory)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w1, w2, w3;
+    std::uint64_t tok = 0;
+    sys.cache(0).read(7, tok, w1.cb());
+    sys.drain();
+    sys.cache(0).write(7, 10, w2.cb());
+    sys.drain();
+    sys.cache(0).write(7, 11, w2.cb());  // local: dirty, memory stale
+
+    sys.cache(2).read(7, tok, w3.cb());
+    ASSERT_TRUE(sys.drain());
+    ASSERT_TRUE(w3.done);
+    EXPECT_EQ(w3.token, 11u);
+    EXPECT_EQ(sys.cache(0).modeOf(7), WoMode::Valid);
+    EXPECT_EQ(sys.cache(2).modeOf(7), WoMode::Valid);
+    EXPECT_EQ(sys.memToken(7), 11u);
+}
+
+TEST(WriteOnce, WriteMissTransfersOwnershipFromDirtyHolder)
+{
+    SingleBusMulti sys(smallParams());
+    Waiter w1, w2, w3;
+    std::uint64_t tok = 0;
+    sys.cache(0).read(7, tok, w1.cb());
+    sys.drain();
+    sys.cache(0).write(7, 10, w2.cb());
+    sys.drain();
+    sys.cache(0).write(7, 11, w2.cb());
+
+    sys.cache(3).write(7, 99, w3.cb());
+    ASSERT_TRUE(sys.drain());
+    ASSERT_TRUE(w3.done);
+    EXPECT_EQ(sys.cache(0).modeOf(7), WoMode::Invalid);
+    EXPECT_EQ(sys.cache(3).modeOf(7), WoMode::Dirty);
+    EXPECT_EQ(sys.cache(3).tokenOf(7), 99u);
+}
+
+TEST(WriteOnce, DirtyEvictionWritesBack)
+{
+    MultiParams p = smallParams();
+    p.cache = {1, 2};
+    SingleBusMulti sys(p);
+    Waiter w;
+    std::uint64_t tok = 0;
+
+    // Dirty line 1 via read + two writes.
+    sys.cache(0).read(1, tok, w.cb());
+    sys.drain();
+    Waiter w2;
+    sys.cache(0).write(1, 10, w2.cb());
+    sys.drain();
+    sys.cache(0).write(1, 11, w2.cb());
+
+    // Fill both ways of the set, evicting line 1.
+    Waiter w3, w4;
+    sys.cache(0).read(3, tok, w3.cb());
+    sys.drain();
+    sys.cache(0).read(5, tok, w4.cb());
+    ASSERT_TRUE(sys.drain());
+    EXPECT_EQ(sys.memToken(1), 11u);
+    EXPECT_TRUE(sys.memValid(1));
+}
+
+TEST(WriteOnce, WorkloadRunsAndEfficiencyIsSane)
+{
+    MultiParams p;
+    p.numProcessors = 8;
+    SingleBusMulti sys(p);
+    MixParams mp;
+    mp.requestsPerMs = 25.0;
+    MultiMixWorkload wl(sys, mp);
+    wl.start();
+    sys.run(3'000'000);  // 3 ms
+    wl.stop();
+    sys.drain();
+    EXPECT_GT(wl.totalCompleted(), 100u);
+    EXPECT_GT(wl.efficiency(), 0.3);
+    EXPECT_LE(wl.efficiency(), 1.01);
+}
+
+TEST(WriteOnce, SaturatesWithManyProcessors)
+{
+    // Section 1: multis are "limited to some tens of processors" —
+    // efficiency must drop markedly from 8 to 64 processors at the
+    // same per-processor rate.
+    auto eff = [](unsigned procs) {
+        MultiParams p;
+        p.numProcessors = procs;
+        SingleBusMulti sys(p);
+        MixParams mp;
+        mp.requestsPerMs = 25.0;
+        mp.seed = 7;
+        MultiMixWorkload wl(sys, mp);
+        wl.start();
+        sys.run(3'000'000);
+        wl.stop();
+        sys.drain();
+        return wl.efficiency();
+    };
+    double e8 = eff(8);
+    double e64 = eff(64);
+    EXPECT_GT(e8, e64 + 0.1);
+}

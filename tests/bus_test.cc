@@ -1,0 +1,309 @@
+/** @file Unit tests for the snooping bus substrate. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/bus.hh"
+#include "sim/event_queue.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+/** Records everything it snoops. */
+struct Recorder : BusAgent
+{
+    std::vector<BusOp> seen;
+    std::vector<Tick> at;
+    std::vector<bool> signals;
+    EventQueue *eq = nullptr;
+    bool assertSignal = false;
+
+    bool
+    supplyModifiedSignal(const BusOp &) override
+    {
+        return assertSignal;
+    }
+
+    void
+    snoop(const BusOp &op, bool sig) override
+    {
+        seen.push_back(op);
+        signals.push_back(sig);
+        if (eq)
+            at.push_back(eq->now());
+    }
+};
+
+BusOp
+mkOp(Addr addr, bool data = false)
+{
+    BusOp o;
+    o.txn = TxnType::Read;
+    o.params = op::Request;
+    o.addr = addr;
+    o.origin = 0;
+    o.hasData = data;
+    return o;
+}
+
+} // namespace
+
+TEST(Bus, DeliversToAllAgentsIncludingSender)
+{
+    EventQueue eq;
+    Bus bus("b", eq, BusParams{});
+    Recorder a, b, c;
+    unsigned slot_a = bus.attach(&a);
+    bus.attach(&b);
+    bus.attach(&c);
+
+    bus.request(slot_a, mkOp(5));
+    eq.run();
+
+    ASSERT_EQ(a.seen.size(), 1u);
+    ASSERT_EQ(b.seen.size(), 1u);
+    ASSERT_EQ(c.seen.size(), 1u);
+    EXPECT_EQ(a.seen[0].addr, 5u);
+}
+
+TEST(Bus, HeaderOnlyOccupancy)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 50;
+    p.wordTicks = 50;
+    p.blockWords = 16;
+    Bus bus("b", eq, p);
+    Recorder a;
+    a.eq = &eq;
+    unsigned s = bus.attach(&a);
+
+    bus.request(s, mkOp(1, false));
+    eq.run();
+    ASSERT_EQ(a.at.size(), 1u);
+    EXPECT_EQ(a.at[0], 50u);
+    EXPECT_EQ(bus.busyTicks(), 50u);
+}
+
+TEST(Bus, DataOccupancyIncludesBlockTransfer)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 50;
+    p.wordTicks = 50;
+    p.blockWords = 16;
+    Bus bus("b", eq, p);
+    Recorder a;
+    a.eq = &eq;
+    unsigned s = bus.attach(&a);
+
+    bus.request(s, mkOp(1, true));
+    eq.run();
+    ASSERT_EQ(a.at.size(), 1u);
+    EXPECT_EQ(a.at[0], 50u + 16u * 50u);
+    EXPECT_EQ(bus.busyTicks(), 850u);
+}
+
+TEST(Bus, CutThroughDeliversEarlyButHoldsWire)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 50;
+    p.wordTicks = 50;
+    p.blockWords = 16;
+    p.cutThrough = true;
+    Bus bus("b", eq, p);
+    Recorder a;
+    a.eq = &eq;
+    unsigned s = bus.attach(&a);
+
+    bus.request(s, mkOp(1, true));
+    bus.request(s, mkOp(2, false));
+    eq.run();
+    ASSERT_EQ(a.at.size(), 2u);
+    EXPECT_EQ(a.at[0], 100u);          // header + first word
+    EXPECT_EQ(a.at[1], 850u + 50u);    // after the full transfer
+}
+
+TEST(Bus, PieceTransferOccupancyAndEarlyDelivery)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 50;
+    p.wordTicks = 50;
+    p.blockWords = 16;
+    p.pieceWords = 4;
+    Bus bus("b", eq, p);
+    Recorder a;
+    a.eq = &eq;
+    unsigned s = bus.attach(&a);
+
+    bus.request(s, mkOp(1, true));
+    bus.request(s, mkOp(2, false));
+    eq.run();
+    ASSERT_EQ(a.at.size(), 2u);
+    // Delivered after header + first 4-word piece.
+    EXPECT_EQ(a.at[0], 50u + 4u * 50u);
+    // Wire held for 4 headers + 16 words; next op delivered after.
+    Tick occ = 4 * 50 + 16 * 50;
+    EXPECT_EQ(a.at[1], occ + 50u);
+    EXPECT_EQ(bus.busyTicks(), occ + 50u);
+}
+
+TEST(Bus, PieceLargerThanBlockBehavesLikeWhole)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 50;
+    p.wordTicks = 50;
+    p.blockWords = 8;
+    p.pieceWords = 16;
+    Bus bus("b", eq, p);
+    Recorder a;
+    a.eq = &eq;
+    unsigned s = bus.attach(&a);
+    bus.request(s, mkOp(1, true));
+    eq.run();
+    ASSERT_EQ(a.at.size(), 1u);
+    EXPECT_EQ(a.at[0], 50u + 8u * 50u);
+}
+
+TEST(Bus, FifoPerSlot)
+{
+    EventQueue eq;
+    Bus bus("b", eq, BusParams{});
+    Recorder a;
+    unsigned s = bus.attach(&a);
+
+    bus.request(s, mkOp(1));
+    bus.request(s, mkOp(2));
+    bus.request(s, mkOp(3));
+    eq.run();
+    ASSERT_EQ(a.seen.size(), 3u);
+    EXPECT_EQ(a.seen[0].addr, 1u);
+    EXPECT_EQ(a.seen[1].addr, 2u);
+    EXPECT_EQ(a.seen[2].addr, 3u);
+}
+
+TEST(Bus, RoundRobinBetweenSlots)
+{
+    EventQueue eq;
+    Bus bus("b", eq, BusParams{});
+    Recorder a;
+    unsigned s0 = bus.attach(&a);
+    unsigned s1 = bus.attach(&a);
+    unsigned s2 = bus.attach(&a);
+
+    // Enqueue two ops per slot while the bus is busy with the first.
+    bus.request(s0, mkOp(10));
+    bus.request(s0, mkOp(11));
+    bus.request(s1, mkOp(20));
+    bus.request(s1, mkOp(21));
+    bus.request(s2, mkOp(30));
+    bus.request(s2, mkOp(31));
+    eq.run();
+
+    // 3 agents see 6 ops each? No: one agent attached 3 times sees
+    // every delivery 3 times; use the per-delivery sequence instead.
+    ASSERT_EQ(bus.opsDelivered(), 6u);
+    std::vector<Addr> firsts;
+    for (std::size_t i = 0; i < a.seen.size(); i += 3)
+        firsts.push_back(a.seen[i].addr);
+    EXPECT_EQ(firsts,
+              (std::vector<Addr>{10, 20, 30, 11, 21, 31}));
+}
+
+TEST(Bus, WiredOrModifiedSignal)
+{
+    EventQueue eq;
+    Bus bus("b", eq, BusParams{});
+    Recorder a, b;
+    unsigned s = bus.attach(&a);
+    bus.attach(&b);
+
+    b.assertSignal = true;
+    bus.request(s, mkOp(1));
+    eq.run();
+    ASSERT_EQ(a.signals.size(), 1u);
+    EXPECT_TRUE(a.signals[0]);
+
+    b.assertSignal = false;
+    bus.request(s, mkOp(2));
+    eq.run();
+    ASSERT_EQ(a.signals.size(), 2u);
+    EXPECT_FALSE(a.signals[1]);
+}
+
+TEST(Bus, SerialNumbersAreUniqueAndMonotonic)
+{
+    EventQueue eq;
+    Bus bus("b", eq, BusParams{});
+    Recorder a;
+    unsigned s = bus.attach(&a);
+    bus.request(s, mkOp(1));
+    bus.request(s, mkOp(2));
+    eq.run();
+    ASSERT_EQ(a.seen.size(), 2u);
+    EXPECT_LT(a.seen[0].serial, a.seen[1].serial);
+}
+
+TEST(Bus, UtilizationReflectsBusyFraction)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 100;
+    Bus bus("b", eq, p);
+    Recorder a;
+    unsigned s = bus.attach(&a);
+    bus.request(s, mkOp(1));
+    eq.run();
+    eq.runUntil(1000);
+    EXPECT_NEAR(bus.utilization(), 0.1, 1e-9);
+}
+
+TEST(Bus, PendingOpsTracksQueue)
+{
+    EventQueue eq;
+    Bus bus("b", eq, BusParams{});
+    Recorder a;
+    unsigned s = bus.attach(&a);
+    EXPECT_EQ(bus.pendingOps(), 0u);
+    bus.request(s, mkOp(1));
+    bus.request(s, mkOp(2));
+    EXPECT_EQ(bus.pendingOps(), 2u);
+    eq.run();
+    EXPECT_EQ(bus.pendingOps(), 0u);
+}
+
+TEST(Bus, ArbitrationOverheadDelaysDelivery)
+{
+    EventQueue eq;
+    BusParams p;
+    p.headerTicks = 50;
+    p.arbTicks = 20;
+    Bus bus("b", eq, p);
+    Recorder a;
+    a.eq = &eq;
+    unsigned s = bus.attach(&a);
+    bus.request(s, mkOp(1));
+    eq.run();
+    ASSERT_EQ(a.at.size(), 1u);
+    EXPECT_EQ(a.at[0], 70u);
+}
+
+TEST(BusOp, ToStringNamesTypeAndParams)
+{
+    BusOp o;
+    o.txn = TxnType::ReadMod;
+    o.params = op::Request | op::Remove;
+    o.addr = 77;
+    o.origin = 3;
+    std::string s = toString(o);
+    EXPECT_NE(s.find("READMOD"), std::string::npos);
+    EXPECT_NE(s.find("REQUEST"), std::string::npos);
+    EXPECT_NE(s.find("REMOVE"), std::string::npos);
+    EXPECT_NE(s.find("77"), std::string::npos);
+}

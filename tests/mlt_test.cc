@@ -1,0 +1,134 @@
+/** @file Unit tests for the modified line table. */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cache/mlt.hh"
+
+using namespace mcube;
+
+TEST(Mlt, EmptyContainsNothing)
+{
+    ModifiedLineTable t({8, 2});
+    EXPECT_FALSE(t.contains(0));
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.capacity(), 16u);
+}
+
+TEST(Mlt, InsertThenContains)
+{
+    ModifiedLineTable t({8, 2});
+    EXPECT_EQ(t.insert(5), std::nullopt);
+    EXPECT_TRUE(t.contains(5));
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Mlt, RemovePresentSucceeds)
+{
+    ModifiedLineTable t({8, 2});
+    t.insert(5);
+    EXPECT_TRUE(t.remove(5));
+    EXPECT_FALSE(t.contains(5));
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Mlt, RemoveAbsentFails)
+{
+    ModifiedLineTable t({8, 2});
+    EXPECT_FALSE(t.remove(5));
+    t.insert(5);
+    EXPECT_TRUE(t.remove(5));
+    EXPECT_FALSE(t.remove(5));
+}
+
+TEST(Mlt, ReinsertRefreshesWithoutOverflow)
+{
+    ModifiedLineTable t({1, 2});
+    t.insert(0);
+    t.insert(1);
+    // Refresh 0, making 1 the LRU.
+    EXPECT_EQ(t.insert(0), std::nullopt);
+    auto victim = t.insert(2);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, 1u);
+}
+
+TEST(Mlt, OverflowEvictsLru)
+{
+    ModifiedLineTable t({1, 2});
+    t.insert(10);
+    t.insert(20);
+    auto victim = t.insert(30);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, 10u);
+    EXPECT_TRUE(t.contains(20));
+    EXPECT_TRUE(t.contains(30));
+    EXPECT_FALSE(t.contains(10));
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Mlt, SetsIsolateOverflow)
+{
+    ModifiedLineTable t({2, 1});
+    t.insert(0);  // set 0
+    t.insert(1);  // set 1
+    // Inserting into set 0 evicts only from set 0.
+    auto victim = t.insert(2);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, 0u);
+    EXPECT_TRUE(t.contains(1));
+}
+
+TEST(Mlt, IdenticalToTracksSameHistory)
+{
+    ModifiedLineTable a({4, 2}), b({4, 2});
+    EXPECT_TRUE(a.identicalTo(b));
+    a.insert(3);
+    EXPECT_FALSE(a.identicalTo(b));
+    b.insert(3);
+    EXPECT_TRUE(a.identicalTo(b));
+    a.remove(3);
+    b.remove(3);
+    EXPECT_TRUE(a.identicalTo(b));
+}
+
+TEST(Mlt, DeterministicVictimAcrossReplicas)
+{
+    // Two replicas fed the same op sequence must evict the same
+    // victim — the property that keeps a column's tables identical.
+    ModifiedLineTable a({1, 4}), b({1, 4});
+    for (Addr x = 0; x < 4; ++x) {
+        a.insert(x);
+        b.insert(x);
+    }
+    a.remove(2);
+    b.remove(2);
+    a.insert(7);
+    b.insert(7);
+    auto va = a.insert(9);
+    auto vb = b.insert(9);
+    ASSERT_EQ(va.has_value(), vb.has_value());
+    if (va) {
+        EXPECT_EQ(*va, *vb);
+    }
+    EXPECT_TRUE(a.identicalTo(b));
+}
+
+TEST(Mlt, ForEachVisitsLiveEntries)
+{
+    ModifiedLineTable t({4, 2});
+    t.insert(1);
+    t.insert(2);
+    t.insert(3);
+    t.remove(2);
+    unsigned n = 0;
+    bool saw1 = false, saw3 = false;
+    t.forEach([&](Addr a) {
+        ++n;
+        saw1 = saw1 || a == 1;
+        saw3 = saw3 || a == 3;
+    });
+    EXPECT_EQ(n, 2u);
+    EXPECT_TRUE(saw1 && saw3);
+}

@@ -1,0 +1,160 @@
+/** @file Tests for the general-k Multicube MVA (Section 6). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mva/mva_model.hh"
+#include "mva/mva_multik.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+MultiKResult
+solveNK(unsigned n, unsigned k, double rate)
+{
+    MultiKParams p;
+    p.n = n;
+    p.k = k;
+    p.requestsPerMs = rate;
+    return MultiKMvaModel(p).solve();
+}
+
+} // namespace
+
+TEST(MultiK, InvalidationOpsMatchSection6Formula)
+{
+    MultiKParams p;
+    p.n = 4;
+    p.k = 3;
+    MultiKMvaModel m(p);
+    // (64 - 1) / (4 - 1) = 21.
+    EXPECT_DOUBLE_EQ(m.invalidationOps(), 21.0);
+}
+
+TEST(MultiK, MultiSpecialCaseIsSingleBroadcast)
+{
+    MultiKParams p;
+    p.n = 20;
+    p.k = 1;
+    MultiKMvaModel m(p);
+    EXPECT_DOUBLE_EQ(m.invalidationOps(), 1.0);
+}
+
+TEST(MultiK, AgreesWith2DModelAtLowLoad)
+{
+    // The symmetrised model and the row/column model must agree
+    // closely when queueing is negligible.
+    MvaParams p2;
+    p2.n = 16;
+    p2.requestsPerMs = 2.0;
+    double e2 = MvaModel(p2).solve().efficiency;
+    double ek = solveNK(16, 2, 2.0).efficiency;
+    EXPECT_NEAR(e2, ek, 0.01);
+}
+
+TEST(MultiK, AgreesWith2DModelAtModerateLoad)
+{
+    MvaParams p2;
+    p2.n = 16;
+    p2.requestsPerMs = 20.0;
+    double e2 = MvaModel(p2).solve().efficiency;
+    double ek = solveNK(16, 2, 20.0).efficiency;
+    EXPECT_NEAR(e2, ek, 0.06);
+}
+
+TEST(MultiK, EfficiencyDecreasesWithRate)
+{
+    double last = 1.0;
+    for (double r : {1.0, 10.0, 25.0, 50.0}) {
+        double e = solveNK(16, 3, r).efficiency;
+        EXPECT_LT(e, last);
+        last = e;
+    }
+}
+
+TEST(MultiK, RawLatencyGrowsWithDimensions)
+{
+    MultiKParams p;
+    p.n = 8;
+    p.k = 2;
+    double l2 = MultiKMvaModel(p).rawLatency();
+    p.k = 3;
+    double l3 = MultiKMvaModel(p).rawLatency();
+    p.k = 4;
+    double l4 = MultiKMvaModel(p).rawLatency();
+    EXPECT_LT(l2, l3);
+    EXPECT_LT(l3, l4);
+}
+
+TEST(MultiK, BandwidthTracksPathLengthAtFixedN)
+{
+    // Section 6: "the bandwidth grows in proportion to k, precisely
+    // the rate at which the normal path length grows." At fixed n,
+    // per-bus utilisation is therefore nearly independent of k (no
+    // broadcast traffic, which scales differently).
+    auto util = [](unsigned n, unsigned k) {
+        MultiKParams p;
+        p.n = n;
+        p.k = k;
+        p.requestsPerMs = 10.0;
+        p.fracReadUnmod = 0.8;
+        p.fracReadMod = 0.1;
+        p.fracWriteUnmod = 0.0;
+        p.fracWriteMod = 0.1;
+        return MultiKMvaModel(p).solve().busUtilization;
+    };
+    double u2 = util(8, 2);
+    double u3 = util(8, 3);
+    double u4 = util(8, 4);
+    EXPECT_NEAR(u2, u3, 0.05 * u2);
+    EXPECT_NEAR(u2, u4, 0.05 * u2);
+}
+
+TEST(MultiK, FixedBudgetTradesBandwidthForLatency)
+{
+    // Building the same N = 4096 with more dimensions buys buses
+    // (lower per-bus utilisation) at the cost of longer unloaded
+    // paths — the Section 6 trade-off.
+    MultiKParams p2;
+    p2.n = 64;
+    p2.k = 2;
+    MultiKParams p3;
+    p3.n = 16;
+    p3.k = 3;
+    MultiKMvaModel m2(p2), m3(p3);
+    EXPECT_GT(m2.solve().busUtilization,
+              m3.solve().busUtilization);
+    EXPECT_LT(m2.rawLatency(), m3.rawLatency());
+}
+
+TEST(MultiK, HypercubeBroadcastCostIsExtreme)
+{
+    // n = 2 maximises (N-1)/(n-1): an invalidation must touch nearly
+    // every bus pair-by-pair.
+    MultiKParams hc;
+    hc.n = 2;
+    hc.k = 12;  // N = 4096
+    MultiKParams wm;
+    wm.n = 64;
+    wm.k = 2;   // N = 4096
+    EXPECT_GT(MultiKMvaModel(hc).invalidationOps(),
+              60.0 * MultiKMvaModel(wm).invalidationOps());
+}
+
+TEST(MultiK, ThroughputConsistency)
+{
+    MultiKResult r = solveNK(16, 3, 20.0);
+    EXPECT_NEAR(r.throughputPerProc * r.cycleTimeNs, 1.0, 1e-9);
+    EXPECT_GT(r.busUtilization, 0.0);
+    EXPECT_LE(r.busUtilization, 1.0);
+}
+
+TEST(MultiK, InvalidMixGivesZero)
+{
+    MultiKParams p;
+    p.fracReadUnmod = 0.9;
+    EXPECT_EQ(MultiKMvaModel(p).solve().efficiency, 0.0);
+}

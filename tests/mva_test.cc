@@ -1,0 +1,248 @@
+/** @file Unit and property tests for the mean-value analysis model. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mva/mva_model.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+MvaResult
+solve(unsigned n, double rate)
+{
+    MvaParams p;
+    p.n = n;
+    p.requestsPerMs = rate;
+    return MvaModel(p).solve();
+}
+
+} // namespace
+
+TEST(Mva, ZeroLoadApproachesPerfectEfficiency)
+{
+    MvaResult r = solve(32, 0.1);
+    EXPECT_GT(r.efficiency, 0.99);
+    EXPECT_LT(r.efficiency, 1.0);
+}
+
+TEST(Mva, EfficiencyDecreasesWithRequestRate)
+{
+    double last = 1.0;
+    for (double rate : {1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0}) {
+        double e = solve(32, rate).efficiency;
+        EXPECT_LT(e, last) << "rate " << rate;
+        last = e;
+    }
+}
+
+TEST(Mva, EfficiencyDecreasesWithProcessorsPerRow)
+{
+    // Figure 2: curves ordered 8, 16, 24, 32 from top to bottom.
+    double rate = 25.0;
+    double e8 = solve(8, rate).efficiency;
+    double e16 = solve(16, rate).efficiency;
+    double e24 = solve(24, rate).efficiency;
+    double e32 = solve(32, rate).efficiency;
+    EXPECT_GT(e8, e16);
+    EXPECT_GT(e16, e24);
+    EXPECT_GT(e24, e32);
+}
+
+TEST(Mva, PaperDesignPointNearNinetyPercent)
+{
+    // "our goal is to support 1K processors at roughly ninety percent
+    // utilization ... less than twenty-five requests per millisecond"
+    double e = solve(32, 20.0).efficiency;
+    EXPECT_GT(e, 0.85);
+    double e25 = solve(32, 25.0).efficiency;
+    EXPECT_GT(e25, 0.75);
+    EXPECT_LT(e25, 0.95);
+}
+
+TEST(Mva, InvalidationFractionLowersEfficiency)
+{
+    // Figure 3: 10..50 percent write misses to shared data, top to
+    // bottom.
+    double last = 1.0;
+    for (double inv : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+        MvaParams p;
+        p.n = 32;
+        p.requestsPerMs = 30.0;
+        p.fracWriteUnmod = inv;
+        p.fracReadUnmod = 0.8 - inv;
+        double e = MvaModel(p).solve().efficiency;
+        EXPECT_LT(e, last) << "inv " << inv;
+        last = e;
+    }
+}
+
+TEST(Mva, InvalidationEffectSmallAtLowLoad)
+{
+    // "in the range of ninety percent processing power, the effect of
+    // increasing invalidations is very small."
+    MvaParams lo;
+    lo.n = 32;
+    lo.requestsPerMs = 5.0;
+    lo.fracWriteUnmod = 0.1;
+    lo.fracReadUnmod = 0.7;
+    MvaParams hi = lo;
+    hi.fracWriteUnmod = 0.5;
+    hi.fracReadUnmod = 0.3;
+    double gap = MvaModel(lo).solve().efficiency
+               - MvaModel(hi).solve().efficiency;
+    EXPECT_LT(gap, 0.01);
+}
+
+TEST(Mva, LargeBlocksHurtAtFixedRate)
+{
+    // Figure 4, vertical dashed line: doubling the block size without
+    // reducing the request rate degrades performance monotonically.
+    double last = 1.0;
+    for (unsigned b : {4u, 8u, 16u, 32u, 64u}) {
+        MvaParams p;
+        p.n = 32;
+        p.blockWords = b;
+        double e = MvaModel(p).solve().efficiency;
+        EXPECT_LT(e, last) << "block " << b;
+        last = e;
+    }
+}
+
+TEST(Mva, LargeBlocksHelpWhenRateHalves)
+{
+    // Figure 4, sloping dashed line: if doubling the block halves the
+    // request rate, bigger blocks win.
+    double last = 0.0;
+    for (unsigned b : {4u, 8u, 16u, 32u, 64u}) {
+        MvaParams p;
+        p.n = 32;
+        p.blockWords = b;
+        p.requestsPerMs = 25.0 * 16.0 / b;
+        double e = MvaModel(p).solve().efficiency;
+        EXPECT_GT(e, last) << "block " << b;
+        last = e;
+    }
+}
+
+TEST(Mva, ModerateCouplingHasInteriorOptimum)
+{
+    // With a miss-rate/block coupling between the two extremes the
+    // best block size is interior (paper: 16 or 32 words).
+    auto eff = [](unsigned b) {
+        MvaParams p;
+        p.n = 32;
+        p.blockWords = b;
+        p.requestsPerMs = 25.0 * 4.0 / std::sqrt(double(b));
+        return MvaModel(p).solve().efficiency;
+    };
+    double e4 = eff(4), e8 = eff(8), e16 = eff(16), e64 = eff(64);
+    double best_interior = std::max(e8, e16);
+    EXPECT_GT(best_interior, e64);
+    EXPECT_GE(best_interior, e4 - 0.02);
+}
+
+TEST(Mva, RequestedWordFirstCutsRawLatency)
+{
+    MvaParams p;
+    p.n = 32;
+    p.blockWords = 32;
+    double base = MvaModel(p).rawLatency();
+    p.technique = LatencyTechnique::RequestedWordFirst;
+    double rwf = MvaModel(p).rawLatency();
+    p.technique = LatencyTechnique::Both;
+    double both = MvaModel(p).rawLatency();
+    EXPECT_LT(rwf, base);
+    EXPECT_LT(both, rwf);
+    // Both techniques remove nearly both block transfers from the
+    // critical path: raw latency approaches header + fixed latency.
+    EXPECT_LT(both, base - 2 * (32 * 50.0 - 100.0) + 1.0);
+}
+
+TEST(Mva, CutThroughMatchesRequestedWordFirstLatency)
+{
+    MvaParams p;
+    p.n = 32;
+    p.blockWords = 32;
+    p.technique = LatencyTechnique::CutThrough;
+    double ct = MvaModel(p).rawLatency();
+    p.technique = LatencyTechnique::RequestedWordFirst;
+    double rwf = MvaModel(p).rawLatency();
+    EXPECT_DOUBLE_EQ(ct, rwf);
+}
+
+TEST(Mva, PieceTransfersTradeOccupancyForLatency)
+{
+    MvaParams p;
+    p.n = 32;
+    p.blockWords = 32;
+    MvaModel whole(p);
+    p.pieceWords = 4;
+    MvaModel pieces(p);
+    // Pieces reduce the critical-path latency...
+    EXPECT_LT(pieces.rawLatency(), whole.rawLatency());
+    // ...but add header overhead to the wire occupancy.
+    EXPECT_GT(pieces.rowDemandPerTxn(), whole.rowDemandPerTxn());
+}
+
+TEST(Mva, UtilizationBelowOneAndConsistent)
+{
+    MvaResult r = solve(32, 25.0);
+    EXPECT_GT(r.rowUtilization, 0.0);
+    EXPECT_LE(r.rowUtilization, 1.0);
+    EXPECT_GT(r.colUtilization, 0.0);
+    EXPECT_LE(r.colUtilization, 1.0);
+    // Row buses carry the broadcast traffic: busier than columns.
+    EXPECT_GT(r.rowUtilization, r.colUtilization);
+}
+
+TEST(Mva, ThroughputTimesCycleIsUnity)
+{
+    MvaResult r = solve(16, 20.0);
+    EXPECT_NEAR(r.throughputPerProc * r.cycleTimeNs, 1.0, 1e-9);
+    EXPECT_NEAR(r.efficiency,
+                (1e6 / 20.0) / r.cycleTimeNs, 1e-9);
+}
+
+TEST(Mva, HomeCacheHitsRelieveColumnsAndLatency)
+{
+    // Section 6: reads to unmodified data "are likely to be satisfied
+    // by some cache along the path to memory" — modelled as a
+    // home-column cache hit fraction.
+    MvaParams base;
+    base.n = 32;
+    base.requestsPerMs = 25.0;
+    MvaParams helped = base;
+    helped.pHomeCacheHit = 0.5;
+
+    MvaResult b = MvaModel(base).solve();
+    MvaResult h = MvaModel(helped).solve();
+    EXPECT_LT(h.colUtilization, b.colUtilization);
+    EXPECT_GT(h.efficiency, b.efficiency);
+    EXPECT_LT(MvaModel(helped).rawLatency(),
+              MvaModel(base).rawLatency());
+}
+
+TEST(Mva, InvalidMixYieldsZeroResult)
+{
+    MvaParams p;
+    p.fracReadUnmod = 0.9;  // sums to 1.3
+    MvaResult r = MvaModel(p).solve();
+    EXPECT_EQ(r.efficiency, 0.0);
+}
+
+TEST(Mva, SaturationIsMonotoneInRate)
+{
+    // Regression for the damped fixed point: deep saturation must not
+    // oscillate back upward.
+    double last = 1.0;
+    for (double rate = 30.0; rate <= 120.0; rate += 10.0) {
+        double e = solve(32, rate).efficiency;
+        EXPECT_LE(e, last + 1e-6) << "rate " << rate;
+        last = e;
+    }
+}

@@ -1,0 +1,92 @@
+/** @file Unit tests for the write-through processor (L1) cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/processor_cache.hh"
+
+using namespace mcube;
+
+TEST(ProcessorCache, MissOnEmpty)
+{
+    ProcessorCache c({8, 2, 10});
+    std::uint64_t t = 0;
+    EXPECT_FALSE(c.lookup(3, t));
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(ProcessorCache, FillThenHit)
+{
+    ProcessorCache c({8, 2, 10});
+    c.fill(3, 77);
+    std::uint64_t t = 0;
+    EXPECT_TRUE(c.lookup(3, t));
+    EXPECT_EQ(t, 77u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(ProcessorCache, WriteThroughUpdatesPresentLine)
+{
+    ProcessorCache c({8, 2, 10});
+    c.fill(3, 1);
+    c.writeThrough(3, 2);
+    std::uint64_t t = 0;
+    EXPECT_TRUE(c.lookup(3, t));
+    EXPECT_EQ(t, 2u);
+}
+
+TEST(ProcessorCache, WriteThroughIgnoresAbsentLine)
+{
+    ProcessorCache c({8, 2, 10});
+    c.writeThrough(3, 2);
+    std::uint64_t t = 0;
+    EXPECT_FALSE(c.lookup(3, t));
+}
+
+TEST(ProcessorCache, PurgeEnforcesInclusion)
+{
+    ProcessorCache c({8, 2, 10});
+    c.fill(3, 1);
+    c.purge(3);
+    std::uint64_t t = 0;
+    EXPECT_FALSE(c.lookup(3, t));
+}
+
+TEST(ProcessorCache, PurgeAllEmptiesCache)
+{
+    ProcessorCache c({8, 2, 10});
+    for (Addr a = 0; a < 8; ++a)
+        c.fill(a, a);
+    c.purgeAll();
+    std::uint64_t t = 0;
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_FALSE(c.lookup(a, t));
+}
+
+TEST(ProcessorCache, LruEvictionWithinSet)
+{
+    ProcessorCache c({1, 2, 10});
+    c.fill(0, 0);
+    c.fill(1, 1);
+    std::uint64_t t = 0;
+    c.lookup(0, t);  // 1 becomes LRU
+    c.fill(2, 2);    // evicts 1
+    EXPECT_TRUE(c.lookup(0, t));
+    EXPECT_FALSE(c.lookup(1, t));
+    EXPECT_TRUE(c.lookup(2, t));
+}
+
+TEST(ProcessorCache, RefillUpdatesInPlace)
+{
+    ProcessorCache c({1, 2, 10});
+    c.fill(0, 1);
+    c.fill(0, 9);
+    std::uint64_t t = 0;
+    EXPECT_TRUE(c.lookup(0, t));
+    EXPECT_EQ(t, 9u);
+}
+
+TEST(ProcessorCache, HitLatencyExposed)
+{
+    ProcessorCache c({8, 2, 12});
+    EXPECT_EQ(c.hitLatency(), 12u);
+}

@@ -1,0 +1,189 @@
+/** @file Unit tests for the Processor front-end (L1 + controller). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.hh"
+#include "proc/processor.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+class ProcessorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SystemParams p;
+        p.n = 4;
+        p.ctrl.cache = {64, 4};
+        sys = std::make_unique<MulticubeSystem>(p);
+        ProcessorParams pp;
+        pp.l1 = {16, 2, 10};
+        proc = std::make_unique<Processor>("p0", sys->eventQueue(),
+                                           sys->node(0, 1), pp);
+        other = std::make_unique<Processor>("p1", sys->eventQueue(),
+                                            sys->node(2, 2), pp);
+    }
+
+    std::unique_ptr<MulticubeSystem> sys;
+    std::unique_ptr<Processor> proc;
+    std::unique_ptr<Processor> other;
+};
+
+} // namespace
+
+TEST_F(ProcessorTest, LoadMissFillsBothLevels)
+{
+    std::uint64_t got = 99;
+    proc->load(5, [&](std::uint64_t t) { got = t; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(proc->loads(), 1u);
+    // Second load: L1 hit, no new bus ops.
+    std::uint64_t ops = sys->totalBusOps();
+    got = 99;
+    proc->load(5, [&](std::uint64_t t) { got = t; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(sys->totalBusOps(), ops);
+    EXPECT_GE(proc->l1Hits(), 1u);
+}
+
+TEST_F(ProcessorTest, L1HitIsFast)
+{
+    proc->load(5, [](std::uint64_t) {});
+    sys->drain();
+    Tick t0 = sys->eventQueue().now();
+    bool done = false;
+    proc->load(5, [&](std::uint64_t) { done = true; });
+    sys->drain();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sys->eventQueue().now() - t0, 10u);  // l1 hitTicks
+}
+
+TEST_F(ProcessorTest, L2HitCostsDramLatency)
+{
+    proc->load(5, [](std::uint64_t) {});
+    sys->drain();
+    // Evict from L1 only, by loading a conflicting L1 set: L1 has 16
+    // sets, so addr 5 + 16 maps to the same set... with 2 ways we need
+    // two conflicting fills.
+    proc->load(5 + 16, [](std::uint64_t) {});
+    sys->drain();
+    proc->load(5 + 32, [](std::uint64_t) {});
+    sys->drain();
+    Tick t0 = sys->eventQueue().now();
+    bool done = false;
+    proc->load(5, [&](std::uint64_t) { done = true; });
+    sys->drain();
+    EXPECT_TRUE(done);
+    // L1 lookup + L2 DRAM access, no bus traffic.
+    EXPECT_EQ(sys->eventQueue().now() - t0, 10u + 750u);
+}
+
+TEST_F(ProcessorTest, StoreThenRemoteLoadSeesValue)
+{
+    bool stored = false;
+    proc->store(9, 1234, [&] { stored = true; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(stored);
+
+    std::uint64_t got = 0;
+    other->load(9, [&](std::uint64_t t) { got = t; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(got, 1234u);
+}
+
+TEST_F(ProcessorTest, InclusionPurgeOnRemoteWrite)
+{
+    std::uint64_t got = 0;
+    proc->load(9, [&](std::uint64_t t) { got = t; });
+    sys->drain();
+    // Remote write invalidates the L2 copy and must purge the L1 too.
+    other->store(9, 77, [] {});
+    ASSERT_TRUE(sys->drain());
+    got = 0;
+    proc->load(9, [&](std::uint64_t t) { got = t; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(got, 77u);
+}
+
+TEST_F(ProcessorTest, StoreAllocateCompletes)
+{
+    bool done = false;
+    proc->storeAllocate(30, 555, [&] { done = true; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(done);
+    std::uint64_t got = 0;
+    other->load(30, [&](std::uint64_t t) { got = t; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(got, 555u);
+}
+
+TEST_F(ProcessorTest, TsetAcquireAndReleaseRoundTrip)
+{
+    bool granted = false;
+    proc->testAndSet(40, [&](bool g) { granted = g; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(granted);
+
+    bool granted2 = true;
+    other->testAndSet(40, [&](bool g) { granted2 = g; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_FALSE(granted2);
+
+    bool released = false;
+    proc->release(40, 0, [&] { released = true; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(released);
+
+    other->testAndSet(40, [&](bool g) { granted2 = g; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(granted2);
+}
+
+TEST_F(ProcessorTest, ReleaseFallsBackAfterSteal)
+{
+    bool granted = false;
+    proc->testAndSet(40, [&](bool g) { granted = g; });
+    sys->drain();
+    ASSERT_TRUE(granted);
+
+    // A raw write steals the lock line (broken locking protocol).
+    other->store(40, 7, [] {});
+    sys->drain();
+
+    // Release must still work via the write-and-unlock fallback.
+    bool released = false;
+    proc->release(40, 8, [&] { released = true; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(released);
+
+    bool granted2 = false;
+    other->testAndSet(40, [&](bool g) { granted2 = g; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(granted2);
+}
+
+TEST_F(ProcessorTest, LoadLineExposesLockWord)
+{
+    proc->testAndSet(40, [](bool) {});
+    sys->drain();
+    LineData seen;
+    other->loadLine(40, [&](const LineData &d) { seen = d; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(seen.lock, 1u);
+}
+
+TEST_F(ProcessorTest, SyncAcquireGrantsWhenFree)
+{
+    bool granted = false;
+    proc->syncAcquire(40, [&](bool g) { granted = g; });
+    ASSERT_TRUE(sys->drain());
+    EXPECT_TRUE(granted);
+}

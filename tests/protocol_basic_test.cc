@@ -1,0 +1,673 @@
+/** @file
+ * Directed scenario tests for the Multicube coherence protocol: every
+ * transaction type of Appendix A, the race/robustness paths, and the
+ * Section 4 synchronisation primitives, on small grids with the
+ * invariant checker attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+SystemParams
+smallParams(unsigned n = 4)
+{
+    SystemParams p;
+    p.n = n;
+    p.ctrl.cache = {64, 4};
+    p.ctrl.mlt = {64, 4};
+    return p;
+}
+
+/** Tracks one async transaction's completion. */
+struct Waiter
+{
+    bool done = false;
+    TxnResult res;
+
+    SnoopController::CompletionCb
+    cb()
+    {
+        return [this](const TxnResult &r) {
+            done = true;
+            res = r;
+        };
+    }
+};
+
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    void
+    build(unsigned n = 4)
+    {
+        sys = std::make_unique<MulticubeSystem>(smallParams(n));
+        checker = std::make_unique<CoherenceChecker>(*sys, 16);
+    }
+
+    void
+    drainAndCheck()
+    {
+        ASSERT_TRUE(sys->drain());
+        checker->fullSweep();
+        if (checker->violations() > 0) {
+            for (const auto &s : checker->report())
+                ADD_FAILURE() << s;
+        }
+        EXPECT_EQ(checker->violations(), 0u);
+    }
+
+    std::unique_ptr<MulticubeSystem> sys;
+    std::unique_ptr<CoherenceChecker> checker;
+};
+
+} // namespace
+
+TEST_F(ProtocolTest, ReadUnmodifiedFromMemory)
+{
+    build();
+    SnoopController &reader = sys->node(0, 1);
+    std::uint64_t tok = 1;
+    Waiter w;
+    Addr addr = 8;  // home column 0
+    EXPECT_EQ(reader.read(addr, tok, w.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(w.done);
+    EXPECT_TRUE(w.res.success);
+    EXPECT_EQ(w.res.data.token, 0u);
+    EXPECT_EQ(reader.modeOf(addr), Mode::Shared);
+    EXPECT_TRUE(sys->memory(0).lineValid(addr));
+}
+
+TEST_F(ProtocolTest, ReadIsAHitAfterFill)
+{
+    build();
+    SnoopController &reader = sys->node(0, 1);
+    Waiter w;
+    std::uint64_t tok = 1;
+    reader.read(8, tok, w.cb());
+    drainAndCheck();
+    EXPECT_EQ(reader.read(8, tok, w.cb()), AccessOutcome::Hit);
+    EXPECT_EQ(tok, 0u);
+}
+
+TEST_F(ProtocolTest, WriteMissToUnmodifiedLine)
+{
+    build();
+    SnoopController &writer = sys->node(2, 3);
+    Waiter w;
+    Addr addr = 5;  // home column 1
+    EXPECT_EQ(writer.write(addr, 77, w.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(w.done);
+    EXPECT_EQ(writer.modeOf(addr), Mode::Modified);
+    EXPECT_EQ(writer.dataOf(addr).token, 77u);
+    // Memory copy invalidated; MLT entry present in the writer's
+    // column at every node of that column.
+    EXPECT_FALSE(sys->memory(1).lineValid(addr));
+    for (unsigned r = 0; r < 4; ++r)
+        EXPECT_TRUE(sys->node(r, 3).table().contains(addr));
+    // ... and nowhere else.
+    for (unsigned c = 0; c < 3; ++c)
+        EXPECT_FALSE(sys->node(0, c).table().contains(addr));
+}
+
+TEST_F(ProtocolTest, WriteHitInModifiedModeIsLocal)
+{
+    build();
+    SnoopController &writer = sys->node(2, 3);
+    Waiter w;
+    writer.write(5, 77, w.cb());
+    drainAndCheck();
+    std::uint64_t ops_before = sys->totalBusOps();
+    Waiter w2;
+    EXPECT_EQ(writer.write(5, 78, w2.cb()), AccessOutcome::Hit);
+    drainAndCheck();
+    EXPECT_EQ(sys->totalBusOps(), ops_before);
+    EXPECT_EQ(writer.dataOf(5).token, 78u);
+}
+
+TEST_F(ProtocolTest, ReadOfRemotelyModifiedLine)
+{
+    build();
+    SnoopController &writer = sys->node(1, 1);
+    SnoopController &reader = sys->node(2, 2);
+    Addr addr = 4;  // home column 0
+    Waiter w1, w2;
+    writer.write(addr, 99, w1.cb());
+    drainAndCheck();
+
+    std::uint64_t tok = 0;
+    EXPECT_EQ(reader.read(addr, tok, w2.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(w2.res.data.token, 99u);
+    // Both copies shared, memory updated, table entry gone.
+    EXPECT_EQ(writer.modeOf(addr), Mode::Shared);
+    EXPECT_EQ(reader.modeOf(addr), Mode::Shared);
+    EXPECT_TRUE(sys->memory(0).lineValid(addr));
+    EXPECT_EQ(sys->memory(0).lineData(addr).token, 99u);
+    for (unsigned r = 0; r < 4; ++r)
+        EXPECT_FALSE(sys->node(r, 1).table().contains(addr));
+}
+
+TEST_F(ProtocolTest, ReadOfModifiedLineSameRow)
+{
+    build();
+    SnoopController &writer = sys->node(1, 1);
+    SnoopController &reader = sys->node(1, 3);
+    Addr addr = 4;
+    Waiter w1, w2;
+    writer.write(addr, 21, w1.cb());
+    drainAndCheck();
+    std::uint64_t tok = 0;
+    reader.read(addr, tok, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(w2.res.data.token, 21u);
+    EXPECT_TRUE(sys->memory(0).lineValid(addr));
+}
+
+TEST_F(ProtocolTest, ReadOfModifiedLineSameColumn)
+{
+    build();
+    SnoopController &writer = sys->node(1, 1);
+    SnoopController &reader = sys->node(3, 1);
+    Addr addr = 4;
+    Waiter w1, w2;
+    writer.write(addr, 22, w1.cb());
+    drainAndCheck();
+    std::uint64_t tok = 0;
+    reader.read(addr, tok, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(w2.res.data.token, 22u);
+}
+
+TEST_F(ProtocolTest, ReadOfModifiedLineOwnerOnHomeColumn)
+{
+    build();
+    SnoopController &writer = sys->node(1, 0);  // home column of addr 4
+    SnoopController &reader = sys->node(2, 2);
+    Addr addr = 4;
+    Waiter w1, w2;
+    writer.write(addr, 23, w1.cb());
+    drainAndCheck();
+    std::uint64_t tok = 0;
+    reader.read(addr, tok, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(w2.res.data.token, 23u);
+    EXPECT_TRUE(sys->memory(0).lineValid(addr));
+}
+
+TEST_F(ProtocolTest, WriteToRemotelyModifiedLineMovesOwnership)
+{
+    build();
+    SnoopController &first = sys->node(0, 0);
+    SnoopController &second = sys->node(3, 2);
+    Addr addr = 6;  // home column 2
+    Waiter w1, w2;
+    first.write(addr, 10, w1.cb());
+    drainAndCheck();
+    second.write(addr, 11, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(first.modeOf(addr), Mode::Invalid);
+    EXPECT_EQ(second.modeOf(addr), Mode::Modified);
+    EXPECT_EQ(second.dataOf(addr).token, 11u);
+    // Table entry moved from column 0 to column 2.
+    for (unsigned r = 0; r < 4; ++r) {
+        EXPECT_FALSE(sys->node(r, 0).table().contains(addr));
+        EXPECT_TRUE(sys->node(r, 2).table().contains(addr));
+    }
+    EXPECT_FALSE(sys->memory(2).lineValid(addr));
+}
+
+TEST_F(ProtocolTest, InvalidationBroadcastPurgesAllSharers)
+{
+    build();
+    Addr addr = 12;  // home column 0
+    // Four sharers in different rows/columns.
+    std::vector<NodeId> sharers = {
+        sys->gridMap().nodeAt(0, 1), sys->gridMap().nodeAt(1, 2),
+        sys->gridMap().nodeAt(2, 3), sys->gridMap().nodeAt(3, 0)};
+    for (NodeId id : sharers) {
+        Waiter w;
+        std::uint64_t tok = 0;
+        sys->node(id).read(addr, tok, w.cb());
+        drainAndCheck();
+    }
+    SnoopController &writer = sys->node(2, 1);
+    Waiter w;
+    writer.write(addr, 50, w.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w.done);
+    for (NodeId id : sharers)
+        EXPECT_EQ(sys->node(id).modeOf(addr), Mode::Invalid)
+            << "sharer " << id << " not purged";
+    EXPECT_EQ(writer.modeOf(addr), Mode::Modified);
+    EXPECT_GE(writer.invalidationsReceived()
+                  + sys->node(sharers[0]).invalidationsReceived()
+                  + sys->node(sharers[1]).invalidationsReceived()
+                  + sys->node(sharers[2]).invalidationsReceived()
+                  + sys->node(sharers[3]).invalidationsReceived(),
+              4u);
+}
+
+TEST_F(ProtocolTest, AllocateGrantsOwnershipWithoutDataTransfer)
+{
+    build();
+    SnoopController &writer = sys->node(1, 2);
+    Addr addr = 9;  // home column 1
+    Waiter w;
+    EXPECT_EQ(writer.writeAllocate(addr, 123, w.cb()),
+              AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(w.done);
+    EXPECT_EQ(writer.modeOf(addr), Mode::Modified);
+    EXPECT_EQ(writer.dataOf(addr).token, 123u);
+    EXPECT_FALSE(sys->memory(1).lineValid(addr));
+}
+
+TEST_F(ProtocolTest, AllocateOverRemotelyModifiedLine)
+{
+    build();
+    SnoopController &first = sys->node(0, 3);
+    SnoopController &second = sys->node(2, 0);
+    Addr addr = 9;
+    Waiter w1, w2;
+    first.write(addr, 5, w1.cb());
+    drainAndCheck();
+    second.writeAllocate(addr, 6, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(first.modeOf(addr), Mode::Invalid);
+    EXPECT_EQ(second.modeOf(addr), Mode::Modified);
+    EXPECT_EQ(second.dataOf(addr).token, 6u);
+}
+
+TEST_F(ProtocolTest, EvictionWritesBackModifiedVictim)
+{
+    // Tiny cache: 1 set x 2 ways forces eviction on the 3rd line.
+    SystemParams p = smallParams();
+    p.ctrl.cache = {1, 2};
+    sys = std::make_unique<MulticubeSystem>(p);
+    checker = std::make_unique<CoherenceChecker>(*sys, 16);
+
+    SnoopController &n0 = sys->node(0, 0);
+    Waiter w1, w2, w3;
+    n0.write(1, 11, w1.cb());
+    drainAndCheck();
+    n0.write(2, 22, w2.cb());
+    drainAndCheck();
+    // Third write evicts line 1 (LRU): its dirty data must reach
+    // memory and the table entry must be removed.
+    n0.write(3, 33, w3.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w3.done);
+    EXPECT_TRUE(sys->memory(1).lineValid(1));
+    EXPECT_EQ(sys->memory(1).lineData(1).token, 11u);
+    for (unsigned r = 0; r < 4; ++r)
+        EXPECT_FALSE(sys->node(r, 0).table().contains(1));
+    EXPECT_EQ(n0.modeOf(2), Mode::Modified);
+    EXPECT_EQ(n0.modeOf(3), Mode::Modified);
+}
+
+TEST_F(ProtocolTest, SharedUpgradeToModified)
+{
+    build();
+    SnoopController &nd = sys->node(1, 1);
+    Addr addr = 16;
+    Waiter w1, w2;
+    std::uint64_t tok = 0;
+    nd.read(addr, tok, w1.cb());
+    drainAndCheck();
+    EXPECT_EQ(nd.modeOf(addr), Mode::Shared);
+    nd.write(addr, 44, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(nd.modeOf(addr), Mode::Modified);
+    EXPECT_EQ(nd.dataOf(addr).token, 44u);
+}
+
+TEST_F(ProtocolTest, SnarfingFillsRecentlyHeldLine)
+{
+    SystemParams p = smallParams();
+    p.ctrl.enableSnarfing = true;
+    sys = std::make_unique<MulticubeSystem>(p);
+    checker = std::make_unique<CoherenceChecker>(*sys, 16);
+
+    Addr addr = 8;  // home column 0
+    SnoopController &a = sys->node(0, 0);
+    SnoopController &b = sys->node(0, 1);
+
+    // a reads the line, then loses it to a writer, leaving an invalid
+    // tag behind.
+    Waiter w1;
+    std::uint64_t tok = 0;
+    a.read(addr, tok, w1.cb());
+    drainAndCheck();
+    SnoopController &w = sys->node(2, 2);
+    Waiter w2;
+    w.write(addr, 1, w2.cb());
+    drainAndCheck();
+    ASSERT_EQ(a.modeOf(addr), Mode::Invalid);
+
+    // b (same row as a) reads; the reply passes on row 0, and a may
+    // snarf it back in shared mode.
+    Waiter w3;
+    b.read(addr, tok, w3.cb());
+    drainAndCheck();
+    EXPECT_EQ(b.modeOf(addr), Mode::Shared);
+    EXPECT_EQ(a.modeOf(addr), Mode::Shared);
+    EXPECT_GE(a.snarfs(), 1u);
+    EXPECT_EQ(a.dataOf(addr).token, 1u);
+}
+
+TEST_F(ProtocolTest, RacingWritesSerialise)
+{
+    build();
+    Addr addr = 10;  // home column 2
+    SnoopController &a = sys->node(0, 0);
+    SnoopController &b = sys->node(3, 3);
+    Waiter wa, wb;
+    a.write(addr, 100, wa.cb());
+    b.write(addr, 200, wb.cb());
+    drainAndCheck();
+    ASSERT_TRUE(wa.done);
+    ASSERT_TRUE(wb.done);
+    // Exactly one final owner, holding the loser-then-winner value.
+    bool a_owns = a.modeOf(addr) == Mode::Modified;
+    bool b_owns = b.modeOf(addr) == Mode::Modified;
+    EXPECT_NE(a_owns, b_owns);
+    std::uint64_t final_tok =
+        a_owns ? a.dataOf(addr).token : b.dataOf(addr).token;
+    EXPECT_TRUE(final_tok == 100 || final_tok == 200);
+    EXPECT_EQ(final_tok, checker->goldenToken(addr));
+}
+
+TEST_F(ProtocolTest, RacingReadAndWriteBothComplete)
+{
+    build();
+    Addr addr = 14;
+    SnoopController &r = sys->node(1, 2);
+    SnoopController &w = sys->node(2, 1);
+    Waiter wr, ww;
+    std::uint64_t tok = 0;
+    r.read(addr, tok, wr.cb());
+    w.write(addr, 9, ww.cb());
+    drainAndCheck();
+    EXPECT_TRUE(wr.done);
+    EXPECT_TRUE(ww.done);
+    EXPECT_TRUE(wr.res.data.token == 0 || wr.res.data.token == 9);
+}
+
+TEST_F(ProtocolTest, DroppedSignalRecoversViaMemoryBounce)
+{
+    SystemParams p = smallParams();
+    p.ctrl.dropSignalProb = 0.5;
+    sys = std::make_unique<MulticubeSystem>(p);
+    checker = std::make_unique<CoherenceChecker>(*sys, 16);
+
+    Addr addr = 4;
+    SnoopController &writer = sys->node(1, 1);
+    Waiter w1;
+    writer.write(addr, 66, w1.cb());
+    drainAndCheck();
+
+    // Many reads from different nodes; drops force memory bounces but
+    // every request must still complete with the right data.
+    for (unsigned i = 0; i < 8; ++i) {
+        SnoopController &rd = sys->node(i % 4, (i + 2) % 4);
+        if (rd.id() == writer.id() || rd.busy())
+            continue;
+        Waiter w;
+        std::uint64_t tok = 0;
+        auto out = rd.read(addr, tok, w.cb());
+        drainAndCheck();
+        if (out == AccessOutcome::Miss) {
+            ASSERT_TRUE(w.done);
+            EXPECT_EQ(w.res.data.token, 66u);
+        }
+    }
+}
+
+TEST_F(ProtocolTest, MltOverflowForcesWriteback)
+{
+    SystemParams p = smallParams();
+    p.ctrl.mlt = {1, 2};  // two entries per column
+    sys = std::make_unique<MulticubeSystem>(p);
+    checker = std::make_unique<CoherenceChecker>(*sys, 16);
+
+    SnoopController &nd = sys->node(0, 0);
+    // Three dirty lines in one column overflow the 2-entry table; the
+    // evicted line must be written back and demoted to shared.
+    Waiter w1, w2, w3;
+    nd.write(1, 11, w1.cb());
+    drainAndCheck();
+    nd.write(2, 22, w2.cb());
+    drainAndCheck();
+    nd.write(3, 33, w3.cb());
+    drainAndCheck();
+    EXPECT_GE(nd.mltOverflows(), 1u);
+    EXPECT_EQ(nd.modeOf(1), Mode::Shared);
+    EXPECT_TRUE(sys->memory(1).lineValid(1));
+    EXPECT_EQ(sys->memory(1).lineData(1).token, 11u);
+    EXPECT_EQ(nd.modeOf(2), Mode::Modified);
+    EXPECT_EQ(nd.modeOf(3), Mode::Modified);
+}
+
+TEST_F(ProtocolTest, RemoteTsetFromMemoryAndContention)
+{
+    build();
+    Addr lock = 20;  // home column 0
+    SnoopController &a = sys->node(0, 1);
+    SnoopController &b = sys->node(2, 3);
+
+    Waiter wa;
+    bool ga = false;
+    EXPECT_EQ(a.testAndSet(lock, ga, wa.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(wa.done);
+    EXPECT_TRUE(wa.res.success);
+    EXPECT_EQ(a.modeOf(lock), Mode::Modified);
+    EXPECT_EQ(a.dataOf(lock).lock, 1u);
+
+    // b's tset must fail without moving the line.
+    Waiter wb;
+    bool gb = false;
+    EXPECT_EQ(b.testAndSet(lock, gb, wb.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(wb.done);
+    EXPECT_FALSE(wb.res.success);
+    EXPECT_EQ(a.modeOf(lock), Mode::Modified);
+    EXPECT_EQ(b.modeOf(lock), Mode::Invalid);
+    // The table entry must still point at a's column after the
+    // fail-path reinsert.
+    EXPECT_TRUE(sys->node(0, 1).table().contains(lock));
+
+    // After release, b succeeds.
+    EXPECT_TRUE(a.release(lock, 0));
+    ASSERT_TRUE(sys->drain());
+    Waiter wb2;
+    EXPECT_EQ(b.testAndSet(lock, gb, wb2.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(wb2.done);
+    EXPECT_TRUE(wb2.res.success);
+    EXPECT_EQ(b.modeOf(lock), Mode::Modified);
+}
+
+TEST_F(ProtocolTest, LocalTsetOnHeldLineNeedsNoBus)
+{
+    build();
+    Addr lock = 20;
+    SnoopController &a = sys->node(0, 1);
+    Waiter wa;
+    bool g = false;
+    a.testAndSet(lock, g, wa.cb());
+    drainAndCheck();
+    std::uint64_t ops = sys->totalBusOps();
+    bool g2 = true;
+    EXPECT_EQ(a.testAndSet(lock, g2, wa.cb()), AccessOutcome::Hit);
+    EXPECT_FALSE(g2);  // we already hold it
+    EXPECT_EQ(sys->totalBusOps(), ops);
+}
+
+TEST_F(ProtocolTest, SyncQueueGrantsInFifoOrder)
+{
+    build();
+    Addr lock = 24;  // home column 0
+    SnoopController &a = sys->node(0, 1);
+    SnoopController &b = sys->node(1, 2);
+    SnoopController &c = sys->node(2, 3);
+
+    std::vector<char> order;
+
+    Waiter wa;
+    bool g = false;
+    EXPECT_EQ(a.syncAcquire(lock, g, wa.cb()), AccessOutcome::Miss);
+    drainAndCheck();
+    ASSERT_TRUE(wa.done && wa.res.success);
+    EXPECT_EQ(a.dataOf(lock).lock, 1u);
+
+    // b and c join while a holds the lock.
+    bool gb = false, gc = false;
+    b.syncAcquire(lock, gb, [&](const TxnResult &r) {
+        if (r.success)
+            order.push_back('b');
+    });
+    ASSERT_TRUE(sys->drain());
+    c.syncAcquire(lock, gc, [&](const TxnResult &r) {
+        if (r.success)
+            order.push_back('c');
+    });
+    ASSERT_TRUE(sys->drain());
+    // Neither granted yet.
+    EXPECT_TRUE(order.empty());
+    EXPECT_EQ(b.modeOf(lock), Mode::Reserved);
+    EXPECT_EQ(c.modeOf(lock), Mode::Reserved);
+
+    // a releases: b must be granted; then b releases: c granted.
+    EXPECT_TRUE(a.release(lock, 1));
+    ASSERT_TRUE(sys->drain());
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 'b');
+    EXPECT_EQ(b.modeOf(lock), Mode::Modified);
+    EXPECT_EQ(b.dataOf(lock).lock, 1u);
+
+    EXPECT_TRUE(b.release(lock, 2));
+    ASSERT_TRUE(sys->drain());
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 'c');
+    EXPECT_EQ(c.modeOf(lock), Mode::Modified);
+
+    EXPECT_TRUE(c.release(lock, 3));
+    drainAndCheck();
+    EXPECT_EQ(c.dataOf(lock).lock, 0u);
+}
+
+TEST_F(ProtocolTest, SyncSpinningCausesNoBusTraffic)
+{
+    build();
+    Addr lock = 24;
+    SnoopController &a = sys->node(0, 1);
+    SnoopController &b = sys->node(1, 2);
+    Waiter wa, wb;
+    bool g = false;
+    a.syncAcquire(lock, g, wa.cb());
+    drainAndCheck();
+    b.syncAcquire(lock, g, wb.cb());
+    ASSERT_TRUE(sys->drain());
+
+    // b spins with local test-and-set on its reserved copy: zero ops.
+    std::uint64_t ops = sys->totalBusOps();
+    for (int i = 0; i < 100; ++i) {
+        bool granted = true;
+        EXPECT_EQ(b.testAndSet(lock, granted, wb.cb()),
+                  AccessOutcome::Hit);
+        EXPECT_FALSE(granted);
+    }
+    EXPECT_EQ(sys->totalBusOps(), ops);
+}
+
+TEST_F(ProtocolTest, BusOpsPerTransactionMatchPaperBounds)
+{
+    build();
+    // READ of an unmodified line: row req, col req, col reply, row
+    // reply = 4 ops (Section 6).
+    SnoopController &rd = sys->node(0, 1);
+    Waiter w;
+    std::uint64_t tok = 0;
+    std::uint64_t before = sys->totalBusOps();
+    rd.read(8, tok, w.cb());
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(sys->totalBusOps() - before, 4u);
+
+    // READ-MOD of a modified line: 4 ops. (Dirty the line first.)
+    SnoopController &wr = sys->node(1, 1);
+    Waiter w1;
+    wr.write(40, 3, w1.cb());
+    ASSERT_TRUE(sys->drain());
+    before = sys->totalBusOps();
+    SnoopController &wr2 = sys->node(3, 3);
+    Waiter w3;
+    wr2.write(40, 4, w3.cb());
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(sys->totalBusOps() - before, 4u);
+
+    // READ of a modified line: 5 ops.
+    before = sys->totalBusOps();
+    SnoopController &rd2 = sys->node(2, 2);
+    Waiter w2;
+    rd2.read(40, tok, w2.cb());
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(sys->totalBusOps() - before, 5u);
+
+    // READ-MOD of an unmodified line: broadcast, (n + 1) row ops and
+    // 3 column ops = n + 4 total (Section 6).
+    before = sys->totalBusOps();
+    SnoopController &wr3 = sys->node(2, 0);
+    Waiter w4;
+    wr3.write(28, 5, w4.cb());
+    ASSERT_TRUE(sys->drain());
+    EXPECT_EQ(sys->totalBusOps() - before, 4u + 4u);
+    drainAndCheck();
+}
+
+TEST_F(ProtocolTest, N2GridWorks)
+{
+    build(2);
+    SnoopController &a = sys->node(0, 0);
+    SnoopController &b = sys->node(1, 1);
+    Waiter w1, w2;
+    a.write(3, 7, w1.cb());
+    drainAndCheck();
+    std::uint64_t tok = 0;
+    b.read(3, tok, w2.cb());
+    drainAndCheck();
+    ASSERT_TRUE(w2.done);
+    EXPECT_EQ(w2.res.data.token, 7u);
+}
+
+TEST_F(ProtocolTest, N8GridWorks)
+{
+    build(8);
+    SnoopController &a = sys->node(3, 5);
+    SnoopController &b = sys->node(6, 2);
+    Waiter w1, w2;
+    a.write(17, 7, w1.cb());
+    drainAndCheck();
+    b.write(17, 8, w2.cb());
+    drainAndCheck();
+    EXPECT_EQ(a.modeOf(17), Mode::Invalid);
+    EXPECT_EQ(b.modeOf(17), Mode::Modified);
+}

@@ -1,0 +1,72 @@
+/** @file Unit tests for the trace-logging facility. */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct LogReset : ::testing::Test
+{
+    void SetUp() override { Log::disableAll(); }
+    void TearDown() override { Log::disableAll(); }
+};
+
+} // namespace
+
+TEST_F(LogReset, DisabledByDefault)
+{
+    EXPECT_FALSE(Log::enabled(LogCat::Bus));
+    EXPECT_FALSE(Log::enabled(LogCat::Proto));
+}
+
+TEST_F(LogReset, EnableSingleCategory)
+{
+    Log::enable(LogCat::Cache);
+    EXPECT_TRUE(Log::enabled(LogCat::Cache));
+    EXPECT_FALSE(Log::enabled(LogCat::Bus));
+}
+
+TEST_F(LogReset, EnableFromCommaList)
+{
+    Log::enableFromString("Bus,Sync");
+    EXPECT_TRUE(Log::enabled(LogCat::Bus));
+    EXPECT_TRUE(Log::enabled(LogCat::Sync));
+    EXPECT_FALSE(Log::enabled(LogCat::Mem));
+}
+
+TEST_F(LogReset, EnableAll)
+{
+    Log::enableFromString("all");
+    EXPECT_TRUE(Log::enabled(LogCat::Bus));
+    EXPECT_TRUE(Log::enabled(LogCat::Proto));
+    EXPECT_TRUE(Log::enabled(LogCat::Check));
+}
+
+TEST_F(LogReset, UnknownTokensIgnored)
+{
+    Log::enableFromString("Nonsense,Proc");
+    EXPECT_TRUE(Log::enabled(LogCat::Proc));
+    EXPECT_FALSE(Log::enabled(LogCat::Bus));
+}
+
+TEST_F(LogReset, MacroDoesNotEvaluateWhenDisabled)
+{
+    int evals = 0;
+    auto touch = [&] {
+        ++evals;
+        return 1;
+    };
+    MCUBE_LOG(LogCat::Bus, 0, "value " << touch());
+    EXPECT_EQ(evals, 0);
+    Log::enable(LogCat::Bus);
+    testing::internal::CaptureStderr();
+    MCUBE_LOG(LogCat::Bus, 42, "value " << touch());
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(evals, 1);
+    EXPECT_NE(err.find("42"), std::string::npos);
+    EXPECT_NE(err.find("value 1"), std::string::npos);
+}

@@ -1,0 +1,101 @@
+/** @file Unit tests for the deterministic PCG32 generator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+using namespace mcube;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next32() == b.next32())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Random, BelowCoversRange)
+{
+    Random r(7);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(3);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        lo = lo || v == 5;
+        hi = hi || v == 9;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ExponentialHasRequestedMean)
+{
+    Random r(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ForkProducesIndependentStream)
+{
+    Random a(19);
+    Random child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next32() == child.next32())
+            ++same;
+    EXPECT_LT(same, 4);
+}

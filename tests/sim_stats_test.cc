@@ -1,0 +1,113 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace mcube;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.set(42);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_DOUBLE_EQ(d.total(), 12.0);
+    EXPECT_NEAR(d.variance(), 8.0 / 3.0, 1e-9);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(10.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(StatGroup, FlattenProducesDottedNames)
+{
+    Counter c;
+    c += 3;
+    Distribution d;
+    d.sample(7.0);
+
+    StatGroup root("root");
+    StatGroup child("child");
+    root.addCounter("ops", c);
+    child.addDistribution("lat", d);
+    root.addChild(child);
+
+    std::map<std::string, double> flat;
+    root.flatten(flat);
+    EXPECT_DOUBLE_EQ(flat.at("root.ops"), 3.0);
+    EXPECT_DOUBLE_EQ(flat.at("root.child.lat"), 7.0);
+}
+
+TEST(StatGroup, JsonDumpIsWellFormedish)
+{
+    Counter c;
+    c += 3;
+    Distribution d;
+    d.sample(7.0);
+    StatGroup root("root");
+    StatGroup child("child");
+    root.addCounter("ops", c);
+    child.addDistribution("lat", d);
+    root.addChild(child);
+
+    std::ostringstream oss;
+    root.dumpJson(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("\"root\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"ops\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"child\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"mean\": 7"), std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+}
+
+TEST(StatGroup, DumpMentionsAllStats)
+{
+    Counter c;
+    c += 9;
+    StatGroup g("grp");
+    g.addCounter("things", c, "number of things");
+    std::ostringstream oss;
+    g.dump(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("grp:"), std::string::npos);
+    EXPECT_NE(s.find("things"), std::string::npos);
+    EXPECT_NE(s.find("9"), std::string::npos);
+    EXPECT_NE(s.find("number of things"), std::string::npos);
+}

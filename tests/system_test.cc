@@ -1,0 +1,145 @@
+/** @file Tests for MulticubeSystem assembly and aggregate queries. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/system.hh"
+
+using namespace mcube;
+
+TEST(System, ConstructsRequestedGeometry)
+{
+    SystemParams p;
+    p.n = 5;
+    MulticubeSystem sys(p);
+    EXPECT_EQ(sys.n(), 5u);
+    EXPECT_EQ(sys.numNodes(), 25u);
+    EXPECT_EQ(sys.gridMap().numNodes(), 25u);
+    // Every node is addressable both ways.
+    for (unsigned r = 0; r < 5; ++r)
+        for (unsigned c = 0; c < 5; ++c)
+            EXPECT_EQ(sys.node(r, c).id(),
+                      sys.node(sys.gridMap().nodeAt(r, c)).id());
+}
+
+TEST(System, NodesKnowTheirCoordinates)
+{
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem sys(p);
+    EXPECT_EQ(sys.node(2, 3).row(), 2u);
+    EXPECT_EQ(sys.node(2, 3).col(), 3u);
+}
+
+TEST(System, DrainOnIdleSystemSucceedsImmediately)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+    EXPECT_TRUE(sys.drain());
+    EXPECT_EQ(sys.totalBusOps(), 0u);
+}
+
+TEST(System, TotalBusOpsSumsAllBuses)
+{
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem sys(p);
+    std::uint64_t tok = 0;
+    sys.node(0, 1).read(8, tok, [](const TxnResult &) {});
+    sys.drain();
+    std::uint64_t manual = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        manual += sys.rowBus(i).opsDelivered()
+                + sys.colBus(i).opsDelivered();
+    EXPECT_EQ(sys.totalBusOps(), manual);
+    EXPECT_EQ(manual, 4u);
+}
+
+TEST(System, MeanUtilizationPerDimension)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+    std::uint64_t tok = 0;
+    sys.node(0, 1).read(2, tok, [](const TxnResult &) {});
+    sys.drain();
+    sys.run(100'000);
+    EXPECT_GT(sys.meanBusUtilization(0), 0.0);
+    EXPECT_GT(sys.meanBusUtilization(1), 0.0);
+    EXPECT_LT(sys.meanBusUtilization(0), 1.0);
+}
+
+TEST(System, StatisticsTreeFlattens)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+    std::uint64_t tok = 0;
+    sys.node(0, 0).read(1, tok, [](const TxnResult &) {});
+    sys.drain();
+
+    std::map<std::string, double> flat;
+    sys.statistics().flatten(flat);
+    EXPECT_GT(flat.size(), 10u);
+    EXPECT_EQ(flat.count("system.node0_0.misses"), 1u);
+    EXPECT_EQ(flat.at("system.node0_0.misses"), 1.0);
+    EXPECT_EQ(flat.count("system.row0.ops"), 1u);
+}
+
+TEST(System, StatisticsDumpIsNonEmpty)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+    std::ostringstream oss;
+    sys.statistics().dump(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("system:"), std::string::npos);
+    EXPECT_NE(s.find("mem0"), std::string::npos);
+    EXPECT_NE(s.find("node1_1"), std::string::npos);
+}
+
+TEST(System, PageInterleavedSystemWorks)
+{
+    SystemParams p;
+    p.n = 4;
+    p.homePageShift = 2;  // 4-line pages
+    MulticubeSystem sys(p);
+    // Lines 0..3 home on column 0; a write/read pair must route
+    // correctly through mem0.
+    SnoopController &w = sys.node(1, 1);
+    w.write(3, 30, [](const TxnResult &) {});
+    ASSERT_TRUE(sys.drain());
+    EXPECT_FALSE(sys.memory(0).lineValid(3));
+    std::uint64_t tok = 0;
+    bool done = false;
+    sys.node(2, 2).read(3, tok, [&](const TxnResult &r) {
+        done = true;
+        tok = r.data.token;
+    });
+    ASSERT_TRUE(sys.drain());
+    ASSERT_TRUE(done);
+    EXPECT_EQ(tok, 30u);
+    EXPECT_TRUE(sys.memory(0).lineValid(3));
+}
+
+TEST(System, DistinctSeedsChangeNodeRngStreams)
+{
+    // Drop injection uses per-node RNGs seeded from the system seed;
+    // two systems with different seeds must behave identically in the
+    // absence of randomness (deterministic protocol), so just check
+    // construction with various seeds works and runs are repeatable.
+    for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+        SystemParams p;
+        p.n = 3;
+        p.seed = seed;
+        MulticubeSystem sys(p);
+        std::uint64_t tok = 0;
+        sys.node(1, 1).read(5, tok, [](const TxnResult &) {});
+        EXPECT_TRUE(sys.drain());
+        EXPECT_EQ(sys.totalBusOps(), 4u);
+    }
+}

@@ -1,0 +1,132 @@
+/** @file Unit tests for GridMap and the general Multicube topology. */
+
+#include <gtest/gtest.h>
+
+#include "topology/grid_map.hh"
+#include "topology/multicube.hh"
+
+using namespace mcube;
+
+TEST(GridMap, CoordinateRoundTrip)
+{
+    GridMap g(4);
+    for (unsigned r = 0; r < 4; ++r) {
+        for (unsigned c = 0; c < 4; ++c) {
+            NodeId id = g.nodeAt(r, c);
+            EXPECT_EQ(g.rowOf(id), r);
+            EXPECT_EQ(g.colOf(id), c);
+        }
+    }
+    EXPECT_EQ(g.numNodes(), 16u);
+}
+
+TEST(GridMap, HomeColumnInterleavesByLine)
+{
+    GridMap g(4);
+    for (Addr a = 0; a < 32; ++a)
+        EXPECT_EQ(g.homeColumn(a), a % 4);
+}
+
+TEST(GridMap, HomeColumnInterleavesByPage)
+{
+    // Section 3: "interleaved by lines or pages" — with 4-line pages
+    // (shift 2), consecutive lines of a page share a home column.
+    GridMap g(4, 2);
+    for (Addr a = 0; a < 64; ++a)
+        EXPECT_EQ(g.homeColumn(a), (a / 4) % 4);
+    EXPECT_EQ(g.homeColumn(0), g.homeColumn(3));
+    EXPECT_NE(g.homeColumn(3), g.homeColumn(4));
+}
+
+TEST(GridMap, SameRowColumnPredicates)
+{
+    GridMap g(3);
+    EXPECT_TRUE(g.sameRow(g.nodeAt(1, 0), g.nodeAt(1, 2)));
+    EXPECT_FALSE(g.sameRow(g.nodeAt(1, 0), g.nodeAt(2, 0)));
+    EXPECT_TRUE(g.sameColumn(g.nodeAt(0, 2), g.nodeAt(2, 2)));
+    EXPECT_FALSE(g.sameColumn(g.nodeAt(0, 2), g.nodeAt(0, 1)));
+}
+
+TEST(Multicube, ProcessorAndBusCounts)
+{
+    MulticubeTopology wm(32, 2);  // the Wisconsin Multicube
+    EXPECT_EQ(wm.numProcessors(), 1024u);
+    EXPECT_EQ(wm.numBuses(), 64u);
+    EXPECT_EQ(wm.busesPerProcessor(), 2u);
+}
+
+TEST(Multicube, SpecialCases)
+{
+    MulticubeTopology multi(20, 1);
+    EXPECT_TRUE(multi.isMulti());
+    EXPECT_EQ(multi.numBuses(), 1u);
+    EXPECT_EQ(multi.numProcessors(), 20u);
+
+    MulticubeTopology hyper(2, 10);
+    EXPECT_TRUE(hyper.isHypercube());
+    EXPECT_EQ(hyper.numProcessors(), 1024u);
+    // k * n^(k-1) = 10 * 2^9 = 5120 buses of 2 nodes each.
+    EXPECT_EQ(hyper.numBuses(), 5120u);
+}
+
+TEST(Multicube, PaperFigure5Instance)
+{
+    // "A 64-Processor/48-Bus Multicube with 3 Dimensions" (n=4, k=3).
+    MulticubeTopology m(4, 3);
+    EXPECT_EQ(m.numProcessors(), 64u);
+    EXPECT_EQ(m.numBuses(), 48u);
+}
+
+TEST(Multicube, BandwidthPerProcessorIsKOverN)
+{
+    MulticubeTopology m(32, 2);
+    EXPECT_DOUBLE_EQ(m.bandwidthPerProcessor(), 2.0 / 32.0);
+    MulticubeTopology m3(4, 3);
+    EXPECT_DOUBLE_EQ(m3.bandwidthPerProcessor(), 3.0 / 4.0);
+}
+
+TEST(Multicube, InvalidationCost2D)
+{
+    // Section 6: (n + 1) row ops + 3 column ops.
+    MulticubeTopology m(32, 2);
+    EXPECT_EQ(m.invalidationBusOps(), 32u + 1u + 3u);
+}
+
+TEST(Multicube, MaxRequestHopsIsTwoK)
+{
+    EXPECT_EQ(MulticubeTopology(32, 2).maxRequestHops(), 4u);
+    EXPECT_EQ(MulticubeTopology(4, 3).maxRequestHops(), 6u);
+}
+
+TEST(Multicube, CoordinateRoundTrip)
+{
+    MulticubeTopology m(5, 3);
+    for (std::uint64_t p = 0; p < m.numProcessors(); p += 7) {
+        auto c = m.coordinates(p);
+        ASSERT_EQ(c.size(), 3u);
+        EXPECT_EQ(m.procAt(c), p);
+    }
+}
+
+TEST(Multicube, BusMembersShareAllButOneCoordinate)
+{
+    MulticubeTopology m(4, 3);
+    auto members = m.busMembers(21, 1);
+    ASSERT_EQ(members.size(), 4u);
+    auto base = m.coordinates(21);
+    bool self_found = false;
+    for (auto p : members) {
+        auto c = m.coordinates(p);
+        EXPECT_EQ(c[0], base[0]);
+        EXPECT_EQ(c[2], base[2]);
+        self_found = self_found || p == 21;
+    }
+    EXPECT_TRUE(self_found);
+}
+
+TEST(Multicube, InvalidationScalesAsNMinus1OverNMinus1)
+{
+    MulticubeTopology m(4, 3);
+    // (64 - 1) / (4 - 1) = 21, + 3 initiating column-style ops.
+    EXPECT_EQ(m.invalidationBusOps(), 24u);
+}

@@ -1,0 +1,180 @@
+/** @file Tests for trace capture, serialisation and replay. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "proc/trace.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.add({0, TraceOp::Store, 10, 111, 100});
+    t.add({5, TraceOp::Load, 10, 0, 2000});
+    t.add({5, TraceOp::Store, 11, 222, 50});
+    t.add({9, TraceOp::AllocStore, 12, 333, 0});
+    t.add({9, TraceOp::Tset, 13, 0, 10});
+    t.add({9, TraceOp::Release, 13, 0, 500});
+    return t;
+}
+
+} // namespace
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    t.save(ss);
+
+    Trace u;
+    ASSERT_TRUE(u.load(ss));
+    ASSERT_EQ(u.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(u.all()[i], t.all()[i]) << "record " << i;
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlanks)
+{
+    std::stringstream ss;
+    ss << "# a comment\n\n0 L 5 0 10\n";
+    Trace t;
+    ASSERT_TRUE(t.load(ss));
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].op, TraceOp::Load);
+    EXPECT_EQ(t.all()[0].addr, 5u);
+}
+
+TEST(Trace, LoadRejectsBadOpcode)
+{
+    std::stringstream ss;
+    ss << "0 X 5 0 10\n";
+    Trace t;
+    EXPECT_FALSE(t.load(ss));
+}
+
+TEST(Trace, LoadRejectsTruncatedLine)
+{
+    std::stringstream ss;
+    ss << "0 L 5\n";
+    Trace t;
+    EXPECT_FALSE(t.load(ss));
+}
+
+TEST(Trace, ForNodeFilters)
+{
+    Trace t = sampleTrace();
+    auto n5 = t.forNode(5);
+    ASSERT_EQ(n5.size(), 2u);
+    EXPECT_EQ(n5[0].op, TraceOp::Load);
+    EXPECT_EQ(n5[1].op, TraceOp::Store);
+    EXPECT_EQ(t.maxNode(), 9u);
+}
+
+TEST(TraceReplay, ExecutesAllReferences)
+{
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 64);
+
+    Trace t = sampleTrace();
+    TraceReplayer rep(sys, t);
+    rep.start();
+    sys.eventQueue().runUntil(400'000'000);
+    sys.drain();
+
+    EXPECT_TRUE(rep.finished());
+    EXPECT_EQ(rep.completed(), t.size());
+    EXPECT_EQ(checker.violations(), 0u);
+    // The store of 111 to line 10 must be globally visible.
+    EXPECT_EQ(checker.goldenToken(10), 111u);
+    EXPECT_EQ(checker.goldenToken(11), 222u);
+    EXPECT_EQ(checker.goldenToken(12), 333u);
+}
+
+TEST(TraceReplay, RespectsGaps)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+
+    Trace t;
+    t.add({0, TraceOp::Store, 1, 1, 50'000});
+    t.add({0, TraceOp::Store, 2, 2, 50'000});
+    TraceReplayer rep(sys, t);
+    rep.start();
+    sys.eventQueue().runUntil(400'000'000);
+    sys.drain();
+    EXPECT_TRUE(rep.finished());
+    // Two 50 us gaps must have elapsed.
+    EXPECT_GE(sys.eventQueue().now(), 100'000u);
+}
+
+TEST(TraceReplay, ProducerConsumerOrderPreserved)
+{
+    // Node 0 writes a sequence of lines; node 3 reads them much later
+    // (big gap) and must observe the stored values.
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 32);
+
+    Trace t;
+    for (Addr a = 0; a < 8; ++a)
+        t.add({0, TraceOp::Store, 20 + a, 900 + a, 10});
+    for (Addr a = 0; a < 8; ++a)
+        t.add({3, TraceOp::Load, 20 + a, 0, a == 0 ? 400'000u : 10u});
+
+    TraceReplayer rep(sys, t);
+    rep.start();
+    sys.eventQueue().runUntil(800'000'000);
+    sys.drain();
+    ASSERT_TRUE(rep.finished());
+
+    // The reader's cache now holds the producer's values.
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_EQ(sys.node(3).dataOf(20 + a).token, 900 + a);
+    EXPECT_EQ(checker.violations(), 0u);
+}
+
+TEST(TraceReplay, LargeSyntheticTraceStaysCoherent)
+{
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 128);
+
+    // Generate a pseudo-random trace mixing 16 nodes over 12 lines.
+    Random rng(2024);
+    Trace t;
+    for (unsigned i = 0; i < 600; ++i) {
+        TraceRecord r;
+        r.node = rng.below(16);
+        r.addr = rng.below(12);
+        bool write = rng.chance(0.4);
+        r.op = write ? TraceOp::Store : TraceOp::Load;
+        r.token = write ? (i + 1) * 1000 + r.node : 0;
+        r.gap = 100 + rng.below(400);
+        t.add(r);
+    }
+
+    TraceReplayer rep(sys, t);
+    rep.start();
+    sys.eventQueue().runUntil(4'000'000'000ull);
+    sys.drain();
+    ASSERT_TRUE(rep.finished());
+    EXPECT_EQ(rep.completed(), 600u);
+    checker.fullSweep();
+    for (const auto &s : checker.report())
+        ADD_FAILURE() << s;
+    EXPECT_EQ(checker.violations(), 0u);
+}
