@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Experiment E7 — cost of robustness. Sweeps bus-level fault
+ * probability from 0 to 10% for each injectable fault kind on a 4x4
+ * machine running the random protocol tester with the transaction
+ * watchdog enabled, and reports how throughput and completion latency
+ * degrade as the recovery machinery (memory bounces, watchdog
+ * reissues, relaunch caps) absorbs the faults.
+ *
+ * The interesting readings:
+ *
+ *   ops_per_ms        issued-transaction throughput in simulated time;
+ *   mean_miss_ns      mean end-to-end miss latency (recovery rounds
+ *                     inflate the tail first, then the mean);
+ *   watchdog_reissues total recovery firings across all nodes;
+ *   injections        faults actually applied by the plan;
+ *   completed         1.0 iff every transaction finished and the
+ *                     coherence checker saw zero violations — the
+ *                     resilience claim itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "fault/fault_injector.hh"
+#include "proc/random_tester.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct FaultRun
+{
+    std::uint64_t ops = 0;
+    std::uint64_t injections = 0;
+    std::uint64_t reissues = 0;
+    std::uint64_t bounces = 0;
+    double meanMissNs = 0.0;
+    Tick elapsed = 0;
+    bool completed = false;
+};
+
+FaultPlan
+planFor(int kind, double prob)
+{
+    switch (kind) {
+      case 0:
+        return FaultPlan::dropRequests(prob, 7);
+      case 1:
+        return FaultPlan::dropReplies(prob, 7);
+      case 2:
+        return FaultPlan::delays(prob, 2000, 7);
+      default:
+        return FaultPlan::duplicates(prob, 7);
+    }
+}
+
+FaultRun
+runCampaign(int kind, double prob)
+{
+    SystemParams p;
+    p.n = 4;
+    p.seed = 1701;
+    p.ctrl.cache = {64, 4};
+    p.ctrl.mlt = {64, 4};
+    p.ctrl.requestTimeoutTicks = 500'000;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 128);
+    FaultInjector injector(sys, planFor(kind, prob));
+
+    RandomTesterParams tp;
+    tp.opsPerNode = 120;
+    tp.pTset = 0.1;
+    tp.seed = 23;
+    RandomTester tester(sys, checker, tp);
+    tester.start();
+
+    sys.eventQueue().runUntil(10'000'000'000ull);
+    sys.drain(1'000'000'000ull);
+
+    FaultRun out;
+    out.ops = tester.opsIssued();
+    out.injections = injector.totalInjections();
+    out.elapsed = sys.eventQueue().now();
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        out.reissues += sys.node(id).watchdogReissues();
+        const Distribution &d = sys.node(id).missLatency();
+        out.meanMissNs += d.mean() * static_cast<double>(d.count());
+    }
+    std::uint64_t misses = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id)
+        misses += sys.node(id).missLatency().count();
+    if (misses > 0)
+        out.meanMissNs /= static_cast<double>(misses);
+    for (unsigned c = 0; c < sys.n(); ++c)
+        out.bounces += sys.memory(c).bounces();
+    out.completed = tester.finished() && checker.violations() == 0
+                 && tester.readFailures() == 0;
+    return out;
+}
+
+void
+BM_FaultResilience(benchmark::State &state)
+{
+    const int kind = static_cast<int>(state.range(0));
+    const double prob = static_cast<double>(state.range(1)) / 100.0;
+
+    FaultRun r{};
+    for (auto _ : state)
+        r = runCampaign(kind, prob);
+
+    const double ms = static_cast<double>(r.elapsed) / 1e6;
+    state.counters["ops_per_ms"] =
+        ms > 0 ? static_cast<double>(r.ops) / ms : 0.0;
+    state.counters["mean_miss_ns"] = r.meanMissNs;
+    state.counters["watchdog_reissues"] = static_cast<double>(r.reissues);
+    state.counters["mem_bounces"] = static_cast<double>(r.bounces);
+    state.counters["injections"] = static_cast<double>(r.injections);
+    state.counters["completed"] = r.completed ? 1.0 : 0.0;
+}
+
+} // namespace
+
+BENCHMARK(BM_FaultResilience)
+    ->ArgNames({"kind_dreq0_drep1_delay2_dup3", "fault_pct"})
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 5, 10}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -33,13 +33,45 @@ void
 Bus::request(unsigned slot, BusOp op)
 {
     assert(slot < queues.size());
+    if (faultHook) {
+        FaultAction act = faultHook->onEnqueue(*this, op);
+        if (act.drop) {
+            MCUBE_LOG(LogCat::Bus, eq.now(),
+                      _name << " FAULT drop slot=" << slot << " " << op);
+            return;
+        }
+        if (act.duplicate) {
+            MCUBE_LOG(LogCat::Bus, eq.now(),
+                      _name << " FAULT dup slot=" << slot << " " << op);
+            enqueue(slot, op);
+        }
+        if (act.delayTicks > 0) {
+            MCUBE_LOG(LogCat::Bus, eq.now(),
+                      _name << " FAULT delay " << act.delayTicks
+                            << " slot=" << slot << " " << op);
+            eq.scheduleIn(act.delayTicks, [this, slot, op] {
+                enqueue(slot, op);
+                if (!busy)
+                    tryArbitrate();
+            });
+            if (!busy)
+                tryArbitrate();
+            return;
+        }
+    }
+    enqueue(slot, op);
+    if (!busy)
+        tryArbitrate();
+}
+
+void
+Bus::enqueue(unsigned slot, BusOp op)
+{
     op.serial = nextSerial++;
     MCUBE_LOG(LogCat::Bus, eq.now(),
               _name << " enq slot=" << slot << " " << op);
     queues[slot].emplace_back(op, eq.now());
     ++pending;
-    if (!busy)
-        tryArbitrate();
 }
 
 Tick

@@ -36,6 +36,35 @@
 namespace mcube
 {
 
+class Bus;
+
+/**
+ * What a fault hook decided to do with an op about to be enqueued.
+ * Actions compose: a duplicated op may also have its original delayed.
+ */
+struct FaultAction
+{
+    bool drop = false;      //!< silently discard the op
+    Tick delayTicks = 0;    //!< extra ticks before the op enqueues
+    bool duplicate = false; //!< enqueue a second copy immediately
+};
+
+/**
+ * Interceptor consulted once per Bus::request before the op enters an
+ * agent's FIFO (delivery itself stays an atomic broadcast). This is
+ * the attach point of the fault-injection subsystem: a dropped op
+ * never existed on the wire, a delayed op enqueues late, a duplicated
+ * op is granted twice with distinct serials.
+ */
+class BusFaultHook
+{
+  public:
+    virtual ~BusFaultHook() = default;
+
+    /** Decide the fate of @p op about to enqueue on @p bus. */
+    virtual FaultAction onEnqueue(const Bus &bus, const BusOp &op) = 0;
+};
+
 /** Interface every device on a bus implements. */
 class BusAgent
 {
@@ -114,9 +143,17 @@ class Bus
 
     /**
      * Enqueue @p op into slot @p slot's FIFO and start arbitration if
-     * the bus is idle. Ops from one slot are delivered in FIFO order.
+     * the bus is idle. Ops from one slot are delivered in FIFO order
+     * (unless a fault hook drops, delays or duplicates the op).
      */
     void request(unsigned slot, BusOp op);
+
+    /**
+     * Install (or clear, with nullptr) the fault hook consulted on
+     * every request(). At most one hook per bus; the fault injector
+     * owns the composition of multiple fault specs.
+     */
+    void setFaultHook(BusFaultHook *hook) { faultHook = hook; }
 
     const std::string &name() const { return _name; }
     const BusParams &params() const { return _params; }
@@ -137,6 +174,9 @@ class Bus
     std::size_t pendingOps() const { return pending; }
 
   private:
+    /** Assign a serial and place @p op in slot @p slot's FIFO. */
+    void enqueue(unsigned slot, BusOp op);
+
     /** Occupancy of @p op on the wire. */
     Tick occupancy(const BusOp &op) const;
 
@@ -150,6 +190,7 @@ class Bus
     EventQueue &eq;
     BusParams _params;
 
+    BusFaultHook *faultHook = nullptr;
     std::vector<BusAgent *> agents;
     std::vector<std::deque<std::pair<BusOp, Tick>>> queues;
     unsigned lastGranted = 0;

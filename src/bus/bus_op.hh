@@ -81,6 +81,17 @@ struct BusOp
     bool hasData = false;
     LineData data{};
     std::uint64_t serial = 0;     //!< unique id, assigned by the bus
+    /**
+     * Originator's transaction-instance id, stamped on requests and
+     * copied into the replies they elicit. Once requests can be
+     * reissued (watchdog recovery), a node may have several live
+     * requests on the wire; a reply must only complete the pending
+     * transaction that actually sent its request, never a newer
+     * same-address one. 0 means "instance unknown" (sync grants and
+     * hand-offs, which answer a queued waiter rather than a specific
+     * request) and matches any pending transaction.
+     */
+    std::uint64_t reqSeq = 0;
 
     bool is(std::uint16_t p) const { return (params & p) == p; }
 };

@@ -79,8 +79,19 @@ class CoherenceChecker
     /** Bus operations observed. */
     std::uint64_t opsObserved() const { return _ops; }
 
-    /** Run the full sweep (I5-I7) immediately. */
-    void fullSweep();
+    /**
+     * Run the full sweep (I5-I7) immediately.
+     *
+     * @param strict Report I6/I7 offences right away. The periodic
+     * sweeps pass false: an unclaimed reply's column-wide table
+     * insert is undone by a bus-ordered WRITEBACK (REMOVE), and a
+     * sweep landing inside that window sees a phantom entry that is
+     * already being repaired. Lenient sweeps only report an I6/I7
+     * offence seen in several consecutive sweeps — a real phantom is
+     * permanent, so it is still caught. Call sites that run after the
+     * system drains (no in-flight repairs) should stay strict.
+     */
+    void fullSweep(bool strict = true);
 
   private:
     struct Tap : BusAgent
@@ -116,6 +127,20 @@ class CoherenceChecker
     std::unordered_map<Addr, std::vector<CommitEntry>> history;
     /** Row purges still outstanding per line. */
     std::unordered_map<Addr, unsigned> pendingPurges;
+    /**
+     * I6/I7 offences seen in lenient sweeps, keyed by message, with
+     * the tick each was first observed at. An entry is dropped as soon
+     * as one sweep does not reproduce it.
+     */
+    std::unordered_map<std::string, Tick> sweepSuspects;
+    /**
+     * How long an offence must persist (continuously, across every
+     * lenient sweep in between) before it is reported. Repair windows
+     * are bounded in time — a parked reply's undo WRITEBACK arrives
+     * within a couple of bus latencies, plus any injected delay — so
+     * the budget is expressed in ticks, not sweep counts.
+     */
+    static constexpr Tick suspectWindowTicks = 10'000;
 
     std::uint64_t _ops = 0;
     std::uint64_t _violations = 0;

@@ -1,5 +1,6 @@
 #include "core/controller.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <utility>
@@ -34,13 +35,20 @@ SnoopController::SnoopController(std::string name, EventQueue &eq,
                      "modified line table overflow writebacks");
     stats.addCounter("victim_wbs", statVictimWbs,
                      "modified victims written back on replacement");
-    stats.addCounter("tset_fails", statTsetFails);
+    stats.addCounter("tset_fails", statTsetFails,
+                     "remote test-and-set failures observed");
     stats.addCounter("sync_grants", statSyncGrants,
                      "queue-lock grants received");
     stats.addCounter("sync_aborts", statSyncAborts,
                      "queue-lock chain aborts received");
     stats.addCounter("sync_joins", statSyncJoins,
                      "waiters appended to our chain link");
+    stats.addCounter("watchdog_reissues", statWatchdogReissues,
+                     "requests reissued by the transaction watchdog");
+    stats.addDistribution("watchdog_recovery_latency",
+                          statWatchdogRecovery,
+                          "issue-to-completion ticks of transactions "
+                          "recovered by the watchdog");
     stats.addDistribution("miss_latency", statMissLatency,
                           "issue-to-completion ticks");
     stats.addDistribution("read_latency", statReadLatency,
@@ -100,6 +108,9 @@ SnoopController::pendingInfo() const
             oss << pending.queueNext;
     }
     oss << " since=" << pending.start;
+    if (pending.watchdogFired)
+        oss << " [wd-reissued, next-timeout=" << pending.nextTimeout
+            << "]";
     return oss.str();
 }
 
@@ -368,6 +379,9 @@ SnoopController::startMiss(TxnType txn, Addr addr, std::uint64_t token,
     pending.earlyAck =
         txn == TxnType::Allocate && params.allocateEarlyWrite;
     pending.ackFired = false;
+    pending.seq = ++txnSeq;
+    pending.nextTimeout = params.requestTimeoutTicks;
+    pending.watchdogFired = false;
     ++statMisses;
 
     if (prepareSlot()) {
@@ -426,6 +440,7 @@ SnoopController::prepareSlot()
             slot->data.next = invalidNode;
         }
         ++statVictimWbs;
+        pending.wbVictimAddr = slot->addr;
         sendCol(makeOp(TxnType::WriteBack, op::Remove, slot->addr, _id));
         // pending.stage stays WbVictim; continue arrives via
         // colWritebackRemove's id-match path.
@@ -446,11 +461,92 @@ void
 SnoopController::issueRequest()
 {
     pending.stage = Stage::Requested;
-    sendRow(makeOp(pending.txn, op::Request, pending.addr, _id));
+    BusOp req = makeOp(pending.txn, op::Request, pending.addr, _id);
+    req.reqSeq = pending.seq;
+    sendRow(req);
     MCUBE_LOG(LogCat::Proto, eq.now(),
               name << " issue " << toString(makeOp(pending.txn,
                                                    op::Request,
                                                    pending.addr, _id)));
+    armWatchdog();
+}
+
+// ---------------------------------------------------------------------
+// Transaction watchdog
+// ---------------------------------------------------------------------
+
+void
+SnoopController::armWatchdog()
+{
+    if (params.requestTimeoutTicks == 0)
+        return;
+    std::uint64_t seq = pending.seq;
+    std::uint64_t arm = ++pending.wdArm;
+    eq.scheduleIn(pending.nextTimeout,
+                  [this, seq, arm] { watchdogFire(seq, arm); });
+}
+
+void
+SnoopController::watchdogFire(std::uint64_t seq, std::uint64_t arm)
+{
+    // The transaction this timer was armed for is gone (completed,
+    // replaced by a newer one, or re-armed since): the timer dies
+    // silently. An armed but never-firing watchdog makes no RNG draws
+    // and sends no ops, so fault-free behaviour is untouched.
+    if (pending.stage != Stage::Requested || pending.seq != seq
+        || pending.wdArm != arm)
+        return;
+
+    if (pending.txn == TxnType::Sync && pending.queuedInChain) {
+        // Queued waiters wait on the holder's critical section, which
+        // the bus cannot bound. Go dormant rather than re-arm: every
+        // op that moves a queued waiter forward (hand-off REMOVE,
+        // grant, abort) is undroppable, and syncRestart re-arms us if
+        // the chain is ever torn down. A perpetual re-arm here would
+        // keep the event queue alive forever and break drain().
+        return;
+    }
+
+    ++statWatchdogReissues;
+    pending.watchdogFired = true;
+    MCUBE_LOG(LogCat::Proto, eq.now(),
+              name << " watchdog reissue seq=" << seq << " "
+                   << pendingInfo());
+
+    if (pending.txn == TxnType::Sync) {
+        // Reuse the SYNC restart path: it already aborts a stale
+        // successor (cycle guard), re-reserves the local copy and
+        // rejoins with backoff.
+        syncRestart();
+    } else {
+        // Reissue the row request from scratch. The original may
+        // merely be delayed, so a duplicate can now race us — the
+        // stale-request and unclaimed-reply guards make that safe.
+        // ALLOCATE reissues as READ-MOD: its reply carries the line,
+        // so a spurious extra reply stays parkable, whereas a second
+        // dataless ALLOCATE ack could strand the line nowhere.
+        TxnType wire_txn = pending.txn == TxnType::Allocate
+                             ? TxnType::ReadMod
+                             : pending.txn;
+        BusOp re = makeOp(wire_txn, op::Request, pending.addr, _id);
+        re.reqSeq = pending.seq;
+        sendRow(re);
+    }
+
+    // Capped exponential backoff plus jitter before the next check.
+    Tick cap = params.requestTimeoutTicks
+             << params.watchdogBackoffShift;
+    pending.nextTimeout = std::min(pending.nextTimeout * 2, cap);
+    Tick jitter = params.watchdogJitterTicks > 0
+                    ? rng.below(static_cast<std::uint32_t>(
+                          params.watchdogJitterTicks))
+                    : 0;
+    std::uint64_t armed_seq = pending.seq;
+    std::uint64_t armed_arm = ++pending.wdArm;
+    eq.scheduleIn(pending.nextTimeout + jitter, [this, armed_seq,
+                                                 armed_arm] {
+        watchdogFire(armed_seq, armed_arm);
+    });
 }
 
 void
@@ -463,6 +559,8 @@ SnoopController::complete(bool success, const LineData &data,
     res.data = data;
     res.latency = eq.now() + extra_latency - pending.start;
     statMissLatency.sample(static_cast<double>(res.latency));
+    if (pending.watchdogFired)
+        statWatchdogRecovery.sample(static_cast<double>(res.latency));
     switch (pending.txn) {
       case TxnType::Read:
         statReadLatency.sample(static_cast<double>(res.latency));
@@ -573,6 +671,12 @@ SnoopController::rowRequest(const BusOp &op, bool modified_signal)
 {
     Addr addr = op.addr;
 
+    // A request sent by its own originator starts a fresh instance:
+    // any relaunch budget we burned for an earlier bounce episode of
+    // this (origin, addr) no longer applies.
+    if (op.sender == op.origin)
+        relaunchCounts.erase({op.origin, addr});
+
     if (mlt.contains(addr) && droppedSerial != op.serial) {
         // We asserted the modified signal: the line is modified in our
         // column — forward the request there.
@@ -610,8 +714,7 @@ SnoopController::rowReply(const BusOp &op)
     if (op.is(op::Fail)) {
         // TSET/SYNC failure notification travelling back to org.
         if (mine) {
-            if (pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (replyForPending(op)) {
                 if (pending.txn == TxnType::Tset) {
                     ++statTsetFails;
                     complete(false, LineData{});
@@ -621,6 +724,7 @@ SnoopController::rowReply(const BusOp &op)
                         BusOp join = makeOp(TxnType::Sync, op::Request,
                                             op.addr, _id);
                         join.dest = op.data.next;
+                        join.reqSeq = pending.seq;
                         sendDirected(join);
                     } else {
                         syncRestart();
@@ -636,8 +740,7 @@ SnoopController::rowReply(const BusOp &op)
     if (op.is(op::Ack) && op.txn == TxnType::Sync) {
         // "You are queued" notification.
         if (mine) {
-            if (pending.stage == Stage::Requested
-                && pending.addr == op.addr)
+            if (replyForPending(op))
                 pending.queuedInChain = true;
         } else if (grid.sameColumn(_id, op.origin)) {
             sendCol(op);
@@ -647,8 +750,7 @@ SnoopController::rowReply(const BusOp &op)
 
     switch (op.txn) {
       case TxnType::Read:
-        if (mine && pending.stage == Stage::Requested
-            && pending.addr == op.addr) {
+        if (mine && replyForPending(op)) {
             CacheLine *line = cache.find(op.addr);
             assert(line);
             cache.fill(line, op.addr, Mode::Shared, op.data);
@@ -674,8 +776,7 @@ SnoopController::rowReply(const BusOp &op)
         if (op.is(op::Purge)) {
             // (ROW, REPLY, PURGE): broadcast leg of a write miss to an
             // unmodified line; home-column copies were purged already.
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 LineData d = op.data;
@@ -687,6 +788,14 @@ SnoopController::rowReply(const BusOp &op)
                     ++statSyncGrants;
                 complete(true, d);
             } else {
+                // Allocate acks are dataless on the wire, but they
+                // still transfer ownership: the server invalidated its
+                // copy when it sent the ack. An unclaimed ack must be
+                // parked too or the line is lost; op.data carries the
+                // pre-serve contents for exactly this purpose.
+                if (mine
+                    && (op.hasData || op.txn == TxnType::Allocate))
+                    parkUnclaimedReply(op, false);
                 // Appendix A exempts home-column nodes (their copies
                 // were purged when the memory reply passed on the
                 // column), but a home-column node may have snarfed a
@@ -700,8 +809,7 @@ SnoopController::rowReply(const BusOp &op)
         } else {
             // (ROW, REPLY): data (or allocate-ack / sync grant) from
             // the previous owner heading to org's column.
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 LineData d = op.data;
@@ -714,9 +822,11 @@ SnoopController::rowReply(const BusOp &op)
                 if (op.txn == TxnType::Sync)
                     ++statSyncGrants;
                 complete(true, d, params.accessTicks);
-            } else if (mine && op.txn == TxnType::Sync
-                       && op.hasData) {
-                parkUnclaimedGrant(op, false);
+            } else if (mine
+                       && (op.hasData || op.txn == TxnType::Allocate)) {
+                // Dataless allocate acks transfer ownership too; see
+                // the purge branch above.
+                parkUnclaimedReply(op, false);
             } else if (grid.sameColumn(_id, op.origin)) {
                 BusOp fwd = op;
                 fwd.params = op::Reply | op::Insert;
@@ -792,6 +902,23 @@ SnoopController::colRequestRemove(const BusOp &op)
         // Lost a race (or a stale bounce): the controller on the
         // originator's row relaunches the request.
         if (grid.sameRow(_id, op.origin)) {
+            if (op.origin == _id && !replyForPending(op)) {
+                // Our own bounced request, but the transaction that
+                // sent it is gone (a watchdog reissue already
+                // completed it): let the stale loop die instead of
+                // relaunching it forever.
+                return;
+            }
+            if (params.requestTimeoutTicks > 0 && op.origin != _id) {
+                // We relaunch on behalf of a row-mate whose pending
+                // state we cannot see. A stale instance would loop
+                // through memory indefinitely, so cap the relaunch
+                // chain; a live originator's watchdog restarts with a
+                // fresh request (which resets this count).
+                unsigned &cnt = relaunchCounts[{op.origin, op.addr}];
+                if (++cnt > params.maxRelaunches)
+                    return;
+            }
             ++statReissues;
             BusOp re = op;
             re.params = op::Request;
@@ -809,6 +936,17 @@ SnoopController::colRequestRemove(const BusOp &op)
 void
 SnoopController::serveAsOwner(const BusOp &op)
 {
+    if (op.origin == _id) {
+        // A stale duplicate of our own request caught up with us after
+        // we already became the owner. Serving it would purge the only
+        // copy of the line (a READ-MOD self-serve replies into the
+        // void), so refuse and reinstate the table entry the REMOVE
+        // side effect just stripped from our column.
+        if (!handoffPending(op.addr))
+            sendCol(makeOp(op.txn, op::Insert, op.addr, _id));
+        return;
+    }
+
     CacheLine *line = cache.find(op.addr);
     assert(line && line->mode == Mode::Modified);
     NodeId org = op.origin;
@@ -917,8 +1055,7 @@ SnoopController::colReply(const BusOp &op)
 
     if (op.is(op::Fail)) {
         if (mine) {
-            if (pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (replyForPending(op)) {
                 if (pending.txn == TxnType::Tset) {
                     ++statTsetFails;
                     complete(false, LineData{});
@@ -927,6 +1064,7 @@ SnoopController::colReply(const BusOp &op)
                         BusOp join = makeOp(TxnType::Sync, op::Request,
                                             op.addr, _id);
                         join.dest = op.data.next;
+                        join.reqSeq = pending.seq;
                         sendDirected(join);
                     } else {
                         syncRestart();
@@ -941,8 +1079,7 @@ SnoopController::colReply(const BusOp &op)
 
     if (op.is(op::Ack) && op.txn == TxnType::Sync && !op.is(op::Insert)) {
         if (mine) {
-            if (pending.stage == Stage::Requested
-                && pending.addr == op.addr)
+            if (replyForPending(op))
                 pending.queuedInChain = true;
         } else if (grid.sameRow(_id, op.origin)) {
             sendRow(op);
@@ -955,8 +1092,7 @@ SnoopController::colReply(const BusOp &op)
         if (op.is(op::Memory) && op.is(op::Update)) {
             // (COLUMN, REPLY, UPDATE, MEMORY): owner was on the home
             // column; memory absorbs the data in its own snoop.
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 cache.fill(line, op.addr, Mode::Shared, op.data);
@@ -972,8 +1108,7 @@ SnoopController::colReply(const BusOp &op)
         } else if (op.is(op::Update)) {
             // (COLUMN, REPLY, UPDATE): owner's column, org elsewhere
             // (or on this column).
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 cache.fill(line, op.addr, Mode::Shared, op.data);
@@ -993,8 +1128,7 @@ SnoopController::colReply(const BusOp &op)
             }
         } else if (op.is(op::NoPurge)) {
             // (COLUMN, REPLY, NOPURGE): data straight from memory.
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 cache.fill(line, op.addr, Mode::Shared, op.data);
@@ -1017,8 +1151,7 @@ SnoopController::colReply(const BusOp &op)
         if (op.is(op::Purge)) {
             // (COLUMN, REPLY, PURGE) from memory on the home column:
             // every controller purges and relays a purge onto its row.
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 LineData d = op.data;
@@ -1033,10 +1166,13 @@ SnoopController::colReply(const BusOp &op)
                     ++statSyncGrants;
                 complete(true, d);
             } else {
-                if (mine && op.txn == TxnType::Sync && op.hasData) {
-                    // Memory granted a lock to a transaction that no
-                    // longer exists: the data must survive.
-                    parkUnclaimedGrant(op, false);
+                if (mine
+                    && (op.hasData || op.txn == TxnType::Allocate)) {
+                    // Memory handed the line to a transaction that no
+                    // longer exists: the contents must survive. This
+                    // includes dataless allocate acks — op.data holds
+                    // the pre-serve line for recovery.
+                    parkUnclaimedReply(op, false);
                 }
                 CacheLine *line = cache.find(op.addr);
                 if (line && (line->mode == Mode::Shared
@@ -1057,8 +1193,7 @@ SnoopController::colReply(const BusOp &op)
             // (COLUMN, REPLY, INSERT): grant arriving on org's column;
             // every controller in the column inserts the table entry.
             tableInsert(op.addr);
-            if (mine && pending.stage == Stage::Requested
-                && pending.addr == op.addr) {
+            if (mine && replyForPending(op)) {
                 CacheLine *line = cache.find(op.addr);
                 assert(line);
                 LineData d = op.data;
@@ -1070,9 +1205,9 @@ SnoopController::colReply(const BusOp &op)
                 if (op.txn == TxnType::Sync)
                     ++statSyncGrants;
                 complete(true, d, params.accessTicks);
-            } else if (mine && op.txn == TxnType::Sync
-                       && op.hasData) {
-                parkUnclaimedGrant(op, true);
+            } else if (mine
+                       && (op.hasData || op.txn == TxnType::Allocate)) {
+                parkUnclaimedReply(op, true);
             }
         }
         break;
@@ -1121,10 +1256,24 @@ SnoopController::colWritebackRemove(const BusOp &op)
             }
             line->mode = Mode::Shared;
         }
+    } else if (cache.find(op.addr)
+               && cache.find(op.addr)->mode == Mode::Modified) {
+        // Remove failed but we still hold the modified copy: the entry
+        // is momentarily absent because a reinstate INSERT is in
+        // flight (a stale duplicate request stripped it). The paper's
+        // "some other bus operation will remove the data" does not
+        // hold here — evicting now would drop the only copy — so spin
+        // the REMOVE until the table and the cache agree again.
+        sendCol(makeOp(TxnType::WriteBack, op::Remove, op.addr, _id));
+        return;
     }
 
     // Continue the stalled processor request (victim replacement).
-    if (pending.stage == Stage::WbVictim) {
+    // Matching on the victim address keeps unrelated WRITEBACK REMOVEs
+    // we originate (unclaimed-reply parking undo) from releasing the
+    // stall early.
+    if (pending.stage == Stage::WbVictim
+        && op.addr == pending.wbVictimAddr) {
         CacheLine *slot = cache.allocSlot(pending.addr);
         if (slot->tagValid && onPurge)
             onPurge(slot->addr);
@@ -1346,6 +1495,10 @@ SnoopController::syncRestart()
     }
     pending.queuedInChain = false;
     pending.purged = false;
+    // The re-join request is droppable and the watchdog may have gone
+    // dormant while we sat queued, so re-arm it. A later re-arm (e.g.
+    // by the watchdog's own backoff) supersedes this one.
+    armWatchdog();
     Addr addr = pending.addr;
     // Re-reserve our copy if it was purged, then reissue after a short
     // backoff (plus jitter) to avoid lock-step retry storms.
@@ -1357,26 +1510,36 @@ SnoopController::syncRestart()
         CacheLine *line = cache.find(addr);
         if (line && line->mode == Mode::Invalid)
             cache.fill(line, addr, Mode::Reserved, LineData{});
-        sendRow(makeOp(TxnType::Sync, op::Request, addr, _id));
+        BusOp re = makeOp(TxnType::Sync, op::Request, addr, _id);
+        re.reqSeq = pending.seq;
+        sendRow(re);
     });
 }
 
 void
-SnoopController::parkUnclaimedGrant(const BusOp &op, bool entry_inserted)
+SnoopController::parkUnclaimedReply(const BusOp &op, bool entry_inserted)
 {
     CacheLine *line = cache.find(op.addr);
     if (line && line->mode == Mode::Modified)
         return;  // we already own the line; duplicate data is stale
 
     MCUBE_LOG(LogCat::Sync, eq.now(),
-              name << " parking unclaimed grant for " << op.addr);
+              name << " parking unclaimed reply " << op);
     if (entry_inserted)
         sendCol(makeOp(TxnType::WriteBack, op::Remove, op.addr, _id));
+
+    // A chain rooted at a dead transaction can never be granted; send
+    // any rider back to restart before the link is severed.
+    if (op.data.next != invalidNode)
+        syncAbortTo(op.data.next, op.addr);
 
     BusOp upd = makeOp(TxnType::WriteBack, op::Update, op.addr, _id);
     upd.hasData = true;
     upd.data = op.data;
-    upd.data.lock = 0;
+    // A parked grant means its lock acquisition never happened; plain
+    // data replies keep their (application-owned) lock word.
+    if (op.txn == TxnType::Tset || op.txn == TxnType::Sync)
+        upd.data.lock = 0;
     upd.data.next = invalidNode;
     if (onHomeColumn(op.addr)) {
         upd.params = op::Update | op::Memory;

@@ -41,7 +41,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "bus/bus.hh"
 #include "bus/bus_op.hh"
@@ -76,6 +78,38 @@ struct ControllerParams
      * still completes in the background and commits globally then.
      */
     bool allocateEarlyWrite = false;
+    /**
+     * Transaction watchdog: if the outstanding request sits in
+     * Stage::Requested longer than this (e.g. because a fault dropped
+     * the request or a recoverable reply), the controller reissues it
+     * with capped exponential backoff plus jitter. 0 (the default)
+     * disables the watchdog entirely, preserving the paper-faithful
+     * behaviour tick for tick; fault campaigns enable it explicitly.
+     * When enabling, pick a value well above the workload's worst
+     * fault-free miss latency — a watchdog firing on a merely-slow
+     * transaction floods the system with duplicate requests. SYNC
+     * waiters that are already queued in a lock chain are exempt —
+     * their wait is bounded by the holder's critical section, not by
+     * the bus.
+     */
+    Tick requestTimeoutTicks = 0;
+    /** Backoff doublings cap: timeout grows up to 2^shift times. */
+    unsigned watchdogBackoffShift = 3;
+    /** Uniform jitter added to each rearm, avoiding reissue storms. */
+    Tick watchdogJitterTicks = 512;
+    /**
+     * Cap on consecutive bounce relaunches of one request instance by
+     * the originator's row-mate on the home column. A request that a
+     * watchdog reissue has already satisfied leaves a stale
+     * bounce-relaunch loop spinning forever (memory bounce -> row
+     * relaunch -> memory bounce ...); each lap occupies the memory
+     * module, so accumulated loops can starve real traffic. After
+     * this many relaunches the loop is allowed to die — the
+     * originator's watchdog restarts a live request from scratch.
+     * Only consulted when requestTimeoutTicks > 0 (without a watchdog
+     * a capped request could never recover, so the cap is off).
+     */
+    unsigned maxRelaunches = 64;
     std::uint64_t seed = 1;           //!< RNG seed (drop injection)
 };
 
@@ -192,6 +226,8 @@ class SnoopController
     /** One-line description of the outstanding transaction (for
      *  debugging stuck systems); empty when idle. */
     std::string pendingInfo() const;
+    /** Address of the outstanding transaction (valid while busy()). */
+    Addr pendingAddr() const { return pending.addr; }
     /** @} */
 
     /** @{ Statistics. */
@@ -209,8 +245,18 @@ class SnoopController
     {
         return statVictimWbs.value();
     }
+    std::uint64_t tsetFails() const { return statTsetFails.value(); }
     std::uint64_t syncGrants() const { return statSyncGrants.value(); }
     std::uint64_t syncAborts() const { return statSyncAborts.value(); }
+    std::uint64_t syncJoins() const { return statSyncJoins.value(); }
+    std::uint64_t watchdogReissues() const
+    {
+        return statWatchdogReissues.value();
+    }
+    const Distribution &watchdogRecoveryLatency() const
+    {
+        return statWatchdogRecovery;
+    }
     const Distribution &missLatency() const { return statMissLatency; }
     const Distribution &readLatency() const { return statReadLatency; }
     const Distribution &writeLatency() const
@@ -246,6 +292,13 @@ class SnoopController
         // ALLOCATE early-write bookkeeping:
         bool earlyAck = false;           //!< ack before completion
         bool ackFired = false;           //!< early ack delivered
+        // Victim-writeback bookkeeping:
+        Addr wbVictimAddr = 0;           //!< line our WB REMOVE names
+        // Watchdog bookkeeping:
+        std::uint64_t seq = 0;           //!< transaction sequence id
+        std::uint64_t wdArm = 0;         //!< watchdog arm generation
+        Tick nextTimeout = 0;            //!< current backoff interval
+        bool watchdogFired = false;      //!< at least one reissue
     };
 
     /** BusAgent adapters: one per attached bus so the controller can
@@ -286,6 +339,27 @@ class SnoopController
     void maybeFireEarlyAck();
     /** Issue the row-bus request for the pending transaction. */
     void issueRequest();
+    /** @{ Transaction watchdog (timeout/reissue recovery path). */
+    /** Schedule the next watchdog check for the current transaction. */
+    void armWatchdog();
+    /** Watchdog event: reissue if transaction @p seq is still stuck. */
+    void watchdogFire(std::uint64_t seq, std::uint64_t arm);
+
+    /**
+     * Does this reply answer our outstanding request instance? Once
+     * the watchdog can reissue requests, several of our requests may
+     * be live at once and a reply may arrive after its transaction
+     * completed; claiming it for a newer same-address transaction
+     * would corrupt the protocol. reqSeq 0 (sync grants/acks, which
+     * answer a queued waiter, not one request) matches any instance.
+     */
+    bool replyForPending(const BusOp &op) const
+    {
+        return pending.stage == Stage::Requested
+            && pending.addr == op.addr
+            && (op.reqSeq == 0 || op.reqSeq == pending.seq);
+    }
+    /** @} */
     /** Finish the pending transaction. @p extra_latency models the
      *  remote snooping-cache access time for cache-served data. */
     void complete(bool success, const LineData &data,
@@ -327,10 +401,12 @@ class SnoopController
     void routeReplyToward(NodeId org, BusOp op);
     /** Finish (or abandon) an in-flight lock hand-off for @p addr. */
     void finishHandoff(Addr addr);
-    /** A grant addressed to us found no matching pending transaction
-     *  (stale chain state). Never drop the line: push it back to
-     *  memory, unlocked, and clear any table entry just installed. */
-    void parkUnclaimedGrant(const BusOp &op, bool entry_inserted);
+    /** A data-carrying reply addressed to us found no matching
+     *  pending transaction (stale chain state, or a duplicate request
+     *  created by fault injection / a watchdog reissue racing the
+     *  original). Never drop the line: push it back to memory,
+     *  unlocked, and clear any table entry just installed. */
+    void parkUnclaimedReply(const BusOp &op, bool entry_inserted);
     /** True if a hand-off REMOVE for @p addr is still in flight. */
     bool handoffPending(Addr addr) const;
     /** @} */
@@ -355,6 +431,7 @@ class SnoopController
     CacheArray cache;
     ModifiedLineTable mlt;
     Pending pending;
+    std::uint64_t txnSeq = 0;  //!< sequence source for Pending::seq
 
     /** In-flight lock hand-offs: (addr, grantee); the grant is sent
      *  when our own SYNC(COLUMN, REMOVE) op is delivered. */
@@ -363,6 +440,11 @@ class SnoopController
     /** Serial of a row request this node decided to drop (fault
      *  injection); checked in the snoop pass. */
     std::uint64_t droppedSerial = 0;
+
+    /** Consecutive bounce relaunches performed on behalf of each
+     *  (originator, addr); reset whenever the originator itself sends
+     *  a fresh request through us. See ControllerParams::maxRelaunches. */
+    std::map<std::pair<NodeId, Addr>, unsigned> relaunchCounts;
 
     Counter statHits;
     Counter statMisses;
@@ -376,6 +458,8 @@ class SnoopController
     Counter statSyncGrants;
     Counter statSyncAborts;
     Counter statSyncJoins;
+    Counter statWatchdogReissues;
+    Distribution statWatchdogRecovery;
     Distribution statMissLatency;
     /** Latency split by transaction class. */
     Distribution statReadLatency;

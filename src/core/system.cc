@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <sstream>
 #include <string>
 
 namespace mcube
@@ -79,6 +80,52 @@ MulticubeSystem::totalBusOps() const
     for (const auto &b : colBuses)
         total += b->opsDelivered();
     return total;
+}
+
+std::string
+MulticubeSystem::dumpPendingState() const
+{
+    std::ostringstream oss;
+    oss << "---- pending state at tick " << eq.now() << " ----\n";
+
+    std::vector<Addr> addrs;
+    unsigned busy = 0;
+    for (const auto &nd : nodes) {
+        if (!nd->busy())
+            continue;
+        ++busy;
+        oss << "  " << nd->pendingInfo() << "\n";
+        addrs.push_back(nd->pendingAddr());
+    }
+    if (busy == 0)
+        oss << "  (no controller has an outstanding transaction)\n";
+
+    for (Addr a : addrs) {
+        unsigned home = grid.homeColumn(a);
+        oss << "  mem" << home << ": addr " << a << " valid="
+            << (memories[home]->lineValid(a) ? "yes" : "no") << "\n";
+    }
+
+    for (unsigned c = 0; c < grid.n(); ++c) {
+        const auto &t = nodes[grid.nodeAt(0, c)]->table();
+        oss << "  col" << c << " MLT " << t.size() << "/"
+            << t.capacity() << ":";
+        unsigned shown = 0;
+        t.forEach([&](Addr a) {
+            if (shown++ < 16)
+                oss << " " << a;
+        });
+        if (shown > 16)
+            oss << " (+" << shown - 16 << " more)";
+        oss << "\n";
+    }
+
+    for (unsigned i = 0; i < grid.n(); ++i) {
+        oss << "  row" << i << " queue=" << rowBuses[i]->pendingOps()
+            << ", col" << i << " queue=" << colBuses[i]->pendingOps()
+            << "\n";
+    }
+    return oss.str();
 }
 
 double

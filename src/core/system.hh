@@ -70,6 +70,16 @@ class MulticubeSystem
     /** Total bus operations delivered across all 2n buses. */
     std::uint64_t totalBusOps() const;
 
+    /**
+     * Human-readable snapshot of all in-flight work: every busy
+     * controller's pendingInfo(), each column's MLT contents, the
+     * memory valid bit for every pending address, and per-bus queue
+     * depths. Used by timeout and stall diagnostics (soak tests,
+     * ProgressMonitor) so hung runs fail with a diagnosis instead of
+     * a bare timeout.
+     */
+    std::string dumpPendingState() const;
+
     /** Mean utilisation over all row (dim 0) or column (dim 1) buses. */
     double meanBusUtilization(unsigned dim) const;
 

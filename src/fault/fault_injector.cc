@@ -1,0 +1,230 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "core/system.hh"
+
+namespace mcube
+{
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DropRequest:
+        return "drop_request";
+      case FaultKind::DropReply:
+        return "drop_reply";
+      case FaultKind::Delay:
+        return "delay";
+      case FaultKind::Duplicate:
+        return "duplicate";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::dropRequests(double prob, std::uint64_t seed)
+{
+    FaultPlan p;
+    p.seed = seed;
+    FaultSpec s;
+    s.kind = FaultKind::DropRequest;
+    s.prob = prob;
+    p.specs.push_back(s);
+    return p;
+}
+
+FaultPlan
+FaultPlan::dropReplies(double prob, std::uint64_t seed)
+{
+    FaultPlan p;
+    p.seed = seed;
+    FaultSpec s;
+    s.kind = FaultKind::DropReply;
+    s.prob = prob;
+    p.specs.push_back(s);
+    return p;
+}
+
+FaultPlan
+FaultPlan::delays(double prob, Tick delay_ticks, std::uint64_t seed)
+{
+    FaultPlan p;
+    p.seed = seed;
+    FaultSpec s;
+    s.kind = FaultKind::Delay;
+    s.prob = prob;
+    s.delayTicks = delay_ticks;
+    p.specs.push_back(s);
+    return p;
+}
+
+FaultPlan
+FaultPlan::duplicates(double prob, std::uint64_t seed)
+{
+    FaultPlan p;
+    p.seed = seed;
+    FaultSpec s;
+    s.kind = FaultKind::Duplicate;
+    s.prob = prob;
+    p.specs.push_back(s);
+    return p;
+}
+
+FaultInjector::FaultInjector(MulticubeSystem &sys, const FaultPlan &plan)
+    : sys(sys), plan(plan), rng(plan.seed, 0x7f4au), stats("fault")
+{
+    states.resize(this->plan.specs.size());
+
+    stats.addCounter("ops_seen", statSeen,
+                     "ops offered to the fault hook");
+    stats.addCounter("drop_request", statDropRequest,
+                     "request ops dropped at enqueue");
+    stats.addCounter("drop_reply", statDropReply,
+                     "recoverable reply ops dropped at enqueue");
+    stats.addCounter("delay", statDelay, "ops enqueued late");
+    stats.addCounter("duplicate", statDuplicate,
+                     "request ops enqueued twice");
+
+    const unsigned n = sys.n();
+    for (unsigned i = 0; i < n; ++i) {
+        auto rh = std::make_unique<Hook>();
+        rh->inj = this;
+        rh->dim = 0;
+        rh->index = static_cast<int>(i);
+        sys.rowBus(i).setFaultHook(rh.get());
+        hooks.push_back(std::move(rh));
+
+        auto ch = std::make_unique<Hook>();
+        ch->inj = this;
+        ch->dim = 1;
+        ch->index = static_cast<int>(i);
+        sys.colBus(i).setFaultHook(ch.get());
+        hooks.push_back(std::move(ch));
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    const unsigned n = sys.n();
+    for (unsigned i = 0; i < n; ++i) {
+        sys.rowBus(i).setFaultHook(nullptr);
+        sys.colBus(i).setFaultHook(nullptr);
+    }
+}
+
+std::uint64_t
+FaultInjector::totalInjections() const
+{
+    return statDropRequest.value() + statDropReply.value()
+         + statDelay.value() + statDuplicate.value();
+}
+
+bool
+FaultInjector::eligible(FaultKind kind, const BusOp &op)
+{
+    switch (kind) {
+      case FaultKind::DropRequest:
+        return op.is(op::Request);
+      case FaultKind::DropReply:
+        // Only losses the watchdog can recover from: the reply either
+        // carries no state (Fail), leaves the chain state intact
+        // (SYNC Ack), or leaves memory valid to serve a retry
+        // (READ NoPurge). A dropped ownership-transfer reply would
+        // destroy the only copy of the line.
+        return op.is(op::Reply)
+            && (op.is(op::Fail)
+                || (op.txn == TxnType::Sync && op.is(op::Ack)
+                    && !op.hasData)
+                || (op.txn == TxnType::Read && op.is(op::NoPurge)));
+      case FaultKind::Delay:
+        return true;
+      case FaultKind::Duplicate:
+        // A duplicated ALLOCATE request can elicit a dataless ack for
+        // a transaction that no longer exists; unlike every other
+        // spurious reply it cannot be parked back to memory, so the
+        // line would be stranded nowhere.
+        return op.is(op::Request) && op.txn != TxnType::Allocate;
+    }
+    return false;
+}
+
+bool
+FaultInjector::specApplies(const FaultSpec &spec, SpecState &state,
+                           const Hook &hook, const BusOp &op)
+{
+    if (spec.busDim >= 0 && spec.busDim != hook.dim)
+        return false;
+    if (spec.busIndex >= 0 && spec.busIndex != hook.index)
+        return false;
+    if (spec.txn && *spec.txn != op.txn)
+        return false;
+    if (!eligible(spec.kind, op))
+        return false;
+
+    Tick now = sys.eventQueue().now();
+    if (now < spec.activeFrom || now > spec.activeUntil)
+        return false;
+    if (state.injections >= spec.maxInjections)
+        return false;
+
+    std::uint64_t match = state.matches++;
+    bool fire;
+    if (!spec.atMatches.empty()) {
+        fire = std::find(spec.atMatches.begin(), spec.atMatches.end(),
+                         match)
+            != spec.atMatches.end();
+    } else {
+        fire = spec.prob > 0.0 && rng.chance(spec.prob);
+    }
+    if (fire)
+        ++state.injections;
+    return fire;
+}
+
+FaultAction
+FaultInjector::decide(const Hook &hook, const BusOp &op)
+{
+    ++statSeen;
+    FaultAction act;
+    for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+        const FaultSpec &spec = plan.specs[i];
+        if (!specApplies(spec, states[i], hook, op))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::DropRequest:
+            ++statDropRequest;
+            act.drop = true;
+            return act;  // a dropped op cannot also be delayed/duped
+          case FaultKind::DropReply:
+            ++statDropReply;
+            act.drop = true;
+            return act;
+          case FaultKind::Delay:
+            ++statDelay;
+            act.delayTicks += spec.delayTicks;
+            break;
+          case FaultKind::Duplicate:
+            ++statDuplicate;
+            act.duplicate = true;
+            break;
+        }
+    }
+    return act;
+}
+
+FaultAction
+FaultInjector::Hook::onEnqueue(const Bus &bus, const BusOp &op)
+{
+    (void)bus;
+    return inj->decide(*this, op);
+}
+
+void
+FaultInjector::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+} // namespace mcube

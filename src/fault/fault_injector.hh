@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Bus-level fault injection for the Multicube.
+ *
+ * The paper's "Timing Considerations" robustness claim is that the
+ * valid-bit-per-memory-line makes the protocol self-healing: requests
+ * that are mis-routed (or simply discarded by a controller) bounce off
+ * memory and retry. The FaultInjector turns that claim into a testable
+ * subsystem: it taps every bus of a MulticubeSystem (the same attach
+ * pattern as CoherenceChecker, but at the enqueue side via
+ * Bus::setFaultHook) and applies a seeded FaultPlan — dropping
+ * requests, dropping recoverable replies, delaying ops, duplicating
+ * requests — while the controller-side transaction watchdog provides
+ * the retry half of the loop.
+ *
+ * Eligibility rules (what may be faulted) are part of the model, not
+ * an implementation detail. The protocol is memoryless, so the only
+ * losses it can recover from are those where either the state needed
+ * to re-serve the transaction still exists somewhere, or the op will
+ * be regenerated:
+ *
+ *  - DropRequest: any op with op::Request. The requester's watchdog
+ *    reissues; MLT/memory state is only changed by *delivered* ops.
+ *  - DropReply: replies whose loss strands no state — failure notices
+ *    (op::Fail), SYNC queue acks (the chain still points at the
+ *    waiter), and memory READ data (op::NoPurge; memory stays valid).
+ *    Data-carrying ownership transfers are never dropped: the reply
+ *    is the only copy of the line, which no retry can resurrect.
+ *  - Delay: any op. Delivery remains an atomic broadcast, so MLT
+ *    column agreement (checker I5) is unaffected; delays only widen
+ *    the windows the protocol already tolerates.
+ *  - Duplicate: request ops except ALLOCATE. A stale duplicate
+ *    request is re-served and the spurious reply parked back to
+ *    memory (see SnoopController's duplicate-reply guards); an
+ *    ALLOCATE ack carries no data, so a spurious one cannot be
+ *    reconstructed into a parkable line.
+ *
+ * Every spec can be probabilistic (deterministically seeded) or an
+ * explicit schedule ("fire on the k-th eligible op") for regression
+ * repros. Per-fault-type counters land in the system stats tree under
+ * "fault".
+ */
+
+#ifndef MCUBE_FAULT_FAULT_INJECTOR_HH
+#define MCUBE_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "bus/bus_op.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+class MulticubeSystem;
+
+/** The injectable fault classes. */
+enum class FaultKind : std::uint8_t
+{
+    DropRequest,  //!< discard a request op at enqueue
+    DropReply,    //!< discard a recoverable reply op
+    Delay,        //!< enqueue the op late
+    Duplicate,    //!< enqueue a request twice
+};
+
+/** Text name of a fault kind (stat names, reports). */
+const char *toString(FaultKind kind);
+
+/** One fault rule of a plan. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::DropRequest;
+    /** Per-eligible-op injection probability (ignored when atMatches
+     *  is non-empty). */
+    double prob = 0.0;
+    /** Extra ticks for FaultKind::Delay. */
+    Tick delayTicks = 2000;
+    /** Restrict to row (0) or column (1) buses; -1 = both. */
+    int busDim = -1;
+    /** Restrict to one bus index within the dimension; -1 = all. */
+    int busIndex = -1;
+    /** Restrict to one transaction type. */
+    std::optional<TxnType> txn{};
+    /**
+     * Deterministic schedule: fire exactly on these (0-based) indices
+     * of the spec's eligible-op match stream. Exact repro handle for
+     * regressions; overrides prob.
+     */
+    std::vector<std::uint64_t> atMatches{};
+    /** Cap on total injections by this spec. */
+    std::uint64_t maxInjections = UINT64_MAX;
+    /** Active window in simulated time. */
+    Tick activeFrom = 0;
+    Tick activeUntil = maxTick;
+};
+
+/** A complete, reproducible fault campaign configuration. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> specs{};
+
+    /** @{ Convenience constructors for the common single-fault plans. */
+    static FaultPlan dropRequests(double prob, std::uint64_t seed = 1);
+    static FaultPlan dropReplies(double prob, std::uint64_t seed = 1);
+    static FaultPlan delays(double prob, Tick delay_ticks,
+                            std::uint64_t seed = 1);
+    static FaultPlan duplicates(double prob, std::uint64_t seed = 1);
+    /** @} */
+};
+
+/**
+ * Applies a FaultPlan to every bus of a system. Construct after the
+ * system (and alongside a CoherenceChecker); detaches automatically on
+ * destruction.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(MulticubeSystem &sys, const FaultPlan &plan);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** @{ Per-fault-type injection counts. */
+    std::uint64_t requestsDropped() const
+    {
+        return statDropRequest.value();
+    }
+    std::uint64_t repliesDropped() const
+    {
+        return statDropReply.value();
+    }
+    std::uint64_t opsDelayed() const { return statDelay.value(); }
+    std::uint64_t opsDuplicated() const
+    {
+        return statDuplicate.value();
+    }
+    std::uint64_t totalInjections() const;
+    /** Ops offered to the hook across all buses. */
+    std::uint64_t opsSeen() const { return statSeen.value(); }
+    /** @} */
+
+    /** True if @p op may be faulted with @p kind at all (the
+     *  recoverability rules above); exposed for tests. */
+    static bool eligible(FaultKind kind, const BusOp &op);
+
+    /** Register the "fault" stat group under @p parent. */
+    void regStats(StatGroup &parent);
+
+  private:
+    struct Hook : BusFaultHook
+    {
+        FaultInjector *inj = nullptr;
+        int dim = 0;    //!< 0 = row bus, 1 = column bus
+        int index = 0;  //!< bus index within the dimension
+
+        FaultAction onEnqueue(const Bus &bus, const BusOp &op) override;
+    };
+
+    /** Mutable per-spec match/injection bookkeeping. */
+    struct SpecState
+    {
+        std::uint64_t matches = 0;     //!< eligible ops seen
+        std::uint64_t injections = 0;  //!< faults actually fired
+    };
+
+    FaultAction decide(const Hook &hook, const BusOp &op);
+    bool specApplies(const FaultSpec &spec, SpecState &state,
+                     const Hook &hook, const BusOp &op);
+
+    MulticubeSystem &sys;
+    FaultPlan plan;
+    Random rng;
+    std::vector<std::unique_ptr<Hook>> hooks;
+    std::vector<SpecState> states;
+
+    Counter statSeen;
+    Counter statDropRequest;
+    Counter statDropReply;
+    Counter statDelay;
+    Counter statDuplicate;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Global progress (deadlock/livelock) monitor for a MulticubeSystem.
+ *
+ * Periodically samples the system and declares a stall when some
+ * controller has an outstanding transaction but the global completion
+ * count has not advanced for a configurable number of consecutive
+ * checks. Two stall shapes are distinguished in the report:
+ *
+ *  - deadlock: bus traffic has also stopped (nothing in flight at
+ *    all — an op was lost and no recovery path fired);
+ *  - livelock: bus ops keep flowing but no transaction ever finishes
+ *    (e.g. a request circling between a bouncing memory module and a
+ *    reissuing row controller).
+ *
+ * Instead of letting a test hang, the monitor captures every
+ * controller's pendingInfo() plus the MLT and memory valid-bit state
+ * (MulticubeSystem::dumpPendingState) into a report and invokes an
+ * optional callback, so stuck runs fail with a diagnosis.
+ *
+ * The periodic event self-cancels once it is the only thing left in
+ * the event queue and no transaction is outstanding, so drain() still
+ * terminates with a monitor attached.
+ */
+
+#ifndef MCUBE_FAULT_PROGRESS_MONITOR_HH
+#define MCUBE_FAULT_PROGRESS_MONITOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+class MulticubeSystem;
+
+/** Configuration of a ProgressMonitor. */
+struct ProgressMonitorParams
+{
+    /** Sampling period. Must comfortably exceed the worst-case
+     *  transaction latency (including watchdog backoff rounds) or
+     *  slow-but-live transactions will be miscalled as stalls. */
+    Tick checkIntervalTicks = 250'000;
+    /** Consecutive no-progress checks before declaring a stall. */
+    unsigned stallChecks = 4;
+};
+
+/** Watches a system for quiescence-with-outstanding-work. */
+class ProgressMonitor
+{
+  public:
+    using StallCb = std::function<void(const std::string &)>;
+
+    ProgressMonitor(MulticubeSystem &sys,
+                    const ProgressMonitorParams &params = {},
+                    StallCb on_stall = {});
+
+    ProgressMonitor(const ProgressMonitor &) = delete;
+    ProgressMonitor &operator=(const ProgressMonitor &) = delete;
+
+    /** Begin (or resume) periodic checking. */
+    void start();
+
+    /** Stop checking after the current interval. */
+    void stop() { running = false; }
+
+    /** True once a stall has been declared. */
+    bool stalled() const { return _stalled; }
+
+    /** Diagnosis captured when the stall was declared. */
+    const std::string &report() const { return _report; }
+
+    /** Checks performed so far. */
+    std::uint64_t checksRun() const { return _checks; }
+
+  private:
+    void check();
+
+    /** Transactions completed across all controllers. */
+    std::uint64_t totalCompletions() const;
+
+    /** True if any controller has an outstanding transaction. */
+    bool anyBusy() const;
+
+    MulticubeSystem &sys;
+    ProgressMonitorParams params;
+    StallCb onStall;
+
+    bool running = false;
+    bool _stalled = false;
+    unsigned noProgress = 0;
+    std::uint64_t lastCompletions = 0;
+    std::uint64_t lastBusOps = 0;
+    std::uint64_t _checks = 0;
+    std::string _report;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_FAULT_PROGRESS_MONITOR_HH

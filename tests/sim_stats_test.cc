@@ -111,3 +111,70 @@ TEST(StatGroup, DumpMentionsAllStats)
     EXPECT_NE(s.find("9"), std::string::npos);
     EXPECT_NE(s.find("number of things"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------
+// Every controller counter and latency distribution must be registered
+// with the system stats tree: recovery campaigns read them through
+// flatten()/dumpJson() and a silently unregistered stat would make a
+// fault run look healthier than it is.
+// ---------------------------------------------------------------------
+
+#include "core/system.hh"
+
+TEST(StatRegistration, AllControllerStatsAppearInSystemTree)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+
+    std::map<std::string, double> flat;
+    sys.statistics().flatten(flat);
+
+    const char *counters[] = {
+        "hits",         "misses",        "reissues",
+        "invalidations", "snarfs",       "drops",
+        "mlt_overflows", "victim_wbs",   "tset_fails",
+        "sync_grants",  "sync_aborts",   "sync_joins",
+        "watchdog_reissues",
+    };
+    const char *dists[] = {
+        "watchdog_recovery_latency", "miss_latency", "read_latency",
+        "write_latency",             "lock_latency",
+    };
+
+    auto count_suffix = [&](const std::string &suffix) {
+        std::string want = "." + suffix;
+        std::size_t hits = 0;
+        for (const auto &[name, value] : flat) {
+            if (name.size() > want.size()
+                && name.compare(name.size() - want.size(), want.size(),
+                                want) == 0) {
+                ++hits;
+            }
+        }
+        return hits;
+    };
+
+    // At least one instance per node (n^2 of them; some names are
+    // also registered by the memory modules).
+    for (const char *name : counters)
+        EXPECT_GE(count_suffix(name), 4u) << name;
+    for (const char *name : dists)
+        EXPECT_GE(count_suffix(name), 4u) << name;
+
+    // Memory-side robustness counter (the bounce path) as well.
+    EXPECT_GE(count_suffix("bounces"), 2u);
+}
+
+TEST(StatRegistration, DumpJsonContainsWatchdogStats)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+
+    std::ostringstream oss;
+    sys.statistics().dumpJson(oss);
+    const std::string json = oss.str();
+    EXPECT_NE(json.find("watchdog_reissues"), std::string::npos);
+    EXPECT_NE(json.find("watchdog_recovery_latency"), std::string::npos);
+}

@@ -11,6 +11,7 @@
 
 #include "core/checker.hh"
 #include "core/system.hh"
+#include "fault/progress_monitor.hh"
 #include "io/dma_engine.hh"
 #include "proc/barrier.hh"
 #include "proc/processor.hh"
@@ -38,6 +39,12 @@ TEST(Soak, EverySubsystemConcurrently)
     p.seed = 4242;
     MulticubeSystem sys(p);
     CoherenceChecker checker(sys, 64);
+
+    // A stall in any subsystem should fail with a diagnosis rather
+    // than silently timing out below.
+    ProgressMonitor monitor(sys, {/*checkIntervalTicks=*/10'000'000,
+                                  /*stallChecks=*/8});
+    monitor.start();
 
     // --- 1. Random data traffic on 6 nodes (via the RandomTester's
     // issue machinery, data pool only).
@@ -120,8 +127,10 @@ TEST(Soak, EverySubsystemConcurrently)
     sys.eventQueue().runUntil(4'000'000'000ull);
     sys.drain();
 
-    // Random traffic finished and verified.
-    EXPECT_TRUE(tester.finished());
+    // Random traffic finished and verified. On a hang, dump every
+    // in-flight transaction so the failure is diagnosable.
+    EXPECT_TRUE(tester.finished()) << sys.dumpPendingState();
+    EXPECT_FALSE(monitor.stalled()) << monitor.report();
     EXPECT_EQ(tester.readFailures(), 0u);
 
     // Mutual exclusion preserved.
@@ -164,7 +173,8 @@ TEST(Soak, RepeatableAcrossSeeds)
         RandomTester tester(sys, checker, tp);
         tester.start();
         sys.eventQueue().runUntil(2'000'000'000ull);
-        EXPECT_TRUE(tester.finished()) << "seed " << seed;
+        EXPECT_TRUE(tester.finished())
+            << "seed " << seed << "\n" << sys.dumpPendingState();
         sys.drain();
         checker.fullSweep();
         EXPECT_EQ(checker.violations(), 0u) << "seed " << seed;
