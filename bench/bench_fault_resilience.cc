@@ -23,12 +23,14 @@
 
 #include <cstdint>
 
+#include "bench_util.hh"
 #include "core/checker.hh"
 #include "core/system.hh"
 #include "fault/fault_injector.hh"
 #include "proc/random_tester.hh"
 
 using namespace mcube;
+using namespace mcube::bench;
 
 namespace
 {
@@ -121,6 +123,16 @@ BM_FaultResilience(benchmark::State &state)
     state.counters["mem_bounces"] = static_cast<double>(r.bounces);
     state.counters["injections"] = static_cast<double>(r.injections);
     state.counters["completed"] = r.completed ? 1.0 : 0.0;
+    BenchJson::instance().record(
+        "fault_resilience",
+        "kind" + std::to_string(kind) + "_p"
+            + std::to_string(static_cast<int>(prob * 100)),
+        {{"ops_per_ms", state.counters["ops_per_ms"]},
+         {"mean_miss_ns", r.meanMissNs},
+         {"watchdog_reissues", static_cast<double>(r.reissues)},
+         {"mem_bounces", static_cast<double>(r.bounces)},
+         {"injections", static_cast<double>(r.injections)},
+         {"completed", r.completed ? 1.0 : 0.0}});
 }
 
 } // namespace

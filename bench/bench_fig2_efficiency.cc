@@ -34,6 +34,14 @@ BM_Fig2_Mva(benchmark::State &state)
     state.counters["row_util"] = r.rowUtilization;
     state.counters["col_util"] = r.colUtilization;
     state.counters["resp_ns"] = r.responseTimeNs;
+    BenchJson::instance().record(
+        "fig2_efficiency",
+        "mva_n" + std::to_string(n) + "_r"
+            + std::to_string(static_cast<int>(rate)),
+        {{"efficiency", r.efficiency},
+         {"row_util", r.rowUtilization},
+         {"col_util", r.colUtilization},
+         {"resp_ns", r.responseTimeNs}});
 }
 
 /** Simulation cross-check on machines small enough to simulate
@@ -52,6 +60,11 @@ BM_Fig2_Sim(benchmark::State &state)
     state.counters["row_util"] = pt.rowUtil;
     state.counters["col_util"] = pt.colUtil;
     state.counters["txns"] = static_cast<double>(pt.transactions);
+    BenchJson::instance().record(
+        "fig2_efficiency",
+        "sim_n" + std::to_string(n) + "_r"
+            + std::to_string(static_cast<int>(rate)),
+        pt);
 }
 
 } // namespace

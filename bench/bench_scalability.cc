@@ -101,6 +101,13 @@ BM_Efficiency_vs_N(benchmark::State &state)
         r = runMva(n, 25.0);
     state.counters["processors"] = static_cast<double>(n) * n;
     state.counters["efficiency"] = r.efficiency;
+    BenchJson::instance().record(
+        "scalability", "mva_n" + std::to_string(n),
+        {{"processors", static_cast<double>(n) * n},
+         {"efficiency", r.efficiency},
+         {"row_util", r.rowUtilization},
+         {"col_util", r.colUtilization},
+         {"resp_ns", r.responseTimeNs}});
 }
 
 } // namespace

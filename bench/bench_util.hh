@@ -3,12 +3,24 @@
  * Shared helpers for the experiment benches: run a MixWorkload
  * simulation or an MVA solve for one configuration and report the
  * paper's metrics.
+ *
+ * Benches can additionally record machine-readable results through
+ * BenchJson: each recorded (bench, label) point lands in a
+ * BENCH_<bench>.json file in the working directory when the process
+ * exits, carrying the headline metrics, the flattened stat tree of
+ * the simulated system, wall time and the git revision — the file a
+ * regression dashboard diffs across commits.
  */
 
 #ifndef MCUBE_BENCH_BENCH_UTIL_HH
 #define MCUBE_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
 
 #include "core/system.hh"
 #include "mva/mva_model.hh"
@@ -26,6 +38,10 @@ struct SimPoint
     double meanLatencyNs = 0.0;
     std::uint64_t transactions = 0;
     std::uint64_t busOps = 0;
+    /** Host wall-clock seconds the simulation took. */
+    double wallSeconds = 0.0;
+    /** Flattened stat tree of the simulated system. */
+    std::map<std::string, double> stats;
 };
 
 /** Run the synthetic mix on an n x n machine for @p sim_ms of
@@ -38,6 +54,7 @@ runMixSim(unsigned n, const MixParams &mix, double sim_ms = 2.0,
     if (base)
         sp = *base;
     sp.n = n;
+    auto wall_start = std::chrono::steady_clock::now();
     MulticubeSystem sys(sp);
     MixWorkload wl(sys, mix);
     wl.start();
@@ -52,6 +69,11 @@ runMixSim(unsigned n, const MixParams &mix, double sim_ms = 2.0,
     out.meanLatencyNs = wl.meanLatency();
     out.transactions = wl.totalCompleted();
     out.busOps = sys.totalBusOps();
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - wall_start)
+            .count();
+    sys.statistics().flatten(out.stats);
     return out;
 }
 
@@ -66,6 +88,99 @@ runMva(unsigned n, double rate, const MvaParams *base = nullptr)
     p.requestsPerMs = rate;
     return MvaModel(p).solve();
 }
+
+/**
+ * Machine-readable bench-result registry. record() points during the
+ * run; each bench's points are written to BENCH_<bench>.json at
+ * process exit (one flat string->double map per point, plus the git
+ * revision for cross-commit comparison).
+ */
+class BenchJson
+{
+  public:
+    static BenchJson &
+    instance()
+    {
+        static BenchJson reg;
+        return reg;
+    }
+
+    void
+    record(const std::string &bench, const std::string &label,
+           std::map<std::string, double> metrics)
+    {
+        data[bench][label] = std::move(metrics);
+    }
+
+    /** Record @p p under @p label, stat tree included. */
+    void
+    record(const std::string &bench, const std::string &label,
+           const SimPoint &p)
+    {
+        std::map<std::string, double> m = p.stats;
+        m["efficiency"] = p.efficiency;
+        m["row_util"] = p.rowUtil;
+        m["col_util"] = p.colUtil;
+        m["mean_latency_ns"] = p.meanLatencyNs;
+        m["transactions"] = static_cast<double>(p.transactions);
+        m["bus_ops"] = static_cast<double>(p.busOps);
+        m["wall_seconds"] = p.wallSeconds;
+        record(bench, label, std::move(m));
+    }
+
+    ~BenchJson()
+    {
+        std::string rev = gitRev();
+        for (const auto &[bench, points] : data) {
+            std::ofstream os("BENCH_" + bench + ".json");
+            if (!os)
+                continue;
+            os << "{\n  \"bench\": \"" << bench << "\",\n"
+               << "  \"git_rev\": \"" << rev << "\",\n"
+               << "  \"points\": {";
+            const char *psep = "\n";
+            for (const auto &[label, metrics] : points) {
+                os << psep << "    \"" << label << "\": {";
+                const char *msep = "";
+                for (const auto &[name, value] : metrics) {
+                    os << msep << "\n      \"" << name
+                       << "\": " << value;
+                    msep = ",";
+                }
+                os << "\n    }";
+                psep = ",\n";
+            }
+            os << "\n  }\n}\n";
+        }
+    }
+
+  private:
+    BenchJson() = default;
+
+    /** Best-effort HEAD revision; "unknown" outside a git checkout. */
+    static std::string
+    gitRev()
+    {
+        std::string rev = "unknown";
+        if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+            char buf[64] = {};
+            if (fgets(buf, sizeof(buf), p)) {
+                rev.assign(buf);
+                while (!rev.empty()
+                       && (rev.back() == '\n' || rev.back() == '\r'))
+                    rev.pop_back();
+                if (rev.empty())
+                    rev = "unknown";
+            }
+            pclose(p);
+        }
+        return rev;
+    }
+
+    std::map<std::string,
+             std::map<std::string, std::map<std::string, double>>>
+        data;
+};
 
 } // namespace mcube::bench
 

@@ -9,17 +9,36 @@
  *
  * Columns: mode,n,req_per_ms,block_words,efficiency,row_util,
  * col_util,resp_ns
+ *
+ * Observability (sim mode):
+ *   --trace-out=t.json     Chrome trace-event JSON (Perfetto-viewable;
+ *                          also readable by tools/trace_report)
+ *   --trace-text=t.txt     flat text trace, one event per line
+ *   --trace-cap=N          trace ring capacity (default 65536 events)
+ *   --metrics-out=m.jsonl  interval metrics snapshots, one JSON/line
+ *   --metrics-period=T     snapshot period in ticks (default 50000)
+ *   --fault-drop=P         drop requests with probability P (enables
+ *                          the transaction watchdog), so recovery
+ *                          chains appear in the trace
+ *
+ * With several --rates, trace/metrics files cover the *last* simulated
+ * point (each point truncates them); use a single rate when tracing.
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/system.hh"
+#include "fault/fault_injector.hh"
 #include "mva/mva_model.hh"
 #include "proc/mix_workload.hh"
+#include "trace/metrics_sampler.hh"
+#include "trace/trace_event.hh"
 
 using namespace mcube;
 
@@ -34,6 +53,12 @@ struct Options
     unsigned block = 16;
     double simMs = 2.0;
     double invFrac = 0.20;
+    std::string traceOut;
+    std::string traceText;
+    std::size_t traceCap = 1 << 16;
+    std::string metricsOut;
+    Tick metricsPeriod = 50'000;
+    double faultDrop = 0.0;
 };
 
 std::vector<double>
@@ -72,6 +97,18 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.simMs = std::atof(val.c_str());
         else if (key == "inv")
             opt.invFrac = std::atof(val.c_str());
+        else if (key == "trace-out")
+            opt.traceOut = val;
+        else if (key == "trace-text")
+            opt.traceText = val;
+        else if (key == "trace-cap")
+            opt.traceCap = std::atoll(val.c_str());
+        else if (key == "metrics-out")
+            opt.metricsOut = val;
+        else if (key == "metrics-period")
+            opt.metricsPeriod = std::atoll(val.c_str());
+        else if (key == "fault-drop")
+            opt.faultDrop = std::atof(val.c_str());
         else {
             std::cerr << "unknown option: --" << key << "\n";
             return false;
@@ -109,7 +146,29 @@ emitSim(const Options &opt, double rate)
     SystemParams sp;
     sp.n = opt.n;
     sp.bus.blockWords = opt.block;
+    if (opt.faultDrop > 0.0)
+        sp.ctrl.requestTimeoutTicks = 500'000;
     MulticubeSystem sys(sp);
+
+    bool tracing = !opt.traceOut.empty() || !opt.traceText.empty();
+    TransactionTracer tracer(opt.traceCap);
+    if (tracing)
+        tracer.activate();
+
+    std::unique_ptr<FaultInjector> inj;
+    if (opt.faultDrop > 0.0)
+        inj = std::make_unique<FaultInjector>(
+            sys, FaultPlan::dropRequests(opt.faultDrop));
+
+    std::ofstream metrics;
+    std::unique_ptr<MetricsSampler> sampler;
+    if (!opt.metricsOut.empty()) {
+        metrics.open(opt.metricsOut);
+        sampler = std::make_unique<MetricsSampler>(
+            sys, opt.metricsPeriod, metrics);
+        sampler->start();
+    }
+
     MixParams mix;
     mix.requestsPerMs = rate;
     mix.fracWriteUnmod = opt.invFrac;
@@ -118,7 +177,22 @@ emitSim(const Options &opt, double rate)
     wl.start();
     sys.run(static_cast<Tick>(opt.simMs * 1e6));
     wl.stop();
+    if (sampler)
+        sampler->stop();  // rearm events would keep drain() spinning
     sys.drain();
+
+    if (tracing) {
+        tracer.deactivate();
+        if (!opt.traceOut.empty()) {
+            std::ofstream out(opt.traceOut);
+            tracer.exportChromeJson(out);
+        }
+        if (!opt.traceText.empty()) {
+            std::ofstream out(opt.traceText);
+            tracer.exportText(out);
+        }
+    }
+
     std::cout << "sim," << opt.n << ',' << rate << ',' << opt.block
               << ',' << wl.efficiency() << ','
               << sys.meanBusUtilization(0) << ','

@@ -18,6 +18,18 @@ Bus::Bus(std::string name, EventQueue &eq, const BusParams &params)
                      "ticks the bus was occupied");
     stats.addDistribution("queue_delay", statQueueDelay,
                           "ticks from enqueue to grant");
+    stats.addHistogram("queue_delay_hist", statQueueDelayHist,
+                       "enqueue-to-grant delay distribution");
+
+    if (_name.rfind("row", 0) == 0) {
+        traceComp = TraceComp::RowBus;
+        traceIndex = static_cast<std::uint32_t>(
+            std::atoi(_name.c_str() + 3));
+    } else if (_name.rfind("col", 0) == 0) {
+        traceComp = TraceComp::ColBus;
+        traceIndex = static_cast<std::uint32_t>(
+            std::atoi(_name.c_str() + 3));
+    }
 }
 
 unsigned
@@ -115,7 +127,13 @@ Bus::tryArbitrate()
     lastGranted = chosen;
     auto [op, enq_tick] = queues[chosen].front();
     queues[chosen].pop_front();
-    statQueueDelay.sample(static_cast<double>(eq.now() - enq_tick));
+    Tick qdelay = eq.now() - enq_tick;
+    statQueueDelay.sample(static_cast<double>(qdelay));
+    statQueueDelayHist.sample(static_cast<double>(qdelay));
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::BusGrant, traceComp,
+                            op.txn, op.params, traceIndex, op.origin,
+                            op.addr, op.reqSeq, op.serial,
+                            static_cast<std::int64_t>(qdelay)}));
 
     Tick occ = _params.arbTicks + occupancy(op);
     statBusyTicks += occ;
@@ -147,6 +165,9 @@ void
 Bus::deliver(const BusOp &op)
 {
     MCUBE_LOG(LogCat::Bus, eq.now(), _name << " deliver " << op);
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::BusDeliver, traceComp,
+                            op.txn, op.params, traceIndex, op.origin,
+                            op.addr, op.reqSeq, op.serial, 0}));
     ++statOps;
     assert(pending > 0);
     --pending;

@@ -32,6 +32,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace_event.hh"
 
 namespace mcube
 {
@@ -190,6 +191,11 @@ class Bus
     EventQueue &eq;
     BusParams _params;
 
+    /** Trace identity, derived from the instance name ("row3" /
+     *  "col1"; anything else is a generic Bus). */
+    TraceComp traceComp = TraceComp::Bus;
+    std::uint32_t traceIndex = 0;
+
     BusFaultHook *faultHook = nullptr;
     std::vector<BusAgent *> agents;
     std::vector<std::deque<std::pair<BusOp, Tick>>> queues;
@@ -202,6 +208,7 @@ class Bus
     Counter statDataOps;
     Counter statBusyTicks;
     Distribution statQueueDelay;
+    Histogram statQueueDelayHist;
     StatGroup stats;
 };
 

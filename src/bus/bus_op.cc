@@ -5,11 +5,8 @@
 namespace mcube
 {
 
-namespace
-{
-
 const char *
-txnName(TxnType t)
+toString(TxnType t)
 {
     switch (t) {
       case TxnType::Read: return "READ";
@@ -22,13 +19,11 @@ txnName(TxnType t)
     return "?";
 }
 
-} // namespace
-
 std::string
 toString(const BusOp &o)
 {
     std::ostringstream oss;
-    oss << txnName(o.txn) << "(";
+    oss << toString(o.txn) << "(";
     const char *sep = "";
     auto flag = [&](std::uint16_t p, const char *name) {
         if (o.params & p) {

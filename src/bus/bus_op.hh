@@ -96,6 +96,9 @@ struct BusOp
     bool is(std::uint16_t p) const { return (params & p) == p; }
 };
 
+/** Upper-case transaction name, e.g. "READMOD". */
+const char *toString(TxnType txn);
+
 /** Short text form, e.g. "READMOD(REQUEST|REMOVE) addr=5 org=3". */
 std::string toString(const BusOp &op);
 

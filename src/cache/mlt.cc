@@ -1,9 +1,28 @@
 #include "cache/mlt.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#include "trace/trace_event.hh"
 
 namespace mcube
 {
+
+namespace
+{
+
+void
+traceMlt(EventQueue *eq, NodeId node, bool canonical, TracePhase phase,
+         Addr addr, std::int64_t aux)
+{
+    if (!canonical || !eq)
+        return;
+    MCUBE_TRACE((TraceEvent{eq->now(), phase, TraceComp::Controller,
+                            TxnType::Read, 0, node, invalidNode, addr,
+                            0, 0, aux}));
+}
+
+} // namespace
 
 ModifiedLineTable::ModifiedLineTable(const MltParams &p) : params(p)
 {
@@ -46,6 +65,10 @@ ModifiedLineTable::insert(Addr addr)
         free_slot->valid = true;
         free_slot->stamp = nextStamp++;
         ++live;
+        peak = std::max(peak, live);
+        traceMlt(traceEq, traceNode, traceCanonical,
+                 TracePhase::MltInsert, addr,
+                 static_cast<std::int64_t>(live));
         return std::nullopt;
     }
 
@@ -53,6 +76,8 @@ ModifiedLineTable::insert(Addr addr)
     Addr evicted = lru->addr;
     lru->addr = addr;
     lru->stamp = nextStamp++;
+    traceMlt(traceEq, traceNode, traceCanonical, TracePhase::MltEvict,
+             addr, static_cast<std::int64_t>(evicted));
     return evicted;
 }
 
@@ -65,9 +90,13 @@ ModifiedLineTable::remove(Addr addr)
         if (s.valid && s.addr == addr) {
             s.valid = false;
             --live;
+            traceMlt(traceEq, traceNode, traceCanonical,
+                     TracePhase::MltRemove, addr, 1);
             return true;
         }
     }
+    traceMlt(traceEq, traceNode, traceCanonical, TracePhase::MltRemove,
+             addr, 0);
     return false;
 }
 

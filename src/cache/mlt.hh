@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace mcube
@@ -66,6 +67,23 @@ class ModifiedLineTable
     /** Total entry capacity. */
     std::size_t capacity() const { return slots.size(); }
 
+    /** Peak live-entry count ever reached. */
+    std::size_t highWater() const { return peak; }
+
+    /**
+     * Give this copy a tracing identity. Every node in a column
+     * executes the same mutation stream, so only the *canonical* copy
+     * (row 0 of the column) emits MltInsert/MltRemove/MltEvict trace
+     * events — without the flag an n x n machine would log each
+     * column-wide mutation n times.
+     */
+    void setTraceContext(EventQueue *eq, NodeId node, bool canonical)
+    {
+        traceEq = eq;
+        traceNode = node;
+        traceCanonical = canonical;
+    }
+
     /** Visit every live entry (checker support). */
     void forEach(const std::function<void(Addr)> &fn) const;
 
@@ -85,7 +103,12 @@ class ModifiedLineTable
     MltParams params;
     std::vector<Slot> slots;
     std::size_t live = 0;
+    std::size_t peak = 0;
     std::uint64_t nextStamp = 1;
+
+    EventQueue *traceEq = nullptr;
+    NodeId traceNode = invalidNode;
+    bool traceCanonical = false;
 };
 
 } // namespace mcube

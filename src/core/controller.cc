@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "trace/trace_event.hh"
 
 namespace mcube
 {
@@ -57,6 +58,12 @@ SnoopController::SnoopController(std::string name, EventQueue &eq,
                           "READ-MOD / ALLOCATE transaction latency");
     stats.addDistribution("lock_latency", statLockLatency,
                           "TSET / SYNC transaction latency");
+    stats.addHistogram("latency_hist", statLatencyHist,
+                       "issue-to-completion latency distribution");
+    stats.addHistogram("watchdog_recovery_hist",
+                       statWatchdogRecoveryHist,
+                       "latency distribution of watchdog-recovered "
+                       "transactions");
 }
 
 void
@@ -67,6 +74,9 @@ SnoopController::connect(Bus &row_bus, Bus &col_bus)
     colBus = &col_bus;
     rowSlot = rowBus->attach(&rowPort);
     colSlot = colBus->attach(&colPort);
+    // The row-0 copy of each column's MLT is the canonical one for
+    // tracing (all copies mutate identically).
+    mlt.setTraceContext(&eq, _id, row() == 0);
 }
 
 Mode
@@ -463,6 +473,10 @@ SnoopController::issueRequest()
     pending.stage = Stage::Requested;
     BusOp req = makeOp(pending.txn, op::Request, pending.addr, _id);
     req.reqSeq = pending.seq;
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::Issue,
+                            TraceComp::Controller, pending.txn,
+                            op::Request, _id, _id, pending.addr,
+                            pending.seq, 0, 0}));
     sendRow(req);
     MCUBE_LOG(LogCat::Proto, eq.now(),
               name << " issue " << toString(makeOp(pending.txn,
@@ -509,6 +523,12 @@ SnoopController::watchdogFire(std::uint64_t seq, std::uint64_t arm)
 
     ++statWatchdogReissues;
     pending.watchdogFired = true;
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::WatchdogReissue,
+                            TraceComp::Controller, pending.txn,
+                            op::Request, _id, _id, pending.addr,
+                            pending.seq, 0,
+                            static_cast<std::int64_t>(
+                                pending.nextTimeout)}));
     MCUBE_LOG(LogCat::Proto, eq.now(),
               name << " watchdog reissue seq=" << seq << " "
                    << pendingInfo());
@@ -559,8 +579,17 @@ SnoopController::complete(bool success, const LineData &data,
     res.data = data;
     res.latency = eq.now() + extra_latency - pending.start;
     statMissLatency.sample(static_cast<double>(res.latency));
-    if (pending.watchdogFired)
+    statLatencyHist.sample(static_cast<double>(res.latency));
+    if (pending.watchdogFired) {
         statWatchdogRecovery.sample(static_cast<double>(res.latency));
+        statWatchdogRecoveryHist.sample(
+            static_cast<double>(res.latency));
+    }
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::Complete,
+                            TraceComp::Controller, pending.txn,
+                            static_cast<std::uint16_t>(success ? 1 : 0),
+                            _id, _id, pending.addr, pending.seq, 0,
+                            static_cast<std::int64_t>(res.latency)}));
     switch (pending.txn) {
       case TxnType::Read:
         statReadLatency.sample(static_cast<double>(res.latency));
@@ -680,6 +709,11 @@ SnoopController::rowRequest(const BusOp &op, bool modified_signal)
     if (mlt.contains(addr) && droppedSerial != op.serial) {
         // We asserted the modified signal: the line is modified in our
         // column — forward the request there.
+        MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MltRoute,
+                                TraceComp::Controller, op.txn,
+                                op.params, _id, op.origin, addr,
+                                op.reqSeq, op.serial,
+                                route::ToOwnerColumn}));
         BusOp fwd = op;
         fwd.params = op::Request | op::Remove;
         sendCol(fwd);
@@ -691,6 +725,11 @@ SnoopController::rowRequest(const BusOp &op, bool modified_signal)
             CacheLine *line = cache.find(addr);
             if (line && line->mode == Mode::Shared) {
                 // Home-column controller supplies the data itself.
+                MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MltRoute,
+                                        TraceComp::Controller, op.txn,
+                                        op.params, _id, op.origin, addr,
+                                        op.reqSeq, op.serial,
+                                        route::HomeShared}));
                 BusOp reply = op;
                 reply.params = op::Reply;
                 reply.hasData = true;
@@ -700,6 +739,10 @@ SnoopController::rowRequest(const BusOp &op, bool modified_signal)
                 return;
             }
         }
+        MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MltRoute,
+                                TraceComp::Controller, op.txn,
+                                op.params, _id, op.origin, addr,
+                                op.reqSeq, op.serial, route::ToMemory}));
         BusOp fwd = op;
         fwd.params = op::Request | op::Memory;
         sendCol(fwd);
@@ -920,6 +963,10 @@ SnoopController::colRequestRemove(const BusOp &op)
                     return;
             }
             ++statReissues;
+            MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::Relaunch,
+                                    TraceComp::Controller, op.txn,
+                                    op.params, _id, op.origin, op.addr,
+                                    op.reqSeq, op.serial, 0}));
             BusOp re = op;
             re.params = op::Request;
             re.hasData = false;
@@ -950,6 +997,11 @@ SnoopController::serveAsOwner(const BusOp &op)
     CacheLine *line = cache.find(op.addr);
     assert(line && line->mode == Mode::Modified);
     NodeId org = op.origin;
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::SnoopServe,
+                            TraceComp::Controller, op.txn, op.params,
+                            _id, org, op.addr, op.reqSeq, op.serial,
+                            static_cast<std::int64_t>(
+                                line->data.lock)}));
 
     switch (op.txn) {
       case TxnType::Read: {
@@ -1525,6 +1577,10 @@ SnoopController::parkUnclaimedReply(const BusOp &op, bool entry_inserted)
 
     MCUBE_LOG(LogCat::Sync, eq.now(),
               name << " parking unclaimed reply " << op);
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::ParkedReply,
+                            TraceComp::Controller, op.txn, op.params,
+                            _id, op.origin, op.addr, op.reqSeq,
+                            op.serial, entry_inserted ? 1 : 0}));
     if (entry_inserted)
         sendCol(makeOp(TxnType::WriteBack, op::Remove, op.addr, _id));
 

@@ -258,6 +258,7 @@ class SnoopController
         return statWatchdogRecovery;
     }
     const Distribution &missLatency() const { return statMissLatency; }
+    const Histogram &missLatencyHist() const { return statLatencyHist; }
     const Distribution &readLatency() const { return statReadLatency; }
     const Distribution &writeLatency() const
     {
@@ -465,6 +466,9 @@ class SnoopController
     Distribution statReadLatency;
     Distribution statWriteLatency;
     Distribution statLockLatency;
+    /** Log-bucketed latency shapes (p50/p95/p99 in dumps). */
+    Histogram statLatencyHist;
+    Histogram statWatchdogRecoveryHist;
     StatGroup stats;
 };
 

@@ -128,6 +128,16 @@ MulticubeSystem::dumpPendingState() const
     return oss.str();
 }
 
+unsigned
+MulticubeSystem::outstandingTransactions() const
+{
+    unsigned busy = 0;
+    for (const auto &nd : nodes)
+        if (nd->busy())
+            ++busy;
+    return busy;
+}
+
 double
 MulticubeSystem::meanBusUtilization(unsigned dim) const
 {

@@ -83,6 +83,10 @@ class MulticubeSystem
     /** Mean utilisation over all row (dim 0) or column (dim 1) buses. */
     double meanBusUtilization(unsigned dim) const;
 
+    /** Controllers with an outstanding processor transaction (the
+     *  in-flight gauge sampled by MetricsSampler). */
+    unsigned outstandingTransactions() const;
+
     /** Root of the system's statistics tree. */
     const StatGroup &statistics() const { return stats; }
     StatGroup &statistics() { return stats; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/system.hh"
+#include "trace/trace_event.hh"
 
 namespace mcube
 {
@@ -192,6 +193,12 @@ FaultInjector::decide(const Hook &hook, const BusOp &op)
         const FaultSpec &spec = plan.specs[i];
         if (!specApplies(spec, states[i], hook, op))
             continue;
+        MCUBE_TRACE((TraceEvent{
+            sys.eventQueue().now(), TracePhase::FaultInject,
+            TraceComp::Fault, op.txn, op.params,
+            static_cast<std::uint32_t>(hook.dim * 256 + hook.index),
+            op.origin, op.addr, op.reqSeq, op.serial,
+            static_cast<std::int64_t>(spec.kind)}));
         switch (spec.kind) {
           case FaultKind::DropRequest:
             ++statDropRequest;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "trace/trace_event.hh"
 
 namespace mcube
 {
@@ -21,6 +22,8 @@ MemoryModule::MemoryModule(std::string name, EventQueue &eq,
                      "requests for invalid lines reissued");
     stats.addCounter("tset_fails", statTsetFails,
                      "test-and-set failures answered from memory");
+    stats.addHistogram("bounce_chain_hist", statBounceChain,
+                       "bounces a request suffered before service");
 }
 
 void
@@ -98,6 +101,10 @@ MemoryModule::snoop(const BusOp &op, bool modified_signal)
         MCUBE_LOG(LogCat::Mem, eq.now(),
                   name << " update addr=" << op.addr
                        << " tok=" << op.data.token);
+        MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MemUpdate,
+                                TraceComp::Memory, op.txn, op.params,
+                                column, op.origin, op.addr, op.reqSeq,
+                                op.serial, 0}));
         return;
     }
 
@@ -121,11 +128,34 @@ MemoryModule::serveRequest(const BusOp &req)
         bounce.sender = invalidNode;
         bounce.hasData = false;
         ++statBounces;
+        unsigned &chain = bounceChains[{req.origin, req.addr}];
+        ++chain;
         MCUBE_LOG(LogCat::Mem, eq.now(),
                   name << " bounce " << toString(req));
+        MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MemBounce,
+                                TraceComp::Memory, req.txn, req.params,
+                                column, req.origin, req.addr,
+                                req.reqSeq, req.serial,
+                                static_cast<std::int64_t>(chain)}));
         respond(bounce);
         return;
     }
+
+    // Served: close out any bounce chain this request instance ran up.
+    // (Guarded so the common no-bounce case costs one empty() check.)
+    std::int64_t chain_len = 0;
+    if (!bounceChains.empty()) {
+        if (auto it = bounceChains.find({req.origin, req.addr});
+            it != bounceChains.end()) {
+            chain_len = it->second;
+            statBounceChain.sample(static_cast<double>(it->second));
+            bounceChains.erase(it);
+        }
+    }
+    MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MemServe,
+                            TraceComp::Memory, req.txn, req.params,
+                            column, req.origin, req.addr, req.reqSeq,
+                            req.serial, chain_len}));
 
     switch (req.txn) {
       case TxnType::Read: {

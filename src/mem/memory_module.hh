@@ -24,8 +24,10 @@
 #define MCUBE_MEM_MEMORY_MODULE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "bus/bus.hh"
 #include "bus/bus_op.hh"
@@ -104,10 +106,16 @@ class MemoryModule : public BusAgent
 
     mutable std::unordered_map<Addr, MemLine> store;
 
+    /** Consecutive bounces per live (originator, addr) request
+     *  instance; sampled into the chain-length histogram (and erased)
+     *  when the request is finally served. */
+    std::map<std::pair<NodeId, Addr>, unsigned> bounceChains;
+
     Counter statReads;
     Counter statUpdates;
     Counter statBounces;
     Counter statTsetFails;
+    Histogram statBounceChain;
     StatGroup stats;
 };
 

@@ -1,9 +1,19 @@
 #include "sim/log.hh"
 
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 
 namespace mcube
 {
+
+namespace
+{
+
+std::unique_ptr<std::ofstream> gLogFile;
+bool gLogFileInit = false;
+
+} // namespace
 
 std::uint32_t &
 Log::mask()
@@ -87,10 +97,39 @@ Log::initFromEnv()
     (void)mask();
 }
 
+std::ostream &
+Log::sink()
+{
+    if (!gLogFileInit) {
+        gLogFileInit = true;
+        if (const char *env = std::getenv("MCUBE_DEBUG_FILE")) {
+            auto f = std::make_unique<std::ofstream>(env, std::ios::app);
+            if (f->is_open())
+                gLogFile = std::move(f);
+        }
+    }
+    return gLogFile ? *gLogFile : std::cerr;
+}
+
+void
+Log::setFile(const std::string &path)
+{
+    gLogFileInit = true;
+    if (path.empty()) {
+        gLogFile.reset();
+        return;
+    }
+    auto f = std::make_unique<std::ofstream>(path, std::ios::app);
+    if (f->is_open())
+        gLogFile = std::move(f);
+    else
+        gLogFile.reset();
+}
+
 void
 Log::emit(Tick when, const char *cat, const std::string &msg)
 {
-    std::cerr << when << ": [" << cat << "] " << msg << "\n";
+    sink() << when << ": [" << cat << "] " << msg << "\n";
 }
 
 } // namespace mcube

@@ -6,6 +6,11 @@
  * are enabled programmatically (Log::enable) or via the MCUBE_DEBUG
  * environment variable, a comma-separated category list ("Bus,Proto" or
  * "all").
+ *
+ * Output goes to stderr by default. Set MCUBE_DEBUG_FILE=<path> (or
+ * call Log::setFile) to append trace lines to a file instead — long
+ * soak runs with tracing enabled would otherwise interleave with the
+ * program's own stderr.
  */
 
 #ifndef MCUBE_SIM_LOG_HH
@@ -58,8 +63,16 @@ class Log
     /** Emit one trace line. Used by the MCUBE_LOG macro. */
     static void emit(Tick when, const char *cat, const std::string &msg);
 
+    /**
+     * Append trace output to @p path instead of stderr (the
+     * programmatic form of MCUBE_DEBUG_FILE). An empty path reverts
+     * to stderr; an unopenable path is ignored.
+     */
+    static void setFile(const std::string &path);
+
   private:
     static std::uint32_t &mask();
+    static std::ostream &sink();
 };
 
 } // namespace mcube

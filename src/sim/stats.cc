@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 namespace mcube
@@ -15,6 +16,36 @@ Distribution::variance() const
     return v > 0.0 ? v : 0.0;
 }
 
+double
+Histogram::percentile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return _min;
+    if (q >= 1.0)
+        return _max;
+
+    // Rank of the requested quantile among the n samples (1-based).
+    double rank = q * static_cast<double>(n);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < numBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        double lo = lowerBound(b);
+        double hi = upperBound(b);
+        double prev = static_cast<double>(cum);
+        cum += buckets[b];
+        if (static_cast<double>(cum) >= rank) {
+            // Interpolate within the bucket by rank position.
+            double frac = (rank - prev) / static_cast<double>(buckets[b]);
+            double v = lo + frac * (hi - lo);
+            return std::clamp(v, _min, _max);
+        }
+    }
+    return _max;
+}
+
 void
 StatGroup::addCounter(const std::string &name, const Counter &c,
                       const std::string &desc)
@@ -27,6 +58,13 @@ StatGroup::addDistribution(const std::string &name, const Distribution &d,
                            const std::string &desc)
 {
     dists.push_back({name, &d, desc});
+}
+
+void
+StatGroup::addHistogram(const std::string &name, const Histogram &h,
+                        const std::string &desc)
+{
+    hists.push_back({name, &h, desc});
 }
 
 void
@@ -52,7 +90,21 @@ StatGroup::dump(std::ostream &os, int indent) const
            << std::right << " n=" << e.dist->count()
            << " mean=" << e.dist->mean()
            << " min=" << e.dist->min()
-           << " max=" << e.dist->max();
+           << " max=" << e.dist->max()
+           << " stddev=" << e.dist->stddev();
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : hists) {
+        os << pad << "  " << std::left << std::setw(32) << e.name
+           << std::right << " n=" << e.hist->count()
+           << " mean=" << e.hist->mean()
+           << " min=" << e.hist->min()
+           << " max=" << e.hist->max()
+           << " p50=" << e.hist->p50()
+           << " p95=" << e.hist->p95()
+           << " p99=" << e.hist->p99();
         if (!e.desc.empty())
             os << "   # " << e.desc;
         os << "\n";
@@ -77,7 +129,19 @@ StatGroup::dumpJson(std::ostream &os, int indent) const
         os << sep << pad2 << "\"" << e.name << "\": {\"count\": "
            << e.dist->count() << ", \"mean\": " << e.dist->mean()
            << ", \"min\": " << e.dist->min()
-           << ", \"max\": " << e.dist->max() << "}";
+           << ", \"max\": " << e.dist->max()
+           << ", \"variance\": " << e.dist->variance()
+           << ", \"stddev\": " << e.dist->stddev() << "}";
+        sep = ",\n";
+    }
+    for (const auto &e : hists) {
+        os << sep << pad2 << "\"" << e.name << "\": {\"count\": "
+           << e.hist->count() << ", \"mean\": " << e.hist->mean()
+           << ", \"min\": " << e.hist->min()
+           << ", \"max\": " << e.hist->max()
+           << ", \"p50\": " << e.hist->p50()
+           << ", \"p95\": " << e.hist->p95()
+           << ", \"p99\": " << e.hist->p99() << "}";
         sep = ",\n";
     }
     for (const auto *c : children) {
@@ -98,8 +162,19 @@ StatGroup::flatten(std::map<std::string, double> &out,
     for (const auto &e : counters)
         out[base + "." + e.name] =
             static_cast<double>(e.counter->value());
-    for (const auto &e : dists)
-        out[base + "." + e.name] = e.dist->mean();
+    for (const auto &e : dists) {
+        const std::string key = base + "." + e.name;
+        out[key] = e.dist->mean();
+        out[key + ".variance"] = e.dist->variance();
+        out[key + ".stddev"] = e.dist->stddev();
+    }
+    for (const auto &e : hists) {
+        const std::string key = base + "." + e.name;
+        out[key] = e.hist->mean();
+        out[key + ".p50"] = e.hist->p50();
+        out[key + ".p95"] = e.hist->p95();
+        out[key + ".p99"] = e.hist->p99();
+    }
     for (const auto *c : children)
         c->flatten(out, base);
 }

@@ -2,14 +2,18 @@
  * @file
  * A lightweight statistics package in the spirit of gem5's.
  *
- * Components declare named scalar counters, distributions and derived
- * formulas inside a StatGroup; groups nest, and any group can be dumped
- * as an indented text report or a flat name=value map.
+ * Components declare named scalar counters, distributions, log-bucketed
+ * histograms and derived formulas inside a StatGroup; groups nest, and
+ * any group can be dumped as an indented text report, a JSON object or
+ * a flat name=value map.
  */
 
 #ifndef MCUBE_SIM_STATS_HH
 #define MCUBE_SIM_STATS_HH
 
+#include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -72,10 +76,110 @@ class Distribution
     double total() const { return sum; }
     /** Population variance of the observed samples. */
     double variance() const;
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
 
   private:
     double sum = 0.0;
     double sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A log-bucketed latency histogram with percentile accessors.
+ *
+ * Bucket 0 holds samples in [0, 1]; bucket i (i >= 1) holds samples
+ * in (2^(i-1), 2^i]. With 64 buckets the full Tick range is covered,
+ * so sampling never saturates. Percentiles interpolate linearly
+ * within the winning bucket and are clamped to the observed
+ * [min, max], which makes single-sample and single-bucket
+ * distributions exact. Mean/min/max/total are exact (tracked beside
+ * the buckets), only percentiles are approximate — the right
+ * trade-off for the queueing-delay distributions that matter here,
+ * where tail *order of magnitude* is the signal.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned numBuckets = 64;
+
+    Histogram() = default;
+
+    void
+    sample(double v)
+    {
+        if (v < 0.0)
+            v = 0.0;
+        if (n == 0 || v < _min)
+            _min = v;
+        if (n == 0 || v > _max)
+            _max = v;
+        sum += v;
+        ++buckets[bucketOf(v)];
+        ++n;
+    }
+
+    void
+    reset()
+    {
+        buckets.fill(0);
+        sum = _min = _max = 0.0;
+        n = 0;
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / n : 0.0; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double total() const { return sum; }
+
+    /**
+     * Approximate quantile for @p q in [0, 1]. Empty histograms
+     * report 0. q <= 0 reports min(), q >= 1 reports max().
+     */
+    double percentile(double q) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
+    /** Samples recorded in bucket @p i (range [lowerBound(i),
+     *  upperBound(i)]). */
+    std::uint64_t bucketCount(unsigned i) const { return buckets[i]; }
+
+    /** Inclusive lower edge of bucket @p i. */
+    static double
+    lowerBound(unsigned i)
+    {
+        return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    }
+
+    /** Inclusive upper edge of bucket @p i. */
+    static double
+    upperBound(unsigned i)
+    {
+        return std::ldexp(1.0, static_cast<int>(i));
+    }
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static unsigned
+    bucketOf(double v)
+    {
+        if (v <= 1.0)
+            return 0;
+        if (v >= std::ldexp(1.0, 63))
+            return numBuckets - 1;  // uint64 cast below would overflow
+        // Smallest i with v <= 2^i, i.e. ceil(log2(v)).
+        auto u = static_cast<std::uint64_t>(std::ceil(v)) - 1;
+        unsigned i = std::bit_width(u);
+        return i < numBuckets ? i : numBuckets - 1;
+    }
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets{};
+    double sum = 0.0;
     double _min = 0.0;
     double _max = 0.0;
     std::uint64_t n = 0;
@@ -105,6 +209,10 @@ class StatGroup
     void addDistribution(const std::string &name, const Distribution &d,
                          const std::string &desc = "");
 
+    /** Register a histogram under @p name. */
+    void addHistogram(const std::string &name, const Histogram &h,
+                      const std::string &desc = "");
+
     /** Register a child group. The child must outlive the parent. */
     void addChild(const StatGroup &child);
 
@@ -112,12 +220,15 @@ class StatGroup
     void dump(std::ostream &os, int indent = 0) const;
 
     /** Write the whole tree as a JSON object (counters as integers,
-     *  distributions as {count, mean, min, max}). */
+     *  distributions as {count, mean, min, max, variance, stddev},
+     *  histograms additionally carrying p50/p95/p99). */
     void dumpJson(std::ostream &os, int indent = 0) const;
 
     /**
-     * Flatten every counter and distribution mean into
-     * "group.sub.stat" -> value entries.
+     * Flatten every counter, distribution and histogram into
+     * "group.sub.stat" -> value entries. Distributions contribute
+     * their mean under the bare name plus ".variance"/".stddev"
+     * entries; histograms contribute mean plus ".p50"/".p95"/".p99".
      */
     void flatten(std::map<std::string, double> &out,
                  const std::string &prefix = "") const;
@@ -137,9 +248,17 @@ class StatGroup
         std::string desc;
     };
 
+    struct HistEntry
+    {
+        std::string name;
+        const Histogram *hist;
+        std::string desc;
+    };
+
     std::string _name;
     std::vector<CounterEntry> counters;
     std::vector<DistEntry> dists;
+    std::vector<HistEntry> hists;
     std::vector<const StatGroup *> children;
 };
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Interval snapshots of the statistics tree, as JSONL time series.
+ *
+ * End-of-run stats answer "how much"; they cannot show how bus
+ * utilisation evolves under a fault campaign, when the MLTs fill up,
+ * or how many transactions are in flight while a recovery chain
+ * unwinds. The MetricsSampler wakes every N ticks and appends one
+ * JSON object per line to a stream:
+ *
+ *   {"tick":200000,"interval_ticks":100000,
+ *    "row_util":0.41,"col_util":0.33,          <- this interval only
+ *    "outstanding":7,                          <- busy controllers
+ *    "mlt_occupancy":[3,1,0,2],                <- entries per column
+ *    "row_queue":[0,2,0,0],"col_queue":[1,0,0,0],
+ *    "stats":{ ...flattened cumulative tree... }}
+ *
+ * Interval utilisation is computed from busy-tick deltas, so the
+ * series shows load as it happens rather than a long-run average.
+ * The flattened stat tree (cumulative, as flatten() reports it) can
+ * be disabled for very frequent sampling.
+ *
+ * The sampler self-schedules on the system's event queue; call stop()
+ * before draining the system, or the rearm events keep the queue
+ * non-empty forever.
+ */
+
+#ifndef MCUBE_TRACE_METRICS_SAMPLER_HH
+#define MCUBE_TRACE_METRICS_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Periodic JSONL snapshot writer for one MulticubeSystem. */
+class MetricsSampler
+{
+  public:
+    /**
+     * @param sys System to observe.
+     * @param period Ticks between samples (must be > 0).
+     * @param os Sink; one JSON object per line.
+     * @param include_stats Embed the flattened stat tree per sample.
+     */
+    MetricsSampler(MulticubeSystem &sys, Tick period, std::ostream &os,
+                   bool include_stats = true);
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+    /** Schedule the first sample one period from now. */
+    void start();
+
+    /** Take no further samples (a last no-op wakeup may still fire). */
+    void stop();
+
+    /** Take one sample immediately (also used by the timer). */
+    void sampleNow();
+
+    std::uint64_t samplesTaken() const { return samples; }
+
+  private:
+    void arm();
+
+    MulticubeSystem &sys;
+    Tick period;
+    std::ostream &os;
+    bool includeStats;
+    bool active = false;
+
+    std::uint64_t samples = 0;
+    std::vector<Tick> lastRowBusy;
+    std::vector<Tick> lastColBusy;
+    Tick lastTick = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_TRACE_METRICS_SAMPLER_HH

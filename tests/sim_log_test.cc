@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "sim/log.hh"
 
 using namespace mcube;
@@ -51,6 +56,44 @@ TEST_F(LogReset, UnknownTokensIgnored)
     Log::enableFromString("Nonsense,Proc");
     EXPECT_TRUE(Log::enabled(LogCat::Proc));
     EXPECT_FALSE(Log::enabled(LogCat::Bus));
+}
+
+TEST_F(LogReset, FileSinkCapturesOutput)
+{
+    const std::string path =
+        ::testing::TempDir() + "mcube_log_sink_test.txt";
+    std::remove(path.c_str());
+
+    Log::enable(LogCat::Mem);
+    Log::setFile(path);
+    MCUBE_LOG(LogCat::Mem, 7, "into the file " << 123);
+    Log::setFile("");  // back to stderr, flushes the file
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream body;
+    body << in.rdbuf();
+    const std::string s = body.str();
+    EXPECT_NE(s.find("7: [LogCat::Mem] into the file 123"),
+              std::string::npos);
+
+    // With the sink reverted, new lines go to stderr, not the file.
+    testing::internal::CaptureStderr();
+    MCUBE_LOG(LogCat::Mem, 8, "back on stderr");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("back on stderr"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(LogReset, UnopenableFileFallsBackToStderr)
+{
+    Log::enable(LogCat::Bus);
+    Log::setFile("/nonexistent-dir-mcube/trace.log");
+    testing::internal::CaptureStderr();
+    MCUBE_LOG(LogCat::Bus, 1, "still visible");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("still visible"), std::string::npos);
+    Log::setFile("");
 }
 
 TEST_F(LogReset, MacroDoesNotEvaluateWhenDisabled)

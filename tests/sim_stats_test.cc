@@ -54,6 +54,152 @@ TEST(Distribution, ResetClears)
     EXPECT_DOUBLE_EQ(d.mean(), 0.0);
 }
 
+TEST(Distribution, VarianceAppearsInDumps)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(8.0 / 3.0), 1e-9);
+
+    StatGroup g("grp");
+    g.addDistribution("lat", d);
+
+    std::ostringstream text;
+    g.dump(text);
+    EXPECT_NE(text.str().find("stddev"), std::string::npos);
+
+    std::ostringstream json;
+    g.dumpJson(json);
+    EXPECT_NE(json.str().find("\"variance\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"stddev\""), std::string::npos);
+
+    std::map<std::string, double> flat;
+    g.flatten(flat);
+    EXPECT_NEAR(flat.at("grp.lat.variance"), 8.0 / 3.0, 1e-9);
+    EXPECT_NEAR(flat.at("grp.lat.stddev"), std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    // Bucket 0 is [0, 1]; bucket i is (2^(i-1), 2^i].
+    EXPECT_EQ(Histogram::bucketOf(0.0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1.0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1.5), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2.0), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2.5), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4.0), 2u);
+    EXPECT_EQ(Histogram::bucketOf(1024.0), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1025.0), 11u);
+    // Huge values saturate into the last bucket instead of indexing
+    // out of range.
+    EXPECT_EQ(Histogram::bucketOf(1e30), Histogram::numBuckets - 1);
+    for (unsigned i = 1; i < 20; ++i) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::upperBound(i)), i);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::lowerBound(i) + 0.5),
+                  i);
+    }
+}
+
+TEST(Histogram, EmptyReportsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExact)
+{
+    Histogram h;
+    h.sample(100.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 100.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+    EXPECT_DOUBLE_EQ(h.min(), 100.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, PercentilesClampedAndOrdered)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 1000u);
+    // q outside (0, 1) hits the exact extremes.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+    // Interpolated percentiles are monotone, clamped to [min, max],
+    // and in the right order of magnitude (log buckets).
+    double p50 = h.p50(), p95 = h.p95(), p99 = h.p99();
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p99, h.max());
+    EXPECT_GT(p50, 250.0);
+    EXPECT_LT(p50, 800.0);
+    EXPECT_GT(p99, 512.0);
+}
+
+TEST(Histogram, TailDominatesHighPercentiles)
+{
+    Histogram h;
+    for (int i = 0; i < 900; ++i)
+        h.sample(10.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(100000.0);
+    // A 10% outlier tail: p50 stays near the mode, p95/p99 reach into
+    // the outlier's bucket (the log-bucket "order of magnitude"
+    // signal).
+    EXPECT_LT(h.p50(), 20.0);
+    EXPECT_GT(h.p95(), 1000.0);
+    EXPECT_GT(h.p99(), 1000.0);
+    EXPECT_LE(h.p99(), 100000.0);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero)
+{
+    Histogram h;
+    h.sample(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.sample(7.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+    EXPECT_EQ(h.bucketCount(3), 0u);
+}
+
+TEST(Histogram, AppearsInGroupDumps)
+{
+    Histogram h;
+    h.sample(3.0);
+    h.sample(300.0);
+    StatGroup g("grp");
+    g.addHistogram("qd", h, "queue delay");
+
+    std::ostringstream json;
+    g.dumpJson(json);
+    const std::string js = json.str();
+    EXPECT_NE(js.find("\"p50\""), std::string::npos);
+    EXPECT_NE(js.find("\"p95\""), std::string::npos);
+    EXPECT_NE(js.find("\"p99\""), std::string::npos);
+
+    std::map<std::string, double> flat;
+    g.flatten(flat);
+    EXPECT_DOUBLE_EQ(flat.at("grp.qd"), h.mean());
+    EXPECT_DOUBLE_EQ(flat.at("grp.qd.p50"), h.p50());
+    EXPECT_DOUBLE_EQ(flat.at("grp.qd.p99"), h.p99());
+}
+
 TEST(StatGroup, FlattenProducesDottedNames)
 {
     Counter c;
@@ -177,4 +323,40 @@ TEST(StatRegistration, DumpJsonContainsWatchdogStats)
     const std::string json = oss.str();
     EXPECT_NE(json.find("watchdog_reissues"), std::string::npos);
     EXPECT_NE(json.find("watchdog_recovery_latency"), std::string::npos);
+}
+
+TEST(StatRegistration, HistogramsAppearInSystemTree)
+{
+    SystemParams p;
+    p.n = 2;
+    MulticubeSystem sys(p);
+
+    std::map<std::string, double> flat;
+    sys.statistics().flatten(flat);
+
+    // Controller latency/recovery, bus queueing and memory bounce-chain
+    // histograms all contribute percentile entries.
+    std::size_t latency = 0, queue = 0, bounce = 0, recovery = 0;
+    for (const auto &[name, value] : flat) {
+        if (name.find("latency_hist.p99") != std::string::npos)
+            ++latency;
+        if (name.find("queue_delay_hist.p95") != std::string::npos)
+            ++queue;
+        if (name.find("bounce_chain_hist.p50") != std::string::npos)
+            ++bounce;
+        if (name.find("watchdog_recovery_hist") != std::string::npos)
+            ++recovery;
+    }
+    EXPECT_GE(latency, 4u);   // one per node
+    EXPECT_GE(queue, 4u);     // two row + two column buses
+    EXPECT_GE(bounce, 2u);    // one per column memory
+    EXPECT_GE(recovery, 4u);
+
+    std::ostringstream oss;
+    sys.statistics().dumpJson(oss);
+    const std::string json = oss.str();
+    EXPECT_NE(json.find("latency_hist"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
