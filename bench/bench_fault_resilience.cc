@@ -22,6 +22,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
 
 #include "bench_util.hh"
 #include "core/checker.hh"
@@ -44,7 +48,46 @@ struct FaultRun
     double meanMissNs = 0.0;
     Tick elapsed = 0;
     bool completed = false;
+    /** Flattened stat tree of the faulted system. */
+    std::map<std::string, double> stats;
 };
+
+/**
+ * The resilience trajectory is read out of the stat tree
+ * (watchdog recovery counters, memory bounces, injector totals). A
+ * stat rename would not fail the build — it would just blank those
+ * columns in BENCH_fault_resilience.json and the dashboard would show
+ * a flat zero "recovery cost" forever. Abort loudly instead.
+ */
+void
+requireRecoveryStats(const std::map<std::string, double> &stats)
+{
+    static const char *const required[] = {
+        ".watchdog_reissues",
+        ".watchdog_recovery_latency",
+        ".watchdog_recovery_hist",
+        ".bounces",
+        "fault.ops_seen",
+    };
+    for (const char *needle : required) {
+        bool found = false;
+        for (const auto &kv : stats) {
+            if (kv.first.find(needle) != std::string::npos) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "bench_fault_resilience: recovery stat '%s' "
+                         "missing from the flattened stat tree; the "
+                         "BENCH json would silently lose the "
+                         "resilience trajectory\n",
+                         needle);
+            std::abort();
+        }
+    }
+}
 
 FaultPlan
 planFor(int kind, double prob)
@@ -73,6 +116,7 @@ runCampaign(int kind, double prob)
     MulticubeSystem sys(p);
     CoherenceChecker checker(sys, 128);
     FaultInjector injector(sys, planFor(kind, prob));
+    injector.regStats(sys.statistics());
 
     RandomTesterParams tp;
     tp.opsPerNode = 120;
@@ -102,6 +146,8 @@ runCampaign(int kind, double prob)
         out.bounces += sys.memory(c).bounces();
     out.completed = tester.finished() && checker.violations() == 0
                  && tester.readFailures() == 0;
+    sys.statistics().flatten(out.stats);
+    requireRecoveryStats(out.stats);
     return out;
 }
 
@@ -123,16 +169,29 @@ BM_FaultResilience(benchmark::State &state)
     state.counters["mem_bounces"] = static_cast<double>(r.bounces);
     state.counters["injections"] = static_cast<double>(r.injections);
     state.counters["completed"] = r.completed ? 1.0 : 0.0;
+    // Carry the whole flattened stat tree (watchdog recovery stats,
+    // per-kind injection counters, memory bounces) into the BENCH
+    // json alongside the headline metrics; requireRecoveryStats()
+    // already proved the recovery keys exist in it.
+    std::map<std::string, double> metrics = r.stats;
+    metrics["ops_per_ms"] = state.counters["ops_per_ms"];
+    metrics["mean_miss_ns"] = r.meanMissNs;
+    metrics["watchdog_reissues"] = static_cast<double>(r.reissues);
+    metrics["mem_bounces"] = static_cast<double>(r.bounces);
+    metrics["injections"] = static_cast<double>(r.injections);
+    metrics["completed"] = r.completed ? 1.0 : 0.0;
+    // Echo the seeds so every published point is reproducible from
+    // its artifact alone (cf. sweep_cli's config header).
+    metrics["sys_seed"] = 1701;
+    metrics["tester_seed"] = 23;
+    metrics["plan_seed"] = 7;
+    metrics["fault_kind"] = static_cast<double>(kind);
+    metrics["fault_prob"] = prob;
     BenchJson::instance().record(
         "fault_resilience",
         "kind" + std::to_string(kind) + "_p"
             + std::to_string(static_cast<int>(prob * 100)),
-        {{"ops_per_ms", state.counters["ops_per_ms"]},
-         {"mean_miss_ns", r.meanMissNs},
-         {"watchdog_reissues", static_cast<double>(r.reissues)},
-         {"mem_bounces", static_cast<double>(r.bounces)},
-         {"injections", static_cast<double>(r.injections)},
-         {"completed", r.completed ? 1.0 : 0.0}});
+        std::move(metrics));
 }
 
 } // namespace

@@ -20,11 +20,16 @@
  *   --fault-drop=P         drop requests with probability P (enables
  *                          the transaction watchdog), so recovery
  *                          chains appear in the trace
+ *   --seed=S               system base seed (sim mode); the effective
+ *                          seed and full configuration are echoed in
+ *                          the '#' header line, so a saved CSV is
+ *                          always re-runnable
  *
  * With several --rates, trace/metrics files cover the *last* simulated
  * point (each point truncates them); use a single rate when tracing.
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -59,6 +64,7 @@ struct Options
     std::string metricsOut;
     Tick metricsPeriod = 50'000;
     double faultDrop = 0.0;
+    std::uint64_t seed = SystemParams{}.seed;
 };
 
 std::vector<double>
@@ -109,6 +115,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.metricsPeriod = std::atoll(val.c_str());
         else if (key == "fault-drop")
             opt.faultDrop = std::atof(val.c_str());
+        else if (key == "seed")
+            opt.seed = std::strtoull(val.c_str(), nullptr, 10);
         else {
             std::cerr << "unknown option: --" << key << "\n";
             return false;
@@ -145,6 +153,7 @@ emitSim(const Options &opt, double rate)
 {
     SystemParams sp;
     sp.n = opt.n;
+    sp.seed = opt.seed;
     sp.bus.blockWords = opt.block;
     if (opt.faultDrop > 0.0)
         sp.ctrl.requestTimeoutTicks = 500'000;
@@ -209,6 +218,18 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return 2;
 
+    // Echo the effective configuration (seed included) ahead of the
+    // data so any CSV on disk is re-runnable as-is. '#' lines are
+    // comments to downstream tooling.
+    std::cout << "# sweep_cli --mode=" << opt.mode << " --n=" << opt.n
+              << " --seed=" << opt.seed << " --block=" << opt.block
+              << " --ms=" << opt.simMs << " --inv=" << opt.invFrac;
+    if (opt.faultDrop > 0.0)
+        std::cout << " --fault-drop=" << opt.faultDrop;
+    std::cout << " --rates=";
+    for (std::size_t i = 0; i < opt.rates.size(); ++i)
+        std::cout << (i ? "," : "") << opt.rates[i];
+    std::cout << "\n";
     std::cout << "mode,n,req_per_ms,block_words,efficiency,row_util,"
                  "col_util,resp_ns\n";
     for (double rate : opt.rates) {

@@ -19,6 +19,19 @@ toString(TxnType t)
     return "?";
 }
 
+bool
+txnTypeFromString(const std::string &name, TxnType &out)
+{
+    for (auto t : {TxnType::Read, TxnType::ReadMod, TxnType::Allocate,
+                   TxnType::WriteBack, TxnType::Tset, TxnType::Sync}) {
+        if (name == toString(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 toString(const BusOp &o)
 {

@@ -99,6 +99,9 @@ struct BusOp
 /** Upper-case transaction name, e.g. "READMOD". */
 const char *toString(TxnType txn);
 
+/** Inverse of toString(TxnType); false if @p name is unknown. */
+bool txnTypeFromString(const std::string &name, TxnType &out);
+
 /** Short text form, e.g. "READMOD(REQUEST|REMOVE) addr=5 org=3". */
 std::string toString(const BusOp &op);
 

@@ -82,14 +82,61 @@ CoherenceChecker::tokenWasGoldenDuring(Addr addr, std::uint64_t token,
 void
 CoherenceChecker::fail(const std::string &what)
 {
+    // Tag is the "I<n>" prefix every violation message carries; the
+    // sweep offences don't thread their address through, so 0 here.
+    auto colon = what.find(':');
+    fail(colon == std::string::npos ? std::string("?")
+                                    : what.substr(0, colon),
+         0, what);
+}
+
+void
+CoherenceChecker::fail(const std::string &invariant, Addr addr,
+                       const std::string &what)
+{
     ++_violations;
     if (_report.size() < 32) {
         std::ostringstream oss;
         oss << sys.eventQueue().now() << ": " << what;
         _report.push_back(oss.str());
+        _records.push_back(
+            {sys.eventQueue().now(), invariant, addr, what});
     }
     MCUBE_LOG(LogCat::Check, sys.eventQueue().now(),
               "VIOLATION: " << what);
+}
+
+std::string
+CoherenceChecker::historyWindow(Addr addr, Tick from, Tick to) const
+{
+    std::ostringstream oss;
+    oss << "history of line " << addr << " over [" << from << ", "
+        << to << "]:";
+    auto it = history.find(addr);
+    if (it == history.end() || it->second.empty())
+        return oss.str() + " (never written; golden token is 0)";
+
+    const auto &h = it->second;
+    bool any = false;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        // Include the last commit before the window too: its value is
+        // still legally observable while the next wave settles.
+        Tick visible_until = i + 1 < h.size() ? h[i + 1].settled
+                                              : maxTick;
+        if (visible_until < from || h[i].when > to)
+            continue;
+        any = true;
+        oss << " tok=" << h[i].token << "@" << h[i].when;
+        if (h[i].settled == maxTick)
+            oss << "(unsettled)";
+        else if (h[i].settled != h[i].when)
+            oss << "(settled@" << h[i].settled << ")";
+    }
+    if (!any)
+        oss << " (no overlapping commits; " << h.size()
+            << " total, latest tok=" << h.back().token << "@"
+            << h.back().when << ")";
+    return oss.str();
 }
 
 void
@@ -159,7 +206,7 @@ CoherenceChecker::checkLine(Addr addr)
         std::ostringstream oss;
         oss << "I1: line " << addr << " has " << modified_holders
             << " modified holders";
-        fail(oss.str());
+        fail("I1", addr, oss.str());
     }
 
     MemoryModule &mem = sys.memory(grid.homeColumn(addr));
@@ -169,7 +216,7 @@ CoherenceChecker::checkLine(Addr addr)
         std::ostringstream oss;
         oss << "I2: line " << addr << " modified at node " << holder
             << " but memory copy is valid";
-        fail(oss.str());
+        fail("I2", addr, oss.str());
     }
 
     std::uint64_t golden = goldenToken(addr);
@@ -179,7 +226,7 @@ CoherenceChecker::checkLine(Addr addr)
             std::ostringstream oss;
             oss << "I3: line " << addr << " holder " << holder
                 << " token " << tok << " != golden " << golden;
-            fail(oss.str());
+            fail("I3", addr, oss.str());
         }
     }
 
@@ -189,7 +236,7 @@ CoherenceChecker::checkLine(Addr addr)
             std::ostringstream oss;
             oss << "I4: line " << addr << " memory token " << tok
                 << " != golden " << golden;
-            fail(oss.str());
+            fail("I4", addr, oss.str());
         }
     }
 }

@@ -43,6 +43,22 @@
 namespace mcube
 {
 
+/**
+ * One recorded invariant violation, machine-readable. The fuzz
+ * campaign's shrinker classifies failures by invariant and checks a
+ * shrunk repro still fails *the same way*; strings are not a stable
+ * enough key for that.
+ */
+struct ViolationRecord
+{
+    Tick when = 0;
+    /** Invariant tag: "I1".."I7" (see file comment). */
+    std::string invariant;
+    Addr addr = 0;
+    /** Full human-readable description (same text as report()). */
+    std::string detail;
+};
+
 /** Invariant checker attached to a MulticubeSystem. */
 class CoherenceChecker
 {
@@ -64,6 +80,22 @@ class CoherenceChecker
 
     /** Human-readable description of the first few violations. */
     const std::vector<std::string> &report() const { return _report; }
+
+    /** Structured form of the first few violations (same cap as
+     *  report()). */
+    const std::vector<ViolationRecord> &violationRecords() const
+    {
+        return _records;
+    }
+
+    /**
+     * Human-readable commit history of @p addr overlapping [from, to]
+     * (plus the last commit before the window, which is the value a
+     * read entering the window could still observe). Used by the
+     * random tester's failure messages so an oracle miss shows what
+     * the line actually held.
+     */
+    std::string historyWindow(Addr addr, Tick from, Tick to) const;
 
     /** Latest committed token for @p addr (0 if never written). */
     std::uint64_t goldenToken(Addr addr) const;
@@ -119,6 +151,8 @@ class CoherenceChecker
     void afterOp(const BusOp &op, bool is_row);
     void checkLine(Addr addr);
     void fail(const std::string &what);
+    void fail(const std::string &invariant, Addr addr,
+              const std::string &what);
 
     MulticubeSystem &sys;
     std::uint64_t fullInterval;
@@ -145,6 +179,7 @@ class CoherenceChecker
     std::uint64_t _ops = 0;
     std::uint64_t _violations = 0;
     std::vector<std::string> _report;
+    std::vector<ViolationRecord> _records;
 };
 
 } // namespace mcube

@@ -257,6 +257,10 @@ class SnoopController
     {
         return statWatchdogRecovery;
     }
+    const Histogram &watchdogRecoveryHist() const
+    {
+        return statWatchdogRecoveryHist;
+    }
     const Distribution &missLatency() const { return statMissLatency; }
     const Histogram &missLatencyHist() const { return statLatencyHist; }
     const Distribution &readLatency() const { return statReadLatency; }

@@ -7,7 +7,8 @@ namespace mcube
 {
 
 MulticubeSystem::MulticubeSystem(const SystemParams &params)
-    : grid(params.n, params.homePageShift), stats("system")
+    : _params(params), grid(params.n, params.homePageShift),
+      stats("system")
 {
     const unsigned n = params.n;
 

@@ -49,6 +49,9 @@ class MulticubeSystem
     unsigned n() const { return grid.n(); }
     unsigned numNodes() const { return grid.numNodes(); }
 
+    /** The configuration this system was built from (repro echoing). */
+    const SystemParams &params() const { return _params; }
+
     SnoopController &node(NodeId id) { return *nodes[id]; }
     SnoopController &node(unsigned row, unsigned col)
     {
@@ -92,6 +95,7 @@ class MulticubeSystem
     StatGroup &statistics() { return stats; }
 
   private:
+    SystemParams _params;
     EventQueue eq;
     GridMap grid;
     StatGroup stats;

@@ -20,8 +20,24 @@ toString(FaultKind kind)
         return "delay";
       case FaultKind::Duplicate:
         return "duplicate";
+      case FaultKind::Outage:
+        return "outage";
     }
     return "?";
+}
+
+bool
+faultKindFromString(const std::string &name, FaultKind &out)
+{
+    for (auto k : {FaultKind::DropRequest, FaultKind::DropReply,
+                   FaultKind::Delay, FaultKind::Duplicate,
+                   FaultKind::Outage}) {
+        if (name == toString(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
 }
 
 FaultPlan
@@ -73,10 +89,118 @@ FaultPlan::duplicates(double prob, std::uint64_t seed)
     return p;
 }
 
+FaultPlan
+FaultPlan::outages(double prob, Tick outage_ticks, std::uint64_t seed)
+{
+    FaultPlan p;
+    p.seed = seed;
+    FaultSpec s;
+    s.kind = FaultKind::Outage;
+    s.prob = prob;
+    s.outageTicks = outage_ticks;
+    p.specs.push_back(s);
+    return p;
+}
+
+Json
+toJson(const FaultSpec &spec)
+{
+    Json j = Json::object();
+    j.set("kind", toString(spec.kind));
+    j.set("prob", spec.prob);
+    j.set("delay_ticks", spec.delayTicks);
+    j.set("outage_ticks", spec.outageTicks);
+    j.set("bus_dim", spec.busDim);
+    j.set("bus_index", spec.busIndex);
+    if (spec.txn)
+        j.set("txn", toString(*spec.txn));
+    if (!spec.atMatches.empty()) {
+        Json a = Json::array();
+        for (std::uint64_t m : spec.atMatches)
+            a.push(m);
+        j.set("at_matches", std::move(a));
+    }
+    if (spec.maxInjections != UINT64_MAX)
+        j.set("max_injections", spec.maxInjections);
+    if (spec.activeFrom != 0)
+        j.set("active_from", spec.activeFrom);
+    if (spec.activeUntil != maxTick)
+        j.set("active_until", spec.activeUntil);
+    if (spec.unsafe)
+        j.set("unsafe", true);
+    return j;
+}
+
+Json
+toJson(const FaultPlan &plan)
+{
+    Json j = Json::object();
+    j.set("seed", plan.seed);
+    Json specs = Json::array();
+    for (const FaultSpec &s : plan.specs)
+        specs.push(toJson(s));
+    j.set("specs", std::move(specs));
+    return j;
+}
+
+bool
+faultSpecFromJson(const Json &j, FaultSpec &out)
+{
+    if (!j.isObject())
+        return false;
+    if (!faultKindFromString(j.str("kind"), out.kind))
+        return false;
+    out.prob = j.num("prob", 0.0);
+    out.delayTicks = j.u64("delay_ticks", 2000);
+    out.outageTicks = j.u64("outage_ticks", 20'000);
+    out.busDim = static_cast<int>(j.i64("bus_dim", -1));
+    out.busIndex = static_cast<int>(j.i64("bus_index", -1));
+    out.txn.reset();
+    if (j.has("txn")) {
+        TxnType t;
+        if (!txnTypeFromString(j.str("txn"), t))
+            return false;
+        out.txn = t;
+    }
+    out.atMatches.clear();
+    const Json &am = j.at("at_matches");
+    for (std::size_t i = 0; i < am.size(); ++i)
+        out.atMatches.push_back(am.at(i).asU64());
+    out.maxInjections = j.u64("max_injections", UINT64_MAX);
+    out.activeFrom = j.u64("active_from", 0);
+    out.activeUntil = j.u64("active_until", maxTick);
+    out.unsafe = j.flag("unsafe", false);
+    return true;
+}
+
+bool
+faultPlanFromJson(const Json &j, FaultPlan &out)
+{
+    if (!j.isObject())
+        return false;
+    out.seed = j.u64("seed", 1);
+    out.specs.clear();
+    const Json &specs = j.at("specs");
+    if (!specs.isArray() && !specs.isNull())
+        return false;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        FaultSpec s;
+        if (!faultSpecFromJson(specs.at(i), s))
+            return false;
+        out.specs.push_back(std::move(s));
+    }
+    return true;
+}
+
 FaultInjector::FaultInjector(MulticubeSystem &sys, const FaultPlan &plan)
     : sys(sys), plan(plan), rng(plan.seed, 0x7f4au), stats("fault")
 {
     states.resize(this->plan.specs.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        states[i].windowEnd.assign(2 * sys.n(), 0);
+        states[i].schedule = this->plan.specs[i].atMatches;
+        std::sort(states[i].schedule.begin(), states[i].schedule.end());
+    }
 
     stats.addCounter("ops_seen", statSeen,
                      "ops offered to the fault hook");
@@ -87,6 +211,11 @@ FaultInjector::FaultInjector(MulticubeSystem &sys, const FaultPlan &plan)
     stats.addCounter("delay", statDelay, "ops enqueued late");
     stats.addCounter("duplicate", statDuplicate,
                      "request ops enqueued twice");
+    stats.addCounter("outage", statOutage, "outage windows opened");
+    stats.addCounter("outage_drop", statOutageDrop,
+                     "ops swallowed by an open outage window");
+    stats.addCounter("outage_defer", statOutageDefer,
+                     "ops deferred to the end of an outage window");
 
     const unsigned n = sys.n();
     for (unsigned i = 0; i < n; ++i) {
@@ -94,6 +223,7 @@ FaultInjector::FaultInjector(MulticubeSystem &sys, const FaultPlan &plan)
         rh->inj = this;
         rh->dim = 0;
         rh->index = static_cast<int>(i);
+        rh->hookId = static_cast<unsigned>(hooks.size());
         sys.rowBus(i).setFaultHook(rh.get());
         hooks.push_back(std::move(rh));
 
@@ -101,6 +231,7 @@ FaultInjector::FaultInjector(MulticubeSystem &sys, const FaultPlan &plan)
         ch->inj = this;
         ch->dim = 1;
         ch->index = static_cast<int>(i);
+        ch->hookId = static_cast<unsigned>(hooks.size());
         sys.colBus(i).setFaultHook(ch.get());
         hooks.push_back(std::move(ch));
     }
@@ -119,7 +250,8 @@ std::uint64_t
 FaultInjector::totalInjections() const
 {
     return statDropRequest.value() + statDropReply.value()
-         + statDelay.value() + statDuplicate.value();
+         + statDelay.value() + statDuplicate.value()
+         + statOutage.value();
 }
 
 bool
@@ -147,6 +279,27 @@ FaultInjector::eligible(FaultKind kind, const BusOp &op)
         // spurious reply it cannot be parked back to memory, so the
         // line would be stranded nowhere.
         return op.is(op::Request) && op.txn != TxnType::Allocate;
+      case FaultKind::Outage:
+        // Any op can *trigger* an outage window; what happens to the
+        // ops arriving inside the window is decided per op (safe
+        // drops vs. deferral) in decide().
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::eligibleUnsafe(FaultKind kind, const BusOp &op)
+{
+    switch (kind) {
+      case FaultKind::DropRequest:
+      case FaultKind::Duplicate:
+        return op.is(op::Request);
+      case FaultKind::DropReply:
+        return op.is(op::Reply);
+      case FaultKind::Delay:
+      case FaultKind::Outage:
+        return true;
     }
     return false;
 }
@@ -161,7 +314,8 @@ FaultInjector::specApplies(const FaultSpec &spec, SpecState &state,
         return false;
     if (spec.txn && *spec.txn != op.txn)
         return false;
-    if (!eligible(spec.kind, op))
+    if (spec.unsafe ? !eligibleUnsafe(spec.kind, op)
+                    : !eligible(spec.kind, op))
         return false;
 
     Tick now = sys.eventQueue().now();
@@ -172,15 +326,19 @@ FaultInjector::specApplies(const FaultSpec &spec, SpecState &state,
 
     std::uint64_t match = state.matches++;
     bool fire;
-    if (!spec.atMatches.empty()) {
-        fire = std::find(spec.atMatches.begin(), spec.atMatches.end(),
-                         match)
-            != spec.atMatches.end();
+    if (!state.schedule.empty()) {
+        fire = std::binary_search(state.schedule.begin(),
+                                  state.schedule.end(), match);
     } else {
         fire = spec.prob > 0.0 && rng.chance(spec.prob);
     }
-    if (fire)
+    if (fire) {
         ++state.injections;
+        // Record where we fired so a probabilistic spec can later be
+        // frozen into an explicit atMatches schedule (repro shrinking).
+        if (state.firedAt.size() < 65536)
+            state.firedAt.push_back(match);
+    }
     return fire;
 }
 
@@ -189,6 +347,29 @@ FaultInjector::decide(const Hook &hook, const BusOp &op)
 {
     ++statSeen;
     FaultAction act;
+    const Tick now = sys.eventQueue().now();
+
+    // Open outage windows first: while this bus is down nothing new
+    // gets on the wire. Ops the protocol can recover from losing are
+    // swallowed; anything else is deferred to the window's end,
+    // modelling sender hardware retrying until the bus answers.
+    for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+        const FaultSpec &spec = plan.specs[i];
+        if (spec.kind != FaultKind::Outage)
+            continue;
+        Tick end = states[i].windowEnd[hook.hookId];
+        if (now >= end)
+            continue;
+        if (spec.unsafe || eligible(FaultKind::DropRequest, op)
+            || eligible(FaultKind::DropReply, op)) {
+            ++statOutageDrop;
+            act.drop = true;
+            return act;
+        }
+        ++statOutageDefer;
+        act.delayTicks += end - now;
+    }
+
     for (std::size_t i = 0; i < plan.specs.size(); ++i) {
         const FaultSpec &spec = plan.specs[i];
         if (!specApplies(spec, states[i], hook, op))
@@ -215,6 +396,19 @@ FaultInjector::decide(const Hook &hook, const BusOp &op)
           case FaultKind::Duplicate:
             ++statDuplicate;
             act.duplicate = true;
+            break;
+          case FaultKind::Outage:
+            ++statOutage;
+            states[i].windowEnd[hook.hookId] = now + spec.outageTicks;
+            // The triggering op is the window's first casualty.
+            if (spec.unsafe || eligible(FaultKind::DropRequest, op)
+                || eligible(FaultKind::DropReply, op)) {
+                ++statOutageDrop;
+                act.drop = true;
+                return act;
+            }
+            ++statOutageDefer;
+            act.delayTicks += spec.outageTicks;
             break;
         }
     }

@@ -52,6 +52,7 @@
 
 #include "bus/bus.hh"
 #include "bus/bus_op.hh"
+#include "sim/json.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -68,10 +69,24 @@ enum class FaultKind : std::uint8_t
     DropReply,    //!< discard a recoverable reply op
     Delay,        //!< enqueue the op late
     Duplicate,    //!< enqueue a request twice
+    /**
+     * A sustained bus outage: when the spec fires, the matched bus
+     * rejects enqueues for a whole tick window. Safely-droppable ops
+     * (per the DropRequest/DropReply rules) arriving in the window are
+     * discarded; ops whose loss the protocol could not recover from
+     * are instead deferred to the end of the window, modelling the
+     * sender's hardware retrying until the bus answers again. Unlike
+     * the one-shot kinds this stresses *sustained* watchdog backoff:
+     * every reissue inside the window is swallowed too.
+     */
+    Outage,
 };
 
-/** Text name of a fault kind (stat names, reports). */
+/** Text name of a fault kind (stat names, reports, JSON). */
 const char *toString(FaultKind kind);
+
+/** Inverse of toString(FaultKind); false if @p name is unknown. */
+bool faultKindFromString(const std::string &name, FaultKind &out);
 
 /** One fault rule of a plan. */
 struct FaultSpec
@@ -82,6 +97,8 @@ struct FaultSpec
     double prob = 0.0;
     /** Extra ticks for FaultKind::Delay. */
     Tick delayTicks = 2000;
+    /** Window length for FaultKind::Outage. */
+    Tick outageTicks = 20'000;
     /** Restrict to row (0) or column (1) buses; -1 = both. */
     int busDim = -1;
     /** Restrict to one bus index within the dimension; -1 = all. */
@@ -99,6 +116,16 @@ struct FaultSpec
     /** Active window in simulated time. */
     Tick activeFrom = 0;
     Tick activeUntil = maxTick;
+    /**
+     * Bypass the recoverability rules and match on the kind's raw
+     * structural class instead (DropReply: *any* reply, including
+     * data-carrying ownership transfers). This deliberately breaks
+     * the protocol's fault model — a dropped ownership transfer
+     * destroys the only copy of the line — and exists so the fuzz
+     * harness can plant a real bug and prove it finds and shrinks it.
+     * Never set it in a resilience campaign you expect to converge.
+     */
+    bool unsafe = false;
 };
 
 /** A complete, reproducible fault campaign configuration. */
@@ -113,8 +140,19 @@ struct FaultPlan
     static FaultPlan delays(double prob, Tick delay_ticks,
                             std::uint64_t seed = 1);
     static FaultPlan duplicates(double prob, std::uint64_t seed = 1);
+    static FaultPlan outages(double prob, Tick outage_ticks,
+                             std::uint64_t seed = 1);
     /** @} */
 };
+
+/** @{ JSON round-tripping for repro artifacts (tools/fuzz_campaign).
+ *  fromJson() returns false (leaving @p out partially filled) on a
+ *  structurally invalid document. */
+Json toJson(const FaultSpec &spec);
+Json toJson(const FaultPlan &plan);
+bool faultSpecFromJson(const Json &j, FaultSpec &out);
+bool faultPlanFromJson(const Json &j, FaultPlan &out);
+/** @} */
 
 /**
  * Applies a FaultPlan to every bus of a system. Construct after the
@@ -144,14 +182,40 @@ class FaultInjector
     {
         return statDuplicate.value();
     }
+    std::uint64_t outagesOpened() const { return statOutage.value(); }
+    std::uint64_t outageDrops() const
+    {
+        return statOutageDrop.value();
+    }
+    std::uint64_t outageDeferrals() const
+    {
+        return statOutageDefer.value();
+    }
     std::uint64_t totalInjections() const;
     /** Ops offered to the hook across all buses. */
     std::uint64_t opsSeen() const { return statSeen.value(); }
     /** @} */
 
+    /**
+     * Match-stream indices at which spec @p spec_index actually fired
+     * so far. Feeding these back as the spec's atMatches (with prob
+     * cleared) freezes a probabilistic spec into an explicit schedule
+     * that reproduces the identical injections on a re-run — the
+     * first step of repro shrinking.
+     */
+    const std::vector<std::uint64_t> &
+    firedMatches(std::size_t spec_index) const
+    {
+        return states[spec_index].firedAt;
+    }
+
     /** True if @p op may be faulted with @p kind at all (the
      *  recoverability rules above); exposed for tests. */
     static bool eligible(FaultKind kind, const BusOp &op);
+
+    /** The structural op class an *unsafe* spec of @p kind matches
+     *  (recoverability deliberately ignored). */
+    static bool eligibleUnsafe(FaultKind kind, const BusOp &op);
 
     /** Register the "fault" stat group under @p parent. */
     void regStats(StatGroup &parent);
@@ -160,8 +224,9 @@ class FaultInjector
     struct Hook : BusFaultHook
     {
         FaultInjector *inj = nullptr;
-        int dim = 0;    //!< 0 = row bus, 1 = column bus
-        int index = 0;  //!< bus index within the dimension
+        int dim = 0;        //!< 0 = row bus, 1 = column bus
+        int index = 0;      //!< bus index within the dimension
+        unsigned hookId = 0;  //!< linear index over all hooks
 
         FaultAction onEnqueue(const Bus &bus, const BusOp &op) override;
     };
@@ -171,6 +236,13 @@ class FaultInjector
     {
         std::uint64_t matches = 0;     //!< eligible ops seen
         std::uint64_t injections = 0;  //!< faults actually fired
+        /** spec.atMatches, sorted for binary search (shrunken repros
+         *  can carry tens of thousands of scheduled injections). */
+        std::vector<std::uint64_t> schedule;
+        /** Match indices where the spec fired (schedule freezing). */
+        std::vector<std::uint64_t> firedAt;
+        /** Outage only: per-hook tick the window closes at. */
+        std::vector<Tick> windowEnd;
     };
 
     FaultAction decide(const Hook &hook, const BusOp &op);
@@ -188,6 +260,9 @@ class FaultInjector
     Counter statDropReply;
     Counter statDelay;
     Counter statDuplicate;
+    Counter statOutage;
+    Counter statOutageDrop;
+    Counter statOutageDefer;
     StatGroup stats;
 };
 

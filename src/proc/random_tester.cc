@@ -1,6 +1,7 @@
 #include "proc/random_tester.hh"
 
 #include <algorithm>
+#include <iostream>
 #include <sstream>
 
 namespace mcube
@@ -13,6 +14,57 @@ namespace
 constexpr Addr lockBase = 1ull << 30;
 
 } // namespace
+
+Json
+toJson(const RandomTesterParams &p)
+{
+    Json j = Json::object();
+    j.set("num_data_lines", p.numDataLines);
+    j.set("num_lock_lines", p.numLockLines);
+    j.set("ops_per_node", p.opsPerNode);
+    j.set("p_write", p.pWrite);
+    j.set("p_allocate", p.pAllocate);
+    j.set("p_tset", p.pTset);
+    j.set("p_sync_of_locks", p.pSyncOfLocks);
+    j.set("max_think", p.maxThink);
+    j.set("seed", p.seed);
+    if (p.chaos)
+        j.set("chaos", true);
+    if (!p.onlyNodes.empty()) {
+        Json nodes = Json::array();
+        for (NodeId id : p.onlyNodes)
+            nodes.push(static_cast<std::uint64_t>(id));
+        j.set("only_nodes", std::move(nodes));
+    }
+    return j;
+}
+
+bool
+randomTesterParamsFromJson(const Json &j, RandomTesterParams &out)
+{
+    if (!j.isObject())
+        return false;
+    RandomTesterParams d;
+    out.numDataLines =
+        static_cast<unsigned>(j.u64("num_data_lines", d.numDataLines));
+    out.numLockLines =
+        static_cast<unsigned>(j.u64("num_lock_lines", d.numLockLines));
+    out.opsPerNode =
+        static_cast<unsigned>(j.u64("ops_per_node", d.opsPerNode));
+    out.pWrite = j.num("p_write", d.pWrite);
+    out.pAllocate = j.num("p_allocate", d.pAllocate);
+    out.pTset = j.num("p_tset", d.pTset);
+    out.pSyncOfLocks = j.num("p_sync_of_locks", d.pSyncOfLocks);
+    out.maxThink = j.u64("max_think", d.maxThink);
+    out.seed = j.u64("seed", d.seed);
+    out.chaos = j.flag("chaos", false);
+    out.onlyNodes.clear();
+    const Json &nodes = j.at("only_nodes");
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        out.onlyNodes.push_back(
+            static_cast<NodeId>(nodes.at(i).asU64()));
+    return true;
+}
 
 RandomTester::RandomTester(MulticubeSystem &sys, CoherenceChecker &checker,
                            const RandomTesterParams &params)
@@ -46,6 +98,82 @@ RandomTester::finished() const
         if (!a.done)
             return false;
     return true;
+}
+
+std::uint64_t
+RandomTester::hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    // FNV-1a over the value's bytes, 64-bit.
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+RandomTester::resultHash() const
+{
+    std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+    h = hashCombine(h, _ops);
+    h = hashCombine(h, _reads_checked);
+    h = hashCombine(h, _read_failures);
+    h = hashCombine(h, _locks);
+    h = hashCombine(h, sys.eventQueue().now());
+    h = hashCombine(h, checker.opsObserved());
+    h = hashCombine(h, checker.violations());
+    for (const auto &a : agents) {
+        h = hashCombine(h, a.nextToken);
+        h = hashCombine(h, a.opsLeft);
+        h = hashCombine(h, a.done ? 1 : 0);
+    }
+    return h;
+}
+
+std::string
+RandomTester::reproCommand() const
+{
+    const SystemParams &sp = sys.params();
+    std::ostringstream oss;
+    oss << "fuzz_campaign --one-off"
+        << " --n=" << sys.n() << " --sys-seed=" << sp.seed
+        << " --timeout-ticks=" << sp.ctrl.requestTimeoutTicks
+        << " --tester-seed=" << params.seed
+        << " --ops=" << params.opsPerNode
+        << " --data-lines=" << params.numDataLines
+        << " --lock-lines=" << params.numLockLines
+        << " --p-write=" << params.pWrite
+        << " --p-alloc=" << params.pAllocate
+        << " --p-tset=" << params.pTset
+        << " --p-sync=" << params.pSyncOfLocks
+        << " --think=" << params.maxThink;
+    if (params.chaos)
+        oss << " --chaos=1";
+    return oss.str();
+}
+
+void
+RandomTester::recordFailure(NodeId node, Addr addr,
+                            std::uint64_t token, Tick from, Tick to,
+                            const char *how)
+{
+    ++_read_failures;
+    if (_read_failures == 1) {
+        // First failure: print the repro line before anything else so
+        // even a truncated log is re-runnable.
+        std::cerr << "RandomTester: oracle FAILURE; repro: "
+                  << reproCommand() << "\n";
+    }
+    if (_failLog.size() < 16) {
+        std::ostringstream oss;
+        oss << "node " << node << " " << how << " line " << addr
+            << " got token " << token << " never golden in [" << from
+            << ", " << to << "]; "
+            << checker.historyWindow(addr, from, to);
+        _failLog.push_back(oss.str());
+        _failRecords.push_back({node, addr, token, from, to});
+        std::cerr << "RandomTester: " << oss.str() << "\n";
+    }
 }
 
 Addr
@@ -183,15 +311,8 @@ RandomTester::issue(Agent &a)
             Tick done = sys.eventQueue().now();
             if (!checker.tokenWasGoldenDuring(addr, res.data.token,
                                               issued, done)) {
-                ++_read_failures;
-                if (_failLog.size() < 16) {
-                    std::ostringstream oss;
-                    oss << "node " << id << " read line " << addr
-                        << " got token " << res.data.token
-                        << " never golden in [" << issued << ", "
-                        << done << "]";
-                    _failLog.push_back(oss.str());
-                }
+                recordFailure(id, addr, res.data.token, issued, done,
+                              "read");
             }
             next(ag);
         });
@@ -201,16 +322,8 @@ RandomTester::issue(Agent &a)
         // golden at some point up to now (shared copies may be
         // transiently stale only during an in-flight invalidation,
         // which still means the value was golden earlier).
-        if (!checker.tokenWasGoldenDuring(addr, tok, 0, issued)) {
-            ++_read_failures;
-            if (_failLog.size() < 16) {
-                std::ostringstream oss;
-                oss << "node " << a.id << " hit line " << addr
-                    << " token " << tok << " never golden before "
-                    << issued;
-                _failLog.push_back(oss.str());
-            }
-        }
+        if (!checker.tokenWasGoldenDuring(addr, tok, 0, issued))
+            recordFailure(a.id, addr, tok, 0, issued, "hit");
         next(a);
     }
 }

@@ -18,6 +18,7 @@
 
 #include "core/checker.hh"
 #include "core/system.hh"
+#include "sim/json.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 
@@ -47,6 +48,21 @@ struct RandomTesterParams
     std::vector<NodeId> onlyNodes{};
 };
 
+/** @{ JSON round-tripping for repro artifacts (tools/fuzz_campaign). */
+Json toJson(const RandomTesterParams &p);
+bool randomTesterParamsFromJson(const Json &j, RandomTesterParams &out);
+/** @} */
+
+/** One oracle (golden-value) failure, machine-readable. */
+struct OracleFailure
+{
+    NodeId node = 0;
+    Addr addr = 0;
+    std::uint64_t token = 0;  //!< value the read returned
+    Tick from = 0;            //!< window the value had to be golden in
+    Tick to = 0;
+};
+
 /** Drives a system with random traffic and validates results. */
 class RandomTester
 {
@@ -67,6 +83,34 @@ class RandomTester
 
     /** First few read-check failure descriptions. */
     const std::vector<std::string> &failures() const { return _failLog; }
+
+    /** Structured form of the first few oracle failures. */
+    const std::vector<OracleFailure> &failureRecords() const
+    {
+        return _failRecords;
+    }
+
+    /**
+     * Order-sensitive digest of everything this run produced: op and
+     * check counts, lock grants, per-agent token cursors and the
+     * final simulated time. Two runs of the same seed and params on
+     * the same binary must produce the same hash — the "same seed =>
+     * same run" property the fuzz campaign's replay mode checks.
+     * Combine with system-level counters (bus ops, injections) via
+     * hashCombine for a whole-run fingerprint.
+     */
+    std::uint64_t resultHash() const;
+
+    /** FNV-1a step, exposed for whole-run fingerprints. */
+    static std::uint64_t hashCombine(std::uint64_t h, std::uint64_t v);
+
+    /**
+     * One-line copy-pasteable command reproducing this run under
+     * tools/fuzz_campaign --one-off (system seed and grid size
+     * included). Printed ahead of failure reports so a red run in a
+     * log is always re-runnable.
+     */
+    std::string reproCommand() const;
 
   private:
     struct Agent
@@ -92,11 +136,15 @@ class RandomTester
     Random seeder;
     std::vector<Agent> agents;
 
+    void recordFailure(NodeId node, Addr addr, std::uint64_t token,
+                       Tick from, Tick to, const char *how);
+
     std::uint64_t _ops = 0;
     std::uint64_t _reads_checked = 0;
     std::uint64_t _read_failures = 0;
     std::uint64_t _locks = 0;
     std::vector<std::string> _failLog;
+    std::vector<OracleFailure> _failRecords;
 };
 
 } // namespace mcube

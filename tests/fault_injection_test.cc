@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 
@@ -157,6 +158,8 @@ planFor(FaultKind kind, double prob, std::uint64_t seed)
         return FaultPlan::delays(prob, 2000, seed);
       case FaultKind::Duplicate:
         return FaultPlan::duplicates(prob, seed);
+      case FaultKind::Outage:
+        return FaultPlan::outages(prob, 20'000, seed);
     }
     return {};
 }
@@ -246,7 +249,11 @@ INSTANTIATE_TEST_SUITE_P(
         Campaign{FaultKind::Duplicate, 0.03, 4, 0.2, 0.0, 24},
         // Small grid: every node shares one row/column pair.
         Campaign{FaultKind::DropRequest, 0.05, 2, 0.2, 0.0, 31},
-        Campaign{FaultKind::Duplicate, 0.05, 2, 0.0, 0.0, 32}),
+        Campaign{FaultKind::Duplicate, 0.05, 2, 0.0, 0.0, 32},
+        // Bus outages: rare, but each one takes a whole bus down for
+        // 20k ticks, swallowing every retry inside the window.
+        Campaign{FaultKind::Outage, 0.002, 4, 0.0, 0.0, 41},
+        Campaign{FaultKind::Outage, 0.005, 2, 0.2, 0.0, 42}),
     campaignName);
 
 // ---------------------------------------------------------------------
@@ -396,6 +403,113 @@ TEST(FaultScope, SpecFiltersLimitWhereFaultsLand)
     EXPECT_EQ(checker.violations(), 0u);
     EXPECT_EQ(injector.requestsDropped(), 2u);
     EXPECT_EQ(injector.totalInjections(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Sustained outage vs. the watchdog
+// ---------------------------------------------------------------------
+
+// One long outage window (6x the watchdog timeout): every reissue
+// inside the window is swallowed too, so recovery requires the
+// backoff to keep growing until the bus answers again. The run must
+// come back coherent (no livelock), the backoff must demonstrably
+// have grown (a recovery took several timeout periods), and the
+// recovery-latency histogram must have recorded it.
+TEST(FaultOutage, WatchdogRecoversFromSustainedOutage)
+{
+    constexpr Tick timeout = 100'000;
+    constexpr Tick window = 600'000;
+
+    SystemParams p;
+    p.n = 2;
+    p.seed = 51;
+    p.ctrl.requestTimeoutTicks = timeout;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 64);
+
+    FaultPlan plan;
+    FaultSpec spec;
+    spec.kind = FaultKind::Outage;
+    spec.atMatches = {0};  // first op anywhere downs its bus
+    spec.outageTicks = window;
+    plan.specs.push_back(spec);
+    FaultInjector injector(sys, plan);
+    injector.regStats(sys.statistics());
+
+    RandomTesterParams tp;
+    tp.opsPerNode = 40;
+    tp.seed = 77;
+    RandomTester tester(sys, checker, tp);
+    tester.start();
+
+    sys.eventQueue().runUntil(2'000'000'000ull);
+    EXPECT_TRUE(sys.drain(1'000'000'000ull));
+
+    // No livelock: everything completed and stayed coherent.
+    EXPECT_TRUE(tester.finished()) << sys.dumpPendingState();
+    EXPECT_EQ(tester.readFailures(), 0u);
+    checker.fullSweep();
+    EXPECT_EQ(checker.violations(), 0u);
+
+    // The outage actually happened and swallowed traffic.
+    EXPECT_EQ(injector.outagesOpened(), 1u);
+    EXPECT_GT(injector.outageDrops(), 0u);
+
+    std::uint64_t reissues = 0, histSamples = 0;
+    double maxRecovery = 0.0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        reissues += sys.node(id).watchdogReissues();
+        histSamples += sys.node(id).watchdogRecoveryHist().count();
+        maxRecovery = std::max(
+            maxRecovery, sys.node(id).watchdogRecoveryLatency().max());
+    }
+    EXPECT_GT(reissues, 0u);
+    // Backoff growth: at least one transaction needed multiple
+    // (doubling) waiting periods before its reissue got through.
+    EXPECT_GE(maxRecovery, 3.0 * timeout);
+    // The recovery-latency histogram recorded the episode.
+    EXPECT_GT(histSamples, 0u);
+}
+
+// An outage must only discard ops whose loss the protocol recovers
+// from; everything else is deferred past the window, never lost.
+TEST(FaultOutage, UnrecoverableOpsAreDeferredNotDropped)
+{
+    SystemParams p;
+    p.n = 2;
+    p.seed = 61;
+    p.ctrl.requestTimeoutTicks = 200'000;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 64);
+
+    FaultPlan plan;
+    plan.seed = 5;
+    FaultSpec spec;
+    spec.kind = FaultKind::Outage;
+    spec.prob = 0.01;
+    spec.outageTicks = 30'000;
+    plan.specs.push_back(spec);
+    FaultInjector injector(sys, plan);
+
+    RandomTesterParams tp;
+    tp.opsPerNode = 60;
+    tp.pWrite = 0.5;  // ownership transfers to defer
+    tp.seed = 19;
+    RandomTester tester(sys, checker, tp);
+    tester.start();
+
+    sys.eventQueue().runUntil(3'000'000'000ull);
+    EXPECT_TRUE(sys.drain(1'000'000'000ull));
+
+    EXPECT_TRUE(tester.finished()) << sys.dumpPendingState();
+    checker.fullSweep();
+    EXPECT_EQ(checker.violations(), 0u);
+    EXPECT_GT(injector.outagesOpened(), 0u);
+    // Both window behaviours observed: safe ops discarded,
+    // unrecoverable ones pushed past the window.
+    EXPECT_GT(injector.outageDrops(), 0u);
+    EXPECT_GT(injector.outageDeferrals(), 0u);
+    EXPECT_EQ(injector.totalInjections(), injector.outagesOpened());
 }
 
 // ---------------------------------------------------------------------

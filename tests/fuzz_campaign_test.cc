@@ -1,0 +1,330 @@
+/** @file
+ * Chaos-campaign harness tests: JSON round-tripping of every
+ * serialized config (fault plans, tester params, run configs),
+ * bit-identical replay ("same seed => same run"), and the
+ * planted-bug end-to-end check — a deliberately ineligible (unsafe)
+ * DropReply is planted, the campaign finds it, and the shrinker
+ * reduces it to a handful of ops and faults while re-verifying
+ * determinism at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/campaign.hh"
+
+using namespace mcube;
+using namespace mcube::fuzz;
+
+namespace
+{
+
+std::size_t
+activeNodes(const RunConfig &cfg)
+{
+    return cfg.tester.onlyNodes.empty()
+               ? static_cast<std::size_t>(cfg.n) * cfg.n
+               : cfg.tester.onlyNodes.size();
+}
+
+std::uint64_t
+scheduledInjections(const RunConfig &cfg)
+{
+    std::uint64_t total = 0;
+    for (const auto &s : cfg.plan.specs)
+        total += s.atMatches.size();
+    return total;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// JSON round-tripping
+// ---------------------------------------------------------------------
+
+TEST(FuzzJson, FaultPlanRoundTrips)
+{
+    FaultPlan plan;
+    plan.seed = 0xdeadbeefcafef00dULL;  // > 2^53: must survive exactly
+
+    FaultSpec a;
+    a.kind = FaultKind::Delay;
+    a.prob = 0.03125;
+    a.delayTicks = 1234;
+    a.busDim = 1;
+    a.busIndex = 2;
+    a.txn = TxnType::ReadMod;
+    a.maxInjections = 7;
+    a.activeFrom = 1000;
+    a.activeUntil = 2'000'000'000ull;
+    plan.specs.push_back(a);
+
+    FaultSpec b;
+    b.kind = FaultKind::Outage;
+    b.outageTicks = 42'000;
+    b.atMatches = {0, 3, 17, 65535};
+    b.unsafe = true;
+    plan.specs.push_back(b);
+
+    std::string text = toJson(plan).dump();
+    std::string err;
+    Json parsed = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    FaultPlan back;
+    ASSERT_TRUE(faultPlanFromJson(parsed, back));
+    EXPECT_EQ(back.seed, plan.seed);
+    ASSERT_EQ(back.specs.size(), 2u);
+
+    EXPECT_EQ(back.specs[0].kind, FaultKind::Delay);
+    EXPECT_EQ(back.specs[0].prob, a.prob);
+    EXPECT_EQ(back.specs[0].delayTicks, a.delayTicks);
+    EXPECT_EQ(back.specs[0].busDim, a.busDim);
+    EXPECT_EQ(back.specs[0].busIndex, a.busIndex);
+    ASSERT_TRUE(back.specs[0].txn.has_value());
+    EXPECT_EQ(*back.specs[0].txn, TxnType::ReadMod);
+    EXPECT_EQ(back.specs[0].maxInjections, a.maxInjections);
+    EXPECT_EQ(back.specs[0].activeFrom, a.activeFrom);
+    EXPECT_EQ(back.specs[0].activeUntil, a.activeUntil);
+    EXPECT_FALSE(back.specs[0].unsafe);
+
+    EXPECT_EQ(back.specs[1].kind, FaultKind::Outage);
+    EXPECT_EQ(back.specs[1].outageTicks, b.outageTicks);
+    EXPECT_EQ(back.specs[1].atMatches, b.atMatches);
+    EXPECT_FALSE(back.specs[1].txn.has_value());
+    EXPECT_TRUE(back.specs[1].unsafe);
+}
+
+TEST(FuzzJson, FaultPlanRejectsGarbage)
+{
+    FaultPlan out;
+    EXPECT_FALSE(faultPlanFromJson(Json(42), out));
+    std::string err;
+    Json bad = Json::parse(
+        R"({"seed": 1, "specs": [{"kind": "no_such_kind"}]})", &err);
+    ASSERT_TRUE(err.empty());
+    EXPECT_FALSE(faultPlanFromJson(bad, out));
+}
+
+TEST(FuzzJson, RandomTesterParamsRoundTrip)
+{
+    RandomTesterParams p;
+    p.numDataLines = 12;
+    p.numLockLines = 3;
+    p.opsPerNode = 55;
+    p.pWrite = 0.4375;
+    p.pAllocate = 0.0625;
+    p.pTset = 0.25;
+    p.pSyncOfLocks = 0.5;
+    p.maxThink = 321;
+    p.seed = (1ull << 62) + 9;
+    p.chaos = true;
+    p.onlyNodes = {0, 2, 5};
+
+    std::string text = toJson(p).dump();
+    std::string err;
+    Json parsed = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    RandomTesterParams back;
+    ASSERT_TRUE(randomTesterParamsFromJson(parsed, back));
+    EXPECT_EQ(back.numDataLines, p.numDataLines);
+    EXPECT_EQ(back.numLockLines, p.numLockLines);
+    EXPECT_EQ(back.opsPerNode, p.opsPerNode);
+    EXPECT_EQ(back.pWrite, p.pWrite);
+    EXPECT_EQ(back.pAllocate, p.pAllocate);
+    EXPECT_EQ(back.pTset, p.pTset);
+    EXPECT_EQ(back.pSyncOfLocks, p.pSyncOfLocks);
+    EXPECT_EQ(back.maxThink, p.maxThink);
+    EXPECT_EQ(back.seed, p.seed);
+    EXPECT_TRUE(back.chaos);
+    EXPECT_EQ(back.onlyNodes, p.onlyNodes);
+}
+
+TEST(FuzzJson, RunConfigRoundTrips)
+{
+    RunConfig cfg = randomConfig(99, 3, /*plant=*/true);
+    cfg.maxTicks = 123'456'789;
+
+    std::string text = toJson(cfg).dump();
+    std::string err;
+    Json parsed = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    RunConfig back;
+    ASSERT_TRUE(runConfigFromJson(parsed, back));
+    EXPECT_EQ(back.n, cfg.n);
+    EXPECT_EQ(back.sysSeed, cfg.sysSeed);
+    EXPECT_EQ(back.requestTimeoutTicks, cfg.requestTimeoutTicks);
+    EXPECT_EQ(back.maxTicks, cfg.maxTicks);
+    EXPECT_EQ(back.tester.seed, cfg.tester.seed);
+    ASSERT_EQ(back.plan.specs.size(), cfg.plan.specs.size());
+    EXPECT_TRUE(back.plan.specs.back().unsafe);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same config => bit-identical run
+// ---------------------------------------------------------------------
+
+TEST(FuzzReplay, SameConfigSameHash)
+{
+    RunConfig cfg;
+    cfg.n = 2;
+    cfg.sysSeed = 1234;
+    cfg.requestTimeoutTicks = 300'000;
+    cfg.tester.opsPerNode = 40;
+    cfg.tester.seed = 9;
+    cfg.plan = FaultPlan::dropRequests(0.05, 3);
+    cfg.plan.specs.push_back(FaultPlan::delays(0.05, 2000, 4).specs[0]);
+
+    RunResult a = runOnce(cfg);
+    RunResult b = runOnce(cfg);
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_EQ(a.failure, b.failure);
+    EXPECT_EQ(a.busOps, b.busOps);
+    EXPECT_EQ(a.injections, b.injections);
+    EXPECT_FALSE(a.failed());
+    EXPECT_GT(a.injections, 0u);
+}
+
+TEST(FuzzReplay, FrozenScheduleReproducesInjections)
+{
+    RunConfig cfg;
+    cfg.n = 2;
+    cfg.sysSeed = 77;
+    cfg.requestTimeoutTicks = 300'000;
+    cfg.tester.opsPerNode = 50;
+    cfg.tester.seed = 21;
+    cfg.plan = FaultPlan::dropRequests(0.08, 13);
+
+    RunResult probabilistic = runOnce(cfg);
+    ASSERT_GT(probabilistic.injections, 0u);
+
+    // Freezing the fired match indices into an explicit schedule (and
+    // clearing prob) must reproduce the identical run.
+    RunConfig frozen = freezeSchedules(cfg, probabilistic);
+    EXPECT_EQ(frozen.plan.specs[0].prob, 0.0);
+    EXPECT_FALSE(frozen.plan.specs[0].atMatches.empty());
+    RunResult replay = runOnce(frozen);
+    EXPECT_EQ(replay.hash, probabilistic.hash);
+    EXPECT_EQ(replay.injections, probabilistic.injections);
+    EXPECT_EQ(replay.firedMatches, probabilistic.firedMatches);
+}
+
+// ---------------------------------------------------------------------
+// Planted bug: found, shrunk, still failing, replayable
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A config whose plan contains the planted protocol-breaking fault:
+ *  an unsafe DropReply destroys the only copy of a line. */
+RunConfig
+plantedConfig()
+{
+    RunConfig cfg;
+    cfg.n = 2;
+    cfg.sysSeed = 4242;
+    cfg.requestTimeoutTicks = 200'000;
+    cfg.maxTicks = 400'000'000ull;
+    cfg.tester.opsPerNode = 30;
+    cfg.tester.seed = 1717;
+    cfg.tester.pWrite = 0.5;
+
+    FaultSpec noise;  // innocuous rider the shrinker should discard
+    noise.kind = FaultKind::Delay;
+    noise.prob = 0.05;
+    noise.delayTicks = 1500;
+    cfg.plan.seed = 33;
+    cfg.plan.specs.push_back(noise);
+
+    FaultSpec bug;
+    bug.kind = FaultKind::DropReply;
+    bug.unsafe = true;
+    bug.prob = 0.05;
+    cfg.plan.specs.push_back(bug);
+    return cfg;
+}
+
+} // namespace
+
+TEST(FuzzPlantedBug, ShrinksToMinimalFailingRepro)
+{
+    RunConfig cfg = plantedConfig();
+    RunResult found = runOnce(cfg);
+    ASSERT_TRUE(found.failed())
+        << "planted unsafe DropReply did not break the run";
+
+    ShrinkResult s = shrinkRepro(cfg, /*maxRuns=*/400);
+    ASSERT_TRUE(s.result.failed());
+    EXPECT_EQ(s.result.failure, found.failure);
+    EXPECT_TRUE(s.deterministic);
+
+    // The acceptance bar: a handful of ops, at most two faults.
+    EXPECT_LE(activeNodes(s.config) * s.config.tester.opsPerNode, 10u);
+    EXPECT_LE(scheduledInjections(s.config), 2u);
+
+    // The surviving fault is the planted one.
+    ASSERT_GE(s.config.plan.specs.size(), 1u);
+    bool plantedSurvives = false;
+    for (const auto &spec : s.config.plan.specs)
+        plantedSurvives |= spec.unsafe && !spec.atMatches.empty();
+    EXPECT_TRUE(plantedSurvives);
+
+    // The minimal repro replays bit-identically through the artifact.
+    std::string text = artifactJson(s.config, s.result, "test").dump();
+    std::string err;
+    Json parsed = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    RunConfig replayCfg;
+    std::uint64_t wantHash = 0;
+    FailureKind wantKind = FailureKind::None;
+    ASSERT_TRUE(
+        artifactFromJson(parsed, replayCfg, wantHash, wantKind));
+    EXPECT_EQ(wantHash, s.result.hash);
+    RunResult replay = runOnce(replayCfg);
+    EXPECT_EQ(replay.hash, wantHash);
+    EXPECT_EQ(replay.failure, wantKind);
+}
+
+TEST(FuzzPlantedBug, CampaignFindsItAndWritesArtifacts)
+{
+    CampaignOptions opt;
+    opt.seed = 7;  // deterministic: run index 1 of this seed fails
+    opt.runs = 4;
+    opt.shrink = true;
+    opt.maxShrinkRuns = 400;
+    opt.outDir = "fuzz_test_artifacts";
+    opt.plantUnsafeDropReply = true;
+
+    CampaignSummary sum = runCampaign(opt);
+    EXPECT_GT(sum.failures, 0u);
+    ASSERT_GE(sum.artifacts.size(), 2u);  // as-found + shrunken
+
+    // The shrunken artifact parses and its config still fails.
+    const std::string &minPath = sum.artifacts.back();
+    ASSERT_NE(minPath.find(".min.json"), std::string::npos) << minPath;
+    std::ifstream in(minPath);
+    ASSERT_TRUE(in.good()) << minPath;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    Json parsed = Json::parse(ss.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    RunConfig cfg;
+    std::uint64_t wantHash = 0;
+    FailureKind wantKind = FailureKind::None;
+    ASSERT_TRUE(artifactFromJson(parsed, cfg, wantHash, wantKind));
+    RunResult res = runOnce(cfg);
+    EXPECT_TRUE(res.failed());
+    EXPECT_EQ(res.hash, wantHash);
+    EXPECT_EQ(res.failure, wantKind);
+
+    for (const auto &path : sum.artifacts)
+        std::remove(path.c_str());
+}

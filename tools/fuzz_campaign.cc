@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Chaos-campaign driver (see docs/FUZZING.md).
+ *
+ * Modes:
+ *
+ *   fuzz_campaign [--runs=N] [--campaign-seed=S] [--time-budget-s=T]
+ *                 [--out-dir=DIR] [--no-shrink] [--max-shrink-runs=N]
+ *                 [--plant-bug]
+ *       Generate and run a seeded campaign. Failing runs write a
+ *       self-contained repro artifact (<out-dir>/repro_<seed>_<i>.json)
+ *       and, unless --no-shrink, a delta-debugged minimal repro
+ *       (... .min.json). Exit 0 if every run passed, 1 otherwise.
+ *
+ *   fuzz_campaign --replay=FILE [--shrink] [--out-dir=DIR]
+ *       Re-run the artifact's config and compare the result hash with
+ *       the recorded one. Exit 0 on a bit-identical reproduction that
+ *       still fails, 2 if the run no longer fails (bug fixed?), 3 if
+ *       the hash diverged (non-determinism or binary drift).
+ *
+ *   fuzz_campaign --one-off --n=N --sys-seed=S --tester-seed=S ...
+ *       Run a single explicit config (the form RandomTester's failure
+ *       banner prints). Exit 0 on pass, 1 on failure.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/campaign.hh"
+
+using namespace mcube;
+using namespace mcube::fuzz;
+
+namespace
+{
+
+struct Args
+{
+    std::vector<std::pair<std::string, std::string>> kv;
+
+    bool
+    has(const std::string &key) const
+    {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &dflt = "") const
+    {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return v;
+        return dflt;
+    }
+
+    std::uint64_t
+    u64(const std::string &key, std::uint64_t dflt) const
+    {
+        std::string v = str(key);
+        return v.empty() ? dflt : std::strtoull(v.c_str(), nullptr, 10);
+    }
+
+    double
+    num(const std::string &key, double dflt) const
+    {
+        std::string v = str(key);
+        return v.empty() ? dflt : std::strtod(v.c_str(), nullptr);
+    }
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: fuzz_campaign [--runs=N] [--campaign-seed=S]\n"
+           "                     [--time-budget-s=T] [--out-dir=DIR]\n"
+           "                     [--no-shrink] [--max-shrink-runs=N]\n"
+           "                     [--plant-bug]\n"
+           "       fuzz_campaign --replay=FILE [--shrink] [--out-dir=DIR]\n"
+           "       fuzz_campaign --one-off --n=N --sys-seed=S\n"
+           "                     [--tester-seed=S] [--ops=N] [--chaos=1]\n"
+           "                     [--plan=FILE] ... (see docs/FUZZING.md)\n";
+    return 2;
+}
+
+void
+printResult(const RunConfig &cfg, const RunResult &res)
+{
+    std::cout << "config: n=" << cfg.n << " sys-seed=" << cfg.sysSeed
+              << " tester-seed=" << cfg.tester.seed
+              << " ops=" << cfg.tester.opsPerNode
+              << " specs=" << cfg.plan.specs.size() << "\n"
+              << "result: " << toString(res.failure) << " hash=0x"
+              << std::hex << res.hash << std::dec
+              << " ops=" << res.opsIssued << " bus-ops=" << res.busOps
+              << " injections=" << res.injections
+              << " violations=" << res.violations
+              << " read-failures=" << res.readFailures
+              << " end-tick=" << res.endTick << "\n";
+    for (const auto &s : res.report)
+        std::cout << "  " << s << "\n";
+}
+
+int
+replay(const Args &args)
+{
+    const std::string path = args.str("replay");
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "fuzz_campaign: cannot open " << path << "\n";
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    Json j = Json::parse(ss.str(), &err);
+    if (!err.empty()) {
+        std::cerr << "fuzz_campaign: " << path << ": " << err << "\n";
+        return 2;
+    }
+    RunConfig cfg;
+    std::uint64_t wantHash = 0;
+    FailureKind wantFailure = FailureKind::None;
+    if (!artifactFromJson(j, cfg, wantHash, wantFailure)) {
+        std::cerr << "fuzz_campaign: " << path
+                  << ": not a repro artifact\n";
+        return 2;
+    }
+
+    RunResult res = runOnce(cfg);
+    printResult(cfg, res);
+
+    if (res.hash != wantHash) {
+        std::cout << "replay: hash mismatch (recorded 0x" << std::hex
+                  << wantHash << ", got 0x" << res.hash << std::dec
+                  << ") - non-deterministic or the binary changed\n";
+        return 3;
+    }
+    if (!res.failed()) {
+        std::cout << "replay: bit-identical, and the run no longer "
+                     "fails\n";
+        return 2;
+    }
+    std::cout << "replay: reproduced bit-identically ("
+              << toString(res.failure) << ")\n";
+
+    if (args.has("shrink")) {
+        ShrinkResult s = shrinkRepro(
+            cfg, static_cast<unsigned>(args.u64("max-shrink-runs", 400)),
+            [](const std::string &m) { std::cout << m << "\n"; });
+        std::string out = args.str("out-dir", ".") + "/replay.min.json";
+        std::ofstream o(out);
+        o << artifactJson(s.config, s.result, "shrunken from " + path)
+                 .dump();
+        std::cout << "wrote " << out << "\n";
+    }
+    return 0;
+}
+
+int
+oneOff(const Args &args)
+{
+    RunConfig cfg;
+    cfg.n = static_cast<unsigned>(args.u64("n", cfg.n));
+    cfg.sysSeed = args.u64("sys-seed", cfg.sysSeed);
+    cfg.requestTimeoutTicks =
+        args.u64("timeout-ticks", cfg.requestTimeoutTicks);
+    cfg.maxTicks = args.u64("max-ticks", cfg.maxTicks);
+
+    cfg.tester.seed = args.u64("tester-seed", cfg.tester.seed);
+    cfg.tester.opsPerNode =
+        static_cast<unsigned>(args.u64("ops", cfg.tester.opsPerNode));
+    cfg.tester.numDataLines = static_cast<unsigned>(
+        args.u64("data-lines", cfg.tester.numDataLines));
+    cfg.tester.numLockLines = static_cast<unsigned>(
+        args.u64("lock-lines", cfg.tester.numLockLines));
+    cfg.tester.pWrite = args.num("p-write", cfg.tester.pWrite);
+    cfg.tester.pAllocate = args.num("p-alloc", cfg.tester.pAllocate);
+    cfg.tester.pTset = args.num("p-tset", cfg.tester.pTset);
+    cfg.tester.pSyncOfLocks =
+        args.num("p-sync", cfg.tester.pSyncOfLocks);
+    cfg.tester.maxThink = args.u64("think", cfg.tester.maxThink);
+    cfg.tester.chaos = args.u64("chaos", 0) != 0;
+
+    if (args.has("plan")) {
+        std::ifstream in(args.str("plan"));
+        if (!in) {
+            std::cerr << "fuzz_campaign: cannot open "
+                      << args.str("plan") << "\n";
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string err;
+        Json j = Json::parse(ss.str(), &err);
+        if (!err.empty() || !faultPlanFromJson(j, cfg.plan)) {
+            std::cerr << "fuzz_campaign: bad fault plan: " << err
+                      << "\n";
+            return 2;
+        }
+    }
+
+    RunResult res = runOnce(cfg);
+    printResult(cfg, res);
+    return res.failed() ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) != 0)
+            return usage();
+        a = a.substr(2);
+        auto eq = a.find('=');
+        if (eq == std::string::npos)
+            args.kv.emplace_back(a, "");
+        else
+            args.kv.emplace_back(a.substr(0, eq), a.substr(eq + 1));
+    }
+    if (args.has("help"))
+        return usage();
+
+    if (args.has("replay"))
+        return replay(args);
+    if (args.has("one-off"))
+        return oneOff(args);
+
+    CampaignOptions opt;
+    opt.seed = args.u64("campaign-seed", 1);
+    opt.runs = static_cast<unsigned>(args.u64("runs", 50));
+    opt.timeBudgetSeconds = args.num("time-budget-s", 0.0);
+    opt.shrink = !args.has("no-shrink");
+    opt.maxShrinkRuns =
+        static_cast<unsigned>(args.u64("max-shrink-runs", 400));
+    opt.outDir = args.str("out-dir", "fuzz_artifacts");
+    opt.plantUnsafeDropReply = args.has("plant-bug");
+    opt.log = [](const std::string &m) { std::cout << m << "\n"; };
+
+    std::cout << "fuzz_campaign: seed=" << opt.seed
+              << " runs=" << opt.runs << " rev=" << gitRevision()
+              << "\n";
+    CampaignSummary sum = runCampaign(opt);
+    std::cout << "campaign: " << sum.runsDone << " run(s), "
+              << sum.failures << " failure(s)";
+    if (!sum.artifacts.empty())
+        std::cout << ", artifacts in " << opt.outDir;
+    std::cout << "\n";
+    return sum.failures > 0 ? 1 : 0;
+}
