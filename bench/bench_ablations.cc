@@ -18,6 +18,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/checker.hh"
@@ -28,157 +30,129 @@ using namespace mcube::bench;
 namespace
 {
 
+const std::vector<std::int64_t> kMltSets = {1, 2, 4, 16, 64};
+const std::vector<std::int64_t> kDropPcts = {0, 5, 20, 50};
+
 /** Read-heavy hot-set workload where every node repeatedly reads a
  *  small set of lines that one node periodically rewrites. */
-void
-BM_Snarfing(benchmark::State &state)
+Metrics
+runSnarfing(bool snarf)
 {
-    bool snarf = state.range(0) != 0;
-    std::uint64_t misses = 0, snarfs = 0, ops = 0;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = 4;
-        p.ctrl.enableSnarfing = snarf;
-        MulticubeSystem sys(p);
-        EventQueue &eq = sys.eventQueue();
+    SystemParams p;
+    p.n = 4;
+    p.ctrl.enableSnarfing = snarf;
+    MulticubeSystem sys(p);
 
-        // One writer dirties 8 hot lines; then all nodes read them in
-        // waves (invalidation -> re-read), for several rounds.
-        for (unsigned round = 0; round < 12; ++round) {
+    // One writer dirties 8 hot lines; then all nodes read them in
+    // waves (invalidation -> re-read), for several rounds.
+    for (unsigned round = 0; round < 12; ++round) {
+        for (Addr a = 0; a < 8; ++a) {
+            sys.node(0).write(a, round * 8 + a + 1,
+                              [](const TxnResult &) {});
+            sys.drain();
+        }
+        for (NodeId id = 1; id < sys.numNodes(); ++id) {
             for (Addr a = 0; a < 8; ++a) {
-                sys.node(0).write(a, round * 8 + a + 1,
-                                  [](const TxnResult &) {});
+                std::uint64_t tok = 0;
+                sys.node(id).read(a, tok, [](const TxnResult &) {});
                 sys.drain();
             }
-            for (NodeId id = 1; id < sys.numNodes(); ++id) {
-                for (Addr a = 0; a < 8; ++a) {
-                    std::uint64_t tok = 0;
-                    sys.node(id).read(a, tok, [](const TxnResult &) {});
-                    sys.drain();
-                }
-            }
         }
-        (void)eq;
-        misses = 0;
-        snarfs = 0;
-        for (NodeId id = 0; id < sys.numNodes(); ++id) {
-            misses += sys.node(id).misses();
-            snarfs += sys.node(id).snarfs();
-        }
-        ops = sys.totalBusOps();
     }
-    state.counters["misses"] = static_cast<double>(misses);
-    state.counters["snarfs"] = static_cast<double>(snarfs);
-    state.counters["bus_ops"] = static_cast<double>(ops);
+    double misses = 0, snarfs = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        misses += static_cast<double>(sys.node(id).misses());
+        snarfs += static_cast<double>(sys.node(id).snarfs());
+    }
+    return {{"misses", misses},
+            {"snarfs", snarfs},
+            {"bus_ops", static_cast<double>(sys.totalBusOps())}};
 }
 
 /** Producer writing whole lines: ALLOCATE vs plain READ-MOD. */
-void
-BM_AllocateHint(benchmark::State &state)
+Metrics
+runAllocateHint(bool use_allocate)
 {
-    bool use_allocate = state.range(0) != 0;
-    std::uint64_t data_ops = 0, total_ops = 0;
-    Tick elapsed = 0;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = 4;
-        MulticubeSystem sys(p);
-        // A consumer first reads the lines (so they are shared), then
-        // the producer overwrites all of them.
-        for (Addr a = 0; a < 32; ++a) {
-            std::uint64_t tok = 0;
-            sys.node(5).read(a, tok, [](const TxnResult &) {});
-            sys.drain();
-        }
-        Tick t0 = sys.eventQueue().now();
-        for (Addr a = 0; a < 32; ++a) {
-            if (use_allocate)
-                sys.node(10).writeAllocate(a, a + 1,
-                                           [](const TxnResult &) {});
-            else
-                sys.node(10).write(a, a + 1, [](const TxnResult &) {});
-            sys.drain();
-        }
-        elapsed = sys.eventQueue().now() - t0;
-        total_ops = sys.totalBusOps();
-        data_ops = 0;
-        for (unsigned i = 0; i < sys.n(); ++i) {
-            data_ops += sys.rowBus(i).opsDelivered();
-            data_ops += sys.colBus(i).opsDelivered();
-        }
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem sys(p);
+    // A consumer first reads the lines (so they are shared), then
+    // the producer overwrites all of them.
+    for (Addr a = 0; a < 32; ++a) {
+        std::uint64_t tok = 0;
+        sys.node(5).read(a, tok, [](const TxnResult &) {});
+        sys.drain();
     }
-    state.counters["elapsed_ns"] = static_cast<double>(elapsed);
-    state.counters["total_ops"] = static_cast<double>(total_ops);
-    (void)data_ops;
+    Tick t0 = sys.eventQueue().now();
+    for (Addr a = 0; a < 32; ++a) {
+        if (use_allocate)
+            sys.node(10).writeAllocate(a, a + 1,
+                                       [](const TxnResult &) {});
+        else
+            sys.node(10).write(a, a + 1, [](const TxnResult &) {});
+        sys.drain();
+    }
+    return {{"elapsed_ns",
+             static_cast<double>(sys.eventQueue().now() - t0)},
+            {"total_ops", static_cast<double>(sys.totalBusOps())}};
 }
 
 /** MLT sizing: overflow writebacks vs table capacity. */
-void
-BM_MltSize(benchmark::State &state)
+Metrics
+runMltSize(unsigned sets)
 {
-    unsigned sets = static_cast<unsigned>(state.range(0));
-    std::uint64_t overflows = 0, ops = 0;
-    double eff = 0.0;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = 4;
-        p.ctrl.mlt = {sets, 2};
-        MulticubeSystem sys(p);
-        MixParams mix;
-        mix.requestsPerMs = 40.0;
-        mix.fracReadUnmod = 0.3;
-        mix.fracReadMod = 0.1;
-        mix.fracWriteUnmod = 0.5;  // write-heavy: many table entries
-        mix.fracWriteMod = 0.1;
-        MixWorkload wl(sys, mix);
-        wl.start();
-        sys.run(2'000'000);
-        wl.stop();
-        sys.drain();
-        overflows = 0;
-        for (NodeId id = 0; id < sys.numNodes(); ++id)
-            overflows += sys.node(id).mltOverflows();
-        ops = sys.totalBusOps();
-        eff = wl.efficiency();
-    }
-    state.counters["mlt_entries"] = static_cast<double>(sets) * 2;
-    state.counters["overflow_wbs"] = static_cast<double>(overflows);
-    state.counters["bus_ops"] = static_cast<double>(ops);
-    state.counters["efficiency"] = eff;
+    SystemParams p;
+    p.n = 4;
+    p.ctrl.mlt = {sets, 2};
+    MulticubeSystem sys(p);
+    MixParams mix;
+    mix.requestsPerMs = 40.0;
+    mix.fracReadUnmod = 0.3;
+    mix.fracReadMod = 0.1;
+    mix.fracWriteUnmod = 0.5;  // write-heavy: many table entries
+    mix.fracWriteMod = 0.1;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(2'000'000);
+    wl.stop();
+    sys.drain();
+    double overflows = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id)
+        overflows += static_cast<double>(sys.node(id).mltOverflows());
+    return {{"mlt_entries", static_cast<double>(sets) * 2},
+            {"overflow_wbs", overflows},
+            {"bus_ops", static_cast<double>(sys.totalBusOps())},
+            {"efficiency", wl.efficiency()}};
 }
 
 /** ALLOCATE early write (Section 3's optional refinement): the
  *  processor keeps writing while the acknowledges drain in the
  *  background, pipelining a producer burst. Measured as the time the
  *  processor is blocked across a 32-line burst. */
-void
-BM_AllocateEarlyWrite(benchmark::State &state)
+Metrics
+runAllocateEarlyWrite(bool early)
 {
-    bool early = state.range(0) != 0;
+    SystemParams p;
+    p.n = 4;
+    p.ctrl.allocateEarlyWrite = early;
+    MulticubeSystem sys(p);
+    SnoopController &nd = sys.node(1, 2);
     Tick blocked = 0;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = 4;
-        p.ctrl.allocateEarlyWrite = early;
-        MulticubeSystem sys(p);
-        SnoopController &nd = sys.node(1, 2);
-        blocked = 0;
-        for (Addr a = 0; a < 32; ++a) {
-            Tick t0 = sys.eventQueue().now();
-            bool done = false;
-            nd.writeAllocate(a, a + 1,
-                             [&](const TxnResult &) { done = true; });
-            while (!done)
-                sys.eventQueue().run(1);
-            blocked += sys.eventQueue().now() - t0;
-            // With early ack the controller may still be busy; wait
-            // for it before the next line (models back-to-back use).
-            while (nd.busy())
-                sys.eventQueue().run(1);
-        }
-        sys.drain();
+    for (Addr a = 0; a < 32; ++a) {
+        Tick t0 = sys.eventQueue().now();
+        bool done = false;
+        nd.writeAllocate(a, a + 1,
+                         [&](const TxnResult &) { done = true; });
+        while (!done)
+            sys.eventQueue().run(1);
+        blocked += sys.eventQueue().now() - t0;
+        // With early ack the controller may still be busy; wait
+        // for it before the next line (models back-to-back use).
+        while (nd.busy())
+            sys.eventQueue().run(1);
     }
-    state.counters["proc_blocked_ns"] = static_cast<double>(blocked);
+    sys.drain();
+    return {{"proc_blocked_ns", static_cast<double>(blocked)}};
 }
 
 /** False sharing (Section 5, footnote 6): two nodes alternately
@@ -186,72 +160,134 @@ BM_AllocateEarlyWrite(benchmark::State &state)
  *  granularity that is the same block, so it ping-pongs between the
  *  caches; with data placed on separate blocks both writers stay
  *  local after the first miss. */
-void
-BM_FalseSharing(benchmark::State &state)
+Metrics
+runFalseSharing(bool shared_block)
 {
-    bool shared_block = state.range(0) != 0;
-    std::uint64_t ops = 0;
-    Tick elapsed = 0;
     const unsigned rounds = 64;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = 4;
-        MulticubeSystem sys(p);
-        SnoopController &a = sys.node(0, 1);
-        SnoopController &b = sys.node(2, 3);
-        Addr addr_a = 40;
-        Addr addr_b = shared_block ? 40 : 41;
-        Tick t0 = sys.eventQueue().now();
-        for (unsigned r = 0; r < rounds; ++r) {
-            a.write(addr_a, r * 2 + 1, [](const TxnResult &) {});
-            sys.drain();
-            b.write(addr_b, r * 2 + 2, [](const TxnResult &) {});
-            sys.drain();
-        }
-        elapsed = sys.eventQueue().now() - t0;
-        ops = sys.totalBusOps();
+    SystemParams p;
+    p.n = 4;
+    MulticubeSystem sys(p);
+    SnoopController &a = sys.node(0, 1);
+    SnoopController &b = sys.node(2, 3);
+    Addr addr_a = 40;
+    Addr addr_b = shared_block ? 40 : 41;
+    Tick t0 = sys.eventQueue().now();
+    for (unsigned r = 0; r < rounds; ++r) {
+        a.write(addr_a, r * 2 + 1, [](const TxnResult &) {});
+        sys.drain();
+        b.write(addr_b, r * 2 + 2, [](const TxnResult &) {});
+        sys.drain();
     }
-    state.counters["bus_ops"] = static_cast<double>(ops);
-    state.counters["ns_per_round"] =
-        static_cast<double>(elapsed) / rounds;
+    Tick elapsed = sys.eventQueue().now() - t0;
+    return {{"bus_ops", static_cast<double>(sys.totalBusOps())},
+            {"ns_per_round", static_cast<double>(elapsed) / rounds}};
 }
 
 /** Robustness: drop probability vs reissues and latency. */
+Metrics
+runSignalDrops(double drop)
+{
+    SystemParams p;
+    p.n = 4;
+    p.ctrl.dropSignalProb = drop;
+    MulticubeSystem sys(p);
+    MixParams mix;
+    mix.requestsPerMs = 25.0;
+    mix.fracReadUnmod = 0.3;
+    mix.fracReadMod = 0.35;  // modified-line traffic exercises
+    mix.fracWriteUnmod = 0.1;
+    mix.fracWriteMod = 0.25;  // ... the dropped-signal path
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(2'000'000);
+    wl.stop();
+    sys.drain();
+    double reissues = 0, drops = 0;
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        reissues += static_cast<double>(sys.node(id).reissues());
+        drops += static_cast<double>(sys.node(id).dropsInjected());
+    }
+    return {{"drops", drops},
+            {"reissues", reissues},
+            {"mean_latency_ns", wl.meanLatency()},
+            {"efficiency", wl.efficiency()}};
+}
+
+const bool kDeclared = [] {
+    for (int v : {0, 1}) {
+        declarePoint("snarfing" + std::to_string(v),
+                     [v] { return runSnarfing(v != 0); });
+        declarePoint("allocate" + std::to_string(v),
+                     [v] { return runAllocateHint(v != 0); });
+        declarePoint("early_write" + std::to_string(v),
+                     [v] { return runAllocateEarlyWrite(v != 0); });
+        declarePoint("false_sharing" + std::to_string(v),
+                     [v] { return runFalseSharing(v != 0); });
+    }
+    for (std::int64_t sets : kMltSets) {
+        declarePoint("mlt_sets" + std::to_string(sets), [sets] {
+            return runMltSize(static_cast<unsigned>(sets));
+        });
+    }
+    for (std::int64_t pct : kDropPcts) {
+        declarePoint("drop_pct" + std::to_string(pct), [pct] {
+            return runSignalDrops(static_cast<double>(pct) / 100.0);
+        });
+    }
+    return true;
+}();
+
+/** Shared shape of every ablation benchmark: look the point up,
+ *  surface every metric as a counter, record it. */
+void
+reportPoint(benchmark::State &state, const std::string &label)
+{
+    const Metrics &m = sweepPoint(label);
+    for (auto _ : state)
+        state.SetIterationTime(m.at("wall_seconds"));
+    for (const auto &[name, value] : m) {
+        if (name != "wall_seconds")
+            state.counters[name] = value;
+    }
+    BenchJson::instance().record("ablations", label, m);
+}
+
+void
+BM_Snarfing(benchmark::State &state)
+{
+    reportPoint(state, "snarfing" + std::to_string(state.range(0)));
+}
+
+void
+BM_AllocateHint(benchmark::State &state)
+{
+    reportPoint(state, "allocate" + std::to_string(state.range(0)));
+}
+
+void
+BM_MltSize(benchmark::State &state)
+{
+    reportPoint(state, "mlt_sets" + std::to_string(state.range(0)));
+}
+
+void
+BM_AllocateEarlyWrite(benchmark::State &state)
+{
+    reportPoint(state,
+                "early_write" + std::to_string(state.range(0)));
+}
+
+void
+BM_FalseSharing(benchmark::State &state)
+{
+    reportPoint(state,
+                "false_sharing" + std::to_string(state.range(0)));
+}
+
 void
 BM_SignalDrops(benchmark::State &state)
 {
-    double drop = static_cast<double>(state.range(0)) / 100.0;
-    std::uint64_t reissues = 0, drops = 0;
-    double lat = 0.0, eff = 0.0;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = 4;
-        p.ctrl.dropSignalProb = drop;
-        MulticubeSystem sys(p);
-        MixParams mix;
-        mix.requestsPerMs = 25.0;
-        mix.fracReadUnmod = 0.3;
-        mix.fracReadMod = 0.35;  // modified-line traffic exercises
-        mix.fracWriteUnmod = 0.1;
-        mix.fracWriteMod = 0.25;  // ... the dropped-signal path
-        MixWorkload wl(sys, mix);
-        wl.start();
-        sys.run(2'000'000);
-        wl.stop();
-        sys.drain();
-        reissues = 0;
-        drops = 0;
-        for (NodeId id = 0; id < sys.numNodes(); ++id) {
-            reissues += sys.node(id).reissues();
-            drops += sys.node(id).dropsInjected();
-        }
-        lat = wl.meanLatency();
-        eff = wl.efficiency();
-    }
-    state.counters["drops"] = static_cast<double>(drops);
-    state.counters["reissues"] = static_cast<double>(reissues);
-    state.counters["mean_latency_ns"] = lat;
-    state.counters["efficiency"] = eff;
+    reportPoint(state, "drop_pct" + std::to_string(state.range(0)));
 }
 
 } // namespace
@@ -261,6 +297,7 @@ BENCHMARK(BM_Snarfing)
     ->Arg(0)
     ->Arg(1)
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_AllocateHint)
@@ -268,16 +305,14 @@ BENCHMARK(BM_AllocateHint)
     ->Arg(0)
     ->Arg(1)
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_MltSize)
     ->ArgNames({"mlt_sets"})
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(16)
-    ->Arg(64)
+    ->ArgsProduct({kMltSets})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_AllocateEarlyWrite)
@@ -285,6 +320,7 @@ BENCHMARK(BM_AllocateEarlyWrite)
     ->Arg(0)
     ->Arg(1)
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_FalseSharing)
@@ -292,15 +328,14 @@ BENCHMARK(BM_FalseSharing)
     ->Arg(0)
     ->Arg(1)
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_SignalDrops)
     ->ArgNames({"drop_pct"})
-    ->Arg(0)
-    ->Arg(5)
-    ->Arg(20)
-    ->Arg(50)
+    ->ArgsProduct({kDropPcts})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

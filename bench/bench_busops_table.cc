@@ -8,21 +8,33 @@
  *   READ-MOD, line modified       = 4 bus operations
  *   READ-MOD, line unmodified     = (n+1) row + 3 column operations
  *
- * Each benchmark performs one isolated transaction of the given kind
- * on a quiesced n x n machine and reports the ops actually delivered
+ * Each point performs one isolated transaction of the given kind on a
+ * quiesced n x n machine and reports the ops actually delivered
  * across all buses, split by dimension.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_util.hh"
 #include "core/system.hh"
 
 using namespace mcube;
+using namespace mcube::bench;
 
 namespace
 {
+
+const std::vector<std::int64_t> kSizes = {4, 8, 16};
+const std::vector<std::int64_t> kKinds = {0, 1, 2, 3, 4};
+
+std::string
+pointLabel(unsigned n, int kind)
+{
+    return "n" + std::to_string(n) + "_kind" + std::to_string(kind);
+}
 
 struct OpsCount
 {
@@ -43,52 +55,44 @@ countOps(MulticubeSystem &sys)
 
 /** kind: 0 = READ unmod, 1 = READ mod, 2 = READMOD mod,
  *        3 = READMOD unmod (broadcast), 4 = ALLOCATE unmod. */
-void
-BM_BusOpsPerTransaction(benchmark::State &state)
+Metrics
+runTransaction(unsigned n, int kind)
 {
-    unsigned n = static_cast<unsigned>(state.range(0));
-    int kind = static_cast<int>(state.range(1));
+    SystemParams p;
+    p.n = n;
+    MulticubeSystem sys(p);
+    // Home column 0; both parties live off the home column and
+    // off each other's row/column, so no shortcut paths apply.
+    Addr addr = 0;
+    SnoopController &owner = sys.node(1, 1);
+    SnoopController &actor = sys.node(n - 1, n - 2);
 
-    std::uint64_t row_ops = 0, col_ops = 0;
-    for (auto _ : state) {
-        SystemParams p;
-        p.n = n;
-        MulticubeSystem sys(p);
-        // Home column 0; both parties live off the home column and
-        // off each other's row/column, so no shortcut paths apply.
-        Addr addr = 0;
-        SnoopController &owner = sys.node(1, 1);
-        SnoopController &actor = sys.node(n - 1, n - 2);
-
-        if (kind == 1 || kind == 2) {
-            // Pre-dirty the line at a third party.
-            owner.write(addr, 1, [](const TxnResult &) {});
-            sys.drain();
-        }
-        OpsCount before = countOps(sys);
-        std::uint64_t tok = 0;
-        switch (kind) {
-          case 0:
-          case 1:
-            actor.read(addr, tok, [](const TxnResult &) {});
-            break;
-          case 2:
-          case 3:
-            actor.write(addr, 2, [](const TxnResult &) {});
-            break;
-          case 4:
-            actor.writeAllocate(addr, 2, [](const TxnResult &) {});
-            break;
-        }
+    if (kind == 1 || kind == 2) {
+        // Pre-dirty the line at a third party.
+        owner.write(addr, 1, [](const TxnResult &) {});
         sys.drain();
-        OpsCount after = countOps(sys);
-        row_ops = after.row - before.row;
-        col_ops = after.col - before.col;
     }
-
-    state.counters["row_ops"] = static_cast<double>(row_ops);
-    state.counters["col_ops"] = static_cast<double>(col_ops);
-    state.counters["total_ops"] = static_cast<double>(row_ops + col_ops);
+    OpsCount before = countOps(sys);
+    std::uint64_t tok = 0;
+    switch (kind) {
+      case 0:
+      case 1:
+        actor.read(addr, tok, [](const TxnResult &) {});
+        break;
+      case 2:
+      case 3:
+        actor.write(addr, 2, [](const TxnResult &) {});
+        break;
+      case 4:
+        actor.writeAllocate(addr, 2, [](const TxnResult &) {});
+        break;
+    }
+    sys.drain();
+    OpsCount after = countOps(sys);
+    const double row_ops =
+        static_cast<double>(after.row - before.row);
+    const double col_ops =
+        static_cast<double>(after.col - before.col);
 
     double paper = 0.0;
     switch (kind) {
@@ -98,15 +102,50 @@ BM_BusOpsPerTransaction(benchmark::State &state)
       case 3:
       case 4: paper = n + 1 + 3; break;   // broadcast: (n+1) row + 3 col
     }
-    state.counters["paper_total"] = paper;
+    return {{"row_ops", row_ops},
+            {"col_ops", col_ops},
+            {"total_ops", row_ops + col_ops},
+            {"paper_total", paper}};
+}
+
+const bool kDeclared = [] {
+    for (std::int64_t n : kSizes) {
+        for (std::int64_t kind : kKinds) {
+            declarePoint(pointLabel(static_cast<unsigned>(n),
+                                    static_cast<int>(kind)),
+                         [n, kind] {
+                             return runTransaction(
+                                 static_cast<unsigned>(n),
+                                 static_cast<int>(kind));
+                         });
+        }
+    }
+    return true;
+}();
+
+void
+BM_BusOpsPerTransaction(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    int kind = static_cast<int>(state.range(1));
+    const std::string label = pointLabel(n, kind);
+    const Metrics &m = sweepPoint(label);
+    for (auto _ : state)
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["row_ops"] = m.at("row_ops");
+    state.counters["col_ops"] = m.at("col_ops");
+    state.counters["total_ops"] = m.at("total_ops");
+    state.counters["paper_total"] = m.at("paper_total");
+    BenchJson::instance().record("busops_table", label, m);
 }
 
 } // namespace
 
 BENCHMARK(BM_BusOpsPerTransaction)
     ->ArgNames({"n", "kind"})
-    ->ArgsProduct({{4, 8, 16}, {0, 1, 2, 3, 4}})
+    ->ArgsProduct({kSizes, kKinds})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/checker.hh"
@@ -39,18 +40,14 @@ using namespace mcube::bench;
 namespace
 {
 
-struct FaultRun
+const std::vector<std::int64_t> kKinds = {0, 1, 2, 3};
+const std::vector<std::int64_t> kFaultPcts = {0, 1, 2, 5, 10};
+
+std::string
+pointLabel(int kind, int pct)
 {
-    std::uint64_t ops = 0;
-    std::uint64_t injections = 0;
-    std::uint64_t reissues = 0;
-    std::uint64_t bounces = 0;
-    double meanMissNs = 0.0;
-    Tick elapsed = 0;
-    bool completed = false;
-    /** Flattened stat tree of the faulted system. */
-    std::map<std::string, double> stats;
-};
+    return "kind" + std::to_string(kind) + "_p" + std::to_string(pct);
+}
 
 /**
  * The resilience trajectory is read out of the stat tree
@@ -60,7 +57,7 @@ struct FaultRun
  * a flat zero "recovery cost" forever. Abort loudly instead.
  */
 void
-requireRecoveryStats(const std::map<std::string, double> &stats)
+requireRecoveryStats(const Metrics &stats)
 {
     static const char *const required[] = {
         ".watchdog_reissues",
@@ -104,9 +101,10 @@ planFor(int kind, double prob)
     }
 }
 
-FaultRun
-runCampaign(int kind, double prob)
+Metrics
+runCampaign(int kind, int pct)
 {
+    const double prob = static_cast<double>(pct) / 100.0;
     SystemParams p;
     p.n = 4;
     p.seed = 1701;
@@ -128,58 +126,39 @@ runCampaign(int kind, double prob)
     sys.eventQueue().runUntil(10'000'000'000ull);
     sys.drain(1'000'000'000ull);
 
-    FaultRun out;
-    out.ops = tester.opsIssued();
-    out.injections = injector.totalInjections();
-    out.elapsed = sys.eventQueue().now();
+    std::uint64_t reissues = 0, misses = 0;
+    double meanMissNs = 0.0;
     for (NodeId id = 0; id < sys.numNodes(); ++id) {
-        out.reissues += sys.node(id).watchdogReissues();
+        reissues += sys.node(id).watchdogReissues();
         const Distribution &d = sys.node(id).missLatency();
-        out.meanMissNs += d.mean() * static_cast<double>(d.count());
+        meanMissNs += d.mean() * static_cast<double>(d.count());
+        misses += d.count();
     }
-    std::uint64_t misses = 0;
-    for (NodeId id = 0; id < sys.numNodes(); ++id)
-        misses += sys.node(id).missLatency().count();
     if (misses > 0)
-        out.meanMissNs /= static_cast<double>(misses);
+        meanMissNs /= static_cast<double>(misses);
+    std::uint64_t bounces = 0;
     for (unsigned c = 0; c < sys.n(); ++c)
-        out.bounces += sys.memory(c).bounces();
-    out.completed = tester.finished() && checker.violations() == 0
-                 && tester.readFailures() == 0;
-    sys.statistics().flatten(out.stats);
-    requireRecoveryStats(out.stats);
-    return out;
-}
+        bounces += sys.memory(c).bounces();
+    const bool completed = tester.finished()
+                        && checker.violations() == 0
+                        && tester.readFailures() == 0;
 
-void
-BM_FaultResilience(benchmark::State &state)
-{
-    const int kind = static_cast<int>(state.range(0));
-    const double prob = static_cast<double>(state.range(1)) / 100.0;
-
-    FaultRun r{};
-    for (auto _ : state)
-        r = runCampaign(kind, prob);
-
-    const double ms = static_cast<double>(r.elapsed) / 1e6;
-    state.counters["ops_per_ms"] =
-        ms > 0 ? static_cast<double>(r.ops) / ms : 0.0;
-    state.counters["mean_miss_ns"] = r.meanMissNs;
-    state.counters["watchdog_reissues"] = static_cast<double>(r.reissues);
-    state.counters["mem_bounces"] = static_cast<double>(r.bounces);
-    state.counters["injections"] = static_cast<double>(r.injections);
-    state.counters["completed"] = r.completed ? 1.0 : 0.0;
     // Carry the whole flattened stat tree (watchdog recovery stats,
     // per-kind injection counters, memory bounces) into the BENCH
-    // json alongside the headline metrics; requireRecoveryStats()
-    // already proved the recovery keys exist in it.
-    std::map<std::string, double> metrics = r.stats;
-    metrics["ops_per_ms"] = state.counters["ops_per_ms"];
-    metrics["mean_miss_ns"] = r.meanMissNs;
-    metrics["watchdog_reissues"] = static_cast<double>(r.reissues);
-    metrics["mem_bounces"] = static_cast<double>(r.bounces);
-    metrics["injections"] = static_cast<double>(r.injections);
-    metrics["completed"] = r.completed ? 1.0 : 0.0;
+    // json alongside the headline metrics.
+    std::map<std::string, double> stats;
+    sys.statistics().flatten(stats);
+    Metrics metrics(stats.begin(), stats.end());
+    requireRecoveryStats(metrics);
+    const double ms = static_cast<double>(sys.eventQueue().now()) / 1e6;
+    metrics["ops_per_ms"] =
+        ms > 0 ? static_cast<double>(tester.opsIssued()) / ms : 0.0;
+    metrics["mean_miss_ns"] = meanMissNs;
+    metrics["watchdog_reissues"] = static_cast<double>(reissues);
+    metrics["mem_bounces"] = static_cast<double>(bounces);
+    metrics["injections"] =
+        static_cast<double>(injector.totalInjections());
+    metrics["completed"] = completed ? 1.0 : 0.0;
     // Echo the seeds so every published point is reproducible from
     // its artifact alone (cf. sweep_cli's config header).
     metrics["sys_seed"] = 1701;
@@ -187,19 +166,49 @@ BM_FaultResilience(benchmark::State &state)
     metrics["plan_seed"] = 7;
     metrics["fault_kind"] = static_cast<double>(kind);
     metrics["fault_prob"] = prob;
-    BenchJson::instance().record(
-        "fault_resilience",
-        "kind" + std::to_string(kind) + "_p"
-            + std::to_string(static_cast<int>(prob * 100)),
-        std::move(metrics));
+    return metrics;
+}
+
+const bool kDeclared = [] {
+    for (std::int64_t kind : kKinds) {
+        for (std::int64_t pct : kFaultPcts) {
+            declarePoint(pointLabel(static_cast<int>(kind),
+                                    static_cast<int>(pct)),
+                         [kind, pct] {
+                             return runCampaign(
+                                 static_cast<int>(kind),
+                                 static_cast<int>(pct));
+                         });
+        }
+    }
+    return true;
+}();
+
+void
+BM_FaultResilience(benchmark::State &state)
+{
+    const int kind = static_cast<int>(state.range(0));
+    const int pct = static_cast<int>(state.range(1));
+    const std::string label = pointLabel(kind, pct);
+    const Metrics &m = sweepPoint(label);
+    for (auto _ : state)
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["ops_per_ms"] = m.at("ops_per_ms");
+    state.counters["mean_miss_ns"] = m.at("mean_miss_ns");
+    state.counters["watchdog_reissues"] = m.at("watchdog_reissues");
+    state.counters["mem_bounces"] = m.at("mem_bounces");
+    state.counters["injections"] = m.at("injections");
+    state.counters["completed"] = m.at("completed");
+    BenchJson::instance().record("fault_resilience", label, m);
 }
 
 } // namespace
 
 BENCHMARK(BM_FaultResilience)
     ->ArgNames({"kind_dreq0_drep1_delay2_dup3", "fault_pct"})
-    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 5, 10}})
+    ->ArgsProduct({kKinds, kFaultPcts})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

@@ -12,6 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace mcube;
@@ -19,6 +22,16 @@ using namespace mcube::bench;
 
 namespace
 {
+
+const std::vector<std::int64_t> kSimInvPct = {10, 30, 50};
+const std::vector<std::int64_t> kSimRates = {10, 25, 40};
+
+std::string
+simLabel(int inv_pct, int rate)
+{
+    return "sim_inv" + std::to_string(inv_pct) + "_r"
+         + std::to_string(rate);
+}
 
 MvaParams
 withInvalidation(double inv)
@@ -28,6 +41,21 @@ withInvalidation(double inv)
     p.fracReadUnmod = 0.8 - inv;  // keep P(unmodified) = 0.8
     return p;
 }
+
+const bool kDeclared = [] {
+    for (std::int64_t inv_pct : kSimInvPct) {
+        for (std::int64_t rate : kSimRates) {
+            MixParams mix;
+            mix.requestsPerMs = static_cast<double>(rate);
+            mix.fracWriteUnmod = static_cast<double>(inv_pct) / 100.0;
+            mix.fracReadUnmod = 0.8 - mix.fracWriteUnmod;
+            declareMixSim(simLabel(static_cast<int>(inv_pct),
+                                   static_cast<int>(rate)),
+                          8, mix, 2.0);
+        }
+    }
+    return true;
+}();
 
 void
 BM_Fig3_Mva(benchmark::State &state)
@@ -45,17 +73,15 @@ BM_Fig3_Mva(benchmark::State &state)
 void
 BM_Fig3_Sim(benchmark::State &state)
 {
-    double inv = static_cast<double>(state.range(0)) / 100.0;
-    double rate = static_cast<double>(state.range(1));
-    MixParams mix;
-    mix.requestsPerMs = rate;
-    mix.fracWriteUnmod = inv;
-    mix.fracReadUnmod = 0.8 - inv;
-    SimPoint pt{};
+    int inv_pct = static_cast<int>(state.range(0));
+    int rate = static_cast<int>(state.range(1));
+    const std::string label = simLabel(inv_pct, rate);
+    const Metrics &m = sweepPoint(label);
     for (auto _ : state)
-        pt = runMixSim(8, mix, 2.0);
-    state.counters["efficiency"] = pt.efficiency;
-    state.counters["row_util"] = pt.rowUtil;
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["efficiency"] = m.at("efficiency");
+    state.counters["row_util"] = m.at("row_util");
+    BenchJson::instance().record("fig3_invalidation", label, m);
 }
 
 } // namespace
@@ -69,8 +95,9 @@ BENCHMARK(BM_Fig3_Mva)
 
 BENCHMARK(BM_Fig3_Sim)
     ->ArgNames({"inv_pct", "req_per_ms"})
-    ->ArgsProduct({{10, 30, 50}, {10, 25, 40}})
+    ->ArgsProduct({kSimInvPct, kSimRates})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

@@ -19,6 +19,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 
@@ -27,6 +29,9 @@ using namespace mcube::bench;
 
 namespace
 {
+
+const std::vector<std::int64_t> kSimCouplings = {0, 1, 2};
+const std::vector<std::int64_t> kSimBlocks = {4, 16, 64};
 
 double
 coupledRate(int coupling, unsigned block)
@@ -41,6 +46,30 @@ coupledRate(int coupling, unsigned block)
         return 25.0 * 4.0 / std::sqrt(static_cast<double>(block));
     }
 }
+
+std::string
+simLabel(int coupling, unsigned block)
+{
+    return "sim_c" + std::to_string(coupling) + "_b"
+         + std::to_string(block);
+}
+
+const bool kDeclared = [] {
+    for (std::int64_t coupling : kSimCouplings) {
+        for (std::int64_t block : kSimBlocks) {
+            SystemParams sp;
+            sp.bus.blockWords = static_cast<unsigned>(block);
+            MixParams mix;
+            mix.requestsPerMs =
+                coupledRate(static_cast<int>(coupling),
+                            static_cast<unsigned>(block));
+            declareMixSim(simLabel(static_cast<int>(coupling),
+                                   static_cast<unsigned>(block)),
+                          8, mix, 2.0, &sp);
+        }
+    }
+    return true;
+}();
 
 void
 BM_Fig4_Mva(benchmark::State &state)
@@ -63,16 +92,14 @@ BM_Fig4_Sim(benchmark::State &state)
 {
     int coupling = static_cast<int>(state.range(0));
     unsigned block = static_cast<unsigned>(state.range(1));
-    SystemParams sp;
-    sp.bus.blockWords = block;
-    MixParams mix;
-    mix.requestsPerMs = coupledRate(coupling, block);
-    SimPoint pt{};
+    const std::string label = simLabel(coupling, block);
+    const Metrics &m = sweepPoint(label);
     for (auto _ : state)
-        pt = runMixSim(8, mix, 2.0, &sp);
-    state.counters["efficiency"] = pt.efficiency;
-    state.counters["req_per_ms"] = mix.requestsPerMs;
-    state.counters["lat_ns"] = pt.meanLatencyNs;
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["efficiency"] = m.at("efficiency");
+    state.counters["req_per_ms"] = coupledRate(coupling, block);
+    state.counters["lat_ns"] = m.at("mean_latency_ns");
+    BenchJson::instance().record("fig4_blocksize", label, m);
 }
 
 } // namespace
@@ -85,8 +112,9 @@ BENCHMARK(BM_Fig4_Mva)
 
 BENCHMARK(BM_Fig4_Sim)
     ->ArgNames({"coupling", "block_words"})
-    ->ArgsProduct({{0, 1, 2}, {4, 16, 64}})
+    ->ArgsProduct({kSimCouplings, kSimBlocks})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

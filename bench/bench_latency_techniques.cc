@@ -14,6 +14,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace mcube;
@@ -21,6 +25,48 @@ using namespace mcube::bench;
 
 namespace
 {
+
+const std::vector<std::int64_t> kCutFlags = {0, 1};
+const std::vector<std::int64_t> kCutBlocks = {16, 64};
+// (piece_words, block_words) points of the pieces cross-check.
+const std::vector<std::pair<unsigned, unsigned>> kPiecePoints = {
+    {0, 64}, {4, 64}, {8, 64}};
+
+std::string
+cutLabel(bool cut, unsigned block)
+{
+    return std::string("sim_cut") + (cut ? "1" : "0") + "_b"
+         + std::to_string(block);
+}
+
+std::string
+pieceLabel(unsigned piece, unsigned block)
+{
+    return "sim_piece" + std::to_string(piece) + "_b"
+         + std::to_string(block);
+}
+
+const bool kDeclared = [] {
+    MixParams mix;
+    mix.requestsPerMs = 15.0;
+    for (std::int64_t cut : kCutFlags) {
+        for (std::int64_t block : kCutBlocks) {
+            SystemParams sp;
+            sp.bus.blockWords = static_cast<unsigned>(block);
+            sp.bus.cutThrough = cut != 0;
+            declareMixSim(cutLabel(cut != 0,
+                                   static_cast<unsigned>(block)),
+                          8, mix, 2.0, &sp);
+        }
+    }
+    for (auto [piece, block] : kPiecePoints) {
+        SystemParams sp;
+        sp.bus.blockWords = block;
+        sp.bus.pieceWords = piece;
+        declareMixSim(pieceLabel(piece, block), 8, mix, 2.0, &sp);
+    }
+    return true;
+}();
 
 void
 BM_Technique_Mva(benchmark::State &state)
@@ -51,16 +97,13 @@ BM_CutThrough_Sim(benchmark::State &state)
 {
     bool cut = state.range(0) != 0;
     unsigned block = static_cast<unsigned>(state.range(1));
-    SystemParams sp;
-    sp.bus.blockWords = block;
-    sp.bus.cutThrough = cut;
-    MixParams mix;
-    mix.requestsPerMs = 15.0;
-    SimPoint pt{};
+    const std::string label = cutLabel(cut, block);
+    const Metrics &m = sweepPoint(label);
     for (auto _ : state)
-        pt = runMixSim(8, mix, 2.0, &sp);
-    state.counters["mean_latency_ns"] = pt.meanLatencyNs;
-    state.counters["efficiency"] = pt.efficiency;
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["mean_latency_ns"] = m.at("mean_latency_ns");
+    state.counters["efficiency"] = m.at("efficiency");
+    BenchJson::instance().record("latency_techniques", label, m);
 }
 
 /** Simulator counterpart of the "small fixed-size pieces" technique:
@@ -70,17 +113,14 @@ BM_Pieces_Sim(benchmark::State &state)
 {
     unsigned piece = static_cast<unsigned>(state.range(0));
     unsigned block = static_cast<unsigned>(state.range(1));
-    SystemParams sp;
-    sp.bus.blockWords = block;
-    sp.bus.pieceWords = piece;
-    MixParams mix;
-    mix.requestsPerMs = 15.0;
-    SimPoint pt{};
+    const std::string label = pieceLabel(piece, block);
+    const Metrics &m = sweepPoint(label);
     for (auto _ : state)
-        pt = runMixSim(8, mix, 2.0, &sp);
-    state.counters["mean_latency_ns"] = pt.meanLatencyNs;
-    state.counters["efficiency"] = pt.efficiency;
-    state.counters["row_util"] = pt.rowUtil;
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["mean_latency_ns"] = m.at("mean_latency_ns");
+    state.counters["efficiency"] = m.at("efficiency");
+    state.counters["row_util"] = m.at("row_util");
+    BenchJson::instance().record("latency_techniques", label, m);
 }
 
 } // namespace
@@ -93,8 +133,9 @@ BENCHMARK(BM_Technique_Mva)
 
 BENCHMARK(BM_CutThrough_Sim)
     ->ArgNames({"cut_through", "block_words"})
-    ->ArgsProduct({{0, 1}, {16, 64}})
+    ->ArgsProduct({kCutFlags, kCutBlocks})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_Pieces_Sim)
@@ -103,6 +144,7 @@ BENCHMARK(BM_Pieces_Sim)
     ->Args({4, 64})
     ->Args({8, 64})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

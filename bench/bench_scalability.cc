@@ -140,4 +140,6 @@ BENCHMARK(BM_Efficiency_vs_N)
     ->DenseRange(8, 40, 8)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+// No simulation points here (everything is closed-form MVA/topology),
+// but use the shared entry point so --jobs is accepted uniformly.
+MCUBE_BENCH_MAIN();

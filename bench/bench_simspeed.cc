@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulator hot-path speed: how fast the event core chews through a
+ * representative MixWorkload run, across machine sizes. This is the
+ * repo's performance canary — CI's perf-smoke job compares the
+ * events_per_sec column of BENCH_simspeed.json against the checked-in
+ * baseline (bench/baseline_simspeed.json) and fails on a large
+ * regression (see scripts/perf_check.py).
+ *
+ * Reported per point:
+ *
+ *   events_per_sec  executed simulation events per host second — the
+ *                   primary figure of merit for EventQueue + Bus +
+ *                   stats hot-path changes;
+ *   ticks_per_sec   simulated nanoseconds per host second;
+ *   wall_seconds    host wall clock of the point;
+ *   sim_events      total events executed (a *determinism* canary:
+ *                   this must not move run-to-run for a fixed seed).
+ *
+ * Run it with --jobs=1 when timing: parallel workers share the
+ * machine and inflate each other's wall clock.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace mcube;
+using namespace mcube::bench;
+
+namespace
+{
+
+const std::vector<std::int64_t> kSizes = {8, 16, 32};
+constexpr double kRate = 25.0;
+
+std::string
+pointLabel(unsigned n)
+{
+    return "sim_n" + std::to_string(n);
+}
+
+const bool kDeclared = [] {
+    for (std::int64_t n : kSizes) {
+        MixParams mix;
+        mix.requestsPerMs = kRate;
+        // Size the simulated interval so every point runs for a few
+        // hundred ms of wall clock: short points (n=8 finishes 2 ms of
+        // sim time in ~30 ms) are dominated by host scheduler noise
+        // and make the CI throughput comparison flap.
+        declareMixSim(pointLabel(static_cast<unsigned>(n)),
+                      static_cast<unsigned>(n), mix,
+                      n >= 32 ? 0.5 : (n >= 16 ? 2.0 : 16.0));
+    }
+    return true;
+}();
+
+void
+BM_SimSpeed(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    const std::string label = pointLabel(n);
+    const Metrics &m = sweepPoint(label);
+    const double wall = m.at("wall_seconds");
+    for (auto _ : state)
+        state.SetIterationTime(wall);
+
+    Metrics out;
+    out["wall_seconds"] = wall;
+    out["sim_events"] = m.at("sim_events");
+    out["sim_ticks"] = m.at("sim_ticks");
+    out["events_per_sec"] =
+        wall > 0 ? m.at("sim_events") / wall : 0.0;
+    out["ticks_per_sec"] = wall > 0 ? m.at("sim_ticks") / wall : 0.0;
+    out["transactions"] = m.at("transactions");
+    out["efficiency"] = m.at("efficiency");
+
+    for (const auto &[name, value] : out)
+        state.counters[name] = value;
+    BenchJson::instance().record("simspeed", label, out);
+}
+
+} // namespace
+
+BENCHMARK(BM_SimSpeed)
+    ->ArgNames({"n"})
+    ->ArgsProduct({kSizes})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+MCUBE_BENCH_MAIN();

@@ -18,30 +18,40 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "core/system.hh"
 #include "proc/processor.hh"
 #include "proc/program.hh"
 
 using namespace mcube;
+using namespace mcube::bench;
 using namespace mcube::prog;
 
 namespace
 {
 
-struct LockRun
-{
-    std::uint64_t busOps = 0;
-    std::uint64_t handoffs = 0;
-    Tick elapsed = 0;
-    std::uint64_t finalCount = 0;
-};
+const std::vector<std::int64_t> kKinds = {0, 1, 2};
+const std::vector<std::int64_t> kWorkers = {2, 4, 8, 16};
+constexpr unsigned kIters = 8;
 
-LockRun
-runLockBench(OpCode kind, unsigned workers, unsigned iters)
+std::string
+pointLabel(int kind_idx, unsigned workers)
 {
+    return "kind" + std::to_string(kind_idx) + "_w"
+         + std::to_string(workers);
+}
+
+Metrics
+runLockBench(int kind_idx, unsigned workers)
+{
+    OpCode kind = kind_idx == 0   ? OpCode::LockTTS
+                  : kind_idx == 1 ? OpCode::LockTset
+                                  : OpCode::LockSync;
     SystemParams p;
     p.n = 4;
     MulticubeSystem sys(p);
@@ -55,7 +65,7 @@ runLockBench(OpCode kind, unsigned workers, unsigned iters)
             "p" + std::to_string(i), sys.eventQueue(),
             sys.node((i * 5) % 16), pp));
         std::vector<Instr> prog = {
-            setCnt(iters),
+            setCnt(kIters),
             Instr{kind, lock, 0, 0},
             load(counter),
             addAcc(1),
@@ -74,52 +84,68 @@ runLockBench(OpCode kind, unsigned workers, unsigned iters)
     sys.eventQueue().runUntil(4'000'000'000ull);
     sys.drain();
 
-    LockRun out;
-    out.busOps = sys.totalBusOps();
-    out.handoffs = static_cast<std::uint64_t>(workers) * iters;
+    const double busOps = static_cast<double>(sys.totalBusOps());
+    const double handoffs = static_cast<double>(workers) * kIters;
+    Tick elapsed = 0;
     for (auto &r : runners)
-        out.elapsed = std::max(out.elapsed, r->finishTick());
+        elapsed = std::max(elapsed, r->finishTick());
     // Recover the final counter value from whichever cache owns it.
+    std::uint64_t finalCount = 0;
     for (NodeId id = 0; id < sys.numNodes(); ++id) {
         if (sys.node(id).modeOf(counter) != Mode::Invalid)
-            out.finalCount =
-                std::max(out.finalCount, sys.node(id).dataOf(counter)
-                                             .token);
+            finalCount = std::max(
+                finalCount, sys.node(id).dataOf(counter).token);
     }
-    return out;
+    return {{"bus_ops_per_handoff", busOps / handoffs},
+            {"ns_per_handoff",
+             static_cast<double>(elapsed) / handoffs},
+            {"total_bus_ops", busOps},
+            {"count_ok",
+             finalCount
+                     == static_cast<std::uint64_t>(workers) * kIters
+                 ? 1.0
+                 : 0.0}};
 }
+
+const bool kDeclared = [] {
+    for (std::int64_t kind : kKinds) {
+        for (std::int64_t workers : kWorkers) {
+            declarePoint(pointLabel(static_cast<int>(kind),
+                                    static_cast<unsigned>(workers)),
+                         [kind, workers] {
+                             return runLockBench(
+                                 static_cast<int>(kind),
+                                 static_cast<unsigned>(workers));
+                         });
+        }
+    }
+    return true;
+}();
 
 void
 BM_LockDiscipline(benchmark::State &state)
 {
     int kind_idx = static_cast<int>(state.range(0));
     unsigned workers = static_cast<unsigned>(state.range(1));
-    OpCode kind = kind_idx == 0   ? OpCode::LockTTS
-                  : kind_idx == 1 ? OpCode::LockTset
-                                  : OpCode::LockSync;
-    const unsigned iters = 8;
-
-    LockRun r{};
+    const std::string label = pointLabel(kind_idx, workers);
+    const Metrics &m = sweepPoint(label);
     for (auto _ : state)
-        r = runLockBench(kind, workers, iters);
-
+        state.SetIterationTime(m.at("wall_seconds"));
     state.counters["bus_ops_per_handoff"] =
-        static_cast<double>(r.busOps) / static_cast<double>(r.handoffs);
-    state.counters["ns_per_handoff"] =
-        static_cast<double>(r.elapsed) / static_cast<double>(r.handoffs);
-    state.counters["total_bus_ops"] = static_cast<double>(r.busOps);
-    state.counters["count_ok"] =
-        r.finalCount == static_cast<std::uint64_t>(workers) * iters
-            ? 1.0
-            : 0.0;
+        m.at("bus_ops_per_handoff");
+    state.counters["ns_per_handoff"] = m.at("ns_per_handoff");
+    state.counters["total_bus_ops"] = m.at("total_bus_ops");
+    state.counters["count_ok"] = m.at("count_ok");
+    BenchJson::instance().record("sync_locks", label, m);
 }
 
 } // namespace
 
 BENCHMARK(BM_LockDiscipline)
     ->ArgNames({"kind_tts0_tset1_sync2", "workers"})
-    ->ArgsProduct({{0, 1, 2}, {2, 4, 8, 16}})
+    ->ArgsProduct({kKinds, kWorkers})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

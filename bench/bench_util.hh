@@ -4,27 +4,52 @@
  * simulation or an MVA solve for one configuration and report the
  * paper's metrics.
  *
- * Benches can additionally record machine-readable results through
+ * Simulation points are embarrassingly parallel (each is one
+ * single-threaded deterministic MulticubeSystem run), so benches no
+ * longer run them inline: every bench *declares* its grid of points
+ * into the SweepCache at static-initialization time, and the custom
+ * MCUBE_BENCH_MAIN() fans all declared points across `--jobs N`
+ * worker threads (default: all hardware threads; MCUBE_BENCH_JOBS
+ * also works) before Google Benchmark starts. Each benchmark body
+ * then just looks its point up by label. Per-point seeds are derived
+ * from (base seed, declaration index), and results are stored by
+ * label, so the numbers are bit-identical for any job count.
+ *
+ * Benches additionally record machine-readable results through
  * BenchJson: each recorded (bench, label) point lands in a
- * BENCH_<bench>.json file in the working directory when the process
- * exits, carrying the headline metrics, the flattened stat tree of
- * the simulated system, wall time and the git revision — the file a
- * regression dashboard diffs across commits.
+ * BENCH_<bench>.json file in the working directory, carrying the
+ * headline metrics, the flattened stat tree of the simulated system,
+ * wall time and the git revision — the file a regression dashboard
+ * diffs across commits. The file is rewritten via temp-file + atomic
+ * rename after every record(), so an aborting bench keeps every point
+ * recorded so far and a reader never observes a truncated file.
  */
 
 #ifndef MCUBE_BENCH_BENCH_UTIL_HH
 #define MCUBE_BENCH_BENCH_UTIL_HH
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/system.hh"
 #include "mva/mva_model.hh"
+#include "sim/stats.hh"
 #include "proc/mix_workload.hh"
+#include "sim/sweep_runner.hh"
 
 namespace mcube::bench
 {
@@ -40,8 +65,12 @@ struct SimPoint
     std::uint64_t busOps = 0;
     /** Host wall-clock seconds the simulation took. */
     double wallSeconds = 0.0;
+    /** Events the event queue executed during the run. */
+    std::uint64_t simEvents = 0;
+    /** Final simulated tick. */
+    std::uint64_t simTicks = 0;
     /** Flattened stat tree of the simulated system. */
-    std::map<std::string, double> stats;
+    FlatStats stats;
 };
 
 /** Run the synthetic mix on an n x n machine for @p sim_ms of
@@ -69,6 +98,8 @@ runMixSim(unsigned n, const MixParams &mix, double sim_ms = 2.0,
     out.meanLatencyNs = wl.meanLatency();
     out.transactions = wl.totalCompleted();
     out.busOps = sys.totalBusOps();
+    out.simEvents = sys.eventQueue().eventsExecuted();
+    out.simTicks = sys.eventQueue().now();
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now()
                                       - wall_start)
@@ -89,11 +120,207 @@ runMva(unsigned n, double rate, const MvaParams *base = nullptr)
     return MvaModel(p).solve();
 }
 
+/** Flat name->value metrics of one bench point. */
+using Metrics = std::map<std::string, double>;
+
+/** @p p's headline metrics plus its stat tree as a Metrics map. */
+inline Metrics
+toMetrics(const SimPoint &p)
+{
+    Metrics m(p.stats.begin(), p.stats.end());
+    m["efficiency"] = p.efficiency;
+    m["row_util"] = p.rowUtil;
+    m["col_util"] = p.colUtil;
+    m["mean_latency_ns"] = p.meanLatencyNs;
+    m["transactions"] = static_cast<double>(p.transactions);
+    m["bus_ops"] = static_cast<double>(p.busOps);
+    m["wall_seconds"] = p.wallSeconds;
+    m["sim_events"] = static_cast<double>(p.simEvents);
+    m["sim_ticks"] = static_cast<double>(p.simTicks);
+    return m;
+}
+
+/**
+ * The per-binary registry of declared sweep points.
+ *
+ * declare() (usually at static-init) associates a label with a thunk
+ * that computes the point's Metrics; computeAll() — called by
+ * MCUBE_BENCH_MAIN before benchmarks run — fans every declared point
+ * across a SweepRunner; get() returns the memoized result, computing
+ * everything on first use as a fallback. Looking up a label that was
+ * never declared is a hard error — a silent default would record
+ * wrong numbers.
+ */
+class SweepCache
+{
+  public:
+    static SweepCache &
+    instance()
+    {
+        static SweepCache cache;
+        return cache;
+    }
+
+    /** Declared points so far — the seed-derivation index of the next
+     *  declarePoint/declareMixSim call. */
+    std::size_t size() const { return points.size(); }
+
+    /** Register @p fn under @p label (first declaration wins). */
+    void
+    declare(const std::string &label, std::function<Metrics()> fn)
+    {
+        if (index.count(label))
+            return;
+        index[label] = points.size();
+        points.push_back(Point{label, std::move(fn), {}, false});
+    }
+
+    /** Compute every declared-but-uncomputed point, in parallel. */
+    void
+    computeAll()
+    {
+        computed = true;
+        sweep::SweepRunner runner(jobs());
+        runner.forEach(points.size(), [this](std::size_t i) {
+            if (!points[i].done) {
+                points[i].result = points[i].fn();
+                points[i].done = true;
+            }
+        });
+    }
+
+    /** The metrics of @p label (see class comment). */
+    const Metrics &
+    get(const std::string &label)
+    {
+        if (!computed)
+            computeAll();
+        auto it = index.find(label);
+        if (it == index.end()) {
+            std::fprintf(stderr,
+                         "bench_util: sweep point '%s' was never "
+                         "declared\n",
+                         label.c_str());
+            std::abort();
+        }
+        Point &p = points[it->second];
+        if (!p.done) {
+            p.result = p.fn();
+            p.done = true;
+        }
+        return p.result;
+    }
+
+    /** Worker count: --jobs / MCUBE_BENCH_JOBS, 0 = all hw threads. */
+    unsigned
+    jobs() const
+    {
+        if (_jobs != UINT_MAX)
+            return sweep::resolveJobs(_jobs);
+        if (const char *env = std::getenv("MCUBE_BENCH_JOBS"))
+            return sweep::resolveJobs(
+                static_cast<unsigned>(std::atoi(env)));
+        return sweep::resolveJobs(0);
+    }
+
+    void setJobs(unsigned j) { _jobs = j; }
+
+    /**
+     * Strip `--jobs=N` (and `-j N` / `-jN`) from the argument vector
+     * before Google Benchmark sees it. @return the new argc.
+     */
+    int
+    stripJobsFlag(int argc, char **argv)
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (std::strncmp(a, "--jobs=", 7) == 0) {
+                setJobs(static_cast<unsigned>(std::atoi(a + 7)));
+            } else if (std::strcmp(a, "-j") == 0 && i + 1 < argc) {
+                setJobs(static_cast<unsigned>(std::atoi(argv[++i])));
+            } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+                setJobs(static_cast<unsigned>(std::atoi(a + 2)));
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argv[out] = nullptr;
+        return out;
+    }
+
+  private:
+    struct Point
+    {
+        std::string label;
+        std::function<Metrics()> fn;
+        Metrics result;
+        bool done = false;
+    };
+
+    SweepCache() = default;
+
+    std::vector<Point> points;
+    std::map<std::string, std::size_t> index;
+    bool computed = false;
+    unsigned _jobs = UINT_MAX;  //!< UINT_MAX = not set on command line
+};
+
+/**
+ * Declare a runMixSim point under @p label. The point's system and
+ * workload seeds are derived from (configured base seed, declaration
+ * index), so every point of a sweep runs an independent — but fully
+ * reproducible — stream for any job count.
+ */
+inline void
+declareMixSim(const std::string &label, unsigned n,
+              const MixParams &mix, double sim_ms = 2.0,
+              const SystemParams *base = nullptr)
+{
+    SystemParams sp;
+    if (base)
+        sp = *base;
+    const std::uint64_t idx = SweepCache::instance().size();
+    sp.seed = sweep::pointSeed(sp.seed, idx);
+    MixParams m = mix;
+    m.seed = sweep::pointSeed(m.seed, idx);
+    SweepCache::instance().declare(label, [label, n, m, sim_ms, sp] {
+        return toMetrics(runMixSim(n, m, sim_ms, &sp));
+    });
+}
+
+/** Declare an arbitrary point computed by @p fn under @p label. The
+ *  point's wall time is measured and added as "wall_seconds" (unless
+ *  @p fn already reports one, as runMixSim does). */
+inline void
+declarePoint(const std::string &label, std::function<Metrics()> fn)
+{
+    SweepCache::instance().declare(
+        label, [fn = std::move(fn)]() -> Metrics {
+            auto t0 = std::chrono::steady_clock::now();
+            Metrics m = fn();
+            m.emplace(
+                "wall_seconds",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            return m;
+        });
+}
+
+/** Fetch @p label's metrics (parallel-precomputed on first use). */
+inline const Metrics &
+sweepPoint(const std::string &label)
+{
+    return SweepCache::instance().get(label);
+}
+
 /**
  * Machine-readable bench-result registry. record() points during the
- * run; each bench's points are written to BENCH_<bench>.json at
- * process exit (one flat string->double map per point, plus the git
- * revision for cross-commit comparison).
+ * run; each record() rewrites the owning bench's BENCH_<bench>.json
+ * through a temp file and an atomic rename, so a crashing or aborted
+ * bench loses nothing already recorded and readers never see a
+ * partial file.
  */
 class BenchJson
 {
@@ -107,9 +334,11 @@ class BenchJson
 
     void
     record(const std::string &bench, const std::string &label,
-           std::map<std::string, double> metrics)
+           Metrics metrics)
     {
+        std::lock_guard<std::mutex> g(lock);
         data[bench][label] = std::move(metrics);
+        flush(bench);
     }
 
     /** Record @p p under @p label, stat tree included. */
@@ -117,29 +346,31 @@ class BenchJson
     record(const std::string &bench, const std::string &label,
            const SimPoint &p)
     {
-        std::map<std::string, double> m = p.stats;
-        m["efficiency"] = p.efficiency;
-        m["row_util"] = p.rowUtil;
-        m["col_util"] = p.colUtil;
-        m["mean_latency_ns"] = p.meanLatencyNs;
-        m["transactions"] = static_cast<double>(p.transactions);
-        m["bus_ops"] = static_cast<double>(p.busOps);
-        m["wall_seconds"] = p.wallSeconds;
-        record(bench, label, std::move(m));
+        record(bench, label, toMetrics(p));
     }
 
-    ~BenchJson()
+  private:
+    BenchJson() = default;
+
+    /** Write BENCH_<bench>.json atomically (temp file + rename). */
+    void
+    flush(const std::string &bench)
     {
-        std::string rev = gitRev();
-        for (const auto &[bench, points] : data) {
-            std::ofstream os("BENCH_" + bench + ".json");
+        const std::string final_name = "BENCH_" + bench + ".json";
+        const std::string tmp_name = final_name + ".tmp";
+        {
+            std::ofstream os(tmp_name,
+                             std::ios::out | std::ios::trunc);
             if (!os)
-                continue;
+                return;
+            // Round-trippable doubles: a dashboard diffing artifacts
+            // must see the exact values, not 6-digit approximations.
+            os.precision(std::numeric_limits<double>::max_digits10);
             os << "{\n  \"bench\": \"" << bench << "\",\n"
-               << "  \"git_rev\": \"" << rev << "\",\n"
+               << "  \"git_rev\": \"" << gitRev() << "\",\n"
                << "  \"points\": {";
             const char *psep = "\n";
-            for (const auto &[label, metrics] : points) {
+            for (const auto &[label, metrics] : data[bench]) {
                 os << psep << "    \"" << label << "\": {";
                 const char *msep = "";
                 for (const auto &[name, value] : metrics) {
@@ -151,37 +382,61 @@ class BenchJson
                 psep = ",\n";
             }
             os << "\n  }\n}\n";
+            if (!os.flush())
+                return;
         }
+        std::rename(tmp_name.c_str(), final_name.c_str());
     }
 
-  private:
-    BenchJson() = default;
-
-    /** Best-effort HEAD revision; "unknown" outside a git checkout. */
-    static std::string
+    /** Best-effort HEAD revision (cached); "unknown" outside git. */
+    const std::string &
     gitRev()
     {
-        std::string rev = "unknown";
-        if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
-            char buf[64] = {};
-            if (fgets(buf, sizeof(buf), p)) {
-                rev.assign(buf);
-                while (!rev.empty()
-                       && (rev.back() == '\n' || rev.back() == '\r'))
-                    rev.pop_back();
-                if (rev.empty())
-                    rev = "unknown";
+        if (!revCached) {
+            revCached = true;
+            if (FILE *p = popen("git rev-parse HEAD 2>/dev/null",
+                                "r")) {
+                char buf[64] = {};
+                if (fgets(buf, sizeof(buf), p)) {
+                    rev.assign(buf);
+                    while (!rev.empty()
+                           && (rev.back() == '\n'
+                               || rev.back() == '\r'))
+                        rev.pop_back();
+                    if (rev.empty())
+                        rev = "unknown";
+                }
+                pclose(p);
             }
-            pclose(p);
         }
         return rev;
     }
 
-    std::map<std::string,
-             std::map<std::string, std::map<std::string, double>>>
-        data;
+    std::mutex lock;
+    std::string rev = "unknown";
+    bool revCached = false;
+    std::map<std::string, std::map<std::string, Metrics>> data;
 };
 
 } // namespace mcube::bench
+
+/**
+ * Bench entry point: strips --jobs, precomputes every declared sweep
+ * point across the worker pool, then hands over to Google Benchmark.
+ */
+#define MCUBE_BENCH_MAIN()                                                  \
+    int main(int argc, char **argv)                                         \
+    {                                                                       \
+        argc = ::mcube::bench::SweepCache::instance().stripJobsFlag(        \
+            argc, argv);                                                    \
+        ::benchmark::Initialize(&argc, argv);                               \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))           \
+            return 1;                                                       \
+        ::mcube::bench::SweepCache::instance().computeAll();                \
+        ::benchmark::RunSpecifiedBenchmarks();                              \
+        ::benchmark::Shutdown();                                            \
+        return 0;                                                           \
+    }                                                                       \
+    int mcube_bench_main_anchor_ = 0
 
 #endif // MCUBE_BENCH_BENCH_UTIL_HH

@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "baseline/dancehall.hh"
 #include "baseline/multi_workload.hh"
 #include "baseline/single_bus_multi.hh"
@@ -23,32 +26,113 @@ namespace
 
 constexpr double kRate = 25.0;
 
+const std::vector<std::int64_t> kMultiProcs = {4, 9, 16, 25, 36, 64,
+                                               100};
+const std::vector<std::int64_t> kDancehallProcs = {64, 256, 1024};
+const std::vector<std::int64_t> kDancehallRates = {25, 100, 300, 600};
+const std::vector<std::int64_t> kMulticubeN = {2, 3, 4, 5, 6, 8, 10};
+
+std::string
+multiLabel(unsigned procs)
+{
+    return "multi_p" + std::to_string(procs);
+}
+
+std::string
+dancehallLabel(unsigned procs, int ref_rate)
+{
+    return "dancehall_p" + std::to_string(procs) + "_r"
+         + std::to_string(ref_rate);
+}
+
+std::string
+multicubeLabel(unsigned n)
+{
+    return "multicube_n" + std::to_string(n);
+}
+
+Metrics
+runSingleBusMulti(unsigned procs)
+{
+    MultiParams p;
+    p.numProcessors = procs;
+    SingleBusMulti sys(p);
+    MixParams mix;
+    mix.requestsPerMs = kRate;
+    MultiMixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(2'000'000);
+    wl.stop();
+    sys.drain();
+    return {{"processors", static_cast<double>(procs)},
+            {"efficiency", wl.efficiency()},
+            {"bus_util", sys.bus().utilization()},
+            {"bus_ops",
+             static_cast<double>(sys.bus().opsDelivered())}};
+}
+
+Metrics
+runDancehall(unsigned procs, double ref_rate)
+{
+    DancehallParams p;
+    p.numProcessors = procs;
+    p.numBanks = procs;
+    DancehallSystem sys(p);
+    Tick latency =
+        2 * sys.networkLatency() + p.bankServiceTicks + p.wordTicks;
+    DancehallWorkload wl(sys, ref_rate);
+    wl.start();
+    sys.eventQueue().runUntil(2'000'000);
+    wl.stop();
+    sys.eventQueue().run();
+    return {{"processors", static_cast<double>(procs)},
+            {"shared_refs_per_ms", ref_rate},
+            {"efficiency", wl.efficiency()},
+            {"bank_util", sys.bankUtilization()},
+            {"unloaded_latency_ns", static_cast<double>(latency)}};
+}
+
+const bool kDeclared = [] {
+    for (std::int64_t procs : kMultiProcs) {
+        declarePoint(multiLabel(static_cast<unsigned>(procs)),
+                     [procs] {
+                         return runSingleBusMulti(
+                             static_cast<unsigned>(procs));
+                     });
+    }
+    for (std::int64_t procs : kDancehallProcs) {
+        for (std::int64_t rate : kDancehallRates) {
+            declarePoint(
+                dancehallLabel(static_cast<unsigned>(procs),
+                               static_cast<int>(rate)),
+                [procs, rate] {
+                    return runDancehall(static_cast<unsigned>(procs),
+                                        static_cast<double>(rate));
+                });
+        }
+    }
+    for (std::int64_t n : kMulticubeN) {
+        MixParams mix;
+        mix.requestsPerMs = kRate;
+        declareMixSim(multicubeLabel(static_cast<unsigned>(n)),
+                      static_cast<unsigned>(n), mix, 2.0);
+    }
+    return true;
+}();
+
 void
 BM_SingleBusMulti(benchmark::State &state)
 {
     unsigned procs = static_cast<unsigned>(state.range(0));
-    double eff = 0.0;
-    std::uint64_t ops = 0;
-    double util = 0.0;
-    for (auto _ : state) {
-        MultiParams p;
-        p.numProcessors = procs;
-        SingleBusMulti sys(p);
-        MixParams mix;
-        mix.requestsPerMs = kRate;
-        MultiMixWorkload wl(sys, mix);
-        wl.start();
-        sys.run(2'000'000);
-        wl.stop();
-        sys.drain();
-        eff = wl.efficiency();
-        ops = sys.bus().opsDelivered();
-        util = sys.bus().utilization();
-    }
-    state.counters["processors"] = static_cast<double>(procs);
-    state.counters["efficiency"] = eff;
-    state.counters["bus_util"] = util;
-    state.counters["bus_ops"] = static_cast<double>(ops);
+    const std::string label = multiLabel(procs);
+    const Metrics &m = sweepPoint(label);
+    for (auto _ : state)
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["processors"] = m.at("processors");
+    state.counters["efficiency"] = m.at("efficiency");
+    state.counters["bus_util"] = m.at("bus_util");
+    state.counters["bus_ops"] = m.at("bus_ops");
+    BenchJson::instance().record("vs_single_bus", label, m);
 }
 
 /**
@@ -65,76 +149,55 @@ void
 BM_Dancehall(benchmark::State &state)
 {
     unsigned procs = static_cast<unsigned>(state.range(0));
-    double ref_rate = static_cast<double>(state.range(1));
-    double eff = 0.0, util = 0.0;
-    Tick latency = 0;
-    for (auto _ : state) {
-        DancehallParams p;
-        p.numProcessors = procs;
-        p.numBanks = procs;
-        DancehallSystem sys(p);
-        latency = 2 * sys.networkLatency() + p.bankServiceTicks
-                + p.wordTicks;
-        DancehallWorkload wl(sys, ref_rate);
-        wl.start();
-        sys.eventQueue().runUntil(2'000'000);
-        wl.stop();
-        sys.eventQueue().run();
-        eff = wl.efficiency();
-        util = sys.bankUtilization();
-    }
-    state.counters["processors"] = static_cast<double>(procs);
-    state.counters["shared_refs_per_ms"] = ref_rate;
-    state.counters["efficiency"] = eff;
-    state.counters["bank_util"] = util;
+    int ref_rate = static_cast<int>(state.range(1));
+    const std::string label = dancehallLabel(procs, ref_rate);
+    const Metrics &m = sweepPoint(label);
+    for (auto _ : state)
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.counters["processors"] = m.at("processors");
+    state.counters["shared_refs_per_ms"] = m.at("shared_refs_per_ms");
+    state.counters["efficiency"] = m.at("efficiency");
+    state.counters["bank_util"] = m.at("bank_util");
     state.counters["unloaded_latency_ns"] =
-        static_cast<double>(latency);
+        m.at("unloaded_latency_ns");
+    BenchJson::instance().record("vs_single_bus", label, m);
 }
 
 void
 BM_Multicube(benchmark::State &state)
 {
     unsigned n = static_cast<unsigned>(state.range(0));
-    MixParams mix;
-    mix.requestsPerMs = kRate;
-    SimPoint pt{};
+    const std::string label = multicubeLabel(n);
+    const Metrics &m = sweepPoint(label);
     for (auto _ : state)
-        pt = runMixSim(n, mix, 2.0);
+        state.SetIterationTime(m.at("wall_seconds"));
     state.counters["processors"] = static_cast<double>(n) * n;
-    state.counters["efficiency"] = pt.efficiency;
-    state.counters["row_util"] = pt.rowUtil;
+    state.counters["efficiency"] = m.at("efficiency");
+    state.counters["row_util"] = m.at("row_util");
+    BenchJson::instance().record("vs_single_bus", label, m);
 }
 
 } // namespace
 
 BENCHMARK(BM_SingleBusMulti)
     ->ArgNames({"processors"})
-    ->Arg(4)
-    ->Arg(9)
-    ->Arg(16)
-    ->Arg(25)
-    ->Arg(36)
-    ->Arg(64)
-    ->Arg(100)
+    ->ArgsProduct({kMultiProcs})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_Dancehall)
     ->ArgNames({"processors", "shared_refs_per_ms"})
-    ->ArgsProduct({{64, 256, 1024}, {25, 100, 300, 600}})
+    ->ArgsProduct({kDancehallProcs, kDancehallRates})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_Multicube)
     ->ArgNames({"n"})
-    ->Arg(2)
-    ->Arg(3)
-    ->Arg(4)
-    ->Arg(5)
-    ->Arg(6)
-    ->Arg(8)
-    ->Arg(10)
+    ->ArgsProduct({kMulticubeN})
     ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MCUBE_BENCH_MAIN();

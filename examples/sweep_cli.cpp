@@ -5,10 +5,18 @@
  *
  *   $ ./sweep_cli --mode=mva --n=32 --rates=1,5,10,20,25,30,40,50
  *   $ ./sweep_cli --mode=sim --n=8 --rates=5,15,25 --ms=2 --block=16
- *   $ ./sweep_cli --mode=both --n=8 --rates=10,25
+ *   $ ./sweep_cli --mode=both --n=8 --rates=10,25 --jobs=4
  *
  * Columns: mode,n,req_per_ms,block_words,efficiency,row_util,
  * col_util,resp_ns
+ *
+ * Parallelism:
+ *   --jobs=N               run simulation points on N worker threads
+ *                          (0 = all hardware threads; default 1).
+ *                          Each point's seed is derived from the base
+ *                          seed and the point's index, and rows are
+ *                          emitted in rate order, so the CSV is
+ *                          byte-identical for any job count.
  *
  * Observability (sim mode):
  *   --trace-out=t.json     Chrome trace-event JSON (Perfetto-viewable;
@@ -25,8 +33,10 @@
  *                          the '#' header line, so a saved CSV is
  *                          always re-runnable
  *
- * With several --rates, trace/metrics files cover the *last* simulated
- * point (each point truncates them); use a single rate when tracing.
+ * Tracing and metrics snapshots are process-global, single-run tools:
+ * requesting them forces --jobs=1 (with a warning). With several
+ * --rates, the files cover the *last* simulated point (each point
+ * truncates them); use a single rate when tracing.
  */
 
 #include <cstdint>
@@ -42,6 +52,7 @@
 #include "fault/fault_injector.hh"
 #include "mva/mva_model.hh"
 #include "proc/mix_workload.hh"
+#include "sim/sweep_runner.hh"
 #include "trace/metrics_sampler.hh"
 #include "trace/trace_event.hh"
 
@@ -58,6 +69,7 @@ struct Options
     unsigned block = 16;
     double simMs = 2.0;
     double invFrac = 0.20;
+    unsigned jobs = 1;
     std::string traceOut;
     std::string traceText;
     std::size_t traceCap = 1 << 16;
@@ -103,6 +115,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.simMs = std::atof(val.c_str());
         else if (key == "inv")
             opt.invFrac = std::atof(val.c_str());
+        else if (key == "jobs")
+            opt.jobs = std::atoi(val.c_str());
         else if (key == "trace-out")
             opt.traceOut = val;
         else if (key == "trace-text")
@@ -133,8 +147,8 @@ parseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
-void
-emitMva(const Options &opt, double rate)
+std::string
+mvaRow(const Options &opt, double rate)
 {
     MvaParams p;
     p.n = opt.n;
@@ -143,17 +157,19 @@ emitMva(const Options &opt, double rate)
     p.fracWriteUnmod = opt.invFrac;
     p.fracReadUnmod = 0.8 - opt.invFrac;
     MvaResult r = MvaModel(p).solve();
-    std::cout << "mva," << opt.n << ',' << rate << ',' << opt.block
-              << ',' << r.efficiency << ',' << r.rowUtilization << ','
-              << r.colUtilization << ',' << r.responseTimeNs << '\n';
+    std::ostringstream os;
+    os << "mva," << opt.n << ',' << rate << ',' << opt.block << ','
+       << r.efficiency << ',' << r.rowUtilization << ','
+       << r.colUtilization << ',' << r.responseTimeNs << '\n';
+    return os.str();
 }
 
-void
-emitSim(const Options &opt, double rate)
+std::string
+simRow(const Options &opt, double rate, std::uint64_t seed)
 {
     SystemParams sp;
     sp.n = opt.n;
-    sp.seed = opt.seed;
+    sp.seed = seed;
     sp.bus.blockWords = opt.block;
     if (opt.faultDrop > 0.0)
         sp.ctrl.requestTimeoutTicks = 500'000;
@@ -202,11 +218,12 @@ emitSim(const Options &opt, double rate)
         }
     }
 
-    std::cout << "sim," << opt.n << ',' << rate << ',' << opt.block
-              << ',' << wl.efficiency() << ','
-              << sys.meanBusUtilization(0) << ','
-              << sys.meanBusUtilization(1) << ',' << wl.meanLatency()
-              << '\n';
+    std::ostringstream os;
+    os << "sim," << opt.n << ',' << rate << ',' << opt.block << ','
+       << wl.efficiency() << ',' << sys.meanBusUtilization(0) << ','
+       << sys.meanBusUtilization(1) << ',' << wl.meanLatency()
+       << '\n';
+    return os.str();
 }
 
 } // namespace
@@ -217,6 +234,16 @@ main(int argc, char **argv)
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return 2;
+
+    unsigned jobs = sweep::resolveJobs(opt.jobs);
+    const bool observing = !opt.traceOut.empty()
+                        || !opt.traceText.empty()
+                        || !opt.metricsOut.empty();
+    if (jobs > 1 && observing) {
+        std::cerr << "sweep_cli: tracing/metrics are process-global "
+                     "single-run tools; forcing --jobs=1\n";
+        jobs = 1;
+    }
 
     // Echo the effective configuration (seed included) ahead of the
     // data so any CSV on disk is re-runnable as-is. '#' lines are
@@ -232,11 +259,24 @@ main(int argc, char **argv)
     std::cout << "\n";
     std::cout << "mode,n,req_per_ms,block_words,efficiency,row_util,"
                  "col_util,resp_ns\n";
-    for (double rate : opt.rates) {
+
+    // Simulation points are independent: fan them out, then emit the
+    // buffered rows in rate order so the CSV never depends on job
+    // count or completion order. Per-point seeds come from the base
+    // seed and the point index for the same reason.
+    std::vector<std::string> simRows(opt.rates.size());
+    if (opt.mode == "sim" || opt.mode == "both") {
+        sweep::SweepRunner runner(jobs);
+        runner.forEach(opt.rates.size(), [&](std::size_t i) {
+            simRows[i] = simRow(opt, opt.rates[i],
+                                sweep::pointSeed(opt.seed, i));
+        });
+    }
+    for (std::size_t i = 0; i < opt.rates.size(); ++i) {
         if (opt.mode == "mva" || opt.mode == "both")
-            emitMva(opt, rate);
+            std::cout << mvaRow(opt, opt.rates[i]);
         if (opt.mode == "sim" || opt.mode == "both")
-            emitSim(opt, rate);
+            std::cout << simRows[i];
     }
     return 0;
 }

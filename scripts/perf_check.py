@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_simspeed.json against the checked-in baseline.
+
+Usage:
+    perf_check.py CURRENT BASELINE [--tolerance 0.30]
+
+Two kinds of columns are checked, per point (sim_n8, sim_n16, ...):
+
+  determinism columns (sim_events, sim_ticks, transactions,
+  efficiency) must match the baseline EXACTLY -- these describe what
+  the simulator computed, not how fast, and a fixed-seed run may never
+  drift.  A mismatch means a behaviour change: regenerate the baseline
+  deliberately (and say why in the commit) or fix the regression.
+
+  throughput columns (events_per_sec) may regress by at most
+  --tolerance (default 30%).  Improvements never fail.  Timing noise
+  on shared CI runners is real; keep the tolerance generous and treat
+  this as a smoke alarm, not a microbenchmark.
+
+To regenerate the baseline after an intentional change:
+
+    ./build/bench/bench_simspeed --jobs=1
+    python3 scripts/perf_check.py --update BENCH_simspeed.json \
+        bench/baseline_simspeed.json
+
+Exit status: 0 ok, 1 regression/mismatch, 2 usage or missing file.
+"""
+
+import argparse
+import json
+import sys
+
+DETERMINISM_KEYS = ("sim_events", "sim_ticks", "transactions",
+                    "efficiency")
+THROUGHPUT_KEYS = ("events_per_sec",)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="max fractional throughput regression")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite BASELINE from CURRENT instead of "
+                         "comparing")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    if args.update:
+        cur["git_rev"] = "baseline"
+        with open(args.baseline, "w") as f:
+            json.dump(cur, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"perf_check: baseline {args.baseline} updated")
+        return 0
+
+    base = load(args.baseline)
+    cur_pts = cur.get("points", {})
+    base_pts = base.get("points", {})
+    failures = []
+
+    for label, bvals in sorted(base_pts.items()):
+        cvals = cur_pts.get(label)
+        if cvals is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        for key in DETERMINISM_KEYS:
+            if key not in bvals:
+                continue
+            if cvals.get(key) != bvals[key]:
+                failures.append(
+                    f"{label}.{key}: determinism drift "
+                    f"(baseline {bvals[key]}, current "
+                    f"{cvals.get(key)})")
+        for key in THROUGHPUT_KEYS:
+            if key not in bvals or bvals[key] <= 0:
+                continue
+            ratio = cvals.get(key, 0.0) / bvals[key]
+            status = "ok" if ratio >= 1.0 - args.tolerance else "FAIL"
+            print(f"{label}.{key}: baseline {bvals[key]:.0f} "
+                  f"current {cvals.get(key, 0.0):.0f} "
+                  f"ratio {ratio:.2f} [{status}]")
+            if status == "FAIL":
+                failures.append(
+                    f"{label}.{key}: {100 * (1 - ratio):.0f}% slower "
+                    f"than baseline (tolerance "
+                    f"{100 * args.tolerance:.0f}%)")
+
+    if failures:
+        print("perf_check: FAILED", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("perf_check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,9 @@ for b in 4 8 16 32 64; do
 done
 
 # --- Simulation cross-check points (64 processors) -------------------
-"$CLI" --mode=both --n=8 --rates=5,15,25,40 --ms=2 \
+# --jobs=0 fans the simulated points across all cores; the CSV is
+# bit-identical for any job count (docs/PERFORMANCE.md).
+"$CLI" --mode=both --n=8 --rates=5,15,25,40 --ms=2 --jobs=0 \
     > "$OUT/fig2_sim_crosscheck.csv"
 
 # --- gnuplot driver ---------------------------------------------------

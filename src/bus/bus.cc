@@ -154,11 +154,25 @@ Bus::tryArbitrate()
                    + _params.wordTicks;
     }
 
-    eq.scheduleIn(deliver_at, [this, op] { deliver(op); });
-    eq.scheduleIn(occ, [this] {
-        busy = false;
-        tryArbitrate();
-    });
+    if (deliver_at == occ) {
+        // Common case (no cut-through / pieces): delivery and bus
+        // release land on the same tick, in that order. Batch them
+        // into one event — half the queue traffic of the split form,
+        // with an identical firing sequence.
+        eq.scheduleIn(occ, [this, op = std::move(op)] {
+            deliver(op);
+            busy = false;
+            tryArbitrate();
+        });
+    } else {
+        eq.scheduleIn(deliver_at, [this, op = std::move(op)] {
+            deliver(op);
+        });
+        eq.scheduleIn(occ, [this] {
+            busy = false;
+            tryArbitrate();
+        });
+    }
 }
 
 void

@@ -41,6 +41,7 @@ MulticubeSystem::MulticubeSystem(const SystemParams &params)
         memories.push_back(std::move(m));
     }
 
+    eq.regStats(stats);
     for (auto &b : rowBuses)
         b->regStats(stats);
     for (auto &b : colBuses)

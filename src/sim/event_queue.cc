@@ -1,22 +1,71 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
+#include <algorithm>
 
 namespace mcube
 {
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Key k = heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) >> 2;
+        if (!before(k, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = k;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    Key k = heap[i];
+    for (;;) {
+        std::size_t child = 4 * i + 1;
+        if (child >= n)
+            break;
+        std::size_t best = child;
+        std::size_t last = std::min(child + 4, n);
+        for (std::size_t j = child + 1; j < last; ++j)
+            if (before(heap[j], heap[best]))
+                best = j;
+        if (!before(heap[best], k))
+            break;
+        heap[i] = heap[best];
+        i = best;
+    }
+    heap[i] = k;
+}
+
+void
+EventQueue::popTop()
+{
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+}
 
 std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
     std::uint64_t count = 0;
     while (!heap.empty() && count < limit) {
-        // The callback may schedule new events, so pop before invoking.
-        Entry e = std::move(const_cast<Entry &>(heap.top()));
-        heap.pop();
-        _now = e.when;
-        e.cb();
+        Key top = heap.front();
+        popTop();
+        _now = top.when;
+        // Move the callable out and free its slot before invoking: the
+        // callback may schedule new events (growing or reusing the
+        // slab) while it runs.
+        EventFn fn = std::move(slots[top.slot]);
+        freeSlots.push_back(top.slot);
+        fn();
         ++count;
-        ++executed;
+        ++statExecuted;
     }
     return count;
 }
@@ -25,15 +74,17 @@ std::uint64_t
 EventQueue::runUntil(Tick end, std::uint64_t limit)
 {
     std::uint64_t count = 0;
-    while (!heap.empty() && heap.top().when <= end && count < limit) {
-        Entry e = std::move(const_cast<Entry &>(heap.top()));
-        heap.pop();
-        _now = e.when;
-        e.cb();
+    while (!heap.empty() && heap.front().when <= end && count < limit) {
+        Key top = heap.front();
+        popTop();
+        _now = top.when;
+        EventFn fn = std::move(slots[top.slot]);
+        freeSlots.push_back(top.slot);
+        fn();
         ++count;
-        ++executed;
+        ++statExecuted;
     }
-    if (_now < end && (heap.empty() || heap.top().when > end))
+    if (_now < end && (heap.empty() || heap.front().when > end))
         _now = end;
     return count;
 }

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
 
 namespace mcube
 {
@@ -129,6 +130,10 @@ Log::setFile(const std::string &path)
 void
 Log::emit(Tick when, const char *cat, const std::string &msg)
 {
+    // Parallel sweeps (src/sim/sweep_runner) may emit from several
+    // simulation threads; keep each line atomic.
+    static std::mutex emitLock;
+    std::lock_guard<std::mutex> g(emitLock);
     sink() << when << ": [" << cat << "] " << msg << "\n";
 }
 

@@ -11,8 +11,7 @@ Distribution::variance() const
 {
     if (n == 0)
         return 0.0;
-    double m = mean();
-    double v = sumSq / n - m * m;
+    double v = m2 / static_cast<double>(n);
     return v > 0.0 ? v : 0.0;
 }
 
@@ -158,25 +157,58 @@ void
 StatGroup::flatten(std::map<std::string, double> &out,
                    const std::string &prefix) const
 {
-    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    FlatStats flat;
+    std::string scratch = prefix;
+    flattenInto(flat, scratch);
+    for (auto &[name, value] : flat)
+        out[std::move(name)] = value;
+}
+
+void
+StatGroup::flatten(FlatStats &out) const
+{
+    std::string scratch;
+    flattenInto(out, scratch);
+}
+
+void
+StatGroup::flattenInto(FlatStats &out, std::string &prefix) const
+{
+    const std::size_t outer = prefix.size();
+    if (!prefix.empty())
+        prefix += '.';
+    prefix += _name;
+    const std::size_t base = prefix.size();
+
+    auto emit = [&](const std::string &name, const char *suffix,
+                    double value) {
+        prefix.resize(base);
+        prefix += '.';
+        prefix += name;
+        if (suffix)
+            prefix += suffix;
+        out.emplace_back(prefix, value);
+    };
+
     for (const auto &e : counters)
-        out[base + "." + e.name] =
-            static_cast<double>(e.counter->value());
+        emit(e.name, nullptr,
+             static_cast<double>(e.counter->value()));
     for (const auto &e : dists) {
-        const std::string key = base + "." + e.name;
-        out[key] = e.dist->mean();
-        out[key + ".variance"] = e.dist->variance();
-        out[key + ".stddev"] = e.dist->stddev();
+        emit(e.name, nullptr, e.dist->mean());
+        emit(e.name, ".variance", e.dist->variance());
+        emit(e.name, ".stddev", e.dist->stddev());
     }
     for (const auto &e : hists) {
-        const std::string key = base + "." + e.name;
-        out[key] = e.hist->mean();
-        out[key + ".p50"] = e.hist->p50();
-        out[key + ".p95"] = e.hist->p95();
-        out[key + ".p99"] = e.hist->p99();
+        emit(e.name, nullptr, e.hist->mean());
+        emit(e.name, ".p50", e.hist->p50());
+        emit(e.name, ".p95", e.hist->p95());
+        emit(e.name, ".p99", e.hist->p99());
     }
-    for (const auto *c : children)
-        c->flatten(out, base);
+    for (const auto *c : children) {
+        prefix.resize(base);
+        c->flattenInto(out, prefix);
+    }
+    prefix.resize(outer);
 }
 
 } // namespace mcube

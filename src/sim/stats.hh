@@ -25,6 +25,14 @@ namespace mcube
 
 class StatGroup;
 
+/**
+ * A flattened stat tree: ("group.sub.stat", value) pairs in tree
+ * (pre-order) traversal order. Built without per-entry tree rebuilds
+ * or redundant string concatenation, unlike a std::map — the container
+ * for per-point stat snapshots on hot sweep paths.
+ */
+using FlatStats = std::vector<std::pair<std::string, double>>;
+
 /** A monotonically growing (or explicitly set) scalar statistic. */
 class Counter
 {
@@ -43,7 +51,16 @@ class Counter
     std::uint64_t val = 0;
 };
 
-/** Streaming mean/min/max/count over observed samples. */
+/**
+ * Streaming mean/min/max/count over observed samples.
+ *
+ * Variance uses Welford's online recurrence rather than the naive
+ * sumSq/n - mean^2 form: for large-magnitude samples (tick
+ * timestamps, for instance) the naive form subtracts two nearly equal
+ * 10^18-scale values and loses every significant digit, even going
+ * negative. Welford's M2 accumulates squared deviations directly, so
+ * it stays accurate and non-negative by construction.
+ */
 class Distribution
 {
   public:
@@ -53,35 +70,40 @@ class Distribution
     sample(double v)
     {
         sum += v;
-        sumSq += v * v;
         if (n == 0 || v < _min)
             _min = v;
         if (n == 0 || v > _max)
             _max = v;
         ++n;
+        // Welford: each increment (v - oldMean)(v - newMean) is
+        // non-negative because newMean lies between oldMean and v.
+        double delta = v - _mean;
+        _mean += delta / static_cast<double>(n);
+        m2 += delta * (v - _mean);
     }
 
     void
     reset()
     {
-        sum = sumSq = 0.0;
+        sum = m2 = _mean = 0.0;
         _min = _max = 0.0;
         n = 0;
     }
 
     std::uint64_t count() const { return n; }
-    double mean() const { return n ? sum / n : 0.0; }
+    double mean() const { return n ? _mean : 0.0; }
     double min() const { return _min; }
     double max() const { return _max; }
     double total() const { return sum; }
-    /** Population variance of the observed samples. */
+    /** Population variance of the observed samples (always >= 0). */
     double variance() const;
     /** Population standard deviation. */
     double stddev() const { return std::sqrt(variance()); }
 
   private:
     double sum = 0.0;
-    double sumSq = 0.0;
+    double _mean = 0.0;
+    double m2 = 0.0;  //!< sum of squared deviations from the mean
     double _min = 0.0;
     double _max = 0.0;
     std::uint64_t n = 0;
@@ -233,7 +255,16 @@ class StatGroup
     void flatten(std::map<std::string, double> &out,
                  const std::string &prefix = "") const;
 
+    /**
+     * Append the same entries to @p out in tree order, reusing one
+     * growing prefix buffer instead of building a map — the cheap form
+     * used per sweep point and per metrics sample.
+     */
+    void flatten(FlatStats &out) const;
+
   private:
+    void flattenInto(FlatStats &out, std::string &prefix) const;
+
     struct CounterEntry
     {
         std::string name;

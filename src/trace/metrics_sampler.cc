@@ -85,7 +85,9 @@ MetricsSampler::sampleNow()
     os << "]";
 
     if (includeStats) {
-        std::map<std::string, double> flat;
+        // The tree shape is fixed after construction, so the entries
+        // arrive in a stable order and no per-sample map is needed.
+        FlatStats flat;
         sys.statistics().flatten(flat);
         os << ",\"stats\":{";
         const char *sep = "";

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -73,8 +77,11 @@ TEST(EventQueue, RunUntilAdvancesTimeWhenDrained)
     EXPECT_EQ(eq.now(), 42u);
 }
 
-TEST(EventQueue, SchedulingInThePastClampsToNow)
+#ifdef NDEBUG
+TEST(EventQueue, SchedulingInThePastClampsToNowAndCounts)
 {
+    // Release builds keep the legacy clamp but make the caller bug
+    // observable through the sched_past_tick statistic.
     EventQueue eq;
     Tick seen = maxTick;
     eq.schedule(10, [&] {
@@ -82,6 +89,106 @@ TEST(EventQueue, SchedulingInThePastClampsToNow)
     });
     eq.run();
     EXPECT_EQ(seen, 10u);
+    EXPECT_EQ(eq.schedPastTick(), 1u);
+}
+#else
+TEST(EventQueueDeathTest, SchedulingInThePastAssertsInDebug)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            eq.schedule(10, [&] { eq.schedule(5, [] {}); });
+            eq.run();
+        },
+        "scheduled in the past");
+}
+#endif
+
+TEST(EventQueue, PastTickStatStartsAtZero)
+{
+    EventQueue eq;
+    eq.schedule(3, [] {});
+    eq.run();
+    EXPECT_EQ(eq.schedPastTick(), 0u);
+}
+
+TEST(EventQueue, SameTickFifoAcrossInterleavedTicks)
+{
+    // Tie-break must hold even when same-tick events are scheduled
+    // interleaved with other ticks and from inside callbacks.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&] { order.push_back(4); });
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        eq.schedule(20, [&] { order.push_back(5); });
+        eq.scheduleIn(0, [&] { order.push_back(2); });
+    });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 5}));
+}
+
+TEST(EventQueue, RunUntilBoundarySameTickBatch)
+{
+    // Every event at exactly the boundary fires, in schedule order,
+    // and events one tick later stay queued.
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(50, [&order, i] { order.push_back(i); });
+    eq.schedule(51, [&] { order.push_back(99); });
+    eq.runUntil(50);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, StressOrderingMatchesReference)
+{
+    // Pseudo-random (tick, id) schedule; execution order must equal a
+    // stable sort by (tick, schedule order).
+    EventQueue eq;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    std::vector<std::pair<Tick, int>> expect;
+    std::vector<int> order;
+    for (int i = 0; i < 2000; ++i) {
+        Tick t = next() % 97;
+        expect.emplace_back(t, i);
+        eq.schedule(t, [&order, i] { order.push_back(i); });
+    }
+    std::stable_sort(expect.begin(), expect.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    eq.run();
+    ASSERT_EQ(order.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(order[i], expect[i].second) << i;
+}
+
+TEST(EventQueue, OversizedCaptureFallsBackToHeap)
+{
+    // Captures larger than the inline buffer still work (heap path).
+    struct Big
+    {
+        std::array<std::uint64_t, 32> payload{};
+    };
+    static_assert(!EventFn::fitsInline<Big>() || sizeof(Big) <= 104);
+    EventQueue eq;
+    Big big;
+    big.payload[31] = 7;
+    std::uint64_t seen = 0;
+    eq.schedule(1, [big, &seen] { seen = big.payload[31]; });
+    eq.run();
+    EXPECT_EQ(seen, 7u);
 }
 
 TEST(EventQueue, RunLimitCountsEvents)

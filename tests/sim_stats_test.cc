@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 
@@ -78,6 +79,121 @@ TEST(Distribution, VarianceAppearsInDumps)
     g.flatten(flat);
     EXPECT_NEAR(flat.at("grp.lat.variance"), 8.0 / 3.0, 1e-9);
     EXPECT_NEAR(flat.at("grp.lat.stddev"), std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(Distribution, WelfordSurvivesLargeOffsets)
+{
+    // The naive sumSq/n - mean^2 formula catastrophically cancels
+    // when the variance is tiny relative to the magnitude of the
+    // samples: for {1e9+1, 1e9+2, 1e9+3}, sumSq ~ 3e18 eats the
+    // units digit entirely and the subtraction returns garbage
+    // (often negative). Welford's update never forms the big
+    // squares, so the exact population variance 2/3 comes out.
+    Distribution d;
+    d.sample(1e9 + 1.0);
+    d.sample(1e9 + 2.0);
+    d.sample(1e9 + 3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 1e9 + 2.0);
+    EXPECT_NEAR(d.variance(), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.0 / 3.0), 1e-9);
+}
+
+TEST(Distribution, VarianceNeverNegative)
+{
+    // Identical large samples: exact variance is 0. Any cancellation
+    // bug shows up as a (possibly negative) residual, and stddev()
+    // would be NaN.
+    Distribution d;
+    for (int i = 0; i < 1000; ++i)
+        d.sample(123456789.0);
+    EXPECT_GE(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+
+    // A long near-constant stream with a tiny wobble stays exact too.
+    Distribution e;
+    for (int i = 0; i < 10000; ++i)
+        e.sample(5e8 + (i % 2 ? 0.5 : -0.5));
+    EXPECT_GE(e.variance(), 0.0);
+    EXPECT_NEAR(e.variance(), 0.25, 1e-6);
+}
+
+TEST(Distribution, GoldenMoments)
+{
+    // Fixed dataset, exact expectations (population moments).
+    const double xs[] = {3.0, 7.0, 7.0, 19.0};
+    Distribution d;
+    for (double x : xs)
+        d.sample(x);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.total(), 36.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 9.0);
+    EXPECT_DOUBLE_EQ(d.min(), 3.0);
+    EXPECT_DOUBLE_EQ(d.max(), 19.0);
+    // variance = ((3-9)^2 + (7-9)^2 + (7-9)^2 + (19-9)^2) / 4 = 36
+    EXPECT_NEAR(d.variance(), 36.0, 1e-12);
+    EXPECT_NEAR(d.stddev(), 6.0, 1e-12);
+}
+
+TEST(StatGroup, FlatStatsMatchesMapFlatten)
+{
+    Counter c;
+    c += 3;
+    Distribution d;
+    d.sample(7.0);
+    Histogram h;
+    h.sample(100.0);
+
+    StatGroup root("root");
+    StatGroup child("child");
+    root.addCounter("ops", c);
+    child.addDistribution("lat", d);
+    child.addHistogram("qd", h);
+    root.addChild(child);
+
+    std::map<std::string, double> asMap;
+    root.flatten(asMap);
+    FlatStats asVec;
+    root.flatten(asVec);
+
+    // Same entries, and the vector form holds them in stable tree
+    // order (parent stats before children) with no rebuild cost.
+    EXPECT_EQ(asVec.size(), asMap.size());
+    for (const auto &[name, value] : asVec) {
+        ASSERT_TRUE(asMap.count(name)) << name;
+        EXPECT_DOUBLE_EQ(asMap.at(name), value) << name;
+    }
+    ASSERT_FALSE(asVec.empty());
+    EXPECT_EQ(asVec.front().first, "root.ops");
+}
+
+TEST(Histogram, PercentileGoldenValues)
+{
+    // 100 samples of 1.0 (bucket 0, upper bound 1.0): every
+    // percentile interpolates within [0, 1] and the extremes are
+    // exact.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+    EXPECT_GE(h.p50(), 0.0);
+    EXPECT_LE(h.p50(), 1.0);
+
+    // Two-bucket split: 50 samples in (1,2], 50 in (2,4]. The median
+    // sits at the boundary between the buckets and the interpolation
+    // must return exactly the shared edge, 2.0.
+    Histogram g;
+    for (int i = 0; i < 50; ++i)
+        g.sample(2.0);
+    for (int i = 0; i < 50; ++i)
+        g.sample(4.0);
+    EXPECT_DOUBLE_EQ(g.percentile(0.5), 2.0);
+    // p25 interpolates to the middle of bucket (1,2] but clamps to
+    // the observed minimum 2.0; p75 is the midpoint of (2,4].
+    EXPECT_DOUBLE_EQ(g.percentile(0.25), 2.0);
+    EXPECT_NEAR(g.percentile(0.75), 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(g.percentile(1.0), 4.0);
 }
 
 TEST(Histogram, BucketEdges)
