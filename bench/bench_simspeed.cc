@@ -44,9 +44,12 @@ pointLabel(unsigned n)
 }
 
 const bool kDeclared = [] {
+    std::uint64_t n32_index = 0;
     for (std::int64_t n : kSizes) {
         MixParams mix;
         mix.requestsPerMs = kRate;
+        if (n == 32)
+            n32_index = SweepCache::instance().size();
         // Size the simulated interval so every point runs for a few
         // hundred ms of wall clock: short points (n=8 finishes 2 ms of
         // sim time in ~30 ms) are dominated by host scheduler noise
@@ -55,14 +58,24 @@ const bool kDeclared = [] {
                       static_cast<unsigned>(n), mix,
                       n >= 32 ? 0.5 : (n >= 16 ? 2.0 : 16.0));
     }
+
+    // A-B twin of the largest point with the snoop fast-reject filter
+    // disabled. It borrows sim_n32's seed-derivation index, so both
+    // points simulate the bit-identical run and differ only in the
+    // filter knob: perf_check.py derives the filter-speedup column
+    // from the pair and cross-checks that the determinism columns
+    // match exactly (the filter must not change simulated results).
+    MixParams mix;
+    mix.requestsPerMs = kRate;
+    SystemParams off;
+    off.ctrl.snoopFilter = false;
+    declareMixSim("sim_n32_nofilter", 32, mix, 0.5, &off, n32_index);
     return true;
 }();
 
 void
-BM_SimSpeed(benchmark::State &state)
+recordPoint(benchmark::State &state, const std::string &label)
 {
-    unsigned n = static_cast<unsigned>(state.range(0));
-    const std::string label = pointLabel(n);
     const Metrics &m = sweepPoint(label);
     const double wall = m.at("wall_seconds");
     for (auto _ : state)
@@ -83,11 +96,29 @@ BM_SimSpeed(benchmark::State &state)
     BenchJson::instance().record("simspeed", label, out);
 }
 
+void
+BM_SimSpeed(benchmark::State &state)
+{
+    recordPoint(state,
+                pointLabel(static_cast<unsigned>(state.range(0))));
+}
+
+void
+BM_SimSpeedNoFilter(benchmark::State &state)
+{
+    recordPoint(state, "sim_n32_nofilter");
+}
+
 } // namespace
 
 BENCHMARK(BM_SimSpeed)
     ->ArgNames({"n"})
     ->ArgsProduct({kSizes})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SimSpeedNoFilter)
     ->Iterations(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);

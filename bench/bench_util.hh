@@ -271,16 +271,24 @@ class SweepCache
  * workload seeds are derived from (configured base seed, declaration
  * index), so every point of a sweep runs an independent — but fully
  * reproducible — stream for any job count.
+ *
+ * @p seed_index overrides the declaration index used for seed
+ * derivation: an A-B pair (e.g. snoop filter on/off) passes its
+ * partner's index so both points simulate the bit-identical run and
+ * differ only in the toggled knob.
  */
 inline void
 declareMixSim(const std::string &label, unsigned n,
               const MixParams &mix, double sim_ms = 2.0,
-              const SystemParams *base = nullptr)
+              const SystemParams *base = nullptr,
+              std::uint64_t seed_index = std::uint64_t(-1))
 {
     SystemParams sp;
     if (base)
         sp = *base;
-    const std::uint64_t idx = SweepCache::instance().size();
+    const std::uint64_t idx = seed_index != std::uint64_t(-1)
+                                  ? seed_index
+                                  : SweepCache::instance().size();
     sp.seed = sweep::pointSeed(sp.seed, idx);
     MixParams m = mix;
     m.seed = sweep::pointSeed(m.seed, idx);

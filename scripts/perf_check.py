@@ -17,6 +17,18 @@ Two kinds of columns are checked, per point (sim_n8, sim_n16, ...):
   on shared CI runners is real; keep the tolerance generous and treat
   this as a smoke alarm, not a microbenchmark.
 
+Additionally, every label pair (X, X_nofilter) in the CURRENT run is
+an A-B measurement of the snoop fast-reject filter taken from the
+same seeds.  Two checks apply:
+
+  the two arms' determinism columns must be IDENTICAL -- the filter
+  is a simulator optimisation and may never change simulated results;
+
+  filter speedup (events_per_sec of X over X_nofilter) must stay at
+  or above --min-filter-speedup (default 1.0): if the filter stops
+  paying for itself it has regressed into pure overhead and should be
+  fixed or removed rather than silently dragging every run.
+
 To regenerate the baseline after an intentional change:
 
     ./build/bench/bench_simspeed --jobs=1
@@ -50,6 +62,9 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="max fractional throughput regression")
+    ap.add_argument("--min-filter-speedup", type=float, default=1.0,
+                    help="min events_per_sec ratio of a point over its "
+                         "_nofilter twin")
     ap.add_argument("--update", action="store_true",
                     help="rewrite BASELINE from CURRENT instead of "
                          "comparing")
@@ -95,6 +110,37 @@ def main():
                     f"{label}.{key}: {100 * (1 - ratio):.0f}% slower "
                     f"than baseline (tolerance "
                     f"{100 * args.tolerance:.0f}%)")
+
+    # A-B pairs: <label> vs <label>_nofilter measured in this run.
+    for off_label in sorted(cur_pts):
+        if not off_label.endswith("_nofilter"):
+            continue
+        on_label = off_label[: -len("_nofilter")]
+        on = cur_pts.get(on_label)
+        off = cur_pts[off_label]
+        if on is None:
+            failures.append(
+                f"{off_label}: no matching point {on_label}")
+            continue
+        for key in DETERMINISM_KEYS:
+            if on.get(key) != off.get(key):
+                failures.append(
+                    f"{on_label}.{key}: filter on/off divergence "
+                    f"(on {on.get(key)}, off {off.get(key)}) -- the "
+                    f"snoop filter changed simulated results")
+        for key in THROUGHPUT_KEYS:
+            if off.get(key, 0.0) <= 0:
+                continue
+            speedup = on.get(key, 0.0) / off[key]
+            ok = speedup >= args.min_filter_speedup
+            print(f"{on_label}.filter_speedup: on "
+                  f"{on.get(key, 0.0):.0f} off {off[key]:.0f} "
+                  f"speedup {speedup:.2f} [{'ok' if ok else 'FAIL'}]")
+            if not ok:
+                failures.append(
+                    f"{on_label}: filter speedup {speedup:.2f} below "
+                    f"{args.min_filter_speedup:.2f} -- the snoop "
+                    f"filter no longer pays for itself")
 
     if failures:
         print("perf_check: FAILED", file=sys.stderr)

@@ -76,13 +76,41 @@ Bus::request(unsigned slot, BusOp op)
         tryArbitrate();
 }
 
+std::uint32_t
+Bus::slabAlloc()
+{
+    if (slabFreeHead != noEntry) {
+        std::uint32_t idx = slabFreeHead;
+        slabFreeHead = slab[idx].next;
+        return idx;
+    }
+    slab.emplace_back();
+    return static_cast<std::uint32_t>(slab.size() - 1);
+}
+
+void
+Bus::slabFree(std::uint32_t idx)
+{
+    slab[idx].next = slabFreeHead;
+    slabFreeHead = idx;
+}
+
 void
 Bus::enqueue(unsigned slot, BusOp op)
 {
     op.serial = nextSerial++;
     MCUBE_LOG(LogCat::Bus, eq.now(),
               _name << " enq slot=" << slot << " " << op);
-    queues[slot].emplace_back(op, eq.now());
+    std::uint32_t idx = slabAlloc();
+    slab[idx].op = op;
+    slab[idx].enqTick = eq.now();
+    slab[idx].next = noEntry;
+    SlotQueue &q = queues[slot];
+    if (q.tail == noEntry)
+        q.head = idx;
+    else
+        slab[q.tail].next = idx;
+    q.tail = idx;
     ++pending;
 }
 
@@ -115,7 +143,7 @@ Bus::tryArbitrate()
     unsigned chosen = n;
     for (unsigned i = 1; i <= n; ++i) {
         unsigned s = (lastGranted + i) % n;
-        if (!queues[s].empty()) {
+        if (queues[s].head != noEntry) {
             chosen = s;
             break;
         }
@@ -125,8 +153,14 @@ Bus::tryArbitrate()
 
     busy = true;
     lastGranted = chosen;
-    auto [op, enq_tick] = queues[chosen].front();
-    queues[chosen].pop_front();
+    SlotQueue &q = queues[chosen];
+    std::uint32_t idx = q.head;
+    BusOp op = slab[idx].op;
+    Tick enq_tick = slab[idx].enqTick;
+    q.head = slab[idx].next;
+    if (q.head == noEntry)
+        q.tail = noEntry;
+    slabFree(idx);
     Tick qdelay = eq.now() - enq_tick;
     statQueueDelay.sample(static_cast<double>(qdelay));
     statQueueDelayHist.sample(static_cast<double>(qdelay));
@@ -186,11 +220,23 @@ Bus::deliver(const BusOp &op)
     assert(pending > 0);
     --pending;
 
+    // Fast-reject pass: an agent whose presence summary rejects the
+    // address skips both delivery passes. A rejecting agent's
+    // supplyModifiedSignal is guaranteed false with no side effects
+    // (see BusAgent::snoopRejects), so the wired-OR is unchanged;
+    // decisions are cached per agent because an agent's snoop may
+    // mutate only its own state, never another agent's.
+    rejectScratch.resize(agents.size());
     bool modified_signal = false;
-    for (auto *a : agents)
-        modified_signal |= a->supplyModifiedSignal(op);
-    for (auto *a : agents)
-        a->snoop(op, modified_signal);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        bool rej = agents[i]->snoopRejects(op);
+        rejectScratch[i] = rej;
+        if (!rej)
+            modified_signal |= agents[i]->supplyModifiedSignal(op);
+    }
+    for (std::size_t i = 0; i < agents.size(); ++i)
+        if (!rejectScratch[i])
+            agents[i]->snoop(op, modified_signal);
 }
 
 double

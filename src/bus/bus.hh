@@ -24,7 +24,6 @@
 #define MCUBE_BUS_BUS_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -91,6 +90,25 @@ class BusAgent
      * @param modified_signal Wired-OR of pass 1 across all agents.
      */
     virtual void snoop(const BusOp &op, bool modified_signal) = 0;
+
+    /**
+     * Simulator fast path: may both delivery passes be skipped for
+     * this agent? An agent may return true only if its
+     * supplyModifiedSignal would return false (without side effects)
+     * AND skipping its snoop body is behaviour-preserving — either
+     * the body would provably do nothing for @p op, or this call
+     * performed the body's only side effect itself. False negatives
+     * of an underlying presence summary are a correctness bug,
+     * checked in debug builds. The default (never skip) is always
+     * safe; simulated results must be bit-identical whether or not
+     * any agent ever returns true.
+     */
+    virtual bool
+    snoopRejects(const BusOp &op)
+    {
+        (void)op;
+        return false;
+    }
 };
 
 /** Static timing/behaviour parameters of a bus. */
@@ -196,9 +214,42 @@ class Bus
     TraceComp traceComp = TraceComp::Bus;
     std::uint32_t traceIndex = 0;
 
+    /**
+     * One queued (op, enqueue tick) entry of a per-slot FIFO. Entries
+     * live in a pooled slab (free-listed vector) and are chained
+     * through `next`, so steady-state enqueue/dequeue traffic reuses
+     * slab slots instead of churning deque nodes through the
+     * allocator.
+     */
+    struct QueuedOp
+    {
+        BusOp op;
+        Tick enqTick = 0;
+        std::uint32_t next = noEntry;
+    };
+
+    /** Head/tail slab indices of one slot's FIFO. */
+    struct SlotQueue
+    {
+        std::uint32_t head = noEntry;
+        std::uint32_t tail = noEntry;
+    };
+
+    static constexpr std::uint32_t noEntry = UINT32_MAX;
+
+    /** Take a free slab entry (grows the slab if none). */
+    std::uint32_t slabAlloc();
+    /** Return entry @p idx to the free list. */
+    void slabFree(std::uint32_t idx);
+
     BusFaultHook *faultHook = nullptr;
     std::vector<BusAgent *> agents;
-    std::vector<std::deque<std::pair<BusOp, Tick>>> queues;
+    std::vector<SlotQueue> queues;
+    std::vector<QueuedOp> slab;
+    std::uint32_t slabFreeHead = noEntry;
+    /** Per-agent reject decisions of the delivery in progress
+     *  (reused scratch, index-parallel with `agents`). */
+    std::vector<std::uint8_t> rejectScratch;
     unsigned lastGranted = 0;
     bool busy = false;
     std::size_t pending = 0;

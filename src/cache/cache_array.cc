@@ -8,11 +8,13 @@ namespace mcube
 CacheArray::CacheArray(const CacheArrayParams &p) : params(p)
 {
     assert(params.numSets > 0 && params.assoc > 0);
-    lines.resize(params.numSets * params.assoc);
+    if ((params.numSets & (params.numSets - 1)) == 0)
+        setMask = params.numSets - 1;
+    lines.reset(params.numSets * params.assoc);
 }
 
 CacheLine *
-CacheArray::find(Addr addr)
+CacheArray::scanFind(Addr addr)
 {
     std::size_t base = setOf(addr) * params.assoc;
     for (unsigned w = 0; w < params.assoc; ++w) {
@@ -21,6 +23,15 @@ CacheArray::find(Addr addr)
             return &l;
     }
     return nullptr;
+}
+
+CacheLine *
+CacheArray::find(Addr addr)
+{
+    const std::uint32_t *idx = tagIndex.find(addr);
+    CacheLine *l = idx ? &lines[*idx] : nullptr;
+    assert(l == scanFind(addr));
+    return l;
 }
 
 const CacheLine *
@@ -61,6 +72,20 @@ CacheArray::fill(CacheLine *slot, Addr addr, Mode mode,
                  const LineData &data)
 {
     assert(slot);
+    if (!slot->tagValid || slot->addr != addr) {
+        if (slot->tagValid) {
+            tagIndex.erase(slot->addr);
+            if (filter)
+                filter->remove(slot->addr);
+        }
+        // A tag is installed in exactly one slot (allocSlot returns a
+        // matching line before anything else).
+        assert(!tagIndex.contains(addr));
+        tagIndex.ref(addr) =
+            static_cast<std::uint32_t>(slot - lines.data());
+        if (filter)
+            filter->add(addr);
+    }
     slot->addr = addr;
     slot->tagValid = true;
     slot->mode = mode;
@@ -77,19 +102,14 @@ CacheArray::markUsed(CacheLine *line)
 }
 
 void
-CacheArray::forEach(const std::function<void(CacheLine &)> &fn)
+CacheArray::setFilter(PresenceFilter *f)
 {
-    for (auto &l : lines)
-        if (l.tagValid)
-            fn(l);
-}
-
-void
-CacheArray::forEach(const std::function<void(const CacheLine &)> &fn) const
-{
+    filter = f;
+    if (!filter)
+        return;
     for (const auto &l : lines)
         if (l.tagValid)
-            fn(l);
+            filter->add(l.addr);
 }
 
 std::size_t

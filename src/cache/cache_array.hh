@@ -6,18 +6,27 @@
  * snarfing optimisation ("a line that is invalid, but was recently
  * contained in the cache, may be acquired as it passes by") can
  * recognise recently held lines.
+ *
+ * Lookups are O(1): a flat tag index (addr -> line) shadows the tag
+ * bits, maintained in fill() — the only place tags ever change. The
+ * set index is mix64-hashed rather than addr % numSets: the raw
+ * modulo correlates with the grid's home-column interleave
+ * (addr % n), so whenever gcd(n, numSets) > 1 whole sets would go
+ * unused for any single column's resident lines.
  */
 
 #ifndef MCUBE_CACHE_CACHE_ARRAY_HH
 #define MCUBE_CACHE_CACHE_ARRAY_HH
 
 #include <cstdint>
-#include <functional>
-#include <vector>
 
 #include "bus/bus_op.hh"
 #include "cache/line_state.hh"
+#include "cache/presence_filter.hh"
+#include "sim/flat_map.hh"
+#include "sim/hash.hh"
 #include "sim/types.hh"
+#include "sim/zeroed_array.hh"
 
 namespace mcube
 {
@@ -49,9 +58,19 @@ class CacheArray
     /** Total line capacity. */
     std::size_t capacity() const { return lines.size(); }
 
+    /** Set index of @p addr (mixed; see file comment). Exposed so
+     *  tests can construct colliding / non-colliding address sets. */
+    std::size_t
+    setOf(Addr addr) const
+    {
+        std::size_t h = static_cast<std::size_t>(mix64(addr));
+        return setMask ? (h & setMask) : h % params.numSets;
+    }
+
     /**
      * Find the line holding @p addr (any mode as long as the tag is
-     * valid). Does not update LRU. @return nullptr if absent.
+     * valid). Does not update LRU. @return nullptr if absent. O(1)
+     * via the tag index.
      */
     CacheLine *find(Addr addr);
     const CacheLine *find(Addr addr) const;
@@ -70,25 +89,61 @@ class CacheArray
 
     /**
      * Install @p addr in @p slot (previously returned by allocSlot)
-     * with the given mode/data, updating the tag and LRU.
+     * with the given mode/data, updating the tag, LRU, tag index and
+     * the attached presence filter.
      */
     void fill(CacheLine *slot, Addr addr, Mode mode, const LineData &data);
 
     /** Mark the line's access time (LRU update) without other change. */
     void markUsed(CacheLine *line);
 
-    /** Visit every tag-valid line (for the checker / writeback-all). */
-    void forEach(const std::function<void(CacheLine &)> &fn);
-    void forEach(const std::function<void(const CacheLine &)> &fn) const;
+    /**
+     * Attach a presence filter to be kept in sync with the tag
+     * contents (add on install, remove on overwrite). Existing tags
+     * are folded in. Pass nullptr to detach.
+     */
+    void setFilter(PresenceFilter *f);
+
+    /** Visit every tag-valid line (for the checker / writeback-all).
+     *  Templated: no std::function allocation per sweep. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &l : lines)
+            if (l.tagValid)
+                fn(l);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &l : lines)
+            if (l.tagValid)
+                fn(l);
+    }
 
     /** Number of lines currently in Modified mode. */
     std::size_t countMode(Mode m) const;
 
   private:
-    std::size_t setOf(Addr addr) const { return addr % params.numSets; }
+    /** Linear-scan find, the pre-index reference implementation;
+     *  debug builds assert the tag index agrees with it. */
+    CacheLine *scanFind(Addr addr);
 
     CacheArrayParams params;
-    std::vector<CacheLine> lines;
+    /** numSets - 1 when numSets is a power of two (the common case),
+     *  0 to fall back to the modulo in setOf(). */
+    std::size_t setMask = 0;
+    /** Lazily-zeroed: a zeroed CacheLine is a valid empty slot
+     *  (tagValid false gates every read), so untouched sets never
+     *  cost construction time or resident pages. */
+    ZeroedArray<CacheLine> lines;
+    /** addr -> index into lines, one entry per tag-valid line. Starts
+     *  small and grows with actual occupancy, not capacity. */
+    FlatMap<Addr, std::uint32_t> tagIndex;
+    PresenceFilter *filter = nullptr;
     std::uint64_t stamp = 0;
 };
 

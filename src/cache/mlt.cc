@@ -27,7 +27,9 @@ traceMlt(EventQueue *eq, NodeId node, bool canonical, TracePhase phase,
 ModifiedLineTable::ModifiedLineTable(const MltParams &p) : params(p)
 {
     assert(params.numSets > 0 && params.assoc > 0);
-    slots.resize(params.numSets * params.assoc);
+    if ((params.numSets & (params.numSets - 1)) == 0)
+        setMask = params.numSets - 1;
+    slots.reset(params.numSets * params.assoc);
 }
 
 bool
@@ -66,6 +68,8 @@ ModifiedLineTable::insert(Addr addr)
         free_slot->stamp = nextStamp++;
         ++live;
         peak = std::max(peak, live);
+        if (filter)
+            filter->add(addr);
         traceMlt(traceEq, traceNode, traceCanonical,
                  TracePhase::MltInsert, addr,
                  static_cast<std::int64_t>(live));
@@ -76,6 +80,10 @@ ModifiedLineTable::insert(Addr addr)
     Addr evicted = lru->addr;
     lru->addr = addr;
     lru->stamp = nextStamp++;
+    if (filter) {
+        filter->remove(evicted);
+        filter->add(addr);
+    }
     traceMlt(traceEq, traceNode, traceCanonical, TracePhase::MltEvict,
              addr, static_cast<std::int64_t>(evicted));
     return evicted;
@@ -90,6 +98,8 @@ ModifiedLineTable::remove(Addr addr)
         if (s.valid && s.addr == addr) {
             s.valid = false;
             --live;
+            if (filter)
+                filter->remove(addr);
             traceMlt(traceEq, traceNode, traceCanonical,
                      TracePhase::MltRemove, addr, 1);
             return true;
@@ -101,11 +111,14 @@ ModifiedLineTable::remove(Addr addr)
 }
 
 void
-ModifiedLineTable::forEach(const std::function<void(Addr)> &fn) const
+ModifiedLineTable::setFilter(PresenceFilter *f)
 {
+    filter = f;
+    if (!filter)
+        return;
     for (const auto &s : slots)
         if (s.valid)
-            fn(s.addr);
+            filter->add(s.addr);
 }
 
 bool

@@ -19,12 +19,13 @@
 #define MCUBE_CACHE_MLT_HH
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <vector>
 
+#include "cache/presence_filter.hh"
 #include "sim/event_queue.hh"
+#include "sim/hash.hh"
 #include "sim/types.hh"
+#include "sim/zeroed_array.hh"
 
 namespace mcube
 {
@@ -84,11 +85,36 @@ class ModifiedLineTable
         traceCanonical = canonical;
     }
 
-    /** Visit every live entry (checker support). */
-    void forEach(const std::function<void(Addr)> &fn) const;
+    /** Visit every live entry (checker support). Templated: no
+     *  std::function allocation per sweep. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &s : slots)
+            if (s.valid)
+                fn(s.addr);
+    }
 
     /** Structural equality (checker: tables identical per column). */
     bool identicalTo(const ModifiedLineTable &other) const;
+
+    /**
+     * Attach a presence filter kept in sync with the live entries
+     * (add on insert, remove on remove/evict). Existing entries are
+     * folded in. Pass nullptr to detach.
+     */
+    void setFilter(PresenceFilter *f);
+
+    /** Set index of @p addr. Mixed (mix64) rather than a raw modulo,
+     *  which would correlate with the home-column interleave; public
+     *  so tests can construct colliding address sets. */
+    std::size_t
+    setOf(Addr addr) const
+    {
+        std::size_t h = static_cast<std::size_t>(mix64(addr));
+        return setMask ? (h & setMask) : h % params.numSets;
+    }
 
   private:
     struct Slot
@@ -98,10 +124,13 @@ class ModifiedLineTable
         std::uint64_t stamp = 0;
     };
 
-    std::size_t setOf(Addr addr) const { return addr % params.numSets; }
-
     MltParams params;
-    std::vector<Slot> slots;
+    /** numSets - 1 when numSets is a power of two, else 0. */
+    std::size_t setMask = 0;
+    /** Lazily-zeroed: a zeroed Slot is a valid empty entry (valid =
+     *  false), so untouched sets stay unmapped. */
+    ZeroedArray<Slot> slots;
+    PresenceFilter *filter = nullptr;
     std::size_t live = 0;
     std::size_t peak = 0;
     std::uint64_t nextStamp = 1;

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A counting presence filter over one controller's cache + MLT tags.
+ *
+ * The paper's buses broadcast every op to every attached agent, and
+ * most agents answer "not mine" after a full set scan. The filter
+ * gives Bus::deliver an O(1) fast-reject: one bit probe that says
+ * either "definitely not present" or "maybe present".
+ *
+ * This is a *simulator* optimization, not a protocol change. The
+ * contract is one-sided:
+ *
+ *  - false positives are harmless (the agent just snoops and finds
+ *    nothing, exactly as without the filter);
+ *  - false negatives are forbidden — a skipped snoop that would have
+ *    matched corrupts the simulation. Counting (not a plain bitmap)
+ *    makes removal exact, and debug builds shadow-check every reject
+ *    against the real cache/MLT contents (SnoopController::Port::
+ *    snoopRejects).
+ *
+ * One filter instance covers both the CacheArray tags and the MLT
+ * entries of its controller; overlap (a line both cached and tabled)
+ * is handled naturally by the counters.
+ *
+ * Layout matters more than asymptotics here. mightContain() runs once
+ * per (bus op, attached agent) — the hottest read in the simulator —
+ * so everything is stored INLINE in the filter object (which lives
+ * inside the controller): a 128-byte query bitmap (bit b set iff
+ * counts[b] != 0) backed by a 2 KiB bank of u16 counters. No heap
+ * indirection means a query is one hash and one load from an object
+ * the snoop path has already touched; across a 32x32 machine all
+ * 1024 bitmaps together fit comfortably in a mid-level cache.
+ *
+ * The bucket count is deliberately FIXED (1024). A growable filter
+ * was tried and rejected: keeping the bitmap heap-allocated so it
+ * could be resized cost more per query (a dependent pointer chase
+ * into memory with no reuse) than the set scans it was avoiding,
+ * because the scans themselves usually read calloc's shared zero
+ * page (see sim/zeroed_array.hh). With a fixed table the
+ * false-positive rate simply degrades as entries pile up — at 1024
+ * buckets a controller tracking L live lines answers "maybe" to
+ * roughly 1 - exp(-L/1024) of foreign addresses, still a paying
+ * trade for the occupancies the snooping caches reach in practice,
+ * and still *correct* at any occupancy.
+ */
+
+#ifndef MCUBE_CACHE_PRESENCE_FILTER_HH
+#define MCUBE_CACHE_PRESENCE_FILTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/hash.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+/** Counting set-membership summary; see file comment. */
+class PresenceFilter
+{
+  public:
+    /** Bucket count; fixed — see file comment for why. */
+    static constexpr std::size_t kBuckets = 1024;
+
+    PresenceFilter() = default;
+
+    /** Record @p addr (tag installed / MLT entry inserted). */
+    void
+    add(Addr addr)
+    {
+        std::size_t b = bucket(addr);
+        assert(counts[b] != UINT16_MAX);
+        ++counts[b];
+        bits[b >> 6] |= std::uint64_t(1) << (b & 63);
+        ++live;
+    }
+
+    /** Forget one occurrence of @p addr (tag overwritten / MLT entry
+     *  removed). Must pair with an earlier add(). */
+    void
+    remove(Addr addr)
+    {
+        std::size_t b = bucket(addr);
+        assert(counts[b] > 0);
+        if (--counts[b] == 0)
+            bits[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+        assert(live > 0);
+        --live;
+    }
+
+    /** False means definitely absent; true means maybe present. */
+    bool
+    mightContain(Addr addr) const
+    {
+        std::size_t b = bucket(addr);
+        return bits[b >> 6] >> (b & 63) & 1;
+    }
+
+    /** Live tracked entries (adds minus removes). */
+    std::size_t size() const { return live; }
+
+    /** Bucket count (fixed). */
+    std::size_t capacity() const { return kBuckets; }
+
+  private:
+    static std::size_t
+    bucket(Addr addr)
+    {
+        return mix64(addr) & (kBuckets - 1);
+    }
+
+    /** Query bitmap: bit b == (counts[b] != 0). 128 bytes. */
+    std::uint64_t bits[kBuckets / 64] = {};
+    /** Exact per-bucket occupancy, touched only on add/remove. */
+    std::uint16_t counts[kBuckets] = {};
+    std::size_t live = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_CACHE_PRESENCE_FILTER_HH

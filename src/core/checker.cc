@@ -30,11 +30,11 @@ CoherenceChecker::CoherenceChecker(MulticubeSystem &sys,
     for (NodeId id = 0; id < sys.numNodes(); ++id) {
         sys.node(id).onCommitWrite =
             [this, &eq](Addr addr, std::uint64_t token) {
-                auto &h = history[addr];
+                auto &h = history.ref(addr);
                 // A broadcast commit's wave may still be settling;
                 // mark unknown and fix up when the purge count drains.
-                Tick settled = pendingPurges[addr] > 0 ? maxTick
-                                                       : eq.now();
+                const unsigned *pp = pendingPurges.find(addr);
+                Tick settled = (pp && *pp > 0) ? maxTick : eq.now();
                 h.push_back({eq.now(), token, settled});
             };
     }
@@ -43,26 +43,26 @@ CoherenceChecker::CoherenceChecker(MulticubeSystem &sys,
 std::uint64_t
 CoherenceChecker::goldenToken(Addr addr) const
 {
-    auto it = history.find(addr);
-    if (it == history.end() || it->second.empty())
+    const std::vector<CommitEntry> *h = history.find(addr);
+    if (!h || h->empty())
         return 0;
-    return it->second.back().token;
+    return h->back().token;
 }
 
 bool
 CoherenceChecker::tokenWasGoldenDuring(Addr addr, std::uint64_t token,
                                        Tick from, Tick to) const
 {
-    auto it = history.find(addr);
+    const std::vector<CommitEntry> *hp = history.find(addr);
 
     // A value v_i is golden over [when_i, when_{i+1}) but copies of it
     // may legally be observed until the invalidation wave installing
     // v_{i+1} settles (Section 4: no complete serializability).
     // Model: v_i acceptable over [when_i, settled_{i+1}].
-    if (it == history.end() || it->second.empty())
+    if (!hp || hp->empty())
         return token == 0;
 
-    const auto &h = it->second;
+    const auto &h = *hp;
     if (token == 0) {
         Tick end = h.front().settled;
         if (from <= end)
@@ -112,11 +112,11 @@ CoherenceChecker::historyWindow(Addr addr, Tick from, Tick to) const
     std::ostringstream oss;
     oss << "history of line " << addr << " over [" << from << ", "
         << to << "]:";
-    auto it = history.find(addr);
-    if (it == history.end() || it->second.empty())
+    const std::vector<CommitEntry> *hp = history.find(addr);
+    if (!hp || hp->empty())
         return oss.str() + " (never written; golden token is 0)";
 
-    const auto &h = it->second;
+    const auto &h = *hp;
     bool any = false;
     for (std::size_t i = 0; i < h.size(); ++i) {
         // Include the last commit before the window too: its value is
@@ -152,32 +152,28 @@ CoherenceChecker::afterOp(const BusOp &op, bool is_row)
         if (!is_row && op.is(op::Reply)) {
             // Memory launched an invalidation broadcast: one row op
             // per home-column controller follows.
-            pendingPurges[op.addr] += sys.n();
+            pendingPurges.ref(op.addr) += sys.n();
             // If the originator was on the home column, its commit
             // hook already ran during this delivery (controllers
             // snoop before the checker tap) and believed no wave was
             // pending; reopen it.
-            auto hit = history.find(op.addr);
-            if (hit != history.end() && !hit->second.empty()
-                && hit->second.back().when == sys.eventQueue().now()) {
-                hit->second.back().settled = maxTick;
+            std::vector<CommitEntry> *hit = history.find(op.addr);
+            if (hit && !hit->empty()
+                && hit->back().when == sys.eventQueue().now()) {
+                hit->back().settled = maxTick;
             }
         } else if (is_row) {
-            auto it = pendingPurges.find(op.addr);
-            if (it != pendingPurges.end() && it->second > 0
-                && --it->second == 0) {
-                // Wave settled: stamp the commit it installed.
-                auto hit = history.find(op.addr);
-                if (hit != history.end() && !hit->second.empty()
-                    && hit->second.back().settled == maxTick) {
-                    hit->second.back().settled =
-                        sys.eventQueue().now();
-                }
-                if (hit == history.end() || hit->second.empty()) {
-                    // Broadcast with no commit yet (org fills later on
-                    // its own column); nothing to stamp — the commit
-                    // hook saw pendingPurges > 0 and will have marked
-                    // itself unsettled, so stamp it when it appears.
+            unsigned *pp = pendingPurges.find(op.addr);
+            if (pp && *pp > 0 && --*pp == 0) {
+                // Wave settled: stamp the commit it installed. (A
+                // broadcast with no commit yet — org fills later on
+                // its own column — has nothing to stamp; the commit
+                // hook saw pendingPurges > 0 and marked itself
+                // unsettled.)
+                std::vector<CommitEntry> *hit = history.find(op.addr);
+                if (hit && !hit->empty()
+                    && hit->back().settled == maxTick) {
+                    hit->back().settled = sys.eventQueue().now();
                 }
             }
         }

@@ -38,6 +38,7 @@
 
 #include "bus/bus.hh"
 #include "core/system.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace mcube
@@ -158,9 +159,9 @@ class CoherenceChecker
     std::uint64_t fullInterval;
     std::vector<std::unique_ptr<Tap>> taps;
 
-    std::unordered_map<Addr, std::vector<CommitEntry>> history;
+    FlatMap<Addr, std::vector<CommitEntry>> history;
     /** Row purges still outstanding per line. */
-    std::unordered_map<Addr, unsigned> pendingPurges;
+    FlatMap<Addr, unsigned> pendingPurges;
     /**
      * I6/I7 offences seen in lenient sweeps, keyed by message, with
      * the tick each was first observed at. An entry is dropped as soon

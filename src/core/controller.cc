@@ -23,6 +23,11 @@ SnoopController::SnoopController(std::string name, EventQueue &eq,
     colPort.owner = this;
     colPort.isRow = false;
 
+    // One shared presence summary covers both address sources the
+    // snoop handlers consult; the counting filter absorbs overlap.
+    cache.setFilter(&presence);
+    mlt.setFilter(&presence);
+
     stats.addCounter("hits", statHits, "snooping cache hits");
     stats.addCounter("misses", statMisses, "transactions issued");
     stats.addCounter("reissues", statReissues,
@@ -46,6 +51,10 @@ SnoopController::SnoopController(std::string name, EventQueue &eq,
                      "waiters appended to our chain link");
     stats.addCounter("watchdog_reissues", statWatchdogReissues,
                      "requests reissued by the transaction watchdog");
+    stats.addCounter("filter_hits", statFilterHits,
+                     "snoops delivered past the presence filter");
+    stats.addCounter("filter_rejects", statFilterRejects,
+                     "snoops skipped by the fast-reject filter");
     stats.addDistribution("watchdog_recovery_latency",
                           statWatchdogRecovery,
                           "issue-to-completion ticks of transactions "
@@ -671,6 +680,97 @@ SnoopController::Port::snoop(const BusOp &op, bool modified_signal)
         owner->snoopCol(op, modified_signal);
 }
 
+bool
+SnoopController::Port::snoopRejects(const BusOp &op)
+{
+    SnoopController &c = *owner;
+    if (!c.params.snoopFilter)
+        return false;
+
+    // The conditions below mirror snoopRow/snoopCol case by case: an
+    // op may be rejected only when the handler's every side effect is
+    // gated on the address being present in the cache array or the
+    // MLT — both covered by the counting presence summary. Relays and
+    // table-copy mutations that fire regardless of local contents
+    // (column INSERT/PURGE, same-row/column forwarding, home-column
+    // routing) are structurally exempt. Note a rejected agent's
+    // supplyModifiedSignal is provably false with no RNG draw: it
+    // consults the RNG only after mlt.contains() succeeds.
+    if (isRow) {
+        if (op.is(op::Direct)) {
+            // snoopRow acts only for the destination or its column.
+            if (op.dest != c._id && !c.grid.sameColumn(c._id, op.dest)) {
+                ++c.statFilterRejects;
+                return true;
+            }
+            ++c.statFilterHits;
+            return false;
+        }
+        // Originator, column-mates of the originator (relay duty) and
+        // home-column nodes (memory routing duty) always listen.
+        if (op.origin == c._id || c.grid.sameColumn(c._id, op.origin)
+            || c.onHomeColumn(op.addr)) {
+            ++c.statFilterHits;
+            return false;
+        }
+        if (!c.relaunchCounts.empty() && op.is(op::Request)
+            && op.sender == op.origin
+            && !c.presence.mightContain(op.addr)) {
+            // rowRequest's one side effect that does not depend on
+            // local line state is resetting the relaunch budget when
+            // the originator itself re-sends. When presence says the
+            // handler would otherwise do nothing, perform that erase
+            // here and skip it — keeping the skip decision on the
+            // presence summary alone, so it cannot diverge with
+            // watchdog configuration. (Skipped outright while no
+            // relaunch is being tracked at all — the common case.)
+            c.relaunchCounts.erase({op.origin, op.addr});
+        }
+    } else {
+        if (op.is(op::Direct)) {
+            // snoopCol acts only for the destination itself.
+            if (op.dest != c._id) {
+                ++c.statFilterRejects;
+                return true;
+            }
+            ++c.statFilterHits;
+            return false;
+        }
+        // Column INSERTs and PURGE-carrying replies mutate (or relay
+        // from) every copy in the column regardless of local state.
+        if (op.is(op::Insert) || op.is(op::Purge)) {
+            ++c.statFilterHits;
+            return false;
+        }
+        // (COLUMN, REQUEST, MEMORY) is served by the memory module;
+        // controllers provably take no action.
+        if (op.is(op::Request) && op.is(op::Memory)) {
+            ++c.statFilterRejects;
+            return true;
+        }
+        // Originator and its row-mates handle replies/relaunches.
+        if (op.origin == c._id || c.grid.sameRow(c._id, op.origin)) {
+            ++c.statFilterHits;
+            return false;
+        }
+    }
+
+    if (c.presence.mightContain(op.addr)) {
+        ++c.statFilterHits;
+        return false;
+    }
+#ifndef NDEBUG
+    // Shadow check: a false negative of the presence summary would
+    // silently change simulated behaviour. The filter counts every
+    // fill/evict/insert/remove, so a rejected address must be absent
+    // from both structures.
+    assert(!c.cache.find(op.addr) && "presence filter false negative");
+    assert(!c.mlt.contains(op.addr) && "presence filter false negative");
+#endif
+    ++c.statFilterRejects;
+    return true;
+}
+
 // ---------------------------------------------------------------------
 // Row-bus handlers
 // ---------------------------------------------------------------------
@@ -958,7 +1058,7 @@ SnoopController::colRequestRemove(const BusOp &op)
                 // through memory indefinitely, so cap the relaunch
                 // chain; a live originator's watchdog restarts with a
                 // fresh request (which resets this count).
-                unsigned &cnt = relaunchCounts[{op.origin, op.addr}];
+                unsigned &cnt = relaunchCounts.ref({op.origin, op.addr});
                 if (++cnt > params.maxRelaunches)
                     return;
             }

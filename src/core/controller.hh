@@ -41,7 +41,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <utility>
 
@@ -49,6 +48,8 @@
 #include "bus/bus_op.hh"
 #include "cache/cache_array.hh"
 #include "cache/mlt.hh"
+#include "cache/presence_filter.hh"
+#include "sim/flat_map.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -110,6 +111,16 @@ struct ControllerParams
      * a capped request could never recover, so the cap is off).
      */
     unsigned maxRelaunches = 64;
+    /**
+     * Snoop fast-reject filter: keep a counting presence summary of
+     * the cache tags + MLT entries and let Bus::deliver skip this
+     * controller's snoop for addresses the summary rejects. Pure
+     * *simulator* optimization — simulated results are bit-identical
+     * on or off (enforced by the fuzz determinism test and, in debug
+     * builds, a shadow check on every reject); off exists for A-B
+     * benching and for debugging the filter itself.
+     */
+    bool snoopFilter = true;
     std::uint64_t seed = 1;           //!< RNG seed (drop injection)
 };
 
@@ -253,6 +264,14 @@ class SnoopController
     {
         return statWatchdogReissues.value();
     }
+    /** Snoops delivered because the presence summary said
+     *  maybe-present (a structural exclusion did not apply). */
+    std::uint64_t filterHits() const { return statFilterHits.value(); }
+    /** Snoops skipped entirely by the fast-reject filter. */
+    std::uint64_t filterRejects() const
+    {
+        return statFilterRejects.value();
+    }
     const Distribution &watchdogRecoveryLatency() const
     {
         return statWatchdogRecovery;
@@ -315,6 +334,7 @@ class SnoopController
 
         bool supplyModifiedSignal(const BusOp &op) override;
         void snoop(const BusOp &op, bool modified_signal) override;
+        bool snoopRejects(const BusOp &op) override;
     };
 
     friend struct Port;
@@ -424,6 +444,28 @@ class SnoopController
     const GridMap &grid;
     NodeId _id;
     ControllerParams params;
+
+    /**
+     * @{ Snoop fast-reject hot path. Port::snoopRejects runs once per
+     * (bus op, attached agent) — the hottest code in the simulator —
+     * and decides from exactly these members (plus params/_id/grid
+     * above). They are declared together so one rejection reads a few
+     * *adjacent* cache lines of this object instead of scattered
+     * ones; PresenceFilter keeps its query bitmap as its first field
+     * for the same reason.
+     */
+    Counter statFilterHits;
+    Counter statFilterRejects;
+    /** Consecutive bounce relaunches performed on behalf of each
+     *  (originator, addr); reset whenever the originator itself sends
+     *  a fresh request through us. See ControllerParams::maxRelaunches.
+     *  A flat table: snoopRejects probes it on every row request. */
+    FlatMap<std::pair<NodeId, Addr>, unsigned> relaunchCounts;
+    /** Counting summary of cache tags + MLT entries, consulted by
+     *  Port::snoopRejects; kept in sync by the two structures. */
+    PresenceFilter presence;
+    /** @} */
+
     Random rng;
 
     Port rowPort;
@@ -445,11 +487,6 @@ class SnoopController
     /** Serial of a row request this node decided to drop (fault
      *  injection); checked in the snoop pass. */
     std::uint64_t droppedSerial = 0;
-
-    /** Consecutive bounce relaunches performed on behalf of each
-     *  (originator, addr); reset whenever the originator itself sends
-     *  a fresh request through us. See ControllerParams::maxRelaunches. */
-    std::map<std::pair<NodeId, Addr>, unsigned> relaunchCounts;
 
     Counter statHits;
     Counter statMisses;

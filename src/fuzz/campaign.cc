@@ -32,6 +32,7 @@ toJson(const RunConfig &cfg)
     j.set("full_check_interval", cfg.fullCheckInterval);
     j.set("max_ticks", cfg.maxTicks);
     j.set("drain_ticks", cfg.drainTicks);
+    j.set("snoop_filter", Json(cfg.snoopFilter));
     j.set("tester", mcube::toJson(cfg.tester));
     j.set("fault_plan", mcube::toJson(cfg.plan));
     return j;
@@ -55,6 +56,7 @@ runConfigFromJson(const Json &j, RunConfig &out)
         j.u64("full_check_interval", d.fullCheckInterval);
     out.maxTicks = j.u64("max_ticks", d.maxTicks);
     out.drainTicks = j.u64("drain_ticks", d.drainTicks);
+    out.snoopFilter = j.flag("snoop_filter", d.snoopFilter);
     if (out.n == 0)
         return false;
     if (j.has("tester")
@@ -115,6 +117,7 @@ runOnce(const RunConfig &cfg)
     p.ctrl.cache = {cfg.cacheSets, cfg.cacheWays};
     p.ctrl.mlt = {cfg.mltSets, cfg.mltWays};
     p.ctrl.requestTimeoutTicks = cfg.requestTimeoutTicks;
+    p.ctrl.snoopFilter = cfg.snoopFilter;
 
     MulticubeSystem sys(p);
     CoherenceChecker checker(sys, cfg.fullCheckInterval);

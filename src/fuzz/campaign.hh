@@ -57,6 +57,9 @@ struct RunConfig
     std::uint64_t fullCheckInterval = 64;
     Tick maxTicks = 3'000'000'000ull;  //!< stall budget
     Tick drainTicks = 1'000'000'000ull;
+    /** Snoop fast-reject filter (pure simulator optimisation; the
+     *  result hash must be bit-identical either way). */
+    bool snoopFilter = true;
     RandomTesterParams tester{};
     FaultPlan plan{};
 };

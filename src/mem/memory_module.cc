@@ -22,6 +22,8 @@ MemoryModule::MemoryModule(std::string name, EventQueue &eq,
                      "requests for invalid lines reissued");
     stats.addCounter("tset_fails", statTsetFails,
                      "test-and-set failures answered from memory");
+    stats.addCounter("bounce_chains_peak", statBounceChainPeak,
+                     "high-water live bounce-chain entries");
     stats.addHistogram("bounce_chain_hist", statBounceChain,
                        "bounces a request suffered before service");
 }
@@ -38,14 +40,14 @@ MemoryModule::MemLine &
 MemoryModule::lineOf(Addr addr)
 {
     assert(grid.homeColumn(addr) == column);
-    return store[addr];  // default: valid, token 0
+    return store.ref(addr);  // default: valid, token 0
 }
 
 const MemoryModule::MemLine &
 MemoryModule::lineOfConst(Addr addr) const
 {
     assert(grid.homeColumn(addr) == column);
-    return store[addr];
+    return store.ref(addr);
 }
 
 bool
@@ -128,8 +130,10 @@ MemoryModule::serveRequest(const BusOp &req)
         bounce.sender = invalidNode;
         bounce.hasData = false;
         ++statBounces;
-        unsigned &chain = bounceChains[{req.origin, req.addr}];
+        unsigned &chain = bounceChains.ref({req.origin, req.addr});
         ++chain;
+        statBounceChainPeak.set(
+            static_cast<std::uint64_t>(bounceChains.highWater()));
         MCUBE_LOG(LogCat::Mem, eq.now(),
                   name << " bounce " << toString(req));
         MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MemBounce,
@@ -145,11 +149,11 @@ MemoryModule::serveRequest(const BusOp &req)
     // (Guarded so the common no-bounce case costs one empty() check.)
     std::int64_t chain_len = 0;
     if (!bounceChains.empty()) {
-        if (auto it = bounceChains.find({req.origin, req.addr});
-            it != bounceChains.end()) {
-            chain_len = it->second;
-            statBounceChain.sample(static_cast<double>(it->second));
-            bounceChains.erase(it);
+        if (const unsigned *chain =
+                bounceChains.find({req.origin, req.addr})) {
+            chain_len = *chain;
+            statBounceChain.sample(static_cast<double>(*chain));
+            bounceChains.erase({req.origin, req.addr});
         }
     }
     MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::MemServe,

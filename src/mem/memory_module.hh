@@ -24,14 +24,13 @@
 #define MCUBE_MEM_MEMORY_MODULE_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
 #include "bus/bus.hh"
 #include "bus/bus_op.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "topology/grid_map.hh"
@@ -104,17 +103,18 @@ class MemoryModule : public BusAgent
     unsigned slot = 0;
     Tick busyUntil = 0;
 
-    mutable std::unordered_map<Addr, MemLine> store;
+    mutable FlatMap<Addr, MemLine> store;
 
     /** Consecutive bounces per live (originator, addr) request
      *  instance; sampled into the chain-length histogram (and erased)
      *  when the request is finally served. */
-    std::map<std::pair<NodeId, Addr>, unsigned> bounceChains;
+    FlatMap<std::pair<NodeId, Addr>, unsigned> bounceChains;
 
     Counter statReads;
     Counter statUpdates;
     Counter statBounces;
     Counter statTsetFails;
+    Counter statBounceChainPeak;
     Histogram statBounceChain;
     StatGroup stats;
 };

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * An open-addressing flat hash map for simulator hot paths.
+ *
+ * std::unordered_map and std::map pay a heap allocation per node and a
+ * pointer chase per probe; the tables on the delivery path (memory
+ * backing store, bounce-chain counters, the checker's commit history,
+ * cache tag indexes) are probed once per bus operation, so those costs
+ * dominate large-grid runs. FlatMap stores slots contiguously:
+ *
+ *  - linear probing over a power-of-two table (mask, no modulo);
+ *  - keys mixed through mix64 (sim/hash.hh), so sequential addresses
+ *    and (node, addr) pairs spread evenly;
+ *  - backward-shift deletion — no tombstones, so probe chains never
+ *    grow from churn and iteration-free workloads stay O(1) per op;
+ *  - ref() default-constructs missing values, matching the
+ *    operator[] semantics the call sites were written against.
+ *
+ * Determinism: the table's *contents* are a pure function of the
+ * insert/erase sequence. Nothing in the simulator iterates a FlatMap
+ * in slot order to make decisions (forEach exists for dumps/tests
+ * only), so replacing a std:: map with FlatMap is behaviour-neutral.
+ */
+
+#ifndef MCUBE_SIM_FLAT_MAP_HH
+#define MCUBE_SIM_FLAT_MAP_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/hash.hh"
+
+namespace mcube
+{
+
+/** Key hasher used by FlatMap: mix64 over the key's integer image. */
+template <typename K>
+struct FlatKeyHash
+{
+    std::uint64_t
+    operator()(const K &k) const
+    {
+        return mix64(static_cast<std::uint64_t>(k));
+    }
+};
+
+/** Pairs (e.g. (NodeId, Addr) request instances) mix both halves. */
+template <typename A, typename B>
+struct FlatKeyHash<std::pair<A, B>>
+{
+    std::uint64_t
+    operator()(const std::pair<A, B> &p) const
+    {
+        return mix64(mix64(static_cast<std::uint64_t>(p.first))
+                     ^ static_cast<std::uint64_t>(p.second));
+    }
+};
+
+/**
+ * The map. K needs operator== and a FlatKeyHash specialization; V
+ * needs to be default-constructible and movable.
+ */
+template <typename K, typename V, typename Hash = FlatKeyHash<K>>
+class FlatMap
+{
+  public:
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots.resize(cap);
+        mask = cap - 1;
+    }
+
+    std::size_t size() const { return live; }
+    bool empty() const { return live == 0; }
+
+    /** Largest size() ever reached (high-water mark for stats). */
+    std::size_t highWater() const { return peak; }
+
+    /** Pointer to the value of @p key, or nullptr if absent. */
+    V *
+    find(const K &key)
+    {
+        std::size_t i = Hash{}(key)&mask;
+        while (slots[i].used) {
+            if (slots[i].key == key)
+                return &slots[i].value;
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /**
+     * Value of @p key, default-constructed and inserted if absent
+     * (operator[] semantics).
+     */
+    V &
+    ref(const K &key)
+    {
+        if (V *v = find(key))
+            return *v;
+        maybeGrow();
+        std::size_t i = Hash{}(key)&mask;
+        while (slots[i].used)
+            i = (i + 1) & mask;
+        slots[i].used = true;
+        slots[i].key = key;
+        slots[i].value = V{};
+        ++live;
+        if (live > peak)
+            peak = live;
+        return slots[i].value;
+    }
+
+    /** Insert-or-assign @p value under @p key. */
+    void
+    put(const K &key, V value)
+    {
+        ref(key) = std::move(value);
+    }
+
+    /**
+     * Remove @p key. @return true if it was present. Uses
+     * backward-shift deletion: every displaced element between the
+     * hole and the end of the probe cluster slides back toward its
+     * home slot, so no tombstones accumulate.
+     */
+    bool
+    erase(const K &key)
+    {
+        std::size_t i = Hash{}(key)&mask;
+        while (slots[i].used) {
+            if (slots[i].key == key) {
+                removeAt(i);
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+        return false;
+    }
+
+    void
+    clear()
+    {
+        for (auto &s : slots) {
+            s.used = false;
+            s.value = V{};
+        }
+        live = 0;
+    }
+
+    /** Visit every (key, value) pair; order is unspecified — for
+     *  dumps and tests only, never for simulated decisions. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &s : slots)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot
+    {
+        K key{};
+        V value{};
+        bool used = false;
+    };
+
+    void
+    removeAt(std::size_t i)
+    {
+        assert(slots[i].used);
+        // Backward shift: an element at j belongs in the hole at i iff
+        // its home slot h is not inside (i, j] — i.e. the hole lies
+        // within the element's probe path.
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (!slots[j].used)
+                break;
+            std::size_t h = Hash{}(slots[j].key) & mask;
+            if (((j - h) & mask) >= ((j - i) & mask)) {
+                slots[i].key = std::move(slots[j].key);
+                slots[i].value = std::move(slots[j].value);
+                i = j;
+            }
+        }
+        slots[i].used = false;
+        slots[i].value = V{};
+        --live;
+    }
+
+    void
+    maybeGrow()
+    {
+        // Grow at ~0.7 load to keep probe clusters short.
+        if ((live + 1) * 10 < slots.size() * 7)
+            return;
+        std::vector<Slot> old = std::move(slots);
+        slots.clear();
+        slots.resize(old.size() * 2);
+        mask = slots.size() - 1;
+        for (auto &s : old) {
+            if (!s.used)
+                continue;
+            std::size_t i = Hash{}(s.key)&mask;
+            while (slots[i].used)
+                i = (i + 1) & mask;
+            slots[i].used = true;
+            slots[i].key = std::move(s.key);
+            slots[i].value = std::move(s.value);
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    std::size_t live = 0;
+    std::size_t peak = 0;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_FLAT_MAP_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared integer mixing for hot-path lookup structures.
+ *
+ * Everything in the simulator that needs a well-mixed 64-bit key —
+ * the flat hash maps, the snoop presence filters, the cache/MLT set
+ * index — funnels through the same splitmix64 finalizer. One mixer
+ * means one set of constants to audit and identical avalanche
+ * behaviour everywhere; the function is pure, so any structure built
+ * on it stays deterministic run-to-run.
+ */
+
+#ifndef MCUBE_SIM_HASH_HH
+#define MCUBE_SIM_HASH_HH
+
+#include <cstdint>
+
+namespace mcube
+{
+
+/**
+ * splitmix64 finalizer: a cheap bijective mixer whose output bits all
+ * depend on all input bits. Suitable for hashing sequential or
+ * strided keys (addresses, node ids) whose low bits alone carry
+ * structure a power-of-two table must not see.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_HASH_HH

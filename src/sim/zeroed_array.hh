@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fixed-size array backed by lazily zeroed memory.
+ *
+ * The simulator's big per-node tables — cache line arrays, MLT slot
+ * arrays — are sized for the configured *capacity* but a typical run
+ * touches only a small fraction of it. A std::vector
+ * value-initializes every element up front, which both costs
+ * construction time (an n=32 machine allocates hundreds of MB across
+ * its 1024 controllers) and faults every page into the process,
+ * bloating the working set. Anonymous copy-on-write zero pages
+ * instead make untouched sets cost neither construction time nor
+ * resident memory — and *reads* of never-written elements all land on
+ * the kernel's single shared zero page, so a scan over a mostly-empty
+ * table stays cache-resident no matter how many tables exist.
+ *
+ * Large arrays (>= kMmapBytes) are therefore mapped directly with
+ * mmap(MAP_ANONYMOUS) rather than calloc'd: glibc only services big
+ * callocs from fresh zero mappings until the first such block is
+ * freed, after which it raises its internal threshold and starts
+ * recycling dirty arena pages — memset cost returns and the shared
+ * zero page is lost. Going to mmap ourselves keeps the lazy-zero
+ * behaviour deterministic for every system a process constructs, not
+ * just the first. Small arrays stay on calloc (a syscall per tiny
+ * table would cost more than it saves).
+ *
+ * The element type must be trivially copyable and destructible, and
+ * its all-zero-bytes state must be a valid "empty" value — the
+ * containing structure must treat a zeroed element exactly like a
+ * freshly default-constructed one (e.g. a CacheLine whose tagValid is
+ * false is never read beyond that flag).
+ */
+
+#ifndef MCUBE_SIM_ZEROED_ARRAY_HH
+#define MCUBE_SIM_ZEROED_ARRAY_HH
+
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define MCUBE_ZEROED_ARRAY_HAS_MMAP 1
+#endif
+
+namespace mcube
+{
+
+/** Fixed-size lazily-zeroed array; see file comment. */
+template <typename T>
+class ZeroedArray
+{
+    static_assert(std::is_trivially_copyable_v<T>
+                      && std::is_trivially_destructible_v<T>,
+                  "ZeroedArray elements live in raw zeroed storage");
+
+  public:
+    /** Allocations at least this big bypass malloc for a private
+     *  anonymous mapping (see file comment). */
+    static constexpr std::size_t kMmapBytes = 256 * 1024;
+
+    ZeroedArray() = default;
+
+    explicit ZeroedArray(std::size_t n) { reset(n); }
+
+    ZeroedArray(ZeroedArray &&other) noexcept
+        : ptr(other.ptr), n(other.n), mapped(other.mapped)
+    {
+        other.ptr = nullptr;
+        other.n = 0;
+        other.mapped = false;
+    }
+
+    ZeroedArray &
+    operator=(ZeroedArray &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            ptr = other.ptr;
+            n = other.n;
+            mapped = other.mapped;
+            other.ptr = nullptr;
+            other.n = 0;
+            other.mapped = false;
+        }
+        return *this;
+    }
+
+    ZeroedArray(const ZeroedArray &) = delete;
+    ZeroedArray &operator=(const ZeroedArray &) = delete;
+
+    ~ZeroedArray() { release(); }
+
+    /** Discard the contents and become a zeroed array of @p count. */
+    void
+    reset(std::size_t count)
+    {
+        release();
+        ptr = nullptr;
+        n = 0;
+        mapped = false;
+        if (!count)
+            return;
+#ifdef MCUBE_ZEROED_ARRAY_HAS_MMAP
+        if (count * sizeof(T) >= kMmapBytes) {
+            void *m = ::mmap(nullptr, count * sizeof(T),
+                             PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+            if (m != MAP_FAILED) {
+                ptr = static_cast<T *>(m);
+                n = count;
+                mapped = true;
+                return;
+            }
+            // Fall through to calloc on mmap failure.
+        }
+#endif
+        ptr = static_cast<T *>(std::calloc(count, sizeof(T)));
+        if (!ptr)
+            throw std::bad_alloc();
+        n = count;
+    }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    T *data() { return ptr; }
+    const T *data() const { return ptr; }
+
+    T &operator[](std::size_t i) { return ptr[i]; }
+    const T &operator[](std::size_t i) const { return ptr[i]; }
+
+    T *begin() { return ptr; }
+    T *end() { return ptr + n; }
+    const T *begin() const { return ptr; }
+    const T *end() const { return ptr + n; }
+
+  private:
+    void
+    release()
+    {
+#ifdef MCUBE_ZEROED_ARRAY_HAS_MMAP
+        if (mapped) {
+            ::munmap(ptr, n * sizeof(T));
+            return;
+        }
+#endif
+        std::free(ptr);
+    }
+
+    T *ptr = nullptr;
+    std::size_t n = 0;
+    bool mapped = false;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_SIM_ZEROED_ARRAY_HH

@@ -30,6 +30,14 @@ class GridMap
         : _n(n), pageShift(page_shift)
     {
         assert(n >= 1);
+        // Coordinate splits run once per delivered op per attached
+        // agent; for power-of-two n (every benchmarked size) replace
+        // the integer divisions with shift/mask.
+        if ((n & (n - 1)) == 0) {
+            mask = n - 1;
+            while ((1u << shift) < n)
+                ++shift;
+        }
     }
 
     /** Processors per bus (and buses per dimension). */
@@ -38,8 +46,17 @@ class GridMap
     /** Total processors. */
     unsigned numNodes() const { return _n * _n; }
 
-    unsigned rowOf(NodeId id) const { return id / _n; }
-    unsigned colOf(NodeId id) const { return id % _n; }
+    unsigned
+    rowOf(NodeId id) const
+    {
+        return mask ? id >> shift : id / _n;
+    }
+
+    unsigned
+    colOf(NodeId id) const
+    {
+        return mask ? (id & mask) : id % _n;
+    }
 
     NodeId
     nodeAt(unsigned row, unsigned col) const
@@ -52,7 +69,8 @@ class GridMap
     unsigned
     homeColumn(Addr addr) const
     {
-        return static_cast<unsigned>((addr >> pageShift) % _n);
+        Addr page = addr >> pageShift;
+        return static_cast<unsigned>(mask ? (page & mask) : page % _n);
     }
 
     bool
@@ -70,6 +88,8 @@ class GridMap
   private:
     unsigned _n;
     unsigned pageShift;
+    unsigned mask = 0;   //!< n - 1 when n is a power of two, else 0
+    unsigned shift = 0;  //!< log2(n) when n is a power of two
 };
 
 } // namespace mcube

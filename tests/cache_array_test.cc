@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "cache/cache_array.hh"
 
 using namespace mcube;
@@ -15,6 +18,27 @@ tok(std::uint64_t t)
     LineData d;
     d.token = t;
     return d;
+}
+
+/** The set index is mixed (see CacheArray::setOf), so addresses that
+ *  share a set are found by probing, not assumed from addr % sets. */
+std::vector<Addr>
+collidingAddrs(const CacheArray &c, std::size_t count)
+{
+    std::vector<Addr> out{0};
+    std::size_t set = c.setOf(0);
+    for (Addr a = 1; out.size() < count; ++a)
+        if (c.setOf(a) == set)
+            out.push_back(a);
+    return out;
+}
+
+Addr
+addrOutsideSet(const CacheArray &c, std::size_t set)
+{
+    for (Addr a = 0;; ++a)
+        if (c.setOf(a) != set)
+            return a;
 }
 
 } // namespace
@@ -60,23 +84,24 @@ TEST(CacheArray, AllocSlotReturnsMatchingLineFirst)
 TEST(CacheArray, AllocSlotPrefersUntaggedWay)
 {
     CacheArray c({4, 2});
-    // Addrs 1 and 5 share set 1 (numSets = 4).
-    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
-    CacheLine *slot = c.allocSlot(5);
+    auto same = collidingAddrs(c, 2);
+    c.fill(c.allocSlot(same[0]), same[0], Mode::Shared, tok(1));
+    CacheLine *slot = c.allocSlot(same[1]);
     EXPECT_FALSE(slot->tagValid);
 }
 
 TEST(CacheArray, AllocSlotEvictsLru)
 {
     CacheArray c({4, 2});
-    // Fill both ways of set 1: addrs 1 and 5.
-    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
-    c.fill(c.allocSlot(5), 5, Mode::Shared, tok(5));
-    // Touch 1, so 5 is LRU.
-    c.touch(1);
-    CacheLine *victim = c.allocSlot(9);
+    // Fill both ways of one set with the first two colliders.
+    auto same = collidingAddrs(c, 3);
+    c.fill(c.allocSlot(same[0]), same[0], Mode::Shared, tok(1));
+    c.fill(c.allocSlot(same[1]), same[1], Mode::Shared, tok(5));
+    // Touch the first, so the second is LRU.
+    c.touch(same[0]);
+    CacheLine *victim = c.allocSlot(same[2]);
     ASSERT_TRUE(victim->tagValid);
-    EXPECT_EQ(victim->addr, 5u);
+    EXPECT_EQ(victim->addr, same[1]);
 }
 
 TEST(CacheArray, TouchUpdatesLru)
@@ -128,16 +153,32 @@ TEST(CacheArray, FillClearsSyncTail)
 TEST(CacheArray, SetsAreIndependent)
 {
     CacheArray c({4, 1});
-    c.fill(c.allocSlot(0), 0, Mode::Shared, tok(0));
-    c.fill(c.allocSlot(1), 1, Mode::Shared, tok(1));
-    c.fill(c.allocSlot(2), 2, Mode::Shared, tok(2));
-    c.fill(c.allocSlot(3), 3, Mode::Shared, tok(3));
-    for (Addr a = 0; a < 4; ++a) {
-        ASSERT_NE(c.find(a), nullptr);
-        EXPECT_EQ(c.find(a)->data.token, a);
-    }
-    // Address 4 maps to set 0 and evicts address 0 only.
-    c.fill(c.allocSlot(4), 4, Mode::Shared, tok(4));
-    EXPECT_EQ(c.find(0), nullptr);
-    EXPECT_NE(c.find(1), nullptr);
+    auto same = collidingAddrs(c, 2);
+    Addr other = addrOutsideSet(c, c.setOf(same[0]));
+    c.fill(c.allocSlot(same[0]), same[0], Mode::Shared, tok(1));
+    c.fill(c.allocSlot(other), other, Mode::Shared, tok(2));
+    // A conflicting fill evicts only its own set's occupant.
+    c.fill(c.allocSlot(same[1]), same[1], Mode::Shared, tok(3));
+    EXPECT_EQ(c.find(same[0]), nullptr);
+    ASSERT_NE(c.find(other), nullptr);
+    EXPECT_EQ(c.find(other)->data.token, 2u);
+    ASSERT_NE(c.find(same[1]), nullptr);
+}
+
+TEST(CacheArray, SetIndexDecorrelatesHomeColumnInterleave)
+{
+    // Home columns interleave lines as addr % n, and an n x n system
+    // tends to be configured with power-of-two set counts; a plain
+    // addr % numSets index correlates with the interleave, so traffic
+    // homed on one column would concentrate in a fraction of the
+    // sets. The mixed index must spread a stride-n stream over most
+    // sets of a direct-mapped array.
+    CacheArray c({64, 1});
+    std::set<std::size_t> sets;
+    for (Addr a = 0; a < 64 * 4; a += 4)  // 64 lines homed on column 0
+        sets.insert(c.setOf(a));
+    // Unmixed, a stride-4 stream reaches only 16 of 64 sets; a
+    // well-mixed one covers ~63% distinct. Require well above the
+    // aliased count.
+    EXPECT_GT(sets.size(), 32u);
 }

@@ -1,0 +1,161 @@
+/** @file
+ * Unit and differential tests for the open-addressing FlatMap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/flat_map.hh"
+#include "sim/random.hh"
+
+using namespace mcube;
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_FALSE(m.contains(7));
+}
+
+TEST(FlatMap, RefDefaultConstructsLikeOperatorBracket)
+{
+    FlatMap<std::uint64_t, unsigned> m;
+    unsigned &v = m.ref(42);
+    EXPECT_EQ(v, 0u);
+    ++v;
+    EXPECT_EQ(*m.find(42), 1u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, PutOverwrites)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.put(5, 10);
+    m.put(5, 20);
+    ASSERT_NE(m.find(5), nullptr);
+    EXPECT_EQ(*m.find(5), 20);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseReportsPresence)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.put(1, 1);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, PairKeys)
+{
+    FlatMap<std::pair<std::uint32_t, std::uint64_t>, unsigned> m;
+    m.ref({3, 900}) = 7;
+    m.ref({4, 900}) = 8;
+    EXPECT_EQ(*m.find({3, 900}), 7u);
+    EXPECT_EQ(*m.find({4, 900}), 8u);
+    EXPECT_TRUE(m.erase({3, 900}));
+    EXPECT_EQ(m.find({3, 900}), nullptr);
+    EXPECT_EQ(*m.find({4, 900}), 8u);
+}
+
+TEST(FlatMap, HighWaterTracksPeakNotCurrent)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 10; ++k)
+        m.put(k, 1);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        m.erase(k);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.highWater(), 10u);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacity)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m(16);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m.put(k, k * 3);
+    EXPECT_EQ(m.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        ASSERT_NE(m.find(k), nullptr) << k;
+        EXPECT_EQ(*m.find(k), k * 3);
+    }
+}
+
+TEST(FlatMap, ForEachVisitsEveryLiveEntry)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.put(1, 10);
+    m.put(2, 20);
+    m.put(3, 30);
+    m.erase(2);
+    std::unordered_map<std::uint64_t, int> seen;
+    m.forEach([&](std::uint64_t k, int v) { seen[k] = v; });
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1], 10);
+    EXPECT_EQ(seen[3], 30);
+}
+
+TEST(FlatMap, ClearEmptiesWithoutShrinking)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 50; ++k)
+        m.put(k, 1);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(10), nullptr);
+    m.put(10, 2);
+    EXPECT_EQ(*m.find(10), 2);
+}
+
+// Backward-shift deletion is the easiest part to get subtly wrong:
+// drive a long random insert/erase/lookup sequence against
+// std::unordered_map. Keys are drawn from a small range so probe
+// clusters form and deletions regularly punch holes inside them.
+TEST(FlatMap, DifferentialAgainstUnorderedMap)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m(16);
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Random rng(12345);
+
+    for (int step = 0; step < 20000; ++step) {
+        std::uint64_t k = rng.below(200);
+        switch (rng.below(4)) {
+          case 0:
+          case 1: {
+            std::uint64_t v = rng.below(1u << 30);
+            m.put(k, v);
+            ref[k] = v;
+            break;
+          }
+          case 2:
+            ASSERT_EQ(m.erase(k), ref.erase(k) > 0) << "step " << step;
+            break;
+          default: {
+            const std::uint64_t *v = m.find(k);
+            auto it = ref.find(k);
+            ASSERT_EQ(v != nullptr, it != ref.end()) << "step " << step;
+            if (v) {
+                ASSERT_EQ(*v, it->second) << "step " << step;
+            }
+            break;
+          }
+        }
+        if (step % 512 == 0) {
+            ASSERT_EQ(m.size(), ref.size()) << "step " << step;
+            std::size_t visited = 0;
+            m.forEach([&](std::uint64_t key, std::uint64_t value) {
+                ++visited;
+                auto it = ref.find(key);
+                ASSERT_NE(it, ref.end()) << key;
+                ASSERT_EQ(value, it->second) << key;
+            });
+            ASSERT_EQ(visited, ref.size()) << "step " << step;
+        }
+    }
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <set>
 
 #include "cache/mlt.hh"
 
@@ -71,13 +72,35 @@ TEST(Mlt, OverflowEvictsLru)
 TEST(Mlt, SetsIsolateOverflow)
 {
     ModifiedLineTable t({2, 1});
-    t.insert(0);  // set 0
-    t.insert(1);  // set 1
-    // Inserting into set 0 evicts only from set 0.
-    auto victim = t.insert(2);
+    // The set index is mixed, so probe for a colliding pair and an
+    // address in the other set.
+    Addr first = 0;
+    Addr collider = 1;
+    while (t.setOf(collider) != t.setOf(first))
+        ++collider;
+    Addr other = 1;
+    while (t.setOf(other) == t.setOf(first))
+        ++other;
+    t.insert(first);
+    t.insert(other);
+    // Inserting into the full set evicts only from that set.
+    auto victim = t.insert(collider);
     ASSERT_TRUE(victim.has_value());
-    EXPECT_EQ(*victim, 0u);
-    EXPECT_TRUE(t.contains(1));
+    EXPECT_EQ(*victim, first);
+    EXPECT_TRUE(t.contains(other));
+}
+
+TEST(Mlt, SetIndexDecorrelatesHomeColumnInterleave)
+{
+    // Every entry of a column's table is homed on that column, i.e.
+    // satisfies addr % n == column. With a plain addr % numSets index
+    // those entries alias into numSets / n sets; the mixed index must
+    // spread them over most of the table.
+    ModifiedLineTable t({64, 1});
+    std::set<std::size_t> sets;
+    for (Addr a = 0; a < 64 * 4; a += 4)
+        sets.insert(t.setOf(a));
+    EXPECT_GT(sets.size(), 32u);
 }
 
 TEST(Mlt, IdenticalToTracksSameHistory)

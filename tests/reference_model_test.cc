@@ -15,6 +15,7 @@
 #include "cache/cache_array.hh"
 #include "cache/mlt.hh"
 #include "cache/processor_cache.hh"
+#include "sim/hash.hh"
 #include "sim/random.hh"
 
 using namespace mcube;
@@ -27,22 +28,33 @@ namespace
 class RefLru
 {
   public:
-    RefLru(std::size_t sets, unsigned assoc) : sets(sets), assoc(assoc)
+    /** @param mixed_index Mirror the mixed set index of CacheArray /
+     *  ModifiedLineTable instead of plain addr % sets (which the L1
+     *  processor cache still uses). */
+    RefLru(std::size_t sets, unsigned assoc, bool mixed_index = false)
+        : sets(sets), assoc(assoc), mixed(mixed_index)
     {
         lists.resize(sets);
+    }
+
+    std::size_t
+    setOf(Addr a) const
+    {
+        return mixed ? static_cast<std::size_t>(mix64(a)) % sets
+                     : a % sets;
     }
 
     bool
     contains(Addr a) const
     {
-        const auto &l = lists[a % sets];
+        const auto &l = lists[setOf(a)];
         return std::find(l.begin(), l.end(), a) != l.end();
     }
 
     void
     touch(Addr a)
     {
-        auto &l = lists[a % sets];
+        auto &l = lists[setOf(a)];
         auto it = std::find(l.begin(), l.end(), a);
         if (it != l.end()) {
             l.erase(it);
@@ -54,7 +66,7 @@ class RefLru
     std::optional<Addr>
     insert(Addr a)
     {
-        auto &l = lists[a % sets];
+        auto &l = lists[setOf(a)];
         auto it = std::find(l.begin(), l.end(), a);
         if (it != l.end()) {
             l.erase(it);
@@ -73,7 +85,7 @@ class RefLru
     bool
     remove(Addr a)
     {
-        auto &l = lists[a % sets];
+        auto &l = lists[setOf(a)];
         auto it = std::find(l.begin(), l.end(), a);
         if (it == l.end())
             return false;
@@ -93,6 +105,7 @@ class RefLru
   private:
     std::size_t sets;
     unsigned assoc;
+    bool mixed;
     std::vector<std::list<Addr>> lists;
 };
 
@@ -121,7 +134,7 @@ TEST_P(MltVsReference, LongRandomSequenceMatches)
 {
     const Geometry &g = GetParam();
     ModifiedLineTable mlt({g.sets, g.assoc});
-    RefLru ref(g.sets, g.assoc);
+    RefLru ref(g.sets, g.assoc, true);
     Random rng(g.seed);
 
     for (int step = 0; step < 4000; ++step) {
@@ -165,7 +178,7 @@ TEST_P(CacheVsReference, VictimChoiceMatchesLru)
 {
     const Geometry &g = GetParam();
     CacheArray cache({g.sets, g.assoc});
-    RefLru ref(g.sets, g.assoc);
+    RefLru ref(g.sets, g.assoc, true);
     Random rng(g.seed * 31);
 
     // Model fills and touches; allocSlot's victim must be the LRU

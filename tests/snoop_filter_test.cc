@@ -1,0 +1,187 @@
+/** @file
+ * Tests for the snoop fast-reject presence filter: the counting
+ * summary itself, its no-false-negative contract under cache/MLT
+ * churn, and whole-system equivalence with the filter off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "cache/cache_array.hh"
+#include "cache/mlt.hh"
+#include "cache/presence_filter.hh"
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "proc/random_tester.hh"
+#include "sim/random.hh"
+
+using namespace mcube;
+
+TEST(PresenceFilter, AddThenMightContain)
+{
+    PresenceFilter f;
+    EXPECT_FALSE(f.mightContain(5));
+    f.add(5);
+    EXPECT_TRUE(f.mightContain(5));
+    f.remove(5);
+    EXPECT_FALSE(f.mightContain(5));
+}
+
+TEST(PresenceFilter, CountingAbsorbsOverlap)
+{
+    // A line both cached and tabled is added twice; one remove must
+    // not make it look absent.
+    PresenceFilter f;
+    f.add(9);
+    f.add(9);
+    f.remove(9);
+    EXPECT_TRUE(f.mightContain(9));
+    f.remove(9);
+    EXPECT_FALSE(f.mightContain(9));
+}
+
+namespace
+{
+
+/** The one-sided contract: "definitely absent" must be right; "maybe
+ *  present" needs no check. */
+void
+expectNoFalseNegatives(const PresenceFilter &f, CacheArray &cache,
+                       const ModifiedLineTable &mlt, Addr max_addr)
+{
+    for (Addr a = 0; a < max_addr; ++a) {
+        if (f.mightContain(a))
+            continue;
+        ASSERT_EQ(cache.find(a), nullptr)
+            << "filter false negative for cached addr " << a;
+        ASSERT_FALSE(mlt.contains(a))
+            << "filter false negative for tabled addr " << a;
+    }
+}
+
+} // namespace
+
+TEST(PresenceFilter, TracksCacheAndMltThroughChurn)
+{
+    // Small structures so the random stream constantly evicts and
+    // re-fills: every tag replacement exercises the remove+add pair
+    // in CacheArray::fill, every table overflow the pair in
+    // ModifiedLineTable::insert.
+    constexpr Addr kAddrs = 64;
+    CacheArray cache({4, 2});
+    ModifiedLineTable mlt({2, 2});
+    PresenceFilter filter;
+    cache.setFilter(&filter);
+    mlt.setFilter(&filter);
+    Random rng(999);
+
+    for (int step = 0; step < 4000; ++step) {
+        Addr a = rng.below(kAddrs);
+        switch (rng.below(4)) {
+          case 0: {
+            CacheLine *slot = cache.allocSlot(a);
+            cache.fill(slot, a, Mode::Shared, LineData{});
+            break;
+          }
+          case 1: {
+            // Purge-style mode change: the tag (and the filter count)
+            // must survive.
+            if (CacheLine *l = cache.find(a))
+                l->mode = Mode::Invalid;
+            break;
+          }
+          case 2:
+            mlt.insert(a);
+            break;
+          default:
+            mlt.remove(a);
+            break;
+        }
+        if (step % 64 == 0)
+            expectNoFalseNegatives(filter, cache, mlt, kAddrs);
+    }
+    expectNoFalseNegatives(filter, cache, mlt, kAddrs);
+}
+
+TEST(PresenceFilter, SetFilterFoldsExistingContents)
+{
+    CacheArray cache({4, 2});
+    ModifiedLineTable mlt({2, 2});
+    cache.fill(cache.allocSlot(3), 3, Mode::Shared, LineData{});
+    mlt.insert(7);
+
+    PresenceFilter filter;
+    cache.setFilter(&filter);
+    mlt.setFilter(&filter);
+    EXPECT_TRUE(filter.mightContain(3));
+    EXPECT_TRUE(filter.mightContain(7));
+}
+
+namespace
+{
+
+std::map<std::string, double>
+runTesterWorkload(bool snoop_filter)
+{
+    SystemParams p;
+    p.n = 4;
+    p.seed = 77;
+    p.ctrl.cache = {16, 2};  // small: plenty of eviction churn
+    p.ctrl.mlt = {16, 2};
+    p.ctrl.snoopFilter = snoop_filter;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 64);
+
+    RandomTesterParams tp;
+    tp.opsPerNode = 80;
+    tp.pTset = 0.15;
+    tp.seed = 1234;
+    RandomTester tester(sys, checker, tp);
+    tester.start();
+    sys.eventQueue().runUntil(2'000'000'000ull);
+    EXPECT_TRUE(tester.finished());
+    sys.drain();
+    EXPECT_EQ(checker.violations(), 0u);
+
+    std::map<std::string, double> flat;
+    sys.statistics().flatten(flat);
+    return flat;
+}
+
+} // namespace
+
+TEST(SnoopFilter, FilterOnIsBitIdenticalToFilterOff)
+{
+    auto on = runTesterWorkload(true);
+    auto off = runTesterWorkload(false);
+
+    // Every simulated stat must match exactly; only the filter's own
+    // bookkeeping counters may differ (they are zero with it off).
+    for (const auto &[name, value] : on) {
+        if (name.find("filter_") != std::string::npos)
+            continue;
+        auto it = off.find(name);
+        ASSERT_NE(it, off.end()) << name;
+        EXPECT_EQ(it->second, value) << name;
+    }
+}
+
+TEST(SnoopFilter, RejectsASubstantialShareOfSnoops)
+{
+    auto on = runTesterWorkload(true);
+
+    double hits = 0.0, rejects = 0.0;
+    for (const auto &[name, value] : on) {
+        if (name.find("filter_hits") != std::string::npos)
+            hits += value;
+        if (name.find("filter_rejects") != std::string::npos)
+            rejects += value;
+    }
+    // The filter only pays for itself if it actually skips work. On a
+    // 4x4 grid most deliveries miss most agents, so well over a tenth
+    // of all snoop decisions should be fast-rejected.
+    ASSERT_GT(hits + rejects, 0.0);
+    EXPECT_GT(rejects / (hits + rejects), 0.1);
+}
