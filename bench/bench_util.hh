@@ -47,6 +47,11 @@
 
 #include "core/system.hh"
 #include "mva/mva_model.hh"
+#include "run/crash_handler.hh"
+#include "run/provenance.hh"
+#include "run/shutdown.hh"
+#include "run/work_journal.hh"
+#include "sim/json.hh"
 #include "sim/stats.hh"
 #include "proc/mix_workload.hh"
 #include "sim/sweep_runner.hh"
@@ -175,18 +180,72 @@ class SweepCache
         points.push_back(Point{label, std::move(fn), {}, false});
     }
 
-    /** Compute every declared-but-uncomputed point, in parallel. */
+    /**
+     * Compute every declared-but-uncomputed point, in parallel.
+     *
+     * With MCUBE_BENCH_JOURNAL=<file> set, completed points append to
+     * a run::WorkJournal keyed by the declared label set + git
+     * revision: a re-run of an interrupted bench loads journaled
+     * points instead of re-simulating them. A SIGINT/SIGTERM during
+     * the sweep stops dispatch (in-flight points finish and are
+     * journaled); MCUBE_BENCH_MAIN then exits 128+signal instead of
+     * benchmarking against a partial cache.
+     */
     void
     computeAll()
     {
         computed = true;
+
+        run::WorkJournal journal;
+        const char *jpath = std::getenv("MCUBE_BENCH_JOURNAL");
+        if (jpath && *jpath) {
+            std::string ident = "bench";
+            for (const auto &p : points)
+                ident += "|" + p.label;
+            ident += "|rev=" + run::gitRevision();
+            Json hdr = Json::object();
+            hdr.set("tool", "bench");
+            hdr.set("points",
+                    static_cast<std::uint64_t>(points.size()));
+            std::string err;
+            if (!journal.open(jpath, run::WorkJournal::keyOf(ident),
+                              hdr, &err)) {
+                std::fprintf(stderr,
+                             "bench_util: journal: %s (continuing "
+                             "without a journal)\n",
+                             err.c_str());
+            } else {
+                for (auto &p : points) {
+                    const Json *rec = journal.find(p.label);
+                    if (!rec || !rec->isObject())
+                        continue;
+                    p.result.clear();
+                    for (const auto &[k, v] : rec->members())
+                        p.result[k] = v.asDouble();
+                    p.done = true;
+                }
+            }
+        }
+
         sweep::SweepRunner runner(jobs());
-        runner.forEach(points.size(), [this](std::size_t i) {
-            if (!points[i].done) {
+        runner.forEach(
+            points.size(),
+            [this, &journal](std::size_t i) {
+                if (points[i].done)
+                    return;
                 points[i].result = points[i].fn();
                 points[i].done = true;
-            }
-        });
+                if (journal.isOpen()) {
+                    Json m = Json::object();
+                    for (const auto &[k, v] : points[i].result)
+                        m.set(k, v);
+                    journal.record(points[i].label, std::move(m));
+                }
+            },
+            [] { return run::GracefulShutdown::requested(); });
+
+        if (journal.isOpen() && !run::GracefulShutdown::requested())
+            journal.finish();
     }
 
     /** The metrics of @p label (see class comment). */
@@ -429,18 +488,34 @@ class BenchJson
 } // namespace mcube::bench
 
 /**
- * Bench entry point: strips --jobs, precomputes every declared sweep
- * point across the worker pool, then hands over to Google Benchmark.
+ * Bench entry point: arms crash diagnostics and graceful shutdown,
+ * strips --jobs, precomputes every declared sweep point across the
+ * worker pool (journal-resumable via MCUBE_BENCH_JOURNAL, see
+ * SweepCache::computeAll), then hands over to Google Benchmark. An
+ * interrupt during the precompute exits 128+signal after the
+ * in-flight points drain — BENCH json and the journal keep everything
+ * already computed.
  */
 #define MCUBE_BENCH_MAIN()                                                  \
     int main(int argc, char **argv)                                         \
     {                                                                       \
+        ::mcube::run::installCrashHandler(                                  \
+            argv[0] ? argv[0] : "bench");                                   \
+        ::mcube::run::GracefulShutdown::install();                          \
         argc = ::mcube::bench::SweepCache::instance().stripJobsFlag(        \
             argc, argv);                                                    \
         ::benchmark::Initialize(&argc, argv);                               \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))           \
             return 1;                                                       \
         ::mcube::bench::SweepCache::instance().computeAll();                \
+        if (::mcube::run::GracefulShutdown::requested()) {                  \
+            std::fprintf(stderr,                                            \
+                         "bench: interrupted during the sweep "             \
+                         "precompute; draining cleanly (set "               \
+                         "MCUBE_BENCH_JOURNAL to make a re-run skip "       \
+                         "the points already computed)\n");                 \
+            return ::mcube::run::GracefulShutdown::exitCode();              \
+        }                                                                   \
         ::benchmark::RunSpecifiedBenchmarks();                              \
         ::benchmark::Shutdown();                                            \
         return 0;                                                           \

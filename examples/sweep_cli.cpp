@@ -37,10 +37,34 @@
  * requesting them forces --jobs=1 (with a warning). With several
  * --rates, the files cover the *last* simulated point (each point
  * truncates them); use a single rate when tracing.
+ *
+ * Robustness (docs/ROBUSTNESS.md):
+ *   --journal=FILE         append each completed simulation point to
+ *                          an fsync'd JSONL journal (keyed by the
+ *                          effective configuration + git revision)
+ *   --resume               skip points the journal already records,
+ *                          emitting their journaled rows verbatim —
+ *                          the union of an interrupted + resumed
+ *                          sweep is byte-identical to an
+ *                          uninterrupted one
+ *   --isolate              fork each point into a resource-limited
+ *                          worker process (crash/OOM/timeout is
+ *                          triaged per point, not per sweep)
+ *   --deadline-s=T         per-point wall-clock deadline when
+ *                          isolating (default 300; 0 = off)
+ *   --heartbeat-s=T        max heartbeat silence before a point is
+ *                          triaged Stalled (default 0 = off)
+ *   --rss-mb=M             per-point address-space cap when isolating
+ *                          (default 0 = off)
+ *
+ * SIGINT/SIGTERM drain gracefully: no new point starts, in-flight
+ * points finish, the partial CSV and journal stay valid (exit
+ * 128+signal); a second signal kills immediately.
  */
 
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -50,8 +74,14 @@
 
 #include "core/system.hh"
 #include "fault/fault_injector.hh"
+#include "fault/progress_monitor.hh"
 #include "mva/mva_model.hh"
 #include "proc/mix_workload.hh"
+#include "run/crash_handler.hh"
+#include "run/provenance.hh"
+#include "run/shutdown.hh"
+#include "run/supervisor.hh"
+#include "run/work_journal.hh"
 #include "sim/sweep_runner.hh"
 #include "trace/metrics_sampler.hh"
 #include "trace/trace_event.hh"
@@ -77,6 +107,12 @@ struct Options
     Tick metricsPeriod = 50'000;
     double faultDrop = 0.0;
     std::uint64_t seed = SystemParams{}.seed;
+    std::string journal;
+    bool resume = false;
+    bool isolate = false;
+    double deadlineS = 300.0;
+    double heartbeatS = 0.0;
+    std::uint64_t rssMb = 0;
 };
 
 std::vector<double>
@@ -96,13 +132,18 @@ parseArgs(int argc, char **argv, Options &opt)
 {
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        auto eq = a.find('=');
-        if (a.rfind("--", 0) != 0 || eq == std::string::npos) {
+        if (a.rfind("--", 0) != 0) {
             std::cerr << "bad argument: " << a << "\n";
             return false;
         }
-        std::string key = a.substr(2, eq - 2);
-        std::string val = a.substr(eq + 1);
+        auto eq = a.find('=');
+        // `--resume` and `--resume=1` are equivalent: a bare flag
+        // means "on".
+        std::string key = eq == std::string::npos
+                              ? a.substr(2)
+                              : a.substr(2, eq - 2);
+        std::string val =
+            eq == std::string::npos ? "1" : a.substr(eq + 1);
         if (key == "mode")
             opt.mode = val;
         else if (key == "n")
@@ -131,6 +172,18 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.faultDrop = std::atof(val.c_str());
         else if (key == "seed")
             opt.seed = std::strtoull(val.c_str(), nullptr, 10);
+        else if (key == "journal")
+            opt.journal = val;
+        else if (key == "resume")
+            opt.resume = val != "0";
+        else if (key == "isolate")
+            opt.isolate = val != "0";
+        else if (key == "deadline-s")
+            opt.deadlineS = std::atof(val.c_str());
+        else if (key == "heartbeat-s")
+            opt.heartbeatS = std::atof(val.c_str());
+        else if (key == "rss-mb")
+            opt.rssMb = std::strtoull(val.c_str(), nullptr, 10);
         else {
             std::cerr << "unknown option: --" << key << "\n";
             return false;
@@ -165,7 +218,8 @@ mvaRow(const Options &opt, double rate)
 }
 
 std::string
-simRow(const Options &opt, double rate, std::uint64_t seed)
+simRow(const Options &opt, double rate, std::uint64_t seed,
+       const run::Heartbeat *hb = nullptr)
 {
     SystemParams sp;
     sp.n = opt.n;
@@ -174,6 +228,19 @@ simRow(const Options &opt, double rate, std::uint64_t seed)
     if (opt.faultDrop > 0.0)
         sp.ctrl.requestTimeoutTicks = 500'000;
     MulticubeSystem sys(sp);
+
+    // Crash diagnosis + supervised-worker liveness (observation only;
+    // the row stays byte-identical with or without either attached).
+    run::ScopedCrashContext crashCtx(
+        [&sys] { return sys.dumpPendingState(); });
+    std::unique_ptr<ProgressMonitor> monitor;
+    if (hb && hb->active()) {
+        hb->beat();
+        ProgressMonitorParams mp;
+        mp.onProgress = [hb] { hb->beat(); };
+        monitor = std::make_unique<ProgressMonitor>(sys, mp);
+        monitor->start();
+    }
 
     bool tracing = !opt.traceOut.empty() || !opt.traceText.empty();
     TransactionTracer tracer(opt.traceCap);
@@ -202,6 +269,12 @@ simRow(const Options &opt, double rate, std::uint64_t seed)
     wl.start();
     sys.run(static_cast<Tick>(opt.simMs * 1e6));
     wl.stop();
+    // Sample bus utilization at workload end: it is a time-average,
+    // and the drain tail's length depends on attached observers (the
+    // progress monitor's pending check extends it), which must never
+    // show in the row.
+    double rowUtil = sys.meanBusUtilization(0);
+    double colUtil = sys.meanBusUtilization(1);
     if (sampler)
         sampler->stop();  // rearm events would keep drain() spinning
     sys.drain();
@@ -220,10 +293,26 @@ simRow(const Options &opt, double rate, std::uint64_t seed)
 
     std::ostringstream os;
     os << "sim," << opt.n << ',' << rate << ',' << opt.block << ','
-       << wl.efficiency() << ',' << sys.meanBusUtilization(0) << ','
-       << sys.meanBusUtilization(1) << ',' << wl.meanLatency()
-       << '\n';
+       << wl.efficiency() << ',' << rowUtil << ',' << colUtil << ','
+       << wl.meanLatency() << '\n';
     return os.str();
+}
+
+/** Canonical identity of this sweep: everything that determines what
+ *  the simulated rows contain (not how they are executed — jobs /
+ *  isolation / deadlines don't belong in the key). */
+std::string
+sweepIdentity(const Options &opt)
+{
+    std::ostringstream oss;
+    oss << "sweep_cli|n=" << opt.n << "|seed=" << opt.seed
+        << "|block=" << opt.block << "|ms=" << opt.simMs
+        << "|inv=" << opt.invFrac << "|drop=" << opt.faultDrop
+        << "|rates=";
+    for (std::size_t i = 0; i < opt.rates.size(); ++i)
+        oss << (i ? "," : "") << opt.rates[i];
+    oss << "|rev=" << run::gitRevision();
+    return oss.str();
 }
 
 } // namespace
@@ -231,9 +320,13 @@ simRow(const Options &opt, double rate, std::uint64_t seed)
 int
 main(int argc, char **argv)
 {
+    run::installCrashHandler("sweep_cli");
+
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return 2;
+
+    run::GracefulShutdown::install();
 
     unsigned jobs = sweep::resolveJobs(opt.jobs);
     const bool observing = !opt.traceOut.empty()
@@ -244,6 +337,13 @@ main(int argc, char **argv)
                      "single-run tools; forcing --jobs=1\n";
         jobs = 1;
     }
+
+    const bool simulating = opt.mode == "sim" || opt.mode == "both";
+    const bool isolate =
+        opt.isolate && simulating && run::Supervisor::supported();
+    if (opt.isolate && !isolate && simulating)
+        std::cerr << "sweep_cli: process isolation unavailable on "
+                     "this platform; running in-process\n";
 
     // Echo the effective configuration (seed included) ahead of the
     // data so any CSV on disk is re-runnable as-is. '#' lines are
@@ -260,23 +360,132 @@ main(int argc, char **argv)
     std::cout << "mode,n,req_per_ms,block_words,efficiency,row_util,"
                  "col_util,resp_ns\n";
 
+    // Journal of completed simulation points. (MVA rows are a closed-
+    // form model — recomputing them is cheaper than journaling them.)
+    run::WorkJournal journal;
+    if (!opt.journal.empty() && simulating) {
+        if (!opt.resume) {
+            std::error_code ec;
+            std::filesystem::remove(opt.journal, ec);
+        }
+        Json hdr = Json::object();
+        hdr.set("tool", "sweep_cli");
+        hdr.set("identity", sweepIdentity(opt));
+        std::string jerr;
+        if (!journal.open(opt.journal,
+                          run::WorkJournal::keyOf(sweepIdentity(opt)),
+                          hdr, &jerr)) {
+            std::cerr << "sweep_cli: journal: " << jerr << "\n";
+            return 2;
+        }
+    }
+
     // Simulation points are independent: fan them out, then emit the
     // buffered rows in rate order so the CSV never depends on job
     // count or completion order. Per-point seeds come from the base
-    // seed and the point index for the same reason.
+    // seed and the point index for the same reason. Journaled points
+    // are emitted verbatim from their recorded rows, so a resumed
+    // sweep's data rows are byte-identical to an uninterrupted one.
     std::vector<std::string> simRows(opt.rates.size());
-    if (opt.mode == "sim" || opt.mode == "both") {
-        sweep::SweepRunner runner(jobs);
-        runner.forEach(opt.rates.size(), [&](std::size_t i) {
-            simRows[i] = simRow(opt, opt.rates[i],
-                                sweep::pointSeed(opt.seed, i));
-        });
+    std::vector<std::string> simNote(opt.rates.size());
+    std::vector<std::size_t> pending;
+    bool interrupted = false;
+    if (simulating) {
+        for (std::size_t i = 0; i < opt.rates.size(); ++i) {
+            const std::string item = "sim_" + std::to_string(i);
+            if (const Json *rec = journal.find(item))
+                simRows[i] = rec->str("row");
+            else
+                pending.push_back(i);
+        }
+
+        auto stop = [] { return run::GracefulShutdown::requested(); };
+        auto recordRow = [&](std::size_t i) {
+            if (!journal.isOpen())
+                return;
+            Json e = Json::object();
+            e.set("row", simRows[i]);
+            journal.record("sim_" + std::to_string(i), e);
+        };
+
+        if (isolate) {
+            run::WorkerLimits lim;
+            lim.wallSeconds = opt.deadlineS;
+            lim.heartbeatSeconds = opt.heartbeatS;
+            lim.rssBytes = opt.rssMb * (1ull << 20);
+            run::Supervisor sup(lim);
+            sup.runPool(
+                pending.size(), jobs,
+                [&](std::size_t k) -> run::Supervisor::ChildFn {
+                    std::size_t i = pending[k];
+                    return [&opt, i](const run::Heartbeat &hb,
+                                     std::string &resultOut) {
+                        resultOut =
+                            simRow(opt, opt.rates[i],
+                                   sweep::pointSeed(opt.seed, i), &hb);
+                        return 0;
+                    };
+                },
+                [&](std::size_t k, run::WorkerOutcome &&out) {
+                    std::size_t i = pending[k];
+                    if (out.triage == run::Triage::Clean) {
+                        simRows[i] = out.result;
+                        recordRow(i);
+                        return;
+                    }
+                    // A dead point is *not* journaled: --resume
+                    // retries it.
+                    std::ostringstream os;
+                    os << "# sim point " << i << " (rate "
+                       << opt.rates[i] << "): worker "
+                       << run::toString(out.triage);
+                    if (out.termSignal)
+                        os << " (signal " << out.termSignal << ")";
+                    os << "\n";
+                    simNote[i] = os.str();
+                },
+                stop);
+        } else {
+            sweep::SweepRunner runner(jobs);
+            runner.forEach(
+                pending.size(),
+                [&](std::size_t k) {
+                    std::size_t i = pending[k];
+                    simRows[i] = simRow(opt, opt.rates[i],
+                                        sweep::pointSeed(opt.seed, i));
+                    recordRow(i);
+                },
+                stop);
+        }
+        interrupted = run::GracefulShutdown::requested();
     }
+
+    bool missing = false;
     for (std::size_t i = 0; i < opt.rates.size(); ++i) {
         if (opt.mode == "mva" || opt.mode == "both")
             std::cout << mvaRow(opt, opt.rates[i]);
-        if (opt.mode == "sim" || opt.mode == "both")
-            std::cout << simRows[i];
+        if (simulating) {
+            if (!simRows[i].empty()) {
+                std::cout << simRows[i];
+            } else {
+                missing = true;
+                std::cout << (!simNote[i].empty()
+                                  ? simNote[i]
+                                  : "# sim point " + std::to_string(i)
+                                        + " not run (interrupted)\n");
+            }
+        }
     }
-    return 0;
+
+    if (journal.isOpen() && !missing)
+        journal.finish();
+    if (interrupted) {
+        std::cerr << "sweep_cli: interrupted; partial CSV emitted";
+        if (journal.isOpen())
+            std::cerr << ", resume with --journal=" << opt.journal
+                      << " --resume";
+        std::cerr << "\n";
+        return run::GracefulShutdown::exitCode();
+    }
+    return missing ? 1 : 0;
 }

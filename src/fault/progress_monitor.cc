@@ -59,6 +59,8 @@ ProgressMonitor::check()
 
     if (!busy || completions != lastCompletions) {
         noProgress = 0;
+        if (params.onProgress)
+            params.onProgress();
     } else if (++noProgress >= params.stallChecks && !_stalled) {
         _stalled = true;
         std::ostringstream oss;

@@ -46,6 +46,16 @@ struct ProgressMonitorParams
     Tick checkIntervalTicks = 250'000;
     /** Consecutive no-progress checks before declaring a stall. */
     unsigned stallChecks = 4;
+    /**
+     * Invoked on every check that finds the system healthy: either a
+     * transaction completed since the last check, or nothing is
+     * outstanding at all (idle/draining). A supervised worker wires
+     * this to its heartbeat pipe (run::Heartbeat::beat), so a
+     * livelocked run — busy but completing nothing — goes silent and
+     * the supervisor can tell it from a merely slow one. Pure
+     * observation: must not touch simulation state or RNG streams.
+     */
+    std::function<void()> onProgress{};
 };
 
 /** Watches a system for quiescence-with-outstanding-work. */

@@ -5,10 +5,16 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "core/checker.hh"
 #include "core/system.hh"
+#include "fault/progress_monitor.hh"
+#include "run/crash_handler.hh"
+#include "run/provenance.hh"
+#include "run/work_journal.hh"
 #include "sim/random.hh"
 
 namespace mcube::fuzz
@@ -109,7 +115,7 @@ failureKindFromString(const std::string &name, FailureKind &out)
 // ---------------------------------------------------------------------
 
 RunResult
-runOnce(const RunConfig &cfg)
+runOnce(const RunConfig &cfg, const run::Heartbeat *heartbeat)
 {
     SystemParams p;
     p.n = cfg.n;
@@ -125,6 +131,24 @@ runOnce(const RunConfig &cfg)
     injector.regStats(sys.statistics());
 
     RandomTester tester(sys, checker, cfg.tester);
+
+    // Should this run die abnormally, the crash handler dumps the
+    // pending-transaction state of the system that was live.
+    run::ScopedCrashContext crashCtx(
+        [&sys] { return sys.dumpPendingState(); });
+
+    // Liveness reporting for a supervising parent. The monitor only
+    // observes (no state / RNG impact), so attaching it cannot change
+    // the result hash.
+    std::unique_ptr<ProgressMonitor> monitor;
+    if (heartbeat && heartbeat->active()) {
+        heartbeat->beat();  // cover system construction time
+        ProgressMonitorParams mp;
+        mp.onProgress = [heartbeat] { heartbeat->beat(); };
+        monitor = std::make_unique<ProgressMonitor>(sys, mp);
+        monitor->start();
+    }
+
     tester.start();
 
     // Run in fixed slices so a violation or oracle miss ends the run
@@ -189,6 +213,75 @@ runOnce(const RunConfig &cfg)
         res.firedMatches.push_back(injector.firedMatches(i));
 
     return res;
+}
+
+// ---------------------------------------------------------------------
+// Run results as JSON
+// ---------------------------------------------------------------------
+
+Json
+toJson(const RunResult &res)
+{
+    Json r = Json::object();
+    r.set("hash", res.hash);
+    r.set("failure", std::string(toString(res.failure)));
+    r.set("finished", res.finished);
+    r.set("drained", res.drained);
+    r.set("violations", res.violations);
+    r.set("read_failures", res.readFailures);
+    r.set("injections", res.injections);
+    r.set("ops_issued", res.opsIssued);
+    r.set("bus_ops", res.busOps);
+    r.set("end_tick", res.endTick);
+    if (!res.report.empty()) {
+        Json arr = Json::array();
+        for (const auto &s : res.report)
+            arr.push(s);
+        r.set("report", std::move(arr));
+    }
+    if (!res.firedMatches.empty()) {
+        Json outer = Json::array();
+        for (const auto &fm : res.firedMatches) {
+            Json inner = Json::array();
+            for (std::uint64_t m : fm)
+                inner.push(Json(m));
+            outer.push(std::move(inner));
+        }
+        r.set("fired_matches", std::move(outer));
+    }
+    return r;
+}
+
+bool
+runResultFromJson(const Json &j, RunResult &out)
+{
+    if (!j.isObject())
+        return false;
+    out = RunResult{};
+    out.hash = j.u64("hash", 0);
+    if (!failureKindFromString(j.str("failure", "none"), out.failure))
+        return false;
+    out.finished = j.flag("finished", false);
+    out.drained = j.flag("drained", false);
+    out.violations = j.u64("violations", 0);
+    out.readFailures = j.u64("read_failures", 0);
+    out.injections = j.u64("injections", 0);
+    out.opsIssued = j.u64("ops_issued", 0);
+    out.busOps = j.u64("bus_ops", 0);
+    out.endTick = j.u64("end_tick", 0);
+    const Json &rep = j.at("report");
+    for (std::size_t i = 0; i < rep.size(); ++i)
+        if (rep.at(i).isString())
+            out.report.push_back(rep.at(i).asString());
+    const Json &fm = j.at("fired_matches");
+    for (std::size_t i = 0; i < fm.size(); ++i) {
+        std::vector<std::uint64_t> inner;
+        const Json &arr = fm.at(i);
+        for (std::size_t k = 0; k < arr.size(); ++k)
+            inner.push_back(arr.at(k).asU64());
+        out.firedMatches.push_back(std::move(inner));
+    }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -535,19 +628,17 @@ shrinkRepro(const RunConfig &failing, unsigned maxRuns,
 // Artifacts
 // ---------------------------------------------------------------------
 
+namespace
+{
+
+constexpr const char *kArtifactFormat = "mcube-fuzz-repro-v1";
+
+} // namespace
+
 std::string
 gitRevision()
 {
-    std::string rev;
-    if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
-        char buf[64];
-        if (fgets(buf, sizeof(buf), p))
-            rev = buf;
-        pclose(p);
-    }
-    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
-        rev.pop_back();
-    return rev.empty() ? "unknown" : rev;
+    return run::gitRevision();
 }
 
 Json
@@ -555,31 +646,39 @@ artifactJson(const RunConfig &cfg, const RunResult &res,
              const std::string &note)
 {
     Json j = Json::object();
-    j.set("format", "mcube-fuzz-repro-v1");
+    j.set("format", kArtifactFormat);
     j.set("git_rev", gitRevision());
     if (!note.empty())
         j.set("note", note);
     j.set("config", toJson(cfg));
-
-    Json r = Json::object();
-    r.set("hash", res.hash);
-    r.set("failure", std::string(toString(res.failure)));
-    r.set("finished", res.finished);
-    r.set("drained", res.drained);
-    r.set("violations", res.violations);
-    r.set("read_failures", res.readFailures);
-    r.set("injections", res.injections);
-    r.set("ops_issued", res.opsIssued);
-    r.set("bus_ops", res.busOps);
-    r.set("end_tick", res.endTick);
-    if (!res.report.empty()) {
-        Json arr = Json::array();
-        for (const auto &s : res.report)
-            arr.push(s);
-        r.set("report", std::move(arr));
-    }
-    j.set("result", std::move(r));
+    j.set("result", toJson(res));
     return j;
+}
+
+std::string
+artifactParseError(const Json &j)
+{
+    if (!j.isObject())
+        return "not a JSON object (corrupt or truncated artifact?)";
+    if (!j.has("format"))
+        return "missing \"format\" field — not a repro artifact";
+    const std::string fmt = j.str("format", "");
+    if (fmt != kArtifactFormat)
+        return "unsupported artifact format \"" + fmt + "\" (this "
+               "binary reads \"" + std::string(kArtifactFormat) + "\")";
+    if (!j.has("config"))
+        return "artifact has no \"config\" field";
+    RunConfig cfg;
+    if (!runConfigFromJson(j.at("config"), cfg))
+        return "artifact \"config\" does not parse as a run config";
+    if (j.has("result") && j.at("result").isObject()) {
+        FailureKind k;
+        if (!failureKindFromString(
+                j.at("result").str("failure", "none"), k))
+            return "artifact \"result.failure\" names an unknown "
+                   "failure kind";
+    }
+    return "";
 }
 
 bool
@@ -587,7 +686,7 @@ artifactFromJson(const Json &j, RunConfig &cfg,
                  std::uint64_t &expectedHash,
                  FailureKind &expectedFailure)
 {
-    if (!j.isObject() || !j.has("config"))
+    if (!artifactParseError(j).empty())
         return false;
     if (!runConfigFromJson(j.at("config"), cfg))
         return false;
@@ -599,6 +698,30 @@ artifactFromJson(const Json &j, RunConfig &cfg,
                                   expectedFailure))
         return false;
     return true;
+}
+
+Json
+crashArtifactJson(const RunConfig &cfg,
+                  const run::WorkerOutcome &outcome,
+                  const std::string &note)
+{
+    Json j = Json::object();
+    j.set("format", kArtifactFormat);
+    j.set("git_rev", gitRevision());
+    if (!note.empty())
+        j.set("note", note);
+    j.set("config", toJson(cfg));
+
+    Json t = Json::object();
+    t.set("triage", std::string(run::toString(outcome.triage)));
+    t.set("exit_code", static_cast<std::int64_t>(outcome.exitCode));
+    t.set("signal", static_cast<std::int64_t>(outcome.termSignal));
+    t.set("wall_seconds", outcome.wallSeconds);
+    t.set("heartbeats", outcome.heartbeats);
+    if (!outcome.error.empty())
+        t.set("error", outcome.error);
+    j.set("worker", std::move(t));
+    return j;
 }
 
 // ---------------------------------------------------------------------
@@ -688,6 +811,19 @@ writeFile(const std::string &path, const std::string &text)
     return static_cast<bool>(out);
 }
 
+/** Canonical identity of a campaign: everything that determines which
+ *  cases exist and what they do. Journals from a different campaign
+ *  shape (or binary revision) must refuse to resume. */
+std::string
+campaignIdentity(const CampaignOptions &opt)
+{
+    std::ostringstream oss;
+    oss << "fuzz_campaign|seed=" << opt.seed << "|runs=" << opt.runs
+        << "|plant=" << (opt.plantUnsafeDropReply ? 1 : 0)
+        << "|rev=" << run::gitRevision();
+    return oss.str();
+}
+
 } // namespace
 
 CampaignSummary
@@ -699,15 +835,88 @@ runCampaign(const CampaignOptions &opt)
         if (opt.log)
             opt.log(s);
     };
+    auto wantStop = [&] {
+        return opt.stopRequested && opt.stopRequested();
+    };
+
+    const bool isolate = opt.isolate && run::Supervisor::supported();
+    run::Supervisor sup(opt.limits);
+
+    run::WorkJournal journal;
+    if (!opt.journalPath.empty()) {
+        if (!opt.resume) {
+            std::error_code ec;
+            std::filesystem::remove(opt.journalPath, ec);
+        }
+        Json hdr = Json::object();
+        hdr.set("tool", "fuzz_campaign");
+        hdr.set("seed", opt.seed);
+        hdr.set("runs", opt.runs);
+        hdr.set("plant_unsafe_drop_reply",
+                Json(opt.plantUnsafeDropReply));
+        std::string jerr;
+        if (!journal.open(opt.journalPath,
+                          run::WorkJournal::keyOf(campaignIdentity(opt)),
+                          hdr, &jerr)) {
+            sum.error = "journal: " + jerr;
+            return sum;
+        }
+        if (journal.loaded() > 0)
+            logLine("journal: " + std::to_string(journal.loaded())
+                    + " case(s) already recorded in "
+                    + opt.journalPath);
+    }
+
+    // (index, hash) of every case with a result — journaled or fresh —
+    // folded into campaignHash in index order at the end.
+    std::map<unsigned, std::uint64_t> hashByIndex;
 
     bool dirReady = false;
+    auto ensureDir = [&] {
+        if (dirReady)
+            return;
+        std::error_code ec;
+        std::filesystem::create_directories(opt.outDir, ec);
+        dirReady = true;
+    };
+
+    bool complete = true;
     for (unsigned i = 0; i < opt.runs; ++i) {
+        const std::string item = "run_" + std::to_string(i);
+
+        // Resume path: merge the journaled outcome, skip execution.
+        if (journal.isOpen() && journal.has(item)) {
+            const Json *rec = journal.find(item);
+            run::Triage tri = run::Triage::Clean;
+            run::triageFromString(rec->str("triage", "clean"), tri);
+            RunResult res;
+            if (!run::isAbnormal(tri)
+                && runResultFromJson(rec->at("result"), res)) {
+                hashByIndex[i] = res.hash;
+                if (res.failed())
+                    ++sum.failures;
+            } else {
+                ++sum.crashes;
+            }
+            ++sum.skipped;
+            continue;
+        }
+
+        if (wantStop()) {
+            sum.interrupted = true;
+            complete = false;
+            logLine("stop requested: draining after " +
+                    std::to_string(sum.runsDone) + " run(s)");
+            break;
+        }
+
         if (opt.timeBudgetSeconds > 0) {
             double elapsed =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
             if (elapsed >= opt.timeBudgetSeconds) {
+                complete = false;
                 std::ostringstream oss;
                 oss << "time budget (" << opt.timeBudgetSeconds
                     << "s) reached after " << sum.runsDone << " run(s)";
@@ -718,10 +927,86 @@ runCampaign(const CampaignOptions &opt)
 
         RunConfig cfg =
             randomConfig(opt.seed, i, opt.plantUnsafeDropReply);
-        RunResult res = runOnce(cfg);
+
+        RunResult res;
+        bool haveResult = false;
+        Json entry = Json::object();
+
+        if (isolate) {
+            run::WorkerOutcome out = sup.runOne(
+                [&cfg, &opt, i](const run::Heartbeat &hb,
+                                std::string &resultOut) {
+                    if (opt.preRun)
+                        opt.preRun(i);
+                    RunResult r = runOnce(cfg, &hb);
+                    resultOut = toJson(r).dump(-1);
+                    return r.failed() ? 1 : 0;
+                });
+            run::Triage tri = out.triage;
+            if (!run::isAbnormal(tri)) {
+                std::string perr;
+                Json rj = Json::parse(out.result, &perr);
+                if (runResultFromJson(rj, res)) {
+                    haveResult = true;
+                } else {
+                    // Clean exit but garbage on the result pipe: treat
+                    // as a worker fault, not a campaign fault.
+                    tri = run::Triage::Fatal;
+                    out.error = "worker result did not parse: " + perr;
+                }
+            }
+            entry.set("triage", std::string(run::toString(tri)));
+            entry.set("exit_code",
+                      static_cast<std::int64_t>(out.exitCode));
+            entry.set("signal",
+                      static_cast<std::int64_t>(out.termSignal));
+            entry.set("wall_s", out.wallSeconds);
+            entry.set("heartbeats", out.heartbeats);
+            if (haveResult)
+                entry.set("result", toJson(res));
+
+            if (!haveResult) {
+                ++sum.crashes;
+                ensureDir();
+                std::string path = opt.outDir + "/repro_"
+                                 + std::to_string(opt.seed) + "_"
+                                 + std::to_string(i) + ".crash.json";
+                out.triage = tri;
+                if (writeFile(path,
+                              crashArtifactJson(
+                                  cfg, out, "worker died abnormally")
+                                  .dump()))
+                    sum.artifacts.push_back(path);
+                std::ostringstream oss;
+                oss << "run " << (i + 1) << "/" << opt.runs
+                    << ": WORKER " << run::toString(tri);
+                if (out.termSignal)
+                    oss << " (signal " << out.termSignal << ")";
+                oss << " -> wrote " << path;
+                logLine(oss.str());
+            }
+        } else {
+            auto rt0 = std::chrono::steady_clock::now();
+            if (opt.preRun)
+                opt.preRun(i);
+            res = runOnce(cfg);
+            haveResult = true;
+            double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - rt0)
+                              .count();
+            entry.set("triage",
+                      std::string(run::toString(
+                          res.failed() ? run::Triage::ItemFailed
+                                       : run::Triage::Clean)));
+            entry.set("exit_code", res.failed() ? 1 : 0);
+            entry.set("signal", 0);
+            entry.set("wall_s", wall);
+            entry.set("result", toJson(res));
+        }
         ++sum.runsDone;
 
-        {
+        if (haveResult) {
+            hashByIndex[i] = res.hash;
             std::ostringstream oss;
             oss << "run " << (i + 1) << "/" << opt.runs << ": n=" << cfg.n
                 << " ops=" << cfg.tester.opsPerNode
@@ -734,15 +1019,16 @@ runCampaign(const CampaignOptions &opt)
             logLine(oss.str());
         }
 
-        if (!res.failed())
+        // Journal before shrinking: the case's verdict is durable even
+        // if the (long) shrink is interrupted.
+        if (journal.isOpen() && !journal.record(item, entry))
+            logLine("journal: WARNING: failed to record " + item);
+
+        if (!haveResult || !res.failed())
             continue;
         ++sum.failures;
 
-        if (!dirReady) {
-            std::error_code ec;
-            std::filesystem::create_directories(opt.outDir, ec);
-            dirReady = true;
-        }
+        ensureDir();
         std::string base = opt.outDir + "/repro_"
                          + std::to_string(opt.seed) + "_"
                          + std::to_string(i);
@@ -751,7 +1037,7 @@ runCampaign(const CampaignOptions &opt)
             sum.artifacts.push_back(base + ".json");
         logLine("wrote " + base + ".json");
 
-        if (opt.shrink) {
+        if (opt.shrink && !wantStop()) {
             ShrinkResult s =
                 shrinkRepro(cfg, opt.maxShrinkRuns, opt.log);
             std::string how = s.deterministic
@@ -764,6 +1050,18 @@ runCampaign(const CampaignOptions &opt)
             logLine("wrote " + base + ".min.json");
         }
     }
+
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const auto &[idx, hash] : hashByIndex) {
+        h = RandomTester::hashCombine(h, idx);
+        h = RandomTester::hashCombine(h, hash);
+    }
+    sum.campaignHash = h;
+
+    // Footer only when every case is accounted for; an interrupted
+    // journal (no footer) is exactly what --resume continues from.
+    if (journal.isOpen() && complete)
+        journal.finish();
     return sum;
 }
 

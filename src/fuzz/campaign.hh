@@ -38,6 +38,7 @@
 
 #include "fault/fault_injector.hh"
 #include "proc/random_tester.hh"
+#include "run/supervisor.hh"
 #include "sim/json.hh"
 #include "sim/types.hh"
 
@@ -104,9 +105,25 @@ struct RunResult
     bool failed() const { return failure != FailureKind::None; }
 };
 
-/** Build the system described by @p cfg and run it to completion
- *  (with early exit as soon as a violation or oracle miss appears). */
-RunResult runOnce(const RunConfig &cfg);
+/** @{ JSON round-tripping of a run result (fired-match schedules
+ *  included), the payload a supervised worker hands back. */
+Json toJson(const RunResult &res);
+bool runResultFromJson(const Json &j, RunResult &out);
+/** @} */
+
+/**
+ * Build the system described by @p cfg and run it to completion
+ * (with early exit as soon as a violation or oracle miss appears).
+ *
+ * When @p heartbeat is non-null the run reports liveness through it:
+ * a ProgressMonitor beats whenever a transaction completed since its
+ * last check (or nothing is outstanding), so a supervising parent
+ * can distinguish a slow run from a livelocked one. The monitor is
+ * observation-only — the result (hash included) is bit-identical
+ * with or without a heartbeat attached.
+ */
+RunResult runOnce(const RunConfig &cfg,
+                  const run::Heartbeat *heartbeat = nullptr);
 
 /**
  * Freeze every probabilistic spec of @p cfg into an explicit
@@ -142,10 +159,35 @@ ShrinkResult shrinkRepro(const RunConfig &failing,
 /** @{ Self-contained repro artifact: config + result + git rev. */
 Json artifactJson(const RunConfig &cfg, const RunResult &res,
                   const std::string &note = "");
+
+/**
+ * Validate @p j as a repro artifact before trusting any field.
+ * Returns "" when usable, otherwise a message that distinguishes the
+ * failure shapes a replayer must tell apart: not an object / missing
+ * or mismatched format version / unusable config. Corrupt and
+ * version-skewed artifacts thus fail loudly and distinctly instead
+ * of replaying garbage.
+ */
+std::string artifactParseError(const Json &j);
+
+/** Parse an artifact (artifactParseError must pass). A crash
+ *  artifact carries no result: @p expectedHash stays 0 ("no recorded
+ *  expectation") and @p expectedFailure None. */
 bool artifactFromJson(const Json &j, RunConfig &cfg,
                       std::uint64_t &expectedHash,
                       FailureKind &expectedFailure);
 /** @} */
+
+/**
+ * Crash artifact: written when a supervised worker died (signal,
+ * OOM, deadline) instead of returning a result. Same format= and
+ * config= shape as a failure artifact — replayable with
+ * `fuzz_campaign --replay` (expect to reproduce the crash!) — plus
+ * the supervisor's triage verdict.
+ */
+Json crashArtifactJson(const RunConfig &cfg,
+                       const run::WorkerOutcome &outcome,
+                       const std::string &note = "");
 
 /** Knobs of a whole campaign. */
 struct CampaignOptions
@@ -165,6 +207,38 @@ struct CampaignOptions
     bool plantUnsafeDropReply = false;
     /** Progress sink (one line per event); empty = silent. */
     std::function<void(const std::string &)> log{};
+
+    /**
+     * Run every case in a forked, resource-limited worker process
+     * (run::Supervisor): a crashing / OOMing / wedged case is triaged
+     * and becomes a replayable crash artifact instead of killing the
+     * campaign. Ignored (inline execution) where fork is unavailable.
+     * Results are hash-identical either way.
+     */
+    bool isolate = false;
+    /** Per-case limits when isolating (0 disables each). */
+    run::WorkerLimits limits{};
+    /**
+     * Append-only fsync'd JSONL journal of completed cases (empty =
+     * no journal). Keyed by (seed, runs, plant flag, git rev); a
+     * journal written by a different campaign refuses to resume.
+     */
+    std::string journalPath;
+    /**
+     * Skip cases the journal already records, merging their hashes
+     * and failure counts into the summary — the union of an
+     * interrupted + resumed campaign is identical to an uninterrupted
+     * one (compare campaignHash). Without resume an existing journal
+     * file is replaced.
+     */
+    bool resume = false;
+    /** Test hook: runs right before case @p i, inside the forked
+     *  child when isolating — how the tests plant a crash. */
+    std::function<void(unsigned)> preRun{};
+    /** Polled between cases; once true the campaign drains
+     *  gracefully: no new case starts, in-flight cases finish (or hit
+     *  their deadline), the journal stays valid for --resume. */
+    std::function<bool()> stopRequested{};
 };
 
 /** Derive run @p runIndex of campaign @p campaignSeed. The mapping is
@@ -175,8 +249,20 @@ RunConfig randomConfig(std::uint64_t campaignSeed, unsigned runIndex,
 /** What a campaign did. */
 struct CampaignSummary
 {
-    unsigned runsDone = 0;
-    unsigned failures = 0;
+    unsigned runsDone = 0;  //!< cases executed in this invocation
+    unsigned failures = 0;  //!< failing cases (journaled ones included)
+    unsigned skipped = 0;   //!< journaled cases not re-run (resume)
+    unsigned crashes = 0;   //!< abnormal worker deaths, triaged
+    bool interrupted = false;  //!< stopRequested drained the campaign
+    /**
+     * Fingerprint over (case index, result hash) in index order,
+     * journaled and fresh cases alike. Case results are pure in
+     * (seed, index), so an interrupted+resumed campaign must produce
+     * the same campaignHash as an uninterrupted one — the resume
+     * determinism contract, checked by tests and CI.
+     */
+    std::uint64_t campaignHash = 0;
+    std::string error;  //!< campaign-level fatal error ("" = none)
     std::vector<std::string> artifacts;  //!< files written (see outDir)
 };
 

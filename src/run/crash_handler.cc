@@ -1,0 +1,104 @@
+#include "run/crash_handler.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <mutex>
+
+#include "sim/log.hh"
+
+namespace mcube::run
+{
+
+namespace
+{
+
+std::mutex gCtxLock;
+std::function<std::string()> gDump;
+std::string gTool = "mcube";
+bool gInstalled = false;
+volatile std::sig_atomic_t gDumped = 0;
+
+/** Emit banner + context dump + flush. Reentrancy-guarded so the
+ *  terminate path followed by the SIGABRT it raises dumps once. */
+void
+lastBreath(const char *what)
+{
+    if (gDumped)
+        return;
+    gDumped = 1;
+    std::fprintf(stderr, "\n=== %s: FATAL: %s ===\n", gTool.c_str(),
+                 what);
+    // Best-effort: if the crash happened while the slot was being
+    // updated, skip the dump rather than deadlock in a handler.
+    if (gCtxLock.try_lock()) {
+        std::function<std::string()> dump = gDump;
+        gCtxLock.unlock();
+        if (dump) {
+            try {
+                std::string text = dump();
+                std::fwrite(text.data(), 1, text.size(), stderr);
+                if (!text.empty() && text.back() != '\n')
+                    std::fputc('\n', stderr);
+            } catch (...) {
+                std::fputs("(context dump itself failed)\n", stderr);
+            }
+        }
+    }
+    std::fputs("=== end of diagnostic dump ===\n", stderr);
+    Log::flush();
+    std::fflush(stderr);
+}
+
+extern "C" void
+crashSignalHandler(int sig)
+{
+    lastBreath(::strsignal(sig) ? ::strsignal(sig) : "fatal signal");
+    // Restore the default disposition and re-raise so the wait
+    // status the supervisor triages still names the real signal.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+[[noreturn]] void
+terminateHandler()
+{
+    const char *what = "std::terminate (uncaught exception?)";
+    std::string msg;
+    if (auto e = std::current_exception()) {
+        try {
+            std::rethrow_exception(e);
+        } catch (const std::exception &ex) {
+            msg = std::string("uncaught exception: ") + ex.what();
+            what = msg.c_str();
+        } catch (...) {
+            what = "uncaught non-standard exception";
+        }
+    }
+    lastBreath(what);
+    std::abort();
+}
+
+} // namespace
+
+void
+installCrashHandler(const std::string &toolName)
+{
+    gTool = toolName;
+    if (gInstalled)
+        return;
+    gInstalled = true;
+    std::set_terminate(terminateHandler);
+    for (int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL})
+        std::signal(sig, crashSignalHandler);
+}
+
+void
+setCrashContext(std::function<std::string()> dump)
+{
+    std::lock_guard<std::mutex> g(gCtxLock);
+    gDump = std::move(dump);
+}
+
+} // namespace mcube::run

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Last-breath diagnostics for fatal errors in the CLIs.
+ *
+ * A bare abort() or uncaught exception loses exactly the state a
+ * post-mortem needs. installCrashHandler() arms a std::set_terminate
+ * handler plus SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL handlers that,
+ * before the process dies:
+ *
+ *  1. write a banner naming the tool and the failure to stderr,
+ *  2. print the registered context dump — typically the live
+ *     system's Controller pending state
+ *     (MulticubeSystem::dumpPendingState) registered for the duration
+ *     of a run via ScopedCrashContext,
+ *  3. flush the Log file sink (MCUBE_DEBUG_FILE) so buffered trace
+ *     lines reach disk,
+ *
+ * then restore the default disposition and re-raise, preserving the
+ * original wait status for the supervisor's triage. The dump path is
+ * best-effort — not async-signal-safe, but the process is already
+ * dying and the alternative is no diagnosis at all.
+ */
+
+#ifndef MCUBE_RUN_CRASH_HANDLER_HH
+#define MCUBE_RUN_CRASH_HANDLER_HH
+
+#include <functional>
+#include <string>
+
+namespace mcube::run
+{
+
+/** Arm terminate/fatal-signal diagnostics for this process
+ *  (idempotent; @p toolName appears in the banner). */
+void installCrashHandler(const std::string &toolName);
+
+/** Register a closure that produces the diagnostic dump (e.g. a
+ *  captured MulticubeSystem's dumpPendingState). Pass {} to clear.
+ *  One slot, mutex-guarded; later registrations win. */
+void setCrashContext(std::function<std::string()> dump);
+
+/** RAII registration of a crash-context dump for one run's scope. */
+class ScopedCrashContext
+{
+  public:
+    explicit ScopedCrashContext(std::function<std::string()> dump)
+    {
+        setCrashContext(std::move(dump));
+    }
+    ~ScopedCrashContext() { setCrashContext({}); }
+
+    ScopedCrashContext(const ScopedCrashContext &) = delete;
+    ScopedCrashContext &operator=(const ScopedCrashContext &) = delete;
+};
+
+} // namespace mcube::run
+
+#endif // MCUBE_RUN_CRASH_HANDLER_HH

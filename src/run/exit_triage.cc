@@ -1,0 +1,107 @@
+#include "run/exit_triage.hh"
+
+#include <csignal>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
+namespace mcube::run
+{
+
+const char *
+toString(Triage t)
+{
+    switch (t) {
+      case Triage::Clean:
+        return "clean";
+      case Triage::ItemFailed:
+        return "item_failed";
+      case Triage::BadInput:
+        return "bad_input";
+      case Triage::Oom:
+        return "oom";
+      case Triage::Fatal:
+        return "fatal";
+      case Triage::CrashSignal:
+        return "crash_signal";
+      case Triage::Timeout:
+        return "timeout";
+      case Triage::Stalled:
+        return "stalled";
+    }
+    return "?";
+}
+
+bool
+triageFromString(const std::string &name, Triage &out)
+{
+    for (auto t : {Triage::Clean, Triage::ItemFailed, Triage::BadInput,
+                   Triage::Oom, Triage::Fatal, Triage::CrashSignal,
+                   Triage::Timeout, Triage::Stalled}) {
+        if (name == toString(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isFailure(Triage t)
+{
+    return t != Triage::Clean;
+}
+
+bool
+isAbnormal(Triage t)
+{
+    switch (t) {
+      case Triage::Clean:
+      case Triage::ItemFailed:
+      case Triage::BadInput:
+        return false;
+      default:
+        return true;
+    }
+}
+
+Triage
+triageWaitStatus(int waitStatus, SupervisorKill kill)
+{
+#ifdef __unix__
+    // What we did to the child outranks how it looks dead: a SIGKILL
+    // we sent must not be mistaken for the kernel's OOM killer.
+    if (kill == SupervisorKill::Deadline)
+        return Triage::Timeout;
+    if (kill == SupervisorKill::Heartbeat)
+        return Triage::Stalled;
+
+    if (WIFEXITED(waitStatus)) {
+        switch (WEXITSTATUS(waitStatus)) {
+          case 0:
+            return Triage::Clean;
+          case 1:
+            return Triage::ItemFailed;
+          case 2:
+            return Triage::BadInput;
+          case kOomExit:
+            return Triage::Oom;
+          default:
+            return Triage::Fatal;
+        }
+    }
+    if (WIFSIGNALED(waitStatus)) {
+        // An unsolicited SIGKILL is (almost always) the kernel OOM
+        // killer; every other fatal signal is a genuine crash.
+        return WTERMSIG(waitStatus) == SIGKILL ? Triage::Oom
+                                               : Triage::CrashSignal;
+    }
+#else
+    (void)waitStatus;
+    (void)kill;
+#endif
+    return Triage::Fatal;
+}
+
+} // namespace mcube::run

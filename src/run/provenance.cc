@@ -1,0 +1,42 @@
+#include "run/provenance.hh"
+
+#include <cstdio>
+#include <mutex>
+
+namespace mcube::run
+{
+
+const std::string &
+gitRevision()
+{
+    static std::once_flag once;
+    static std::string rev = "unknown";
+    std::call_once(once, [] {
+        if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+            char buf[80] = {};
+            if (fgets(buf, sizeof(buf), p)) {
+                std::string r(buf);
+                while (!r.empty()
+                       && (r.back() == '\n' || r.back() == '\r'))
+                    r.pop_back();
+                if (!r.empty())
+                    rev = r;
+            }
+            pclose(p);
+        }
+    });
+    return rev;
+}
+
+std::string
+provenanceHeader(const std::string &tool, int argc, char **argv)
+{
+    std::string out = "# " + tool + " rev=" + gitRevision();
+    for (int i = 1; i < argc; ++i) {
+        out += ' ';
+        out += argv[i];
+    }
+    return out;
+}
+
+} // namespace mcube::run

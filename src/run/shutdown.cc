@@ -1,0 +1,79 @@
+#include "run/shutdown.hh"
+
+#include <csignal>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace mcube::run
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t gSignal = 0;
+volatile std::sig_atomic_t gCount = 0;
+bool gInstalled = false;
+
+extern "C" void
+shutdownHandler(int sig)
+{
+    gSignal = sig;
+    if (++gCount >= 2) {
+        // Second signal: the user means NOW. Everything durable was
+        // fsync'd line-by-line, so an immediate _exit leaves the
+        // journal valid (footer-less, which reload tolerates).
+#ifdef __unix__
+        ::_exit(128 + sig);
+#endif
+    }
+}
+
+} // namespace
+
+void
+GracefulShutdown::install()
+{
+    if (gInstalled)
+        return;
+    gInstalled = true;
+#ifdef __unix__
+    struct sigaction sa = {};
+    sa.sa_handler = shutdownHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: poll()/read() must wake up
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+#else
+    std::signal(SIGINT, shutdownHandler);
+    std::signal(SIGTERM, shutdownHandler);
+#endif
+}
+
+bool
+GracefulShutdown::requested()
+{
+    return gSignal != 0;
+}
+
+int
+GracefulShutdown::signalSeen()
+{
+    return gSignal;
+}
+
+int
+GracefulShutdown::exitCode()
+{
+    return gSignal != 0 ? 128 + gSignal : 0;
+}
+
+void
+GracefulShutdown::reset()
+{
+    gSignal = 0;
+    gCount = 0;
+}
+
+} // namespace mcube::run

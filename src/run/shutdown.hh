@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Two-stage SIGINT/SIGTERM handling for long-running harnesses.
+ *
+ * The contract (docs/ROBUSTNESS.md, "Signal behaviour"):
+ *
+ *  - the FIRST SIGINT or SIGTERM requests a graceful drain: the
+ *    harness stops dispatching new work, lets in-flight supervised
+ *    workers finish (or hit their deadline), flushes partial outputs
+ *    and appends the journal footer, then exits 128+signum;
+ *  - the SECOND signal hard-kills the process from the handler
+ *    (_exit — async-signal-safe). The journal stays valid because
+ *    every record was already an fsync'd whole line; only the
+ *    advisory footer is lost.
+ *
+ * The handler only flips a sig_atomic_t flag; all the draining logic
+ * runs in normal code that polls requested().
+ */
+
+#ifndef MCUBE_RUN_SHUTDOWN_HH
+#define MCUBE_RUN_SHUTDOWN_HH
+
+namespace mcube::run
+{
+
+/** Process-wide graceful-shutdown latch. */
+class GracefulShutdown
+{
+  public:
+    /** Install the SIGINT/SIGTERM handler (idempotent). */
+    static void install();
+
+    /** True once a first signal has been seen. */
+    static bool requested();
+
+    /** The signal that requested shutdown (0 = none yet). */
+    static int signalSeen();
+
+    /** Conventional exit code for a drained run: 128 + signal, or 0
+     *  if no signal arrived. */
+    static int exitCode();
+
+    /** Reset the latch (tests re-arm between cases). */
+    static void reset();
+};
+
+} // namespace mcube::run
+
+#endif // MCUBE_RUN_SHUTDOWN_HH

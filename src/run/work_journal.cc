@@ -1,0 +1,272 @@
+#include "run/work_journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "sim/hash.hh"
+
+namespace mcube::run
+{
+
+namespace
+{
+
+constexpr const char *kFormat = "mcube-journal-v1";
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+WorkJournal::~WorkJournal()
+{
+#ifdef __unix__
+    if (fd >= 0)
+        ::close(fd);
+#endif
+}
+
+std::uint64_t
+WorkJournal::keyOf(const std::string &canonicalConfig)
+{
+    // FNV-1a over the bytes, then one mix64 finalizer pass so short
+    // configs still avalanche into all 64 bits.
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : canonicalConfig) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return mix64(h);
+}
+
+bool
+WorkJournal::open(const std::string &path, std::uint64_t campaignKey,
+                  const Json &header, std::string *err)
+{
+#ifndef __unix__
+    (void)path;
+    (void)campaignKey;
+    (void)header;
+    if (err)
+        *err = "journals need a POSIX platform";
+    return false;
+#else
+    std::lock_guard<std::mutex> g(lock);
+    if (fd >= 0) {
+        if (err)
+            *err = "journal already open";
+        return false;
+    }
+
+    // The journal usually lives next to the artifacts, in a directory
+    // that may not exist yet.
+    {
+        std::filesystem::path parent =
+            std::filesystem::path(path).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+    }
+
+    bool fresh = true;
+    bool endsWithNewline = true;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            fresh = false;
+            std::string line;
+            bool sawHeader = false;
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                std::string perr;
+                Json j = Json::parse(line, &perr);
+                if (!perr.empty() || !j.isObject()) {
+                    // A torn line from a crash mid-append: skip it.
+                    // Anything after it would also be suspect, but
+                    // O_APPEND writes are whole lines, so in practice
+                    // only the final line can tear.
+                    continue;
+                }
+                if (!sawHeader) {
+                    sawHeader = true;
+                    if (j.str("journal") != kFormat) {
+                        if (err)
+                            *err = path + ": not a " + kFormat
+                                 + " journal";
+                        return false;
+                    }
+                    if (j.str("key") != keyHex(campaignKey)) {
+                        if (err)
+                            *err = path
+                                 + ": campaign key mismatch (journal "
+                                 + j.str("key") + ", expected "
+                                 + keyHex(campaignKey)
+                                 + ") - refusing to resume a "
+                                   "different campaign";
+                        return false;
+                    }
+                    continue;
+                }
+                if (j.flag("footer", false))
+                    continue;  // advisory; a resumed file may hold one
+                std::string item = j.str("item");
+                if (item.empty())
+                    continue;
+                if (!entries.count(item))
+                    ++_loaded;
+                entries[item] = j.at("record");
+            }
+            // getline() hides whether the final line was newline-
+            // terminated; inspect the raw last byte to detect a torn
+            // trailing append.
+            in.clear();
+            in.seekg(0, std::ios::end);
+            auto sz = in.tellg();
+            if (sz > 0) {
+                in.seekg(-1, std::ios::end);
+                char last = 0;
+                in.get(last);
+                endsWithNewline = last == '\n';
+            }
+        }
+    }
+
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = path + ": cannot open for append";
+        return false;
+    }
+    _path = path;
+
+    if (!fresh && !endsWithNewline) {
+        // Neutralize a torn trailing line so the next append starts
+        // on a fresh line (the garbage line parse-skips on reload).
+        writeLine("");
+    }
+    if (fresh) {
+        Json h = Json::object();
+        h.set("journal", kFormat);
+        h.set("key", keyHex(campaignKey));
+        for (const auto &[k, v] : header.members())
+            h.set(k, v);
+        if (!writeLine(h.dump(-1))) {
+            if (err)
+                *err = path + ": header write failed";
+            ::close(fd);
+            fd = -1;
+            return false;
+        }
+    }
+    return true;
+#endif
+}
+
+bool
+WorkJournal::has(const std::string &item) const
+{
+    std::lock_guard<std::mutex> g(lock);
+    return entries.count(item) != 0;
+}
+
+const Json *
+WorkJournal::find(const std::string &item) const
+{
+    std::lock_guard<std::mutex> g(lock);
+    auto it = entries.find(item);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::size_t
+WorkJournal::completed() const
+{
+    std::lock_guard<std::mutex> g(lock);
+    return entries.size();
+}
+
+bool
+WorkJournal::record(const std::string &item, Json record)
+{
+    std::lock_guard<std::mutex> g(lock);
+    if (fd < 0)
+        return false;
+    Json line = Json::object();
+    line.set("item", item);
+    line.set("record", record);
+    if (!writeLine(line.dump(-1)))
+        return false;
+    entries[item] = std::move(record);
+    return true;
+}
+
+void
+WorkJournal::finish()
+{
+    std::lock_guard<std::mutex> g(lock);
+    if (fd < 0)
+        return;
+    Json f = Json::object();
+    f.set("footer", true);
+    f.set("completed", static_cast<std::uint64_t>(entries.size()));
+    writeLine(f.dump(-1));
+#ifdef __unix__
+    ::close(fd);
+#endif
+    fd = -1;
+}
+
+void
+WorkJournal::abandon()
+{
+    std::lock_guard<std::mutex> g(lock);
+#ifdef __unix__
+    if (fd >= 0)
+        ::close(fd);
+#endif
+    fd = -1;
+}
+
+bool
+WorkJournal::writeLine(const std::string &line)
+{
+#ifndef __unix__
+    (void)line;
+    return false;
+#else
+    std::string buf = line;
+    buf += '\n';
+    const char *p = buf.data();
+    std::size_t left = buf.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // The fsync is the contract: once record() returns, a crash (or
+    // SIGKILL) cannot lose the item.
+    return ::fsync(fd) == 0;
+#endif
+}
+
+} // namespace mcube::run

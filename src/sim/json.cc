@@ -300,9 +300,19 @@ namespace
 
 struct Parser
 {
+    /**
+     * Nesting cap. parseValue() recurses per '['/'{'; without a
+     * limit a *corrupt or adversarial* artifact of a few kilobytes
+     * of open brackets overflows the stack — undefined behaviour in
+     * the exact code path that is supposed to reject bad input.
+     * Real artifacts nest ~4 deep; 64 is generous.
+     */
+    static constexpr int kMaxDepth = 64;
+
     const std::string &text;
     std::size_t pos = 0;
     std::string err;
+    int depth = 0;
 
     bool
     fail(const std::string &what)
@@ -431,6 +441,9 @@ struct Parser
         if (pos >= text.size())
             return fail("unexpected end of input");
         char c = text[pos];
+        if ((c == '{' || c == '[') && depth >= kMaxDepth)
+            return fail("nesting too deep");
+        DepthGuard guard(*this, c == '{' || c == '[');
         if (c == '{') {
             ++pos;
             out = Json::object();
@@ -516,6 +529,22 @@ struct Parser
         }
         return parseNumber(out);
     }
+
+    struct DepthGuard
+    {
+        DepthGuard(Parser &p, bool counts) : p(p), counts(counts)
+        {
+            if (counts)
+                ++p.depth;
+        }
+        ~DepthGuard()
+        {
+            if (counts)
+                --p.depth;
+        }
+        Parser &p;
+        bool counts;
+    };
 };
 
 } // namespace

@@ -128,6 +128,12 @@ Log::setFile(const std::string &path)
 }
 
 void
+Log::flush()
+{
+    sink().flush();
+}
+
+void
 Log::emit(Tick when, const char *cat, const std::string &msg)
 {
     // Parallel sweeps (src/sim/sweep_runner) may emit from several

@@ -70,6 +70,10 @@ class Log
      */
     static void setFile(const std::string &path);
 
+    /** Flush the active sink — called by the crash handler so a
+     *  dying process does not strand buffered trace lines. */
+    static void flush();
+
   private:
     static std::uint32_t &mask();
     static std::ostream &sink();

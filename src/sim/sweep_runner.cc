@@ -33,7 +33,8 @@ SweepRunner::SweepRunner(unsigned jobs) : _jobs(resolveJobs(jobs)) {}
 
 void
 SweepRunner::forEach(std::size_t count,
-                     const std::function<void(std::size_t)> &body) const
+                     const std::function<void(std::size_t)> &body,
+                     const std::function<bool()> &stop) const
 {
     if (count == 0)
         return;
@@ -43,8 +44,11 @@ SweepRunner::forEach(std::size_t count,
     if (workers <= 1) {
         // Inline fast path: no threads, easiest to debug and the only
         // mode in which process-global tools (tracing) may be active.
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            if (stop && stop())
+                return;
             body(i);
+        }
         return;
     }
 
@@ -54,6 +58,8 @@ SweepRunner::forEach(std::size_t count,
 
     auto worker = [&] {
         for (;;) {
+            if (stop && stop())
+                return;
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 return;

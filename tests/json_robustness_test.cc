@@ -1,0 +1,197 @@
+/** @file
+ * Robustness of the artifact input path: truncating a real repro
+ * artifact at every byte offset (and corrupting every byte) must
+ * produce a clean parse error — never UB, never a silently-accepted
+ * artifact; deep nesting is depth-capped; artifactParseError reports
+ * distinct, actionable messages per failure shape; and full config /
+ * result round-trips stay bit-exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/campaign.hh"
+#include "sim/json.hh"
+
+using namespace mcube;
+using namespace mcube::fuzz;
+
+namespace
+{
+
+/** A realistic artifact: a planted-bug config plus a fully-populated
+ *  result (report lines and fired-match schedules included). */
+Json
+sampleArtifact()
+{
+    RunConfig cfg = randomConfig(3, 1, /*plantUnsafeDropReply=*/true);
+    RunResult res;
+    res.finished = true;
+    res.drained = false;
+    res.violations = 2;
+    res.readFailures = 1;
+    res.injections = 7;
+    res.opsIssued = 640;
+    res.busOps = 1913;
+    res.endTick = 123'456'789;
+    res.hash = 0xdeadbeefcafef00dull;
+    res.failure = FailureKind::CheckerViolation;
+    res.report = {"line one", "line \"two\" with quotes",
+                  "unicode-ish \t\n bytes"};
+    res.firedMatches = {{0, 3, 9}, {}, {42}};
+    return artifactJson(cfg, res, "json_robustness_test sample");
+}
+
+} // namespace
+
+TEST(JsonRobustness, TruncationAtEveryByteFailsCleanly)
+{
+    const std::string full = sampleArtifact().dump(-1);
+    ASSERT_GT(full.size(), 100u);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        const std::string prefix = full.substr(0, cut);
+        std::string perr;
+        Json j = Json::parse(prefix, &perr);
+        // A strict prefix must either fail to parse or — if some
+        // prefix ever parsed — be rejected by artifact validation.
+        // Either way the replayer sees a loud error, not garbage.
+        EXPECT_FALSE(perr.empty() && artifactParseError(j).empty())
+            << "prefix of " << cut << " bytes was accepted";
+    }
+}
+
+TEST(JsonRobustness, CorruptingEveryByteNeverTrips)
+{
+    const std::string full = sampleArtifact().dump(-1);
+    for (char garbage : {'\0', '\x7f', '{', '"'}) {
+        for (std::size_t i = 0; i < full.size(); ++i) {
+            std::string mutated = full;
+            mutated[i] = garbage;
+            std::string perr;
+            Json j = Json::parse(mutated, &perr);
+            if (!perr.empty())
+                continue;  // clean rejection
+            // Parsed despite the corruption (e.g. inside a string):
+            // the full validation + extraction path must stay safe.
+            if (!artifactParseError(j).empty())
+                continue;
+            RunConfig cfg;
+            std::uint64_t hash = 0;
+            FailureKind kind = FailureKind::None;
+            artifactFromJson(j, cfg, hash, kind);
+        }
+    }
+}
+
+TEST(JsonRobustness, NestingDepthIsCapped)
+{
+    // 32 levels is comfortably legal...
+    std::string ok(32, '[');
+    ok += std::string(32, ']');
+    std::string perr;
+    Json::parse(ok, &perr);
+    EXPECT_TRUE(perr.empty()) << perr;
+
+    // ...but a pathological artifact cannot blow the parser's stack.
+    std::string deep(100'000, '[');
+    deep += std::string(100'000, ']');
+    Json::parse(deep, &perr);
+    ASSERT_FALSE(perr.empty());
+    EXPECT_NE(perr.find("nesting too deep"), std::string::npos) << perr;
+}
+
+TEST(JsonRobustness, ParseErrorsNameTheOffset)
+{
+    std::string perr;
+    Json::parse("{\"a\": tru", &perr);
+    EXPECT_FALSE(perr.empty());
+    Json::parse("", &perr);
+    EXPECT_FALSE(perr.empty());
+    Json::parse("{\"a\":1} trailing", &perr);
+    EXPECT_FALSE(perr.empty());
+}
+
+TEST(JsonRobustness, ArtifactParseErrorDistinguishesShapes)
+{
+    // Not an object at all.
+    std::string err = artifactParseError(Json::array());
+    EXPECT_NE(err.find("not a JSON object"), std::string::npos) << err;
+
+    // An object that is not an artifact.
+    Json plain = Json::object();
+    plain.set("hello", 1);
+    err = artifactParseError(plain);
+    EXPECT_NE(err.find("format"), std::string::npos) << err;
+
+    // Version skew: a future format must fail loudly, not half-parse.
+    Json skewed = sampleArtifact();
+    skewed.set("format", "mcube-fuzz-repro-v99");
+    err = artifactParseError(skewed);
+    EXPECT_NE(err.find("unsupported artifact format"),
+              std::string::npos)
+        << err;
+
+    // Right format, unusable config.
+    Json badCfg = sampleArtifact();
+    badCfg.set("config", Json::array());
+    err = artifactParseError(badCfg);
+    EXPECT_NE(err.find("config"), std::string::npos) << err;
+
+    // The sample itself is valid.
+    EXPECT_EQ(artifactParseError(sampleArtifact()), "");
+}
+
+TEST(JsonRobustness, RunResultRoundTripsBitExact)
+{
+    RunResult res;
+    res.finished = true;
+    res.drained = true;
+    res.violations = 5;
+    res.readFailures = 3;
+    res.injections = 11;
+    res.opsIssued = 999;
+    res.busOps = 123'456;
+    res.endTick = 0xffffffffffffull;
+    res.hash = 0x0123456789abcdefull;
+    res.failure = FailureKind::OracleFailure;
+    res.report = {"r1", "r2"};
+    res.firedMatches = {{1, 2}, {}, {0xffffffffffffffffull}};
+
+    std::string perr;
+    Json j = Json::parse(toJson(res).dump(-1), &perr);
+    ASSERT_TRUE(perr.empty()) << perr;
+    RunResult back;
+    ASSERT_TRUE(runResultFromJson(j, back));
+    EXPECT_EQ(back.finished, res.finished);
+    EXPECT_EQ(back.drained, res.drained);
+    EXPECT_EQ(back.violations, res.violations);
+    EXPECT_EQ(back.readFailures, res.readFailures);
+    EXPECT_EQ(back.injections, res.injections);
+    EXPECT_EQ(back.opsIssued, res.opsIssued);
+    EXPECT_EQ(back.busOps, res.busOps);
+    EXPECT_EQ(back.endTick, res.endTick);
+    EXPECT_EQ(back.hash, res.hash);
+    EXPECT_EQ(back.failure, res.failure);
+    EXPECT_EQ(back.report, res.report);
+    EXPECT_EQ(back.firedMatches, res.firedMatches);
+}
+
+TEST(JsonRobustness, ArtifactRoundTripsThroughText)
+{
+    Json j = sampleArtifact();
+    std::string perr;
+    Json re = Json::parse(j.dump(2), &perr);  // pretty-printed, too
+    ASSERT_TRUE(perr.empty()) << perr;
+    ASSERT_EQ(artifactParseError(re), "");
+
+    RunConfig cfg;
+    std::uint64_t hash = 0;
+    FailureKind kind = FailureKind::None;
+    ASSERT_TRUE(artifactFromJson(re, cfg, hash, kind));
+    EXPECT_EQ(hash, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(kind, FailureKind::CheckerViolation);
+    EXPECT_EQ(toJson(cfg).dump(-1),
+              j.at("config").dump(-1));  // config survives bit-exact
+}

@@ -1,0 +1,246 @@
+/** @file
+ * Campaign-level resilience tests: the resume determinism contract
+ * (interrupted + resumed == uninterrupted, by campaignHash), a real
+ * SIGTERM drain through the GracefulShutdown latch, planted-crash
+ * triage into a replayable .crash.json artifact, isolated-vs-inline
+ * hash equality, and journal campaign-key refusal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz/campaign.hh"
+#include "run/shutdown.hh"
+#include "run/supervisor.hh"
+#include "sim/json.hh"
+
+using namespace mcube;
+using namespace mcube::fuzz;
+
+namespace
+{
+
+/** Fresh scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &stem)
+{
+    std::string dir = ::testing::TempDir() + "mcube_" + stem;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Small, fast campaign shape shared by the tests; runs=5 with this
+ *  seed finishes in seconds and contains only passing cases. */
+CampaignOptions
+baseOptions(const std::string &outDir)
+{
+    CampaignOptions opt;
+    opt.seed = 7;
+    opt.runs = 5;
+    opt.shrink = false;
+    opt.outDir = outDir;
+    return opt;
+}
+
+} // namespace
+
+TEST(CampaignResume, InterruptedPlusResumedEqualsUninterrupted)
+{
+    const std::string dir = scratchDir("resume_basic");
+    const std::string journal = dir + "/journal.jsonl";
+
+    // Baseline: uninterrupted, no journal.
+    CampaignSummary base = runCampaign(baseOptions(dir + "/base"));
+    ASSERT_TRUE(base.error.empty()) << base.error;
+    ASSERT_EQ(base.runsDone, 5u);
+    ASSERT_NE(base.campaignHash, 0u);
+
+    // Interrupt after two cases: the stop predicate is polled before
+    // each dispatch, so polls 1 and 2 pass and poll 3 drains.
+    CampaignOptions first = baseOptions(dir);
+    first.journalPath = journal;
+    unsigned polls = 0;
+    first.stopRequested = [&polls] { return ++polls > 2; };
+    CampaignSummary cut = runCampaign(first);
+    ASSERT_TRUE(cut.error.empty()) << cut.error;
+    EXPECT_TRUE(cut.interrupted);
+    EXPECT_EQ(cut.runsDone, 2u);
+
+    // Resume: journaled cases are skipped, the rest run fresh, and
+    // the union must fingerprint identically to the baseline.
+    CampaignOptions second = baseOptions(dir);
+    second.journalPath = journal;
+    second.resume = true;
+    CampaignSummary merged = runCampaign(second);
+    ASSERT_TRUE(merged.error.empty()) << merged.error;
+    EXPECT_FALSE(merged.interrupted);
+    EXPECT_EQ(merged.skipped, 2u);
+    EXPECT_EQ(merged.runsDone, 3u);
+    EXPECT_EQ(merged.campaignHash, base.campaignHash);
+    EXPECT_EQ(merged.failures, base.failures);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignResume, SigtermDrainsAndResumeMatchesBaseline)
+{
+    const std::string dir = scratchDir("resume_sigterm");
+    const std::string journal = dir + "/journal.jsonl";
+
+    CampaignSummary base = runCampaign(baseOptions(dir + "/base"));
+    ASSERT_TRUE(base.error.empty()) << base.error;
+
+    // A real SIGTERM, delivered mid-campaign through the same latch
+    // the CLIs poll. preRun fires before case 2, so case 2 still
+    // completes and the poll before case 3 drains.
+    run::GracefulShutdown::install();
+    run::GracefulShutdown::reset();
+    CampaignOptions first = baseOptions(dir);
+    first.journalPath = journal;
+    first.preRun = [](unsigned i) {
+        if (i == 2)
+            ::raise(SIGTERM);
+    };
+    first.stopRequested = [] {
+        return run::GracefulShutdown::requested();
+    };
+    CampaignSummary cut = runCampaign(first);
+    EXPECT_EQ(run::GracefulShutdown::signalSeen(), SIGTERM);
+    EXPECT_EQ(run::GracefulShutdown::exitCode(), 128 + SIGTERM);
+    run::GracefulShutdown::reset();
+    ASSERT_TRUE(cut.error.empty()) << cut.error;
+    EXPECT_TRUE(cut.interrupted);
+    EXPECT_EQ(cut.runsDone, 3u);
+
+    CampaignOptions second = baseOptions(dir);
+    second.journalPath = journal;
+    second.resume = true;
+    CampaignSummary merged = runCampaign(second);
+    ASSERT_TRUE(merged.error.empty()) << merged.error;
+    EXPECT_EQ(merged.skipped, 3u);
+    EXPECT_EQ(merged.campaignHash, base.campaignHash);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignResume, IsolatedMatchesInline)
+{
+    if (!run::Supervisor::supported())
+        GTEST_SKIP() << "no fork on this platform";
+    const std::string dir = scratchDir("resume_isolate");
+
+    CampaignOptions inlineOpt = baseOptions(dir + "/inline");
+    inlineOpt.runs = 3;
+    CampaignSummary inlineSum = runCampaign(inlineOpt);
+    ASSERT_TRUE(inlineSum.error.empty()) << inlineSum.error;
+
+    CampaignOptions isoOpt = baseOptions(dir + "/iso");
+    isoOpt.runs = 3;
+    isoOpt.isolate = true;
+    CampaignSummary isoSum = runCampaign(isoOpt);
+    ASSERT_TRUE(isoSum.error.empty()) << isoSum.error;
+
+    // Forked, heartbeat-monitored workers must not perturb results.
+    EXPECT_EQ(isoSum.campaignHash, inlineSum.campaignHash);
+    EXPECT_EQ(isoSum.failures, inlineSum.failures);
+    EXPECT_EQ(isoSum.crashes, 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignResume, PlantedCrashIsTriagedAndArtifacted)
+{
+    if (!run::Supervisor::supported())
+        GTEST_SKIP() << "no fork on this platform";
+    const std::string dir = scratchDir("resume_crash");
+
+    CampaignOptions opt = baseOptions(dir);
+    opt.runs = 4;
+    opt.isolate = true;
+    opt.journalPath = dir + "/journal.jsonl";
+    opt.preRun = [](unsigned i) {
+        if (i == 1)
+            __builtin_trap();  // dies inside the forked worker
+    };
+    CampaignSummary sum = runCampaign(opt);
+    ASSERT_TRUE(sum.error.empty()) << sum.error;
+
+    // One worker died; the other three cases completed anyway.
+    EXPECT_EQ(sum.crashes, 1u);
+    EXPECT_EQ(sum.runsDone, 4u);
+    EXPECT_FALSE(sum.interrupted);
+
+    // The crash became a replayable artifact with the triage verdict.
+    std::string crashPath;
+    for (const std::string &a : sum.artifacts)
+        if (a.find(".crash.json") != std::string::npos)
+            crashPath = a;
+    ASSERT_FALSE(crashPath.empty());
+    std::ifstream in(crashPath);
+    ASSERT_TRUE(in.good()) << crashPath;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string perr;
+    Json j = Json::parse(text, &perr);
+    ASSERT_TRUE(perr.empty()) << perr;
+    EXPECT_EQ(artifactParseError(j), "");
+    EXPECT_FALSE(j.has("result"));
+    ASSERT_TRUE(j.has("worker"));
+    EXPECT_EQ(j.at("worker").str("triage"), "crash_signal");
+
+    // It parses as a replay input: no recorded expectation, so a
+    // replayer re-runs the config rather than comparing hashes.
+    RunConfig cfg;
+    std::uint64_t expectedHash = 1;
+    FailureKind expectedFailure = FailureKind::Stall;
+    ASSERT_TRUE(artifactFromJson(j, cfg, expectedHash, expectedFailure));
+    EXPECT_EQ(expectedHash, 0u);
+    EXPECT_EQ(expectedFailure, FailureKind::None);
+
+    // The crashed case is journaled (a deterministic crash would just
+    // re-crash): resuming skips all four cases.
+    CampaignOptions again = baseOptions(dir);
+    again.runs = 4;
+    again.isolate = true;
+    again.journalPath = dir + "/journal.jsonl";
+    again.resume = true;
+    CampaignSummary resumed = runCampaign(again);
+    ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+    EXPECT_EQ(resumed.skipped, 4u);
+    EXPECT_EQ(resumed.runsDone, 0u);
+    EXPECT_EQ(resumed.crashes, 1u);
+    EXPECT_EQ(resumed.campaignHash, sum.campaignHash);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignResume, JournalRefusesDifferentCampaign)
+{
+    const std::string dir = scratchDir("resume_refuse");
+    const std::string journal = dir + "/journal.jsonl";
+
+    CampaignOptions first = baseOptions(dir);
+    first.runs = 2;
+    first.journalPath = journal;
+    CampaignSummary a = runCampaign(first);
+    ASSERT_TRUE(a.error.empty()) << a.error;
+
+    // Same journal file, different campaign seed: the key check must
+    // refuse rather than silently mix two campaigns' results.
+    CampaignOptions second = baseOptions(dir);
+    second.runs = 2;
+    second.seed = 8;
+    second.journalPath = journal;
+    second.resume = true;
+    CampaignSummary b = runCampaign(second);
+    EXPECT_FALSE(b.error.empty());
+    EXPECT_NE(b.error.find("key mismatch"), std::string::npos)
+        << b.error;
+
+    std::filesystem::remove_all(dir);
+}

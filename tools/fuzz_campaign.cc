@@ -1,22 +1,35 @@
 /**
  * @file
- * Chaos-campaign driver (see docs/FUZZING.md).
+ * Chaos-campaign driver (see docs/FUZZING.md, docs/ROBUSTNESS.md).
  *
  * Modes:
  *
  *   fuzz_campaign [--runs=N] [--campaign-seed=S] [--time-budget-s=T]
  *                 [--out-dir=DIR] [--no-shrink] [--max-shrink-runs=N]
- *                 [--plant-bug]
- *       Generate and run a seeded campaign. Failing runs write a
- *       self-contained repro artifact (<out-dir>/repro_<seed>_<i>.json)
- *       and, unless --no-shrink, a delta-debugged minimal repro
- *       (... .min.json). Exit 0 if every run passed, 1 otherwise.
+ *                 [--plant-bug] [--journal=FILE | --no-journal]
+ *                 [--resume] [--no-isolate] [--deadline-s=T]
+ *                 [--heartbeat-s=T] [--rss-mb=M]
+ *       Generate and run a seeded campaign. Each case runs in a
+ *       forked, resource-limited worker (unless --no-isolate): a
+ *       crashing / OOMing / wedged case is triaged and written as a
+ *       replayable crash artifact instead of killing the campaign.
+ *       Completed cases append to a journal (default
+ *       <out-dir>/journal.jsonl); --resume skips journaled cases, and
+ *       the union of an interrupted + resumed campaign is identical
+ *       to an uninterrupted one. SIGINT/SIGTERM drain gracefully
+ *       (exit 128+signal, journal stays resumable); a second signal
+ *       kills immediately. Failing runs write a self-contained repro
+ *       artifact (<out-dir>/repro_<seed>_<i>.json) and, unless
+ *       --no-shrink, a delta-debugged minimal repro (... .min.json).
+ *       Exit 0 if every run passed, 1 otherwise.
  *
  *   fuzz_campaign --replay=FILE [--shrink] [--out-dir=DIR]
  *       Re-run the artifact's config and compare the result hash with
  *       the recorded one. Exit 0 on a bit-identical reproduction that
  *       still fails, 2 if the run no longer fails (bug fixed?), 3 if
- *       the hash diverged (non-determinism or binary drift).
+ *       the hash diverged (non-determinism or binary drift), 4 if the
+ *       artifact itself is corrupt, truncated, or from an
+ *       incompatible format version.
  *
  *   fuzz_campaign --one-off --n=N --sys-seed=S --tester-seed=S ...
  *       Run a single explicit config (the form RandomTester's failure
@@ -31,6 +44,9 @@
 #include <string>
 
 #include "fuzz/campaign.hh"
+#include "run/crash_handler.hh"
+#include "run/provenance.hh"
+#include "run/shutdown.hh"
 
 using namespace mcube;
 using namespace mcube::fuzz;
@@ -83,6 +99,9 @@ usage()
            "                     [--time-budget-s=T] [--out-dir=DIR]\n"
            "                     [--no-shrink] [--max-shrink-runs=N]\n"
            "                     [--plant-bug]\n"
+           "                     [--journal=FILE | --no-journal] [--resume]\n"
+           "                     [--no-isolate] [--deadline-s=T]\n"
+           "                     [--heartbeat-s=T] [--rss-mb=M]\n"
            "       fuzz_campaign --replay=FILE [--shrink] [--out-dir=DIR]\n"
            "       fuzz_campaign --one-off --n=N --sys-seed=S\n"
            "                     [--tester-seed=S] [--ops=N] [--chaos=1]\n"
@@ -122,8 +141,16 @@ replay(const Args &args)
     std::string err;
     Json j = Json::parse(ss.str(), &err);
     if (!err.empty()) {
-        std::cerr << "fuzz_campaign: " << path << ": " << err << "\n";
-        return 2;
+        // Exit 4: the artifact file itself is bad (truncated upload,
+        // hand-edited, version skew) — distinct from "cannot open"
+        // (2) and from "opens fine but no longer reproduces" (2/3).
+        std::cerr << "fuzz_campaign: " << path
+                  << ": corrupt artifact: " << err << "\n";
+        return 4;
+    }
+    if (std::string why = artifactParseError(j); !why.empty()) {
+        std::cerr << "fuzz_campaign: " << path << ": " << why << "\n";
+        return 4;
     }
     RunConfig cfg;
     std::uint64_t wantHash = 0;
@@ -131,7 +158,20 @@ replay(const Args &args)
     if (!artifactFromJson(j, cfg, wantHash, wantFailure)) {
         std::cerr << "fuzz_campaign: " << path
                   << ": not a repro artifact\n";
-        return 2;
+        return 4;
+    }
+
+    // A crash artifact records the config and the worker's triage but
+    // no result: replay it for the crash, not for a hash comparison.
+    if (!j.has("result") && j.has("worker")) {
+        std::cout << "replay: crash artifact (worker triage: "
+                  << j.at("worker").str("triage", "?")
+                  << "); re-running config in-process\n";
+        RunResult res = runOnce(cfg);
+        printResult(cfg, res);
+        std::cout << "replay: config ran to completion without "
+                     "crashing this binary\n";
+        return res.failed() ? 1 : 0;
     }
 
     RunResult res = runOnce(cfg);
@@ -217,6 +257,8 @@ oneOff(const Args &args)
 int
 main(int argc, char **argv)
 {
+    run::installCrashHandler("fuzz_campaign");
+
     Args args;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -232,10 +274,15 @@ main(int argc, char **argv)
     if (args.has("help"))
         return usage();
 
+    std::cout << run::provenanceHeader("fuzz_campaign", argc, argv)
+              << "\n";
+
     if (args.has("replay"))
         return replay(args);
     if (args.has("one-off"))
         return oneOff(args);
+
+    run::GracefulShutdown::install();
 
     CampaignOptions opt;
     opt.seed = args.u64("campaign-seed", 1);
@@ -248,14 +295,53 @@ main(int argc, char **argv)
     opt.plantUnsafeDropReply = args.has("plant-bug");
     opt.log = [](const std::string &m) { std::cout << m << "\n"; };
 
+    opt.isolate = !args.has("no-isolate");
+    opt.limits.wallSeconds = args.num("deadline-s", 300.0);
+    opt.limits.heartbeatSeconds = args.num("heartbeat-s", 30.0);
+    opt.limits.rssBytes = args.u64("rss-mb", 4096) * (1ull << 20);
+    if (!args.has("no-journal"))
+        opt.journalPath =
+            args.str("journal", opt.outDir + "/journal.jsonl");
+    opt.resume = args.has("resume");
+    opt.stopRequested = [] {
+        return run::GracefulShutdown::requested();
+    };
+    if (args.has("plant-crash-at")) {
+        // Harness self-test: kill case N with an abort and prove the
+        // campaign triages it and carries on.
+        unsigned at =
+            static_cast<unsigned>(args.u64("plant-crash-at", 0));
+        opt.preRun = [at](unsigned i) {
+            if (i == at)
+                __builtin_trap();
+        };
+    }
+
     std::cout << "fuzz_campaign: seed=" << opt.seed
               << " runs=" << opt.runs << " rev=" << gitRevision()
+              << (opt.isolate ? " isolate=on" : " isolate=off")
+              << (opt.journalPath.empty()
+                      ? std::string{}
+                      : " journal=" + opt.journalPath)
               << "\n";
     CampaignSummary sum = runCampaign(opt);
-    std::cout << "campaign: " << sum.runsDone << " run(s), "
-              << sum.failures << " failure(s)";
+    if (!sum.error.empty()) {
+        std::cerr << "fuzz_campaign: " << sum.error << "\n";
+        return 2;
+    }
+    std::cout << "campaign: " << sum.runsDone << " run(s)";
+    if (sum.skipped > 0)
+        std::cout << ", " << sum.skipped << " resumed from journal";
+    std::cout << ", " << sum.failures << " failure(s)";
+    if (sum.crashes > 0)
+        std::cout << ", " << sum.crashes << " crashed worker(s)";
     if (!sum.artifacts.empty())
         std::cout << ", artifacts in " << opt.outDir;
-    std::cout << "\n";
-    return sum.failures > 0 ? 1 : 0;
+    std::cout << "\ncampaign-hash: 0x" << std::hex << sum.campaignHash
+              << std::dec << "\n";
+    if (sum.interrupted) {
+        std::cout << "interrupted: journal is resumable with --resume\n";
+        return run::GracefulShutdown::exitCode();
+    }
+    return sum.failures > 0 || sum.crashes > 0 ? 1 : 0;
 }

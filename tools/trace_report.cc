@@ -32,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "run/crash_handler.hh"
+#include "run/provenance.hh"
+
 namespace
 {
 
@@ -225,6 +228,8 @@ printTxn(const Txn &t, unsigned rank)
 int
 main(int argc, char **argv)
 {
+    mcube::run::installCrashHandler("trace_report");
+
     unsigned topK = 5;
     long long addrFilter = -1;
     std::string path;
@@ -247,6 +252,11 @@ main(int argc, char **argv)
                      "<trace.json | trace.txt>\n";
         return 2;
     }
+
+    // Like sweep_cli's CSV header: a saved report names the binary
+    // revision and the exact command that produced it.
+    std::cout << mcube::run::provenanceHeader("trace_report", argc, argv)
+              << "\n";
 
     std::ifstream in(path);
     if (!in) {
