@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "sim/profiler.hh"
 
 using namespace mcube;
 using namespace mcube::bench;
@@ -70,6 +71,42 @@ const bool kDeclared = [] {
     SystemParams off;
     off.ctrl.snoopFilter = false;
     declareMixSim("sim_n32_nofilter", 32, mix, 0.5, &off, n32_index);
+
+    // Second A-B twin: the same run with the host self-profiler
+    // active (src/sim/profiler.hh). Borrowing sim_n32's index again
+    // means the determinism columns must match sim_n32 exactly — the
+    // profiler observes the host, never the simulation — while the
+    // wall-clock pair measures profiling overhead. perf_check.py
+    // checks both, and the prof_* columns land in BENCH_simspeed.json
+    // so the coupling trend is diffable across commits.
+    declarePoint("sim_n32_prof", [n32_index] {
+        MixParams m;
+        m.requestsPerMs = kRate;
+        SystemParams sp;
+        sp.seed = sweep::pointSeed(sp.seed, n32_index);
+        m.seed = sweep::pointSeed(m.seed, n32_index);
+
+        SimProfiler prof;
+        prof.activate();
+        SimPoint p = runMixSim(32, m, 0.5, &sp);
+        prof.deactivate();
+
+        Metrics out = toMetrics(p);
+        const SimProfiler::Summary s = prof.summary();
+        out["prof_wall_ns"] = static_cast<double>(s.wallNs);
+        out["prof_events"] = static_cast<double>(s.events);
+        out["prof_scopes"] = static_cast<double>(s.scopes);
+        out["prof_cross_ops"] = static_cast<double>(s.crossOps);
+        out["prof_row_parallel_frac_ns"] = s.row.parallelFracNs;
+        out["prof_col_parallel_frac_ns"] = s.col.parallelFracNs;
+        out["prof_row_lookahead_ticks"] =
+            static_cast<double>(s.row.lookaheadTicks);
+        out["prof_col_lookahead_ticks"] =
+            static_cast<double>(s.col.lookaheadTicks);
+        out["prof_row_speedup_k8"] = s.row.speedupAt(8);
+        out["prof_col_speedup_k8"] = s.col.speedupAt(8);
+        return out;
+    });
     return true;
 }();
 
@@ -90,6 +127,11 @@ recordPoint(benchmark::State &state, const std::string &label)
     out["ticks_per_sec"] = wall > 0 ? m.at("sim_ticks") / wall : 0.0;
     out["transactions"] = m.at("transactions");
     out["efficiency"] = m.at("efficiency");
+    // The prof twin embeds its coupling summary as prof_* columns so
+    // the parallelism-readiness trend is diffable across commits.
+    for (const auto &[name, value] : m)
+        if (name.rfind("prof_", 0) == 0)
+            out[name] = value;
 
     for (const auto &[name, value] : out)
         state.counters[name] = value;
@@ -109,6 +151,12 @@ BM_SimSpeedNoFilter(benchmark::State &state)
     recordPoint(state, "sim_n32_nofilter");
 }
 
+void
+BM_SimSpeedProf(benchmark::State &state)
+{
+    recordPoint(state, "sim_n32_prof");
+}
+
 } // namespace
 
 BENCHMARK(BM_SimSpeed)
@@ -119,6 +167,11 @@ BENCHMARK(BM_SimSpeed)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_SimSpeedNoFilter)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SimSpeedProf)
     ->Iterations(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);

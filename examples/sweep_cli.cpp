@@ -28,15 +28,25 @@
  *   --fault-drop=P         drop requests with probability P (enables
  *                          the transaction watchdog), so recovery
  *                          chains appear in the trace
+ *   --profile-out=p.json   self-profile of the *simulator* (host time
+ *                          by component/domain + coupling analysis;
+ *                          readable by tools/prof_report)
+ *   --profile-folded=p.txt folded stacks of the same profile, for
+ *                          flamegraph.pl
+ *   --progress             heartbeat on stderr while points run
+ *                          (points done/total, events/s, ETA).
+ *                          Off by default; forced off when stderr is
+ *                          not a TTY so piped runs stay clean.
  *   --seed=S               system base seed (sim mode); the effective
  *                          seed and full configuration are echoed in
  *                          the '#' header line, so a saved CSV is
  *                          always re-runnable
  *
- * Tracing and metrics snapshots are process-global, single-run tools:
- * requesting them forces --jobs=1 (with a warning). With several
- * --rates, the files cover the *last* simulated point (each point
- * truncates them); use a single rate when tracing.
+ * Tracing, metrics snapshots and self-profiling are process-global,
+ * single-run tools: requesting them forces --jobs=1 (with a warning).
+ * With several --rates, the files cover the *last* simulated point
+ * (each point truncates them); use a single rate when tracing or
+ * profiling.
  *
  * Robustness (docs/ROBUSTNESS.md):
  *   --journal=FILE         append each completed simulation point to
@@ -62,7 +72,10 @@
  * 128+signal); a second signal kills immediately.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -70,6 +83,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "core/system.hh"
@@ -82,6 +96,7 @@
 #include "run/shutdown.hh"
 #include "run/supervisor.hh"
 #include "run/work_journal.hh"
+#include "sim/profiler.hh"
 #include "sim/sweep_runner.hh"
 #include "trace/metrics_sampler.hh"
 #include "trace/trace_event.hh"
@@ -106,6 +121,9 @@ struct Options
     std::string metricsOut;
     Tick metricsPeriod = 50'000;
     double faultDrop = 0.0;
+    std::string profileOut;
+    std::string profileFolded;
+    bool progress = false;
     std::uint64_t seed = SystemParams{}.seed;
     std::string journal;
     bool resume = false;
@@ -170,6 +188,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.metricsPeriod = std::atoll(val.c_str());
         else if (key == "fault-drop")
             opt.faultDrop = std::atof(val.c_str());
+        else if (key == "profile-out")
+            opt.profileOut = val;
+        else if (key == "profile-folded")
+            opt.profileFolded = val;
+        else if (key == "progress")
+            opt.progress = val != "0";
         else if (key == "seed")
             opt.seed = std::strtoull(val.c_str(), nullptr, 10);
         else if (key == "journal")
@@ -217,10 +241,69 @@ mvaRow(const Options &opt, double rate)
     return os.str();
 }
 
+/**
+ * stderr heartbeat for long sweeps (--progress). Every write is one
+ * buffered fputs, so concurrent workers cannot shear a line; the
+ * carriage return keeps a TTY to a single status line. Mid-point
+ * beats ride the ProgressMonitor's periodic check, so a livelocked
+ * point shows a frozen event count rather than silence.
+ */
+struct SweepProgress
+{
+    std::size_t total = 0;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::uint64_t> events{0};
+
+    void beat(std::uint64_t live_events)
+    {
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        std::size_t d = done.load(std::memory_order_relaxed);
+        double ev = static_cast<double>(
+            events.load(std::memory_order_relaxed) + live_events);
+        double eta =
+            d ? s * static_cast<double>(total - d) / static_cast<double>(d)
+              : 0.0;
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "\r[sweep] %zu/%zu points, %.2fM events/s%s%.0fs   ",
+                      d, total, s > 0 ? ev / s / 1e6 : 0.0,
+                      d ? ", ETA " : ", ETA >", eta);
+        std::fputs(buf, stderr);
+        std::fflush(stderr);
+    }
+
+    void pointDone(std::uint64_t point_events)
+    {
+        events.fetch_add(point_events, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
+        beat(0);
+    }
+
+    void finish() const
+    {
+        std::fputc('\n', stderr);
+        std::fflush(stderr);
+    }
+};
+
 std::string
 simRow(const Options &opt, double rate, std::uint64_t seed,
-       const run::Heartbeat *hb = nullptr)
+       const run::Heartbeat *hb = nullptr, SweepProgress *prog = nullptr)
 {
+    // Self-profiling of the host: activated before the system is
+    // built so construction-time scheduling is attributed too. The
+    // profiler never touches simulation state, so the row is
+    // byte-identical with profiling on or off.
+    bool profiling =
+        !opt.profileOut.empty() || !opt.profileFolded.empty();
+    SimProfiler prof;
+    if (profiling)
+        prof.activate();
+
     SystemParams sp;
     sp.n = opt.n;
     sp.seed = seed;
@@ -234,10 +317,17 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
     run::ScopedCrashContext crashCtx(
         [&sys] { return sys.dumpPendingState(); });
     std::unique_ptr<ProgressMonitor> monitor;
-    if (hb && hb->active()) {
-        hb->beat();
+    const bool beating = hb && hb->active();
+    if (beating || prog) {
+        if (beating)
+            hb->beat();
         ProgressMonitorParams mp;
-        mp.onProgress = [hb] { hb->beat(); };
+        mp.onProgress = [hb, beating, prog, &sys] {
+            if (beating)
+                hb->beat();
+            if (prog)
+                prog->beat(sys.eventQueue().eventsExecuted());
+        };
         monitor = std::make_unique<ProgressMonitor>(sys, mp);
         monitor->start();
     }
@@ -290,6 +380,19 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
             tracer.exportText(out);
         }
     }
+    if (profiling) {
+        prof.deactivate();
+        if (!opt.profileOut.empty()) {
+            std::ofstream out(opt.profileOut);
+            prof.exportJson(out);
+        }
+        if (!opt.profileFolded.empty()) {
+            std::ofstream out(opt.profileFolded);
+            prof.exportFolded(out);
+        }
+    }
+    if (prog)
+        prog->pointDone(sys.eventQueue().eventsExecuted());
 
     std::ostringstream os;
     os << "sim," << opt.n << ',' << rate << ',' << opt.block << ','
@@ -331,12 +434,19 @@ main(int argc, char **argv)
     unsigned jobs = sweep::resolveJobs(opt.jobs);
     const bool observing = !opt.traceOut.empty()
                         || !opt.traceText.empty()
-                        || !opt.metricsOut.empty();
+                        || !opt.metricsOut.empty()
+                        || !opt.profileOut.empty()
+                        || !opt.profileFolded.empty();
     if (jobs > 1 && observing) {
-        std::cerr << "sweep_cli: tracing/metrics are process-global "
-                     "single-run tools; forcing --jobs=1\n";
+        std::cerr << "sweep_cli: tracing/metrics/profiling are "
+                     "process-global single-run tools; forcing "
+                     "--jobs=1\n";
         jobs = 1;
     }
+    // A heartbeat on a pipe would pollute captured stderr (CI logs,
+    // 2>file); only a human at a terminal gets one.
+    if (opt.progress && !isatty(fileno(stderr)))
+        opt.progress = false;
 
     const bool simulating = opt.mode == "sim" || opt.mode == "both";
     const bool isolate =
@@ -390,6 +500,7 @@ main(int argc, char **argv)
     std::vector<std::string> simNote(opt.rates.size());
     std::vector<std::size_t> pending;
     bool interrupted = false;
+    SweepProgress progress;
     if (simulating) {
         for (std::size_t i = 0; i < opt.rates.size(); ++i) {
             const std::string item = "sim_" + std::to_string(i);
@@ -397,6 +508,11 @@ main(int argc, char **argv)
                 simRows[i] = rec->str("row");
             else
                 pending.push_back(i);
+        }
+        SweepProgress *prog = nullptr;
+        if (opt.progress) {
+            progress.total = pending.size();
+            prog = &progress;
         }
 
         auto stop = [] { return run::GracefulShutdown::requested(); };
@@ -428,6 +544,11 @@ main(int argc, char **argv)
                 },
                 [&](std::size_t k, run::WorkerOutcome &&out) {
                     std::size_t i = pending[k];
+                    // Workers are forked processes: the heartbeat
+                    // lives in the parent and beats per completed
+                    // point (event counts stay in the child).
+                    if (prog)
+                        prog->pointDone(0);
                     if (out.triage == run::Triage::Clean) {
                         simRows[i] = out.result;
                         recordRow(i);
@@ -451,12 +572,16 @@ main(int argc, char **argv)
                 pending.size(),
                 [&](std::size_t k) {
                     std::size_t i = pending[k];
-                    simRows[i] = simRow(opt, opt.rates[i],
-                                        sweep::pointSeed(opt.seed, i));
+                    simRows[i] =
+                        simRow(opt, opt.rates[i],
+                               sweep::pointSeed(opt.seed, i), nullptr,
+                               prog);
                     recordRow(i);
                 },
                 stop);
         }
+        if (prog)
+            prog->finish();
         interrupted = run::GracefulShutdown::requested();
     }
 

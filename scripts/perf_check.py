@@ -29,6 +29,20 @@ same seeds.  Two checks apply:
   paying for itself it has regressed into pure overhead and should be
   fixed or removed rather than silently dragging every run.
 
+Similarly, every pair (X, X_prof) is an A-B measurement of the host
+self-profiler (src/sim/profiler.hh) over the same seeds:
+
+  the two arms' determinism columns must be IDENTICAL -- the profiler
+  observes host time only and may never perturb simulated results;
+
+  profiling slowdown (events_per_sec of X over X_prof) must stay at
+  or below --max-prof-slowdown (default 5.0).  Profiling *on* is
+  allowed to cost real time (it timestamps every event); this bound
+  only catches it becoming so slow that profiled runs stop being
+  representative.  The cost of profiling *off* is covered by the
+  ordinary baseline comparison of X itself, since the disabled hooks
+  sit in the hot path.
+
 To regenerate the baseline after an intentional change:
 
     ./build/bench/bench_simspeed --jobs=1
@@ -65,6 +79,9 @@ def main():
     ap.add_argument("--min-filter-speedup", type=float, default=1.0,
                     help="min events_per_sec ratio of a point over its "
                          "_nofilter twin")
+    ap.add_argument("--max-prof-slowdown", type=float, default=5.0,
+                    help="max events_per_sec ratio of a point over its "
+                         "_prof twin")
     ap.add_argument("--update", action="store_true",
                     help="rewrite BASELINE from CURRENT instead of "
                          "comparing")
@@ -141,6 +158,38 @@ def main():
                     f"{on_label}: filter speedup {speedup:.2f} below "
                     f"{args.min_filter_speedup:.2f} -- the snoop "
                     f"filter no longer pays for itself")
+
+    # A-B pairs: <label> vs <label>_prof measured in this run.
+    for prof_label in sorted(cur_pts):
+        if not prof_label.endswith("_prof"):
+            continue
+        on_label = prof_label[: -len("_prof")]
+        on = cur_pts.get(on_label)
+        prof = cur_pts[prof_label]
+        if on is None:
+            failures.append(
+                f"{prof_label}: no matching point {on_label}")
+            continue
+        for key in DETERMINISM_KEYS:
+            if on.get(key) != prof.get(key):
+                failures.append(
+                    f"{on_label}.{key}: profiler on/off divergence "
+                    f"(off {on.get(key)}, prof {prof.get(key)}) -- "
+                    f"the self-profiler perturbed simulated results")
+        for key in THROUGHPUT_KEYS:
+            if prof.get(key, 0.0) <= 0:
+                continue
+            slowdown = on.get(key, 0.0) / prof[key]
+            ok = slowdown <= args.max_prof_slowdown
+            print(f"{on_label}.prof_slowdown: off "
+                  f"{on.get(key, 0.0):.0f} prof {prof[key]:.0f} "
+                  f"slowdown {slowdown:.2f} "
+                  f"[{'ok' if ok else 'FAIL'}]")
+            if not ok:
+                failures.append(
+                    f"{on_label}: profiling slowdown {slowdown:.2f} "
+                    f"above {args.max_prof_slowdown:.2f} -- profiled "
+                    f"runs are no longer representative")
 
     if failures:
         print("perf_check: FAILED", file=sys.stderr)

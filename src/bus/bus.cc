@@ -25,10 +25,14 @@ Bus::Bus(std::string name, EventQueue &eq, const BusParams &params)
         traceComp = TraceComp::RowBus;
         traceIndex = static_cast<std::uint32_t>(
             std::atoi(_name.c_str() + 3));
+        profDom = {ProfDomain::Dim::Row,
+                   static_cast<std::uint16_t>(traceIndex)};
     } else if (_name.rfind("col", 0) == 0) {
         traceComp = TraceComp::ColBus;
         traceIndex = static_cast<std::uint32_t>(
             std::atoi(_name.c_str() + 3));
+        profDom = {ProfDomain::Dim::Col,
+                   static_cast<std::uint16_t>(traceIndex)};
     }
 }
 
@@ -105,6 +109,11 @@ Bus::enqueue(unsigned slot, BusOp op)
     slab[idx].op = op;
     slab[idx].enqTick = eq.now();
     slab[idx].next = noEntry;
+    // Coupling analysis: remember which domain's delivery enqueued
+    // this op. Cleared (not skipped) when profiling is off so a slab
+    // entry reused across an activate() can't carry a stale domain.
+    SimProfiler *prof = SimProfiler::active();
+    slab[idx].from = prof ? prof->currentDomain() : ProfDomain{};
     SlotQueue &q = queues[slot];
     if (q.tail == noEntry)
         q.head = idx;
@@ -138,6 +147,8 @@ Bus::tryArbitrate()
     if (busy)
         return;
 
+    MCUBE_PROF_SCOPE(profScope, ProfKind::BusArb, traceIndex, profDom);
+
     // Round-robin scan starting after the last granted slot.
     const auto n = static_cast<unsigned>(queues.size());
     unsigned chosen = n;
@@ -157,6 +168,7 @@ Bus::tryArbitrate()
     std::uint32_t idx = q.head;
     BusOp op = slab[idx].op;
     Tick enq_tick = slab[idx].enqTick;
+    ProfDomain enq_from = slab[idx].from;
     q.head = slab[idx].next;
     if (q.head == noEntry)
         q.tail = noEntry;
@@ -188,6 +200,13 @@ Bus::tryArbitrate()
                    + _params.wordTicks;
     }
 
+    if (SimProfiler *prof = SimProfiler::active()) {
+        // Full enqueue-to-delivery latency: the minimum observed over
+        // cross-domain ops bounds how soon one domain can affect
+        // another — the conservative parallel-DES lookahead.
+        prof->onBusGrant(profDom, enq_from, qdelay + deliver_at);
+    }
+
     if (deliver_at == occ) {
         // Common case (no cut-through / pieces): delivery and bus
         // release land on the same tick, in that order. Batch them
@@ -212,6 +231,8 @@ Bus::tryArbitrate()
 void
 Bus::deliver(const BusOp &op)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::BusDeliver, traceIndex,
+                     profDom);
     MCUBE_LOG(LogCat::Bus, eq.now(), _name << " deliver " << op);
     MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::BusDeliver, traceComp,
                             op.txn, op.params, traceIndex, op.origin,

@@ -29,6 +29,7 @@
 
 #include "bus/bus_op.hh"
 #include "sim/event_queue.hh"
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "trace/trace_event.hh"
@@ -192,6 +193,9 @@ class Bus
     /** Pending (undelivered) op count, for drain checks. */
     std::size_t pendingOps() const { return pending; }
 
+    /** This bus's profiling domain (row i / col j / none). */
+    ProfDomain profDomain() const { return profDom; }
+
   private:
     /** Assign a serial and place @p op in slot @p slot's FIFO. */
     void enqueue(unsigned slot, BusOp op);
@@ -214,6 +218,9 @@ class Bus
     TraceComp traceComp = TraceComp::Bus;
     std::uint32_t traceIndex = 0;
 
+    /** Profiling identity, derived like the trace identity. */
+    ProfDomain profDom;
+
     /**
      * One queued (op, enqueue tick) entry of a per-slot FIFO. Entries
      * live in a pooled slab (free-listed vector) and are chained
@@ -226,6 +233,9 @@ class Bus
         BusOp op;
         Tick enqTick = 0;
         std::uint32_t next = noEntry;
+        /** Domain context the op was enqueued under (coupling
+         *  analysis); stamped only while a profiler is active. */
+        ProfDomain from;
     };
 
     /** Head/tail slab indices of one slot's FIFO. */

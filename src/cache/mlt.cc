@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/profiler.hh"
 #include "trace/trace_event.hh"
 
 namespace mcube
@@ -47,6 +48,8 @@ ModifiedLineTable::contains(Addr addr) const
 std::optional<Addr>
 ModifiedLineTable::insert(Addr addr)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::Mlt,
+                     static_cast<std::uint32_t>(traceNode), {});
     std::size_t base = setOf(addr) * params.assoc;
     Slot *free_slot = nullptr;
     Slot *lru = nullptr;
@@ -92,6 +95,8 @@ ModifiedLineTable::insert(Addr addr)
 bool
 ModifiedLineTable::remove(Addr addr)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::Mlt,
+                     static_cast<std::uint32_t>(traceNode), {});
     std::size_t base = setOf(addr) * params.assoc;
     for (unsigned w = 0; w < params.assoc; ++w) {
         Slot &s = slots[base + w];

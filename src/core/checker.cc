@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "sim/profiler.hh"
 
 namespace mcube
 {
@@ -142,6 +143,7 @@ CoherenceChecker::historyWindow(Addr addr, Tick from, Tick to) const
 void
 CoherenceChecker::afterOp(const BusOp &op, bool is_row)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::Checker, 0, {});
     ++_ops;
 
     bool is_write_txn = op.txn == TxnType::ReadMod
@@ -240,6 +242,7 @@ CoherenceChecker::checkLine(Addr addr)
 void
 CoherenceChecker::fullSweep(bool strict)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::Checker, 1, {});
     const unsigned n = sys.n();
 
     // I5: MLTs identical within each column. Inserts and removes are

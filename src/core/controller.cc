@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "sim/profiler.hh"
 #include "trace/trace_event.hh"
 
 namespace mcube
@@ -674,6 +675,9 @@ SnoopController::Port::supplyModifiedSignal(const BusOp &op)
 void
 SnoopController::Port::snoop(const BusOp &op, bool modified_signal)
 {
+    // Domain is inherited from the enclosing Bus::deliver scope.
+    MCUBE_PROF_SCOPE(profScope, ProfKind::CtrlSnoop,
+                     static_cast<std::uint32_t>(owner->_id), {});
     if (isRow)
         owner->snoopRow(op, modified_signal);
     else

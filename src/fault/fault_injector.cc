@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/system.hh"
+#include "sim/profiler.hh"
 #include "trace/trace_event.hh"
 
 namespace mcube
@@ -345,6 +346,7 @@ FaultInjector::specApplies(const FaultSpec &spec, SpecState &state,
 FaultAction
 FaultInjector::decide(const Hook &hook, const BusOp &op)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::Fault, 0, {});
     ++statSeen;
     FaultAction act;
     const Tick now = sys.eventQueue().now();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "sim/profiler.hh"
 #include "trace/trace_event.hh"
 
 namespace mcube
@@ -82,6 +83,7 @@ MemoryModule::respond(BusOp op)
 void
 MemoryModule::snoop(const BusOp &op, bool modified_signal)
 {
+    MCUBE_PROF_SCOPE(profScope, ProfKind::Memory, column, {});
     (void)modified_signal;
 
     // Memory-update operations (unstarred controllers also see these;

@@ -63,7 +63,14 @@ EventQueue::run(std::uint64_t limit)
         // slab) while it runs.
         EventFn fn = std::move(slots[top.slot]);
         freeSlots.push_back(top.slot);
-        fn();
+        if (SimProfiler *prof = SimProfiler::active()) {
+            prof->onExecute(top.when, heap.size() + 1, slots.size(),
+                            freeSlots.size());
+            ProfScope scope(prof, ProfKind::Event, 0, {});
+            fn();
+        } else {
+            fn();
+        }
         ++count;
         ++statExecuted;
     }
@@ -80,7 +87,14 @@ EventQueue::runUntil(Tick end, std::uint64_t limit)
         _now = top.when;
         EventFn fn = std::move(slots[top.slot]);
         freeSlots.push_back(top.slot);
-        fn();
+        if (SimProfiler *prof = SimProfiler::active()) {
+            prof->onExecute(top.when, heap.size() + 1, slots.size(),
+                            freeSlots.size());
+            ProfScope scope(prof, ProfKind::Event, 0, {});
+            fn();
+        } else {
+            fn();
+        }
         ++count;
         ++statExecuted;
     }

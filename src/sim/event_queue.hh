@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -197,6 +198,8 @@ class EventQueue
             ++statPastTick;
             when = _now;
         }
+        if (SimProfiler *prof = SimProfiler::active())
+            prof->onSchedule(when - _now);
         std::uint32_t slot;
         if (!freeSlots.empty()) {
             slot = freeSlots.back();

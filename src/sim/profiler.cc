@@ -1,0 +1,691 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/json.hh"
+
+namespace mcube
+{
+
+thread_local SimProfiler *SimProfiler::tlActive = nullptr;
+
+const char *
+toString(ProfKind kind)
+{
+    switch (kind) {
+      case ProfKind::Event: return "event";
+      case ProfKind::BusArb: return "bus_arb";
+      case ProfKind::BusDeliver: return "bus_deliver";
+      case ProfKind::CtrlSnoop: return "ctrl_snoop";
+      case ProfKind::Mlt: return "mlt";
+      case ProfKind::Memory: return "memory";
+      case ProfKind::Checker: return "checker";
+      case ProfKind::Fault: return "fault";
+      case ProfKind::NumKinds: break;
+    }
+    return "?";
+}
+
+SimProfiler::SimProfiler()
+{
+    nodes.emplace_back();  // root
+}
+
+SimProfiler::~SimProfiler()
+{
+    deactivate();
+}
+
+void
+SimProfiler::activate()
+{
+    if (tlActive == this)
+        return;
+    tlActive = this;
+    t0Ns = nowNs();
+}
+
+void
+SimProfiler::deactivate()
+{
+    if (tlActive != this)
+        return;
+    tlActive = nullptr;
+    totalWallNs += nowNs() - t0Ns;
+    if (batchLen) {
+        batchHist.sample(static_cast<double>(batchLen));
+        batchLen = 0;
+    }
+}
+
+std::uint64_t
+SimProfiler::wallNs() const
+{
+    std::uint64_t w = totalWallNs;
+    if (tlActive == this)
+        w += nowNs() - t0Ns;
+    return w;
+}
+
+std::uint32_t
+SimProfiler::push(ProfKind kind, std::uint32_t comp, ProfDomain d)
+{
+    ++scopes;
+    // Frame key: parent(18) | kind(4) | dim(2) | index(16) | comp(24).
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(cur) << 46)
+        | (static_cast<std::uint64_t>(kind) << 42)
+        | (static_cast<std::uint64_t>(d.dim) << 40)
+        | (static_cast<std::uint64_t>(d.index) << 24)
+        | static_cast<std::uint64_t>(comp & 0xffffffu);
+    std::uint32_t id;
+    if (std::uint32_t *c = childIndex.find(key)) {
+        id = *c;
+    } else {
+        id = static_cast<std::uint32_t>(nodes.size());
+        assert(id < (1u << 18) && "profiler path trie overflow");
+        Node n;
+        n.parent = cur;
+        n.kind = kind;
+        n.domain = d;
+        n.comp = comp;
+        nodes.push_back(n);
+        childIndex.put(key, id);
+    }
+    std::uint32_t prev = cur;
+    cur = id;
+    if (d.dim != ProfDomain::Dim::None)
+        curDomain = d;
+    return prev;
+}
+
+void
+SimProfiler::pop(std::uint32_t prev_node, ProfDomain prev_domain,
+                 std::uint64_t ns)
+{
+    Node &n = nodes[cur];
+    n.ns += ns;
+    ++n.count;
+    cur = prev_node;
+    curDomain = prev_domain;
+}
+
+void
+SimProfiler::onExecute(Tick when, std::size_t heap_depth,
+                       std::size_t slab_slots, std::size_t free_slots)
+{
+    ++events;
+    depthHist.sample(static_cast<double>(heap_depth));
+    occHist.sample(static_cast<double>(slab_slots - free_slots));
+    if (slab_slots > slabHighWater)
+        slabHighWater = slab_slots;
+    if (free_slots > freeHighWater)
+        freeHighWater = free_slots;
+    if (when == batchTick && batchLen > 0) {
+        ++batchLen;
+    } else {
+        if (batchLen)
+            batchHist.sample(static_cast<double>(batchLen));
+        batchTick = when;
+        batchLen = 1;
+    }
+}
+
+void
+SimProfiler::onBusGrant(ProfDomain bus, ProfDomain from,
+                        Tick total_latency)
+{
+    unsigned d;
+    if (bus.dim == ProfDomain::Dim::Row) {
+        if (rowOps.size() <= bus.index)
+            rowOps.resize(bus.index + 1, 0);
+        ++rowOps[bus.index];
+        d = 0;
+    } else if (bus.dim == ProfDomain::Dim::Col) {
+        if (colOps.size() <= bus.index)
+            colOps.resize(bus.index + 1, 0);
+        ++colOps[bus.index];
+        d = 1;
+    } else {
+        ++otherOps;
+        return;
+    }
+    if (opLatencyCount[d]++ == 0 || total_latency < minOpLatency[d])
+        minOpLatency[d] = total_latency;
+    opLatencyHist[d].sample(static_cast<double>(total_latency));
+
+    if (from.dim != ProfDomain::Dim::None && from != bus) {
+        unsigned c = from.dim != bus.dim
+                         ? (from.dim == ProfDomain::Dim::Row ? 0u : 1u)
+                         : 2u;
+        if (crossCount[c]++ == 0 || total_latency < crossMinLatency[c])
+            crossMinLatency[c] = total_latency;
+    }
+}
+
+std::vector<std::uint64_t>
+SimProfiler::selfNs() const
+{
+    // Children nest strictly inside their parent's measured interval,
+    // so the subtraction cannot go negative for any real node; the
+    // root (which is never timed) is clamped.
+    std::vector<std::int64_t> s(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        s[i] = static_cast<std::int64_t>(nodes[i].ns);
+    for (std::size_t i = 1; i < nodes.size(); ++i)
+        s[nodes[i].parent] -= static_cast<std::int64_t>(nodes[i].ns);
+    std::vector<std::uint64_t> out(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        out[i] = s[i] > 0 ? static_cast<std::uint64_t>(s[i]) : 0;
+    return out;
+}
+
+ProfDomain
+SimProfiler::inheritedDomain(std::uint32_t node) const
+{
+    while (node != 0) {
+        if (nodes[node].domain.dim != ProfDomain::Dim::None)
+            return nodes[node].domain;
+        node = nodes[node].parent;
+    }
+    return {};
+}
+
+std::string
+SimProfiler::frameLabel(const Node &n) const
+{
+    auto busName = [&]() -> std::string {
+        switch (n.domain.dim) {
+          case ProfDomain::Dim::Row:
+            return "row" + std::to_string(n.domain.index);
+          case ProfDomain::Dim::Col:
+            return "col" + std::to_string(n.domain.index);
+          case ProfDomain::Dim::None: break;
+        }
+        return "bus";
+    };
+    switch (n.kind) {
+      case ProfKind::Event: return "event";
+      case ProfKind::BusArb: return busName() + ":arb";
+      case ProfKind::BusDeliver: return busName() + ":deliver";
+      case ProfKind::CtrlSnoop:
+        return "node" + std::to_string(n.comp) + ":snoop";
+      case ProfKind::Mlt:
+        return "node" + std::to_string(n.comp) + ":mlt";
+      case ProfKind::Memory:
+        return "mem" + std::to_string(n.comp) + ":snoop";
+      case ProfKind::Checker: return "checker";
+      case ProfKind::Fault: return "fault";
+      case ProfKind::NumKinds: break;
+    }
+    return "?";
+}
+
+double
+SimProfiler::ShardingView::speedupAt(unsigned k) const
+{
+    if (k <= 1)
+        return 1.0;
+    double denom =
+        serialFracNs + parallelFracNs * imbalance / static_cast<double>(k);
+    if (denom <= 0.0)
+        return static_cast<double>(k);
+    double s = 1.0 / denom;
+    return std::min(s, static_cast<double>(k));
+}
+
+namespace
+{
+
+/** Per-domain self host-ns and the two sharding views derived from
+ *  them — shared by summary() and toJson(). */
+struct DomainTimes
+{
+    std::vector<std::uint64_t> rowNs;
+    std::vector<std::uint64_t> colNs;
+    std::uint64_t rowTotal = 0;
+    std::uint64_t colTotal = 0;
+    std::uint64_t noneTotal = 0;
+
+    std::uint64_t total() const { return rowTotal + colTotal + noneTotal; }
+};
+
+double
+imbalanceOf(const std::vector<std::uint64_t> &ns)
+{
+    if (ns.empty())
+        return 1.0;
+    std::uint64_t mx = 0, sum = 0;
+    for (std::uint64_t v : ns) {
+        mx = std::max(mx, v);
+        sum += v;
+    }
+    if (sum == 0)
+        return 1.0;
+    double mean = static_cast<double>(sum)
+                / static_cast<double>(ns.size());
+    return std::max(1.0, static_cast<double>(mx) / mean);
+}
+
+} // namespace
+
+SimProfiler::Summary
+SimProfiler::summary() const
+{
+    Summary s;
+    s.wallNs = wallNs();
+    s.events = events;
+    s.scopes = scopes;
+    for (std::uint64_t v : rowOps)
+        s.rowOps += v;
+    for (std::uint64_t v : colOps)
+        s.colOps += v;
+    s.otherOps = otherOps;
+    s.crossOps = crossCount[0] + crossCount[1] + crossCount[2];
+
+    DomainTimes dt;
+    std::vector<std::uint64_t> self = selfNs();
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        ProfDomain d = inheritedDomain(static_cast<std::uint32_t>(i));
+        switch (d.dim) {
+          case ProfDomain::Dim::Row:
+            if (dt.rowNs.size() <= d.index)
+                dt.rowNs.resize(d.index + 1, 0);
+            dt.rowNs[d.index] += self[i];
+            dt.rowTotal += self[i];
+            break;
+          case ProfDomain::Dim::Col:
+            if (dt.colNs.size() <= d.index)
+                dt.colNs.resize(d.index + 1, 0);
+            dt.colNs[d.index] += self[i];
+            dt.colTotal += self[i];
+            break;
+          case ProfDomain::Dim::None:
+            dt.noneTotal += self[i];
+            break;
+        }
+    }
+
+    std::uint64_t opsTotal = s.rowOps + s.colOps + s.otherOps;
+    double nsTotal = static_cast<double>(dt.total());
+
+    // Row-stripe sharding: every row bus (and the controller/MLT work
+    // its deliveries trigger) stays inside one shard; column buses are
+    // the coupling fabric. Untagged time (workload callbacks, event-
+    // loop overhead) shards with its issuing node, so it counts as
+    // parallelizable. Column-stripe is the mirror image.
+    s.row.parallelFracEvents =
+        opsTotal ? static_cast<double>(s.rowOps + s.otherOps)
+                       / static_cast<double>(opsTotal)
+                 : 0.0;
+    s.row.serialFracNs =
+        nsTotal > 0 ? static_cast<double>(dt.colTotal) / nsTotal : 0.0;
+    s.row.parallelFracNs = 1.0 - s.row.serialFracNs;
+    s.row.imbalance = imbalanceOf(dt.rowNs);
+    s.row.lookaheadTicks = opLatencyCount[1] ? minOpLatency[1] : 0;
+
+    s.col.parallelFracEvents =
+        opsTotal ? static_cast<double>(s.colOps + s.otherOps)
+                       / static_cast<double>(opsTotal)
+                 : 0.0;
+    s.col.serialFracNs =
+        nsTotal > 0 ? static_cast<double>(dt.rowTotal) / nsTotal : 0.0;
+    s.col.parallelFracNs = 1.0 - s.col.serialFracNs;
+    s.col.imbalance = imbalanceOf(dt.colNs);
+    s.col.lookaheadTicks = opLatencyCount[0] ? minOpLatency[0] : 0;
+    return s;
+}
+
+namespace
+{
+
+constexpr unsigned kProjectedShards[] = {2, 4, 8, 16, 32, 64};
+
+Json
+histJson(const Histogram &h)
+{
+    Json j = Json::object();
+    j.set("count", h.count());
+    j.set("mean", h.mean());
+    j.set("max", h.max());
+    j.set("p50", h.p50());
+    j.set("p95", h.p95());
+    j.set("p99", h.p99());
+    j.set("p999", h.p999());
+    return j;
+}
+
+Json
+shardingJson(const SimProfiler::ShardingView &v)
+{
+    Json j = Json::object();
+    j.set("parallel_frac_events", v.parallelFracEvents);
+    j.set("parallel_frac_ns", v.parallelFracNs);
+    j.set("serial_frac_ns", v.serialFracNs);
+    j.set("imbalance", v.imbalance);
+    j.set("lookahead_ticks", static_cast<std::uint64_t>(v.lookaheadTicks));
+    Json sp = Json::array();
+    for (unsigned k : kProjectedShards) {
+        Json e = Json::object();
+        e.set("k", k);
+        e.set("speedup", v.speedupAt(k));
+        sp.push(std::move(e));
+    }
+    j.set("projected_speedup", std::move(sp));
+    return j;
+}
+
+} // namespace
+
+Json
+SimProfiler::toJson() const
+{
+    Summary s = summary();
+    std::vector<std::uint64_t> self = selfNs();
+
+    Json j = Json::object();
+    j.set("profile_version", std::uint64_t{1});
+    j.set("wall_ns", s.wallNs);
+    j.set("events", s.events);
+    j.set("scopes", s.scopes);
+
+    // Per-kind self/inclusive totals.
+    std::array<std::uint64_t, std::size_t(ProfKind::NumKinds)> kindSelf{};
+    std::array<std::uint64_t, std::size_t(ProfKind::NumKinds)> kindIncl{};
+    std::array<std::uint64_t, std::size_t(ProfKind::NumKinds)> kindCnt{};
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        auto k = static_cast<std::size_t>(nodes[i].kind);
+        kindSelf[k] += self[i];
+        kindIncl[k] += nodes[i].ns;
+        kindCnt[k] += nodes[i].count;
+    }
+    Json kinds = Json::object();
+    for (std::size_t k = 0; k < std::size_t(ProfKind::NumKinds); ++k) {
+        if (!kindCnt[k])
+            continue;
+        Json e = Json::object();
+        e.set("self_ns", kindSelf[k]);
+        e.set("incl_ns", kindIncl[k]);
+        e.set("count", kindCnt[k]);
+        kinds.set(toString(static_cast<ProfKind>(k)), std::move(e));
+    }
+    j.set("kinds", std::move(kinds));
+
+    Json eq = Json::object();
+    eq.set("depth", histJson(depthHist));
+    eq.set("same_tick_batch", histJson(batchHist));
+    eq.set("schedule_horizon_ticks", histJson(horizonHist));
+    eq.set("slab_occupancy", histJson(occHist));
+    eq.set("slab_high_water", slabHighWater);
+    eq.set("free_list_high_water", freeHighWater);
+    j.set("event_queue", std::move(eq));
+
+    // Per-domain self ns + grant counts.
+    DomainTimes dt;
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        ProfDomain d = inheritedDomain(static_cast<std::uint32_t>(i));
+        if (d.dim == ProfDomain::Dim::Row) {
+            if (dt.rowNs.size() <= d.index)
+                dt.rowNs.resize(d.index + 1, 0);
+            dt.rowNs[d.index] += self[i];
+            dt.rowTotal += self[i];
+        } else if (d.dim == ProfDomain::Dim::Col) {
+            if (dt.colNs.size() <= d.index)
+                dt.colNs.resize(d.index + 1, 0);
+            dt.colNs[d.index] += self[i];
+            dt.colTotal += self[i];
+        } else {
+            dt.noneTotal += self[i];
+        }
+    }
+    auto domainArray = [](const std::vector<std::uint64_t> &ns,
+                          const std::vector<std::uint64_t> &ops) {
+        Json arr = Json::array();
+        std::size_t n = std::max(ns.size(), ops.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            Json e = Json::object();
+            e.set("index", static_cast<std::uint64_t>(i));
+            e.set("self_ns", i < ns.size() ? ns[i] : 0);
+            e.set("ops", i < ops.size() ? ops[i] : 0);
+            arr.push(std::move(e));
+        }
+        return arr;
+    };
+    Json domains = Json::object();
+    domains.set("rows", domainArray(dt.rowNs, rowOps));
+    domains.set("cols", domainArray(dt.colNs, colOps));
+    domains.set("row_ns", dt.rowTotal);
+    domains.set("col_ns", dt.colTotal);
+    domains.set("unattributed_ns", dt.noneTotal);
+    j.set("domains", std::move(domains));
+
+    Json coupling = Json::object();
+    Json ops = Json::object();
+    ops.set("row", s.rowOps);
+    ops.set("col", s.colOps);
+    ops.set("other", s.otherOps);
+    coupling.set("bus_ops", std::move(ops));
+    Json lat = Json::object();
+    lat.set("row_min",
+            opLatencyCount[0] ? static_cast<std::uint64_t>(minOpLatency[0])
+                              : 0);
+    lat.set("col_min",
+            opLatencyCount[1] ? static_cast<std::uint64_t>(minOpLatency[1])
+                              : 0);
+    lat.set("row", histJson(opLatencyHist[0]));
+    lat.set("col", histJson(opLatencyHist[1]));
+    coupling.set("op_latency_ticks", std::move(lat));
+    static const char *kCrossNames[3] = {"row_to_col", "col_to_row",
+                                         "same_dim"};
+    Json cross = Json::object();
+    for (unsigned c = 0; c < 3; ++c) {
+        Json e = Json::object();
+        e.set("count", crossCount[c]);
+        e.set("min_latency_ticks",
+              crossCount[c] ? static_cast<std::uint64_t>(crossMinLatency[c])
+                            : 0);
+        cross.set(kCrossNames[c], std::move(e));
+    }
+    coupling.set("cross", std::move(cross));
+    Json sharding = Json::object();
+    sharding.set("row_stripe", shardingJson(s.row));
+    sharding.set("col_stripe", shardingJson(s.col));
+    coupling.set("sharding", std::move(sharding));
+    j.set("coupling", std::move(coupling));
+
+    // Folded stacks, embedded so one JSON file carries everything.
+    Json stacks = Json::array();
+    std::vector<std::string> labels(nodes.size());
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        labels[i] = n.parent == 0
+                        ? frameLabel(n)
+                        : labels[n.parent] + ";" + frameLabel(n);
+        if (!self[i])
+            continue;
+        Json e = Json::object();
+        e.set("stack", labels[i]);
+        e.set("self_ns", self[i]);
+        e.set("count", nodes[i].count);
+        stacks.push(std::move(e));
+    }
+    j.set("stacks", std::move(stacks));
+    return j;
+}
+
+void
+SimProfiler::exportJson(std::ostream &os) const
+{
+    os << toJson().dump(2);
+    os << "\n";
+}
+
+void
+SimProfiler::exportFolded(std::ostream &os) const
+{
+    std::vector<std::uint64_t> self = selfNs();
+    std::vector<std::string> labels(nodes.size());
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        labels[i] = n.parent == 0
+                        ? frameLabel(n)
+                        : labels[n.parent] + ";" + frameLabel(n);
+        if (self[i])
+            os << labels[i] << " " << self[i] << "\n";
+    }
+}
+
+namespace
+{
+
+std::string
+fmtNs(double ns)
+{
+    char buf[64];
+    if (ns >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.2f s", ns / 1e9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.1f ms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.1f us", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+    return buf;
+}
+
+std::string
+fmtPct(double frac)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%5.1f%%", frac * 100.0);
+    return buf;
+}
+
+void
+histLine(std::ostream &os, const char *name, const Json &h)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %-24s p50 %-10.0f p95 %-10.0f p99.9 %-10.0f "
+                  "max %.0f",
+                  name, h.num("p50", 0), h.num("p95", 0),
+                  h.num("p999", 0), h.num("max", 0));
+    os << buf << "\n";
+}
+
+void
+shardingReport(std::ostream &os, const char *name, const Json &v)
+{
+    char imb[32];
+    std::snprintf(imb, sizeof imb, "%.2f", v.num("imbalance", 1));
+    os << "  " << name << ": parallel "
+       << fmtPct(v.num("parallel_frac_ns", 0)) << " of host-ns ("
+       << fmtPct(v.num("parallel_frac_events", 0)) << " of bus grants), "
+       << "imbalance " << imb << ", lookahead "
+       << v.u64("lookahead_ticks", 0) << " ticks\n"
+       << "    projected speedup:";
+    const Json &sp = v.at("projected_speedup");
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "  k=%" PRIu64 " %.2fx",
+                      sp.at(i).u64("k", 0), sp.at(i).num("speedup", 0));
+        os << buf;
+    }
+    os << "\n";
+}
+
+} // namespace
+
+bool
+profReport(const Json &profile, std::ostream &os)
+{
+    if (profile.u64("profile_version", 0) != 1)
+        return false;
+
+    auto wallNs = static_cast<double>(profile.u64("wall_ns", 0));
+    std::uint64_t events = profile.u64("events", 0);
+    os << "self-profile: wall " << fmtNs(wallNs) << ", " << events
+       << " events";
+    if (wallNs > 0)
+        os << " (" << static_cast<std::uint64_t>(events / (wallNs / 1e9))
+           << " events/s)";
+    os << ", " << profile.u64("scopes", 0) << " scopes\n";
+
+    os << "host time by kind (self):\n";
+    const Json &kinds = profile.at("kinds");
+    double kindTotal = 0;
+    for (const auto &[name, e] : kinds.members())
+        kindTotal += e.num("self_ns", 0);
+    for (const auto &[name, e] : kinds.members()) {
+        double ns = e.num("self_ns", 0);
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "  %-12s %s  %-10s n=%" PRIu64,
+                      name.c_str(),
+                      fmtPct(kindTotal > 0 ? ns / kindTotal : 0).c_str(),
+                      fmtNs(ns).c_str(), e.u64("count", 0));
+        os << buf << "\n";
+    }
+
+    os << "event queue:\n";
+    const Json &eq = profile.at("event_queue");
+    histLine(os, "heap depth", eq.at("depth"));
+    histLine(os, "same-tick batch", eq.at("same_tick_batch"));
+    histLine(os, "schedule horizon", eq.at("schedule_horizon_ticks"));
+    histLine(os, "slab occupancy", eq.at("slab_occupancy"));
+    os << "  slab high-water " << eq.u64("slab_high_water", 0)
+       << " slots, free-list high-water "
+       << eq.u64("free_list_high_water", 0) << "\n";
+
+    const Json &dom = profile.at("domains");
+    double rowNs = dom.num("row_ns", 0);
+    double colNs = dom.num("col_ns", 0);
+    double noneNs = dom.num("unattributed_ns", 0);
+    double domTotal = rowNs + colNs + noneNs;
+    os << "host time by domain (self):\n";
+    os << "  row buses    " << fmtPct(domTotal > 0 ? rowNs / domTotal : 0)
+       << "  " << fmtNs(rowNs) << " over " << dom.at("rows").size()
+       << " domains\n";
+    os << "  col buses    " << fmtPct(domTotal > 0 ? colNs / domTotal : 0)
+       << "  " << fmtNs(colNs) << " over " << dom.at("cols").size()
+       << " domains\n";
+    os << "  unattributed " << fmtPct(domTotal > 0 ? noneNs / domTotal : 0)
+       << "  " << fmtNs(noneNs) << "\n";
+
+    const Json &coupling = profile.at("coupling");
+    const Json &ops = coupling.at("bus_ops");
+    std::uint64_t rowOps = ops.u64("row", 0);
+    std::uint64_t colOps = ops.u64("col", 0);
+    std::uint64_t opsTotal = rowOps + colOps + ops.u64("other", 0);
+    const Json &cross = coupling.at("cross");
+    std::uint64_t crossOps = cross.at("row_to_col").u64("count", 0)
+                           + cross.at("col_to_row").u64("count", 0)
+                           + cross.at("same_dim").u64("count", 0);
+    os << "coupling:\n";
+    os << "  bus grants: row " << rowOps << " ("
+       << fmtPct(opsTotal ? double(rowOps) / double(opsTotal) : 0)
+       << "), col " << colOps << " ("
+       << fmtPct(opsTotal ? double(colOps) / double(opsTotal) : 0)
+       << ")\n";
+    os << "  cross-domain enqueues: " << crossOps << " ("
+       << fmtPct(opsTotal ? double(crossOps) / double(opsTotal) : 0)
+       << " of grants); row->col "
+       << cross.at("row_to_col").u64("count", 0) << " (min "
+       << cross.at("row_to_col").u64("min_latency_ticks", 0)
+       << " ticks), col->row " << cross.at("col_to_row").u64("count", 0)
+       << " (min " << cross.at("col_to_row").u64("min_latency_ticks", 0)
+       << " ticks)\n";
+    const Json &lat = coupling.at("op_latency_ticks");
+    os << "  min enqueue->delivery: row " << lat.u64("row_min", 0)
+       << " ticks, col " << lat.u64("col_min", 0) << " ticks\n";
+
+    os << "parallelism readiness (Amdahl projection, measured "
+          "imbalance):\n";
+    const Json &sharding = coupling.at("sharding");
+    shardingReport(os, "row-stripe", sharding.at("row_stripe"));
+    shardingReport(os, "col-stripe", sharding.at("col_stripe"));
+    return true;
+}
+
+} // namespace mcube

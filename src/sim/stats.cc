@@ -103,7 +103,8 @@ StatGroup::dump(std::ostream &os, int indent) const
            << " max=" << e.hist->max()
            << " p50=" << e.hist->p50()
            << " p95=" << e.hist->p95()
-           << " p99=" << e.hist->p99();
+           << " p99=" << e.hist->p99()
+           << " p99.9=" << e.hist->p999();
         if (!e.desc.empty())
             os << "   # " << e.desc;
         os << "\n";
@@ -140,7 +141,8 @@ StatGroup::dumpJson(std::ostream &os, int indent) const
            << ", \"max\": " << e.hist->max()
            << ", \"p50\": " << e.hist->p50()
            << ", \"p95\": " << e.hist->p95()
-           << ", \"p99\": " << e.hist->p99() << "}";
+           << ", \"p99\": " << e.hist->p99()
+           << ", \"p99.9\": " << e.hist->p999() << "}";
         sep = ",\n";
     }
     for (const auto *c : children) {
@@ -203,6 +205,7 @@ StatGroup::flattenInto(FlatStats &out, std::string &prefix) const
         emit(e.name, ".p50", e.hist->p50());
         emit(e.name, ".p95", e.hist->p95());
         emit(e.name, ".p99", e.hist->p99());
+        emit(e.name, ".p999", e.hist->p999());
     }
     for (const auto *c : children) {
         prefix.resize(base);

@@ -166,6 +166,7 @@ class Histogram
     double p50() const { return percentile(0.50); }
     double p95() const { return percentile(0.95); }
     double p99() const { return percentile(0.99); }
+    double p999() const { return percentile(0.999); }
 
     /** Samples recorded in bucket @p i (range [lowerBound(i),
      *  upperBound(i)]). */
@@ -243,14 +244,15 @@ class StatGroup
 
     /** Write the whole tree as a JSON object (counters as integers,
      *  distributions as {count, mean, min, max, variance, stddev},
-     *  histograms additionally carrying p50/p95/p99). */
+     *  histograms additionally carrying p50/p95/p99/p99.9). */
     void dumpJson(std::ostream &os, int indent = 0) const;
 
     /**
      * Flatten every counter, distribution and histogram into
      * "group.sub.stat" -> value entries. Distributions contribute
      * their mean under the bare name plus ".variance"/".stddev"
-     * entries; histograms contribute mean plus ".p50"/".p95"/".p99".
+     * entries; histograms contribute mean plus
+     * ".p50"/".p95"/".p99"/".p999".
      */
     void flatten(std::map<std::string, double> &out,
                  const std::string &prefix = "") const;

@@ -33,7 +33,15 @@ MetricsSampler::start()
 void
 MetricsSampler::stop()
 {
+    if (!active)
+        return;
     active = false;
+    // Flush the final partial interval: a run whose length is not a
+    // multiple of the period would otherwise silently drop its tail
+    // (and a run shorter than one period would produce no samples at
+    // all). Skip only when the last sample already covers "now".
+    if (sys.eventQueue().now() > lastTick || samples == 0)
+        sampleNow();
 }
 
 void

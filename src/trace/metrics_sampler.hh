@@ -57,7 +57,10 @@ class MetricsSampler
     /** Schedule the first sample one period from now. */
     void start();
 
-    /** Take no further samples (a last no-op wakeup may still fire). */
+    /** Take no further samples (a last no-op wakeup may still fire).
+     *  Emits one final sample first if simulated time has advanced
+     *  past the last one, so the tail of a run — or a run shorter
+     *  than one period — is never silently dropped. */
     void stop();
 
     /** Take one sample immediately (also used by the timer). */

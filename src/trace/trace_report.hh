@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Transaction-lifecycle report over a trace export, as a library.
+ *
+ * The logic behind tools/trace_report: parse either export format of
+ * TransactionTracer (Chrome trace-event JSON or the flat text form,
+ * detected automatically), reconstruct transaction instances keyed by
+ * (originator, reqSeq), and print a latency summary plus the top-K
+ * slowest completed transactions with a per-hop breakdown. Living in
+ * the library lets tests drive the exact CLI logic over in-memory
+ * streams (see tests/trace_report_test.cc) instead of fork/exec'ing
+ * the binary.
+ */
+
+#ifndef MCUBE_TRACE_TRACE_REPORT_HH
+#define MCUBE_TRACE_TRACE_REPORT_HH
+
+#include <istream>
+#include <ostream>
+
+namespace mcube::tracereport
+{
+
+struct Options
+{
+    unsigned topK = 5;          //!< slowest transactions to detail
+    long long addrFilter = -1;  //!< only this address (-1: all)
+};
+
+/**
+ * Read one trace export from @p in and write the report to @p os.
+ * @return 0 on success, 1 if @p in held no recognizable trace events.
+ */
+int report(std::istream &in, std::ostream &os, const Options &opt = {});
+
+} // namespace mcube::tracereport
+
+#endif // MCUBE_TRACE_TRACE_REPORT_HH

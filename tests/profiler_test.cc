@@ -1,0 +1,228 @@
+/** @file
+ * Tests for the simulator self-profiler: the zero-perturbation
+ * contract (fixed-seed runs are bit-identical with profiling on or
+ * off), the event-queue profile, the coupling analyzer's
+ * parallelism-readiness numbers, the JSON round-trip through
+ * profReport, and the folded-stacks export shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/system.hh"
+#include "proc/mix_workload.hh"
+#include "sim/json.hh"
+#include "sim/profiler.hh"
+#include "sim/stats.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct RunResult
+{
+    FlatStats stats;
+    std::uint64_t events = 0;
+    Tick finalTick = 0;
+};
+
+/** One fixed-seed mix run on an n x n machine, optionally profiled. */
+RunResult
+runMix(unsigned n, double sim_ms, SimProfiler *prof)
+{
+    if (prof)
+        prof->activate();
+    SystemParams sp;
+    sp.n = n;
+    MulticubeSystem sys(sp);
+    MixParams mix;
+    mix.requestsPerMs = 25.0;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(static_cast<Tick>(sim_ms * 1e6));
+    wl.stop();
+    sys.drain();
+    if (prof)
+        prof->deactivate();
+
+    RunResult out;
+    sys.statistics().flatten(out.stats);
+    out.events = sys.eventQueue().eventsExecuted();
+    out.finalTick = sys.eventQueue().now();
+    return out;
+}
+
+} // namespace
+
+TEST(SimProfiler, InactiveByDefault)
+{
+    EXPECT_EQ(SimProfiler::active(), nullptr);
+    SimProfiler prof;
+    EXPECT_EQ(SimProfiler::active(), nullptr);
+    prof.activate();
+    EXPECT_EQ(SimProfiler::active(), &prof);
+    prof.deactivate();
+    EXPECT_EQ(SimProfiler::active(), nullptr);
+}
+
+TEST(SimProfiler, DeactivatesOnDestruction)
+{
+    {
+        SimProfiler prof;
+        prof.activate();
+        EXPECT_EQ(SimProfiler::active(), &prof);
+    }
+    EXPECT_EQ(SimProfiler::active(), nullptr);
+}
+
+// The load-bearing contract: the profiler observes host time only.
+// A fixed-seed run must produce the bit-identical stat tree, event
+// count and final tick whether or not it was profiled.
+TEST(SimProfiler, ProfilingDoesNotPerturbSimulation)
+{
+    RunResult plain = runMix(4, 0.5, nullptr);
+    SimProfiler prof;
+    RunResult profiled = runMix(4, 0.5, &prof);
+
+    EXPECT_EQ(plain.events, profiled.events);
+    EXPECT_EQ(plain.finalTick, profiled.finalTick);
+    ASSERT_EQ(plain.stats.size(), profiled.stats.size());
+    for (std::size_t i = 0; i < plain.stats.size(); ++i) {
+        EXPECT_EQ(plain.stats[i].first, profiled.stats[i].first);
+        EXPECT_EQ(plain.stats[i].second, profiled.stats[i].second)
+            << plain.stats[i].first;
+    }
+}
+
+TEST(SimProfiler, CountsEventsAndScopes)
+{
+    SimProfiler prof;
+    RunResult r = runMix(4, 0.5, &prof);
+
+    EXPECT_EQ(prof.eventCount(), r.events);
+    // Every event opens a scope, and bus/controller work nests more.
+    EXPECT_GT(prof.scopeCount(), prof.eventCount());
+    EXPECT_GT(prof.wallNs(), 0u);
+}
+
+TEST(SimProfiler, CouplingSummaryIsSane)
+{
+    SimProfiler prof;
+    runMix(4, 1.0, &prof);
+    SimProfiler::Summary s = prof.summary();
+
+    // A mix run exercises both bus dimensions and the MLT forwards
+    // between them, so cross-domain enqueues must appear.
+    EXPECT_GT(s.rowOps, 0u);
+    EXPECT_GT(s.colOps, 0u);
+    EXPECT_GT(s.crossOps, 0u);
+
+    // The minimum enqueue-to-delivery latency can never be zero: a
+    // grant always pays at least the header transfer time. This is
+    // the conservative lookahead bound, so it must be positive for
+    // both decompositions.
+    EXPECT_GT(s.row.lookaheadTicks, 0u);
+    EXPECT_GT(s.col.lookaheadTicks, 0u);
+
+    for (const SimProfiler::ShardingView *v : {&s.row, &s.col}) {
+        EXPECT_GE(v->parallelFracNs, 0.0);
+        EXPECT_LE(v->parallelFracNs, 1.0);
+        EXPECT_NEAR(v->parallelFracNs + v->serialFracNs, 1.0, 1e-9);
+        EXPECT_GE(v->imbalance, 1.0);
+        // Amdahl projection: bounded by k, monotone in k.
+        double prev = 0.0;
+        for (unsigned k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            double sp = v->speedupAt(k);
+            EXPECT_GE(sp, prev * (1.0 - 1e-12));
+            EXPECT_LE(sp, static_cast<double>(k) + 1e-9);
+            prev = sp;
+        }
+    }
+}
+
+TEST(SimProfiler, JsonRoundTripThroughReport)
+{
+    SimProfiler prof;
+    runMix(4, 0.5, &prof);
+
+    std::ostringstream json;
+    prof.exportJson(json);
+
+    std::string err;
+    Json profile = Json::parse(json.str(), &err);
+    ASSERT_FALSE(profile.isNull()) << err;
+    EXPECT_EQ(profile.u64("profile_version", 0), 1u);
+    EXPECT_EQ(profile.u64("events", 0), prof.eventCount());
+
+    std::ostringstream report;
+    ASSERT_TRUE(profReport(profile, report));
+    const std::string text = report.str();
+    EXPECT_NE(text.find("host time by kind"), std::string::npos);
+    EXPECT_NE(text.find("event queue:"), std::string::npos);
+    EXPECT_NE(text.find("host time by domain"), std::string::npos);
+    EXPECT_NE(text.find("min enqueue->delivery"), std::string::npos);
+    EXPECT_NE(text.find("row-stripe"), std::string::npos);
+    EXPECT_NE(text.find("col-stripe"), std::string::npos);
+
+    // Not-a-profile JSON is rejected, not misreported.
+    Json other = Json::parse("{\"x\": 1}", &err);
+    std::ostringstream sink;
+    EXPECT_FALSE(profReport(other, sink));
+}
+
+TEST(SimProfiler, FoldedStacksAreWellFormed)
+{
+    SimProfiler prof;
+    runMix(4, 0.5, &prof);
+
+    std::ostringstream folded;
+    prof.exportFolded(folded);
+    std::istringstream in(folded.str());
+    std::string line;
+    unsigned lines = 0;
+    bool sawNested = false;
+    while (std::getline(in, line)) {
+        ++lines;
+        // "frame;frame;frame <self_ns>": one space, positive count.
+        auto sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        ASSERT_GT(sp, 0u) << line;
+        const std::string stack = line.substr(0, sp);
+        const std::string count = line.substr(sp + 1);
+        ASSERT_FALSE(count.empty()) << line;
+        for (char c : count)
+            EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)))
+                << line;
+        // Every stack is rooted in the event-loop frame.
+        EXPECT_EQ(stack.rfind("event", 0), 0u) << line;
+        if (stack.find(';') != std::string::npos)
+            sawNested = true;
+    }
+    EXPECT_GT(lines, 0u);
+    EXPECT_TRUE(sawNested);
+}
+
+TEST(SimProfiler, QueueProfileInJson)
+{
+    SimProfiler prof;
+    runMix(4, 0.5, &prof);
+
+    std::ostringstream json;
+    prof.exportJson(json);
+    std::string err;
+    Json profile = Json::parse(json.str(), &err);
+    ASSERT_FALSE(profile.isNull()) << err;
+
+    const Json &eq = profile.at("event_queue");
+    EXPECT_GT(eq.at("depth").u64("count", 0), 0u);
+    EXPECT_GT(eq.at("schedule_horizon_ticks").u64("count", 0), 0u);
+    EXPECT_GT(eq.u64("slab_high_water", 0), 0u);
+
+    // Embedded folded stacks mirror the exportFolded lines.
+    EXPECT_GT(profile.at("stacks").size(), 0u);
+}

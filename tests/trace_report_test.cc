@@ -1,0 +1,148 @@
+/** @file
+ * Golden test for the trace_report CLI logic
+ * (src/trace/trace_report.cc): a tiny traced protocol run is exported
+ * in both TransactionTracer formats and driven through
+ * tracereport::report over in-memory streams. The two formats carry
+ * the same fields, so the reports must be byte-identical — and must
+ * contain the latency summary and the top-K slowest-transaction
+ * table the tool exists to print.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/system.hh"
+#include "proc/mix_workload.hh"
+#include "trace/trace_event.hh"
+#include "trace/trace_report.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+/** Trace a short fixed-seed mix run; fills @p tracer. */
+void
+tracedRun(TransactionTracer &tracer)
+{
+    tracer.activate();
+    SystemParams sp;
+    sp.n = 4;
+    MulticubeSystem sys(sp);
+    MixParams mix;
+    mix.requestsPerMs = 25.0;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(500'000);
+    wl.stop();
+    sys.drain();
+    tracer.deactivate();
+}
+
+std::string
+reportOf(const std::string &exported, const tracereport::Options &opt,
+         int expect_rc = 0)
+{
+    std::istringstream in(exported);
+    std::ostringstream os;
+    EXPECT_EQ(tracereport::report(in, os, opt), expect_rc);
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceReport, BothExportFormatsProduceTheSameReport)
+{
+    TransactionTracer tracer(1 << 16);
+    tracedRun(tracer);
+    ASSERT_GT(tracer.size(), 0u);
+
+    std::ostringstream json, text;
+    tracer.exportChromeJson(json);
+    tracer.exportText(text);
+
+    tracereport::Options opt;
+    opt.topK = 3;
+    const std::string fromJson = reportOf(json.str(), opt);
+    const std::string fromText = reportOf(text.str(), opt);
+    EXPECT_EQ(fromJson, fromText);
+
+    // Headline lines: event/instance totals, per-phase counts, the
+    // latency summary with the deep-tail percentile, and the top-K
+    // table with per-hop breakdowns.
+    EXPECT_NE(fromJson.find("trace_report: "), std::string::npos);
+    EXPECT_NE(fromJson.find("transaction instances"), std::string::npos);
+    EXPECT_NE(fromJson.find("phases: "), std::string::npos);
+    EXPECT_NE(fromJson.find("Issue="), std::string::npos);
+    EXPECT_NE(fromJson.find("Complete="), std::string::npos);
+    EXPECT_NE(fromJson.find("latency ticks: n="), std::string::npos);
+    EXPECT_NE(fromJson.find("p99.9="), std::string::npos);
+    EXPECT_NE(fromJson.find("top 3 slowest transactions:"),
+              std::string::npos);
+    EXPECT_NE(fromJson.find("#1 node"), std::string::npos);
+    EXPECT_NE(fromJson.find("#3 node"), std::string::npos);
+    EXPECT_EQ(fromJson.find("#4 node"), std::string::npos);
+    EXPECT_NE(fromJson.find("BusGrant"), std::string::npos);
+}
+
+TEST(TraceReport, TopKClampsToCompletedCount)
+{
+    TransactionTracer tracer(1 << 16);
+    tracedRun(tracer);
+
+    std::ostringstream text;
+    tracer.exportText(text);
+
+    tracereport::Options opt;
+    opt.topK = 100000;
+    const std::string report = reportOf(text.str(), opt);
+    // "top N slowest" prints the clamped count, not the request.
+    EXPECT_EQ(report.find("top 100000"), std::string::npos);
+}
+
+TEST(TraceReport, AddrFilterRestrictsInstances)
+{
+    TransactionTracer tracer(1 << 16);
+    tracedRun(tracer);
+
+    // Pick the address of some issued transaction from the text form.
+    std::ostringstream text;
+    tracer.exportText(text);
+    std::istringstream scan(text.str());
+    long long addr = -1;
+    std::string line;
+    while (std::getline(scan, line)) {
+        auto pos = line.find(" Issue ");
+        if (pos == std::string::npos)
+            continue;
+        pos = line.find("addr=");
+        ASSERT_NE(pos, std::string::npos);
+        addr = std::atoll(line.c_str() + pos + 5);
+        break;
+    }
+    ASSERT_GE(addr, 0);
+
+    tracereport::Options opt;
+    opt.addrFilter = addr;
+    const std::string report = reportOf(text.str(), opt);
+    // Every reported transaction carries the filtered address.
+    std::istringstream rep(report);
+    while (std::getline(rep, line)) {
+        if (line.rfind("#", 0) != 0)
+            continue;
+        EXPECT_NE(line.find("addr=" + std::to_string(addr)),
+                  std::string::npos)
+            << line;
+    }
+}
+
+TEST(TraceReport, EmptyInputReturnsNonzero)
+{
+    tracereport::Options opt;
+    std::istringstream in("");
+    std::ostringstream os;
+    EXPECT_EQ(tracereport::report(in, os, opt), 1);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Self-profile report: where host time goes and how parallelizable
+ * the grid is (see src/sim/profiler.hh and docs/OBSERVABILITY.md).
+ *
+ * Two modes:
+ *
+ *   $ prof_report profile.json
+ *       Print the human report from a profile JSON saved earlier
+ *       (sweep_cli --profile-out, or this tool's --json-out).
+ *
+ *   $ prof_report --run-n=32 [--rate=25] [--ms=0.5] [--seed=S]
+ *                 [--json-out=prof.json] [--folded-out=prof.folded]
+ *       Run a profiled MixWorkload simulation on an n x n machine,
+ *       then print the same report. The report is always produced by
+ *       exporting the profile to JSON and re-parsing it — the
+ *       round-trip CI asserts is exercised on every run.
+ *
+ * Feed --folded-out to flamegraph.pl for a host-time flame graph of
+ * the simulator itself.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/system.hh"
+#include "proc/mix_workload.hh"
+#include "run/crash_handler.hh"
+#include "run/provenance.hh"
+#include "sim/json.hh"
+#include "sim/profiler.hh"
+
+namespace
+{
+
+int
+usage(int rc)
+{
+    (rc ? std::cerr : std::cout)
+        << "usage: prof_report <profile.json>\n"
+           "       prof_report --run-n=N [--rate=R] [--ms=M] "
+           "[--seed=S]\n"
+           "                   [--json-out=F] [--folded-out=F]\n";
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    mcube::run::installCrashHandler("prof_report");
+
+    unsigned runN = 0;
+    double rate = 25.0;
+    double simMs = 0.5;
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    std::string jsonOut;
+    std::string foldedOut;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--run-n=", 0) == 0)
+            runN = std::atoi(a.c_str() + 8);
+        else if (a.rfind("--rate=", 0) == 0)
+            rate = std::atof(a.c_str() + 7);
+        else if (a.rfind("--ms=", 0) == 0)
+            simMs = std::atof(a.c_str() + 5);
+        else if (a.rfind("--seed=", 0) == 0) {
+            seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+            seedSet = true;
+        } else if (a.rfind("--json-out=", 0) == 0)
+            jsonOut = a.substr(11);
+        else if (a.rfind("--folded-out=", 0) == 0)
+            foldedOut = a.substr(13);
+        else if (a == "--help" || a == "-h")
+            return usage(0);
+        else
+            path = a;
+    }
+    if ((runN == 0) == path.empty())
+        return usage(2);
+
+    std::cout << mcube::run::provenanceHeader("prof_report", argc, argv)
+              << "\n";
+
+    std::string text;
+    if (runN > 0) {
+        mcube::SystemParams sp;
+        sp.n = runN;
+        if (seedSet)
+            sp.seed = seed;
+        mcube::MixParams mix;
+        mix.requestsPerMs = rate;
+        if (seedSet)
+            mix.seed = seed;
+
+        mcube::SimProfiler prof;
+        prof.activate();
+        mcube::MulticubeSystem sys(sp);
+        mcube::MixWorkload wl(sys, mix);
+        wl.start();
+        sys.run(static_cast<mcube::Tick>(simMs * 1e6));
+        wl.stop();
+        sys.drain();
+        prof.deactivate();
+
+        std::ostringstream oss;
+        prof.exportJson(oss);
+        text = oss.str();
+        if (!jsonOut.empty()) {
+            std::ofstream out(jsonOut);
+            if (!out) {
+                std::cerr << "prof_report: cannot write " << jsonOut
+                          << "\n";
+                return 2;
+            }
+            out << text;
+        }
+        if (!foldedOut.empty()) {
+            std::ofstream out(foldedOut);
+            if (!out) {
+                std::cerr << "prof_report: cannot write " << foldedOut
+                          << "\n";
+                return 2;
+            }
+            prof.exportFolded(out);
+        }
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "prof_report: cannot open " << path << "\n";
+            return 2;
+        }
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        text = oss.str();
+    }
+
+    // Both modes report from the parsed JSON, so a freshly profiled
+    // run also proves the export round-trips.
+    std::string err;
+    mcube::Json profile = mcube::Json::parse(text, &err);
+    if (profile.isNull()) {
+        std::cerr << "prof_report: parse error: " << err << "\n";
+        return 1;
+    }
+    if (!mcube::profReport(profile, std::cout)) {
+        std::cerr << "prof_report: not a v1 profile JSON\n";
+        return 1;
+    }
+    return 0;
+}

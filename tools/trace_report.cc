@@ -9,236 +9,38 @@
  * trace-event JSON or the flat text form; detected automatically) and
  * reconstructs each transaction instance — keyed by (originator,
  * reqSeq), the same correlation the protocol itself uses to match
- * replies to requests — then prints the top-K slowest completed
- * transactions with a per-hop breakdown: every bus grant/delivery,
- * MLT route decision, memory serve/bounce, snoop serve, relaunch,
- * watchdog reissue and fault injection that touched the instance,
- * with ticks relative to issue. Bounce/retry chains under fault
- * injection show up as repeated MemBounce/Relaunch hops inside one
- * instance.
+ * replies to requests — then prints a latency summary (p50 through
+ * p99.9) and the top-K slowest completed transactions with a per-hop
+ * breakdown: every bus grant/delivery, MLT route decision, memory
+ * serve/bounce, snoop serve, relaunch, watchdog reissue and fault
+ * injection that touched the instance, with ticks relative to issue.
  *
- * The parsers only understand the two formats this repo produces; no
- * external JSON library is needed (or available).
+ * All logic lives in src/trace/trace_report.{hh,cc} so tests can
+ * drive it over in-memory streams; this file is argument parsing.
  */
 
-#include <algorithm>
-#include <cstdint>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "run/crash_handler.hh"
 #include "run/provenance.hh"
-
-namespace
-{
-
-struct Ev
-{
-    std::uint64_t tick = 0;
-    std::string comp;   // "node3", "row0", "mem1", "fault256", ...
-    std::string phase;  // "Issue", "MemBounce", ...
-    std::string txn;    // "READ", "READMOD", ...
-    std::uint64_t addr = 0;
-    long long origin = -1;
-    std::uint64_t reqSeq = 0;
-    std::uint64_t serial = 0;
-    std::uint64_t params = 0;
-    long long aux = 0;
-};
-
-// ---------------------------------------------------------------------
-// Parsing
-// ---------------------------------------------------------------------
-
-/** Extract the number following @p key in @p line, or @p dflt. */
-long long
-numAfter(const std::string &line, const std::string &key, long long dflt)
-{
-    auto pos = line.find(key);
-    if (pos == std::string::npos)
-        return dflt;
-    return std::atoll(line.c_str() + pos + key.size());
-}
-
-/** Extract the quoted string following @p key in @p line. */
-std::string
-strAfter(const std::string &line, const std::string &key)
-{
-    auto pos = line.find(key);
-    if (pos == std::string::npos)
-        return "";
-    pos += key.size();
-    auto end = line.find('"', pos);
-    if (end == std::string::npos)
-        return "";
-    return line.substr(pos, end - pos);
-}
-
-/** One instant-event line of our Chrome JSON export. */
-bool
-parseJsonLine(const std::string &line, Ev &ev)
-{
-    if (line.find("\"ph\":\"i\"") == std::string::npos)
-        return false;
-    ev.phase = strAfter(line, "\"name\":\"");
-    ev.tick = numAfter(line, "\"tick\":", 0);
-    ev.txn = strAfter(line, "\"txn\":\"");
-    ev.addr = numAfter(line, "\"addr\":", 0);
-    ev.origin = numAfter(line, "\"origin\":", -1);
-    ev.reqSeq = numAfter(line, "\"reqSeq\":", 0);
-    ev.serial = numAfter(line, "\"serial\":", 0);
-    ev.params = numAfter(line, "\"params\":", 0);
-    ev.aux = numAfter(line, "\"aux\":", 0);
-    ev.comp = strAfter(line, "\"comp\":\"");
-    return !ev.phase.empty();
-}
-
-/** One line of the flat text export:
- *  tick comp phase txn addr=A org=O seq=S serial=R params=P aux=X */
-bool
-parseTextLine(const std::string &line, Ev &ev)
-{
-    std::istringstream iss(line);
-    std::string org;
-    if (!(iss >> ev.tick >> ev.comp >> ev.phase >> ev.txn))
-        return false;
-    ev.addr = numAfter(line, "addr=", 0);
-    auto pos = line.find("org=");
-    ev.origin = (pos != std::string::npos && line[pos + 4] == '-')
-                  ? -1
-                  : numAfter(line, "org=", -1);
-    ev.reqSeq = numAfter(line, "seq=", 0);
-    ev.serial = numAfter(line, "serial=", 0);
-    ev.params = numAfter(line, "params=", 0);
-    ev.aux = numAfter(line, "aux=", 0);
-    return true;
-}
-
-std::vector<Ev>
-parseFile(std::istream &in)
-{
-    std::vector<Ev> evs;
-    std::string line;
-    bool json = false;
-    bool sniffed = false;
-    while (std::getline(in, line)) {
-        if (!sniffed) {
-            auto c = line.find_first_not_of(" \t");
-            if (c == std::string::npos)
-                continue;
-            json = line[c] == '{';
-            sniffed = true;
-        }
-        Ev ev;
-        if (json ? parseJsonLine(line, ev) : parseTextLine(line, ev))
-            evs.push_back(std::move(ev));
-    }
-    return evs;
-}
-
-// ---------------------------------------------------------------------
-// Reconstruction
-// ---------------------------------------------------------------------
-
-struct Txn
-{
-    long long origin = -1;
-    std::uint64_t reqSeq = 0;
-    std::vector<const Ev *> hops;
-    const Ev *issue = nullptr;
-    const Ev *complete = nullptr;
-    unsigned bounces = 0;
-    unsigned relaunches = 0;
-    unsigned reissues = 0;
-    unsigned faults = 0;
-
-    std::uint64_t latency() const
-    {
-        return complete && issue ? complete->tick - issue->tick : 0;
-    }
-};
-
-const char *routeName(long long aux)
-{
-    switch (aux) {
-      case 1: return "to-owner-column";
-      case 2: return "home-shared";
-      case 3: return "to-memory";
-    }
-    return "?";
-}
-
-std::string
-detailOf(const Ev &ev)
-{
-    std::ostringstream oss;
-    if (ev.phase == "BusGrant")
-        oss << "queue-delay=" << ev.aux;
-    else if (ev.phase == "MltRoute")
-        oss << "route=" << routeName(ev.aux);
-    else if (ev.phase == "MemBounce")
-        oss << "chain=" << ev.aux;
-    else if (ev.phase == "MemServe" && ev.aux > 0)
-        oss << "after " << ev.aux << " bounce(s)";
-    else if (ev.phase == "WatchdogReissue")
-        oss << "next-timeout=" << ev.aux;
-    else if (ev.phase == "FaultInject")
-        oss << "kind=" << ev.aux;
-    else if (ev.phase == "Complete")
-        oss << "latency=" << ev.aux
-            << (ev.params ? " ok" : " failed");
-    return oss.str();
-}
-
-void
-printTxn(const Txn &t, unsigned rank)
-{
-    std::cout << "#" << rank << " node" << t.origin << " "
-              << t.issue->txn << " addr=" << t.issue->addr
-              << " seq=" << t.reqSeq << " latency=" << t.latency()
-              << " ticks";
-    if (t.bounces)
-        std::cout << " bounces=" << t.bounces;
-    if (t.relaunches)
-        std::cout << " relaunches=" << t.relaunches;
-    if (t.reissues)
-        std::cout << " wd-reissues=" << t.reissues;
-    if (t.faults)
-        std::cout << " faults=" << t.faults;
-    std::cout << "\n";
-    std::cout << "    " << std::left << std::setw(12) << "tick"
-              << std::setw(10) << "+delta" << std::setw(10) << "comp"
-              << std::setw(18) << "phase" << "detail\n";
-    for (const Ev *ev : t.hops) {
-        std::cout << "    " << std::left << std::setw(12) << ev->tick
-                  << std::setw(10) << ev->tick - t.issue->tick
-                  << std::setw(10) << ev->comp << std::setw(18)
-                  << ev->phase << detailOf(*ev) << "\n";
-    }
-}
-
-} // namespace
+#include "trace/trace_report.hh"
 
 int
 main(int argc, char **argv)
 {
     mcube::run::installCrashHandler("trace_report");
 
-    unsigned topK = 5;
-    long long addrFilter = -1;
+    mcube::tracereport::Options opt;
     std::string path;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a.rfind("--top=", 0) == 0)
-            topK = std::atoi(a.c_str() + 6);
+            opt.topK = std::atoi(a.c_str() + 6);
         else if (a.rfind("--addr=", 0) == 0)
-            addrFilter = std::atoll(a.c_str() + 7);
+            opt.addrFilter = std::atoll(a.c_str() + 7);
         else if (a == "--help" || a == "-h") {
             std::cout << "usage: trace_report [--top=K] [--addr=A] "
                          "<trace.json | trace.txt>\n";
@@ -263,70 +65,8 @@ main(int argc, char **argv)
         std::cerr << "trace_report: cannot open " << path << "\n";
         return 2;
     }
-    std::vector<Ev> evs = parseFile(in);
-    if (evs.empty()) {
+    int rc = mcube::tracereport::report(in, std::cout, opt);
+    if (rc != 0)
         std::cerr << "trace_report: no trace events in " << path << "\n";
-        return 1;
-    }
-
-    // Group by transaction instance. Events without an instance id
-    // (MLT mutations, untagged ops) contribute to totals only.
-    std::map<std::pair<long long, std::uint64_t>, Txn> txns;
-    std::map<std::string, unsigned> phaseCounts;
-    for (const Ev &ev : evs) {
-        ++phaseCounts[ev.phase];
-        if (ev.origin < 0 || ev.reqSeq == 0)
-            continue;
-        if (addrFilter >= 0
-            && ev.addr != static_cast<std::uint64_t>(addrFilter))
-            continue;
-        Txn &t = txns[{ev.origin, ev.reqSeq}];
-        t.origin = ev.origin;
-        t.reqSeq = ev.reqSeq;
-        t.hops.push_back(&ev);
-        if (ev.phase == "Issue" && !t.issue)
-            t.issue = &ev;
-        else if (ev.phase == "Complete")
-            t.complete = &ev;
-        else if (ev.phase == "MemBounce")
-            ++t.bounces;
-        else if (ev.phase == "Relaunch")
-            ++t.relaunches;
-        else if (ev.phase == "WatchdogReissue")
-            ++t.reissues;
-        else if (ev.phase == "FaultInject")
-            ++t.faults;
-    }
-
-    std::vector<const Txn *> complete;
-    unsigned incomplete = 0;
-    for (const auto &[key, t] : txns) {
-        if (t.issue && t.complete)
-            complete.push_back(&t);
-        else
-            ++incomplete;
-    }
-    std::sort(complete.begin(), complete.end(),
-              [](const Txn *a, const Txn *b) {
-                  return a->latency() > b->latency();
-              });
-
-    std::cout << "trace_report: " << evs.size() << " events, "
-              << txns.size() << " transaction instances ("
-              << complete.size() << " complete, " << incomplete
-              << " partial)\n";
-    std::cout << "phases:";
-    for (const auto &[phase, cnt] : phaseCounts)
-        std::cout << " " << phase << "=" << cnt;
-    std::cout << "\n\n";
-
-    if (complete.empty()) {
-        std::cout << "no completed transactions in the trace window\n";
-        return 0;
-    }
-    std::cout << "top " << std::min<std::size_t>(topK, complete.size())
-              << " slowest transactions:\n";
-    for (unsigned i = 0; i < topK && i < complete.size(); ++i)
-        printTxn(*complete[i], i + 1);
-    return 0;
+    return rc;
 }
