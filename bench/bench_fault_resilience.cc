@@ -32,6 +32,7 @@
 #include "core/checker.hh"
 #include "core/system.hh"
 #include "fault/fault_injector.hh"
+#include "fault/reconfig.hh"
 #include "proc/random_tester.hh"
 
 using namespace mcube;
@@ -169,6 +170,181 @@ runCampaign(int kind, int pct)
     return metrics;
 }
 
+// ---------------------------------------------------------------------
+// Experiment E8 — graceful degradation under fail-stop faults.
+// A 4x4 machine loses a row bus, a node, a memory module — or all
+// three, staggered — mid-campaign, and the degradation machinery
+// (watchdog detection, quarantine, epoch-based reconfiguration)
+// carries the surviving nodes to completion. The headline readings:
+//
+//   availability            1 - aborted/issued transactions: the
+//                           fraction of offered work the degraded
+//                           machine still completed;
+//   time_to_detect_*        kill -> detection latency per kill (ticks);
+//   time_to_reconfigure_*   kill -> epoch-cutover latency per kill;
+//   data_loss_lines         Modified lines lost by abrupt kills
+//                           (graceful retirement scrubs: exactly 0).
+//
+// Every scenario is fixed-seed and single-threaded deterministic:
+// reruns produce bit-identical BENCH json values.
+// ---------------------------------------------------------------------
+
+struct FailStopScenario
+{
+    const char *label;
+    bool graceful;
+    bool bus, node, mem;
+};
+
+const std::vector<FailStopScenario> kFailStops = {
+    {"failstop_bus_graceful", true, true, false, false},
+    {"failstop_bus_abrupt", false, true, false, false},
+    {"failstop_node_graceful", true, false, true, false},
+    {"failstop_node_abrupt", false, false, true, false},
+    {"failstop_mem_graceful", true, false, false, true},
+    {"failstop_mem_abrupt", false, false, false, true},
+    {"failstop_triple_graceful", true, true, true, true},
+    {"failstop_triple_abrupt", false, true, true, true},
+};
+
+FaultPlan
+failStopPlanFor(const FailStopScenario &sc)
+{
+    // Staggered mid-run kills: row bus 2 first, then node 13 (not on
+    // the dead row), then memory column 0 — the acceptance campaign.
+    FaultPlan plan;
+    plan.seed = 7;
+    if (sc.bus)
+        plan.specs.push_back(
+            FaultPlan::failStopBus(0, 2, 400'000, sc.graceful)
+                .specs[0]);
+    if (sc.node)
+        plan.specs.push_back(
+            FaultPlan::failStopNode(13, 900'000, sc.graceful)
+                .specs[0]);
+    if (sc.mem)
+        plan.specs.push_back(
+            FaultPlan::failStopMemory(0, 1'400'000, sc.graceful)
+                .specs[0]);
+    return plan;
+}
+
+Metrics
+runFailStopCampaign(const FailStopScenario &sc)
+{
+    SystemParams p;
+    p.n = 4;
+    p.seed = 1701;
+    p.ctrl.cache = {64, 4};
+    p.ctrl.mlt = {64, 4};
+    p.ctrl.requestTimeoutTicks = 300'000;
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, 128);
+    FaultInjector injector(sys, failStopPlanFor(sc));
+    injector.regStats(sys.statistics());
+
+    // Bench-scale detection thresholds (cf. tests/reconfig_test.cc):
+    // low enough that detection and cutover land well inside the run.
+    ReconfigParams rp;
+    rp.escalationThreshold = 2;
+    rp.detectThreshold = 2;
+    rp.drainTicks = 50'000;
+    rp.detectTimeoutTicks = 1'500'000;
+    ReconfigurationManager mgr(sys, failStopPlanFor(sc), &checker, rp);
+    mgr.regStats(sys.statistics());
+
+    RandomTesterParams tp;
+    tp.opsPerNode = 250;
+    tp.pTset = 0.1;
+    tp.seed = 23;
+    RandomTester tester(sys, checker, tp);
+    tester.setAddrFilter([&mgr](NodeId n, Addr a) {
+        return !mgr.requestRoutable(n, a);
+    });
+    tester.start();
+
+    sys.eventQueue().runUntil(10'000'000'000ull);
+    sys.drain(1'000'000'000ull);
+
+    const bool completed = tester.finished()
+                        && checker.violations() == 0
+                        && tester.readFailures() == 0;
+
+    std::map<std::string, double> stats;
+    sys.statistics().flatten(stats);
+    Metrics metrics(stats.begin(), stats.end());
+    const std::uint64_t issued = tester.opsIssued();
+    const std::uint64_t aborted = tester.opsAborted();
+    metrics["availability"] =
+        issued > 0
+            ? 1.0 - static_cast<double>(aborted)
+                        / static_cast<double>(issued)
+            : 0.0;
+    metrics["ops_issued"] = static_cast<double>(issued);
+    metrics["ops_aborted"] = static_cast<double>(aborted);
+    metrics["kills"] = static_cast<double>(mgr.kills());
+    metrics["detections"] = static_cast<double>(mgr.detections());
+    metrics["epochs"] = static_cast<double>(mgr.epoch());
+    metrics["data_loss_lines"] =
+        static_cast<double>(mgr.dataLossLines());
+    metrics["phantom_repairs"] =
+        static_cast<double>(mgr.phantomRepairs());
+    // Per-kill latency histograms, plus mean/max for dashboards.
+    auto emitLatencies = [&metrics](const char *prefix,
+                                    const std::vector<Tick> &lat) {
+        double sum = 0.0, mx = 0.0;
+        for (std::size_t i = 0; i < lat.size(); ++i) {
+            double v = static_cast<double>(lat[i]);
+            metrics[std::string(prefix) + "_" + std::to_string(i)] = v;
+            sum += v;
+            if (v > mx)
+                mx = v;
+        }
+        metrics[std::string(prefix) + "_count"] =
+            static_cast<double>(lat.size());
+        metrics[std::string(prefix) + "_mean"] =
+            lat.empty() ? 0.0 : sum / static_cast<double>(lat.size());
+        metrics[std::string(prefix) + "_max"] = mx;
+    };
+    emitLatencies("time_to_detect", mgr.detectLatencies());
+    emitLatencies("time_to_reconfigure", mgr.reconfigureLatencies());
+    const double ms = static_cast<double>(sys.eventQueue().now()) / 1e6;
+    metrics["ops_per_ms"] =
+        ms > 0 ? static_cast<double>(issued) / ms : 0.0;
+    metrics["completed"] = completed ? 1.0 : 0.0;
+    metrics["violations"] =
+        static_cast<double>(checker.violations());
+    metrics["sys_seed"] = 1701;
+    metrics["tester_seed"] = 23;
+    metrics["graceful"] = sc.graceful ? 1.0 : 0.0;
+    return metrics;
+}
+
+const bool kFailStopsDeclared = [] {
+    for (const FailStopScenario &sc : kFailStops)
+        declarePoint(sc.label, [&sc] { return runFailStopCampaign(sc); });
+    return true;
+}();
+
+void
+BM_FailStopDegradation(benchmark::State &state)
+{
+    const FailStopScenario &sc =
+        kFailStops[static_cast<std::size_t>(state.range(0))];
+    const Metrics &m = sweepPoint(sc.label);
+    for (auto _ : state)
+        state.SetIterationTime(m.at("wall_seconds"));
+    state.SetLabel(sc.label);
+    state.counters["availability"] = m.at("availability");
+    state.counters["time_to_detect_mean"] =
+        m.at("time_to_detect_mean");
+    state.counters["time_to_reconfigure_mean"] =
+        m.at("time_to_reconfigure_mean");
+    state.counters["data_loss_lines"] = m.at("data_loss_lines");
+    state.counters["completed"] = m.at("completed");
+    BenchJson::instance().record("fault_resilience", sc.label, m);
+}
+
 const bool kDeclared = [] {
     for (std::int64_t kind : kKinds) {
         for (std::int64_t pct : kFaultPcts) {
@@ -207,6 +383,13 @@ BM_FaultResilience(benchmark::State &state)
 BENCHMARK(BM_FaultResilience)
     ->ArgNames({"kind_dreq0_drep1_delay2_dup3", "fault_pct"})
     ->ArgsProduct({kKinds, kFaultPcts})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FailStopDegradation)
+    ->ArgName("scenario")
+    ->DenseRange(0, static_cast<int>(kFailStops.size()) - 1)
     ->Iterations(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);

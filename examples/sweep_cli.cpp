@@ -28,6 +28,15 @@
  *   --fault-drop=P         drop requests with probability P (enables
  *                          the transaction watchdog), so recovery
  *                          chains appear in the trace
+ *   --fault-plan=f.json    run every point under a full FaultPlan
+ *                          loaded from JSON (the same shape the fuzz
+ *                          campaign's repro artifacts and
+ *                          FaultPlan::toJson emit). Fail-stop specs
+ *                          get the complete degradation machinery:
+ *                          watchdog detection, quarantine and
+ *                          epoch-based reconfiguration. A malformed
+ *                          plan exits 4 with the parse reason
+ *                          (distinct from "cannot open", exit 2).
  *   --profile-out=p.json   self-profile of the *simulator* (host time
  *                          by component/domain + coupling analysis;
  *                          readable by tools/prof_report)
@@ -89,6 +98,7 @@
 #include "core/system.hh"
 #include "fault/fault_injector.hh"
 #include "fault/progress_monitor.hh"
+#include "fault/reconfig.hh"
 #include "mva/mva_model.hh"
 #include "proc/mix_workload.hh"
 #include "run/crash_handler.hh"
@@ -121,6 +131,9 @@ struct Options
     std::string metricsOut;
     Tick metricsPeriod = 50'000;
     double faultDrop = 0.0;
+    std::string faultPlanPath;
+    FaultPlan faultPlan;
+    bool haveFaultPlan = false;
     std::string profileOut;
     std::string profileFolded;
     bool progress = false;
@@ -188,6 +201,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.metricsPeriod = std::atoll(val.c_str());
         else if (key == "fault-drop")
             opt.faultDrop = std::atof(val.c_str());
+        else if (key == "fault-plan")
+            opt.faultPlanPath = val;
         else if (key == "profile-out")
             opt.profileOut = val;
         else if (key == "profile-folded")
@@ -222,6 +237,47 @@ parseArgs(int argc, char **argv, Options &opt)
         return false;
     }
     return true;
+}
+
+/**
+ * Load --fault-plan. Exit codes follow the artifact-shape convention
+ * (tools/fuzz_campaign): 0 ok, 2 cannot open, 4 the file itself is
+ * malformed — with faultPlanParseError's reason, so an unknown
+ * fault-kind string is called out by name instead of being silently
+ * defaulted.
+ */
+int
+loadFaultPlan(Options &opt)
+{
+    if (opt.faultPlanPath.empty())
+        return 0;
+    std::ifstream in(opt.faultPlanPath);
+    if (!in) {
+        std::cerr << "sweep_cli: cannot open " << opt.faultPlanPath
+                  << "\n";
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    Json j = Json::parse(ss.str(), &err);
+    if (!err.empty()) {
+        std::cerr << "sweep_cli: " << opt.faultPlanPath
+                  << ": bad JSON: " << err << "\n";
+        return 4;
+    }
+    if (std::string why = faultPlanParseError(j); !why.empty()) {
+        std::cerr << "sweep_cli: " << opt.faultPlanPath << ": " << why
+                  << "\n";
+        return 4;
+    }
+    if (!faultPlanFromJson(j, opt.faultPlan)) {
+        std::cerr << "sweep_cli: " << opt.faultPlanPath
+                  << ": fault plan does not parse\n";
+        return 4;
+    }
+    opt.haveFaultPlan = true;
+    return 0;
 }
 
 std::string
@@ -308,7 +364,7 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
     sp.n = opt.n;
     sp.seed = seed;
     sp.bus.blockWords = opt.block;
-    if (opt.faultDrop > 0.0)
+    if (opt.faultDrop > 0.0 || opt.haveFaultPlan)
         sp.ctrl.requestTimeoutTicks = 500'000;
     MulticubeSystem sys(sp);
 
@@ -338,9 +394,22 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
         tracer.activate();
 
     std::unique_ptr<FaultInjector> inj;
-    if (opt.faultDrop > 0.0)
+    std::unique_ptr<ReconfigurationManager> reconfig;
+    if (opt.haveFaultPlan) {
+        inj = std::make_unique<FaultInjector>(sys, opt.faultPlan);
+        inj->regStats(sys.statistics());
+        // Fail-stop specs need the full degradation machinery; no
+        // checker here — sweeps measure throughput, the coherence
+        // oracle lives in the tests and the fuzz campaign.
+        if (ReconfigurationManager::planNeedsReconfig(opt.faultPlan)) {
+            reconfig = std::make_unique<ReconfigurationManager>(
+                sys, opt.faultPlan);
+            reconfig->regStats(sys.statistics());
+        }
+    } else if (opt.faultDrop > 0.0) {
         inj = std::make_unique<FaultInjector>(
             sys, FaultPlan::dropRequests(opt.faultDrop));
+    }
 
     std::ofstream metrics;
     std::unique_ptr<MetricsSampler> sampler;
@@ -410,8 +479,11 @@ sweepIdentity(const Options &opt)
     std::ostringstream oss;
     oss << "sweep_cli|n=" << opt.n << "|seed=" << opt.seed
         << "|block=" << opt.block << "|ms=" << opt.simMs
-        << "|inv=" << opt.invFrac << "|drop=" << opt.faultDrop
-        << "|rates=";
+        << "|inv=" << opt.invFrac << "|drop=" << opt.faultDrop;
+    // The plan's *content* (not its path) determines the rows.
+    if (opt.haveFaultPlan)
+        oss << "|plan=" << toJson(opt.faultPlan).dump(-1);
+    oss << "|rates=";
     for (std::size_t i = 0; i < opt.rates.size(); ++i)
         oss << (i ? "," : "") << opt.rates[i];
     oss << "|rev=" << run::gitRevision();
@@ -428,6 +500,8 @@ main(int argc, char **argv)
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return 2;
+    if (int rc = loadFaultPlan(opt); rc != 0)
+        return rc;
 
     run::GracefulShutdown::install();
 
@@ -463,6 +537,8 @@ main(int argc, char **argv)
               << " --ms=" << opt.simMs << " --inv=" << opt.invFrac;
     if (opt.faultDrop > 0.0)
         std::cout << " --fault-drop=" << opt.faultDrop;
+    if (opt.haveFaultPlan)
+        std::cout << " --fault-plan=" << opt.faultPlanPath;
     std::cout << " --rates=";
     for (std::size_t i = 0; i < opt.rates.size(); ++i)
         std::cout << (i ? "," : "") << opt.rates[i];

@@ -49,6 +49,20 @@ To regenerate the baseline after an intentional change:
     python3 scripts/perf_check.py --update BENCH_simspeed.json \
         bench/baseline_simspeed.json
 
+Degraded-mode availability gate (no baseline file -- the thresholds
+are the contract):
+
+    python3 scripts/perf_check.py --availability-gate \
+        BENCH_fault_resilience.json
+
+Every failstop_* point recorded by bench_fault_resilience must have
+completed == 1 (every surviving transaction finished, checker clean)
+and availability >= --min-availability (default 0.99): even with a
+row bus, a node or a memory module fail-stopped mid-run, at most 1%
+of offered transactions may be aborted by the reconfiguration.
+Graceful points must additionally report data_loss_lines == 0 --
+a graceful retirement scrubs every Modified line before going dark.
+
 Exit status: 0 ok, 1 regression/mismatch, 2 usage or missing file.
 """
 
@@ -70,10 +84,50 @@ def load(path):
         sys.exit(2)
 
 
+def availability_gate(path, min_availability):
+    pts = load(path).get("points", {})
+    failstops = {k: v for k, v in sorted(pts.items())
+                 if k.startswith("failstop_")}
+    if not failstops:
+        print(f"perf_check: {path} has no failstop_* points -- did "
+              f"bench_fault_resilience run the degradation scenarios?",
+              file=sys.stderr)
+        return 1
+    failures = []
+    for label, vals in failstops.items():
+        avail = vals.get("availability", 0.0)
+        ok = (avail >= min_availability
+              and vals.get("completed", 0.0) == 1.0)
+        print(f"{label}: availability {avail:.4f} "
+              f"completed {vals.get('completed', 0.0):.0f} "
+              f"data_loss_lines {vals.get('data_loss_lines', 0.0):.0f} "
+              f"[{'ok' if ok else 'FAIL'}]")
+        if vals.get("completed", 0.0) != 1.0:
+            failures.append(
+                f"{label}: degraded run did not complete cleanly")
+        if avail < min_availability:
+            failures.append(
+                f"{label}: availability {avail:.4f} below "
+                f"{min_availability:.2f}")
+        if vals.get("graceful", 0.0) == 1.0 \
+                and vals.get("data_loss_lines", 0.0) != 0.0:
+            failures.append(
+                f"{label}: graceful retirement lost "
+                f"{vals.get('data_loss_lines', 0.0):.0f} line(s); "
+                f"must scrub to exactly 0")
+    if failures:
+        print("perf_check: FAILED", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("perf_check: ok")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
-    ap.add_argument("baseline")
+    ap.add_argument("baseline", nargs="?")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="max fractional throughput regression")
     ap.add_argument("--min-filter-speedup", type=float, default=1.0,
@@ -85,7 +139,19 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="rewrite BASELINE from CURRENT instead of "
                          "comparing")
+    ap.add_argument("--availability-gate", action="store_true",
+                    help="CURRENT is a BENCH_fault_resilience.json; "
+                         "check its failstop_* degradation points "
+                         "instead of comparing to a baseline")
+    ap.add_argument("--min-availability", type=float, default=0.99,
+                    help="min fraction of offered transactions the "
+                         "degraded machine must complete")
     args = ap.parse_args()
+
+    if args.availability_gate:
+        return availability_gate(args.current, args.min_availability)
+    if args.baseline is None:
+        ap.error("BASELINE is required unless --availability-gate")
 
     cur = load(args.current)
     if args.update:

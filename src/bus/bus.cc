@@ -12,6 +12,8 @@ Bus::Bus(std::string name, EventQueue &eq, const BusParams &params)
     : _name(std::move(name)), eq(eq), _params(params), stats(_name)
 {
     stats.addCounter("ops", statOps, "bus operations delivered");
+    stats.addCounter("dead_drops", statDeadDrops,
+                     "ops discarded because the bus fail-stopped");
     stats.addCounter("data_ops", statDataOps,
                      "operations carrying a data block");
     stats.addCounter("busy_ticks", statBusyTicks,
@@ -49,6 +51,12 @@ void
 Bus::request(unsigned slot, BusOp op)
 {
     assert(slot < queues.size());
+    if (dead_) {
+        ++statDeadDrops;
+        MCUBE_LOG(LogCat::Bus, eq.now(),
+                  _name << " DEAD drop slot=" << slot << " " << op);
+        return;
+    }
     if (faultHook) {
         FaultAction act = faultHook->onEnqueue(*this, op);
         if (act.drop) {
@@ -102,6 +110,12 @@ Bus::slabFree(std::uint32_t idx)
 void
 Bus::enqueue(unsigned slot, BusOp op)
 {
+    // A fault-delayed enqueue may land after a fail-stop; it dies on
+    // the dead wire like everything else.
+    if (dead_) {
+        ++statDeadDrops;
+        return;
+    }
     op.serial = nextSerial++;
     MCUBE_LOG(LogCat::Bus, eq.now(),
               _name << " enq slot=" << slot << " " << op);
@@ -144,7 +158,7 @@ Bus::occupancy(const BusOp &op) const
 void
 Bus::tryArbitrate()
 {
-    if (busy)
+    if (busy || dead_)
         return;
 
     MCUBE_PROF_SCOPE(profScope, ProfKind::BusArb, traceIndex, profDom);
@@ -233,6 +247,14 @@ Bus::deliver(const BusOp &op)
 {
     MCUBE_PROF_SCOPE(profScope, ProfKind::BusDeliver, traceIndex,
                      profDom);
+    if (dead_) {
+        // An in-flight grant whose delivery event was already
+        // scheduled when the bus died: the transfer never completes.
+        ++statDeadDrops;
+        assert(pending > 0);
+        --pending;
+        return;
+    }
     MCUBE_LOG(LogCat::Bus, eq.now(), _name << " deliver " << op);
     MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::BusDeliver, traceComp,
                             op.txn, op.params, traceIndex, op.origin,
@@ -258,6 +280,27 @@ Bus::deliver(const BusOp &op)
     for (std::size_t i = 0; i < agents.size(); ++i)
         if (!rejectScratch[i])
             agents[i]->snoop(op, modified_signal);
+}
+
+void
+Bus::failStop()
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    for (SlotQueue &q : queues) {
+        std::uint32_t idx = q.head;
+        while (idx != noEntry) {
+            std::uint32_t next = slab[idx].next;
+            slabFree(idx);
+            ++statDeadDrops;
+            assert(pending > 0);
+            --pending;
+            idx = next;
+        }
+        q.head = q.tail = noEntry;
+    }
+    MCUBE_LOG(LogCat::Bus, eq.now(), _name << " FAIL-STOP");
 }
 
 double

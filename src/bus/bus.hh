@@ -193,6 +193,19 @@ class Bus
     /** Pending (undelivered) op count, for drain checks. */
     std::size_t pendingOps() const { return pending; }
 
+    /**
+     * Fail-stop this bus permanently (docs/ROBUSTNESS.md): arbitration
+     * stops granting, every queued op is discarded, and later
+     * request() calls fall on deaf ears (counted in dead_drops).
+     * Already-granted in-flight deliveries are suppressed — the wire
+     * went silent mid-transfer. pendingOps() settles back to zero as
+     * those events fire, so drain() still terminates.
+     */
+    void failStop();
+
+    /** True once failStop() was called. */
+    bool dead() const { return dead_; }
+
     /** This bus's profiling domain (row i / col j / none). */
     ProfDomain profDomain() const { return profDom; }
 
@@ -262,10 +275,12 @@ class Bus
     std::vector<std::uint8_t> rejectScratch;
     unsigned lastGranted = 0;
     bool busy = false;
+    bool dead_ = false;  //!< failStop() latch; never cleared
     std::size_t pending = 0;
     std::uint64_t nextSerial = 1;
 
     Counter statOps;
+    Counter statDeadDrops;
     Counter statDataOps;
     Counter statBusyTicks;
     Distribution statQueueDelay;

@@ -187,9 +187,26 @@ CoherenceChecker::afterOp(const BusOp &op, bool is_row)
 }
 
 void
+CoherenceChecker::onLineLost(Addr addr, std::uint64_t stale_token)
+{
+    history.ref(addr).push_back({sys.eventQueue().now(), stale_token,
+                                 sys.eventQueue().now()});
+    pendingPurges.erase(addr);
+}
+
+void
+CoherenceChecker::onEpochTransition()
+{
+    sweepSuspects.clear();
+}
+
+void
 CoherenceChecker::checkLine(Addr addr)
 {
     const GridMap &grid = sys.gridMap();
+
+    if (quarantined && quarantined(addr))
+        return;
 
     unsigned modified_holders = 0;
     NodeId holder = invalidNode;
@@ -247,14 +264,28 @@ CoherenceChecker::fullSweep(bool strict)
 
     // I5: MLTs identical within each column. Inserts and removes are
     // column-wide broadcasts delivered atomically, so a column's
-    // tables never diverge even transiently — always strict.
+    // tables never diverge even transiently — always strict. Retired
+    // nodes froze their copy at the kill tick and are exempt; the
+    // first live row of each column is the reference (a fully dead
+    // column has no live table to check).
+    std::vector<unsigned> ref_row(n, n);
     for (unsigned c = 0; c < n; ++c) {
-        const ModifiedLineTable &ref = sys.node(0, c).table();
-        for (unsigned r = 1; r < n; ++r) {
+        for (unsigned r = 0; r < n; ++r) {
+            if (!sys.node(r, c).retired()) {
+                ref_row[c] = r;
+                break;
+            }
+        }
+        if (ref_row[c] == n)
+            continue;
+        const ModifiedLineTable &ref = sys.node(ref_row[c], c).table();
+        for (unsigned r = ref_row[c] + 1; r < n; ++r) {
+            if (sys.node(r, c).retired())
+                continue;
             if (!sys.node(r, c).table().identicalTo(ref)) {
                 std::ostringstream oss;
                 oss << "I5: MLT mismatch in column " << c << " (row "
-                    << r << " vs row 0)";
+                    << r << " vs row " << ref_row[c] << ")";
                 fail(oss.str());
             }
         }
@@ -269,7 +300,11 @@ CoherenceChecker::fullSweep(bool strict)
     std::vector<std::string> offences;
     std::unordered_map<Addr, unsigned> entry_col;
     for (unsigned c = 0; c < n; ++c) {
-        sys.node(0, c).table().forEach([&](Addr addr) {
+        if (ref_row[c] == n)
+            continue;  // fully dead column: tables are frozen
+        sys.node(ref_row[c], c).table().forEach([&](Addr addr) {
+            if (quarantined && quarantined(addr))
+                return;
             auto [it, fresh] = entry_col.emplace(addr, c);
             if (!fresh && it->second != c) {
                 std::ostringstream oss;
@@ -304,7 +339,7 @@ CoherenceChecker::fullSweep(bool strict)
     for (const auto &o : offences) {
         auto it = sweepSuspects.find(o);
         Tick first = it == sweepSuspects.end() ? now : it->second;
-        if (now - first >= suspectWindowTicks) {
+        if (degradedDepth == 0 && now - first >= suspectWindowTicks) {
             fail(o + " (persisted for " + std::to_string(now - first)
                  + " ticks)");
             first = now;  // re-report once per window, not per op

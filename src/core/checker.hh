@@ -32,6 +32,7 @@
 #define MCUBE_CORE_CHECKER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,6 +114,59 @@ class CoherenceChecker
     std::uint64_t opsObserved() const { return _ops; }
 
     /**
+     * @{
+     * Fail-stop reconfiguration cooperation (docs/ROBUSTNESS.md).
+     * Installed/driven by the ReconfigurationManager so the invariants
+     * stay meaningful within each degradation epoch and across the
+     * transition.
+     */
+
+    /**
+     * A dirty line owned by a killed node was lost; memory was
+     * revalidated with its stale copy holding @p stale_token. Appends
+     * a settled golden commit so I3/I4 compare against the value that
+     * is now architecturally visible, and forgets any purge wave still
+     * accounted against the line (its row ops died with the fault).
+     */
+    void onLineLost(Addr addr, std::uint64_t stale_token);
+
+    /**
+     * An epoch cutover ran: drop lenient-sweep suspects accumulated
+     * against the pre-transition topology (their repair window ended
+     * with the component, not with a repair op).
+     */
+    void onEpochTransition();
+
+    /**
+     * Predicate for addresses homed on a fail-stopped memory module.
+     * All invariants are suppressed for quarantined lines: their
+     * memory-side state is frozen mid-protocol and unreconstructable
+     * by design.
+     */
+    void setQuarantined(std::function<bool(Addr)> fn)
+    {
+        quarantined = std::move(fn);
+    }
+
+    /**
+     * A fail-stop kill executed: lines can legitimately sit in an
+     * owner-less tabled state until the cutover and the (bounded)
+     * phantom repairs settle, far longer than suspectWindowTicks.
+     * While at least one window is open, lenient-sweep I6/I7 offences
+     * keep aging but are not reported; per-op checks (I1-I4) and
+     * strict sweeps stay fully armed. Windows nest per kill; the
+     * manager closes each one a fixed lag after its cutover.
+     */
+    void beginDegradedWindow() { ++degradedDepth; }
+    void endDegradedWindow()
+    {
+        if (degradedDepth > 0)
+            --degradedDepth;
+    }
+
+    /** @} */
+
+    /**
      * Run the full sweep (I5-I7) immediately.
      *
      * @param strict Report I6/I7 offences right away. The periodic
@@ -159,6 +213,9 @@ class CoherenceChecker
     std::uint64_t fullInterval;
     std::vector<std::unique_ptr<Tap>> taps;
 
+    /** Non-null once a ReconfigurationManager quarantined a column. */
+    std::function<bool(Addr)> quarantined;
+
     FlatMap<Addr, std::vector<CommitEntry>> history;
     /** Row purges still outstanding per line. */
     FlatMap<Addr, unsigned> pendingPurges;
@@ -176,6 +233,9 @@ class CoherenceChecker
      * the budget is expressed in ticks, not sweep counts.
      */
     static constexpr Tick suspectWindowTicks = 10'000;
+
+    /** Open degradation windows (see beginDegradedWindow()). */
+    unsigned degradedDepth = 0;
 
     std::uint64_t _ops = 0;
     std::uint64_t _violations = 0;

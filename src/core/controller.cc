@@ -155,6 +155,8 @@ void
 SnoopController::sendRow(BusOp op)
 {
     assert(rowBus);
+    if (retired_)
+        return;  // dead silicon drives no wires
     op.sender = _id;
     rowBus->request(rowSlot, std::move(op));
 }
@@ -163,6 +165,8 @@ void
 SnoopController::sendCol(BusOp op)
 {
     assert(colBus);
+    if (retired_)
+        return;  // dead silicon drives no wires
     op.sender = _id;
     colBus->request(colSlot, std::move(op));
 }
@@ -179,8 +183,24 @@ SnoopController::sendDirected(BusOp op)
     }
     if (grid.sameColumn(_id, op.dest))
         sendCol(std::move(op));
-    else
+    else if (!rowRelayDead(op.dest))
         sendRow(std::move(op));  // relayed at (my row, dest's column)
+    else
+        sendCol(std::move(op));  // fallback: (dest's row, my column)
+}
+
+bool
+SnoopController::rowRelayDead(NodeId toward) const
+{
+    return !grid.reachable(
+        grid.nodeAt(grid.rowOf(_id), grid.colOf(toward)));
+}
+
+bool
+SnoopController::colRelayDead(NodeId toward) const
+{
+    return !grid.reachable(
+        grid.nodeAt(grid.rowOf(toward), grid.colOf(_id)));
 }
 
 void
@@ -191,8 +211,10 @@ SnoopController::routeReplyToward(NodeId org, BusOp op)
         sendRow(std::move(op));
     else if (grid.sameColumn(_id, org))
         sendCol(std::move(op));
-    else
+    else if (!rowRelayDead(org))
         sendRow(std::move(op));  // relayed at (my row, org's column)
+    else
+        sendCol(std::move(op));  // fallback: (org's row, my column)
 }
 
 // ---------------------------------------------------------------------
@@ -213,6 +235,8 @@ SnoopController::read(Addr addr, std::uint64_t &token_out,
 AccessOutcome
 SnoopController::readLine(Addr addr, LineData &data_out, CompletionCb cb)
 {
+    if (retired_ || draining_)
+        return AccessOutcome::Busy;
     CacheLine *line = cache.touch(addr);
     if (line && (line->mode == Mode::Shared
                  || line->mode == Mode::Modified
@@ -231,6 +255,8 @@ SnoopController::readLine(Addr addr, LineData &data_out, CompletionCb cb)
 AccessOutcome
 SnoopController::write(Addr addr, std::uint64_t token, CompletionCb cb)
 {
+    if (retired_ || draining_)
+        return AccessOutcome::Busy;
     CacheLine *line = cache.touch(addr);
     if (line && line->mode == Mode::Modified) {
         // A plain store is line-granular here: it overwrites the lock
@@ -266,6 +292,8 @@ AccessOutcome
 SnoopController::writeAllocate(Addr addr, std::uint64_t token,
                                CompletionCb cb)
 {
+    if (retired_ || draining_)
+        return AccessOutcome::Busy;
     CacheLine *line = cache.touch(addr);
     if (line && line->mode == Mode::Modified) {
         // Whole-line store semantics, as in write().
@@ -295,6 +323,8 @@ SnoopController::writeAllocate(Addr addr, std::uint64_t token,
 AccessOutcome
 SnoopController::testAndSet(Addr addr, bool &granted_out, CompletionCb cb)
 {
+    if (retired_ || draining_)
+        return AccessOutcome::Busy;
     CacheLine *line = cache.touch(addr);
     if (line && line->mode == Mode::Modified) {
         // Executed locally: the line already lives here.
@@ -322,6 +352,8 @@ AccessOutcome
 SnoopController::syncAcquire(Addr addr, bool &granted_out,
                              CompletionCb cb)
 {
+    if (retired_ || draining_)
+        return AccessOutcome::Busy;
     CacheLine *line = cache.touch(addr);
     if (line && line->mode == Mode::Modified) {
         if (line->data.lock == 0) {
@@ -343,6 +375,8 @@ SnoopController::syncAcquire(Addr addr, bool &granted_out,
 bool
 SnoopController::forceUnlock(Addr addr)
 {
+    if (retired_ || draining_)
+        return false;
     CacheLine *line = cache.find(addr);
     if (!line || line->mode != Mode::Modified)
         return false;
@@ -353,6 +387,8 @@ SnoopController::forceUnlock(Addr addr)
 bool
 SnoopController::release(Addr addr, std::uint64_t token)
 {
+    if (retired_ || draining_)
+        return false;
     CacheLine *line = cache.find(addr);
     if (!line || line->mode != Mode::Modified)
         return false;
@@ -379,6 +415,75 @@ SnoopController::release(Addr addr, std::uint64_t token)
 }
 
 // ---------------------------------------------------------------------
+// Fail-stop degradation API (docs/ROBUSTNESS.md)
+// ---------------------------------------------------------------------
+
+void
+SnoopController::abortPending()
+{
+    if (pending.stage == Stage::Idle)
+        return;
+    TxnResult res;
+    res.success = false;
+    res.aborted = true;
+    res.latency = eq.now() - pending.start;
+    CompletionCb cb = std::move(pending.cb);
+    // Resetting Pending bumps wdArm/seq out from under any armed
+    // watchdog timer, so stale timers die silently; the abort result
+    // deliberately bypasses complete()'s latency sampling (an aborted
+    // transaction never finished).
+    pending = Pending{};
+    if (cb)
+        eq.scheduleIn(0, [cb = std::move(cb), res] { cb(res); });
+}
+
+void
+SnoopController::retire()
+{
+    if (retired_)
+        return;
+    abortPending();
+    retired_ = true;
+    MCUBE_LOG(LogCat::Proto, eq.now(), name << " RETIRED (fail-stop)");
+}
+
+void
+SnoopController::beginDrain()
+{
+    if (retired_ || draining_)
+        return;
+    abortPending();
+    draining_ = true;
+    MCUBE_LOG(LogCat::Proto, eq.now(),
+              name << " DRAINING (graceful retire, processor closed)");
+}
+
+void
+SnoopController::goSilent()
+{
+    if (retired_ || silenced_)
+        return;
+    beginDrain();
+    silenced_ = true;
+    MCUBE_LOG(LogCat::Proto, eq.now(),
+              name << " SILENT (graceful retire, ports gated)");
+}
+
+void
+SnoopController::retireLine(Addr addr)
+{
+    CacheLine *line = cache.find(addr);
+    if (line && line->mode != Mode::Invalid)
+        purgeLine(line);
+}
+
+void
+SnoopController::dropTableEntry(Addr addr)
+{
+    mlt.remove(addr);
+}
+
+// ---------------------------------------------------------------------
 // Transaction initiation
 // ---------------------------------------------------------------------
 
@@ -402,6 +507,7 @@ SnoopController::startMiss(TxnType txn, Addr addr, std::uint64_t token,
     pending.seq = ++txnSeq;
     pending.nextTimeout = params.requestTimeoutTicks;
     pending.watchdogFired = false;
+    pending.reissueCount = 0;
     ++statMisses;
 
     if (prepareSlot()) {
@@ -533,6 +639,13 @@ SnoopController::watchdogFire(std::uint64_t seq, std::uint64_t arm)
 
     ++statWatchdogReissues;
     pending.watchdogFired = true;
+    ++pending.reissueCount;
+    if (onWatchdogReissue) {
+        // The hook must not mutate this controller synchronously (we
+        // are mid-reissue); the ReconfigurationManager only bumps
+        // detection counters and schedules events from it.
+        onWatchdogReissue(_id, pending.addr, pending.reissueCount);
+    }
     MCUBE_TRACE((TraceEvent{eq.now(), TracePhase::WatchdogReissue,
                             TraceComp::Controller, pending.txn,
                             op::Request, _id, _id, pending.addr,
@@ -654,6 +767,8 @@ SnoopController::complete(bool success, const LineData &data,
 bool
 SnoopController::Port::supplyModifiedSignal(const BusOp &op)
 {
+    if (owner->retired_ || owner->silenced_)
+        return false;  // dead (or dying-silent) silicon asserts nothing
     if (!isRow || !op.is(op::Request) || op.is(op::Direct))
         return false;
     SnoopController &c = *owner;
@@ -678,6 +793,8 @@ SnoopController::Port::snoop(const BusOp &op, bool modified_signal)
     // Domain is inherited from the enclosing Bus::deliver scope.
     MCUBE_PROF_SCOPE(profScope, ProfKind::CtrlSnoop,
                      static_cast<std::uint32_t>(owner->_id), {});
+    if (owner->retired_ || owner->silenced_)
+        return;
     if (isRow)
         owner->snoopRow(op, modified_signal);
     else
@@ -688,6 +805,14 @@ bool
 SnoopController::Port::snoopRejects(const BusOp &op)
 {
     SnoopController &c = *owner;
+    if (c.retired_ || c.silenced_) {
+        // A retired (or silenced dying) node neither asserts the
+        // modified signal nor reacts to any op, so both delivery
+        // passes may always be skipped — independent of the
+        // snoop-filter setting.
+        (void)op;
+        return true;
+    }
     if (!c.params.snoopFilter)
         return false;
 
@@ -732,8 +857,11 @@ SnoopController::Port::snoopRejects(const BusOp &op)
         }
     } else {
         if (op.is(op::Direct)) {
-            // snoopCol acts only for the destination itself.
-            if (op.dest != c._id) {
+            // snoopCol acts for the destination itself — or for the
+            // dest's row-mate relaying a column-first fallback route
+            // (never present in a healthy grid: the only row-mate of
+            // dest on a column carrying its ops is dest itself).
+            if (op.dest != c._id && !c.grid.sameRow(c._id, op.dest)) {
                 ++c.statFilterRejects;
                 return true;
             }
@@ -908,11 +1036,27 @@ SnoopController::rowReply(const BusOp &op)
         } else {
             trySnarf(op);
         }
-        if (op.is(op::Update) && onHomeColumn(op.addr)) {
+        if (op.is(op::Update) && onHomeColumn(op.addr)
+            && grid.sameRow(_id, op.origin)) {
             // Home-column controller writes the line back to memory.
+            // Only on org's own row (every healthy read reply's row
+            // leg): on a degraded fallback leg along the *owner's* row
+            // the update is org's to deliver once the reply reaches it
+            // — forwarding here too would double-deliver, and a late
+            // second update can stale-revalidate memory after it
+            // already served a newer owner.
             BusOp upd = op;
             upd.params = op::Update | op::Memory;
             sendCol(upd);
+        }
+        if (!mine && op.is(op::Update) && !op.is(op::Memory)
+            && grid.sameColumn(_id, op.origin)) {
+            // Degraded fallback leg (docs/ROBUSTNESS.md): the owner's
+            // column relay toward org was dead, so the read reply came
+            // along the owner's row; forward it onto org's column.
+            // Never taken in a healthy grid — a same-row serve has no
+            // column-mate of org other than org itself on the bus.
+            sendCol(op);
         }
         break;
 
@@ -1023,8 +1167,14 @@ SnoopController::snoopCol(const BusOp &op, bool modified_signal)
 {
     (void)modified_signal;
     if (op.is(op::Direct)) {
-        if (op.dest == _id)
+        if (op.dest == _id) {
             handleSyncDirect(op);
+        } else if (grid.sameRow(_id, op.dest)) {
+            // Degraded fallback leg (docs/ROBUSTNESS.md): a directed
+            // op routed column-first because the sender's row relay
+            // was dead; the dest's row-mate forwards it on.
+            sendRow(op);
+        }
         return;
     }
     if (op.is(op::Request) && op.is(op::Remove)) {
@@ -1127,9 +1277,13 @@ SnoopController::serveAsOwner(const BusOp &op)
         } else if (grid.sameRow(_id, org)) {
             reply.params = op::Reply | op::Update;
             sendRow(reply);
-        } else {
+        } else if (!colRelayDead(org)) {
             reply.params = op::Reply | op::Update;
             sendCol(reply);
+        } else {
+            // Fallback: relayed at (my row, org's column) instead.
+            reply.params = op::Reply | op::Update;
+            sendRow(reply);
         }
         break;
       }
@@ -1154,8 +1308,10 @@ SnoopController::serveAsOwner(const BusOp &op)
         if (grid.sameColumn(_id, org)) {
             reply.params |= op::Insert;
             sendCol(reply);
-        } else {
+        } else if (!rowRelayDead(org)) {
             sendRow(reply);
+        } else {
+            sendCol(reply);  // fallback: (org's row, my column)
         }
         break;
       }
@@ -1176,7 +1332,10 @@ SnoopController::serveAsOwner(const BusOp &op)
                 sendCol(reply);
             } else {
                 reply.params = op::Reply;
-                sendRow(reply);
+                if (!rowRelayDead(org))
+                    sendRow(reply);
+                else
+                    sendCol(reply);  // fallback: (org's row, my column)
             }
         } else {
             // Lock held. The REMOVE side effect already cleared the
@@ -1365,6 +1524,14 @@ SnoopController::colReply(const BusOp &op)
                        && (op.hasData || op.txn == TxnType::Allocate)) {
                 parkUnclaimedReply(op, true);
             }
+        } else if (!mine && grid.sameRow(_id, op.origin)) {
+            // Degraded fallback leg (docs/ROBUSTNESS.md): the owner's
+            // row relay toward org was dead, so the grant came up the
+            // owner's column as a plain reply; forward it onto org's
+            // row (org installs and broadcasts its own INSERT). Never
+            // taken in a healthy grid — cross-column grants always
+            // travel row-first there.
+            sendRow(op);
         }
         break;
 
@@ -1622,8 +1789,10 @@ SnoopController::syncGrantTo(NodeId next, CacheLine *line)
     if (grid.sameColumn(_id, next)) {
         reply.params = op::Reply | op::Insert;
         sendCol(reply);
-    } else {
+    } else if (!rowRelayDead(next)) {
         sendRow(reply);
+    } else {
+        sendCol(reply);  // fallback: (next's row, my column)
     }
 }
 
@@ -1728,6 +1897,17 @@ SnoopController::finishHandoff(Addr addr)
         handoffs.erase(it);
         CacheLine *line = cache.find(addr);
         if (line && line->mode == Mode::Modified) {
+            if (!grid.reachable(next)) {
+                // The grantee fail-stopped while our hand-off REMOVE
+                // was in flight. Granting anyway would purge the only
+                // copy into a dead port; abandon the hand-off, free
+                // the lock, and reinstate the table entry the REMOVE
+                // just stripped from our column.
+                line->data.lock = 0;
+                line->data.next = invalidNode;
+                sendCol(makeOp(TxnType::Sync, op::Insert, addr, _id));
+                return;
+            }
             syncGrantTo(next, line);
         }
         // If the line was stolen between release() and now, the

@@ -130,6 +130,10 @@ struct TxnResult
     bool success = true;   //!< test-and-set / sync: lock acquired
     LineData data{};       //!< line contents delivered (reads)
     Tick latency = 0;      //!< issue-to-completion time
+    /** The transaction was cancelled by a fail-stop reconfiguration
+     *  (docs/ROBUSTNESS.md); data is meaningless and no global state
+     *  changed on this node's behalf. */
+    bool aborted = false;
 };
 
 /** Outcome of a processor-side access attempt. */
@@ -229,6 +233,69 @@ class SnoopController
      *  maintain the golden per-line value. */
     std::function<void(Addr, std::uint64_t)> onCommitWrite;
 
+    /** Hook invoked on every watchdog reissue with the per-transaction
+     *  reissue count; the ReconfigurationManager feeds its fail-stop
+     *  detection counters from it (docs/ROBUSTNESS.md). */
+    std::function<void(NodeId, Addr, unsigned)> onWatchdogReissue;
+
+    /**
+     * @{
+     * Fail-stop degradation API (docs/ROBUSTNESS.md), driven by the
+     * ReconfigurationManager — never by the protocol engine itself.
+     */
+
+    /**
+     * Fail-stop this node permanently: the outstanding transaction (if
+     * any) is aborted, both ports go silent (no snooping, no modified
+     * signal), and every later processor access returns Busy. Local
+     * cache/MLT contents are left in place for the manager to audit —
+     * quarantine of the dead state happens at the epoch cutover.
+     */
+    void retire();
+
+    /**
+     * Graceful-retire phase 1: close the processor side. The pending
+     * transaction (if any) is aborted, later processor accesses return
+     * Busy and retired() reads true so workloads park their agents —
+     * but both ports stay fully alive: in-flight replies to the
+     * aborted request are still parked back to memory, and the node
+     * keeps serving its modified lines (transferring ownership to
+     * live requesters instead of stranding it).
+     */
+    void beginDrain();
+
+    /**
+     * Graceful-retire phase 2: silence both ports (no snooping, no
+     * modified signal — indistinguishable from dead on the wire), so
+     * no new reply naming this node is ever queued on a bus that is
+     * about to fail-stop. Requests for its remaining modified lines
+     * bounce off the invalid memory copy until the final scrub
+     * revalidates them. Cache and MLT contents stay in place for that
+     * scrub. Implies beginDrain().
+     */
+    void goSilent();
+
+    /** True once the node stopped accepting processor requests —
+     *  retire() or beginDrain() (a drained node is about to die). */
+    bool retired() const { return retired_ || draining_; }
+
+    /**
+     * Cancel the outstanding transaction with an aborted TxnResult
+     * (fires the callback from a fresh event, like a completion).
+     * Used on live nodes whose pending address was quarantined.
+     */
+    void abortPending();
+
+    /** Epoch cutover: invalidate any local copy of @p addr (counted as
+     *  an invalidation; onPurge fires so subset properties hold). */
+    void retireLine(Addr addr);
+
+    /** Epoch cutover: drop the MLT entry for @p addr, if present,
+     *  keeping the presence filter in sync. */
+    void dropTableEntry(Addr addr);
+
+    /** @} */
+
     /** @{ Introspection for tests and the coherence checker. */
     const CacheArray &cacheArray() const { return cache; }
     const ModifiedLineTable &table() const { return mlt; }
@@ -323,6 +390,7 @@ class SnoopController
         std::uint64_t wdArm = 0;         //!< watchdog arm generation
         Tick nextTimeout = 0;            //!< current backoff interval
         bool watchdogFired = false;      //!< at least one reissue
+        unsigned reissueCount = 0;       //!< watchdog reissues so far
     };
 
     /** BusAgent adapters: one per attached bus so the controller can
@@ -424,6 +492,15 @@ class SnoopController
     void syncRestart();
     /** Reverse-route a dataless ACK/FAIL reply toward @p org. */
     void routeReplyToward(NodeId org, BusOp op);
+    /** @{ Degraded-mode reply routing (docs/ROBUSTNESS.md). A
+     *  cross-grid reply normally hops through one relay node; when a
+     *  fail-stop retired that relay, the sender flips to the other
+     *  diagonal — relayed at (toward's row, my column) instead of
+     *  (my row, toward's column), or vice versa. Both predicates are
+     *  free while no node has been marked unreachable. */
+    bool rowRelayDead(NodeId toward) const;
+    bool colRelayDead(NodeId toward) const;
+    /** @} */
     /** Finish (or abandon) an in-flight lock hand-off for @p addr. */
     void finishHandoff(Addr addr);
     /** A data-carrying reply addressed to us found no matching
@@ -487,6 +564,12 @@ class SnoopController
     /** Serial of a row request this node decided to drop (fault
      *  injection); checked in the snoop pass. */
     std::uint64_t droppedSerial = 0;
+
+    /** retire() latch; never cleared. Gates both ports and the
+     *  processor-side API. */
+    bool retired_ = false;
+    bool draining_ = false;   //!< beginDrain(): processor side closed
+    bool silenced_ = false;   //!< goSilent(): ports gated too
 
     Counter statHits;
     Counter statMisses;

@@ -46,6 +46,9 @@ class MulticubeSystem
 
     EventQueue &eventQueue() { return eq; }
     const GridMap &gridMap() const { return grid; }
+    /** Mutable map, for the ReconfigurationManager's unreachable
+     *  marking (docs/ROBUSTNESS.md); everything else reads it. */
+    GridMap &gridMap() { return grid; }
     unsigned n() const { return grid.n(); }
     unsigned numNodes() const { return grid.numNodes(); }
 

@@ -23,6 +23,12 @@ toString(FaultKind kind)
         return "duplicate";
       case FaultKind::Outage:
         return "outage";
+      case FaultKind::FailStopBus:
+        return "fail_stop_bus";
+      case FaultKind::FailStopNode:
+        return "fail_stop_node";
+      case FaultKind::FailStopMemory:
+        return "fail_stop_memory";
     }
     return "?";
 }
@@ -32,7 +38,8 @@ faultKindFromString(const std::string &name, FaultKind &out)
 {
     for (auto k : {FaultKind::DropRequest, FaultKind::DropReply,
                    FaultKind::Delay, FaultKind::Duplicate,
-                   FaultKind::Outage}) {
+                   FaultKind::Outage, FaultKind::FailStopBus,
+                   FaultKind::FailStopNode, FaultKind::FailStopMemory}) {
         if (name == toString(k)) {
             out = k;
             return true;
@@ -103,6 +110,51 @@ FaultPlan::outages(double prob, Tick outage_ticks, std::uint64_t seed)
     return p;
 }
 
+namespace
+{
+
+FaultPlan
+singleFailStop(FaultKind kind, Tick at_tick, bool graceful)
+{
+    FaultPlan p;
+    FaultSpec s;
+    s.kind = kind;
+    s.atTick = at_tick;
+    s.graceful = graceful;
+    p.specs.push_back(s);
+    return p;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::failStopBus(int dim, int index, Tick at_tick, bool graceful)
+{
+    FaultPlan p = singleFailStop(FaultKind::FailStopBus, at_tick,
+                                 graceful);
+    p.specs[0].busDim = dim;
+    p.specs[0].busIndex = index;
+    return p;
+}
+
+FaultPlan
+FaultPlan::failStopNode(int node, Tick at_tick, bool graceful)
+{
+    FaultPlan p = singleFailStop(FaultKind::FailStopNode, at_tick,
+                                 graceful);
+    p.specs[0].targetNode = node;
+    return p;
+}
+
+FaultPlan
+FaultPlan::failStopMemory(int column, Tick at_tick, bool graceful)
+{
+    FaultPlan p = singleFailStop(FaultKind::FailStopMemory, at_tick,
+                                 graceful);
+    p.specs[0].busIndex = column;
+    return p;
+}
+
 Json
 toJson(const FaultSpec &spec)
 {
@@ -129,6 +181,12 @@ toJson(const FaultSpec &spec)
         j.set("active_until", spec.activeUntil);
     if (spec.unsafe)
         j.set("unsafe", true);
+    if (spec.targetNode >= 0)
+        j.set("target_node", spec.targetNode);
+    if (spec.atTick != 0)
+        j.set("at_tick", spec.atTick);
+    if (spec.graceful)
+        j.set("graceful", true);
     return j;
 }
 
@@ -171,6 +229,9 @@ faultSpecFromJson(const Json &j, FaultSpec &out)
     out.activeFrom = j.u64("active_from", 0);
     out.activeUntil = j.u64("active_until", maxTick);
     out.unsafe = j.flag("unsafe", false);
+    out.targetNode = static_cast<int>(j.i64("target_node", -1));
+    out.atTick = j.u64("at_tick", 0);
+    out.graceful = j.flag("graceful", false);
     return true;
 }
 
@@ -191,6 +252,36 @@ faultPlanFromJson(const Json &j, FaultPlan &out)
         out.specs.push_back(std::move(s));
     }
     return true;
+}
+
+std::string
+faultPlanParseError(const Json &j)
+{
+    if (!j.isObject())
+        return "fault plan is not a JSON object";
+    const Json &specs = j.at("specs");
+    if (!specs.isArray() && !specs.isNull())
+        return "fault plan \"specs\" is not an array";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const Json &sj = specs.at(i);
+        std::string idx = "fault spec " + std::to_string(i);
+        if (!sj.isObject())
+            return idx + " is not a JSON object";
+        FaultKind k;
+        if (!faultKindFromString(sj.str("kind"), k))
+            return idx + ": unknown fault kind \"" + sj.str("kind")
+                 + "\"";
+        if (sj.has("txn")) {
+            TxnType t;
+            if (!txnTypeFromString(sj.str("txn"), t))
+                return idx + ": unknown transaction type \""
+                     + sj.str("txn") + "\"";
+        }
+    }
+    FaultPlan scratch;
+    if (!faultPlanFromJson(j, scratch))
+        return "fault plan does not parse";
+    return "";
 }
 
 FaultInjector::FaultInjector(MulticubeSystem &sys, const FaultPlan &plan)
@@ -285,6 +376,13 @@ FaultInjector::eligible(FaultKind kind, const BusOp &op)
         // ops arriving inside the window is decided per op (safe
         // drops vs. deferral) in decide().
         return true;
+      case FaultKind::FailStopBus:
+      case FaultKind::FailStopNode:
+      case FaultKind::FailStopMemory:
+        // Time-triggered, not op-triggered: the ReconfigurationManager
+        // executes the kill at the spec's atTick. The enqueue hook
+        // never fires these.
+        return false;
     }
     return false;
 }
@@ -301,6 +399,10 @@ FaultInjector::eligibleUnsafe(FaultKind kind, const BusOp &op)
       case FaultKind::Delay:
       case FaultKind::Outage:
         return true;
+      case FaultKind::FailStopBus:
+      case FaultKind::FailStopNode:
+      case FaultKind::FailStopMemory:
+        return false;
     }
     return false;
 }
@@ -411,6 +513,12 @@ FaultInjector::decide(const Hook &hook, const BusOp &op)
             }
             ++statOutageDefer;
             act.delayTicks += spec.outageTicks;
+            break;
+          case FaultKind::FailStopBus:
+          case FaultKind::FailStopNode:
+          case FaultKind::FailStopMemory:
+            // Never reached: eligible() rejects fail-stop kinds, so
+            // specApplies() cannot fire them from the enqueue hook.
             break;
         }
     }

@@ -80,6 +80,19 @@ enum class FaultKind : std::uint8_t
      * every reissue inside the window is swallowed too.
      */
     Outage,
+    /**
+     * @{ Permanent fail-stop faults. Unlike every kind above, these
+     * are not recoverable by retry: the component dies at the spec's
+     * atTick and stays dead. They are executed by the
+     * ReconfigurationManager (src/fault/reconfig.hh), not by the
+     * injector's enqueue hook — eligible() returns false for them, so
+     * a plan mixing fail-stops with transient faults behaves exactly
+     * like the transient-only plan until the kill fires.
+     */
+    FailStopBus,     //!< kill one bus (busDim/busIndex select it)
+    FailStopNode,    //!< kill one snooping controller (targetNode)
+    FailStopMemory,  //!< kill one memory module (busIndex = column)
+    /** @} */
 };
 
 /** Text name of a fault kind (stat names, reports, JSON). */
@@ -99,10 +112,25 @@ struct FaultSpec
     Tick delayTicks = 2000;
     /** Window length for FaultKind::Outage. */
     Tick outageTicks = 20'000;
-    /** Restrict to row (0) or column (1) buses; -1 = both. */
+    /** Restrict to row (0) or column (1) buses; -1 = both. For
+     *  FailStopBus this *selects* the victim and both fields are
+     *  required (>= 0). */
     int busDim = -1;
-    /** Restrict to one bus index within the dimension; -1 = all. */
+    /** Restrict to one bus index within the dimension; -1 = all. For
+     *  FailStopMemory this selects the victim column. */
     int busIndex = -1;
+    /** FailStopNode only: the controller to kill. */
+    int targetNode = -1;
+    /** FailStop kinds only: simulated time the component dies. */
+    Tick atTick = 0;
+    /**
+     * FailStop kinds only: graceful retire. The dying component gets
+     * an (unrealistically clairvoyant, but useful as the availability
+     * upper bound) scrub pass first — every Modified line it owns is
+     * written back to a live home memory before the kill — so no data
+     * is lost and data_loss_lines stays 0.
+     */
+    bool graceful = false;
     /** Restrict to one transaction type. */
     std::optional<TxnType> txn{};
     /**
@@ -142,6 +170,12 @@ struct FaultPlan
     static FaultPlan duplicates(double prob, std::uint64_t seed = 1);
     static FaultPlan outages(double prob, Tick outage_ticks,
                              std::uint64_t seed = 1);
+    static FaultPlan failStopBus(int dim, int index, Tick at_tick,
+                                 bool graceful = false);
+    static FaultPlan failStopNode(int node, Tick at_tick,
+                                  bool graceful = false);
+    static FaultPlan failStopMemory(int column, Tick at_tick,
+                                    bool graceful = false);
     /** @} */
 };
 
@@ -152,6 +186,14 @@ Json toJson(const FaultSpec &spec);
 Json toJson(const FaultPlan &plan);
 bool faultSpecFromJson(const Json &j, FaultSpec &out);
 bool faultPlanFromJson(const Json &j, FaultPlan &out);
+
+/**
+ * Why faultPlanFromJson(@p j, ...) would fail, as a distinct,
+ * actionable message ("" if the plan parses). An unknown fault-kind
+ * string is named verbatim rather than silently defaulting — the
+ * exit-code-4 convention CLI loaders follow for corrupt artifacts.
+ */
+std::string faultPlanParseError(const Json &j);
 /** @} */
 
 /**

@@ -1,0 +1,802 @@
+#include "fault/reconfig.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "sim/log.hh"
+
+namespace mcube
+{
+
+namespace
+{
+
+bool
+isFailStop(FaultKind k)
+{
+    return k == FaultKind::FailStopBus || k == FaultKind::FailStopNode
+        || k == FaultKind::FailStopMemory;
+}
+
+} // namespace
+
+bool
+ReconfigurationManager::planNeedsReconfig(const FaultPlan &plan)
+{
+    for (const FaultSpec &s : plan.specs)
+        if (isFailStop(s.kind))
+            return true;
+    return false;
+}
+
+ReconfigurationManager::ReconfigurationManager(
+    MulticubeSystem &sys, const FaultPlan &plan,
+    CoherenceChecker *checker, const ReconfigParams &params)
+    : sys(sys), checker(checker), params(params), stats("reconfig")
+{
+    stats.addCounter("kills", statKills, "fail-stop kills executed");
+    stats.addCounter("detections", statDetections,
+                     "kills detected (escalation or timeout)");
+    stats.addCounter("timeout_detections", statTimeoutDetections,
+                     "kills detected only by the fallback deadline");
+    stats.addCounter("epochs", statEpochs,
+                     "degradation epoch transitions completed");
+    stats.addCounter("data_loss_lines", statDataLoss,
+                     "dirty lines lost to fail-stops");
+    stats.addCounter("aborted_txns", statAborted,
+                     "in-flight transactions aborted at cutovers");
+    stats.addCounter("quarantined_nodes", statQuarantinedNodes,
+                     "snooping controllers retired");
+    stats.addCounter("phantom_repairs", statPhantomRepairs,
+                     "stuck lines repaired by the lazy phantom path");
+    stats.addHistogram("time_to_detect", statTimeToDetect,
+                       "kill-to-detection latency (ticks)");
+    stats.addHistogram("time_to_reconfigure", statTimeToReconfigure,
+                       "detection-to-cutover latency (ticks)");
+
+    retired_.assign(sys.numNodes(), 0);
+    quarCols.assign(sys.n(), 0);
+
+    for (const FaultSpec &s : plan.specs) {
+        if (!isFailStop(s.kind))
+            continue;
+        Kill k;
+        k.spec = s;
+        kills_.push_back(std::move(k));
+    }
+
+    EventQueue &eq = sys.eventQueue();
+    for (std::size_t k = 0; k < kills_.size(); ++k) {
+        Tick at = std::max(kills_[k].spec.atTick, eq.now());
+        eq.schedule(at, [this, k] { executeKill(k); });
+    }
+
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        sys.node(id).onWatchdogReissue =
+            [this](NodeId node, Addr addr, unsigned count) {
+                onReissue(node, addr, count);
+            };
+    }
+
+    if (checker) {
+        checker->setQuarantined(
+            [this](Addr addr) { return addrQuarantined(addr); });
+    }
+}
+
+bool
+ReconfigurationManager::addrQuarantined(Addr addr) const
+{
+    if (!anyQuarantine)
+        return false;
+    return quarCols[sys.gridMap().homeColumn(addr)] != 0;
+}
+
+bool
+ReconfigurationManager::nodeRetired(NodeId id) const
+{
+    return retired_[id] != 0;
+}
+
+bool
+ReconfigurationManager::requestRoutable(NodeId req, Addr addr) const
+{
+    if (addrQuarantined(addr))
+        return false;
+    const GridMap &grid = sys.gridMap();
+    if (!grid.reachable(req))
+        return false;
+    unsigned hc = grid.homeColumn(addr);
+    if (grid.colOf(req) != hc
+        && !grid.reachable(grid.nodeAt(grid.rowOf(req), hc)))
+        return false;
+    // A modified owner is reached through req's row-mate on the
+    // owner's column (the MLT forward); home-column reachability alone
+    // is not enough while someone else owns the line.
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        if (sys.node(id).modeOf(addr) != Mode::Modified)
+            continue;
+        unsigned oc = grid.colOf(id);
+        if (grid.colOf(req) != oc
+            && !grid.reachable(grid.nodeAt(grid.rowOf(req), oc)))
+            return false;
+        break;
+    }
+    return true;
+}
+
+void
+ReconfigurationManager::regStats(StatGroup &parent)
+{
+    parent.addChild(stats);
+}
+
+// ---------------------------------------------------------------------
+// Kill execution
+// ---------------------------------------------------------------------
+
+void
+ReconfigurationManager::retireNode(NodeId id, Kill &kill)
+{
+    if (retired_[id])
+        return;
+    retired_[id] = 1;
+    SnoopController &c = sys.node(id);
+    if (c.busy())
+        kill.inFlightAddrs.push_back(c.pendingAddr());
+    c.retire();
+    sys.gridMap().markUnreachable(id);
+    kill.deadNodes.push_back(id);
+    ++statQuarantinedNodes;
+}
+
+void
+ReconfigurationManager::dropTableColumnWide(unsigned column, Addr addr)
+{
+    // Dropping from already-retired copies too is harmless (frozen
+    // tables are never consulted again) and keeps the loop branchless.
+    for (unsigned r = 0; r < sys.n(); ++r)
+        sys.node(r, column).dropTableEntry(addr);
+}
+
+void
+ReconfigurationManager::scrubNode(NodeId id)
+{
+    // Graceful retire: clairvoyant write-back of every dirty line the
+    // dying node owns into a (still-)live home memory, with the table
+    // entries dropped column-wide so the surviving grid sees a clean
+    // unmodified line. Locks die with their holder: the scrubbed copy
+    // is stored unlocked.
+    const GridMap &grid = sys.gridMap();
+    SnoopController &c = sys.node(id);
+    std::vector<Addr> dirty;
+    c.cacheArray().forEach([&](const CacheLine &l) {
+        if (l.mode == Mode::Modified)
+            dirty.push_back(l.addr);
+    });
+    for (Addr a : dirty) {
+        unsigned home = grid.homeColumn(a);
+        if (quarCols[home])
+            continue;  // home died in an earlier kill: quarantine rules
+        LineData d = c.dataOf(a);
+        bool lock_line = d.lock != 0 || d.next != invalidNode;
+        d.lock = 0;
+        d.next = invalidNode;
+        sys.memory(home).poke(a, d, true);
+        dropTableColumnWide(grid.colOf(id), a);
+        c.retireLine(a);
+        if (lock_line) {
+            // Waiters may be chained on the dying holder; make sure
+            // the cutover aborts their stranded transactions.
+            scrubbedLockAddrs.push_back(a);
+        }
+    }
+}
+
+void
+ReconfigurationManager::scrubColumn(unsigned column)
+{
+    // Graceful memory retire: flush every live cache's dirty line that
+    // is homed on the dying column into its memory before the kill, so
+    // the frozen store holds current data (recoverable off-line) and
+    // data_loss_lines stays 0.
+    const GridMap &grid = sys.gridMap();
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        if (retired_[id])
+            continue;
+        SnoopController &c = sys.node(id);
+        std::vector<Addr> dirty;
+        c.cacheArray().forEach([&](const CacheLine &l) {
+            if (l.mode == Mode::Modified
+                && grid.homeColumn(l.addr) == column)
+                dirty.push_back(l.addr);
+        });
+        for (Addr a : dirty) {
+            LineData d = c.dataOf(a);
+            d.lock = 0;
+            d.next = invalidNode;
+            sys.memory(column).poke(a, d, true);
+            dropTableColumnWide(grid.colOf(id), a);
+            c.retireLine(a);
+        }
+    }
+}
+
+std::vector<NodeId>
+ReconfigurationManager::killTargets(const Kill &kill) const
+{
+    const FaultSpec &spec = kill.spec;
+    const GridMap &grid = sys.gridMap();
+    std::vector<NodeId> targets;
+    switch (spec.kind) {
+      case FaultKind::FailStopNode:
+        targets.push_back(static_cast<NodeId>(spec.targetNode));
+        break;
+      case FaultKind::FailStopBus: {
+        unsigned idx = static_cast<unsigned>(spec.busIndex);
+        for (unsigned i = 0; i < sys.gridMap().n(); ++i)
+            targets.push_back(spec.busDim == 0 ? grid.nodeAt(idx, i)
+                                               : grid.nodeAt(i, idx));
+        break;
+      }
+      default:
+        break;  // memory kills retire no nodes
+    }
+    return targets;
+}
+
+void
+ReconfigurationManager::drainNode(NodeId id)
+{
+    if (retired_[id])
+        return;
+    SnoopController &c = sys.node(id);
+    if (c.busy())
+        ++statAborted;  // the drain aborts it (service interruption)
+    c.beginDrain();
+    // Route new traffic around the dying node immediately: replies
+    // pick their fallback diagonal and workload filters stop issuing
+    // requests that would relay through it, so nothing is queued
+    // toward a component that is about to go silent.
+    sys.gridMap().markUnreachable(id);
+}
+
+void
+ReconfigurationManager::quarantineColumnNow(unsigned column, Kill &kill)
+{
+    quarCols[column] = 1;
+    anyQuarantine = true;
+    kill.quarantineColumn = static_cast<int>(column);
+}
+
+void
+ReconfigurationManager::executeKill(std::size_t ki)
+{
+    Kill &kill = kills_[ki];
+    const FaultSpec &spec = kill.spec;
+    if (!spec.graceful) {
+        darken(ki);
+        return;
+    }
+
+    // Graceful phase 1: close the processor side of every node this
+    // kill will retire (their in-flight replies still get parked by
+    // their own live ports) and fence new traffic off a dying memory
+    // column. The component itself stays up, serving and transferring
+    // ownership to live requesters, until the darken tick.
+    MCUBE_LOG(LogCat::Bus, sys.eventQueue().now(),
+              "reconfig: graceful " << toString(spec.kind)
+                                    << " kill " << ki << " quiescing");
+    for (NodeId id : killTargets(kill))
+        drainNode(id);
+    if (spec.kind == FaultKind::FailStopMemory
+        || (spec.kind == FaultKind::FailStopBus && spec.busDim == 1))
+        quarantineColumnNow(static_cast<unsigned>(spec.busIndex), kill);
+
+    EventQueue &eq = sys.eventQueue();
+    eq.scheduleIn(params.gracefulQuiesceTicks / 2,
+                  [this, ki] { silenceKill(ki); });
+    eq.scheduleIn(params.gracefulQuiesceTicks,
+                  [this, ki] { darken(ki); });
+}
+
+void
+ReconfigurationManager::silenceKill(std::size_t ki)
+{
+    // Graceful phase 2: the dying nodes go silent on the wire, so no
+    // reply naming them is ever queued on a bus that is about to die.
+    for (NodeId id : killTargets(kills_[ki]))
+        if (!retired_[id])
+            sys.node(id).goSilent();
+}
+
+void
+ReconfigurationManager::darken(std::size_t ki)
+{
+    Kill &kill = kills_[ki];
+    assert(!kill.executed);
+    kill.executed = true;
+    anyKillExecuted = true;
+    kill.killedAt = sys.eventQueue().now();
+    ++statKills;
+    const FaultSpec &spec = kill.spec;
+    const unsigned n = sys.n();
+    if (checker)
+        checker->beginDegradedWindow();
+
+    MCUBE_LOG(LogCat::Bus, kill.killedAt,
+              "reconfig: executing " << toString(spec.kind)
+                                     << " kill (graceful="
+                                     << spec.graceful << ")");
+
+    switch (spec.kind) {
+      case FaultKind::FailStopNode: {
+        NodeId target = static_cast<NodeId>(spec.targetNode);
+        assert(spec.targetNode >= 0 && target < sys.numNodes());
+        if (spec.graceful)
+            scrubNode(target);
+        retireNode(target, kill);
+        break;
+      }
+
+      case FaultKind::FailStopBus: {
+        assert(spec.busDim >= 0 && spec.busIndex >= 0
+               && static_cast<unsigned>(spec.busIndex) < n);
+        unsigned idx = static_cast<unsigned>(spec.busIndex);
+        if (spec.busDim == 0) {
+            // A dead row bus severs every node on the row from the
+            // request network; the whole row retires.
+            if (spec.graceful)
+                for (unsigned c = 0; c < n; ++c)
+                    scrubNode(sys.gridMap().nodeAt(idx, c));
+            sys.rowBus(idx).failStop();
+            for (unsigned c = 0; c < n; ++c)
+                retireNode(sys.gridMap().nodeAt(idx, c), kill);
+        } else {
+            // A dead column bus takes the column's nodes *and* its
+            // memory module with it: nothing on the column can be
+            // reached any more, so the column's address range is
+            // quarantined too.
+            if (spec.graceful) {
+                for (unsigned r = 0; r < n; ++r)
+                    scrubNode(sys.gridMap().nodeAt(r, idx));
+                scrubColumn(idx);
+            }
+            sys.colBus(idx).failStop();
+            sys.memory(idx).failStop();
+            for (unsigned r = 0; r < n; ++r)
+                retireNode(sys.gridMap().nodeAt(r, idx), kill);
+            quarantineColumnNow(idx, kill);
+        }
+        break;
+      }
+
+      case FaultKind::FailStopMemory: {
+        assert(spec.busIndex >= 0
+               && static_cast<unsigned>(spec.busIndex) < n);
+        unsigned column = static_cast<unsigned>(spec.busIndex);
+        if (spec.graceful)
+            scrubColumn(column);
+        sys.memory(column).failStop();
+        quarantineColumnNow(column, kill);
+        break;
+      }
+
+      default:
+        assert(false && "non-fail-stop spec scheduled as a kill");
+        break;
+    }
+
+    // Graceful scrubs of lock lines may leave live waiters chained on
+    // a holder that no longer exists; route them into the cutover's
+    // abort set.
+    for (Addr a : scrubbedLockAddrs)
+        kill.inFlightAddrs.push_back(a);
+    scrubbedLockAddrs.clear();
+
+    // Fallback deadline: even if no surviving traffic trips over the
+    // corpse, the kill is detected eventually.
+    sys.eventQueue().scheduleIn(params.detectTimeoutTicks, [this, ki] {
+        if (!kills_[ki].detected)
+            detect(ki, true);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Detection
+// ---------------------------------------------------------------------
+
+void
+ReconfigurationManager::onReissue(NodeId node, Addr addr, unsigned count)
+{
+    (void)node;
+    if (count < params.escalationThreshold)
+        return;
+
+    // An escalated report is a symptom of *some* dead component; it
+    // counts toward every executed-but-undetected kill. (Attribution
+    // is deliberately coarse — real watchdog hardware cannot tell
+    // which corpse its request died on either.)
+    for (std::size_t k = 0; k < kills_.size(); ++k) {
+        Kill &kill = kills_[k];
+        if (!kill.executed || kill.detected)
+            continue;
+        if (++kill.detectCount >= params.detectThreshold)
+            detect(k, false);
+    }
+
+    // Lazy phantom repair bookkeeping (only meaningful once a kill has
+    // happened: transient-only escalations always self-heal).
+    if (!anyKillExecuted)
+        return;
+    if (!requestRoutable(node, addr)) {
+        // The request physically cannot be served on the degraded grid
+        // (its relay row-mate died, possibly after the op was issued —
+        // ownership moves). Abort it rather than let it escalate
+        // forever; the line itself is fine, so don't feed the phantom
+        // tracker. Abort from a fresh event, never inside watchdogFire.
+        sys.eventQueue().scheduleIn(0, [this, node, addr] {
+            SnoopController &c = sys.node(node);
+            if (!retired_[node] && c.busy() && c.pendingAddr() == addr
+                && !requestRoutable(node, addr)) {
+                c.abortPending();
+                ++statAborted;
+            }
+        });
+        return;
+    }
+    Tick now = sys.eventQueue().now();
+    Tick &first = stuckSince.ref(addr);
+    if (first == 0) {
+        first = now;
+    } else if (now - first >= params.phantomGraceTicks) {
+        // Repair from a fresh event, never from inside watchdogFire.
+        sys.eventQueue().scheduleIn(
+            0, [this, addr] { tryPhantomRepair(addr); });
+    }
+}
+
+void
+ReconfigurationManager::detect(std::size_t ki, bool by_timeout)
+{
+    Kill &kill = kills_[ki];
+    if (kill.detected)
+        return;
+    kill.detected = true;
+    kill.detectedAt = sys.eventQueue().now();
+    ++statDetections;
+    if (by_timeout)
+        ++statTimeoutDetections;
+    Tick lat = kill.detectedAt - kill.killedAt;
+    statTimeToDetect.sample(static_cast<double>(lat));
+    _detectLatencies.push_back(lat);
+    MCUBE_LOG(LogCat::Bus, kill.detectedAt,
+              "reconfig: kill " << ki << " detected after " << lat
+                                << " ticks"
+                                << (by_timeout ? " (timeout)" : ""));
+    sys.eventQueue().scheduleIn(params.drainTicks,
+                                [this, ki] { cutover(ki); });
+}
+
+// ---------------------------------------------------------------------
+// Epoch cutover
+// ---------------------------------------------------------------------
+
+void
+ReconfigurationManager::loseLine(NodeId owner, Addr addr)
+{
+    const GridMap &grid = sys.gridMap();
+    unsigned home = grid.homeColumn(addr);
+    ++statDataLoss;
+    if (quarCols[home]) {
+        // Dirty and homed on a dead memory: doubly gone; nothing to
+        // revalidate.
+        return;
+    }
+    MemoryModule &mem = sys.memory(home);
+    LineData stale = mem.lineData(addr);
+    stale.lock = 0;
+    stale.next = invalidNode;
+    mem.poke(addr, stale, true);
+    MCUBE_LOG(LogCat::Bus, sys.eventQueue().now(),
+              "reconfig: line " << addr << " (dirty at dead node "
+                                << owner << ") lost; memory "
+                                << "revalidated with stale token "
+                                << stale.token);
+    if (checker)
+        checker->onLineLost(addr, stale.token);
+}
+
+void
+ReconfigurationManager::abortPendingOn(Addr addr)
+{
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        if (retired_[id])
+            continue;
+        SnoopController &c = sys.node(id);
+        if (c.busy() && c.pendingAddr() == addr) {
+            c.abortPending();
+            ++statAborted;
+        }
+    }
+}
+
+void
+ReconfigurationManager::flushUnservableLines(std::vector<Addr> &affected)
+{
+    const GridMap &grid = sys.gridMap();
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        if (retired_[id])
+            continue;
+        SnoopController &c = sys.node(id);
+        std::vector<Addr> doomed;
+        c.cacheArray().forEach([&](const CacheLine &l) {
+            if (l.mode != Mode::Modified)
+                return;
+            unsigned home = grid.homeColumn(l.addr);
+            if (quarCols[home] || home == grid.colOf(id))
+                return;
+            if (!grid.reachable(grid.nodeAt(grid.rowOf(id), home)))
+                doomed.push_back(l.addr);
+        });
+        for (Addr a : doomed) {
+            // The owner is alive but its write-back path (the row-mate
+            // on the home column) died: flush the *current* data
+            // straight into memory — a modeled recovery write, not a
+            // loss — and retire the cached copy so nothing dirty is
+            // ever stranded behind the hole.
+            LineData d = c.dataOf(a);
+            bool lock_line = d.lock != 0 || d.next != invalidNode;
+            d.lock = 0;
+            d.next = invalidNode;
+            sys.memory(grid.homeColumn(a)).poke(a, d, true);
+            dropTableColumnWide(grid.colOf(id), a);
+            c.retireLine(a);
+            MCUBE_LOG(LogCat::Bus, sys.eventQueue().now(),
+                      "reconfig: flushed unservable line " << a
+                          << " from live node " << id);
+            if (lock_line)
+                affected.push_back(a);
+        }
+    }
+
+    // Abort live pendings that can no longer be served on the degraded
+    // grid (their relay row-mate died under them).
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        if (retired_[id])
+            continue;
+        SnoopController &c = sys.node(id);
+        if (c.busy() && !requestRoutable(id, c.pendingAddr())) {
+            c.abortPending();
+            ++statAborted;
+        }
+    }
+}
+
+void
+ReconfigurationManager::cutover(std::size_t ki)
+{
+    Kill &kill = kills_[ki];
+    assert(kill.detected);
+    if (kill.reconfigured)
+        return;
+    kill.reconfigured = true;
+    Tick lat = sys.eventQueue().now() - kill.detectedAt;
+    statTimeToReconfigure.sample(static_cast<double>(lat));
+    _reconfigLatencies.push_back(lat);
+    ++statEpochs;
+    const GridMap &grid = sys.gridMap();
+    const unsigned n = sys.n();
+
+    MCUBE_LOG(LogCat::Bus, sys.eventQueue().now(),
+              "reconfig: epoch " << statEpochs.value()
+                                 << " cutover for kill " << ki);
+
+    std::vector<Addr> affected = kill.inFlightAddrs;
+
+    // 1. Audit the dead caches: dirty lines die with their owner
+    //    (graceful scrubs emptied them at the kill tick), table
+    //    entries naming the corpse leave the surviving column copies,
+    //    and the frozen cache is purged so the checker's holder scans
+    //    agree with the revalidated memory.
+    for (NodeId d : kill.deadNodes) {
+        SnoopController &dc = sys.node(d);
+        std::vector<std::pair<Addr, Mode>> entries;
+        dc.cacheArray().forEach([&](const CacheLine &l) {
+            if (l.mode != Mode::Invalid)
+                entries.emplace_back(l.addr, l.mode);
+        });
+        for (const auto &[a, m] : entries) {
+            if (m == Mode::Modified) {
+                dropTableColumnWide(grid.colOf(d), a);
+                loseLine(d, a);
+                affected.push_back(a);
+            }
+            dc.retireLine(a);
+        }
+    }
+
+    // 2. Quarantine the dead memory's address range out of every live
+    //    cache and table: those lines are frozen mid-protocol and no
+    //    live copy can ever be written back or re-fetched.
+    if (kill.quarantineColumn >= 0) {
+        unsigned qc = static_cast<unsigned>(kill.quarantineColumn);
+        for (NodeId id = 0; id < sys.numNodes(); ++id) {
+            if (retired_[id])
+                continue;
+            SnoopController &c = sys.node(id);
+            std::vector<std::pair<Addr, Mode>> doomed;
+            c.cacheArray().forEach([&](const CacheLine &l) {
+                if (l.mode != Mode::Invalid
+                    && grid.homeColumn(l.addr) == qc)
+                    doomed.emplace_back(l.addr, l.mode);
+            });
+            for (const auto &[a, m] : doomed) {
+                if (m == Mode::Modified) {
+                    // Dirty with an unreachable home: lost outright.
+                    ++statDataLoss;
+                    dropTableColumnWide(grid.colOf(id), a);
+                }
+                c.retireLine(a);
+            }
+        }
+        // Sweep surviving tables for quarantined entries whose cached
+        // copy is already gone (e.g. owned by a node audited above).
+        for (unsigned col = 0; col < n; ++col) {
+            unsigned live_row = n;
+            for (unsigned r = 0; r < n; ++r) {
+                if (!retired_[grid.nodeAt(r, col)]) {
+                    live_row = r;
+                    break;
+                }
+            }
+            if (live_row == n)
+                continue;
+            std::vector<Addr> drop;
+            sys.node(live_row, col).table().forEach([&](Addr a) {
+                if (grid.homeColumn(a) == qc)
+                    drop.push_back(a);
+            });
+            for (Addr a : drop)
+                dropTableColumnWide(col, a);
+        }
+        // Abort every live transaction bound for the dead memory.
+        for (NodeId id = 0; id < sys.numNodes(); ++id) {
+            if (retired_[id])
+                continue;
+            SnoopController &c = sys.node(id);
+            if (c.busy() && grid.homeColumn(c.pendingAddr()) == qc) {
+                c.abortPending();
+                ++statAborted;
+            }
+        }
+    }
+
+    // 2b. Live nodes on rows that lost their relay to some home
+    //     column flush those dirty lines and drop the stranded
+    //     pendings (no loss: the flush moves current data).
+    flushUnservableLines(affected);
+
+    // 3. Abort transactions stranded on lines the kill touched (the
+    //    dead nodes' own pendings may root live waiter chains, and a
+    //    lost line's waiters would otherwise spin on a bounce loop
+    //    until the phantom repair caught them) — and seed the phantom
+    //    repair path for each of them: a grant that died in flight
+    //    into the corpse leaves a line nobody may ever request again
+    //    (its waiters were just aborted), so the lazy report-driven
+    //    repair alone would never fire.
+    EventQueue &eq = sys.eventQueue();
+    for (Addr a : affected) {
+        abortPendingOn(a);
+        if (addrQuarantined(a))
+            continue;
+        Tick &first = stuckSince.ref(a);
+        if (first == 0)
+            first = eq.now();
+        eq.scheduleIn(params.phantomGraceTicks,
+                      [this, a] { tryPhantomRepair(a); });
+    }
+
+    if (checker) {
+        checker->onEpochTransition();
+        // Close this kill's degraded window once every bounded repair
+        // above has had time to settle.
+        eq.scheduleIn(degradedWindowLag(),
+                      [this] { checker->endDegradedWindow(); });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lazy phantom repair
+// ---------------------------------------------------------------------
+
+Tick
+ReconfigurationManager::degradedWindowLag() const
+{
+    // A phantom is repaired at most first-report + grace + one full
+    // (capped, jittered) watchdog backoff period + the settle delay
+    // after the cutover; the cutover-seeded repairs are bounded by
+    // grace + settle alone. Add the checker's own suspect window so a
+    // last-instant offence ages out inside the lag too.
+    const ControllerParams &cp = sys.params().ctrl;
+    Tick backoff = (cp.requestTimeoutTicks << cp.watchdogBackoffShift)
+                 + cp.watchdogJitterTicks;
+    return params.phantomGraceTicks + params.repairSettleTicks
+         + 2 * backoff + 10'000;
+}
+
+bool
+ReconfigurationManager::looksPhantom(Addr addr) const
+{
+    if (addrQuarantined(addr))
+        return false;
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        // A holder — live, or dead-but-not-yet-cut-over (the cutover
+        // owns that accounting) — means the line is not a phantom.
+        if (sys.node(id).modeOf(addr) == Mode::Modified)
+            return false;
+    }
+    return !sys.memory(sys.gridMap().homeColumn(addr)).lineValid(addr);
+}
+
+void
+ReconfigurationManager::tryPhantomRepair(Addr addr)
+{
+    // Re-verify everything at repair time: the line may have healed
+    // (or been cut over) since the report that scheduled us.
+    if (!stuckSince.contains(addr))
+        return;
+    if (addrQuarantined(addr)) {
+        stuckSince.erase(addr);
+        return;
+    }
+    if (!looksPhantom(addr)) {
+        stuckSince.erase(addr);
+        return;
+    }
+    // Looks owner-less right now — but so does a line whose ownership
+    // transfer is legitimately on a live wire for a few bus latencies.
+    // Only commit the repair if it still looks that way after a settle
+    // window no real transfer can span.
+    sys.eventQueue().scheduleIn(
+        params.repairSettleTicks,
+        [this, addr] { confirmPhantomRepair(addr); });
+}
+
+void
+ReconfigurationManager::confirmPhantomRepair(Addr addr)
+{
+    if (!stuckSince.contains(addr))
+        return;  // a concurrent confirm already repaired it
+    if (!looksPhantom(addr)) {
+        stuckSince.erase(addr);
+        return;
+    }
+
+    // Genuinely stuck: no owner anywhere, memory invalid, across the
+    // whole settle window. The line's last value died in flight into a
+    // dead component; repair with the stale memory copy.
+    MemoryModule &mem = sys.memory(sys.gridMap().homeColumn(addr));
+    for (unsigned col = 0; col < sys.n(); ++col)
+        dropTableColumnWide(col, addr);
+    LineData stale = mem.lineData(addr);
+    stale.lock = 0;
+    stale.next = invalidNode;
+    mem.poke(addr, stale, true);
+    ++statDataLoss;
+    ++statPhantomRepairs;
+    MCUBE_LOG(LogCat::Bus, sys.eventQueue().now(),
+              "reconfig: phantom line " << addr
+                                        << " repaired with stale token "
+                                        << stale.token);
+    if (checker)
+        checker->onLineLost(addr, stale.token);
+    stuckSince.erase(addr);
+    // Its waiters were aborted at the cutover (or are bouncing on the
+    // watchdog); un-stick anyone who re-requested meanwhile.
+    abortPendingOn(addr);
+}
+
+} // namespace mcube

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Fail-stop detection, quarantine, and epoch-based reconfiguration.
+ *
+ * The paper's robustness story (Appendix A / "Timing Considerations")
+ * covers *transient* losses: any dropped or mis-routed op eventually
+ * bounces off the memory valid bit and retries. A permanently dead
+ * component breaks that loop — requests for its lines bounce forever.
+ * The ReconfigurationManager closes it for fail-stop faults
+ * (docs/ROBUSTNESS.md):
+ *
+ *  1. **Kill.** FaultPlan specs of the FailStop* kinds name a victim
+ *     (a row/column bus, one snooping controller, or one memory
+ *     module) and a tick. At that tick the manager darkens the
+ *     component: Bus::failStop / SnoopController::retire /
+ *     MemoryModule::failStop, plus GridMap::markUnreachable for every
+ *     retired node. Nothing else learns of the fault — the surviving
+ *     protocol engines keep reissuing into the void.
+ *
+ *  2. **Detect.** Every controller's watchdog reissue feeds the
+ *     onWatchdogReissue hook with its per-transaction reissue count.
+ *     Reports at or past `escalationThreshold` reissues count toward
+ *     each executed-but-undetected kill; at `detectThreshold` such
+ *     reports the kill is *detected* (time_to_detect sampled). A
+ *     deadline at kill + detectTimeoutTicks force-detects kills that
+ *     no surviving traffic happens to trip over.
+ *
+ *  3. **Reconfigure.** drainTicks after detection the epoch cutover
+ *     runs: dead caches are audited, MLT entries and presence-filter
+ *     counts naming retired owners are purged from the surviving
+ *     column copies, memory is revalidated with its stale copy for
+ *     every dirty line that died (counted in data_loss_lines and
+ *     recorded in the checker's golden history via onLineLost), lines
+ *     homed on a dead memory module are quarantined out of every live
+ *     cache, and in-flight transactions touching affected lines are
+ *     aborted (TxnResult::aborted). Service resumes on the surviving
+ *     grid; epochs counts the transitions.
+ *
+ * A *graceful* retire (FaultSpec::graceful) is staged so nothing is
+ * ever lost in flight: at atTick the dying nodes close their
+ * processor side (pendings aborted, workload agents park, in-flight
+ * replies still parked back to memory) and any dying memory column is
+ * quarantined from new traffic; half a quiesce window later the dying
+ * nodes silence their ports (no reply naming them is ever queued on a
+ * bus about to die — requests for their lines bounce off the invalid
+ * memory copy and retry); at atTick + gracefulQuiesceTicks the
+ * clairvoyant scrub writes every dirty line the dying component still
+ * owns back to a live home memory and the component darkens. With the
+ * wire quiet by construction, data_loss_lines stays 0 — the
+ * availability/durability upper bound for the same kill.
+ *
+ * Losses the cutover cannot see (a grant in flight into a component
+ * that died before claiming it leaves a tabled line with no owner)
+ * self-heal lazily: escalation reports age per line, and once a line
+ * has been stuck past phantomGraceTicks with no live modified holder
+ * and an invalid memory copy, the manager repairs it — table entries
+ * dropped, memory revalidated stale, loss counted — and the next
+ * watchdog reissue is served normally. Because a line can also look
+ * owner-less for the instant an ownership transfer is legitimately on
+ * a live wire, every repair re-verifies after repairSettleTicks and
+ * only then commits. The cutover seeds the same path for every
+ * address the dead nodes had in flight, so phantoms whose waiters it
+ * aborted (and which no one may ever touch again) still get repaired
+ * deterministically.
+ *
+ * The checker cooperates across the window where all of this is in
+ * motion: each executed kill opens a "degraded window"
+ * (CoherenceChecker::beginDegradedWindow) in which lenient-sweep
+ * I6/I7 offences age without being reported — a tabled line whose
+ * owner just died *is* the symptom being repaired — and the manager
+ * closes it a fixed lag after the cutover, sized so every bounded
+ * repair above has settled. Per-op invariants and strict sweeps stay
+ * armed throughout.
+ *
+ * Everything here is deterministic: no RNG, all decisions are pure
+ * functions of (tick, hook call stream), so fixed-seed runs remain
+ * bit-identical — the PR 4/5 determinism contract.
+ */
+
+#ifndef MCUBE_FAULT_RECONFIG_HH
+#define MCUBE_FAULT_RECONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "sim/flat_map.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcube
+{
+
+class MulticubeSystem;
+class CoherenceChecker;
+
+/** Tuning knobs of the detection/reconfiguration state machine. */
+struct ReconfigParams
+{
+    /** Watchdog reissues on one transaction before its report counts
+     *  as a fail-stop symptom (transients recover in one or two). */
+    unsigned escalationThreshold = 3;
+    /** Escalated reports needed to declare a kill detected. */
+    unsigned detectThreshold = 4;
+    /** Detection-to-cutover delay, letting in-flight ops on surviving
+     *  buses deliver before the state audit runs. */
+    Tick drainTicks = 200'000;
+    /** Force detection this long after a kill even if no surviving
+     *  traffic trips over the corpse. */
+    Tick detectTimeoutTicks = 8'000'000;
+    /** How long a line must stay stuck (escalations, no live modified
+     *  holder, invalid memory) before the lazy phantom repair fires.
+     *  Must exceed any legitimate in-flight ownership-transfer window. */
+    Tick phantomGraceTicks = 200'000;
+    /** Graceful kills only: delay between the spec's atTick (processor
+     *  side closes) and the actual darkening; the dying component's
+     *  ports silence halfway through. Sized so in-flight replies land
+     *  and the dying component's queued traffic drains first. */
+    Tick gracefulQuiesceTicks = 100'000;
+    /** A repair candidate must still look like a phantom after this
+     *  settle delay before the repair commits — an ownership transfer
+     *  legitimately on a live wire lands well within it. */
+    Tick repairSettleTicks = 10'000;
+};
+
+/**
+ * Executes the FailStop* specs of a FaultPlan against a system and
+ * degrades it gracefully. Construct after the system and the checker;
+ * plans without fail-stop specs need no manager (planNeedsReconfig).
+ */
+class ReconfigurationManager
+{
+  public:
+    ReconfigurationManager(MulticubeSystem &sys, const FaultPlan &plan,
+                           CoherenceChecker *checker = nullptr,
+                           const ReconfigParams &params = {});
+
+    ReconfigurationManager(const ReconfigurationManager &) = delete;
+    ReconfigurationManager &operator=(const ReconfigurationManager &) =
+        delete;
+
+    /** True if @p plan contains any FailStop* spec. */
+    static bool planNeedsReconfig(const FaultPlan &plan);
+
+    /** Degradation epoch (0 until the first cutover). */
+    unsigned epoch() const { return static_cast<unsigned>(
+        statEpochs.value()); }
+
+    /** Dirty lines accounted as lost across all cutovers/repairs. */
+    std::uint64_t dataLossLines() const
+    {
+        return statDataLoss.value();
+    }
+
+    /** @{ Stat accessors for benches and tests. */
+    std::uint64_t kills() const { return statKills.value(); }
+    std::uint64_t detections() const { return statDetections.value(); }
+    std::uint64_t timeoutDetections() const
+    {
+        return statTimeoutDetections.value();
+    }
+    std::uint64_t abortedTxns() const { return statAborted.value(); }
+    std::uint64_t phantomRepairs() const
+    {
+        return statPhantomRepairs.value();
+    }
+    std::uint64_t quarantinedNodes() const
+    {
+        return statQuarantinedNodes.value();
+    }
+    /** Kill-to-detection latency of each detected kill, in kill
+     *  detection order. */
+    const std::vector<Tick> &detectLatencies() const
+    {
+        return _detectLatencies;
+    }
+    /** Detection-to-cutover latency of each completed epoch
+     *  transition. */
+    const std::vector<Tick> &reconfigureLatencies() const
+    {
+        return _reconfigLatencies;
+    }
+    /** @} */
+
+    /** True if @p addr is homed on a fail-stopped memory module. */
+    bool addrQuarantined(Addr addr) const;
+
+    /**
+     * True if node @p req can still get a request for @p addr served
+     * on the degraded grid. Requests are row-first and cannot be
+     * rerouted (unlike replies, which fall back to the other
+     * diagonal): @p req reaches the home column only through its
+     * row-mate there, and reaches a modified owner only through its
+     * row-mate on the owner's column. Workload filters consult this
+     * before issuing; the cutover and the escalation backstop abort
+     * pendings for which it has turned false.
+     */
+    bool requestRoutable(NodeId req, Addr addr) const;
+
+    /** True if node @p id has been retired by an executed kill. */
+    bool nodeRetired(NodeId id) const;
+
+    /** Register the "reconfig" stat group under @p parent. */
+    void regStats(StatGroup &parent);
+
+  private:
+    /** One scheduled fail-stop and its detection lifecycle. */
+    struct Kill
+    {
+        FaultSpec spec;
+        bool executed = false;
+        bool detected = false;
+        bool reconfigured = false;
+        Tick killedAt = 0;
+        Tick detectedAt = 0;
+        unsigned detectCount = 0;
+        /** Nodes this kill retires (captured at execution). */
+        std::vector<NodeId> deadNodes;
+        /** Pending addresses the dead nodes held at the kill tick
+         *  (their transactions may root live waiter chains). */
+        std::vector<Addr> inFlightAddrs;
+        /** Column whose memory this kill quarantines; -1 = none. */
+        int quarantineColumn = -1;
+    };
+
+    /** Hook target: a controller reissued its pending transaction. */
+    void onReissue(NodeId node, Addr addr, unsigned count);
+
+    /** Kill entry point at the spec's atTick: darkens immediately, or
+     *  starts the graceful quiesce staging (see file comment). */
+    void executeKill(std::size_t k);
+    /** Graceful phase 2: silence the dying nodes' ports. */
+    void silenceKill(std::size_t k);
+    /** Actually darken the component (phase 3 of a graceful kill). */
+    void darken(std::size_t k);
+    void detect(std::size_t k, bool by_timeout);
+    void cutover(std::size_t k);
+
+    /** Graceful scrub at the darken tick (see file comment). */
+    void scrubNode(NodeId id);
+    void scrubColumn(unsigned column);
+
+    /** Close the processor side of @p id ahead of a graceful kill. */
+    void drainNode(NodeId id);
+
+    /** Quarantine @p column's address range (idempotent). */
+    void quarantineColumnNow(unsigned column, Kill &kill);
+
+    /** Every node this kill will retire (kind/dim dispatch). */
+    std::vector<NodeId> killTargets(const Kill &kill) const;
+
+    /** How long after a cutover the checker's degraded window stays
+     *  open: every bounded repair has settled by then. */
+    Tick degradedWindowLag() const;
+
+    /** Retire one controller and mark it unreachable. */
+    void retireNode(NodeId id, Kill &kill);
+
+    /** Drop @p addr's MLT entry from every live node of @p column. */
+    void dropTableColumnWide(unsigned column, Addr addr);
+
+    /** Account one dirty line of dead node @p owner as lost (unless
+     *  quarantined, which has its own accounting) and revalidate the
+     *  home memory with its stale copy. */
+    void loseLine(NodeId owner, Addr addr);
+
+    /** Abort every live controller's pending transaction on @p addr. */
+    void abortPendingOn(Addr addr);
+
+    /** Cutover sweep: live nodes flush (straight into memory) dirty
+     *  lines whose home-column row relay died — they could never be
+     *  written back through the protocol again — and live pendings
+     *  that are no longer requestRoutable are aborted. Flushes move
+     *  current data, so they cost no loss. Lock lines flushed this way
+     *  are appended to @p affected so their waiter chains abort. */
+    void flushUnservableLines(std::vector<Addr> &affected);
+
+    /** True if @p addr currently has no modified holder anywhere and
+     *  an invalid (non-quarantined) home memory copy. */
+    bool looksPhantom(Addr addr) const;
+
+    /** Lazy phantom repair attempt for @p addr (see file comment):
+     *  verifies, then re-verifies after repairSettleTicks via
+     *  confirmPhantomRepair before committing the repair. */
+    void tryPhantomRepair(Addr addr);
+    void confirmPhantomRepair(Addr addr);
+
+    MulticubeSystem &sys;
+    CoherenceChecker *checker;
+    ReconfigParams params;
+
+    std::vector<Kill> kills_;
+    std::vector<std::uint8_t> retired_;   //!< per-node retired flag
+    std::vector<std::uint8_t> quarCols;   //!< per-column quarantine
+    bool anyQuarantine = false;
+    bool anyKillExecuted = false;
+
+    /** Lock lines scrubbed by the current kill's graceful pass; their
+     *  waiter chains route into the cutover's abort set. */
+    std::vector<Addr> scrubbedLockAddrs;
+
+    /** First escalated-report tick per still-stuck line (lazy phantom
+     *  repair); entries are erased once repaired or re-owned. */
+    FlatMap<Addr, Tick> stuckSince;
+
+    std::vector<Tick> _detectLatencies;
+    std::vector<Tick> _reconfigLatencies;
+
+    Counter statKills;
+    Counter statDetections;
+    Counter statTimeoutDetections;
+    Counter statEpochs;
+    Counter statDataLoss;
+    Counter statAborted;
+    Counter statQuarantinedNodes;
+    Counter statPhantomRepairs;
+    Histogram statTimeToDetect;
+    Histogram statTimeToReconfigure;
+    StatGroup stats;
+};
+
+} // namespace mcube
+
+#endif // MCUBE_FAULT_RECONFIG_HH

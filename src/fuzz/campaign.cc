@@ -12,6 +12,7 @@
 #include "core/checker.hh"
 #include "core/system.hh"
 #include "fault/progress_monitor.hh"
+#include "fault/reconfig.hh"
 #include "run/crash_handler.hh"
 #include "run/provenance.hh"
 #include "run/work_journal.hh"
@@ -132,6 +133,20 @@ runOnce(const RunConfig &cfg, const run::Heartbeat *heartbeat)
 
     RandomTester tester(sys, checker, cfg.tester);
 
+    // Plans with fail-stop specs get the full degradation machinery:
+    // kills execute at their tick, detection rides the watchdog, and
+    // the tester steers surviving agents off quarantined lines.
+    std::unique_ptr<ReconfigurationManager> reconfig;
+    if (ReconfigurationManager::planNeedsReconfig(cfg.plan)) {
+        reconfig = std::make_unique<ReconfigurationManager>(
+            sys, cfg.plan, &checker);
+        reconfig->regStats(sys.statistics());
+        ReconfigurationManager *mgr = reconfig.get();
+        tester.setAddrFilter([mgr](NodeId n, Addr a) {
+            return !mgr->requestRoutable(n, a);
+        });
+    }
+
     // Should this run die abnormally, the crash handler dumps the
     // pending-transaction state of the system that was live.
     run::ScopedCrashContext crashCtx(
@@ -195,6 +210,16 @@ runOnce(const RunConfig &cfg, const run::Heartbeat *heartbeat)
     h = RandomTester::hashCombine(h,
                                   static_cast<std::uint64_t>(res.failure));
     h = RandomTester::hashCombine(h, res.drained ? 1 : 0);
+    if (reconfig) {
+        // The degradation lifecycle is part of the run's identity:
+        // replay bit-identity must cover kills, epochs and losses too.
+        h = RandomTester::hashCombine(h, reconfig->kills());
+        h = RandomTester::hashCombine(h, reconfig->detections());
+        h = RandomTester::hashCombine(h, reconfig->epoch());
+        h = RandomTester::hashCombine(h, reconfig->dataLossLines());
+        h = RandomTester::hashCombine(h, reconfig->abortedTxns());
+        h = RandomTester::hashCombine(h, reconfig->phantomRepairs());
+    }
     res.hash = h;
 
     for (const auto &s : checker.report()) {
@@ -669,8 +694,17 @@ artifactParseError(const Json &j)
     if (!j.has("config"))
         return "artifact has no \"config\" field";
     RunConfig cfg;
-    if (!runConfigFromJson(j.at("config"), cfg))
+    if (!runConfigFromJson(j.at("config"), cfg)) {
+        // Most common cause in practice: a hand-edited or version-
+        // skewed fault plan. Name the exact spec and kind when so.
+        if (j.at("config").has("fault_plan")) {
+            std::string why =
+                faultPlanParseError(j.at("config").at("fault_plan"));
+            if (!why.empty())
+                return "artifact \"config.fault_plan\": " + why;
+        }
         return "artifact \"config\" does not parse as a run config";
+    }
     if (j.has("result") && j.at("result").isObject()) {
         FailureKind k;
         if (!failureKindFromString(
@@ -784,6 +818,37 @@ randomConfig(std::uint64_t campaignSeed, unsigned runIndex,
                 sp.busIndex = static_cast<int>(rng.below(cfg.n));
         }
         cfg.plan.specs.push_back(sp);
+    }
+
+    // Fail-stop lottery. Drawn strictly after every draw above so the
+    // transient half of a config is unchanged by the feature's
+    // existence; skipped for planted-bug campaigns, whose shrink tests
+    // assume a purely transient plan.
+    if (!plantUnsafeDropReply && rng.chance(0.08)) {
+        FaultSpec fs;
+        unsigned victim = rng.below(3);
+        fs.graceful = rng.chance(0.5);
+        fs.atTick = 500'000 + rng.below(3'500'000);
+        switch (victim) {
+          case 0:
+            fs.kind = FaultKind::FailStopBus;
+            fs.busDim = rng.chance(0.5) ? 0 : 1;
+            fs.busIndex = static_cast<int>(rng.below(cfg.n));
+            break;
+          case 1:
+            fs.kind = FaultKind::FailStopNode;
+            fs.targetNode = static_cast<int>(rng.below(cfg.n * cfg.n));
+            break;
+          default:
+            fs.kind = FaultKind::FailStopMemory;
+            fs.busIndex = static_cast<int>(rng.below(cfg.n));
+            break;
+        }
+        cfg.plan.specs.push_back(fs);
+        // SYNC queue chains threaded through dying nodes are covered
+        // by the dedicated reconfiguration tests; the fuzzer's job
+        // here is the detect/quarantine/cutover machinery itself.
+        cfg.tester.pSyncOfLocks = 0.0;
     }
 
     if (plantUnsafeDropReply) {

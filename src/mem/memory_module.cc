@@ -77,7 +77,21 @@ MemoryModule::respond(BusOp op)
     assert(bus);
     Tick start = std::max(eq.now(), busyUntil);
     busyUntil = start + params.accessTicks;
-    eq.schedule(busyUntil, [this, op] { bus->request(slot, op); });
+    // Responses racing a fail-stop die inside the dead module, before
+    // they reach the (possibly still live) column bus.
+    eq.schedule(busyUntil, [this, op] {
+        if (!dead_)
+            bus->request(slot, op);
+    });
+}
+
+void
+MemoryModule::failStop()
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    MCUBE_LOG(LogCat::Mem, eq.now(), name << " FAIL-STOP");
 }
 
 void
@@ -85,6 +99,9 @@ MemoryModule::snoop(const BusOp &op, bool modified_signal)
 {
     MCUBE_PROF_SCOPE(profScope, ProfKind::Memory, column, {});
     (void)modified_signal;
+
+    if (dead_)
+        return;
 
     // Memory-update operations (unstarred controllers also see these;
     // the starred "write memory line and mark line valid" happens

@@ -69,6 +69,17 @@ class MemoryModule : public BusAgent
     void poke(Addr addr, const LineData &data, bool valid);
     /** @} */
 
+    /**
+     * Fail-stop this module permanently (docs/ROBUSTNESS.md): it stops
+     * snooping — write-backs to it vanish, requests for its lines go
+     * unanswered until the ReconfigurationManager quarantines the
+     * column's address range. Pending responses are suppressed.
+     */
+    void failStop();
+
+    /** True once failStop() was called. */
+    bool dead() const { return dead_; }
+
     std::uint64_t readsServed() const { return statReads.value(); }
     std::uint64_t updates() const { return statUpdates.value(); }
     std::uint64_t bounces() const { return statBounces.value(); }
@@ -102,6 +113,7 @@ class MemoryModule : public BusAgent
     Bus *bus = nullptr;
     unsigned slot = 0;
     Tick busyUntil = 0;
+    bool dead_ = false;  //!< failStop() latch; never cleared
 
     mutable FlatMap<Addr, MemLine> store;
 

@@ -101,6 +101,10 @@ MixWorkload::issue(Agent &a)
     }
 
     SnoopController &ctrl = sys.node(a.id);
+    if (ctrl.retired()) {
+        // The node fail-stopped; this agent stops with it.
+        return;
+    }
     if (ctrl.busy()) {
         // Should not happen (one request per node), but be safe.
         scheduleNext(a);
@@ -138,6 +142,12 @@ MixWorkload::issue(Agent &a)
     auto done = [this, id, cls, addr,
                  is_write](const TxnResult &res) {
         Agent &ag = agents[id];
+        if (res.aborted) {
+            // Cut short by an epoch transition: not a completion, and
+            // the line's registry state is whatever the cutover left.
+            scheduleNext(ag);
+            return;
+        }
         statLatency.sample(static_cast<double>(res.latency));
         ++classDone[cls];
         if (is_write) {

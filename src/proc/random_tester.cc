@@ -119,6 +119,7 @@ RandomTester::resultHash() const
     h = hashCombine(h, _reads_checked);
     h = hashCombine(h, _read_failures);
     h = hashCombine(h, _locks);
+    h = hashCombine(h, _aborted);
     h = hashCombine(h, sys.eventQueue().now());
     h = hashCombine(h, checker.opsObserved());
     h = hashCombine(h, checker.violations());
@@ -177,17 +178,40 @@ RandomTester::recordFailure(NodeId node, Addr addr,
 }
 
 Addr
-RandomTester::pickData(Agent &a)
+RandomTester::rawPickData(Agent &a)
 {
     if (params.chaos && params.numLockLines > 0 && a.rng.chance(0.2))
-        return pickLock(a);
+        return rawPickLock(a);
     return a.rng.below(params.numDataLines);
+}
+
+Addr
+RandomTester::rawPickLock(Agent &a)
+{
+    return lockBase + a.rng.below(params.numLockLines);
+}
+
+// Quarantine-aware picks: bounded redraw away from blocklisted lines.
+// The bound keeps the draw count finite even if a filter swallows the
+// whole pool; issue() skips the op when the last candidate is still
+// filtered.
+
+Addr
+RandomTester::pickData(Agent &a)
+{
+    Addr addr = rawPickData(a);
+    for (int tries = 0; tries < 16 && filtered(a.id, addr); ++tries)
+        addr = rawPickData(a);
+    return addr;
 }
 
 Addr
 RandomTester::pickLock(Agent &a)
 {
-    return lockBase + a.rng.below(params.numLockLines);
+    Addr addr = rawPickLock(a);
+    for (int tries = 0; tries < 16 && filtered(a.id, addr); ++tries)
+        addr = rawPickLock(a);
+    return addr;
 }
 
 std::uint64_t
@@ -213,6 +237,11 @@ void
 RandomTester::issue(Agent &a)
 {
     SnoopController &ctrl = sys.node(a.id);
+    if (ctrl.retired()) {
+        // The node fail-stopped; this agent's run ends with it.
+        a.done = true;
+        return;
+    }
     if (ctrl.busy()) {
         next(a);
         return;
@@ -220,6 +249,15 @@ RandomTester::issue(Agent &a)
 
     NodeId id = a.id;
     ++_ops;
+
+    // A lock whose line was quarantined out from under us (its home
+    // memory fail-stopped) cannot be released through the protocol any
+    // more — the copy is gone; just forget it.
+    if (a.holdingLock && filtered(a.id, a.heldLock)) {
+        a.holdingLock = false;
+        next(a);
+        return;
+    }
 
     // Holding a lock: release it with high probability so locks keep
     // circulating.
@@ -230,8 +268,13 @@ RandomTester::issue(Agent &a)
         if (!ctrl.release(addr, tok)) {
             // Line stolen while held (chaos mode): recover.
             auto out = ctrl.write(addr, tok,
-                                  [this, id](const TxnResult &) {
+                                  [this, id](const TxnResult &res) {
                                       Agent &ag = agents[id];
+                                      if (res.aborted) {
+                                          ++_aborted;
+                                          next(ag);
+                                          return;
+                                      }
                                       sys.node(ag.id).forceUnlock(
                                           ag.heldLock);
                                       next(ag);
@@ -252,11 +295,18 @@ RandomTester::issue(Agent &a)
     double r = a.rng.uniform();
     if (params.pTset > 0.0 && !a.holdingLock && r < params.pTset) {
         Addr addr = pickLock(a);
+        if (filtered(a.id, addr)) {
+            // Whole lock pool quarantined; skip the op.
+            next(a);
+            return;
+        }
         bool granted = false;
         bool use_sync = params.pSyncOfLocks > 0.0
                      && a.rng.chance(params.pSyncOfLocks);
         auto done = [this, id, addr](const TxnResult &res) {
             Agent &ag = agents[id];
+            if (res.aborted)
+                ++_aborted;
             if (res.success) {
                 ag.holdingLock = true;
                 ag.heldLock = addr;
@@ -281,8 +331,14 @@ RandomTester::issue(Agent &a)
     r = a.rng.uniform();
     if (r < params.pWrite) {
         Addr addr = pickData(a);
+        if (filtered(a.id, addr)) {
+            next(a);
+            return;
+        }
         auto out = ctrl.write(addr, freshToken(a),
-                              [this, id](const TxnResult &) {
+                              [this, id](const TxnResult &res) {
+                                  if (res.aborted)
+                                      ++_aborted;
                                   next(agents[id]);
                               });
         if (out == AccessOutcome::Hit)
@@ -291,8 +347,14 @@ RandomTester::issue(Agent &a)
     }
     if (r < params.pWrite + params.pAllocate) {
         Addr addr = pickData(a);
+        if (filtered(a.id, addr)) {
+            next(a);
+            return;
+        }
         auto out = ctrl.writeAllocate(addr, freshToken(a),
-                                      [this, id](const TxnResult &) {
+                                      [this, id](const TxnResult &res) {
+                                          if (res.aborted)
+                                              ++_aborted;
                                           next(agents[id]);
                                       });
         if (out == AccessOutcome::Hit)
@@ -302,11 +364,21 @@ RandomTester::issue(Agent &a)
 
     // Read with value verification.
     Addr addr = pickData(a);
+    if (filtered(a.id, addr)) {
+        next(a);
+        return;
+    }
     Tick issued = sys.eventQueue().now();
     std::uint64_t tok = 0;
     auto out = ctrl.read(
         addr, tok, [this, id, addr, issued](const TxnResult &res) {
             Agent &ag = agents[id];
+            if (res.aborted) {
+                // Cut short by an epoch transition: no value to check.
+                ++_aborted;
+                next(ag);
+                return;
+            }
             ++_reads_checked;
             Tick done = sys.eventQueue().now();
             if (!checker.tokenWasGoldenDuring(addr, res.data.token,

@@ -14,6 +14,7 @@
 #define MCUBE_PROC_RANDOM_TESTER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/checker.hh"
@@ -80,6 +81,25 @@ class RandomTester
     std::uint64_t readFailures() const { return _read_failures; }
     std::uint64_t opsIssued() const { return _ops; }
     std::uint64_t locksTaken() const { return _locks; }
+    /** Transactions cut short by an epoch cutover (TxnResult::aborted);
+     *  the numerator of a degraded-mode unavailability ratio. */
+    std::uint64_t opsAborted() const { return _aborted; }
+
+    /**
+     * Blocklist predicate for unroutable issues (fail-stop plans): a
+     * true return means the tester redraws instead of issuing the
+     * address from that node. Agents whose node retires finish early
+     * on their own — this filter is what keeps the *surviving* agents
+     * off quarantined ranges and off addresses whose request relay
+     * died with their row-mate (requests, unlike replies, cannot be
+     * rerouted; see ReconfigurationManager::requestRoutable).
+     * Deterministic as long as the predicate is (it only flips at
+     * kill/drain ticks).
+     */
+    void setAddrFilter(std::function<bool(NodeId, Addr)> fn)
+    {
+        addrFilter = std::move(fn);
+    }
 
     /** First few read-check failure descriptions. */
     const std::vector<std::string> &failures() const { return _failLog; }
@@ -128,6 +148,12 @@ class RandomTester
     void issue(Agent &a);
     Addr pickData(Agent &a);
     Addr pickLock(Agent &a);
+    Addr rawPickData(Agent &a);
+    Addr rawPickLock(Agent &a);
+    bool filtered(NodeId node, Addr addr) const
+    {
+        return addrFilter && addrFilter(node, addr);
+    }
     std::uint64_t freshToken(Agent &a);
 
     MulticubeSystem &sys;
@@ -143,6 +169,8 @@ class RandomTester
     std::uint64_t _reads_checked = 0;
     std::uint64_t _read_failures = 0;
     std::uint64_t _locks = 0;
+    std::uint64_t _aborted = 0;
+    std::function<bool(NodeId, Addr)> addrFilter;
     std::vector<std::string> _failLog;
     std::vector<OracleFailure> _failRecords;
 };

@@ -11,6 +11,8 @@
 #define MCUBE_TOPOLOGY_GRID_MAP_HH
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -85,11 +87,34 @@ class GridMap
         return colOf(a) == colOf(b);
     }
 
+    /** @{ Degraded-mode topology (docs/ROBUSTNESS.md): nodes retired
+     *  by a fail-stop reconfiguration are marked unreachable. The map
+     *  stays allocation-free until the first kill, so the healthy
+     *  fast path is untouched. */
+    void
+    markUnreachable(NodeId id)
+    {
+        if (dead.empty())
+            dead.assign(numNodes(), 0);
+        assert(id < numNodes());
+        dead[id] = 1;
+    }
+
+    bool
+    reachable(NodeId id) const
+    {
+        return dead.empty() || !dead[id];
+    }
+
+    bool anyUnreachable() const { return !dead.empty(); }
+    /** @} */
+
   private:
     unsigned _n;
     unsigned pageShift;
     unsigned mask = 0;   //!< n - 1 when n is a power of two, else 0
     unsigned shift = 0;  //!< log2(n) when n is a power of two
+    std::vector<std::uint8_t> dead{};  //!< lazily sized to numNodes()
 };
 
 } // namespace mcube

@@ -160,6 +160,10 @@ planFor(FaultKind kind, double prob, std::uint64_t seed)
         return FaultPlan::duplicates(prob, seed);
       case FaultKind::Outage:
         return FaultPlan::outages(prob, 20'000, seed);
+      case FaultKind::FailStopBus:
+      case FaultKind::FailStopNode:
+      case FaultKind::FailStopMemory:
+        break;  // time-triggered, not probabilistic; no campaign here
     }
     return {};
 }

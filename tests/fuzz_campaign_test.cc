@@ -109,6 +109,73 @@ TEST(FuzzJson, FaultPlanRejectsGarbage)
     EXPECT_FALSE(faultPlanFromJson(bad, out));
 }
 
+TEST(FuzzJson, UnknownFaultKindIsNamedByParseError)
+{
+    // Rejection must be loud and specific: the spec index and the
+    // offending kind string, never a silent default to another kind.
+    std::string err;
+    Json bad = Json::parse(
+        R"({"seed": 1, "specs": [{"kind": "drop_request"},
+                                 {"kind": "fail_stop_everything"}]})",
+        &err);
+    ASSERT_TRUE(err.empty());
+    FaultPlan out;
+    EXPECT_FALSE(faultPlanFromJson(bad, out));
+    std::string why = faultPlanParseError(bad);
+    EXPECT_NE(why.find("fault spec 1"), std::string::npos) << why;
+    EXPECT_NE(why.find("unknown fault kind"), std::string::npos) << why;
+    EXPECT_NE(why.find("fail_stop_everything"), std::string::npos)
+        << why;
+
+    // And a good plan reports no error at all.
+    EXPECT_EQ(faultPlanParseError(
+                  toJson(FaultPlan::failStopNode(4, 700'000, true))),
+              "");
+}
+
+TEST(FuzzJson, FailStopKindsRoundTrip)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.specs.push_back(
+        FaultPlan::failStopBus(0, 2, 900'000, true).specs[0]);
+    plan.specs.push_back(
+        FaultPlan::failStopNode(4, 1'600'000, false).specs[0]);
+    plan.specs.push_back(
+        FaultPlan::failStopMemory(1, 2'300'000, true).specs[0]);
+
+    std::string text = toJson(plan).dump();
+    std::string err;
+    Json parsed = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    FaultPlan back;
+    ASSERT_TRUE(faultPlanFromJson(parsed, back));
+    ASSERT_EQ(back.specs.size(), 3u);
+
+    EXPECT_EQ(back.specs[0].kind, FaultKind::FailStopBus);
+    EXPECT_EQ(back.specs[0].busDim, 0);
+    EXPECT_EQ(back.specs[0].busIndex, 2);
+    EXPECT_EQ(back.specs[0].atTick, 900'000u);
+    EXPECT_TRUE(back.specs[0].graceful);
+
+    EXPECT_EQ(back.specs[1].kind, FaultKind::FailStopNode);
+    EXPECT_EQ(back.specs[1].targetNode, 4);
+    EXPECT_EQ(back.specs[1].atTick, 1'600'000u);
+    EXPECT_FALSE(back.specs[1].graceful);
+
+    EXPECT_EQ(back.specs[2].kind, FaultKind::FailStopMemory);
+    EXPECT_EQ(back.specs[2].busIndex, 1);
+    EXPECT_TRUE(back.specs[2].graceful);
+
+    // The kind-string table closes over every kind.
+    for (FaultKind k : {FaultKind::FailStopBus, FaultKind::FailStopNode,
+                        FaultKind::FailStopMemory}) {
+        FaultKind rt;
+        ASSERT_TRUE(faultKindFromString(toString(k), rt));
+        EXPECT_EQ(rt, k);
+    }
+}
+
 TEST(FuzzJson, RandomTesterParamsRoundTrip)
 {
     RandomTesterParams p;
@@ -212,6 +279,47 @@ TEST(FuzzReplay, FrozenScheduleReproducesInjections)
     EXPECT_EQ(replay.hash, probabilistic.hash);
     EXPECT_EQ(replay.injections, probabilistic.injections);
     EXPECT_EQ(replay.firedMatches, probabilistic.firedMatches);
+}
+
+TEST(FuzzReplay, FailStopArtifactReplaysBitIdentical)
+{
+    // A run that gracefully kills a node mid-campaign must replay
+    // bit-identically *through the artifact text* — the same path
+    // `fuzz_campaign --replay` takes on a repro file from disk.
+    RunConfig cfg;
+    cfg.n = 3;
+    cfg.sysSeed = 4242;
+    cfg.requestTimeoutTicks = 300'000;
+    cfg.tester.opsPerNode = 60;
+    cfg.tester.seed = 17;
+    cfg.tester.pTset = 0.0;
+    // Early enough to land while agents are still issuing (the 9-node
+    // 60-ops workload drains in ~150k ticks).
+    cfg.plan = FaultPlan::failStopNode(4, 60'000, true);
+
+    RunResult first = runOnce(cfg);
+    EXPECT_FALSE(first.failed()) << toString(first.failure);
+
+    std::string text =
+        artifactJson(cfg, first, "planted fail-stop replay").dump();
+    std::string err;
+    Json parsed = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_EQ(artifactParseError(parsed), "");
+
+    RunConfig back;
+    std::uint64_t wantHash = 0;
+    FailureKind wantKind = FailureKind::None;
+    ASSERT_TRUE(artifactFromJson(parsed, back, wantHash, wantKind));
+    EXPECT_EQ(wantHash, first.hash);
+    ASSERT_EQ(back.plan.specs.size(), 1u);
+    EXPECT_EQ(back.plan.specs[0].kind, FaultKind::FailStopNode);
+
+    RunResult replay = runOnce(back);
+    EXPECT_EQ(replay.hash, first.hash);
+    EXPECT_EQ(replay.failure, first.failure);
+    EXPECT_EQ(replay.busOps, first.busOps);
+    EXPECT_EQ(replay.endTick, first.endTick);
 }
 
 // ---------------------------------------------------------------------

@@ -139,6 +139,23 @@ TEST(JsonRobustness, ArtifactParseErrorDistinguishesShapes)
     err = artifactParseError(badCfg);
     EXPECT_NE(err.find("config"), std::string::npos) << err;
 
+    // Right format, but the fault plan names a kind this binary does
+    // not know (hand-edit or version skew): the error names the spec
+    // and the kind string — never a silent default to another kind.
+    Json badPlan = sampleArtifact();
+    Json cfg = badPlan.at("config");
+    std::string perr;
+    cfg.set("fault_plan",
+            Json::parse(R"({"seed": 1, "specs":
+                            [{"kind": "fail_stop_everything"}]})",
+                        &perr));
+    ASSERT_TRUE(perr.empty());
+    badPlan.set("config", std::move(cfg));
+    err = artifactParseError(badPlan);
+    EXPECT_NE(err.find("unknown fault kind"), std::string::npos) << err;
+    EXPECT_NE(err.find("fail_stop_everything"), std::string::npos)
+        << err;
+
     // The sample itself is valid.
     EXPECT_EQ(artifactParseError(sampleArtifact()), "");
 }

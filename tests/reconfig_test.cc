@@ -1,0 +1,325 @@
+/** @file
+ * Fail-stop degradation: kill a bus / node / memory module mid-run and
+ * verify the ReconfigurationManager's full lifecycle — watchdog-fed
+ * detection, quarantine, epoch cutover — with the coherence checker
+ * clean in every epoch, graceful-retire zero-loss accounting, and
+ * fixed-seed bit-identity (the PR 4/5 determinism contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/checker.hh"
+#include "core/system.hh"
+#include "fault/reconfig.hh"
+#include "fuzz/campaign.hh"
+#include "proc/random_tester.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+/** Fast-lifecycle knobs so tests converge in ~1M-tick scenarios. */
+ReconfigParams
+quickParams()
+{
+    ReconfigParams rp;
+    rp.escalationThreshold = 2;
+    rp.detectThreshold = 2;
+    rp.drainTicks = 50'000;
+    rp.detectTimeoutTicks = 1'500'000;
+    rp.phantomGraceTicks = 150'000;
+    return rp;
+}
+
+/** Everything a degraded-mode scenario produced. */
+struct ScenarioResult
+{
+    bool finished = false;
+    bool drained = false;
+    std::uint64_t violations = 0;
+    std::uint64_t readFailures = 0;
+    std::uint64_t opsIssued = 0;
+    std::uint64_t opsAborted = 0;
+    std::uint64_t testerHash = 0;
+    Tick endTick = 0;
+
+    std::uint64_t kills = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t timeoutDetections = 0;
+    unsigned epoch = 0;
+    std::uint64_t dataLoss = 0;
+    std::uint64_t abortedTxns = 0;
+    std::uint64_t phantomRepairs = 0;
+    std::uint64_t quarantinedNodes = 0;
+    std::vector<Tick> detectLatencies;
+    std::vector<Tick> reconfigLatencies;
+};
+
+/** Run a tester workload under @p plan with the degradation machinery
+ *  attached, mirroring fuzz::runOnce's wiring. */
+ScenarioResult
+runScenario(const FaultPlan &plan, unsigned n, unsigned ops_per_node,
+            std::uint64_t seed, Tick max_ticks = 60'000'000)
+{
+    SystemParams p;
+    p.n = n;
+    p.seed = seed;
+    p.ctrl.requestTimeoutTicks = 30'000;
+
+    MulticubeSystem sys(p);
+    CoherenceChecker checker(sys, /*full_check_interval=*/64);
+    ReconfigurationManager mgr(sys, plan, &checker, quickParams());
+    mgr.regStats(sys.statistics());
+
+    RandomTesterParams tp;
+    tp.seed = seed + 17;
+    tp.opsPerNode = ops_per_node;
+    tp.numDataLines = 16;
+    tp.numLockLines = 3;
+    tp.pWrite = 0.4;
+    tp.pTset = 0.1;
+    tp.maxThink = 300;
+    RandomTester tester(sys, checker, tp);
+    tester.setAddrFilter([&mgr](NodeId n, Addr a) {
+        return !mgr.requestRoutable(n, a);
+    });
+    tester.start();
+
+    constexpr Tick slice = 1'000'000;
+    while (sys.eventQueue().now() < max_ticks) {
+        sys.run(slice);
+        if (checker.violations() > 0 || tester.readFailures() > 0
+            || tester.finished())
+            break;
+    }
+
+    ScenarioResult r;
+    r.finished = tester.finished();
+    if (r.finished && checker.violations() == 0)
+        r.drained = sys.drain(20'000'000);
+    if (r.drained)
+        checker.fullSweep(/*strict=*/true);
+
+    r.violations = checker.violations();
+    r.readFailures = tester.readFailures();
+    r.opsIssued = tester.opsIssued();
+    r.opsAborted = tester.opsAborted();
+    r.testerHash = tester.resultHash();
+    r.endTick = sys.eventQueue().now();
+    r.kills = mgr.kills();
+    r.detections = mgr.detections();
+    r.timeoutDetections = mgr.timeoutDetections();
+    r.epoch = mgr.epoch();
+    r.dataLoss = mgr.dataLossLines();
+    r.abortedTxns = mgr.abortedTxns();
+    r.phantomRepairs = mgr.phantomRepairs();
+    r.quarantinedNodes = mgr.quarantinedNodes();
+    r.detectLatencies = mgr.detectLatencies();
+    r.reconfigLatencies = mgr.reconfigureLatencies();
+
+    if (checker.violations() > 0) {
+        for (const auto &line : checker.report())
+            ADD_FAILURE() << line;
+    }
+    for (const auto &line : tester.failures())
+        ADD_FAILURE() << line;
+    return r;
+}
+
+void
+expectCleanLifecycle(const ScenarioResult &r, std::uint64_t kills)
+{
+    EXPECT_TRUE(r.finished) << "surviving agents must finish";
+    EXPECT_TRUE(r.drained);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.readFailures, 0u);
+    EXPECT_EQ(r.kills, kills);
+    EXPECT_EQ(r.detections, kills);
+    EXPECT_EQ(static_cast<std::uint64_t>(r.epoch), kills);
+    EXPECT_EQ(r.detectLatencies.size(), kills);
+    EXPECT_EQ(r.reconfigLatencies.size(), kills);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// planNeedsReconfig
+// ---------------------------------------------------------------------
+
+TEST(ReconfigPlan, OnlyFailStopPlansNeedAManager)
+{
+    EXPECT_FALSE(ReconfigurationManager::planNeedsReconfig(
+        FaultPlan::dropRequests(0.01)));
+    EXPECT_FALSE(ReconfigurationManager::planNeedsReconfig(
+        FaultPlan::outages(0.001, 20'000)));
+    EXPECT_TRUE(ReconfigurationManager::planNeedsReconfig(
+        FaultPlan::failStopNode(3, 1'000'000)));
+    EXPECT_TRUE(ReconfigurationManager::planNeedsReconfig(
+        FaultPlan::failStopBus(0, 1, 1'000'000)));
+    EXPECT_TRUE(ReconfigurationManager::planNeedsReconfig(
+        FaultPlan::failStopMemory(2, 1'000'000)));
+
+    // Mixed plans need one too: the transient specs ride the injector,
+    // the fail-stop spec rides the manager.
+    FaultPlan mixed = FaultPlan::delays(0.02, 2000);
+    FaultPlan fs = FaultPlan::failStopNode(0, 500'000);
+    mixed.specs.push_back(fs.specs[0]);
+    EXPECT_TRUE(ReconfigurationManager::planNeedsReconfig(mixed));
+}
+
+// ---------------------------------------------------------------------
+// Component kills
+// ---------------------------------------------------------------------
+
+TEST(Reconfig, NodeKillDetectsCutsOverAndFinishes)
+{
+    ScenarioResult r = runScenario(
+        FaultPlan::failStopNode(/*node=*/4, /*at_tick=*/1'000'000),
+        /*n=*/3, /*ops_per_node=*/1200, /*seed=*/11);
+    expectCleanLifecycle(r, 1);
+    EXPECT_EQ(r.quarantinedNodes, 1u);
+    // Detection rides the surviving traffic's watchdog escalations,
+    // which keep arriving long before the fallback deadline.
+    EXPECT_EQ(r.timeoutDetections, 0u);
+    EXPECT_LT(r.detectLatencies[0], quickParams().detectTimeoutTicks);
+}
+
+TEST(Reconfig, GracefulNodeRetireLosesNothing)
+{
+    ScenarioResult r = runScenario(
+        FaultPlan::failStopNode(4, 1'000'000, /*graceful=*/true),
+        3, 1200, 11);
+    expectCleanLifecycle(r, 1);
+    EXPECT_EQ(r.dataLoss, 0u)
+        << "graceful retire scrubs every dirty line before the kill";
+}
+
+TEST(Reconfig, RowBusKillRetiresTheWholeRow)
+{
+    ScenarioResult r = runScenario(
+        FaultPlan::failStopBus(/*dim=*/0, /*index=*/2, 1'000'000),
+        3, 1200, 23);
+    expectCleanLifecycle(r, 1);
+    EXPECT_EQ(r.quarantinedNodes, 3u);
+}
+
+TEST(Reconfig, MemoryKillQuarantinesItsColumn)
+{
+    ScenarioResult r = runScenario(
+        FaultPlan::failStopMemory(/*column=*/1, 1'000'000),
+        3, 1200, 37);
+    expectCleanLifecycle(r, 1);
+    // No controller dies with a memory module; the column's address
+    // range does.
+    EXPECT_EQ(r.quarantinedNodes, 0u);
+}
+
+TEST(Reconfig, QuietSystemDetectsByTimeout)
+{
+    // No workload at all: nothing escalates, so only the fallback
+    // deadline can detect the kill — and must.
+    SystemParams p;
+    p.n = 2;
+    p.ctrl.requestTimeoutTicks = 30'000;
+    MulticubeSystem sys(p);
+    ReconfigurationManager mgr(sys, FaultPlan::failStopNode(1, 100'000),
+                               nullptr, quickParams());
+    sys.run(100'000 + quickParams().detectTimeoutTicks
+            + quickParams().drainTicks + 1000);
+    EXPECT_EQ(mgr.kills(), 1u);
+    EXPECT_EQ(mgr.detections(), 1u);
+    EXPECT_EQ(mgr.timeoutDetections(), 1u);
+    EXPECT_EQ(mgr.epoch(), 1u);
+    EXPECT_TRUE(mgr.nodeRetired(1));
+    EXPECT_FALSE(mgr.nodeRetired(0));
+    EXPECT_FALSE(sys.gridMap().reachable(1));
+    EXPECT_TRUE(sys.gridMap().reachable(0));
+}
+
+// ---------------------------------------------------------------------
+// The acceptance scenario: three kills in one campaign
+// ---------------------------------------------------------------------
+
+TEST(Reconfig, TripleKillCampaignStaysCoherent)
+{
+    // One row bus, one node and one memory module die at staggered
+    // ticks; the checker must stay clean in every epoch and the
+    // surviving grid must finish the workload.
+    FaultPlan plan = FaultPlan::failStopBus(0, 2, 900'000);
+    plan.specs.push_back(
+        FaultPlan::failStopNode(4, 1'600'000).specs[0]);
+    plan.specs.push_back(
+        FaultPlan::failStopMemory(0, 2'300'000).specs[0]);
+
+    ScenarioResult r = runScenario(plan, 3, 1500, 71, 120'000'000);
+    expectCleanLifecycle(r, 3);
+    EXPECT_EQ(r.quarantinedNodes, 4u);  // row 2 (3 nodes) + node 4
+}
+
+TEST(Reconfig, TripleKillGracefulLosesNothing)
+{
+    FaultPlan plan = FaultPlan::failStopBus(0, 2, 900'000, true);
+    plan.specs.push_back(
+        FaultPlan::failStopNode(4, 1'600'000, true).specs[0]);
+    plan.specs.push_back(
+        FaultPlan::failStopMemory(0, 2'300'000, true).specs[0]);
+
+    ScenarioResult r = runScenario(plan, 3, 1500, 71, 120'000'000);
+    expectCleanLifecycle(r, 3);
+    EXPECT_EQ(r.dataLoss, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------
+
+TEST(Reconfig, FixedSeedRunsAreBitIdentical)
+{
+    FaultPlan plan = FaultPlan::failStopBus(1, 0, 800'000);
+    plan.specs.push_back(
+        FaultPlan::failStopNode(5, 1'400'000).specs[0]);
+
+    ScenarioResult a = runScenario(plan, 3, 1000, 99);
+    ScenarioResult b = runScenario(plan, 3, 1000, 99);
+
+    EXPECT_EQ(a.testerHash, b.testerHash);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.opsIssued, b.opsIssued);
+    EXPECT_EQ(a.opsAborted, b.opsAborted);
+    EXPECT_EQ(a.dataLoss, b.dataLoss);
+    EXPECT_EQ(a.abortedTxns, b.abortedTxns);
+    EXPECT_EQ(a.phantomRepairs, b.phantomRepairs);
+    EXPECT_EQ(a.detectLatencies, b.detectLatencies);
+    EXPECT_EQ(a.reconfigLatencies, b.reconfigLatencies);
+}
+
+TEST(Reconfig, FuzzRunOnceHashCoversTheLifecycle)
+{
+    // The campaign-level contract: a fail-stop config's result hash is
+    // reproducible, and differs from the same config without the kill
+    // (the lifecycle is folded into the fingerprint).
+    fuzz::RunConfig cfg;
+    cfg.n = 3;
+    cfg.sysSeed = 5;
+    cfg.requestTimeoutTicks = 40'000;
+    cfg.tester.seed = 6;
+    cfg.tester.opsPerNode = 120;
+    cfg.tester.pSyncOfLocks = 0.0;
+    cfg.plan = FaultPlan::failStopNode(2, 600'000);
+
+    fuzz::RunResult r1 = fuzz::runOnce(cfg);
+    fuzz::RunResult r2 = fuzz::runOnce(cfg);
+    EXPECT_EQ(r1.hash, r2.hash);
+    EXPECT_EQ(r1.failure, fuzz::FailureKind::None)
+        << "report: "
+        << (r1.report.empty() ? "(none)" : r1.report.front());
+
+    fuzz::RunConfig no_kill = cfg;
+    no_kill.plan = FaultPlan{};
+    no_kill.plan.seed = cfg.plan.seed;
+    fuzz::RunResult r3 = fuzz::runOnce(no_kill);
+    EXPECT_NE(r1.hash, r3.hash);
+}

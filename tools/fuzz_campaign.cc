@@ -240,10 +240,24 @@ oneOff(const Args &args)
         ss << in.rdbuf();
         std::string err;
         Json j = Json::parse(ss.str(), &err);
-        if (!err.empty() || !faultPlanFromJson(j, cfg.plan)) {
-            std::cerr << "fuzz_campaign: bad fault plan: " << err
-                      << "\n";
-            return 2;
+        if (!err.empty()) {
+            // Exit 4: malformed file, same convention as --replay
+            // artifacts (2 = cannot open).
+            std::cerr << "fuzz_campaign: " << args.str("plan")
+                      << ": bad JSON: " << err << "\n";
+            return 4;
+        }
+        if (std::string why = faultPlanParseError(j); !why.empty()) {
+            // An unknown fault-kind string is rejected by name here
+            // rather than silently defaulting to some other kind.
+            std::cerr << "fuzz_campaign: " << args.str("plan") << ": "
+                      << why << "\n";
+            return 4;
+        }
+        if (!faultPlanFromJson(j, cfg.plan)) {
+            std::cerr << "fuzz_campaign: " << args.str("plan")
+                      << ": fault plan does not parse\n";
+            return 4;
         }
     }
 
