@@ -18,12 +18,17 @@
  *                   this must not move run-to-run for a fixed seed).
  *
  * Run it with --jobs=1 when timing: parallel workers share the
- * machine and inflate each other's wall clock.
+ * machine and inflate each other's wall clock. (The sim_n64 /
+ * *_par points parallelize *inside* one simulation via the
+ * window-phased engine instead — that pool is still exclusive under
+ * --jobs=1.)
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
@@ -107,6 +112,49 @@ const bool kDeclared = [] {
         out["prof_col_speedup_k8"] = s.col.speedupAt(8);
         return out;
     });
+
+    // Parallel single-simulation engine points (docs/PERFORMANCE.md).
+    // Each pair (X, X_t1) runs the SAME window-phased engine with a
+    // sharded worker pool vs a single worker: the determinism columns
+    // must be bit-identical (the engine's contract) and the
+    // events_per_sec ratio is the realized parallel speedup
+    // perf_check.py gates. The worker count adapts to the host so a
+    // small CI runner is not forced to oversubscribe — results do not
+    // depend on it, only the speedup does.
+    //
+    // sim_n64 is the scale canary: a 64x64 machine (4096 processors)
+    // at a quarter millisecond of simulated time, sized to finish in
+    // seconds on the sharded engine rather than the minutes a naive
+    // sequential n=64 sweep point would take at n32's interval.
+    const unsigned par_workers = std::max(
+        1u, std::min(4u, std::thread::hardware_concurrency()));
+    // Each point records its worker count as a par_workers column:
+    // on a single-core host both arms of a pair collapse to the same
+    // configuration, and perf_check.py uses the column to skip the
+    // (meaningless, pure-noise) speedup ratio there while still
+    // enforcing determinism identity.
+    auto declareParSim = [](const std::string &label, unsigned n,
+                            MixParams m, double sim_ms,
+                            unsigned workers, std::uint64_t idx) {
+        declarePoint(label, [n, m, sim_ms, workers, idx]() mutable {
+            SystemParams sp;
+            sp.simThreads = workers;
+            sp.seed = sweep::pointSeed(sp.seed, idx);
+            m.seed = sweep::pointSeed(m.seed, idx);
+            Metrics out = toMetrics(runMixSim(n, m, sim_ms, &sp));
+            out["par_workers"] = static_cast<double>(workers);
+            return out;
+        });
+    };
+
+    const std::uint64_t n64_index = SweepCache::instance().size();
+    declareParSim("sim_n64", 64, mix, 0.25, par_workers, n64_index);
+    declareParSim("sim_n64_t1", 64, mix, 0.25, 1, n64_index);
+
+    const std::uint64_t par32_index = SweepCache::instance().size();
+    declareParSim("sim_n32_par", 32, mix, 0.5, par_workers,
+                  par32_index);
+    declareParSim("sim_n32_par_t1", 32, mix, 0.5, 1, par32_index);
     return true;
 }();
 
@@ -157,6 +205,30 @@ BM_SimSpeedProf(benchmark::State &state)
     recordPoint(state, "sim_n32_prof");
 }
 
+void
+BM_SimSpeedN64(benchmark::State &state)
+{
+    recordPoint(state, "sim_n64");
+}
+
+void
+BM_SimSpeedN64T1(benchmark::State &state)
+{
+    recordPoint(state, "sim_n64_t1");
+}
+
+void
+BM_SimSpeedN32Par(benchmark::State &state)
+{
+    recordPoint(state, "sim_n32_par");
+}
+
+void
+BM_SimSpeedN32ParT1(benchmark::State &state)
+{
+    recordPoint(state, "sim_n32_par_t1");
+}
+
 } // namespace
 
 BENCHMARK(BM_SimSpeed)
@@ -172,6 +244,26 @@ BENCHMARK(BM_SimSpeedNoFilter)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_SimSpeedProf)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SimSpeedN64)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SimSpeedN64T1)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SimSpeedN32Par)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SimSpeedN32ParT1)
     ->Iterations(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);

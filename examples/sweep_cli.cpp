@@ -17,6 +17,22 @@
  *                          seed and the point's index, and rows are
  *                          emitted in rate order, so the CSV is
  *                          byte-identical for any job count.
+ *   --sim-threads=N        run each *single* simulation on the
+ *                          window-phased parallel engine with N
+ *                          workers (0 = classic sequential engine;
+ *                          default). Results are bit-identical for
+ *                          any N >= 1 (see docs/PERFORMANCE.md,
+ *                          "Parallel single-simulation engine"), but
+ *                          the engine is a distinct canonical
+ *                          schedule from N=0. Owns the worker pool,
+ *                          so it forces --jobs=1; tracing, metrics,
+ *                          profiling and fault injection force it
+ *                          back to 0 (with a warning).
+ *   --par-stats-out=f.json per-shard engine telemetry (lane/worker
+ *                          event attribution, phase timing, realized
+ *                          vs projected speedup); needs
+ *                          --sim-threads>=1. Covers the last
+ *                          simulated point, like the trace files.
  *
  * Observability (sim mode):
  *   --trace-out=t.json     Chrome trace-event JSON (Perfetto-viewable;
@@ -106,6 +122,7 @@
 #include "run/shutdown.hh"
 #include "run/supervisor.hh"
 #include "run/work_journal.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/profiler.hh"
 #include "sim/sweep_runner.hh"
 #include "trace/metrics_sampler.hh"
@@ -125,6 +142,8 @@ struct Options
     double simMs = 2.0;
     double invFrac = 0.20;
     unsigned jobs = 1;
+    unsigned simThreads = 0;
+    std::string parStatsOut;
     std::string traceOut;
     std::string traceText;
     std::size_t traceCap = 1 << 16;
@@ -189,6 +208,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.invFrac = std::atof(val.c_str());
         else if (key == "jobs")
             opt.jobs = std::atoi(val.c_str());
+        else if (key == "sim-threads")
+            opt.simThreads = std::atoi(val.c_str());
+        else if (key == "par-stats-out")
+            opt.parStatsOut = val;
         else if (key == "trace-out")
             opt.traceOut = val;
         else if (key == "trace-text")
@@ -363,6 +386,7 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
     SystemParams sp;
     sp.n = opt.n;
     sp.seed = seed;
+    sp.simThreads = opt.simThreads;
     sp.bus.blockWords = opt.block;
     if (opt.faultDrop > 0.0 || opt.haveFaultPlan)
         sp.ctrl.requestTimeoutTicks = 500'000;
@@ -386,6 +410,19 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
         };
         monitor = std::make_unique<ProgressMonitor>(sys, mp);
         monitor->start();
+    }
+    // Under the parallel engine the supervisor heartbeat also rides
+    // the coordinator's inter-window hook: if the worker pool wedges,
+    // windows stop, the beat stops, and the supervisor triages the
+    // point as Stalled instead of hanging the sweep.
+    if (ParallelEngine *eng = sys.parallelEngine();
+        eng && (beating || prog)) {
+        eng->setProgressHook([hb, beating, prog, &sys] {
+            if (beating)
+                hb->beat();
+            if (prog)
+                prog->beat(sys.eventQueue().eventsExecuted());
+        });
     }
 
     bool tracing = !opt.traceOut.empty() || !opt.traceText.empty();
@@ -460,6 +497,10 @@ simRow(const Options &opt, double rate, std::uint64_t seed,
             prof.exportFolded(out);
         }
     }
+    if (!opt.parStatsOut.empty() && sys.parallelEngine()) {
+        std::ofstream out(opt.parStatsOut);
+        sys.parallelEngine()->telemetryJson(out);
+    }
     if (prog)
         prog->pointDone(sys.eventQueue().eventsExecuted());
 
@@ -480,6 +521,13 @@ sweepIdentity(const Options &opt)
     oss << "sweep_cli|n=" << opt.n << "|seed=" << opt.seed
         << "|block=" << opt.block << "|ms=" << opt.simMs
         << "|inv=" << opt.invFrac << "|drop=" << opt.faultDrop;
+    // The parallel engine is its own canonical schedule, so journaled
+    // rows from it must not satisfy a sequential resume (or vice
+    // versa). The *worker count* is deliberately absent: results are
+    // identical for every --sim-threads >= 1. Appended only when
+    // active so pre-existing sequential journals keep their identity.
+    if (opt.simThreads > 0)
+        oss << "|parallel=1";
     // The plan's *content* (not its path) determines the rows.
     if (opt.haveFaultPlan)
         oss << "|plan=" << toJson(opt.faultPlan).dump(-1);
@@ -517,6 +565,28 @@ main(int argc, char **argv)
                      "--jobs=1\n";
         jobs = 1;
     }
+    // The parallel single-simulation engine needs exclusive lane
+    // ownership inside one system: the observers above hook
+    // process-global state from arbitrary threads, and fault
+    // injection/reconfiguration rewires buses mid-run, so any of them
+    // forces the sequential engine. When the engine *is* active it
+    // owns the worker pool — point-level --jobs parallelism would
+    // oversubscribe the host, so jobs collapses to 1.
+    if (opt.simThreads > 0) {
+        if (observing || opt.faultDrop > 0.0 || opt.haveFaultPlan) {
+            std::cerr << "sweep_cli: tracing/metrics/profiling and "
+                         "fault injection require the sequential "
+                         "engine; forcing --sim-threads=0\n";
+            opt.simThreads = 0;
+        } else if (jobs > 1) {
+            std::cerr << "sweep_cli: --sim-threads owns the worker "
+                         "pool; forcing --jobs=1\n";
+            jobs = 1;
+        }
+    }
+    if (!opt.parStatsOut.empty() && opt.simThreads == 0)
+        std::cerr << "sweep_cli: --par-stats-out needs "
+                     "--sim-threads>=1; ignoring\n";
     // A heartbeat on a pipe would pollute captured stderr (CI logs,
     // 2>file); only a human at a terminal gets one.
     if (opt.progress && !isatty(fileno(stderr)))
@@ -535,6 +605,8 @@ main(int argc, char **argv)
     std::cout << "# sweep_cli --mode=" << opt.mode << " --n=" << opt.n
               << " --seed=" << opt.seed << " --block=" << opt.block
               << " --ms=" << opt.simMs << " --inv=" << opt.invFrac;
+    if (opt.simThreads > 0)
+        std::cout << " --sim-threads=" << opt.simThreads;
     if (opt.faultDrop > 0.0)
         std::cout << " --fault-drop=" << opt.faultDrop;
     if (opt.haveFaultPlan)

@@ -43,6 +43,31 @@ self-profiler (src/sim/profiler.hh) over the same seeds:
   ordinary baseline comparison of X itself, since the disabled hooks
   sit in the hot path.
 
+Every pair (X, X_t1) is an A-B measurement of the parallel
+single-simulation engine (docs/PERFORMANCE.md): X runs with several
+worker shards and X_t1 runs the *same* parallel engine with one
+worker, over the same seeds.  Two checks apply:
+
+  the two arms' determinism columns must be IDENTICAL -- the engine's
+  canonical window order is the determinism contract, and simulated
+  results may never depend on the worker count;
+
+  parallel speedup (events_per_sec of X over X_t1) must stay at or
+  above --min-parallel-speedup (default 0.9).  The default only
+  guards against the engine becoming a net loss on the small shared
+  CI runners; the real >= 2x scaling target is asserted on
+  many-core hosts when the baseline is regenerated.  On a
+  single-core host the sharded arm records par_workers == 1 -- both
+  arms are then the same configuration, so the speedup gate is
+  skipped (the ratio would be pure noise) while determinism
+  identity still applies.
+
+A baseline column that is zero (a stale or hand-edited baseline
+file) is reported as an explicit failure telling you to regenerate
+with --update, never as a silent skip or a ZeroDivisionError; a key
+present in the baseline but missing from the current run fails the
+same way.
+
 To regenerate the baseline after an intentional change:
 
     ./build/bench/bench_simspeed --jobs=1
@@ -136,6 +161,9 @@ def main():
     ap.add_argument("--max-prof-slowdown", type=float, default=5.0,
                     help="max events_per_sec ratio of a point over its "
                          "_prof twin")
+    ap.add_argument("--min-parallel-speedup", type=float, default=0.9,
+                    help="min events_per_sec ratio of a parallel point "
+                         "over its single-worker _t1 twin")
     ap.add_argument("--update", action="store_true",
                     help="rewrite BASELINE from CURRENT instead of "
                          "comparing")
@@ -181,12 +209,21 @@ def main():
                     f"(baseline {bvals[key]}, current "
                     f"{cvals.get(key)})")
         for key in THROUGHPUT_KEYS:
-            if key not in bvals or bvals[key] <= 0:
+            if key not in bvals:
                 continue
-            ratio = cvals.get(key, 0.0) / bvals[key]
+            if bvals[key] <= 0:
+                failures.append(
+                    f"{label}.{key}: baseline column is zero -- "
+                    f"regenerate with --update")
+                continue
+            if key not in cvals:
+                failures.append(
+                    f"{label}.{key}: missing from current run")
+                continue
+            ratio = cvals[key] / bvals[key]
             status = "ok" if ratio >= 1.0 - args.tolerance else "FAIL"
             print(f"{label}.{key}: baseline {bvals[key]:.0f} "
-                  f"current {cvals.get(key, 0.0):.0f} "
+                  f"current {cvals[key]:.0f} "
                   f"ratio {ratio:.2f} [{status}]")
             if status == "FAIL":
                 failures.append(
@@ -213,11 +250,18 @@ def main():
                     f"snoop filter changed simulated results")
         for key in THROUGHPUT_KEYS:
             if off.get(key, 0.0) <= 0:
+                failures.append(
+                    f"{off_label}.{key}: column is zero or missing -- "
+                    f"cannot compute the filter speedup")
                 continue
-            speedup = on.get(key, 0.0) / off[key]
+            if key not in on:
+                failures.append(
+                    f"{on_label}.{key}: missing from current run")
+                continue
+            speedup = on[key] / off[key]
             ok = speedup >= args.min_filter_speedup
             print(f"{on_label}.filter_speedup: on "
-                  f"{on.get(key, 0.0):.0f} off {off[key]:.0f} "
+                  f"{on[key]:.0f} off {off[key]:.0f} "
                   f"speedup {speedup:.2f} [{'ok' if ok else 'FAIL'}]")
             if not ok:
                 failures.append(
@@ -244,11 +288,18 @@ def main():
                     f"the self-profiler perturbed simulated results")
         for key in THROUGHPUT_KEYS:
             if prof.get(key, 0.0) <= 0:
+                failures.append(
+                    f"{prof_label}.{key}: column is zero or missing "
+                    f"-- cannot compute the profiling slowdown")
                 continue
-            slowdown = on.get(key, 0.0) / prof[key]
+            if key not in on:
+                failures.append(
+                    f"{on_label}.{key}: missing from current run")
+                continue
+            slowdown = on[key] / prof[key]
             ok = slowdown <= args.max_prof_slowdown
             print(f"{on_label}.prof_slowdown: off "
-                  f"{on.get(key, 0.0):.0f} prof {prof[key]:.0f} "
+                  f"{on[key]:.0f} prof {prof[key]:.0f} "
                   f"slowdown {slowdown:.2f} "
                   f"[{'ok' if ok else 'FAIL'}]")
             if not ok:
@@ -256,6 +307,54 @@ def main():
                     f"{on_label}: profiling slowdown {slowdown:.2f} "
                     f"above {args.max_prof_slowdown:.2f} -- profiled "
                     f"runs are no longer representative")
+
+    # A-B pairs: <label> vs <label>_t1 measured in this run (parallel
+    # engine with N workers vs the same engine with 1 worker).
+    for t1_label in sorted(cur_pts):
+        if not t1_label.endswith("_t1"):
+            continue
+        on_label = t1_label[: -len("_t1")]
+        on = cur_pts.get(on_label)
+        t1 = cur_pts[t1_label]
+        if on is None:
+            failures.append(
+                f"{t1_label}: no matching point {on_label}")
+            continue
+        for key in DETERMINISM_KEYS:
+            if on.get(key) != t1.get(key):
+                failures.append(
+                    f"{on_label}.{key}: thread-count divergence "
+                    f"(sharded {on.get(key)}, 1-worker {t1.get(key)}) "
+                    f"-- the parallel engine broke its determinism "
+                    f"contract")
+        if on.get("par_workers", 0.0) <= 1.0:
+            # Single-core host: the sharded arm ran with one worker,
+            # so both arms are the same configuration and the ratio
+            # would gate on pure run-to-run noise. Determinism
+            # identity above still applies.
+            print(f"{on_label}.parallel_speedup: skipped "
+                  f"(par_workers <= 1; single-core host)")
+            continue
+        for key in THROUGHPUT_KEYS:
+            if t1.get(key, 0.0) <= 0:
+                failures.append(
+                    f"{t1_label}.{key}: column is zero or missing -- "
+                    f"cannot compute the parallel speedup")
+                continue
+            if key not in on:
+                failures.append(
+                    f"{on_label}.{key}: missing from current run")
+                continue
+            speedup = on[key] / t1[key]
+            ok = speedup >= args.min_parallel_speedup
+            print(f"{on_label}.parallel_speedup: sharded "
+                  f"{on[key]:.0f} t1 {t1[key]:.0f} "
+                  f"speedup {speedup:.2f} [{'ok' if ok else 'FAIL'}]")
+            if not ok:
+                failures.append(
+                    f"{on_label}: parallel speedup {speedup:.2f} "
+                    f"below {args.min_parallel_speedup:.2f} -- the "
+                    f"sharded engine is a net loss on this host")
 
     if failures:
         print("perf_check: FAILED", file=sys.stderr)

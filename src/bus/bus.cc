@@ -51,6 +51,18 @@ void
 Bus::request(unsigned slot, BusOp op)
 {
     assert(slot < queues.size());
+    if (eq.foreignLane(lane_)) {
+        // Parallel engine, caller runs on another lane (e.g. a
+        // controller relaying a row-bus delivery onto its column
+        // bus): this bus's state may be live on its own lane right
+        // now. Re-issue the request from this lane's context at the
+        // next window barrier, in canonical cross-lane order.
+        eq.deferToLane(lane_,
+                       [this, slot, op = std::move(op)]() mutable {
+                           request(slot, std::move(op));
+                       });
+        return;
+    }
     if (dead_) {
         ++statDeadDrops;
         MCUBE_LOG(LogCat::Bus, eq.now(),
@@ -73,7 +85,7 @@ Bus::request(unsigned slot, BusOp op)
             MCUBE_LOG(LogCat::Bus, eq.now(),
                       _name << " FAULT delay " << act.delayTicks
                             << " slot=" << slot << " " << op);
-            eq.scheduleIn(act.delayTicks, [this, slot, op] {
+            eq.scheduleInLane(lane_, act.delayTicks, [this, slot, op] {
                 enqueue(slot, op);
                 if (!busy)
                     tryArbitrate();
@@ -226,16 +238,17 @@ Bus::tryArbitrate()
         // release land on the same tick, in that order. Batch them
         // into one event — half the queue traffic of the split form,
         // with an identical firing sequence.
-        eq.scheduleIn(occ, [this, op = std::move(op)] {
+        eq.scheduleInLane(lane_, occ, [this, op = std::move(op)] {
             deliver(op);
             busy = false;
             tryArbitrate();
         });
     } else {
-        eq.scheduleIn(deliver_at, [this, op = std::move(op)] {
-            deliver(op);
-        });
-        eq.scheduleIn(occ, [this] {
+        eq.scheduleInLane(lane_, deliver_at,
+                          [this, op = std::move(op)] {
+                              deliver(op);
+                          });
+        eq.scheduleInLane(lane_, occ, [this] {
             busy = false;
             tryArbitrate();
         });

@@ -209,6 +209,19 @@ class Bus
     /** This bus's profiling domain (row i / col j / none). */
     ProfDomain profDomain() const { return profDom; }
 
+    /**
+     * Pin this bus's internal events (arbitrate/deliver/release) to
+     * parallel-engine lane @p lane (see sim/parallel_engine.hh). A
+     * request() arriving from a foreign lane is deferred to this lane
+     * at the next window barrier in canonical order. Lane 0 (the
+     * serial lane, also the sequential-engine default) is always
+     * valid.
+     */
+    void setScheduleLane(unsigned lane) { lane_ = lane; }
+
+    /** The engine lane this bus's events run on. */
+    unsigned scheduleLane() const { return lane_; }
+
   private:
     /** Assign a serial and place @p op in slot @p slot's FIFO. */
     void enqueue(unsigned slot, BusOp op);
@@ -274,6 +287,7 @@ class Bus
      *  (reused scratch, index-parallel with `agents`). */
     std::vector<std::uint8_t> rejectScratch;
     unsigned lastGranted = 0;
+    unsigned lane_ = 0; //!< parallel-engine lane (0 = serial lane)
     bool busy = false;
     bool dead_ = false;  //!< failStop() latch; never cleared
     std::size_t pending = 0;

@@ -749,8 +749,13 @@ SnoopController::complete(bool success, const LineData &data,
     pending = Pending{};
     if (!cb)
         return;
-    if (extra_latency == 0) {
+    if (extra_latency == 0 && !eq.parallelActive()) {
         cb(res);
+    } else if (extra_latency == 0) {
+        // Parallel engine: completion callbacks may touch
+        // workload-shared state, so they must run on the serial lane
+        // (a zero-delay schedule) instead of inline on a bus lane.
+        eq.scheduleIn(0, [cb = std::move(cb), res] { cb(res); });
     } else {
         // The state transition is atomic with the bus op; only the
         // processor's view of the data is delayed by the DRAM

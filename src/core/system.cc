@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,19 @@ MulticubeSystem::MulticubeSystem(const SystemParams &params)
 {
     const unsigned n = params.n;
 
+    if (params.simThreads > 0) {
+        // Window width: the minimum bus occupancy (arbitration +
+        // header), i.e. the minimum cross-domain hop latency — the
+        // same conservative lookahead bound the coupling analyzer
+        // measures (docs/PERFORMANCE.md).
+        const Tick window = std::max<Tick>(
+            1, params.bus.arbTicks + params.bus.headerTicks);
+        par = std::make_unique<ParallelEngine>(eq, n,
+                                               params.simThreads,
+                                               window);
+        eq.setParallel(par.get());
+    }
+
     rowBuses.reserve(n);
     colBuses.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
@@ -19,6 +33,10 @@ MulticubeSystem::MulticubeSystem(const SystemParams &params)
             "row" + std::to_string(i), eq, params.bus));
         colBuses.push_back(std::make_unique<Bus>(
             "col" + std::to_string(i), eq, params.bus));
+        if (par) {
+            rowBuses.back()->setScheduleLane(par->rowLane(i));
+            colBuses.back()->setScheduleLane(par->colLane(i));
+        }
     }
 
     nodes.reserve(grid.numNodes());

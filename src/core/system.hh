@@ -16,6 +16,7 @@
 #include "core/controller.hh"
 #include "mem/memory_module.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/stats.hh"
 #include "topology/grid_map.hh"
 
@@ -33,6 +34,18 @@ struct SystemParams
     /** Home-column interleave granularity: 0 = by line (default),
      *  p = by 2^p-line pages (Section 3: "by lines or pages"). */
     unsigned homePageShift = 0;
+    /**
+     * Worker threads for the parallel single-simulation engine
+     * (docs/PERFORMANCE.md). 0 (default) selects the classic
+     * sequential engine. Any value >= 1 selects the window-phased
+     * parallel engine, whose results are bit-identical for every
+     * simThreads value (1 included) but follow a different canonical
+     * event order than the sequential engine. Incompatible with
+     * in-process observers that assume a single-threaded queue
+     * (tracing, profiling, metrics sampling, fault injection) —
+     * sweep_cli forces 0 when those are active.
+     */
+    unsigned simThreads = 0;
 };
 
 /** A complete n x n Multicube machine instance. */
@@ -97,6 +110,9 @@ class MulticubeSystem
     const StatGroup &statistics() const { return stats; }
     StatGroup &statistics() { return stats; }
 
+    /** The parallel engine, or nullptr when simThreads == 0. */
+    ParallelEngine *parallelEngine() { return par.get(); }
+
   private:
     SystemParams _params;
     EventQueue eq;
@@ -106,6 +122,10 @@ class MulticubeSystem
     std::vector<std::unique_ptr<Bus>> colBuses;
     std::vector<std::unique_ptr<SnoopController>> nodes;
     std::vector<std::unique_ptr<MemoryModule>> memories;
+    /** Declared last: destroyed first, so pending lane events (which
+     *  capture raw bus/controller pointers) die before their
+     *  targets, and the worker pool stops before teardown. */
+    std::unique_ptr<ParallelEngine> par;
 };
 
 } // namespace mcube

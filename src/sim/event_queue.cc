@@ -2,8 +2,59 @@
 
 #include <algorithm>
 
+#include "sim/parallel_engine.hh"
+
 namespace mcube
 {
+
+void
+EventQueue::parScheduleLane(unsigned lane, Tick when, EventFn fn)
+{
+    par->scheduleLane(lane, when, std::move(fn));
+}
+
+Tick
+EventQueue::parNow() const
+{
+    return par->ctxNow();
+}
+
+bool
+EventQueue::parEmpty() const
+{
+    return par->empty();
+}
+
+bool
+EventQueue::empty() const
+{
+    return heap.empty() && (!par || parEmpty());
+}
+
+std::uint64_t
+EventQueue::eventsExecuted() const
+{
+    return statExecuted.value() + (par ? par->eventsExecuted() : 0);
+}
+
+bool
+EventQueue::foreignLane(unsigned lane) const
+{
+    if (!par)
+        return false;
+    const unsigned ctx = par->ctxLane();
+    return ctx != UINT32_MAX && ctx != lane;
+}
+
+void
+EventQueue::deferToLane(unsigned lane, EventFn fn)
+{
+    if (!par) {
+        fn();
+        return;
+    }
+    par->deferCall(lane, std::move(fn));
+}
 
 void
 EventQueue::siftUp(std::size_t i)
@@ -53,6 +104,17 @@ EventQueue::popTop()
 std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
+    if (par) {
+        // Windows are the smallest unit of parallel work: step whole
+        // windows until drained or the (approximate) limit is met.
+        // Each non-empty window executes at least one event, so drain
+        // loops calling run(1) always make progress.
+        std::uint64_t total = 0;
+        while (!par->empty() && total < limit)
+            total += par->runOneWindow();
+        _now = std::max(_now, par->now());
+        return total;
+    }
     std::uint64_t count = 0;
     while (!heap.empty() && count < limit) {
         Key top = heap.front();
@@ -80,6 +142,12 @@ EventQueue::run(std::uint64_t limit)
 std::uint64_t
 EventQueue::runUntil(Tick end, std::uint64_t limit)
 {
+    if (par) {
+        (void)limit; // window granularity; see header
+        const std::uint64_t n = par->runUntil(end);
+        _now = std::max(_now, par->now());
+        return n;
+    }
     std::uint64_t count = 0;
     while (!heap.empty() && heap.front().when <= end && count < limit) {
         Key top = heap.front();

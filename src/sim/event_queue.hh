@@ -18,9 +18,20 @@
  *    free-listed slab. Sift operations move only the small keys, never
  *    the callables.
  *
- * Scheduling an event in the past is a caller bug: it asserts in debug
- * builds and, in release builds, is clamped to now() and counted in
- * the `sched_past_tick` statistic so the condition stays observable.
+ * Scheduling an event in the past is a caller bug: sequentially it
+ * asserts in debug builds and, in release builds, is clamped to now()
+ * and counted in the `sched_past_tick` statistic so the condition
+ * stays observable. Under the parallel engine (see below) the clamp
+ * would silently mask a cross-shard causality violation, so a past
+ * tick is a hard error (abort) there, in every build mode.
+ *
+ * The queue can optionally route through a ParallelEngine
+ * (sim/parallel_engine.hh): when a MulticubeSystem is built with
+ * simThreads > 0 the queue's schedules are sharded into per-bus-domain
+ * lanes and executed window-by-window on a worker pool. Callers keep
+ * using the same schedule()/run()/runUntil() surface; bus code uses
+ * scheduleInLane() to pin its internal events to its lane, and
+ * everything else lands on the serial lane.
  */
 
 #ifndef MCUBE_SIM_EVENT_QUEUE_HH
@@ -40,6 +51,8 @@
 
 namespace mcube
 {
+
+class ParallelEngine;
 
 /**
  * A move-only type-erased callable with inline small-buffer storage.
@@ -178,21 +191,46 @@ class EventQueue
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return _now; }
+    /** Current simulated time (context-aware in parallel mode: the
+     *  running event's tick on a worker lane). */
+    Tick now() const { return par ? parNow() : _now; }
+
+    /**
+     * Attach (or detach, with nullptr) a parallel engine. While
+     * attached, every schedule is routed to an engine lane — plain
+     * schedule()/scheduleIn() to the serial lane, scheduleInLane() to
+     * the named lane — and run()/runUntil() drive the engine's
+     * window loop. Must only be flipped while the queue is idle.
+     */
+    void setParallel(ParallelEngine *p) { par = p; }
+
+    /** The attached engine, if any. */
+    ParallelEngine *parallel() const { return par; }
+
+    /** True when schedules route through a parallel engine. */
+    bool parallelActive() const { return par != nullptr; }
 
     /**
      * Schedule a callable at an absolute tick.
      *
-     * @param when Absolute tick; must be >= now(). A past tick asserts
-     *             in debug builds; release builds clamp to now() and
-     *             count the event in `sched_past_tick`.
+     * @param when Absolute tick; must be >= now(). Sequentially a past
+     *             tick asserts in debug builds and release builds
+     *             clamp to now() and count the event in
+     *             `sched_past_tick`; under the parallel engine a past
+     *             tick aborts (it would be a cross-shard causality
+     *             violation a clamp would silently mask).
      * @param f Callable to invoke.
      */
     template <typename F>
     void
     schedule(Tick when, F &&f)
     {
+        if (par) {
+            // Non-bus events (timers, callbacks, workload arrivals)
+            // serialize on lane 0; see sim/parallel_engine.hh.
+            parScheduleLane(0, when, EventFn(std::forward<F>(f)));
+            return;
+        }
         if (when < _now) {
             assert(when >= _now && "event scheduled in the past");
             ++statPastTick;
@@ -218,17 +256,50 @@ class EventQueue
     void
     scheduleIn(Tick delay, F &&f)
     {
-        schedule(_now + delay, std::forward<F>(f));
+        schedule(now() + delay, std::forward<F>(f));
     }
 
-    /** True if no events remain. */
-    bool empty() const { return heap.empty(); }
+    /**
+     * Schedule a callable @p delay ticks in the future on engine lane
+     * @p lane (used by buses for their internal arbitrate/deliver/
+     * release events). Sequentially this is exactly scheduleIn().
+     */
+    template <typename F>
+    void
+    scheduleInLane(unsigned lane, Tick delay, F &&f)
+    {
+        if (!par) {
+            schedule(_now + delay, std::forward<F>(f));
+            return;
+        }
+        parScheduleLane(lane, parNow() + delay,
+                        EventFn(std::forward<F>(f)));
+    }
 
-    /** Number of pending events. */
+    /**
+     * True when the calling context runs on a parallel-engine lane
+     * other than @p lane. Components pinned to a lane (buses) use this
+     * to detect calls arriving from a foreign lane, which must be
+     * deferred with deferToLane() instead of touching their state.
+     */
+    bool foreignLane(unsigned lane) const;
+
+    /**
+     * Defer @p fn to run under lane @p lane's context at the next
+     * window barrier, in canonical cross-lane order (no-op wrapper
+     * around an immediate call when no engine is attached).
+     */
+    void deferToLane(unsigned lane, EventFn fn);
+
+    /** True if no events remain. */
+    bool empty() const;
+
+    /** Number of pending events in the sequential heap (lane-resident
+     *  events are counted by the engine's telemetry instead). */
     std::size_t size() const { return heap.size(); }
 
     /** Total number of events ever executed. */
-    std::uint64_t eventsExecuted() const { return statExecuted.value(); }
+    std::uint64_t eventsExecuted() const;
 
     /** Schedules that targeted a past tick (clamped in release). */
     std::uint64_t schedPastTick() const { return statPastTick.value(); }
@@ -245,12 +316,19 @@ class EventQueue
     /**
      * Run until simulated time reaches @p end (events at exactly @p end
      * do fire), the queue drains, or @p limit events execute. Time is
-     * left at @p end if the queue drained earlier.
+     * left at @p end if the queue drained earlier. In parallel mode a
+     * window is the smallest unit of work, so @p limit is honored at
+     * window granularity (run() executes at least one whole window).
      * @return number of events executed by this call.
      */
     std::uint64_t runUntil(Tick end, std::uint64_t limit = UINT64_MAX);
 
   private:
+    /** Out-of-line parallel-engine hooks (keep the header decoupled
+     *  from parallel_engine.hh). */
+    void parScheduleLane(unsigned lane, Tick when, EventFn fn);
+    Tick parNow() const;
+    bool parEmpty() const;
     /** Heap key: priority (when, seq) plus the owning slab slot. */
     struct Key
     {
@@ -279,6 +357,7 @@ class EventQueue
 
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
+    ParallelEngine *par = nullptr;
 
     Counter statExecuted;
     Counter statPastTick;

@@ -224,16 +224,23 @@ SimProfiler::frameLabel(const Node &n) const
 }
 
 double
-SimProfiler::ShardingView::speedupAt(unsigned k) const
+amdahlSpeedup(double serial_frac, double parallel_frac,
+              double imbalance, unsigned k)
 {
     if (k <= 1)
         return 1.0;
     double denom =
-        serialFracNs + parallelFracNs * imbalance / static_cast<double>(k);
+        serial_frac + parallel_frac * imbalance / static_cast<double>(k);
     if (denom <= 0.0)
         return static_cast<double>(k);
     double s = 1.0 / denom;
     return std::min(s, static_cast<double>(k));
+}
+
+double
+SimProfiler::ShardingView::speedupAt(unsigned k) const
+{
+    return amdahlSpeedup(serialFracNs, parallelFracNs, imbalance, k);
 }
 
 namespace

@@ -72,6 +72,16 @@ enum class ProfKind : std::uint8_t
 const char *toString(ProfKind kind);
 
 /**
+ * Amdahl-style speedup for @p k shards: 1 / (serial + parallel *
+ * imbalance / k), capped at k. Shared by the coupling analyzer's
+ * projection (ShardingView::speedupAt) and the parallel engine's
+ * realized-vs-projected telemetry (ParallelEngine::Telemetry), so the
+ * two always agree on the model.
+ */
+double amdahlSpeedup(double serial_frac, double parallel_frac,
+                     double imbalance, unsigned k);
+
+/**
  * The domain an event belongs to: one row bus, one column bus, or
  * none (workload callbacks, timers, anything not tied to a bus).
  */

@@ -158,8 +158,16 @@ class Histogram
     double total() const { return sum; }
 
     /**
-     * Approximate quantile for @p q in [0, 1]. Empty histograms
-     * report 0. q <= 0 reports min(), q >= 1 reports max().
+     * Approximate quantile for @p q in [0, 1]. q <= 0 reports min(),
+     * q >= 1 reports max().
+     *
+     * Empty-histogram convention: with no samples, every derived
+     * statistic — mean, min, max and all percentiles — reports 0.0,
+     * never NaN and never a division by zero. A single sample is
+     * reported exactly at every percentile (interpolation is clamped
+     * to [min, max]). This keeps dump/dumpJson/flatten output finite
+     * unconditionally; NaN is not valid JSON, and BENCH_*.json is
+     * machine-parsed by scripts/perf_check.py.
      */
     double percentile(double q) const;
 

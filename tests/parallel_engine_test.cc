@@ -1,0 +1,207 @@
+/** @file
+ * Determinism contract of the parallel single-simulation engine.
+ *
+ * The engine's promise (docs/PERFORMANCE.md) is that a fixed-seed run
+ * produces bit-identical simulated results for ANY --sim-threads
+ * value: the canonical window schedule — per-lane (tick, seq) order
+ * inside phases, (tick, source lane, source order) at the cross-lane
+ * merges — is a function of the configuration alone, never of the
+ * worker count or of host scheduling. These tests run the same mixed
+ * workload with 1, 2, 4 and 8 workers and require the *entire*
+ * flattened stat tree, the final tick and the event count to match
+ * the 1-worker run exactly. The tsan CI job runs this binary too, so
+ * the same sweep doubles as the engine's data-race gate.
+ *
+ * Also covered: the hard-error contract for past-tick scheduling in
+ * parallel mode (a death test — sequentially the queue clamps and
+ * counts instead), drain termination, and telemetry consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/system.hh"
+#include "proc/mix_workload.hh"
+#include "sim/parallel_engine.hh"
+
+using namespace mcube;
+
+namespace
+{
+
+struct RunOutcome
+{
+    std::map<std::string, double> stats;
+    Tick endTick = 0;
+    std::uint64_t events = 0;
+    bool drained = false;
+};
+
+RunOutcome
+runMix(unsigned n, unsigned threads, std::uint64_t seed, double rate,
+       Tick sim_ticks)
+{
+    SystemParams sp;
+    sp.n = n;
+    sp.seed = seed;
+    sp.simThreads = threads;
+    MulticubeSystem sys(sp);
+
+    MixParams mix;
+    mix.requestsPerMs = rate;
+    mix.seed = seed + 1;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(sim_ticks);
+    wl.stop();
+
+    RunOutcome out;
+    out.drained = sys.drain();
+    sys.statistics().flatten(out.stats);
+    out.endTick = sys.eventQueue().now();
+    out.events = sys.eventQueue().eventsExecuted();
+    return out;
+}
+
+void
+expectIdentical(const RunOutcome &ref, const RunOutcome &got,
+                unsigned threads)
+{
+    EXPECT_TRUE(got.drained) << threads << " workers: did not drain";
+    EXPECT_EQ(ref.endTick, got.endTick) << threads << " workers";
+    EXPECT_EQ(ref.events, got.events) << threads << " workers";
+    ASSERT_EQ(ref.stats.size(), got.stats.size())
+        << threads << " workers: stat tree shape changed";
+    auto a = ref.stats.begin();
+    auto b = got.stats.begin();
+    for (; a != ref.stats.end(); ++a, ++b) {
+        EXPECT_EQ(a->first, b->first) << threads << " workers";
+        // Bit-identical contract: exact double equality, no epsilon.
+        EXPECT_EQ(a->second, b->second)
+            << threads << " workers diverge at " << a->first;
+    }
+}
+
+} // namespace
+
+TEST(ParallelEngine, BitIdenticalAcrossWorkerCounts)
+{
+    const RunOutcome ref = runMix(8, 1, 0xC0FFEE, 40.0, 400'000);
+    EXPECT_TRUE(ref.drained);
+    EXPECT_GT(ref.events, 0u);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const RunOutcome got =
+            runMix(8, threads, 0xC0FFEE, 40.0, 400'000);
+        expectIdentical(ref, got, threads);
+    }
+}
+
+TEST(ParallelEngine, BitIdenticalOnSmallGridHighRate)
+{
+    // n=4 with 8 requested workers exercises the clamp to n lanes per
+    // phase; the high rate keeps every lane busy in most windows.
+    const RunOutcome ref = runMix(4, 1, 987654321, 120.0, 300'000);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const RunOutcome got =
+            runMix(4, threads, 987654321, 120.0, 300'000);
+        expectIdentical(ref, got, threads);
+    }
+}
+
+TEST(ParallelEngine, DrainTerminatesAndSystemQuiesces)
+{
+    SystemParams sp;
+    sp.n = 4;
+    sp.simThreads = 4;
+    MulticubeSystem sys(sp);
+    MixParams mix;
+    mix.requestsPerMs = 50.0;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(200'000);
+    wl.stop();
+    EXPECT_TRUE(sys.drain());
+    EXPECT_TRUE(sys.eventQueue().empty());
+    for (unsigned i = 0; i < sp.n; ++i) {
+        EXPECT_EQ(sys.rowBus(i).pendingOps(), 0u);
+        EXPECT_EQ(sys.colBus(i).pendingOps(), 0u);
+    }
+}
+
+TEST(ParallelEngine, TelemetryAccountsForEveryEvent)
+{
+    SystemParams sp;
+    sp.n = 4;
+    sp.simThreads = 2;
+    MulticubeSystem sys(sp);
+    MixParams mix;
+    mix.requestsPerMs = 50.0;
+    MixWorkload wl(sys, mix);
+    wl.start();
+    sys.run(200'000);
+    wl.stop();
+    ASSERT_TRUE(sys.drain());
+
+    ASSERT_NE(sys.parallelEngine(), nullptr);
+    const ParallelEngine::Telemetry t =
+        sys.parallelEngine()->telemetry();
+    EXPECT_GT(t.events, 0u);
+    EXPECT_EQ(t.events, t.serialEvents + t.rowEvents + t.colEvents);
+    std::uint64_t lane_sum = 0;
+    for (std::uint64_t e : t.laneEvents)
+        lane_sum += e;
+    EXPECT_EQ(t.events, lane_sum);
+    std::uint64_t worker_sum = t.serialEvents; // serial runs unlogged
+    for (std::uint64_t e : t.workerEvents)
+        worker_sum += e;
+    EXPECT_EQ(t.events, worker_sum);
+    EXPECT_GT(t.windows, 0u);
+    EXPECT_EQ(t.workersEffective, 2u);
+    const double proj = t.projectedSpeedup(4);
+    EXPECT_GE(proj, 1.0);
+    EXPECT_LE(proj, 4.0);
+    EXPECT_EQ(t.events, sys.eventQueue().eventsExecuted());
+}
+
+TEST(ParallelEngine, EmptyStretchesAreSkippedNotStepped)
+{
+    // Two events half a simulated second apart: the window loop must
+    // jump the gap instead of grinding through ~10^4 empty windows.
+    SystemParams sp;
+    sp.n = 4;
+    sp.simThreads = 2;
+    MulticubeSystem sys(sp);
+    EventQueue &eq = sys.eventQueue();
+    unsigned fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(500'000'000, [&] { ++fired; });
+    eq.runUntil(500'000'000);
+    EXPECT_EQ(fired, 2u);
+    EXPECT_EQ(eq.now(), 500'000'000u);
+    ASSERT_NE(sys.parallelEngine(), nullptr);
+    EXPECT_LT(sys.parallelEngine()->telemetry().windows, 16u);
+}
+
+TEST(ParallelEngineDeathTest, PastTickScheduleAbortsInParallelMode)
+{
+    // The sequential queue clamps past-tick schedules (counted in
+    // sched_past_tick); the parallel engine must abort instead — a
+    // clamp there would silently mask a cross-shard causality
+    // violation. Death tests fork, so use the threadsafe style (the
+    // engine owns a worker pool).
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            SystemParams sp;
+            sp.n = 4;
+            sp.simThreads = 1;
+            MulticubeSystem sys(sp);
+            EventQueue &eq = sys.eventQueue();
+            eq.schedule(1'000, [] {});
+            eq.runUntil(10'000);
+            eq.schedule(5'000, [] {}); // now() is 10'000: the past
+        },
+        "scheduled in the past");
+}

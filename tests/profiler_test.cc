@@ -134,9 +134,15 @@ TEST(SimProfiler, CouplingSummaryIsSane)
         EXPECT_LE(v->parallelFracNs, 1.0);
         EXPECT_NEAR(v->parallelFracNs + v->serialFracNs, 1.0, 1e-9);
         EXPECT_GE(v->imbalance, 1.0);
-        // Amdahl projection: bounded by k, monotone in k.
+        // Amdahl projection: bounded by k, and monotone in k from
+        // k=2 up (denominator shrinks as k grows). k=1 is pinned to
+        // exactly 1.0 and excluded from the monotone sweep: under a
+        // loaded host the measured imbalance can legitimately exceed
+        // 2, making the honest 2-shard projection *less* than 1 — a
+        // projected net loss, not a model bug.
+        EXPECT_DOUBLE_EQ(v->speedupAt(1), 1.0);
         double prev = 0.0;
-        for (unsigned k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        for (unsigned k : {2u, 4u, 8u, 16u, 32u}) {
             double sp = v->speedupAt(k);
             EXPECT_GE(sp, prev * (1.0 - 1e-12));
             EXPECT_LE(sp, static_cast<double>(k) + 1e-9);

@@ -238,6 +238,77 @@ TEST(Histogram, SingleSampleIsExact)
     EXPECT_DOUBLE_EQ(h.max(), 100.0);
 }
 
+// ---------------------------------------------------------------------
+// 0-sample and 1-sample edge cases across every export path. The
+// convention (see Histogram::percentile): an EMPTY histogram or
+// distribution reports 0.0 for every derived statistic — mean,
+// variance, stddev, min, max and all percentiles — never NaN or a
+// division by zero; a SINGLE sample reports that sample exactly for
+// every percentile (interpolation clamps to [min, max]). BENCH_*.json
+// files are parsed by scripts/perf_check.py, and NaN is not valid
+// JSON, so any non-finite value here would corrupt the perf gate.
+// ---------------------------------------------------------------------
+
+TEST(Histogram, ZeroAndOneSamplePercentileTailsAreFinite)
+{
+    Histogram empty;
+    for (double q : {0.5, 0.95, 0.99, 0.999}) {
+        EXPECT_TRUE(std::isfinite(empty.percentile(q))) << q;
+        EXPECT_DOUBLE_EQ(empty.percentile(q), 0.0) << q;
+    }
+    EXPECT_DOUBLE_EQ(empty.p999(), 0.0);
+
+    Histogram one;
+    one.sample(37.0);
+    for (double q : {0.5, 0.95, 0.99, 0.999}) {
+        EXPECT_TRUE(std::isfinite(one.percentile(q))) << q;
+        EXPECT_DOUBLE_EQ(one.percentile(q), 37.0) << q;
+    }
+    EXPECT_DOUBLE_EQ(one.p999(), 37.0);
+}
+
+TEST(StatGroup, EmptyAndSingleSampleDumpsStayFinite)
+{
+    Histogram empty_h, one_h;
+    Distribution empty_d, one_d;
+    one_h.sample(42.0);
+    one_d.sample(42.0);
+
+    StatGroup g("edge");
+    g.addHistogram("empty_h", empty_h);
+    g.addHistogram("one_h", one_h);
+    g.addDistribution("empty_d", empty_d);
+    g.addDistribution("one_d", one_d);
+
+    // flatten: every value finite; empty stats all-zero.
+    std::map<std::string, double> flat;
+    g.flatten(flat);
+    ASSERT_FALSE(flat.empty());
+    for (const auto &[name, value] : flat) {
+        EXPECT_TRUE(std::isfinite(value)) << name;
+        if (name.find("empty_") != std::string::npos)
+            EXPECT_DOUBLE_EQ(value, 0.0) << name;
+    }
+    EXPECT_DOUBLE_EQ(flat.at("edge.one_h.p50"), 42.0);
+    EXPECT_DOUBLE_EQ(flat.at("edge.one_h.p999"), 42.0);
+    EXPECT_DOUBLE_EQ(flat.at("edge.one_d.variance"), 0.0);
+
+    // dumpJson: no NaN/inf tokens (NaN is invalid JSON and would
+    // corrupt BENCH_*.json for perf_check.py).
+    std::ostringstream json;
+    g.dumpJson(json);
+    const std::string js = json.str();
+    EXPECT_EQ(js.find("nan"), std::string::npos);
+    EXPECT_EQ(js.find("inf"), std::string::npos);
+    EXPECT_NE(js.find("\"empty_h\""), std::string::npos);
+
+    // Plain-text dump survives too.
+    std::ostringstream text;
+    g.dump(text);
+    EXPECT_EQ(text.str().find("nan"), std::string::npos);
+    EXPECT_EQ(text.str().find("-nan"), std::string::npos);
+}
+
 TEST(Histogram, PercentilesClampedAndOrdered)
 {
     Histogram h;
