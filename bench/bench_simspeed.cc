@@ -22,11 +22,26 @@
  * *_par points parallelize *inside* one simulation via the
  * window-phased engine instead — that pool is still exclusive under
  * --jobs=1.)
+ *
+ * Parallel points additionally export the engine's serial-lane
+ * telemetry as par_* columns (par_projected_speedup,
+ * par_serial_frac_events, par_serial_events_per_window,
+ * par_peak_rss_bytes, ...) so perf_check.py can report the realized
+ * and Amdahl-projected speedups side by side and the serial-lane
+ * pressure trend is diffable across commits.
+ *
+ * Setting MCUBE_BENCH_N128=1 adds the sim_n128 / sim_n128_t1 pair —
+ * a 128x128 machine (16K processors, the paper's headline scale) on
+ * the sharded engine. It is env-gated so the ordinary perf-smoke run
+ * stays fast; CI's scheduled sim-n128-canary job enables it and gates
+ * the pair against bench/baseline_simspeed_n128.json.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +62,16 @@ std::string
 pointLabel(unsigned n)
 {
     return "sim_n" + std::to_string(n);
+}
+
+void recordPoint(benchmark::State &state, const std::string &label);
+
+/** The n=128 scale canary is opt-in (see the file comment). */
+bool
+n128Enabled()
+{
+    const char *e = std::getenv("MCUBE_BENCH_N128");
+    return e && *e && std::strcmp(e, "0") != 0;
 }
 
 const bool kDeclared = [] {
@@ -128,11 +153,13 @@ const bool kDeclared = [] {
     // sequential n=64 sweep point would take at n32's interval.
     const unsigned par_workers = std::max(
         1u, std::min(4u, std::thread::hardware_concurrency()));
-    // Each point records its worker count as a par_workers column:
-    // on a single-core host both arms of a pair collapse to the same
-    // configuration, and perf_check.py uses the column to skip the
-    // (meaningless, pure-noise) speedup ratio there while still
-    // enforcing determinism identity.
+    // Each point records its effective worker count as a par_workers
+    // column (emitted by toMetrics from the engine telemetry, next to
+    // the other par_* serial-lane columns): on a single-core host both
+    // arms of a pair collapse to the same configuration, and
+    // perf_check.py uses the column to skip the (meaningless,
+    // pure-noise) speedup ratio there while still enforcing
+    // determinism identity.
     auto declareParSim = [](const std::string &label, unsigned n,
                             MixParams m, double sim_ms,
                             unsigned workers, std::uint64_t idx) {
@@ -141,9 +168,7 @@ const bool kDeclared = [] {
             sp.simThreads = workers;
             sp.seed = sweep::pointSeed(sp.seed, idx);
             m.seed = sweep::pointSeed(m.seed, idx);
-            Metrics out = toMetrics(runMixSim(n, m, sim_ms, &sp));
-            out["par_workers"] = static_cast<double>(workers);
-            return out;
+            return toMetrics(runMixSim(n, m, sim_ms, &sp));
         });
     };
 
@@ -155,6 +180,32 @@ const bool kDeclared = [] {
     declareParSim("sim_n32_par", 32, mix, 0.5, par_workers,
                   par32_index);
     declareParSim("sim_n32_par_t1", 32, mix, 0.5, 1, par32_index);
+
+    // Opt-in n=128 pair: 16K processors, the paper's headline machine,
+    // as a routine sharded-engine run. Declared (and registered as
+    // benchmarks) last so enabling it never shifts the seed-derivation
+    // indices of the always-on points above. The simulated interval is
+    // short — the point of the canary is that the *scale* is routine:
+    // it must build, run in minutes, hold determinism across worker
+    // counts and keep the realized/projected speedup honest, not chew
+    // through milliseconds of simulated time.
+    if (n128Enabled()) {
+        const std::uint64_t n128_index = SweepCache::instance().size();
+        declareParSim("sim_n128", 128, mix, 0.05, par_workers,
+                      n128_index);
+        declareParSim("sim_n128_t1", 128, mix, 0.05, 1, n128_index);
+        for (const char *bm : {"BM_SimSpeedN128", "BM_SimSpeedN128T1"}) {
+            const std::string label = std::strstr(bm, "T1")
+                                          ? "sim_n128_t1"
+                                          : "sim_n128";
+            benchmark::RegisterBenchmark(
+                bm,
+                [label](benchmark::State &st) { recordPoint(st, label); })
+                ->Iterations(1)
+                ->UseManualTime()
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
     return true;
 }();
 
@@ -176,9 +227,12 @@ recordPoint(benchmark::State &state, const std::string &label)
     out["transactions"] = m.at("transactions");
     out["efficiency"] = m.at("efficiency");
     // The prof twin embeds its coupling summary as prof_* columns so
-    // the parallelism-readiness trend is diffable across commits.
+    // the parallelism-readiness trend is diffable across commits, and
+    // parallel points carry their par_* serial-lane telemetry —
+    // perf_check.py reads par_workers and par_projected_speedup from
+    // here, so dropping them would silently disable the speedup gate.
     for (const auto &[name, value] : m)
-        if (name.rfind("prof_", 0) == 0)
+        if (name.rfind("prof_", 0) == 0 || name.rfind("par_", 0) == 0)
             out[name] = value;
 
     for (const auto &[name, value] : out)

@@ -25,9 +25,13 @@
  *                          "Parallel single-simulation engine"), but
  *                          the engine is a distinct canonical
  *                          schedule from N=0. Owns the worker pool,
- *                          so it forces --jobs=1; tracing, metrics,
- *                          profiling and fault injection force it
- *                          back to 0 (with a warning).
+ *                          so it forces --jobs=1. Profiling and
+ *                          tracing compose with it (lane-sharded,
+ *                          merged canonically; output is
+ *                          bit-identical for any N); metrics sampling
+ *                          and fault injection still force it back to
+ *                          0, each with one stderr line naming the
+ *                          flag (sim/sim_threads_policy.hh).
  *   --par-stats-out=f.json per-shard engine telemetry (lane/worker
  *                          event attribution, phase timing, realized
  *                          vs projected speedup); needs
@@ -124,6 +128,7 @@
 #include "run/work_journal.hh"
 #include "sim/parallel_engine.hh"
 #include "sim/profiler.hh"
+#include "sim/sim_threads_policy.hh"
 #include "sim/sweep_runner.hh"
 #include "trace/metrics_sampler.hh"
 #include "trace/trace_event.hh"
@@ -565,20 +570,26 @@ main(int argc, char **argv)
                      "--jobs=1\n";
         jobs = 1;
     }
-    // The parallel single-simulation engine needs exclusive lane
-    // ownership inside one system: the observers above hook
-    // process-global state from arbitrary threads, and fault
-    // injection/reconfiguration rewires buses mid-run, so any of them
-    // forces the sequential engine. When the engine *is* active it
-    // owns the worker pool — point-level --jobs parallelism would
-    // oversubscribe the host, so jobs collapses to 1.
-    if (opt.simThreads > 0) {
-        if (observing || opt.faultDrop > 0.0 || opt.haveFaultPlan) {
-            std::cerr << "sweep_cli: tracing/metrics/profiling and "
-                         "fault injection require the sequential "
-                         "engine; forcing --sim-threads=0\n";
-            opt.simThreads = 0;
-        } else if (jobs > 1) {
+    // Profiling and tracing are lane-aware (per-lane shards, merged
+    // canonically at window boundaries) and compose with the parallel
+    // single-simulation engine; metrics sampling and fault injection
+    // still need the sequential engine. The policy — and the exact
+    // warning text naming each forcing flag — lives in the library so
+    // tests can assert it (sim/sim_threads_policy.hh). When the
+    // engine *is* active it owns the worker pool — point-level --jobs
+    // parallelism would oversubscribe the host, so jobs collapses
+    // to 1.
+    {
+        SimThreadsRequest req;
+        req.simThreads = opt.simThreads;
+        req.metricsSampling = !opt.metricsOut.empty();
+        req.faultDrop = opt.faultDrop > 0.0;
+        req.faultPlan = opt.haveFaultPlan;
+        SimThreadsDecision dec = resolveSimThreads(req);
+        for (const std::string &w : dec.warnings)
+            std::cerr << "sweep_cli: " << w << "\n";
+        opt.simThreads = dec.simThreads;
+        if (opt.simThreads > 0 && jobs > 1) {
             std::cerr << "sweep_cli: --sim-threads owns the worker "
                          "pool; forcing --jobs=1\n";
             jobs = 1;

@@ -56,11 +56,27 @@ worker, over the same seeds.  Two checks apply:
   above --min-parallel-speedup (default 0.9).  The default only
   guards against the engine becoming a net loss on the small shared
   CI runners; the real >= 2x scaling target is asserted on
-  many-core hosts when the baseline is regenerated.  On a
-  single-core host the sharded arm records par_workers == 1 -- both
-  arms are then the same configuration, so the speedup gate is
-  skipped (the ratio would be pure noise) while determinism
-  identity still applies.
+  many-core hosts when the baseline is regenerated.  The realized
+  speedup is reported side by side with the engine's own Amdahl
+  projection (the par_projected_speedup column, derived from the
+  realized serial-lane event fraction): realized far below projected
+  means engine overhead (barriers, merges), projected itself low
+  means the serial lane has grown and sharding more work off it is
+  the fix.  On a single-core host the sharded arm records
+  par_workers == 1 -- both arms are then the same configuration, so
+  the speedup gate is skipped (the ratio would be pure noise) while
+  determinism identity still applies.  A sharded arm with NO
+  par_workers column at all is an explicit failure naming the
+  column, never a silent skip: it means the bench stopped exporting
+  the parallel telemetry and the gate would otherwise quietly die.
+
+--points-prefix PFX restricts the baseline comparison, the A-B
+pairing and --update to points whose label starts with PFX.  CI's
+scheduled sim-n128-canary job uses it to gate only the env-gated
+sim_n128 pair against its own baseline
+(bench/baseline_simspeed_n128.json) while the ordinary perf-smoke
+baseline stays free of points that a default bench run does not
+produce.
 
 A baseline column that is zero (a stale or hand-edited baseline
 file) is reported as an explicit failure telling you to regenerate
@@ -174,6 +190,10 @@ def main():
     ap.add_argument("--min-availability", type=float, default=0.99,
                     help="min fraction of offered transactions the "
                          "degraded machine must complete")
+    ap.add_argument("--points-prefix", default="",
+                    help="only consider points whose label starts "
+                         "with this prefix (comparison, A-B pairing "
+                         "and --update alike)")
     args = ap.parse_args()
 
     if args.availability_gate:
@@ -182,6 +202,13 @@ def main():
         ap.error("BASELINE is required unless --availability-gate")
 
     cur = load(args.current)
+    if args.points_prefix:
+        cur["points"] = {k: v for k, v in cur.get("points", {}).items()
+                         if k.startswith(args.points_prefix)}
+        if not cur["points"]:
+            print(f"perf_check: {args.current} has no points matching "
+                  f"prefix '{args.points_prefix}'", file=sys.stderr)
+            return 1
     if args.update:
         cur["git_rev"] = "baseline"
         with open(args.baseline, "w") as f:
@@ -192,7 +219,8 @@ def main():
 
     base = load(args.baseline)
     cur_pts = cur.get("points", {})
-    base_pts = base.get("points", {})
+    base_pts = {k: v for k, v in base.get("points", {}).items()
+                if k.startswith(args.points_prefix)}
     failures = []
 
     for label, bvals in sorted(base_pts.items()):
@@ -327,13 +355,34 @@ def main():
                     f"(sharded {on.get(key)}, 1-worker {t1.get(key)}) "
                     f"-- the parallel engine broke its determinism "
                     f"contract")
-        if on.get("par_workers", 0.0) <= 1.0:
+        if "par_workers" not in on:
+            # Not a legitimate single-core skip: the bench stopped
+            # exporting the parallel telemetry, so the gate cannot even
+            # tell whether the speedup ratio is meaningful. Name the
+            # column -- a bare KeyError here once cost a debugging
+            # session.
+            failures.append(
+                f"{on_label}: sharded arm is missing the par_workers "
+                f"column -- the bench did not export the parallel "
+                f"telemetry (toMetrics/recordPoint must carry the "
+                f"par_* columns), so the parallel speedup gate "
+                f"cannot run")
+            continue
+        projected = on.get("par_projected_speedup", 0.0)
+        proj_txt = (f" projected {projected:.2f}"
+                    f" (serial_frac "
+                    f"{on.get('par_serial_frac_events', 0.0):.3f})"
+                    if projected > 0.0 else "")
+        if on["par_workers"] <= 1.0:
             # Single-core host: the sharded arm ran with one worker,
             # so both arms are the same configuration and the ratio
             # would gate on pure run-to-run noise. Determinism
-            # identity above still applies.
+            # identity above still applies; the projection is still
+            # worth printing -- it is derived from event counts, not
+            # wall clock, so it is meaningful even here.
             print(f"{on_label}.parallel_speedup: skipped "
-                  f"(par_workers <= 1; single-core host)")
+                  f"(par_workers <= 1; single-core host)"
+                  f"{proj_txt}")
             continue
         for key in THROUGHPUT_KEYS:
             if t1.get(key, 0.0) <= 0:
@@ -349,12 +398,14 @@ def main():
             ok = speedup >= args.min_parallel_speedup
             print(f"{on_label}.parallel_speedup: sharded "
                   f"{on[key]:.0f} t1 {t1[key]:.0f} "
-                  f"speedup {speedup:.2f} [{'ok' if ok else 'FAIL'}]")
+                  f"realized {speedup:.2f}{proj_txt} "
+                  f"[{'ok' if ok else 'FAIL'}]")
             if not ok:
                 failures.append(
-                    f"{on_label}: parallel speedup {speedup:.2f} "
-                    f"below {args.min_parallel_speedup:.2f} -- the "
-                    f"sharded engine is a net loss on this host")
+                    f"{on_label}: realized parallel speedup "
+                    f"{speedup:.2f} below "
+                    f"{args.min_parallel_speedup:.2f}{proj_txt} -- "
+                    f"the sharded engine is a net loss on this host")
 
     if failures:
         print("perf_check: FAILED", file=sys.stderr)

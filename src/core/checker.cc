@@ -1,5 +1,6 @@
 #include "core/checker.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -38,6 +39,14 @@ CoherenceChecker::CoherenceChecker(MulticubeSystem &sys,
                 Tick settled = (pp && *pp > 0) ? maxTick : eq.now();
                 h.push_back({eq.now(), token, settled});
             };
+    }
+
+    if (ParallelEngine *eng = sys.parallelEngine()) {
+        // Under the window-phased engine the per-op checks read live
+        // global state, which is only consistent with the canonical
+        // golden history at window barriers (see Tap::snoop).
+        barrierChecks = true;
+        eng->addBarrierHook([this] { flushWindowChecks(); });
     }
 }
 
@@ -181,9 +190,39 @@ CoherenceChecker::afterOp(const BusOp &op, bool is_row)
         }
     }
 
+    if (barrierChecks) {
+        // Check at the window barrier, once every same-window commit
+        // (possibly canonically later than this op) has landed in the
+        // golden history the checks compare against.
+        windowAddrs.push_back(op.addr);
+        if (fullInterval && _ops % fullInterval == 0)
+            sweepDue = true;
+        return;
+    }
     checkLine(op.addr);
     if (fullInterval && _ops % fullInterval == 0)
         fullSweep(false);
+}
+
+void
+CoherenceChecker::flushWindowChecks()
+{
+    if (!windowAddrs.empty()) {
+        // Dedup: one end-of-window check per distinct line covers
+        // every op on it this window (the final state is the only one
+        // observable here).
+        std::sort(windowAddrs.begin(), windowAddrs.end());
+        windowAddrs.erase(
+            std::unique(windowAddrs.begin(), windowAddrs.end()),
+            windowAddrs.end());
+        for (Addr addr : windowAddrs)
+            checkLine(addr);
+        windowAddrs.clear();
+    }
+    if (sweepDue) {
+        sweepDue = false;
+        fullSweep(false);
+    }
 }
 
 void

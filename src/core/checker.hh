@@ -188,7 +188,28 @@ class CoherenceChecker
         void
         snoop(const BusOp &op, bool) override
         {
-            checker->afterOp(op, isRow);
+            EventQueue &eq = checker->sys.eventQueue();
+            if (eq.parallelActive()) {
+                // Checker state is global, so the observation crosses
+                // from the bus's lane to the serial lane, where
+                // afterOp replays in canonical cross-lane order (taps
+                // attach after every functional agent, so within one
+                // delivery the controllers' commit-hook deferrals
+                // sort first). The invariant checks themselves do NOT
+                // run there: they read live cache/memory state, which
+                // by the serial phase is already the end-of-window
+                // state and can be ahead of this op's canonical
+                // position (e.g. a same-tick home-lane write hit
+                // whose commit deferral sorts after this check).
+                // afterOp therefore only queues the address and the
+                // engine's barrier hook checks it once the window's
+                // golden history is complete (see flushWindowChecks).
+                CoherenceChecker *c = checker;
+                bool row = isRow;
+                eq.deferToLane(0, [c, op, row] { c->afterOp(op, row); });
+            } else {
+                checker->afterOp(op, isRow);
+            }
         }
     };
 
@@ -205,6 +226,16 @@ class CoherenceChecker
 
     void afterOp(const BusOp &op, bool is_row);
     void checkLine(Addr addr);
+    /**
+     * Parallel-engine barrier hook: run the per-op invariant checks
+     * (and any due lenient sweep) queued by afterOp during the
+     * window. The end-of-window state of a line equals its state
+     * after the last op that touched it — a state the sequential
+     * checker also verifies — and the golden history is complete, so
+     * the checks are exact here where mid-window they would be racy
+     * against later same-window commits.
+     */
+    void flushWindowChecks();
     void fail(const std::string &what);
     void fail(const std::string &invariant, Addr addr,
               const std::string &what);
@@ -236,6 +267,17 @@ class CoherenceChecker
 
     /** Open degradation windows (see beginDegradedWindow()). */
     unsigned degradedDepth = 0;
+
+    /**
+     * @{
+     * Parallel-engine mode (set once at construction when the system
+     * runs the window-phased engine): afterOp queues addresses here
+     * and flushWindowChecks() verifies them at the window barrier.
+     */
+    bool barrierChecks = false;
+    std::vector<Addr> windowAddrs;
+    bool sweepDue = false;
+    /** @} */
 
     std::uint64_t _ops = 0;
     std::uint64_t _violations = 0;

@@ -269,8 +269,7 @@ SnoopController::write(Addr addr, std::uint64_t token, CompletionCb cb)
         }
         line->data.lock = 0;
         line->data.token = token;
-        if (onCommitWrite)
-            onCommitWrite(addr, token);
+        commitWrite(addr, token);
         ++statHits;
         return AccessOutcome::Hit;
     }
@@ -303,8 +302,7 @@ SnoopController::writeAllocate(Addr addr, std::uint64_t token,
         }
         line->data.lock = 0;
         line->data.token = token;
-        if (onCommitWrite)
-            onCommitWrite(addr, token);
+        commitWrite(addr, token);
         ++statHits;
         return AccessOutcome::Hit;
     }
@@ -394,8 +392,7 @@ SnoopController::release(Addr addr, std::uint64_t token)
         return false;
 
     line->data.token = token;
-    if (onCommitWrite)
-        onCommitWrite(addr, token);
+    commitWrite(addr, token);
 
     if (line->data.next != invalidNode) {
         // Hand the line to the next waiter. The MLT entry must leave
@@ -434,7 +431,9 @@ SnoopController::abortPending()
     // transaction never finished).
     pending = Pending{};
     if (cb)
-        eq.scheduleIn(0, [cb = std::move(cb), res] { cb(res); });
+        eq.scheduleToLane(homeLane_, 0, [cb = std::move(cb), res] {
+            cb(res);
+        });
 }
 
 void
@@ -539,7 +538,9 @@ SnoopController::maybeFireEarlyAck()
     CompletionCb cb = std::move(pending.cb);
     pending.cb = nullptr;
     if (cb)
-        eq.scheduleIn(0, [cb = std::move(cb), res] { cb(res); });
+        eq.scheduleToLane(homeLane_, 0, [cb = std::move(cb), res] {
+            cb(res);
+        });
 }
 
 bool
@@ -612,8 +613,10 @@ SnoopController::armWatchdog()
         return;
     std::uint64_t seq = pending.seq;
     std::uint64_t arm = ++pending.wdArm;
-    eq.scheduleIn(pending.nextTimeout,
-                  [this, seq, arm] { watchdogFire(seq, arm); });
+    // The timer runs on the node's home lane: watchdogFire touches
+    // only this controller and its row port, both owned by that lane.
+    eq.scheduleToLane(homeLane_, pending.nextTimeout,
+                      [this, seq, arm] { watchdogFire(seq, arm); });
 }
 
 void
@@ -686,8 +689,8 @@ SnoopController::watchdogFire(std::uint64_t seq, std::uint64_t arm)
                     : 0;
     std::uint64_t armed_seq = pending.seq;
     std::uint64_t armed_arm = ++pending.wdArm;
-    eq.scheduleIn(pending.nextTimeout + jitter, [this, armed_seq,
-                                                 armed_arm] {
+    eq.scheduleToLane(homeLane_, pending.nextTimeout + jitter,
+                      [this, armed_seq, armed_arm] {
         watchdogFire(armed_seq, armed_arm);
     });
 }
@@ -741,8 +744,7 @@ SnoopController::complete(bool success, const LineData &data,
             line->data.next = invalidNode;
         }
         res.data.token = pending.newToken;
-        if (onCommitWrite)
-            onCommitWrite(pending.addr, pending.newToken);
+        commitWrite(pending.addr, pending.newToken);
     }
 
     CompletionCb cb = std::move(pending.cb);
@@ -751,17 +753,33 @@ SnoopController::complete(bool success, const LineData &data,
         return;
     if (extra_latency == 0 && !eq.parallelActive()) {
         cb(res);
-    } else if (extra_latency == 0) {
-        // Parallel engine: completion callbacks may touch
-        // workload-shared state, so they must run on the serial lane
-        // (a zero-delay schedule) instead of inline on a bus lane.
-        eq.scheduleIn(0, [cb = std::move(cb), res] { cb(res); });
     } else {
-        // The state transition is atomic with the bus op; only the
-        // processor's view of the data is delayed by the DRAM
-        // snooping-cache access.
-        eq.scheduleIn(extra_latency,
-                      [cb = std::move(cb), res] { cb(res); });
+        // Parallel engine (or a DRAM snooping-cache access delaying
+        // only the processor's view of the data): run the callback on
+        // the node's home lane, so per-node work — the next workload
+        // issue, the next think-time timer — stays off the serial
+        // lane. Anything in the callback that touches cross-node
+        // shared state defers itself to lane 0 (see
+        // MixWorkload/RandomTester).
+        eq.scheduleToLane(homeLane_, extra_latency,
+                          [cb = std::move(cb), res] { cb(res); });
+    }
+}
+
+void
+SnoopController::commitWrite(Addr addr, std::uint64_t token)
+{
+    if (!onCommitWrite)
+        return;
+    if (eq.parallelActive()) {
+        // The hook body runs at the next window barrier under lane
+        // 0's context with the committing tick preserved (deferCall
+        // keeps the caller's now()), in canonical cross-lane order.
+        eq.deferToLane(0, [this, addr, token] {
+            onCommitWrite(addr, token);
+        });
+    } else {
+        onCommitWrite(addr, token);
     }
 }
 
@@ -1833,7 +1851,7 @@ SnoopController::syncRestart()
     // Re-reserve our copy if it was purged, then reissue after a short
     // backoff (plus jitter) to avoid lock-step retry storms.
     Tick delay = params.syncRetryTicks + rng.below(64);
-    eq.scheduleIn(delay, [this, addr] {
+    eq.scheduleToLane(homeLane_, delay, [this, addr] {
         if (pending.stage != Stage::Requested
             || pending.txn != TxnType::Sync || pending.addr != addr)
             return;

@@ -161,6 +161,19 @@ class SnoopController
     /** Attach to this node's row and column buses. Call once. */
     void connect(Bus &row_bus, Bus &col_bus);
 
+    /**
+     * Pin this node's completion callbacks and timers to engine lane
+     * @p lane (the node's row-bus lane, set by MulticubeSystem when a
+     * parallel engine is active). Sequentially the value is unused:
+     * scheduleToLane() degrades to scheduleIn(). Sharding completions
+     * by home lane is what keeps the serial lane down to genuinely
+     * global work (docs/PERFORMANCE.md, "Serial-lane pressure").
+     */
+    void setHomeLane(unsigned lane) { homeLane_ = lane; }
+
+    /** The engine lane completions are pinned to (0 sequentially). */
+    unsigned homeLane() const { return homeLane_; }
+
     NodeId id() const { return _id; }
     unsigned row() const { return grid.rowOf(_id); }
     unsigned col() const { return grid.colOf(_id); }
@@ -407,6 +420,17 @@ class SnoopController
 
     friend struct Port;
 
+    /**
+     * Fire onCommitWrite for a committed store. Under the parallel
+     * engine the hook mutates observer state shared across nodes (the
+     * coherence checker's golden values), so the call is deferred to
+     * the serial lane in canonical cross-lane order; deferCall
+     * preserves the committing tick, so the hook still sees the
+     * commit-time eq.now(). Sequentially the hook runs inline,
+     * byte-identically to before.
+     */
+    void commitWrite(Addr addr, std::uint64_t token);
+
     /** @{ Bus send helpers. */
     void sendRow(BusOp op);
     void sendCol(BusOp op);
@@ -551,6 +575,7 @@ class SnoopController
     Bus *colBus = nullptr;
     unsigned rowSlot = 0;
     unsigned colSlot = 0;
+    unsigned homeLane_ = 0;  //!< see setHomeLane()
 
     CacheArray cache;
     ModifiedLineTable mlt;

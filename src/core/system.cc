@@ -48,6 +48,12 @@ MulticubeSystem::MulticubeSystem(const SystemParams &params)
                 + std::to_string(grid.colOf(id)),
             eq, grid, id, cp);
         c->connect(*rowBuses[grid.rowOf(id)], *colBuses[grid.colOf(id)]);
+        // A node's home lane is its row bus's lane: completion
+        // callbacks and workload self-scheduling run there instead of
+        // serializing on lane 0 (docs/PERFORMANCE.md, "Serial-lane
+        // pressure").
+        if (par)
+            c->setHomeLane(par->rowLane(grid.rowOf(id)));
         nodes.push_back(std::move(c));
     }
 

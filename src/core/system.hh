@@ -40,10 +40,13 @@ struct SystemParams
      * sequential engine. Any value >= 1 selects the window-phased
      * parallel engine, whose results are bit-identical for every
      * simThreads value (1 included) but follow a different canonical
-     * event order than the sequential engine. Incompatible with
-     * in-process observers that assume a single-threaded queue
-     * (tracing, profiling, metrics sampling, fault injection) —
-     * sweep_cli forces 0 when those are active.
+     * event order than the sequential engine, and identical whether
+     * profiling/tracing are active or not (the engine gives each lane
+     * shard observers and folds them canonically at window
+     * boundaries). Still incompatible with observers that assume a
+     * single-threaded queue mid-run — metrics sampling and fault
+     * injection — for which sweep_cli forces 0 (see
+     * resolveSimThreads() in sim/sim_threads_policy.hh).
      */
     unsigned simThreads = 0;
 };

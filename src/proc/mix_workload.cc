@@ -14,7 +14,8 @@ constexpr double ticksPerMs = 1e6;
 } // namespace
 
 MixWorkload::MixWorkload(MulticubeSystem &sys, const MixParams &params)
-    : sys(sys), params(params), seeder(params.seed), stats("mix")
+    : sys(sys), params(params), seeder(params.seed),
+      par_(sys.eventQueue().parallelActive()), stats("mix")
 {
     [[maybe_unused]] double sum = params.fracReadUnmod
         + params.fracReadMod + params.fracWriteUnmod
@@ -59,7 +60,11 @@ MixWorkload::scheduleNext(Agent &a)
         think = 1;
     a.computeTicks += think;
     NodeId id = a.id;
-    sys.eventQueue().scheduleIn(think, [this, id] { issue(agents[id]); });
+    // Pin the issue to the node's home lane: the next issue touches
+    // only this agent, its controller and its row port. Sequentially
+    // (homeLane() == 0, no engine) this is exactly scheduleIn().
+    sys.eventQueue().scheduleToLane(sys.node(id).homeLane(), think,
+                                    [this, id] { issue(agents[id]); });
 }
 
 bool
@@ -91,6 +96,54 @@ MixWorkload::pickModified(Agent &a, Addr &addr_out)
         return true;
     }
     return false;
+}
+
+bool
+MixWorkload::pickModifiedFrozen(Agent &a, Addr &addr_out)
+{
+    if (modifiedList.empty())
+        return false;
+    // Bounded resampling over the frozen vector: stale or self-owned
+    // entries are skipped, not pruned (pruning would race concurrent
+    // issuers on other row lanes). The bound keeps the draw count —
+    // and hence the RNG stream — deterministic.
+    for (unsigned tries = 0; tries < 8; ++tries) {
+        std::size_t i = a.rng.below(
+            static_cast<std::uint32_t>(modifiedList.size()));
+        Addr cand = modifiedList[i];
+        auto it = modifiedBy.find(cand);
+        if (it == modifiedBy.end() || it->second == a.id)
+            continue;
+        addr_out = cand;
+        return true;
+    }
+    return false;
+}
+
+void
+MixWorkload::recordDone(NodeId id, unsigned cls, Addr addr,
+                        bool is_write, Tick latency)
+{
+    statLatency.sample(static_cast<double>(latency));
+    ++classDone[cls];
+    if (is_write) {
+        auto [it, fresh] = modifiedBy.emplace(addr, id);
+        if (!fresh)
+            it->second = id;
+        else
+            modifiedList.push_back(addr);
+    } else {
+        // A READ demotes a modified line to global unmodified.
+        modifiedBy.erase(addr);
+        if (par_ && modifiedList.size() > 2 * modifiedBy.size() + 64) {
+            // The frozen picker never prunes, so compact here — on
+            // the serial lane, where the registry is exclusively
+            // owned — once stale entries dominate.
+            std::erase_if(modifiedList, [this](Addr a2) {
+                return modifiedBy.find(a2) == modifiedBy.end();
+            });
+        }
+    }
 }
 
 void
@@ -126,11 +179,19 @@ MixWorkload::issue(Agent &a)
     Addr addr = 0;
     bool to_modified = false;
     if (cls == 1 || cls == 3) {
-        if (pickModified(a, addr)) {
+        bool picked = par_ ? pickModifiedFrozen(a, addr)
+                           : pickModified(a, addr);
+        if (picked) {
             to_modified = true;
-            ++statModTargeted;
+            if (par_)
+                ++a.modTargeted;
+            else
+                ++statModTargeted;
         } else {
-            ++statModMissedRegistry;
+            if (par_)
+                ++a.modMissedRegistry;
+            else
+                ++statModMissedRegistry;
             cls = cls == 1 ? 0 : 2;  // downgrade to the unmod class
         }
     }
@@ -148,18 +209,17 @@ MixWorkload::issue(Agent &a)
             scheduleNext(ag);
             return;
         }
-        statLatency.sample(static_cast<double>(res.latency));
-        ++classDone[cls];
-        if (is_write) {
-            auto [it, fresh] = modifiedBy.emplace(addr, id);
-            if (!fresh)
-                it->second = id;
-            else
-                modifiedList.push_back(addr);
-        } else {
-            // A READ demotes a modified line to global unmodified.
-            modifiedBy.erase(addr);
-        }
+        // The registry and latency stats are shared across all nodes:
+        // under the parallel engine (where this callback runs on the
+        // node's home lane) the bookkeeping crosses to the serial
+        // lane; sequentially deferToLane runs it inline, exactly as
+        // before. The next think-time timer needs nothing shared and
+        // stays on the home lane.
+        Tick lat = res.latency;
+        sys.eventQueue().deferToLane(0, [this, id, cls, addr, is_write,
+                                         lat] {
+            recordDone(id, cls, addr, is_write, lat);
+        });
         scheduleNext(ag);
     };
 

@@ -60,12 +60,24 @@ class MixWorkload
     /** Begin issuing (first think times start at the current tick). */
     void start();
 
-    /** Stop issuing new requests at the next opportunity. */
+    /** Stop issuing new requests at the next opportunity. Under the
+     *  parallel engine this also folds the per-agent issue counters
+     *  into the stat tree (issues cease with `running`, so the fold
+     *  is final; completion-side stats always land on the serial lane
+     *  and need no fold). */
     void
     stop()
     {
         running = false;
         stopTick = sys.eventQueue().now();
+        if (par_) {
+            for (auto &a : agents) {
+                statModTargeted += a.modTargeted;
+                statModMissedRegistry += a.modMissedRegistry;
+                a.modTargeted = 0;
+                a.modMissedRegistry = 0;
+            }
+        }
     }
 
     /** Paper's efficiency metric over all nodes since start(). */
@@ -94,14 +106,37 @@ class MixWorkload
         Random rng;
         Tick computeTicks = 0;   //!< accumulated think time
         std::uint64_t nextToken = 1;
+        /** Issue-time counters kept lane-local under the parallel
+         *  engine (issue() runs on the node's home lane); folded into
+         *  the shared Counters at stop(). Unused sequentially. */
+        std::uint64_t modTargeted = 0;
+        std::uint64_t modMissedRegistry = 0;
     };
 
     void scheduleNext(Agent &a);
     void issue(Agent &a);
 
     /** Pick a line currently modified by a node other than @p self;
-     *  returns false if the registry has no candidate. */
+     *  returns false if the registry has no candidate. Sequential
+     *  variant: prunes stale entries from the sampling vector as it
+     *  goes. */
     bool pickModified(Agent &a, Addr &addr_out);
+
+    /** Parallel variant of pickModified(): issue() runs on the node's
+     *  home lane while other rows issue concurrently, so the registry
+     *  must be treated as frozen (it only mutates on the serial lane,
+     *  a phase that never overlaps issue). Stale entries are skipped
+     *  with bounded resampling instead of pruned; compaction happens
+     *  on the serial lane (recordDone). */
+    bool pickModifiedFrozen(Agent &a, Addr &addr_out);
+
+    /** Completion bookkeeping: latency sample, class counter, and the
+     *  modified-line registry update. Runs inline sequentially; under
+     *  the parallel engine it is deferred to the serial lane in
+     *  canonical cross-lane order (the registry and Distributions are
+     *  shared across all nodes). */
+    void recordDone(NodeId id, unsigned cls, Addr addr, bool is_write,
+                    Tick latency);
 
     MulticubeSystem &sys;
     MixParams params;
@@ -110,6 +145,10 @@ class MixWorkload
     Tick startTick = 0;
     Tick stopTick = 0;
     bool running = false;
+    /** True when the system runs the parallel engine (fixed at
+     *  construction); selects the lane-sharded issue/completion paths
+     *  above. */
+    bool par_ = false;
 
     /** Functional registry: line -> last writer. */
     std::unordered_map<Addr, NodeId> modifiedBy;

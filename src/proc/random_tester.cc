@@ -115,11 +115,11 @@ std::uint64_t
 RandomTester::resultHash() const
 {
     std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
-    h = hashCombine(h, _ops);
-    h = hashCombine(h, _reads_checked);
+    h = hashCombine(h, opsIssued());
+    h = hashCombine(h, readsChecked());
     h = hashCombine(h, _read_failures);
-    h = hashCombine(h, _locks);
-    h = hashCombine(h, _aborted);
+    h = hashCombine(h, locksTaken());
+    h = hashCombine(h, opsAborted());
     h = hashCombine(h, sys.eventQueue().now());
     h = hashCombine(h, checker.opsObserved());
     h = hashCombine(h, checker.violations());
@@ -230,7 +230,10 @@ RandomTester::next(Agent &a)
     Tick think = 1 + a.rng.below(static_cast<std::uint32_t>(
                          params.maxThink));
     NodeId id = a.id;
-    sys.eventQueue().scheduleIn(think, [this, id] { issue(agents[id]); });
+    // Lane-local self-scheduling: the next issue touches only this
+    // agent and its controller. Sequentially identical to scheduleIn.
+    sys.eventQueue().scheduleToLane(sys.node(id).homeLane(), think,
+                                    [this, id] { issue(agents[id]); });
 }
 
 void
@@ -248,7 +251,7 @@ RandomTester::issue(Agent &a)
     }
 
     NodeId id = a.id;
-    ++_ops;
+    ++a.ops;
 
     // A lock whose line was quarantined out from under us (its home
     // memory fail-stopped) cannot be released through the protocol any
@@ -271,7 +274,7 @@ RandomTester::issue(Agent &a)
                                   [this, id](const TxnResult &res) {
                                       Agent &ag = agents[id];
                                       if (res.aborted) {
-                                          ++_aborted;
+                                          ++ag.aborted;
                                           next(ag);
                                           return;
                                       }
@@ -306,11 +309,11 @@ RandomTester::issue(Agent &a)
         auto done = [this, id, addr](const TxnResult &res) {
             Agent &ag = agents[id];
             if (res.aborted)
-                ++_aborted;
+                ++ag.aborted;
             if (res.success) {
                 ag.holdingLock = true;
                 ag.heldLock = addr;
-                ++_locks;
+                ++ag.locks;
             }
             next(ag);
         };
@@ -321,7 +324,7 @@ RandomTester::issue(Agent &a)
             if (granted) {
                 a.holdingLock = true;
                 a.heldLock = addr;
-                ++_locks;
+                ++a.locks;
             }
             next(a);
         }
@@ -338,7 +341,7 @@ RandomTester::issue(Agent &a)
         auto out = ctrl.write(addr, freshToken(a),
                               [this, id](const TxnResult &res) {
                                   if (res.aborted)
-                                      ++_aborted;
+                                      ++agents[id].aborted;
                                   next(agents[id]);
                               });
         if (out == AccessOutcome::Hit)
@@ -354,7 +357,7 @@ RandomTester::issue(Agent &a)
         auto out = ctrl.writeAllocate(addr, freshToken(a),
                                       [this, id](const TxnResult &res) {
                                           if (res.aborted)
-                                              ++_aborted;
+                                              ++agents[id].aborted;
                                           next(agents[id]);
                                       });
         if (out == AccessOutcome::Hit)
@@ -375,27 +378,37 @@ RandomTester::issue(Agent &a)
             Agent &ag = agents[id];
             if (res.aborted) {
                 // Cut short by an epoch transition: no value to check.
-                ++_aborted;
+                ++ag.aborted;
                 next(ag);
                 return;
             }
-            ++_reads_checked;
+            ++ag.readsChecked;
             Tick done = sys.eventQueue().now();
-            if (!checker.tokenWasGoldenDuring(addr, res.data.token,
-                                              issued, done)) {
-                recordFailure(id, addr, res.data.token, issued, done,
-                              "read");
-            }
+            // The golden-value oracle is shared checker state, so the
+            // check crosses to the serial lane; the tick window is
+            // captured, so deferral cannot shift it. Sequentially
+            // deferToLane runs inline, exactly as before.
+            std::uint64_t token = res.data.token;
+            sys.eventQueue().deferToLane(
+                0, [this, id, addr, token, issued, done] {
+                    if (!checker.tokenWasGoldenDuring(addr, token,
+                                                      issued, done)) {
+                        recordFailure(id, addr, token, issued, done,
+                                      "read");
+                    }
+                });
             next(ag);
         });
     if (out == AccessOutcome::Hit) {
-        ++_reads_checked;
+        ++a.readsChecked;
         // A hit returns the locally cached copy; it must have been
         // golden at some point up to now (shared copies may be
         // transiently stale only during an in-flight invalidation,
         // which still means the value was golden earlier).
-        if (!checker.tokenWasGoldenDuring(addr, tok, 0, issued))
-            recordFailure(a.id, addr, tok, 0, issued, "hit");
+        sys.eventQueue().deferToLane(0, [this, id, addr, tok, issued] {
+            if (!checker.tokenWasGoldenDuring(addr, tok, 0, issued))
+                recordFailure(id, addr, tok, 0, issued, "hit");
+        });
         next(a);
     }
 }

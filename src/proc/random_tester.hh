@@ -77,13 +77,18 @@ class RandomTester
     /** True once every node has issued its quota and drained. */
     bool finished() const;
 
-    std::uint64_t readsChecked() const { return _reads_checked; }
+    /** @{ Run totals. Counters live per agent (an agent's issue and
+     *  completion events run on its node's home lane under the
+     *  parallel engine, so shared counters would race); the accessors
+     *  sum them, which is exactly the old shared-counter value. */
+    std::uint64_t readsChecked() const { return sumAgents(&Agent::readsChecked); }
     std::uint64_t readFailures() const { return _read_failures; }
-    std::uint64_t opsIssued() const { return _ops; }
-    std::uint64_t locksTaken() const { return _locks; }
+    std::uint64_t opsIssued() const { return sumAgents(&Agent::ops); }
+    std::uint64_t locksTaken() const { return sumAgents(&Agent::locks); }
     /** Transactions cut short by an epoch cutover (TxnResult::aborted);
      *  the numerator of a degraded-mode unavailability ratio. */
-    std::uint64_t opsAborted() const { return _aborted; }
+    std::uint64_t opsAborted() const { return sumAgents(&Agent::aborted); }
+    /** @} */
 
     /**
      * Blocklist predicate for unroutable issues (fail-stop plans): a
@@ -142,7 +147,21 @@ class RandomTester
         Addr heldLock = 0;
         bool holdingLock = false;
         bool done = false;
+        /** Lane-local counters; see the accessor block above. */
+        std::uint64_t ops = 0;
+        std::uint64_t readsChecked = 0;
+        std::uint64_t locks = 0;
+        std::uint64_t aborted = 0;
     };
+
+    std::uint64_t
+    sumAgents(std::uint64_t Agent::*field) const
+    {
+        std::uint64_t t = 0;
+        for (const auto &a : agents)
+            t += a.*field;
+        return t;
+    }
 
     void next(Agent &a);
     void issue(Agent &a);
@@ -165,11 +184,10 @@ class RandomTester
     void recordFailure(NodeId node, Addr addr, std::uint64_t token,
                        Tick from, Tick to, const char *how);
 
-    std::uint64_t _ops = 0;
-    std::uint64_t _reads_checked = 0;
+    /** Only mutated by recordFailure(), which runs on the serial lane
+     *  under the parallel engine (read checks are deferred there
+     *  along with their checker queries). */
     std::uint64_t _read_failures = 0;
-    std::uint64_t _locks = 0;
-    std::uint64_t _aborted = 0;
     std::function<bool(NodeId, Addr)> addrFilter;
     std::vector<std::string> _failLog;
     std::vector<OracleFailure> _failRecords;

@@ -13,6 +13,25 @@ EventQueue::parScheduleLane(unsigned lane, Tick when, EventFn fn)
     par->scheduleLane(lane, when, std::move(fn));
 }
 
+void
+EventQueue::parScheduleToLane(unsigned lane, Tick delay, EventFn fn)
+{
+    Tick when = par->ctxNow() + delay;
+    // Inside a phase, a foreign lane may already have run past `when`
+    // within the current window; the earliest tick guaranteed to be in
+    // every lane's future is the next window boundary. Same-lane
+    // schedules are always monotonic, and coordinator-context
+    // schedules (between windows) are at or after the last window end,
+    // so both keep their exact tick.
+    const unsigned ctx = par->ctxLane();
+    if (ctx != UINT32_MAX && ctx != lane) {
+        const Tick safe = par->ctxNow() + par->window();
+        if (when < safe)
+            when = safe;
+    }
+    par->scheduleLane(lane, when, std::move(fn));
+}
+
 Tick
 EventQueue::parNow() const
 {

@@ -277,6 +277,29 @@ class EventQueue
     }
 
     /**
+     * Schedule a callable @p delay ticks in the future on engine lane
+     * @p lane, from *any* execution context. Sequentially this is
+     * exactly scheduleIn(); under the parallel engine it is the
+     * cross-lane counterpart of scheduleInLane(): when the calling
+     * context is a different lane, the target tick is pushed out to
+     * at least one window ahead so it can never land in the target
+     * lane's past (lanes within a window advance independently).
+     * Same-lane and coordinator-context schedules keep their exact
+     * tick. Used to pin a node's completion callbacks and workload
+     * self-scheduling to the node's home (row) lane.
+     */
+    template <typename F>
+    void
+    scheduleToLane(unsigned lane, Tick delay, F &&f)
+    {
+        if (!par) {
+            schedule(_now + delay, std::forward<F>(f));
+            return;
+        }
+        parScheduleToLane(lane, delay, EventFn(std::forward<F>(f)));
+    }
+
+    /**
      * True when the calling context runs on a parallel-engine lane
      * other than @p lane. Components pinned to a lane (buses) use this
      * to detect calls arriving from a foreign lane, which must be
@@ -327,6 +350,7 @@ class EventQueue
     /** Out-of-line parallel-engine hooks (keep the header decoupled
      *  from parallel_engine.hh). */
     void parScheduleLane(unsigned lane, Tick when, EventFn fn);
+    void parScheduleToLane(unsigned lane, Tick delay, EventFn fn);
     Tick parNow() const;
     bool parEmpty() const;
     /** Heap key: priority (when, seq) plus the owning slab slot. */

@@ -4,14 +4,39 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "sim/profiler.hh"
+#include "trace/trace_event.hh"
 
 namespace mcube
 {
 
 namespace
 {
+
+/** Peak resident-set high-water mark (VmHWM) in bytes, 0 where the
+ *  kernel doesn't export it. The n=128 (16K processor) canary graphs
+ *  this: at that scale memory, not host cycles, is the first wall. */
+std::uint64_t
+peakRssBytes()
+{
+#ifdef __linux__
+    if (std::FILE *f = std::fopen("/proc/self/status", "r")) {
+        char line[256];
+        std::uint64_t kb = 0;
+        while (std::fgets(line, sizeof line, f)) {
+            if (std::strncmp(line, "VmHWM:", 6) == 0) {
+                kb = std::strtoull(line + 6, nullptr, 10);
+                break;
+            }
+        }
+        std::fclose(f);
+        return kb * 1024;
+    }
+#endif
+    return 0;
+}
 
 /** Execution context of the calling thread: set while a lane event
  *  (or a merged cross-lane call) is running. */
@@ -191,6 +216,11 @@ ParallelEngine::scheduleLane(unsigned lane, Tick when, EventFn fn)
     const Tick ref = ctxNow();
     if (when < ref)
         fatalPastTick(lane, when, ref);
+    // Schedule-horizon feed, mirroring EventQueue::schedule: the
+    // calling thread's active profiler is the running lane's shard
+    // inside a phase, the main profiler otherwise.
+    if (SimProfiler *p = SimProfiler::active())
+        p->onSchedule(when - ref);
     if (tlCtx.eng == this && tlCtx.lane != lane) {
         // Foreign-lane schedule: defer through the issuing lane's
         // outbox; the destination seq is assigned at merge time so the
@@ -222,6 +252,19 @@ void
 ParallelEngine::runLane(unsigned lane_idx, Tick window_end)
 {
     Lane &L = *lanes[lane_idx];
+    // Install this lane's shard observers on the executing thread (a
+    // worker or the coordinator) so MCUBE_TRACE / MCUBE_PROF_SCOPE
+    // sites inside events record lane-locally; restored on exit.
+    SimProfiler *prof =
+        profShards_.empty() ? nullptr : profShards_[lane_idx].get();
+    SimProfiler *prevProf = nullptr;
+    if (prof)
+        prevProf = SimProfiler::exchangeActive(prof);
+    TransactionTracer *prevTracer = nullptr;
+    const bool tracing = !traceShards_.empty();
+    if (tracing)
+        prevTracer = TransactionTracer::exchangeActive(
+            traceShards_[lane_idx].get());
     ExecCtx saved = tlCtx;
     while (!L.heap.empty() && L.heap.front().when < window_end) {
         Lane::Key top = L.heap.front();
@@ -231,10 +274,21 @@ ParallelEngine::runLane(unsigned lane_idx, Tick window_end)
         EventFn fn = std::move(L.slots[top.slot]);
         L.freeSlots.push_back(top.slot);
         tlCtx = ExecCtx{this, lane_idx, top.when};
-        fn();
+        if (prof) {
+            prof->onExecute(top.when, L.heap.size() + 1,
+                            L.slots.size(), L.freeSlots.size());
+            ProfScope scope(prof, ProfKind::Event, 0, {});
+            fn();
+        } else {
+            fn();
+        }
         ++L.executed;
     }
     tlCtx = saved;
+    if (prof)
+        SimProfiler::exchangeActive(prevProf);
+    if (tracing)
+        TransactionTracer::exchangeActive(prevTracer);
 }
 
 void
@@ -353,13 +407,35 @@ ParallelEngine::mergeOutboxes()
         for (std::size_t li = 0; li < lanes.size(); ++li)
             consumed[li] = lanes[li]->outbox.size();
         ExecCtx saved = tlCtx;
+        const bool observed =
+            !profShards_.empty() || !traceShards_.empty();
         for (const MergeRef &m : mergeScratch) {
             Outbox &e = lanes[m.srcLane]->outbox[m.srcIdx];
             tlCtx = ExecCtx{this, e.target, e.when};
-            if (e.isCall)
-                e.fn();
-            else
+            if (e.isCall) {
+                if (observed) {
+                    // Record under the *target* lane's shards so the
+                    // canonical window-end merge orders these events
+                    // exactly like lane-executed ones.
+                    SimProfiler *pp =
+                        profShards_.empty()
+                            ? SimProfiler::exchangeActive(nullptr)
+                            : SimProfiler::exchangeActive(
+                                  profShards_[e.target].get());
+                    TransactionTracer *pt =
+                        traceShards_.empty()
+                            ? TransactionTracer::exchangeActive(nullptr)
+                            : TransactionTracer::exchangeActive(
+                                  traceShards_[e.target].get());
+                    e.fn();
+                    SimProfiler::exchangeActive(pp);
+                    TransactionTracer::exchangeActive(pt);
+                } else {
+                    e.fn();
+                }
+            } else {
                 pushEvent(*lanes[e.target], e.when, std::move(e.fn));
+            }
             ++crossLaneOps_;
         }
         tlCtx = saved;
@@ -370,6 +446,66 @@ ParallelEngine::mergeOutboxes()
                          + static_cast<std::ptrdiff_t>(consumed[li]));
         }
     }
+}
+
+void
+ParallelEngine::syncObservers()
+{
+    mainProf_ = SimProfiler::active();
+    if (mainProf_ && profShards_.empty()) {
+        profShards_.reserve(numLanes());
+        for (unsigned i = 0; i < numLanes(); ++i)
+            profShards_.push_back(std::make_unique<SimProfiler>());
+    } else if (!mainProf_ && !profShards_.empty()) {
+        profShards_.clear();
+    }
+
+    mainTracer_ = TransactionTracer::active();
+    if (mainTracer_ && traceShards_.empty()) {
+        traceShards_.reserve(numLanes());
+        for (unsigned i = 0; i < numLanes(); ++i)
+            traceShards_.push_back(std::make_unique<TransactionTracer>(
+                mainTracer_->capacity()));
+    } else if (!mainTracer_ && !traceShards_.empty()) {
+        traceShards_.clear();
+    }
+}
+
+void
+ParallelEngine::mergeObservers()
+{
+    if (mainProf_)
+        for (auto &shard : profShards_) {
+            mainProf_->absorb(*shard);
+            shard->reset();
+        }
+
+    if (!mainTracer_)
+        return;
+    traceScratch_.clear();
+    for (std::uint32_t li = 0; li < traceShards_.size(); ++li) {
+        const TransactionTracer &tr = *traceShards_[li];
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(tr.size()); ++i)
+            traceScratch_.push_back(TraceRef{tr.at(i).tick, li, i});
+    }
+    if (traceScratch_.empty())
+        return;
+    // Canonical order: (tick, lane, intra-lane record order) — a
+    // total order with no dependence on worker placement, so the main
+    // ring's contents are bit-identical for any --sim-threads.
+    std::sort(traceScratch_.begin(), traceScratch_.end(),
+              [](const TraceRef &a, const TraceRef &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  return a.idx < b.idx;
+              });
+    for (const TraceRef &r : traceScratch_)
+        mainTracer_->record(traceShards_[r.lane]->at(r.idx));
+    for (auto &shard : traceShards_)
+        shard->clear();
 }
 
 Tick
@@ -411,6 +547,11 @@ ParallelEngine::runWindow(Tick window_end)
     runLane(serialLane, window_end);
     serialEvents_ += lanes[serialLane]->executed - mark;
     mergeOutboxes();
+    // Every deferral of the window has been applied: the state is the
+    // quiescent post-window state. Global validators run now.
+    for (const auto &hook : barrierHooks)
+        hook();
+    mergeObservers();
     serialNs_ += nsSince(tm1);
 
     ++windows_;
@@ -426,6 +567,7 @@ std::uint64_t
 ParallelEngine::runUntil(Tick end)
 {
     const auto t0 = std::chrono::steady_clock::now();
+    syncObservers();
     const std::uint64_t startTotal =
         executedTotal_.load(std::memory_order_relaxed);
     for (;;) {
@@ -458,6 +600,7 @@ ParallelEngine::runOneWindow()
     if (e == kNoTick)
         return 0;
     const auto t0 = std::chrono::steady_clock::now();
+    syncObservers();
     const std::uint64_t startTotal =
         executedTotal_.load(std::memory_order_relaxed);
     if (e > now_)
@@ -482,6 +625,24 @@ double
 ParallelEngine::Telemetry::parallelFracEvents() const
 {
     return events ? double(rowEvents + colEvents) / double(events) : 0.0;
+}
+
+double
+ParallelEngine::Telemetry::serialFracEvents() const
+{
+    return events ? double(serialEvents) / double(events) : 0.0;
+}
+
+double
+ParallelEngine::Telemetry::serialEventsPerWindow() const
+{
+    return windows ? double(serialEvents) / double(windows) : 0.0;
+}
+
+double
+ParallelEngine::Telemetry::serialNsPerWindow() const
+{
+    return windows ? double(serialNs) / double(windows) : 0.0;
 }
 
 double
@@ -535,6 +696,7 @@ ParallelEngine::telemetry() const
     t.rowPhaseNs = rowPhaseNs_;
     t.colPhaseNs = colPhaseNs_;
     t.barrierWaitNs = barrierWaitNs_;
+    t.peakRssBytes = peakRssBytes();
     t.laneEvents.reserve(lanes.size());
     for (const auto &l : lanes)
         t.laneEvents.push_back(l->executed);
@@ -562,6 +724,15 @@ ParallelEngine::telemetryJson(std::ostream &os) const
     os << "  \"row_phase_ns\": " << t.rowPhaseNs << ",\n";
     os << "  \"col_phase_ns\": " << t.colPhaseNs << ",\n";
     os << "  \"barrier_wait_ns\": " << t.barrierWaitNs << ",\n";
+    os << "  \"peak_rss_bytes\": " << t.peakRssBytes << ",\n";
+    // Serial-lane pressure as first-class columns: the quantity the
+    // per-node home-lane sharding shrinks (docs/PERFORMANCE.md).
+    os << "  \"serial_frac_events\": " << t.serialFracEvents()
+       << ",\n";
+    os << "  \"serial_events_per_window\": "
+       << t.serialEventsPerWindow() << ",\n";
+    os << "  \"serial_ns_per_window\": " << t.serialNsPerWindow()
+       << ",\n";
     os << "  \"parallel_frac_events\": " << t.parallelFracEvents()
        << ",\n";
     os << "  \"parallel_frac_ns\": " << t.parallelFracNs() << ",\n";

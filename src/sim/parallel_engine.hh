@@ -72,11 +72,28 @@
 namespace mcube
 {
 
+class SimProfiler;
+class TransactionTracer;
+
 /**
  * The window-phased parallel engine behind EventQueue's parallel
  * mode. Constructed by MulticubeSystem when SystemParams::simThreads
  * is non-zero; model code never talks to it directly — everything
- * goes through EventQueue::schedule / scheduleInLane / deferToLane.
+ * goes through EventQueue::schedule / scheduleInLane / deferToLane /
+ * scheduleToLane.
+ *
+ * Lane-aware observability: when a SimProfiler or TransactionTracer
+ * is active on the coordinator thread, the engine gives every lane a
+ * *shard* observer. Lane execution (and merge-applied cross-lane
+ * calls) swap the running lane's shard into the thread-local active
+ * slot, so model-code hook sites need no changes; at every window
+ * boundary the coordinator folds the shards back into the main
+ * observer — profiler shards via SimProfiler::absorb in lane order,
+ * tracer shards sorted into the main ring in canonical
+ * (tick, lane, intra-lane order). The trace export is therefore
+ * bit-identical for any worker count, and simulated results are
+ * bit-identical with observers on or off (neither ever touches
+ * simulated state).
  */
 class ParallelEngine
 {
@@ -167,6 +184,23 @@ class ParallelEngine
         progressEvery = every_windows ? every_windows : 1;
     }
 
+    /**
+     * Invoke @p fn on the coordinator at the end of every window,
+     * after the serial lane has drained and every cross-lane deferral
+     * of the window has been applied. At that point the simulation
+     * state is quiescent and globally consistent — it equals the
+     * state after the last event of the window, a state the
+     * sequential engine also passes through. Global-state validators
+     * (the CoherenceChecker's per-op invariant checks) run here:
+     * mid-window they would read live lane state that is ahead of the
+     * canonical position of their deferred callback. Hooks run in
+     * registration order and count toward the serial-phase wall time.
+     */
+    void addBarrierHook(std::function<void()> fn)
+    {
+        barrierHooks.push_back(std::move(fn));
+    }
+
     /** Realized execution telemetry (per-shard attribution). */
     struct Telemetry
     {
@@ -185,11 +219,21 @@ class ParallelEngine
         std::uint64_t rowPhaseNs = 0;
         std::uint64_t colPhaseNs = 0;
         std::uint64_t barrierWaitNs = 0; //!< coordinator wait at joins
+        std::uint64_t peakRssBytes = 0;  //!< VmHWM at snapshot (0 if
+                                         //!< unavailable)
         std::vector<std::uint64_t> laneEvents;   //!< per shard
         std::vector<std::uint64_t> workerEvents; //!< per worker
 
         /** Share of events executed in parallel phases. */
         double parallelFracEvents() const;
+        /** Share of events that ran on the serial lane — the Amdahl
+         *  bottleneck the per-node sharding attacks. */
+        double serialFracEvents() const;
+        /** Mean serial-lane events per window (first-class per-window
+         *  pressure column; see docs/PERFORMANCE.md). */
+        double serialEventsPerWindow() const;
+        /** Mean serial-phase host-ns per window. */
+        double serialNsPerWindow() const;
         /** Host-ns share of the parallel phases. */
         double parallelFracNs() const;
         /** Max/mean per-lane event imbalance (row+col lanes). */
@@ -224,6 +268,12 @@ class ParallelEngine
                   unsigned first, unsigned count, Tick window_end);
     /** Apply every lane's outbox in canonical order. */
     void mergeOutboxes();
+    /** Detect coordinator-active observers and (de)provision lane
+     *  shards accordingly. Called while the pool is idle. */
+    void syncObservers();
+    /** Fold every lane's shard observers into the main ones (profiler
+     *  absorb in lane order; tracer events sorted canonically). */
+    void mergeObservers();
     /** Earliest pending tick across all lanes (Tick max if none). */
     Tick earliestEvent() const;
     /** One window starting at now_, events with tick < window_end. */
@@ -265,6 +315,7 @@ class ParallelEngine
 
     std::function<void()> progressHook;
     std::uint64_t progressEvery = 256;
+    std::vector<std::function<void()>> barrierHooks;
 
     // Telemetry (coordinator-owned except workerEvents_, which each
     // worker writes for itself inside phases).
@@ -289,6 +340,22 @@ class ParallelEngine
         std::uint32_t srcIdx;
     };
     std::vector<MergeRef> mergeScratch;
+
+    // Lane-aware observability (see class comment). Shards exist only
+    // while the corresponding main observer is active; both vectors
+    // are indexed by lane.
+    SimProfiler *mainProf_ = nullptr;
+    TransactionTracer *mainTracer_ = nullptr;
+    std::vector<std::unique_ptr<SimProfiler>> profShards_;
+    std::vector<std::unique_ptr<TransactionTracer>> traceShards_;
+    /** Scratch for mergeObservers' canonical trace sort. */
+    struct TraceRef
+    {
+        Tick tick;
+        std::uint32_t lane;
+        std::uint32_t idx;
+    };
+    std::vector<TraceRef> traceScratch_;
 };
 
 } // namespace mcube

@@ -151,6 +151,28 @@ class Histogram
         n = 0;
     }
 
+    /**
+     * Fold another histogram's samples into this one, as if every
+     * sample had been recorded here directly. Bucket counts add
+     * exactly, so percentiles of the merged histogram equal those of
+     * a single histogram fed both streams. Used by the lane-sharded
+     * profiler (SimProfiler::absorb) at window boundaries.
+     */
+    void
+    merge(const Histogram &o)
+    {
+        if (o.n == 0)
+            return;
+        if (n == 0 || o._min < _min)
+            _min = o._min;
+        if (n == 0 || o._max > _max)
+            _max = o._max;
+        for (unsigned i = 0; i < numBuckets; ++i)
+            buckets[i] += o.buckets[i];
+        sum += o.sum;
+        n += o.n;
+    }
+
     std::uint64_t count() const { return n; }
     double mean() const { return n ? sum / n : 0.0; }
     double min() const { return _min; }

@@ -7,7 +7,7 @@
 namespace mcube
 {
 
-TransactionTracer *TransactionTracer::gActive = nullptr;
+thread_local TransactionTracer *TransactionTracer::gActive = nullptr;
 
 const char *
 toString(TracePhase phase)

@@ -115,16 +115,32 @@ class TransactionTracer
     TransactionTracer(const TransactionTracer &) = delete;
     TransactionTracer &operator=(const TransactionTracer &) = delete;
 
-    /** Install this tracer as the process-wide sink (replacing any
-     *  previously active one). */
+    /** Install this tracer as this *thread's* sink (replacing any
+     *  previously active one). Activation is thread-local — the same
+     *  discipline as SimProfiler — so the parallel engine can give
+     *  each lane its own shard tracer on whichever worker thread runs
+     *  it, and merge the shards canonically at window boundaries
+     *  (ParallelEngine). Single-threaded users see the historical
+     *  one-active-tracer-per-process behaviour unchanged. */
     void activate();
 
     /** Detach; MCUBE_TRACE becomes a no-op again. */
     void deactivate();
 
-    /** The active sink, or nullptr when tracing is off. This is the
-     *  whole cost of a disabled trace site. */
+    /** The calling thread's active sink, or nullptr when tracing is
+     *  off. This is the whole cost of a disabled trace site. */
     static TransactionTracer *active() { return gActive; }
+
+    /** Swap this thread's active sink for @p t (may be null) and
+     *  return the previous one. Used by the parallel engine to
+     *  install a lane's shard tracer around lane execution. */
+    static TransactionTracer *
+    exchangeActive(TransactionTracer *t)
+    {
+        TransactionTracer *prev = gActive;
+        gActive = t;
+        return prev;
+    }
 
     /** Append one event (overwrites the oldest once full). */
     void record(const TraceEvent &ev);
@@ -148,7 +164,7 @@ class TransactionTracer
     void exportText(std::ostream &os) const;
 
   private:
-    static TransactionTracer *gActive;
+    static thread_local TransactionTracer *gActive;
 
     std::vector<TraceEvent> ring;
     std::size_t head = 0;       //!< next write position

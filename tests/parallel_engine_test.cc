@@ -12,19 +12,27 @@
  * the 1-worker run exactly. The tsan CI job runs this binary too, so
  * the same sweep doubles as the engine's data-race gate.
  *
- * Also covered: the hard-error contract for past-tick scheduling in
- * parallel mode (a death test — sequentially the queue clamps and
- * counts instead), drain termination, and telemetry consistency.
+ * Also covered: observer composition (profiler + tracer active under
+ * 1 and 4 workers must leave results untouched and export the same
+ * trace bit-for-bit), the hard-error contract for past-tick
+ * scheduling in parallel mode (a death test — sequentially the queue
+ * clamps and counts instead), drain termination, and telemetry
+ * consistency.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "core/checker.hh"
 #include "core/system.hh"
 #include "proc/mix_workload.hh"
+#include "proc/random_tester.hh"
 #include "sim/parallel_engine.hh"
+#include "sim/profiler.hh"
+#include "trace/trace_event.hh"
 
 using namespace mcube;
 
@@ -84,6 +92,36 @@ expectIdentical(const RunOutcome &ref, const RunOutcome &got,
     }
 }
 
+/** runMix with the host self-profiler AND the transaction tracer
+ *  active for the whole run, as --profile-out/--trace-out would. */
+struct ObservedOutcome
+{
+    RunOutcome run;
+    std::string traceText;
+    std::uint64_t profEvents = 0;
+};
+
+ObservedOutcome
+runMixObserved(unsigned n, unsigned threads, std::uint64_t seed,
+               double rate, Tick sim_ticks)
+{
+    SimProfiler prof;
+    TransactionTracer tracer;
+    prof.activate();
+    tracer.activate();
+
+    ObservedOutcome out;
+    out.run = runMix(n, threads, seed, rate, sim_ticks);
+
+    tracer.deactivate();
+    prof.deactivate();
+    std::ostringstream os;
+    tracer.exportText(os);
+    out.traceText = os.str();
+    out.profEvents = prof.summary().events;
+    return out;
+}
+
 } // namespace
 
 TEST(ParallelEngine, BitIdenticalAcrossWorkerCounts)
@@ -108,6 +146,80 @@ TEST(ParallelEngine, BitIdenticalOnSmallGridHighRate)
             runMix(4, threads, 987654321, 120.0, 300'000);
         expectIdentical(ref, got, threads);
     }
+}
+
+TEST(ParallelEngine, ObserversComposeAndPreserveDeterminism)
+{
+    // Profiling and tracing must neither perturb simulated results
+    // nor depend on the worker count: the engine runs per-lane
+    // observer shards and folds them canonically at window boundaries
+    // (docs/PERFORMANCE.md). Three-way check on one fixed-seed config:
+    //
+    //  - observers ON vs OFF: identical stat tree (1 worker);
+    //  - observers ON, 1 vs 4 workers: identical stat tree AND a
+    //    bit-identical flat trace export;
+    //  - both observers actually saw the run (no silent no-op pass).
+    //
+    // The tsan CI job runs this binary, so the same sweep doubles as
+    // the data-race gate for the observer shard swap/merge paths.
+    const RunOutcome ref = runMix(8, 1, 0xD15EA5E, 40.0, 300'000);
+    EXPECT_TRUE(ref.drained);
+
+    const ObservedOutcome obs1 =
+        runMixObserved(8, 1, 0xD15EA5E, 40.0, 300'000);
+    const ObservedOutcome obs4 =
+        runMixObserved(8, 4, 0xD15EA5E, 40.0, 300'000);
+
+    expectIdentical(ref, obs1.run, 1);
+    expectIdentical(ref, obs4.run, 4);
+
+    EXPECT_GT(obs1.profEvents, 0u);
+    EXPECT_GT(obs4.profEvents, 0u);
+    ASSERT_FALSE(obs1.traceText.empty());
+    // Bit-identical contract: the canonically merged trace stream is a
+    // function of the configuration, not of the worker count.
+    EXPECT_EQ(obs1.traceText, obs4.traceText);
+}
+
+TEST(ParallelEngine, CheckerComposesWithBarrierChecks)
+{
+    // The coherence checker's per-op invariants read live global
+    // state, so under the window-phased engine they run from the
+    // barrier hook, once the window's commits have all landed in the
+    // golden history (checker.cc). A mid-window check would see e.g.
+    // a home-lane write hit's token in the cache before its commit
+    // deferral reaches the history and raise a false I3. Gate: a
+    // watchdog-armed random campaign under the checker reports zero
+    // violations at every worker count and stays bit-identical.
+    auto campaign = [](unsigned threads) {
+        SystemParams sp;
+        sp.n = 8;
+        sp.seed = 0xFEEDFACE;
+        sp.simThreads = threads;
+        sp.ctrl.requestTimeoutTicks = 500'000;
+        MulticubeSystem sys(sp);
+        CoherenceChecker checker(sys, 64);
+        RandomTesterParams tp;
+        tp.opsPerNode = 60;
+        tp.seed = 42;
+        RandomTester tester(sys, checker, tp);
+        tester.start();
+        sys.run(3'000'000);
+        sys.drain();
+        EXPECT_TRUE(tester.finished()) << "threads=" << threads;
+        EXPECT_EQ(tester.readFailures(), 0u) << "threads=" << threads;
+        EXPECT_EQ(checker.violations(), 0u)
+            << "threads=" << threads << " first: "
+            << (checker.report().empty() ? std::string("-")
+                                         : checker.report().front());
+        checker.fullSweep(true);
+        EXPECT_EQ(checker.violations(), 0u)
+            << "post-drain strict sweep, threads=" << threads;
+        return tester.resultHash();
+    };
+    const std::uint64_t h1 = campaign(1);
+    const std::uint64_t h4 = campaign(4);
+    EXPECT_EQ(h1, h4);
 }
 
 TEST(ParallelEngine, DrainTerminatesAndSystemQuiesces)
